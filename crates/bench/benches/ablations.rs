@@ -1,0 +1,86 @@
+//! Ablation benches for the design decisions called out in `DESIGN.md` §5:
+//!
+//! * **θ sweep** — directed symbolic execution on the loop-heavy gif2png
+//!   pair with decreasing loop budgets: below the iterations the PoC
+//!   needs, verification fails (the paper's declared failure mode); the
+//!   bench shows the cost/benefit of larger θ.
+//! * **CFG mode** — dynamic vs static CFG on the MuPDF pair: static CFG
+//!   misses the indirect dispatch edges, so the distance map cannot reach
+//!   `ep` and verification degrades (it is also cheaper to build — the
+//!   trade-off §IV-B describes).
+//! * **taint granularity** — byte-level vs word-level tainting: word
+//!   granularity over-taints, growing bunches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use octo_cfg::{build_cfg, CfgMode, DistanceMap};
+use octo_corpus::pair_by_idx;
+use octo_taint::{extract_crash_primitives, TaintConfig};
+use octopocs::{verify, PipelineConfig, SoftwarePairInput};
+
+fn bench_theta_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theta_sweep");
+    group.sample_size(10);
+    let pair = pair_by_idx(9).expect("gif2png pair");
+    for theta in [4u32, 16, 120] {
+        group.bench_function(format!("gif2png_theta_{theta:03}"), |b| {
+            b.iter(|| {
+                let input = SoftwarePairInput {
+                    s: &pair.s,
+                    t: &pair.t,
+                    poc: &pair.poc,
+                    shared: &pair.shared,
+                };
+                verify(&input, &PipelineConfig::default().with_theta(theta))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cfg_mode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cfg_mode");
+    let pair = pair_by_idx(8).expect("MuPDF pair");
+    let ep = pair.t.func_by_name(&pair.shared[0]).expect("ep");
+    group.bench_function("mupdf_dynamic_cfg", |b| {
+        b.iter(|| {
+            let cfg = build_cfg(&pair.t, CfgMode::Dynamic).expect("dynamic cfg");
+            let map = DistanceMap::compute(&pair.t, &cfg, ep);
+            assert!(map.reaches(pair.t.entry(), octo_ir::BlockId(0)));
+            map
+        });
+    });
+    group.bench_function("mupdf_static_cfg", |b| {
+        b.iter(|| {
+            let cfg = build_cfg(&pair.t, CfgMode::Static).expect("static cfg");
+            let map = DistanceMap::compute(&pair.t, &cfg, ep);
+            // Static CFG cannot see through the indirect dispatch.
+            assert!(!map.reaches(pair.t.entry(), octo_ir::BlockId(0)));
+            map
+        });
+    });
+    group.finish();
+}
+
+fn bench_taint_granularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("taint_granularity");
+    let pair = pair_by_idx(6).expect("pdfalto pair");
+    let ep = pair.s.func_by_name(&pair.shared[0]).expect("ep");
+    let shared = pair.s.resolve_names(pair.shared.iter().map(String::as_str));
+    let byte_cfg = TaintConfig::new(ep, shared.clone());
+    let word_cfg = TaintConfig::new(ep, shared).word_level();
+    group.bench_function("byte_level", |b| {
+        b.iter(|| extract_crash_primitives(&pair.s, &pair.poc, &byte_cfg).expect("extracts"));
+    });
+    group.bench_function("word_level", |b| {
+        b.iter(|| extract_crash_primitives(&pair.s, &pair.poc, &word_cfg).expect("extracts"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_theta_sweep,
+    bench_cfg_mode,
+    bench_taint_granularity
+);
+criterion_main!(benches);

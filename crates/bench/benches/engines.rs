@@ -1,0 +1,101 @@
+//! Criterion benches for the analysis engines (Tables III and IV).
+//!
+//! * `table3/*` — crash-primitive extraction, context-aware vs
+//!   context-free, on the multi-entry pairs where the distinction matters.
+//! * `table4/*` — directed symbolic execution per comparison pair, plus
+//!   the naive baseline on the one target where it terminates (opj_dump);
+//!   the naive MemError cases are asserted by the integration tests, not
+//!   timed here (a memory-exhaustion run is not a meaningful throughput
+//!   number).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use octo_cfg::{build_cfg, CfgMode, DistanceMap};
+use octo_corpus::pair_by_idx;
+use octo_symex::{DirectedConfig, DirectedEngine, NaiveExplorer, NaiveOutcome};
+use octo_taint::{extract_crash_primitives, TaintConfig};
+
+fn bench_table3_taint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    for idx in [3u32, 4, 9] {
+        let pair = pair_by_idx(idx).expect("pair");
+        let ep = pair.s.func_by_name(&pair.shared[0]).expect("ep");
+        let shared = pair.s.resolve_names(pair.shared.iter().map(String::as_str));
+        let aware = TaintConfig::new(ep, shared.clone());
+        let plain = TaintConfig::new(ep, shared).context_free();
+        group.bench_function(format!("context_aware_idx_{idx:02}"), |b| {
+            b.iter(|| extract_crash_primitives(&pair.s, &pair.poc, &aware).expect("extracts"));
+        });
+        group.bench_function(format!("context_free_idx_{idx:02}"), |b| {
+            b.iter(|| extract_crash_primitives(&pair.s, &pair.poc, &plain).expect("extracts"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_table4_symex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    for idx in [7u32, 8, 9] {
+        let pair = pair_by_idx(idx).expect("pair");
+        let ep_s = pair.s.func_by_name(&pair.shared[0]).expect("ep in S");
+        let q = extract_crash_primitives(
+            &pair.s,
+            &pair.poc,
+            &TaintConfig::new(
+                ep_s,
+                pair.s.resolve_names(pair.shared.iter().map(String::as_str)),
+            ),
+        )
+        .expect("P1")
+        .primitives;
+        let ep_t = pair.t.func_by_name(&pair.shared[0]).expect("ep in T");
+        let file_len = pair.poc.len() as u64 + 64;
+        let cfg = build_cfg(&pair.t, CfgMode::Dynamic).expect("cfg");
+        let map = DistanceMap::compute(&pair.t, &cfg, ep_t);
+        let config = DirectedConfig {
+            file_len,
+            ..DirectedConfig::default()
+        };
+        group.bench_function(format!("directed_idx_{idx:02}_{}", pair.t_name), |b| {
+            b.iter(|| {
+                let engine = DirectedEngine::new(&pair.t, ep_t, &map, &q, config);
+                let (outcome, _) = engine.run();
+                assert!(outcome.generated());
+            });
+        });
+        if idx == 7 {
+            // The only naive run that terminates (paper: 3.49 s, 461 MB).
+            group.bench_function("naive_idx_07_opj_dump", |b| {
+                b.iter(|| {
+                    let (out, _) = NaiveExplorer::new(&pair.t, file_len, ep_t).run();
+                    assert!(matches!(out, NaiveOutcome::ReachedTarget { .. }));
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_backward_path_finding(c: &mut Criterion) {
+    // The backward-path step in isolation (§III-B): CFG + distance map.
+    let mut group = c.benchmark_group("backward_path");
+    for idx in [7u32, 8, 9] {
+        let pair = pair_by_idx(idx).expect("pair");
+        let ep_t = pair.t.func_by_name(&pair.shared[0]).expect("ep in T");
+        group.bench_function(format!("cfg_and_distance_idx_{idx:02}"), |b| {
+            b.iter(|| {
+                let cfg = build_cfg(&pair.t, CfgMode::Dynamic).expect("cfg");
+                DistanceMap::compute(&pair.t, &cfg, ep_t)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table3_taint,
+    bench_table4_symex,
+    bench_backward_path_finding
+);
+criterion_main!(benches);

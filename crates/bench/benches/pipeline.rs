@@ -1,0 +1,57 @@
+//! Criterion benches for the verification pipeline (Tables II and V).
+//!
+//! `table2/verify_idx_*` measures the full four-phase pipeline per corpus
+//! pair; `table5/octopocs_*` measures the three comparison pairs the paper
+//! times against the fuzzers.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use octo_corpus::{all_pairs, pair_by_idx};
+use octopocs::{verify, PipelineConfig, SoftwarePairInput};
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for pair in all_pairs() {
+        group.bench_function(format!("verify_idx_{:02}", pair.idx), |b| {
+            b.iter_batched(
+                || (),
+                |()| {
+                    let input = SoftwarePairInput {
+                        s: &pair.s,
+                        t: &pair.t,
+                        poc: &pair.poc,
+                        shared: &pair.shared,
+                    };
+                    verify(&input, &PipelineConfig::default())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_table5_octopocs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5");
+    group.sample_size(10);
+    for idx in [7u32, 8, 9] {
+        let pair = pair_by_idx(idx).expect("pair");
+        group.bench_function(format!("octopocs_idx_{idx:02}_{}", pair.t_name), |b| {
+            b.iter(|| {
+                let input = SoftwarePairInput {
+                    s: &pair.s,
+                    t: &pair.t,
+                    poc: &pair.poc,
+                    shared: &pair.shared,
+                };
+                let report = verify(&input, &PipelineConfig::default());
+                assert!(report.verdict.poc_generated());
+                report
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2, bench_table5_octopocs);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Exports the 15-pair corpus to disk as MicroIR assembly plus PoC files,
+//! in the layout the `octopocs` CLI consumes:
+//!
+//! ```text
+//! cargo run --release -p octo-bench --bin export_corpus -- [out_dir]
+//! ```
+//!
+//! produces `out_dir/idx_NN/{s.mir,t.mir,poc.bin,shared.txt,meta.txt}` for
+//! every Table II row, so the end-to-end tool can be exercised by hand:
+//!
+//! ```text
+//! octopocs --s idx_08/s.mir --t idx_08/t.mir --poc idx_08/poc.bin \
+//!          --shared $(cat idx_08/shared.txt)
+//! ```
+
+use std::path::Path;
+
+use octo_corpus::all_pairs;
+use octo_ir::printer::print_program;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "corpus_out".to_string());
+    let out = Path::new(&out_dir);
+    std::fs::create_dir_all(out)?;
+
+    for pair in all_pairs() {
+        let dir = out.join(format!("idx_{:02}", pair.idx));
+        std::fs::create_dir_all(&dir)?;
+        std::fs::write(dir.join("s.mir"), print_program(&pair.s))?;
+        std::fs::write(dir.join("t.mir"), print_program(&pair.t))?;
+        std::fs::write(dir.join("poc.bin"), pair.poc.bytes())?;
+        std::fs::write(dir.join("shared.txt"), pair.shared.join(","))?;
+        std::fs::write(
+            dir.join("meta.txt"),
+            format!(
+                "idx: {}\nS: {} {}\nT: {} {}\nvulnerability: {} ({})\nexpected: {}\n",
+                pair.idx,
+                pair.s_name,
+                pair.s_version,
+                pair.t_name,
+                pair.t_version,
+                pair.vuln_id,
+                pair.cwe,
+                pair.expected.label(),
+            ),
+        )?;
+    }
+    println!("corpus exported to {}", out.display());
+    Ok(())
+}

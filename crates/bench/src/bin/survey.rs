@@ -1,0 +1,45 @@
+//! Regenerates the **§II-A PoC-type survey**: of the CVEs reported
+//! 2016–2019 with Bugzilla references, how many shipped a PoC and what
+//! type it was — the basis for OctoPoCs targeting malformed-file PoCs.
+//!
+//! ```text
+//! cargo run --release -p octo-bench --bin survey
+//! ```
+
+use octo_bench::render_table;
+use octo_corpus::{summarize, survey_records};
+
+fn main() {
+    let records = survey_records();
+    let summary = summarize(&records);
+    let mut cells: Vec<Vec<String>> = summary
+        .by_type
+        .iter()
+        .map(|(ty, n)| {
+            vec![
+                ty.label().to_string(),
+                n.to_string(),
+                format!("{:.1}%", 100.0 * *n as f64 / summary.with_poc as f64),
+            ]
+        })
+        .collect();
+    cells.push(vec![
+        "total with PoC".into(),
+        summary.with_poc.to_string(),
+        "100.0%".into(),
+    ]);
+    println!(
+        "{}",
+        render_table(
+            "§II-A — PoC types among 2016–2019 CVEs with Bugzilla references",
+            &["PoC type", "count", "share"],
+            &cells,
+        )
+    );
+    println!(
+        "CVEs surveyed: {}; with PoC: {}; malformed-file share: {:.0}%",
+        summary.total,
+        summary.with_poc,
+        100.0 * summary.malformed_file_share
+    );
+}

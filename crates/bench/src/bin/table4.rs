@@ -1,0 +1,131 @@
+//! Regenerates **Table IV**: naive vs directed symbolic execution.
+//!
+//! For the three Type-II pairs (large guiding-input variation), measure
+//! the time and simulated memory needed to drive the execution of `T` to
+//! `ep`:
+//!
+//! * **naive** — angr-default breadth-first exploration given only the
+//!   target location; the paper observed `MemError` (path explosion) on
+//!   MuPDF and gif2png(arti.);
+//! * **directed** — the backward-path-guided engine of OctoPoCs.
+//!
+//! ```text
+//! cargo run --release -p octo-bench --bin table4 [-- --json]
+//! ```
+
+use octo_bench::{render_table, Table4Row};
+use octo_cfg::{build_cfg, CfgMode, DistanceMap};
+use octo_corpus::{all_pairs, SoftwarePair};
+use octo_symex::{DirectedConfig, DirectedEngine, NaiveExplorer, NaiveOutcome};
+use octo_taint::{extract_crash_primitives, TaintConfig};
+
+/// The Table IV/V comparison set: the Type-II pairs (Idx 7, 8, 9).
+pub const COMPARISON_IDXS: [u32; 3] = [7, 8, 9];
+
+fn mb(bytes: u64) -> f64 {
+    bytes as f64 / (1 << 20) as f64
+}
+
+fn run_pair(pair: &SoftwarePair) -> Table4Row {
+    let ep_s = pair.s.func_by_name(&pair.shared[0]).expect("ep in S");
+    let taint_cfg = TaintConfig::new(
+        ep_s,
+        pair.s.resolve_names(pair.shared.iter().map(String::as_str)),
+    );
+    let extraction =
+        extract_crash_primitives(&pair.s, &pair.poc, &taint_cfg).expect("S crashes on poc");
+
+    let ep_t = pair.t.func_by_name(&pair.shared[0]).expect("ep in T");
+    let file_len = pair.poc.len() as u64 + 64;
+
+    // Naive exploration (angr default), given only the target.
+    let naive = NaiveExplorer::new(&pair.t, file_len, ep_t);
+    let (naive_outcome, naive_stats) = naive.run();
+    let (naive_seconds, naive_ram_mb, naive_mem_error) = match naive_outcome {
+        NaiveOutcome::ReachedTarget { .. } => (
+            Some(naive_stats.wall_seconds),
+            Some(mb(naive_stats.peak_mem_bytes)),
+            false,
+        ),
+        NaiveOutcome::MemError => (None, None, true),
+        _ => (None, None, false),
+    };
+
+    // Directed exploration with the correct-path information.
+    let cfg = build_cfg(&pair.t, CfgMode::Dynamic).expect("CFG of T");
+    let map = DistanceMap::compute(&pair.t, &cfg, ep_t);
+    let config = DirectedConfig {
+        file_len,
+        ..DirectedConfig::default()
+    };
+    let engine = DirectedEngine::new(&pair.t, ep_t, &map, &extraction.primitives, config);
+    let (outcome, directed_stats) = engine.run();
+    assert!(
+        outcome.generated(),
+        "directed run must generate poc' for Idx-{}: {outcome:?}",
+        pair.idx
+    );
+
+    Table4Row {
+        s: pair.s_name.to_string(),
+        t: pair.t_name.to_string(),
+        naive_seconds,
+        naive_ram_mb,
+        naive_mem_error,
+        directed_seconds: directed_stats.wall_seconds,
+        directed_ram_mb: mb(directed_stats.peak_mem_bytes.max(1)),
+    }
+}
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let mut rows = Vec::new();
+    for idx in COMPARISON_IDXS {
+        let pair = all_pairs().into_iter().find(|p| p.idx == idx).expect("idx");
+        rows.push(run_pair(&pair));
+    }
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let ram = if r.naive_mem_error {
+                "*MemError".to_string()
+            } else {
+                r.naive_ram_mb
+                    .map(|m| format!("{m:.3}"))
+                    .unwrap_or_else(|| "N/A".into())
+            };
+            vec![
+                r.s.clone(),
+                r.t.clone(),
+                r.naive_seconds
+                    .map(|v| format!("{v:.4}"))
+                    .unwrap_or_else(|| "N/A".into()),
+                ram,
+                format!("{:.4}", r.directed_seconds),
+                format!("{:.3}", r.directed_ram_mb),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Table IV — Effectiveness of directed symbolic execution (reproduction)",
+            &[
+                "S",
+                "T",
+                "SE† Time(s)",
+                "SE† RAM(MB)",
+                "D-SE‡ Time(s)",
+                "D-SE‡ RAM(MB)"
+            ],
+            &cells,
+        )
+    );
+    println!("†: symbolic execution, ‡: directed symbolic execution, *: memory error.");
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serialise")
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Plain-text table rendering.
+
+/// Renders `rows` under `headers` as an aligned plain-text table, matching
+/// the row/column structure of the paper's tables.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let sep: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
+    out.push_str(&sep);
+    out.push('\n');
+    let render_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                format!(
+                    " {:<width$} ",
+                    c,
+                    width = widths.get(i).copied().unwrap_or(0)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row));
+        out.push('\n');
+    }
+    out.push_str(&sep);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = render_table(
+            "Table X",
+            &["Idx", "Name"],
+            &[
+                vec!["1".into(), "short".into()],
+                vec!["12".into(), "a much longer name".into()],
+            ],
+        );
+        assert!(t.contains("Table X"));
+        assert!(t.contains("| a much longer name"));
+        // Every data line has the same width.
+        let lines: Vec<&str> = t.lines().skip(1).collect();
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "{t}");
+    }
+
+    #[test]
+    fn empty_rows_render_headers_only() {
+        let t = render_table("T", &["A"], &[]);
+        assert!(t.contains('A'));
+    }
+}

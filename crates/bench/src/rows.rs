@@ -1,0 +1,125 @@
+//! Serialisable row types for each regenerated table.
+
+use serde::{Deserialize, Serialize};
+
+/// One Table II row as produced by this reproduction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Table II index.
+    pub idx: u32,
+    /// Original software (name + version).
+    pub s: String,
+    /// Target software (name + version).
+    pub t: String,
+    /// Vulnerability identifier.
+    pub vuln_id: String,
+    /// CWE class label.
+    pub cwe: String,
+    /// Measured classification (Type-I/II/III/Failure).
+    pub measured: String,
+    /// Expected (paper) classification.
+    pub expected: String,
+    /// Whether `poc'` was generated (`O`/`X` column).
+    pub poc_generated: bool,
+    /// Whether verification succeeded (`O`/`X` column).
+    pub verified: bool,
+    /// Pipeline wall-clock seconds.
+    pub wall_seconds: f64,
+}
+
+/// One Table III row: context-aware vs context-free taint analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Table II index (1–9, the triggerable pairs).
+    pub idx: u32,
+    /// Original software.
+    pub s: String,
+    /// Target software.
+    pub t: String,
+    /// Whether the context-free baseline verified the vulnerability.
+    pub plain_taint_ok: bool,
+    /// Whether context-aware taint verified the vulnerability.
+    pub context_aware_ok: bool,
+}
+
+/// One Table IV row: naive vs directed symbolic execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table4Row {
+    /// Original software.
+    pub s: String,
+    /// Target software.
+    pub t: String,
+    /// Naive elapsed wall seconds (`None` = failed before finishing).
+    pub naive_seconds: Option<f64>,
+    /// Naive simulated memory (MB); `None` with `naive_mem_error` set
+    /// reproduces the paper's `MemError` cell.
+    pub naive_ram_mb: Option<f64>,
+    /// Whether naive exploration aborted with a memory error.
+    pub naive_mem_error: bool,
+    /// Directed elapsed wall seconds.
+    pub directed_seconds: f64,
+    /// Directed simulated memory (MB).
+    pub directed_ram_mb: f64,
+}
+
+/// One Table V row: elapsed time to verification per tool.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table5Row {
+    /// Original software.
+    pub s: String,
+    /// Target software.
+    pub t: String,
+    /// AFLFast virtual seconds to verification (`None` = N/A in budget).
+    pub aflfast_seconds: Option<f64>,
+    /// AFLGo virtual seconds (`None` = N/A; see `aflgo_error`).
+    pub aflgo_seconds: Option<f64>,
+    /// AFLGo tool error (the Table V `Error†` cell).
+    pub aflgo_error: Option<String>,
+    /// OctoPoCs seconds to verification.
+    pub octopocs_seconds: f64,
+}
+
+/// Helper: `O`/`X` cells like the paper's tables.
+pub fn ox(b: bool) -> String {
+    if b {
+        "O".into()
+    } else {
+        "X".into()
+    }
+}
+
+/// Helper: optional seconds cell (`N/A` when absent).
+pub fn secs(v: Option<f64>) -> String {
+    match v {
+        Some(s) => format!("{s:.2}"),
+        None => "N/A".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells() {
+        assert_eq!(ox(true), "O");
+        assert_eq!(ox(false), "X");
+        assert_eq!(secs(Some(1.234)), "1.23");
+        assert_eq!(secs(None), "N/A");
+    }
+
+    #[test]
+    fn rows_serialize() {
+        let row = Table5Row {
+            s: "gif2png".into(),
+            t: "gif2png (arti.)".into(),
+            aflfast_seconds: Some(201.0),
+            aflgo_seconds: None,
+            aflgo_error: None,
+            octopocs_seconds: 1.0,
+        };
+        let json = serde_json::to_string(&row).unwrap();
+        let back: Table5Row = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.s, "gif2png");
+    }
+}

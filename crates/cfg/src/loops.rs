@@ -1,0 +1,339 @@
+//! Dominator and natural-loop analysis.
+//!
+//! The paper's directed executor treats revisited blocks as *loop states*
+//! bounded by θ (§III-B). This module provides the static counterpart:
+//! dominator computation and natural-loop detection per function, used by
+//! the ablation benches to relate a target's loop structure to the θ
+//! budget it needs, and generally useful to downstream consumers of the
+//! CFG.
+
+use octo_ir::{BlockId, FuncId, Program};
+
+use crate::graph::Cfg;
+
+/// Immediate-dominator tree of one function.
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[b]` is the immediate dominator of block `b`; the entry block
+    /// is its own idom. Unreachable blocks have `None`.
+    idom: Vec<Option<BlockId>>,
+}
+
+impl Dominators {
+    /// Computes dominators for `func` with the iterative algorithm of
+    /// Cooper–Harvey–Kennedy over the recovered CFG.
+    pub fn compute(program: &Program, cfg: &Cfg, func: FuncId) -> Dominators {
+        let fcfg = cfg.func(func);
+        let n = program.func(func).blocks.len();
+        // Reverse post-order over the block graph.
+        let rpo = reverse_postorder(n, &fcfg.succs);
+        let mut order_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            order_index[b.0 as usize] = i;
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[0] = Some(BlockId(0));
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let preds = &fcfg.preds[b.0 as usize];
+                let mut new_idom: Option<BlockId> = None;
+                for &p in preds {
+                    if idom[p.0 as usize].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &order_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.0 as usize] != Some(ni) {
+                        idom[b.0 as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom }
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.0 as usize] {
+                Some(next) if next != cur => cur = next,
+                _ => return false,
+            }
+        }
+    }
+
+    /// The immediate dominator of `b` (`None` if `b` is the entry or
+    /// unreachable).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        match self.idom[b.0 as usize] {
+            Some(d) if d != b => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Whether block `b` is reachable from the entry.
+    pub fn reachable(&self, b: BlockId) -> bool {
+        self.idom[b.0 as usize].is_some()
+    }
+}
+
+fn intersect(idom: &[Option<BlockId>], order: &[usize], mut a: BlockId, mut b: BlockId) -> BlockId {
+    while a != b {
+        while order[a.0 as usize] > order[b.0 as usize] {
+            a = idom[a.0 as usize].expect("processed");
+        }
+        while order[b.0 as usize] > order[a.0 as usize] {
+            b = idom[b.0 as usize].expect("processed");
+        }
+    }
+    a
+}
+
+fn reverse_postorder(n: usize, succs: &[Vec<BlockId>]) -> Vec<BlockId> {
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS from the entry.
+    let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+    visited[0] = true;
+    while let Some((b, i)) = stack.pop() {
+        let ss = &succs[b.0 as usize];
+        if i < ss.len() {
+            stack.push((b, i + 1));
+            let next = ss[i];
+            if !visited[next.0 as usize] {
+                visited[next.0 as usize] = true;
+                stack.push((next, 0));
+            }
+        } else {
+            post.push(b);
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// One natural loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header (dominates every block in the body).
+    pub header: BlockId,
+    /// The source of the back edge.
+    pub latch: BlockId,
+    /// All blocks in the loop body (including header and latch), sorted.
+    pub body: Vec<BlockId>,
+}
+
+/// Finds the natural loops of `func`: one per back edge `latch → header`
+/// where the header dominates the latch.
+pub fn natural_loops(program: &Program, cfg: &Cfg, func: FuncId) -> Vec<NaturalLoop> {
+    let dom = Dominators::compute(program, cfg, func);
+    let fcfg = cfg.func(func);
+    let mut loops = Vec::new();
+    for (bi, ss) in fcfg.succs.iter().enumerate() {
+        let latch = BlockId(bi as u32);
+        if !dom.reachable(latch) {
+            continue;
+        }
+        for &header in ss {
+            if dom.dominates(header, latch) {
+                // Body: header plus everything that reaches the latch
+                // without passing through the header.
+                let mut body = vec![header];
+                let mut stack = vec![latch];
+                while let Some(b) = stack.pop() {
+                    if body.contains(&b) {
+                        continue;
+                    }
+                    body.push(b);
+                    for &p in &fcfg.preds[b.0 as usize] {
+                        stack.push(p);
+                    }
+                }
+                body.sort_by_key(|b| b.0);
+                loops.push(NaturalLoop {
+                    header,
+                    latch,
+                    body,
+                });
+            }
+        }
+    }
+    loops.sort_by_key(|l| (l.header.0, l.latch.0));
+    loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{build_cfg, CfgMode};
+    use octo_ir::parse::parse_program;
+
+    fn setup(src: &str) -> (octo_ir::Program, Cfg) {
+        let p = parse_program(src).unwrap();
+        let cfg = build_cfg(&p, CfgMode::Dynamic).unwrap();
+        (p, cfg)
+    }
+
+    const LOOPY: &str = r#"
+func main() {
+entry:
+    fd = open
+    i = 0
+    jmp header
+header:
+    c = ult i, 10
+    br c, body, exit
+body:
+    i = add i, 1
+    jmp header
+exit:
+    halt i
+}
+"#;
+
+    #[test]
+    fn dominators_of_diamond() {
+        let src = r#"
+func main() {
+entry:
+    fd = open
+    b = getc fd
+    br b, left, right
+left:
+    jmp join
+right:
+    jmp join
+join:
+    halt 0
+}
+"#;
+        let (p, cfg) = setup(src);
+        let dom = Dominators::compute(&p, &cfg, p.entry());
+        let f = p.func(p.entry());
+        let entry = f.block_by_label("entry").unwrap();
+        let left = f.block_by_label("left").unwrap();
+        let right = f.block_by_label("right").unwrap();
+        let join = f.block_by_label("join").unwrap();
+        assert!(dom.dominates(entry, join));
+        assert!(!dom.dominates(left, join));
+        assert!(!dom.dominates(right, join));
+        assert_eq!(dom.idom(join), Some(entry));
+        assert_eq!(dom.idom(left), Some(entry));
+    }
+
+    #[test]
+    fn simple_loop_detected() {
+        let (p, cfg) = setup(LOOPY);
+        let loops = natural_loops(&p, &cfg, p.entry());
+        assert_eq!(loops.len(), 1);
+        let f = p.func(p.entry());
+        let header = f.block_by_label("header").unwrap();
+        let body = f.block_by_label("body").unwrap();
+        assert_eq!(loops[0].header, header);
+        assert_eq!(loops[0].latch, body);
+        assert_eq!(loops[0].body, vec![header, body]);
+    }
+
+    #[test]
+    fn nested_loops_detected() {
+        let src = r#"
+func main() {
+entry:
+    jmp outer
+outer:
+    jmp inner
+inner:
+    fd2 = 0
+    c = eq fd2, 1
+    br c, inner, outer_latch
+outer_latch:
+    c2 = eq fd2, 2
+    br c2, outer, exit
+exit:
+    halt 0
+}
+"#;
+        let (p, cfg) = setup(src);
+        let loops = natural_loops(&p, &cfg, p.entry());
+        assert_eq!(loops.len(), 2);
+        let f = p.func(p.entry());
+        let outer = f.block_by_label("outer").unwrap();
+        let inner = f.block_by_label("inner").unwrap();
+        let headers: Vec<BlockId> = loops.iter().map(|l| l.header).collect();
+        assert!(headers.contains(&outer));
+        assert!(headers.contains(&inner));
+        // The outer loop body contains the inner loop entirely.
+        let outer_loop = loops.iter().find(|l| l.header == outer).unwrap();
+        let inner_loop = loops.iter().find(|l| l.header == inner).unwrap();
+        for b in &inner_loop.body {
+            assert!(outer_loop.body.contains(b));
+        }
+    }
+
+    #[test]
+    fn acyclic_function_has_no_loops() {
+        let src = "func main() {\nentry:\n halt 0\n}\n";
+        let (p, cfg) = setup(src);
+        assert!(natural_loops(&p, &cfg, p.entry()).is_empty());
+    }
+
+    #[test]
+    fn unreachable_blocks_are_flagged() {
+        let src = r#"
+func main() {
+entry:
+    halt 0
+island:
+    jmp island
+}
+"#;
+        let (p, cfg) = setup(src);
+        let dom = Dominators::compute(&p, &cfg, p.entry());
+        let f = p.func(p.entry());
+        let island = f.block_by_label("island").unwrap();
+        assert!(!dom.reachable(island));
+        // Loops in unreachable code are not reported.
+        assert!(natural_loops(&p, &cfg, p.entry()).is_empty());
+    }
+
+    #[test]
+    fn corpus_like_copy_loop_shape() {
+        // The read_image copy-loop shape: one loop, header dominates body.
+        let src = r#"
+func main() {
+entry:
+    fd = open
+    size = getc fd
+    buf = alloc 64
+    i = 0
+    jmp copy
+copy:
+    done = uge i, size
+    br done, fin, body
+body:
+    v = getc fd
+    p = add buf, i
+    store.1 p, v
+    i = add i, 1
+    jmp copy
+fin:
+    halt 0
+}
+"#;
+        let (p, cfg) = setup(src);
+        let loops = natural_loops(&p, &cfg, p.entry());
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].body.len(), 2);
+    }
+}

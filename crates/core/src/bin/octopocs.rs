@@ -1,0 +1,222 @@
+//! `octopocs` — command-line verification of propagated vulnerable code.
+//!
+//! ```text
+//! octopocs --s S.mir --t T.mir --poc poc.bin --shared f1,f2 [--out poc_prime.bin]
+//!          [--minimize] [--theta N] [--accelerate-loops] [--static-cfg]
+//!          [--context-free] [--json]
+//! ```
+//!
+//! `S.mir`/`T.mir` are MicroIR assembly files (the dialect of
+//! `octo_ir::parse`); `poc.bin` is the original PoC; `--shared` lists the
+//! cloned function names (`ℓ`) as a clone detector reports them. Exit code
+//! 0 = triggered (a working `poc'` exists; written to `--out` when given),
+//! 1 = verified not triggerable, 2 = verification failure, 3 = usage or
+//! input error.
+
+use std::process::ExitCode;
+
+use octo_ir::parse::parse_program;
+use octo_poc::PocFile;
+use octopocs::{verify, PipelineConfig, SoftwarePairInput, Verdict};
+
+struct Args {
+    s_path: String,
+    t_path: String,
+    poc_path: String,
+    shared: Vec<String>,
+    out: Option<String>,
+    minimize: bool,
+    theta: Option<u32>,
+    accelerate_loops: bool,
+    static_cfg: bool,
+    context_free: bool,
+    json: bool,
+}
+
+fn usage() -> String {
+    "usage: octopocs --s S.mir --t T.mir --poc poc.bin --shared f1,f2 \
+     [--out poc_prime.bin] [--minimize] [--theta N] [--accelerate-loops] \
+     [--static-cfg] [--context-free] [--json]"
+        .to_string()
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        s_path: String::new(),
+        t_path: String::new(),
+        poc_path: String::new(),
+        shared: Vec::new(),
+        out: None,
+        minimize: false,
+        theta: None,
+        accelerate_loops: false,
+        static_cfg: false,
+        context_free: false,
+        json: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--s" => args.s_path = value("--s")?,
+            "--t" => args.t_path = value("--t")?,
+            "--poc" => args.poc_path = value("--poc")?,
+            "--shared" => {
+                args.shared = value("--shared")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect()
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--theta" => {
+                args.theta = Some(
+                    value("--theta")?
+                        .parse()
+                        .map_err(|e| format!("bad --theta: {e}"))?,
+                )
+            }
+            "--minimize" => args.minimize = true,
+            "--accelerate-loops" => args.accelerate_loops = true,
+            "--static-cfg" => args.static_cfg = true,
+            "--context-free" => args.context_free = true,
+            "--json" => args.json = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    if args.s_path.is_empty() || args.t_path.is_empty() || args.poc_path.is_empty() {
+        return Err(format!("--s, --t and --poc are required\n{}", usage()));
+    }
+    if args.shared.is_empty() {
+        return Err(format!(
+            "--shared must list at least one function\n{}",
+            usage()
+        ));
+    }
+    Ok(args)
+}
+
+fn load_program(path: &str) -> Result<octo_ir::Program, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let p = parse_program(&src).map_err(|e| format!("{path}: {e}"))?;
+    octo_ir::validate::validate(&p).map_err(|es| {
+        format!(
+            "{path}: {}",
+            es.first().map(ToString::to_string).unwrap_or_default()
+        )
+    })?;
+    Ok(p)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(3);
+        }
+    };
+    let (s, t, poc_bytes) = match (
+        load_program(&args.s_path),
+        load_program(&args.t_path),
+        std::fs::read(&args.poc_path),
+    ) {
+        (Ok(s), Ok(t), Ok(p)) => (s, t, p),
+        (s, t, p) => {
+            for msg in [
+                s.err(),
+                t.err(),
+                p.err().map(|e| format!("{}: {e}", args.poc_path)),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                eprintln!("error: {msg}");
+            }
+            return ExitCode::from(3);
+        }
+    };
+
+    let mut config = PipelineConfig::default();
+    if let Some(theta) = args.theta {
+        config = config.with_theta(theta);
+    }
+    if args.accelerate_loops {
+        config = config.accelerate_loops();
+    }
+    if args.static_cfg {
+        config = config.static_cfg();
+    }
+    if args.context_free {
+        config = config.context_free();
+    }
+
+    let poc = PocFile::new(poc_bytes);
+    let input = SoftwarePairInput {
+        s: &s,
+        t: &t,
+        poc: &poc,
+        shared: &args.shared,
+    };
+    let report = verify(&input, &config);
+
+    if args.json {
+        // Hand-rolled JSON keeps the core crate dependency-free.
+        println!(
+            "{{\"verdict\":\"{}\",\"poc_generated\":{},\"verified\":{},\"ep\":\"{}\",\
+             \"ep_entries\":{},\"wall_seconds\":{:.6}}}",
+            report.verdict.type_label(),
+            report.verdict.poc_generated(),
+            report.verdict.verified(),
+            report.ep_name.as_deref().unwrap_or(""),
+            report.ep_entries,
+            report.wall_seconds,
+        );
+    } else {
+        println!("verdict    : {}", report.verdict);
+        if let Some(ep) = &report.ep_name {
+            println!("ep         : {ep} ({} entries in S)", report.ep_entries);
+        }
+        println!("time       : {:.3}s", report.wall_seconds);
+    }
+
+    match &report.verdict {
+        Verdict::Triggered { poc_prime, .. } => {
+            let poc_prime = if args.minimize {
+                let shared_ids = t.resolve_names(args.shared.iter().map(String::as_str));
+                let (min, stats) =
+                    octopocs::minimize_poc(&t, poc_prime, &shared_ids, octo_vm::Limits::default());
+                if !args.json {
+                    println!(
+                        "minimized  : {} -> {} bytes ({} zeroed, {} execs)",
+                        stats.len_before, stats.len_after, stats.bytes_zeroed, stats.execs
+                    );
+                }
+                min
+            } else {
+                poc_prime.clone()
+            };
+            let poc_prime = &poc_prime;
+            if let Some(out) = &args.out {
+                if let Err(e) = std::fs::write(out, poc_prime.bytes()) {
+                    eprintln!("error writing {out}: {e}");
+                    return ExitCode::from(3);
+                }
+                if !args.json {
+                    println!("poc' written to {out} ({} bytes)", poc_prime.len());
+                }
+            } else if !args.json {
+                println!("poc' hexdump:\n{}", poc_prime.hexdump());
+            }
+            ExitCode::SUCCESS
+        }
+        Verdict::NotTriggerable { .. } => ExitCode::from(1),
+        Verdict::Failure { .. } => ExitCode::from(2),
+    }
+}

@@ -1,0 +1,130 @@
+//! Pipeline configuration.
+
+use octo_cfg::CfgMode;
+use octo_taint::{ContextMode, Granularity};
+use octo_vm::Limits;
+
+/// Configuration shared by all four phases.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// θ — loop-state iteration cap for directed symbolic execution
+    /// (paper §IV-B sets 120).
+    pub theta: u32,
+    /// CFG recovery mode for `T` (paper §IV-B: "we determine to use the
+    /// dynamic CFG mainly; however, we have the option of using a static
+    /// CFG").
+    pub cfg_mode: CfgMode,
+    /// Length of the symbolic input file; `None` derives it from the
+    /// original PoC length plus slack.
+    pub file_len: Option<u64>,
+    /// Extra symbolic-file bytes beyond the original PoC length when
+    /// `file_len` is `None` (guiding inputs may be longer than `S`'s).
+    pub file_slack: u64,
+    /// Concrete-execution limits (P1 on `S`, P4 on `T`). The instruction
+    /// watchdog doubles as the CWE-835 infinite-loop detector.
+    pub vm_limits: Limits,
+    /// Taint context mode (context-aware, or the Table III context-free
+    /// baseline).
+    pub taint_context: ContextMode,
+    /// Taint granularity (byte-level, or the word-level ablation).
+    pub taint_granularity: Granularity,
+    /// Directed symbolic execution instruction budget.
+    pub symex_step_budget: u64,
+    /// Bound on the directed engine's backtracking stack.
+    pub max_fallbacks: usize,
+    /// Loop acceleration inside `ℓ` (the paper's §III-D future work,
+    /// implemented as an opt-in extension): forced branches are taken
+    /// without charging the θ budget, so vulnerabilities needing more
+    /// than θ loop iterations still verify.
+    pub loop_acceleration: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> PipelineConfig {
+        PipelineConfig {
+            theta: 120,
+            cfg_mode: CfgMode::Dynamic,
+            file_len: None,
+            file_slack: 64,
+            vm_limits: Limits::default(),
+            taint_context: ContextMode::ContextAware,
+            taint_granularity: Granularity::Byte,
+            symex_step_budget: 2_000_000,
+            max_fallbacks: 4096,
+            loop_acceleration: false,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The Table III ablation: context-free crash-primitive extraction.
+    pub fn context_free(mut self) -> PipelineConfig {
+        self.taint_context = ContextMode::ContextFree;
+        self
+    }
+
+    /// Uses the static CFG instead of the dynamic one.
+    pub fn static_cfg(mut self) -> PipelineConfig {
+        self.cfg_mode = CfgMode::Static;
+        self
+    }
+
+    /// Overrides θ.
+    pub fn with_theta(mut self, theta: u32) -> PipelineConfig {
+        self.theta = theta;
+        self
+    }
+
+    /// Enables loop acceleration (see [`PipelineConfig::loop_acceleration`]).
+    pub fn accelerate_loops(mut self) -> PipelineConfig {
+        self.loop_acceleration = true;
+        self
+    }
+
+    /// The symbolic file length for a PoC of `poc_len` bytes.
+    pub fn resolve_file_len(&self, poc_len: usize) -> u64 {
+        self.file_len
+            .unwrap_or(poc_len as u64 + self.file_slack)
+            .max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = PipelineConfig::default();
+        assert_eq!(c.theta, 120);
+        assert_eq!(c.cfg_mode, CfgMode::Dynamic);
+        assert_eq!(c.taint_context, ContextMode::ContextAware);
+    }
+
+    #[test]
+    fn file_len_resolution() {
+        let c = PipelineConfig::default();
+        assert_eq!(c.resolve_file_len(100), 164);
+        let c = PipelineConfig {
+            file_len: Some(32),
+            ..PipelineConfig::default()
+        };
+        assert_eq!(c.resolve_file_len(100), 32);
+        let c = PipelineConfig {
+            file_len: Some(0),
+            ..PipelineConfig::default()
+        };
+        assert_eq!(c.resolve_file_len(0), 1);
+    }
+
+    #[test]
+    fn builders_toggle_modes() {
+        let c = PipelineConfig::default()
+            .context_free()
+            .static_cfg()
+            .with_theta(7);
+        assert_eq!(c.taint_context, ContextMode::ContextFree);
+        assert_eq!(c.cfg_mode, CfgMode::Static);
+        assert_eq!(c.theta, 7);
+    }
+}

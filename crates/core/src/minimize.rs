@@ -1,0 +1,264 @@
+//! PoC minimisation.
+//!
+//! The paper observes that reformed PoCs are "often more optimized than
+//! poc because \[they\] did not contain unnecessary bytes" (§V-B). This
+//! module makes that a first-class operation: given any input that
+//! triggers the propagated vulnerability, produce a smaller input that
+//! still triggers it — useful when archiving PoCs or reporting upstream.
+//!
+//! Two passes, both preserving the invariant "crashes inside `ℓ` with the
+//! same crash class":
+//!
+//! 1. **tail truncation** (binary search for the shortest crashing
+//!    prefix), then
+//! 2. **byte zeroing** (every non-zero byte that can be zeroed without
+//!    losing the crash becomes zero — a ddmin-style canonicalisation).
+
+use octo_ir::{FuncId, Program};
+use octo_poc::PocFile;
+use octo_vm::{Limits, RunOutcome, Vm};
+
+/// Statistics of one minimisation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinimizeStats {
+    /// Input length before/after.
+    pub len_before: usize,
+    /// Length after minimisation.
+    pub len_after: usize,
+    /// Non-zero bytes zeroed by the second pass.
+    pub bytes_zeroed: usize,
+    /// Executions spent.
+    pub execs: u64,
+}
+
+/// Minimises `poc` against `program`, preserving a crash whose backtrace
+/// enters `shared` and whose class matches the original crash.
+///
+/// Returns the original PoC unchanged (with zeroed stats) when it does not
+/// crash inside `shared` to begin with.
+pub fn minimize_poc(
+    program: &Program,
+    poc: &PocFile,
+    shared: &[FuncId],
+    limits: Limits,
+) -> (PocFile, MinimizeStats) {
+    let mut execs = 0u64;
+    let mut crashes = |bytes: &[u8], want_class: Option<&str>| -> Option<&'static str> {
+        execs += 1;
+        let out = Vm::new(program, bytes).with_limits(limits).run();
+        match out {
+            RunOutcome::Crash(report) if report.backtrace.any_in(shared) => {
+                let class = report.kind.class();
+                match want_class {
+                    Some(w) if w != class => None,
+                    _ => Some(class),
+                }
+            }
+            _ => None,
+        }
+    };
+
+    let Some(class) = crashes(poc.bytes(), None) else {
+        return (
+            poc.clone(),
+            MinimizeStats {
+                len_before: poc.len(),
+                len_after: poc.len(),
+                bytes_zeroed: 0,
+                execs,
+            },
+        );
+    };
+
+    // Pass 1: shortest crashing prefix by binary search. Crash behaviour
+    // is not monotone in general, so finish with a linear refinement from
+    // the binary-search candidate.
+    let bytes = poc.bytes();
+    let (mut lo, mut hi) = (0usize, bytes.len()); // crash length in (lo, hi]
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if crashes(&bytes[..mid], Some(class)).is_some() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let mut current: Vec<u8> = bytes[..hi].to_vec();
+    while !current.is_empty() && crashes(&current[..current.len() - 1], Some(class)).is_some() {
+        current.pop();
+    }
+
+    // Pass 2: zero every byte that is not load-bearing.
+    let mut zeroed = 0usize;
+    for i in 0..current.len() {
+        if current[i] == 0 {
+            continue;
+        }
+        let old = current[i];
+        current[i] = 0;
+        if crashes(&current, Some(class)).is_some() {
+            zeroed += 1;
+        } else {
+            current[i] = old;
+        }
+    }
+
+    let stats = MinimizeStats {
+        len_before: poc.len(),
+        len_after: current.len(),
+        bytes_zeroed: zeroed,
+        execs,
+    };
+    (PocFile::new(current), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octo_ir::parse::parse_program;
+
+    fn program() -> Program {
+        parse_program(
+            r#"
+func main() {
+entry:
+    fd = open
+    m = getc fd
+    ok = eq m, 0x4D
+    br ok, go, rej
+go:
+    pad = getc fd
+    call decode(fd)
+    halt 0
+rej:
+    halt 1
+}
+func decode(fd) {
+entry:
+    v = getc fd
+    c = eq v, 0x41
+    br c, boom, fine
+boom:
+    trap 1
+fine:
+    ret
+}
+"#,
+        )
+        .expect("parses")
+    }
+
+    fn shared(p: &Program) -> Vec<FuncId> {
+        vec![p.func_by_name("decode").expect("decode")]
+    }
+
+    #[test]
+    fn truncates_trailing_garbage() {
+        let p = program();
+        let poc = PocFile::from(&b"MxA-lots-of-trailing-garbage"[..]);
+        let (min, stats) = minimize_poc(&p, &poc, &shared(&p), Limits::default());
+        assert_eq!(min.len(), 3, "{}", min.hexdump());
+        assert_eq!(min.byte(0), b'M');
+        assert_eq!(min.byte(2), b'A');
+        assert!(stats.len_after < stats.len_before);
+        // The padding byte is not load-bearing and becomes zero.
+        assert_eq!(min.byte(1), 0);
+        assert_eq!(stats.bytes_zeroed, 1);
+    }
+
+    #[test]
+    fn preserves_crash_and_class() {
+        let p = program();
+        let poc = PocFile::from(&b"MxAyyy"[..]);
+        let (min, _) = minimize_poc(&p, &poc, &shared(&p), Limits::default());
+        let out = Vm::new(&p, min.bytes()).run();
+        let crash = out.crash().expect("still crashes");
+        assert_eq!(crash.kind.class(), "TRAP");
+        assert!(crash.backtrace.any_in(&shared(&p)));
+    }
+
+    #[test]
+    fn non_crashing_input_is_returned_unchanged() {
+        let p = program();
+        let poc = PocFile::from(&b"Mxz"[..]);
+        let (min, stats) = minimize_poc(&p, &poc, &shared(&p), Limits::default());
+        assert_eq!(min, poc);
+        assert_eq!(stats.len_after, stats.len_before);
+    }
+
+    #[test]
+    fn already_minimal_input_is_stable() {
+        let p = program();
+        let poc = PocFile::from(&b"M\x00A"[..]);
+        let (min, stats) = minimize_poc(&p, &poc, &shared(&p), Limits::default());
+        assert_eq!(min, poc);
+        assert_eq!(stats.bytes_zeroed, 0);
+    }
+
+    #[test]
+    fn minimizes_corpus_pocs_without_losing_the_crash() {
+        for pair in octo_corpus_pairs() {
+            let ids = pair.s.resolve_names(pair.shared.iter().map(String::as_str));
+            let (min, stats) = minimize_poc(&pair.s, &pair.poc, &ids, Limits::default());
+            assert!(min.len() <= pair.poc.len(), "Idx-{}", pair.idx);
+            let out = Vm::new(&pair.s, min.bytes()).run();
+            assert!(
+                out.crash()
+                    .map(|c| c.backtrace.any_in(&ids))
+                    .unwrap_or(false),
+                "Idx-{}: minimised poc lost the crash",
+                pair.idx
+            );
+            assert!(stats.execs > 0);
+        }
+    }
+
+    // The corpus crate depends on octo-ir/vm/poc only, so borrowing it
+    // here would be a dependency cycle; instead reuse two local pairs that
+    // exercise the same shapes (watchdog crash + overflow crash).
+    fn octo_corpus_pairs() -> Vec<LocalPair> {
+        vec![
+            LocalPair {
+                idx: 100,
+                s: program(),
+                shared: vec!["decode".into()],
+                poc: PocFile::from(&b"MxAtrailing"[..]),
+            },
+            LocalPair {
+                idx: 101,
+                s: parse_program(
+                    r#"
+func main() {
+entry:
+    fd = open
+    call spin(fd)
+    halt 0
+}
+func spin(fd) {
+entry:
+    pos = tell fd
+    b = getc fd
+    c = eq b, 0xFF
+    br c, rewind, out
+rewind:
+    seek fd, pos
+    jmp entry
+out:
+    ret
+}
+"#,
+                )
+                .expect("parses"),
+                shared: vec!["spin".into()],
+                poc: PocFile::new(vec![0xFF; 300]),
+            },
+        ]
+    }
+
+    struct LocalPair {
+        idx: u32,
+        s: Program,
+        shared: Vec<String>,
+        poc: PocFile,
+    }
+}

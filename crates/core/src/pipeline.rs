@@ -1,0 +1,477 @@
+//! The end-to-end verification pipeline (P1 → P4).
+
+use octo_cfg::{build_cfg, DistanceMap};
+use octo_ir::Program;
+use octo_poc::PocFile;
+use octo_symex::{DirectedConfig, DirectedEngine, DirectedOutcome, DirectedStats};
+use octo_taint::{extract_with_limits, TaintConfig, TaintError};
+use octo_vm::{CrashReport, RunOutcome, Vm};
+
+use crate::config::PipelineConfig;
+use crate::preprocess::{identify_ep, PreprocessError};
+use crate::verdict::{FailureReason, NotTriggerableReason, TriggerKind, Verdict};
+
+/// One verification job: the paper's initial inputs `S`, `T`, `poc`, `ℓ`.
+#[derive(Debug, Clone, Copy)]
+pub struct SoftwarePairInput<'a> {
+    /// The original vulnerable software.
+    pub s: &'a Program,
+    /// The propagated software.
+    pub t: &'a Program,
+    /// The original PoC (crashes `S`).
+    pub poc: &'a PocFile,
+    /// Names of the shared (cloned) functions, as a vulnerable clone
+    /// detector reports them.
+    pub shared: &'a [String],
+}
+
+/// Everything `verify` learned, verdict plus diagnostics.
+#[derive(Debug, Clone)]
+pub struct VerificationReport {
+    /// The verification verdict (Table II taxonomy).
+    pub verdict: Verdict,
+    /// `ep`'s name, when preprocessing succeeded.
+    pub ep_name: Option<String>,
+    /// Crash of `S` under `poc`.
+    pub s_crash: Option<CrashReport>,
+    /// Crash of `T` under `poc'`, for triggered verdicts.
+    pub t_crash: Option<CrashReport>,
+    /// How many times `S` entered `ep` (bunch count).
+    pub ep_entries: u32,
+    /// Instructions executed in P1 (taint run over `S`).
+    pub p1_insts: u64,
+    /// Directed symbolic execution statistics (P2+P3).
+    pub symex_stats: Option<DirectedStats>,
+    /// Instructions executed in P4 (concrete run of `T`).
+    pub p4_insts: u64,
+    /// Total wall-clock seconds for the whole pipeline.
+    pub wall_seconds: f64,
+}
+
+impl VerificationReport {
+    fn failure(reason: FailureReason) -> VerificationReport {
+        VerificationReport {
+            verdict: Verdict::Failure { reason },
+            ep_name: None,
+            s_crash: None,
+            t_crash: None,
+            ep_entries: 0,
+            p1_insts: 0,
+            symex_stats: None,
+            p4_insts: 0,
+            wall_seconds: 0.0,
+        }
+    }
+
+    /// The reformed PoC, when one was generated and works.
+    pub fn poc_prime(&self) -> Option<&PocFile> {
+        match &self.verdict {
+            Verdict::Triggered { poc_prime, .. } => Some(poc_prime),
+            _ => None,
+        }
+    }
+}
+
+/// Verifies whether the vulnerability propagated from `S` to `T` can still
+/// be triggered (the whole OctoPoCs pipeline).
+///
+/// Never panics on malformed inputs; every abnormal condition maps to a
+/// [`Verdict::Failure`] with a diagnostic [`FailureReason`].
+pub fn verify(input: &SoftwarePairInput<'_>, config: &PipelineConfig) -> VerificationReport {
+    let start = std::time::Instant::now();
+
+    // --- Preprocessing: find ep on the crash stack of S. ---
+    let ep_info = match identify_ep(input.s, input.poc, input.shared, config.vm_limits) {
+        Ok(info) => info,
+        Err(PreprocessError::NoCrash { exit_code }) => {
+            return VerificationReport::failure(FailureReason::PocDoesNotCrashS { exit_code })
+        }
+        Err(PreprocessError::NoSharedFrame | PreprocessError::SharedSetEmpty) => {
+            return VerificationReport::failure(FailureReason::EpNotOnCrashStack)
+        }
+    };
+    let mut report = VerificationReport {
+        verdict: Verdict::Failure {
+            reason: FailureReason::Budget,
+        },
+        ep_name: Some(ep_info.ep_name.clone()),
+        s_crash: Some(ep_info.s_crash.clone()),
+        t_crash: None,
+        ep_entries: 0,
+        p1_insts: 0,
+        symex_stats: None,
+        p4_insts: 0,
+        wall_seconds: 0.0,
+    };
+
+    // --- P1: context-aware taint analysis over S. ---
+    let shared_ids = input
+        .s
+        .resolve_names(input.shared.iter().map(String::as_str));
+    let taint_config = TaintConfig {
+        ep: ep_info.ep,
+        shared: shared_ids,
+        granularity: config.taint_granularity,
+        context: config.taint_context,
+    };
+    let extraction = match extract_with_limits(input.s, input.poc, &taint_config, config.vm_limits)
+    {
+        Ok(e) => e,
+        Err(TaintError::NoCrash { exit_code }) => {
+            report.verdict = Verdict::Failure {
+                reason: FailureReason::PocDoesNotCrashS { exit_code },
+            };
+            report.wall_seconds = start.elapsed().as_secs_f64();
+            return report;
+        }
+        Err(TaintError::EpNeverEntered) => {
+            report.verdict = Verdict::Failure {
+                reason: FailureReason::EpNotOnCrashStack,
+            };
+            report.wall_seconds = start.elapsed().as_secs_f64();
+            return report;
+        }
+    };
+    report.ep_entries = extraction.ep_entries;
+    report.p1_insts = extraction.insts;
+
+    // --- Resolve ep in T (clone name). ---
+    let Some(ep_t) = input.t.func_by_name(&ep_info.ep_name) else {
+        report.verdict = Verdict::Failure {
+            reason: FailureReason::EpMissingInT {
+                name: ep_info.ep_name.clone(),
+            },
+        };
+        report.wall_seconds = start.elapsed().as_secs_f64();
+        return report;
+    };
+
+    // --- CFG of T + backward path finding. ---
+    let cfg = match build_cfg(input.t, config.cfg_mode) {
+        Ok(c) => c,
+        Err(e) => {
+            // The Idx-15 failure mode: the tool cannot recover T's CFG.
+            report.verdict = Verdict::Failure {
+                reason: FailureReason::CfgConstruction(e),
+            };
+            report.wall_seconds = start.elapsed().as_secs_f64();
+            return report;
+        }
+    };
+    let map = DistanceMap::compute(input.t, &cfg, ep_t);
+
+    // --- P2 + P3: directed symbolic execution and combining. ---
+    let directed_config = DirectedConfig {
+        file_len: config.resolve_file_len(input.poc.len()),
+        theta: config.theta,
+        max_fallbacks: config.max_fallbacks,
+        step_budget: config.symex_step_budget,
+        loop_acceleration: config.loop_acceleration,
+        ..DirectedConfig::default()
+    };
+    let engine = DirectedEngine::new(input.t, ep_t, &map, &extraction.primitives, directed_config);
+    let (outcome, stats) = engine.run();
+    report.symex_stats = Some(stats);
+
+    report.verdict = match outcome {
+        DirectedOutcome::EpUnreachable => Verdict::NotTriggerable {
+            reason: NotTriggerableReason::EpNotCalled,
+        },
+        DirectedOutcome::ProgramDead => Verdict::NotTriggerable {
+            reason: NotTriggerableReason::ProgramDead,
+        },
+        DirectedOutcome::Unsat => Verdict::NotTriggerable {
+            reason: NotTriggerableReason::UnsatisfiableConstraints,
+        },
+        DirectedOutcome::LoopBudget => Verdict::Failure {
+            reason: FailureReason::LoopBudget,
+        },
+        DirectedOutcome::Budget => Verdict::Failure {
+            reason: FailureReason::Budget,
+        },
+        DirectedOutcome::PocGenerated {
+            poc: poc_prime,
+            guiding,
+            ..
+        } => {
+            // --- P4: run T with poc' and check for the propagated crash. ---
+            let shared_t = input
+                .t
+                .resolve_names(input.shared.iter().map(String::as_str));
+            let mut vm = Vm::new(input.t, poc_prime.bytes()).with_limits(config.vm_limits);
+            let outcome = vm.run();
+            report.p4_insts = vm.insts_executed();
+            match outcome {
+                RunOutcome::Crash(crash) if crash.backtrace.any_in(&shared_t) => {
+                    // Type-I iff the *original* poc already satisfies all
+                    // constraints T imposes — its guiding input would have
+                    // worked unchanged.
+                    let kind = if guiding.eval_file(input.poc.bytes()) {
+                        TriggerKind::TypeI
+                    } else {
+                        TriggerKind::TypeII
+                    };
+                    let crash_class = crash.kind.class();
+                    report.t_crash = Some(crash);
+                    Verdict::Triggered {
+                        kind,
+                        poc_prime,
+                        crash_class,
+                    }
+                }
+                RunOutcome::Crash(crash) => {
+                    // Crash outside ℓ: not the propagated vulnerability.
+                    report.t_crash = Some(crash);
+                    Verdict::Failure {
+                        reason: FailureReason::PocPrimeDidNotCrash { poc_prime },
+                    }
+                }
+                RunOutcome::Exit(_) => Verdict::Failure {
+                    reason: FailureReason::PocPrimeDidNotCrash { poc_prime },
+                },
+            }
+        }
+    };
+    report.wall_seconds = start.elapsed().as_secs_f64();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octo_ir::parse::parse_program;
+
+    /// Shared vulnerable function used by both S and T below: crashes when
+    /// its byte argument is 0x41.
+    const SHARED: &str = r#"
+func shared(v) {
+entry:
+    c = eq v, 0x41
+    br c, boom, fine
+boom:
+    trap 1
+fine:
+    ret
+}
+"#;
+
+    fn s_program() -> Program {
+        let src = format!(
+            r#"
+func main() {{
+entry:
+    fd = open
+    b = getc fd
+    call shared(b)
+    halt 0
+}}
+{SHARED}
+"#
+        );
+        parse_program(&src).unwrap()
+    }
+
+    fn verify_pair(t_src: &str, poc: &[u8]) -> VerificationReport {
+        let s = s_program();
+        let t = parse_program(t_src).unwrap();
+        let poc = PocFile::from(poc);
+        let shared = vec!["shared".to_string()];
+        let input = SoftwarePairInput {
+            s: &s,
+            t: &t,
+            poc: &poc,
+            shared: &shared,
+        };
+        verify(&input, &PipelineConfig::default())
+    }
+
+    #[test]
+    fn type_i_when_original_guiding_input_fits() {
+        // T is byte-compatible with S (same layout), so poc itself works.
+        let t_src = format!(
+            r#"
+func main() {{
+entry:
+    fd = open
+    b = getc fd
+    call shared(b)
+    halt 0
+}}
+{SHARED}
+"#
+        );
+        let report = verify_pair(&t_src, b"A");
+        match &report.verdict {
+            Verdict::Triggered { kind, .. } => assert_eq!(*kind, TriggerKind::TypeI),
+            other => panic!("expected Type-I, got {other:?}"),
+        }
+        assert_eq!(report.ep_name.as_deref(), Some("shared"));
+        assert!(report.verdict.poc_generated());
+    }
+
+    #[test]
+    fn type_ii_when_t_needs_different_header() {
+        // T requires a magic byte the original poc lacks.
+        let t_src = format!(
+            r#"
+func main() {{
+entry:
+    fd = open
+    m = getc fd
+    ok = eq m, 0x99
+    br ok, go, rej
+go:
+    b = getc fd
+    call shared(b)
+    halt 0
+rej:
+    halt 1
+}}
+{SHARED}
+"#
+        );
+        let report = verify_pair(&t_src, b"A");
+        match &report.verdict {
+            Verdict::Triggered {
+                kind, poc_prime, ..
+            } => {
+                assert_eq!(*kind, TriggerKind::TypeII);
+                assert_eq!(poc_prime.byte(0), 0x99);
+                assert_eq!(poc_prime.byte(1), 0x41);
+            }
+            other => panic!("expected Type-II, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn type_iii_when_ep_not_called() {
+        let t_src = format!(
+            r#"
+func main() {{
+entry:
+    halt 0
+}}
+{SHARED}
+"#
+        );
+        let report = verify_pair(&t_src, b"A");
+        match &report.verdict {
+            Verdict::NotTriggerable { reason } => {
+                assert_eq!(*reason, NotTriggerableReason::EpNotCalled)
+            }
+            other => panic!("expected Type-III, got {other:?}"),
+        }
+        assert!(report.verdict.verified());
+        assert!(!report.verdict.poc_generated());
+    }
+
+    #[test]
+    fn type_iii_when_argument_hardcoded() {
+        // T calls shared only with a constant 0x10 — the 0x41 argument
+        // recorded in S can never be delivered.
+        let t_src = format!(
+            r#"
+func main() {{
+entry:
+    fd = open
+    call shared(0x10)
+    halt 0
+}}
+{SHARED}
+"#
+        );
+        let report = verify_pair(&t_src, b"A");
+        match &report.verdict {
+            Verdict::NotTriggerable { reason } => {
+                assert_eq!(*reason, NotTriggerableReason::UnsatisfiableConstraints)
+            }
+            other => panic!("expected Type-III/unsat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failure_when_cfg_unrecoverable() {
+        // T dispatches through a computed goto with no address-taken
+        // candidates (the Idx-15 shape).
+        let t_src = format!(
+            r#"
+func main() {{
+entry:
+    t = 0xB10C_0000_0000_0002
+    ijmp t
+unreached:
+    fd = open
+    b = getc fd
+    call shared(b)
+    halt 0
+}}
+{SHARED}
+"#
+        );
+        let report = verify_pair(&t_src, b"A");
+        match &report.verdict {
+            Verdict::Failure {
+                reason: FailureReason::CfgConstruction(e),
+            } => assert_eq!(e.func, "main"),
+            other => panic!("expected CFG failure, got {other:?}"),
+        }
+        assert!(!report.verdict.verified());
+    }
+
+    #[test]
+    fn failure_when_poc_does_not_crash_s() {
+        let t_src = format!("func main() {{\nentry:\n halt 0\n}}\n{SHARED}");
+        let report = verify_pair(&t_src, b"Z");
+        assert!(matches!(
+            report.verdict,
+            Verdict::Failure {
+                reason: FailureReason::PocDoesNotCrashS { exit_code: 0 }
+            }
+        ));
+    }
+
+    #[test]
+    fn failure_when_ep_missing_in_t() {
+        let t = parse_program("func main() {\nentry:\n halt 0\n}\n").unwrap();
+        let s = s_program();
+        let poc = PocFile::from(&b"A"[..]);
+        let shared = vec!["shared".to_string()];
+        let input = SoftwarePairInput {
+            s: &s,
+            t: &t,
+            poc: &poc,
+            shared: &shared,
+        };
+        let report = verify(&input, &PipelineConfig::default());
+        assert!(matches!(
+            report.verdict,
+            Verdict::Failure {
+                reason: FailureReason::EpMissingInT { .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn report_collects_phase_statistics() {
+        let t_src = format!(
+            r#"
+func main() {{
+entry:
+    fd = open
+    b = getc fd
+    call shared(b)
+    halt 0
+}}
+{SHARED}
+"#
+        );
+        let report = verify_pair(&t_src, b"A");
+        assert!(report.p1_insts > 0);
+        assert!(report.p4_insts > 0);
+        assert!(report.symex_stats.is_some());
+        assert_eq!(report.ep_entries, 1);
+        assert!(report.s_crash.is_some());
+        assert!(report.t_crash.is_some());
+        assert!(report.poc_prime().is_some());
+    }
+}

@@ -1,0 +1,247 @@
+//! Portfolio verification and patch prioritisation — §VII "Practical
+//! usage" made operational.
+//!
+//! "Assume that a developer has confirmed that several pieces of
+//! propagated vulnerable code exist in their software. At this point, they
+//! can use OCTOPOCS to determine which vulnerabilities need to be patched
+//! more urgently (i.e., they can prioritize vulnerability patches)."
+//!
+//! [`verify_portfolio`] runs the pipeline over a set of jobs (in parallel
+//! — verification of independent pairs shares nothing) and returns the
+//! results ordered by patch urgency: demonstrated-triggerable clones
+//! first (most severe crash class leading), then verification failures
+//! (unknown risk), then verified-safe clones.
+
+use crossbeam::thread;
+
+use crate::config::PipelineConfig;
+use crate::pipeline::{verify, SoftwarePairInput, VerificationReport};
+use crate::verdict::Verdict;
+
+/// One named verification job.
+#[derive(Debug, Clone, Copy)]
+pub struct Job<'a> {
+    /// Display name (e.g. "CVE-2016-10095 → opj_compress").
+    pub name: &'a str,
+    /// The pipeline inputs.
+    pub input: SoftwarePairInput<'a>,
+}
+
+/// The urgency bucket a verified job lands in (ascending = more urgent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Urgency {
+    /// Triggered with a memory-corruption class crash (CWE-119 /
+    /// CWE-190): patch immediately.
+    TriggeredCorruption,
+    /// Triggered with any other crash class (DoS-style): patch next.
+    TriggeredOther,
+    /// Verification failed — the risk is unknown; investigate manually.
+    Unknown,
+    /// Verified not triggerable — "it must be patched in the end" but can
+    /// wait.
+    VerifiedSafe,
+}
+
+impl Urgency {
+    /// Classifies one verdict.
+    pub fn of(verdict: &Verdict) -> Urgency {
+        match verdict {
+            Verdict::Triggered { crash_class, .. } => match *crash_class {
+                "CWE-119" | "CWE-190" => Urgency::TriggeredCorruption,
+                _ => Urgency::TriggeredOther,
+            },
+            Verdict::Failure { .. } => Urgency::Unknown,
+            Verdict::NotTriggerable { .. } => Urgency::VerifiedSafe,
+        }
+    }
+
+    /// Human-readable recommendation.
+    pub fn recommendation(self) -> &'static str {
+        match self {
+            Urgency::TriggeredCorruption => "patch immediately (exploitable memory corruption)",
+            Urgency::TriggeredOther => "patch soon (demonstrated denial of service)",
+            Urgency::Unknown => "investigate manually (verification failed)",
+            Urgency::VerifiedSafe => "schedule routine patch (verified not triggerable)",
+        }
+    }
+}
+
+/// One entry of the prioritised report.
+#[derive(Debug)]
+pub struct PortfolioEntry {
+    /// Job name.
+    pub name: String,
+    /// Urgency bucket.
+    pub urgency: Urgency,
+    /// The full verification report.
+    pub report: VerificationReport,
+}
+
+/// Verifies every job (in parallel, up to `threads` at a time) and
+/// returns the entries sorted most-urgent-first.
+///
+/// # Panics
+/// Panics if a worker thread panics (propagated), which only happens on
+/// internal invariant violations — `verify` itself never panics on
+/// malformed inputs.
+pub fn verify_portfolio(
+    jobs: &[Job<'_>],
+    config: &PipelineConfig,
+    threads: usize,
+) -> Vec<PortfolioEntry> {
+    let threads = threads.max(1);
+    let mut reports: Vec<Option<(String, VerificationReport)>> = Vec::new();
+    reports.resize_with(jobs.len(), || None);
+
+    thread::scope(|scope| {
+        for (chunk_jobs, chunk_out) in jobs
+            .chunks(jobs.len().div_ceil(threads).max(1))
+            .zip(reports.chunks_mut(jobs.len().div_ceil(threads).max(1)))
+        {
+            scope.spawn(move |_| {
+                for (job, slot) in chunk_jobs.iter().zip(chunk_out.iter_mut()) {
+                    let report = verify(&job.input, config);
+                    *slot = Some((job.name.to_string(), report));
+                }
+            });
+        }
+    })
+    .expect("portfolio worker panicked");
+
+    let mut entries: Vec<PortfolioEntry> = reports
+        .into_iter()
+        .map(|slot| {
+            let (name, report) = slot.expect("every job produced a report");
+            PortfolioEntry {
+                name,
+                urgency: Urgency::of(&report.verdict),
+                report,
+            }
+        })
+        .collect();
+    entries.sort_by_key(|e| e.urgency);
+    entries
+}
+
+/// Renders the prioritised report as plain text.
+pub fn render_portfolio(entries: &[PortfolioEntry]) -> String {
+    let mut out = String::new();
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>2}. {:<40} {:<10} — {}\n",
+            i + 1,
+            e.name,
+            e.report.verdict.type_label(),
+            e.urgency.recommendation()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octo_ir::parse::parse_program;
+    use octo_poc::PocFile;
+
+    const SHARED: &str = r#"
+func decode(fd) {
+entry:
+    v = getc fd
+    c = eq v, 0x41
+    br c, boom, fine
+boom:
+    buf = alloc 4
+    store.1 buf + 4, v
+    jmp fine
+fine:
+    ret
+}
+"#;
+
+    fn s_prog() -> octo_ir::Program {
+        parse_program(&format!(
+            "func main() {{\nentry:\n fd = open\n call decode(fd)\n halt 0\n}}\n{SHARED}"
+        ))
+        .expect("parses")
+    }
+
+    fn t_triggered() -> octo_ir::Program {
+        s_prog()
+    }
+
+    fn t_safe() -> octo_ir::Program {
+        parse_program(&format!("func main() {{\nentry:\n halt 0\n}}\n{SHARED}")).expect("parses")
+    }
+
+    #[test]
+    fn portfolio_sorts_by_urgency() {
+        let s = s_prog();
+        let t1 = t_triggered();
+        let t2 = t_safe();
+        let poc = PocFile::from(&b"A"[..]);
+        let shared = vec!["decode".to_string()];
+        let jobs = vec![
+            Job {
+                name: "safe-clone",
+                input: SoftwarePairInput {
+                    s: &s,
+                    t: &t2,
+                    poc: &poc,
+                    shared: &shared,
+                },
+            },
+            Job {
+                name: "live-clone",
+                input: SoftwarePairInput {
+                    s: &s,
+                    t: &t1,
+                    poc: &poc,
+                    shared: &shared,
+                },
+            },
+        ];
+        let entries = verify_portfolio(&jobs, &PipelineConfig::default(), 2);
+        assert_eq!(entries.len(), 2);
+        // The triggered clone must sort first.
+        assert_eq!(entries[0].name, "live-clone");
+        assert_eq!(entries[0].urgency, Urgency::TriggeredCorruption);
+        assert_eq!(entries[1].name, "safe-clone");
+        assert_eq!(entries[1].urgency, Urgency::VerifiedSafe);
+        let text = render_portfolio(&entries);
+        assert!(text.contains("patch immediately"), "{text}");
+        assert!(text.contains("verified not triggerable"), "{text}");
+    }
+
+    #[test]
+    fn single_thread_and_many_threads_agree() {
+        let s = s_prog();
+        let t = t_triggered();
+        let poc = PocFile::from(&b"A"[..]);
+        let shared = vec!["decode".to_string()];
+        let job = Job {
+            name: "only",
+            input: SoftwarePairInput {
+                s: &s,
+                t: &t,
+                poc: &poc,
+                shared: &shared,
+            },
+        };
+        let jobs = vec![job; 5];
+        let a = verify_portfolio(&jobs, &PipelineConfig::default(), 1);
+        let b = verify_portfolio(&jobs, &PipelineConfig::default(), 8);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.urgency, y.urgency);
+            assert_eq!(x.report.verdict.type_label(), y.report.verdict.type_label());
+        }
+    }
+
+    #[test]
+    fn urgency_ordering_is_total() {
+        assert!(Urgency::TriggeredCorruption < Urgency::TriggeredOther);
+        assert!(Urgency::TriggeredOther < Urgency::Unknown);
+        assert!(Urgency::Unknown < Urgency::VerifiedSafe);
+    }
+}

@@ -1,0 +1,172 @@
+//! Preprocessing: identify `ep` from the crash backtrace of `S`.
+//!
+//! Paper §III: run `S` on `poc`, capture the call stack at the crash (the
+//! glibc `backtrace()` substitute), and pick the function that (1) belongs
+//! to `ℓ` and (2) is the bottom-most such function on the stack — i.e. the
+//! *first* function of `ℓ` entered while triggering `v`.
+
+use std::fmt;
+
+use octo_ir::{FuncId, Program};
+use octo_poc::PocFile;
+use octo_vm::{CrashReport, Limits, RunOutcome, Vm};
+
+/// Why preprocessing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PreprocessError {
+    /// `poc` does not crash `S`.
+    NoCrash {
+        /// Exit code of the clean run.
+        exit_code: u64,
+    },
+    /// The crash stack contains no function of `ℓ`.
+    NoSharedFrame,
+    /// None of the `ℓ` names exist in `S`.
+    SharedSetEmpty,
+}
+
+impl fmt::Display for PreprocessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PreprocessError::NoCrash { exit_code } => {
+                write!(f, "poc does not crash S (exit {exit_code})")
+            }
+            PreprocessError::NoSharedFrame => {
+                f.write_str("crash backtrace contains no shared function")
+            }
+            PreprocessError::SharedSetEmpty => f.write_str("no shared function name resolves in S"),
+        }
+    }
+}
+
+impl std::error::Error for PreprocessError {}
+
+/// The preprocessing result.
+#[derive(Debug, Clone)]
+pub struct EpInfo {
+    /// `ep` in `S`'s function namespace.
+    pub ep: FuncId,
+    /// `ep`'s name (identical in `T`, since the code was cloned).
+    pub ep_name: String,
+    /// The crash that `poc` causes in `S`.
+    pub s_crash: CrashReport,
+    /// Instructions the reference run executed.
+    pub insts: u64,
+}
+
+/// Runs `S` on `poc` and identifies `ep`.
+///
+/// # Errors
+/// See [`PreprocessError`].
+pub fn identify_ep(
+    s: &Program,
+    poc: &PocFile,
+    shared: &[String],
+    limits: Limits,
+) -> Result<EpInfo, PreprocessError> {
+    let shared_ids = s.resolve_names(shared.iter().map(String::as_str));
+    if shared_ids.is_empty() {
+        return Err(PreprocessError::SharedSetEmpty);
+    }
+    let mut vm = Vm::new(s, poc.bytes()).with_limits(limits);
+    match vm.run() {
+        RunOutcome::Exit(exit_code) => Err(PreprocessError::NoCrash { exit_code }),
+        RunOutcome::Crash(report) => {
+            let ep = report
+                .backtrace
+                .first_in(&shared_ids)
+                .ok_or(PreprocessError::NoSharedFrame)?;
+            Ok(EpInfo {
+                ep,
+                ep_name: s.func(ep).name.clone(),
+                s_crash: report,
+                insts: vm.insts_executed(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octo_ir::parse::parse_program;
+
+    const NESTED: &str = r#"
+func main() {
+entry:
+    fd = open
+    b = getc fd
+    call outer(b)
+    halt 0
+}
+func outer(v) {
+entry:
+    call inner(v)
+    ret
+}
+func inner(v) {
+entry:
+    c = eq v, 0x41
+    br c, boom, fine
+boom:
+    trap 1
+fine:
+    ret
+}
+"#;
+
+    #[test]
+    fn picks_bottommost_shared_function() {
+        let s = parse_program(NESTED).unwrap();
+        // Both outer and inner are shared: ep must be `outer` (first of ℓ
+        // on the stack).
+        let info = identify_ep(
+            &s,
+            &PocFile::from(&b"A"[..]),
+            &["outer".into(), "inner".into()],
+            Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(info.ep_name, "outer");
+        assert_eq!(info.s_crash.kind.class(), "TRAP");
+    }
+
+    #[test]
+    fn only_inner_shared() {
+        let s = parse_program(NESTED).unwrap();
+        let info = identify_ep(
+            &s,
+            &PocFile::from(&b"A"[..]),
+            &["inner".into()],
+            Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(info.ep_name, "inner");
+    }
+
+    #[test]
+    fn no_crash_is_error() {
+        let s = parse_program(NESTED).unwrap();
+        let err = identify_ep(
+            &s,
+            &PocFile::from(&b"B"[..]),
+            &["inner".into()],
+            Limits::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, PreprocessError::NoCrash { exit_code: 0 });
+    }
+
+    #[test]
+    fn crash_outside_shared_is_error() {
+        let s = parse_program(NESTED).unwrap();
+        let err = identify_ep(
+            &s,
+            &PocFile::from(&b"A"[..]),
+            &["unrelated".into()],
+            Limits::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, PreprocessError::SharedSetEmpty);
+    }
+}

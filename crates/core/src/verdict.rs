@@ -1,0 +1,221 @@
+//! Verification verdicts — the Table II result taxonomy.
+
+use std::fmt;
+
+use octo_cfg::CfgError;
+use octo_poc::PocFile;
+
+/// Why a triggered verdict is Type-I or Type-II (paper §V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriggerKind {
+    /// The guiding input of `poc` and `poc'` coincide: the original PoC
+    /// already satisfies every constraint `T` imposes (Idx 1–6).
+    TypeI,
+    /// The guiding input had to change (e.g. a container-format re-wrap,
+    /// Idx 7–9).
+    TypeII,
+}
+
+impl fmt::Display for TriggerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TriggerKind::TypeI => f.write_str("Type-I"),
+            TriggerKind::TypeII => f.write_str("Type-II"),
+        }
+    }
+}
+
+/// Why the vulnerability is verified *not triggerable* (Type-III).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NotTriggerableReason {
+    /// `ep` is never called from the entry of `T` (verdict case ii).
+    EpNotCalled,
+    /// Directed execution reached a program-dead state: no feasible path
+    /// leads into `ℓ` (verdict case iii).
+    ProgramDead,
+    /// The combined constraints are unsatisfiable — e.g. `T` reuses the
+    /// vulnerable function "in an environment in which the tag value used
+    /// in causing the vulnerability could not be delivered" (Idx 10–12),
+    /// or a patch-added validation conflicts with the crash primitives
+    /// (Idx 13–14).
+    UnsatisfiableConstraints,
+}
+
+impl fmt::Display for NotTriggerableReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NotTriggerableReason::EpNotCalled => f.write_str("ep is not called in T"),
+            NotTriggerableReason::ProgramDead => f.write_str("program-dead state reached"),
+            NotTriggerableReason::UnsatisfiableConstraints => {
+                f.write_str("constraints unsatisfiable")
+            }
+        }
+    }
+}
+
+/// Why verification failed (neither triggered nor verified-safe).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureReason {
+    /// CFG recovery of `T` failed — the paper's Idx-15 case ("angr did not
+    /// correctly create the CFG of pdfinfo").
+    CfgConstruction(CfgError),
+    /// A loop state exceeded θ on every candidate path (§III-D's declared
+    /// failure mode).
+    LoopBudget,
+    /// A step or solver budget ran out without a verdict.
+    Budget,
+    /// The original PoC did not crash `S` — the input pair is invalid.
+    PocDoesNotCrashS {
+        /// Exit code of the clean run.
+        exit_code: u64,
+    },
+    /// `S` crashed outside `ℓ`: the shared-function set does not cover the
+    /// vulnerability.
+    EpNotOnCrashStack,
+    /// The shared entry point does not exist in `T` under its clone name.
+    EpMissingInT {
+        /// The missing function name.
+        name: String,
+    },
+    /// `poc'` was generated but did not crash `T` in the shared code — the
+    /// reform was wrong (this is how the context-free Table III baseline
+    /// fails).
+    PocPrimeDidNotCrash {
+        /// The generated (non-working) PoC, for diagnosis.
+        poc_prime: PocFile,
+    },
+}
+
+impl fmt::Display for FailureReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureReason::CfgConstruction(e) => write!(f, "CFG construction failed: {e}"),
+            FailureReason::LoopBudget => f.write_str("loop state exceeded θ"),
+            FailureReason::Budget => f.write_str("analysis budget exhausted"),
+            FailureReason::PocDoesNotCrashS { exit_code } => {
+                write!(f, "original poc does not crash S (exit {exit_code})")
+            }
+            FailureReason::EpNotOnCrashStack => {
+                f.write_str("S crashed outside the shared code area")
+            }
+            FailureReason::EpMissingInT { name } => {
+                write!(f, "shared entry point `{name}` missing in T")
+            }
+            FailureReason::PocPrimeDidNotCrash { .. } => {
+                f.write_str("generated poc' did not crash T")
+            }
+        }
+    }
+}
+
+/// The verification result for one `(S, T, poc, ℓ)` input.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// The propagated vulnerability is still triggerable; `poc'` is the
+    /// working reformed PoC. Requires immediate patching.
+    Triggered {
+        /// Type-I or Type-II.
+        kind: TriggerKind,
+        /// The reformed PoC that crashes `T`.
+        poc_prime: PocFile,
+        /// Crash class observed in `T` (CWE-style label).
+        crash_class: &'static str,
+    },
+    /// Verified: the propagated vulnerable code cannot be triggered in `T`
+    /// (Type-III).
+    NotTriggerable {
+        /// Which of the paper's conditions established it.
+        reason: NotTriggerableReason,
+    },
+    /// Verification failed.
+    Failure {
+        /// The failure cause.
+        reason: FailureReason,
+    },
+}
+
+impl Verdict {
+    /// Whether a working `poc'` was produced (the Table II `poc'` column).
+    pub fn poc_generated(&self) -> bool {
+        matches!(self, Verdict::Triggered { .. })
+    }
+
+    /// Whether verification succeeded (triggered *or* verified-safe — the
+    /// Table II "Verification" column).
+    pub fn verified(&self) -> bool {
+        !matches!(self, Verdict::Failure { .. })
+    }
+
+    /// Short label for table rendering (`Type-I`, `Type-II`, `Type-III`,
+    /// `Failure`).
+    pub fn type_label(&self) -> &'static str {
+        match self {
+            Verdict::Triggered {
+                kind: TriggerKind::TypeI,
+                ..
+            } => "Type-I",
+            Verdict::Triggered {
+                kind: TriggerKind::TypeII,
+                ..
+            } => "Type-II",
+            Verdict::NotTriggerable { .. } => "Type-III",
+            Verdict::Failure { .. } => "Failure",
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Triggered {
+                kind, crash_class, ..
+            } => write!(f, "triggered ({kind}, crash {crash_class})"),
+            Verdict::NotTriggerable { reason } => write!(f, "not triggerable ({reason})"),
+            Verdict::Failure { reason } => write!(f, "verification failure ({reason})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_predicates() {
+        let t = Verdict::Triggered {
+            kind: TriggerKind::TypeI,
+            poc_prime: PocFile::default(),
+            crash_class: "CWE-119",
+        };
+        assert_eq!(t.type_label(), "Type-I");
+        assert!(t.poc_generated());
+        assert!(t.verified());
+
+        let n = Verdict::NotTriggerable {
+            reason: NotTriggerableReason::EpNotCalled,
+        };
+        assert_eq!(n.type_label(), "Type-III");
+        assert!(!n.poc_generated());
+        assert!(n.verified());
+
+        let x = Verdict::Failure {
+            reason: FailureReason::Budget,
+        };
+        assert_eq!(x.type_label(), "Failure");
+        assert!(!x.verified());
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let v = Verdict::NotTriggerable {
+            reason: NotTriggerableReason::UnsatisfiableConstraints,
+        };
+        assert!(v.to_string().contains("unsatisfiable"));
+        let v = Verdict::Failure {
+            reason: FailureReason::EpMissingInT {
+                name: "decode".into(),
+            },
+        };
+        assert!(v.to_string().contains("decode"));
+    }
+}

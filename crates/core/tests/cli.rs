@@ -1,0 +1,231 @@
+//! End-to-end test of the `octopocs` CLI binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const S_SRC: &str = r#"
+func main() {
+entry:
+    fd = open
+    call decode(fd)
+    halt 0
+}
+func decode(fd) {
+entry:
+    v = getc fd
+    c = eq v, 0x41
+    br c, boom, fine
+boom:
+    trap 1
+fine:
+    ret
+}
+"#;
+
+const T_SRC: &str = r#"
+func main() {
+entry:
+    fd = open
+    h = getc fd
+    ok = eq h, 0x54
+    br ok, go, rej
+go:
+    call decode(fd)
+    halt 0
+rej:
+    halt 1
+}
+func decode(fd) {
+entry:
+    v = getc fd
+    c = eq v, 0x41
+    br c, boom, fine
+boom:
+    trap 1
+fine:
+    ret
+}
+"#;
+
+const T_SAFE_SRC: &str = r#"
+func main() {
+entry:
+    halt 0
+}
+func decode(fd) {
+entry:
+    ret
+}
+"#;
+
+struct Workdir {
+    dir: PathBuf,
+}
+
+impl Workdir {
+    fn new(tag: &str) -> Workdir {
+        let dir =
+            std::env::temp_dir().join(format!("octopocs-cli-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create workdir");
+        Workdir { dir }
+    }
+
+    fn write(&self, name: &str, contents: &[u8]) -> String {
+        let path = self.dir.join(name);
+        std::fs::write(&path, contents).expect("write input file");
+        path.to_string_lossy().into_owned()
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.dir.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Workdir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_octopocs"))
+}
+
+#[test]
+fn triggered_pair_exits_zero_and_writes_poc_prime() {
+    let wd = Workdir::new("triggered");
+    let s = wd.write("s.mir", S_SRC.as_bytes());
+    let t = wd.write("t.mir", T_SRC.as_bytes());
+    let poc = wd.write("poc.bin", b"A");
+    let out_path = wd.path("poc_prime.bin");
+
+    let output = cli()
+        .args([
+            "--s", &s, "--t", &t, "--poc", &poc, "--shared", "decode", "--out", &out_path,
+        ])
+        .output()
+        .expect("spawn cli");
+    assert!(
+        output.status.success(),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let poc_prime = std::fs::read(&out_path).expect("poc' written");
+    assert_eq!(poc_prime[0], 0x54, "guiding header byte");
+    assert_eq!(poc_prime[1], 0x41, "crash primitive byte");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("triggered"), "{stdout}");
+}
+
+#[test]
+fn not_triggerable_pair_exits_one() {
+    let wd = Workdir::new("safe");
+    let s = wd.write("s.mir", S_SRC.as_bytes());
+    let t = wd.write("t.mir", T_SAFE_SRC.as_bytes());
+    let poc = wd.write("poc.bin", b"A");
+    let output = cli()
+        .args(["--s", &s, "--t", &t, "--poc", &poc, "--shared", "decode"])
+        .output()
+        .expect("spawn cli");
+    assert_eq!(output.status.code(), Some(1), "{output:?}");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("not triggerable"), "{stdout}");
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let wd = Workdir::new("json");
+    let s = wd.write("s.mir", S_SRC.as_bytes());
+    let t = wd.write("t.mir", T_SRC.as_bytes());
+    let poc = wd.write("poc.bin", b"A");
+    let output = cli()
+        .args([
+            "--s", &s, "--t", &t, "--poc", &poc, "--shared", "decode", "--json",
+        ])
+        .output()
+        .expect("spawn cli");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("\"verdict\":\"Type-II\""), "{stdout}");
+    assert!(stdout.contains("\"poc_generated\":true"), "{stdout}");
+    assert!(stdout.contains("\"ep\":\"decode\""), "{stdout}");
+}
+
+#[test]
+fn usage_errors_exit_three() {
+    let output = cli().args(["--s", "only.mir"]).output().expect("spawn cli");
+    assert_eq!(output.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn missing_file_reports_error() {
+    let wd = Workdir::new("missing");
+    let s = wd.write("s.mir", S_SRC.as_bytes());
+    let output = cli()
+        .args([
+            "--s",
+            &s,
+            "--t",
+            "/nonexistent/t.mir",
+            "--poc",
+            "/nonexistent/p.bin",
+            "--shared",
+            "decode",
+        ])
+        .output()
+        .expect("spawn cli");
+    assert_eq!(output.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+}
+
+#[test]
+fn parse_error_in_program_is_reported_with_line() {
+    let wd = Workdir::new("badsyntax");
+    let s = wd.write(
+        "s.mir",
+        b"func main() {\nentry:\n  x = bogus y\n  ret x\n}\n",
+    );
+    let t = wd.write("t.mir", T_SRC.as_bytes());
+    let poc = wd.write("poc.bin", b"A");
+    let output = cli()
+        .args(["--s", &s, "--t", &t, "--poc", &poc, "--shared", "decode"])
+        .output()
+        .expect("spawn cli");
+    assert_eq!(output.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("line 3"), "{stderr}");
+}
+
+#[test]
+fn minimize_flag_shrinks_poc_prime() {
+    let wd = Workdir::new("minimize");
+    let s = wd.write("s.mir", S_SRC.as_bytes());
+    let t = wd.write("t.mir", T_SRC.as_bytes());
+    let poc = wd.write("poc.bin", b"A");
+    let out_path = wd.path("poc_min.bin");
+    let output = cli()
+        .args([
+            "--s",
+            &s,
+            "--t",
+            &t,
+            "--poc",
+            &poc,
+            "--shared",
+            "decode",
+            "--minimize",
+            "--out",
+            &out_path,
+        ])
+        .output()
+        .expect("spawn cli");
+    assert!(output.status.success(), "{output:?}");
+    let min = std::fs::read(&out_path).expect("written");
+    // poc' was padded to poc.len()+slack; minimisation trims to 2 bytes.
+    assert_eq!(min, vec![0x54, 0x41]);
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("minimized"), "{stdout}");
+}

@@ -1,0 +1,269 @@
+//! The shared vulnerable functions `ℓ` — the code that was cloned from the
+//! original software into the propagated software.
+//!
+//! Each fragment is MicroIR source text. A pair's `S` and `T` programs are
+//! assembled by concatenating their own driver code with the *identical*
+//! fragment text, which is precisely the situation a vulnerable-clone
+//! detector (VUDDY) reports: byte-identical function bodies in two code
+//! bases. The planted defect in each fragment matches the CWE class of its
+//! Table II rows.
+
+/// `jpeg_decode_huffman` — CVE-2017-0700 shape (JPEG-compressor → libgdx,
+/// zxing; Table II Idx 1–2). A huffman table declares its own entry count;
+/// counts above the fixed table size overflow the heap buffer.
+pub const JPEG_HUFFMAN: &str = r#"
+func jpeg_decode_huffman(fd) {
+entry:
+    count = getc fd
+    tbl = alloc 16
+    i = 0
+    jmp loop
+loop:
+    done = uge i, count
+    br done, fin, body
+body:
+    v = getc fd
+    p = add tbl, i
+    store.1 p, v
+    i = add i, 1
+    jmp loop
+fin:
+    ret count
+}
+"#;
+
+/// `tj_decode` — CVE-2018-20330 shape (libjpeg-turbo tjbench → mozjpeg
+/// tjbench; Idx 5, CWE-190). The scan header's width×height product is
+/// computed in a 16-bit checked multiply; large dimensions overflow.
+pub const TJ_DECODE: &str = r#"
+func tj_decode(fd) {
+entry:
+    wbuf = alloc 4
+    n = read fd, wbuf, 4
+    w = load.2 wbuf
+    h = load.2 wbuf + 2
+    total = cmul.2 w, h
+    out = alloc 64
+    lim = ule total, 64
+    br lim, small, clamp
+small:
+    store.2 out, total
+    ret total
+clamp:
+    store.2 out, 64
+    ret 64
+}
+"#;
+
+/// `xref_parse` — CVE-2017-18267 shape (Poppler pdftops → Xpdf pdftops;
+/// Idx 3, CWE-835). A malformed xref entry byte makes the whitespace
+/// skipper seek back to the same position forever: an infinite loop.
+pub const XREF_PARSE: &str = r#"
+func xref_parse(fd) {
+entry:
+    off1 = getc fd
+    off2 = getc fd
+    jmp skip_ws
+skip_ws:
+    pos = tell fd
+    b = getc fd
+    bad = eq b, 0xFF
+    br bad, rewind, check_ws
+rewind:
+    seek fd, pos
+    jmp skip_ws
+check_ws:
+    isws = eq b, 0x20
+    br isws, skip_ws, done
+done:
+    r = add off1, off2
+    ret r
+}
+"#;
+
+/// `avc_parse_sps` — CVE-2018-11102 shape (avconv → ffmpeg; Idx 4,
+/// CWE-119). The sequence-parameter frame declares a row width that is
+/// copied into a fixed 16-byte stack buffer without a bound check.
+pub const AVC_PARSE_SPS: &str = r#"
+func avc_parse_sps(fd) {
+entry:
+    hbuf = alloc 4
+    n = read fd, hbuf, 4
+    w = load.2 hbuf
+    h = load.2 hbuf + 2
+    row = salloc 16
+    i = 0
+    jmp copy
+copy:
+    done = uge i, w
+    br done, fin, body
+body:
+    v = getc fd
+    p = add row, i
+    store.1 p, v
+    i = add i, 1
+    jmp copy
+fin:
+    ret h
+}
+"#;
+
+/// `pdf_read_obj` — CVE-2019-9878 shape (pdfalto → Xpdf; Idx 6 and 14,
+/// CWE-119). A stream object's declared data length is copied into a
+/// fixed 64-byte buffer.
+pub const PDF_READ_OBJ: &str = r#"
+func pdf_read_obj(fd) {
+entry:
+    lbuf = alloc 2
+    n = read fd, lbuf, 2
+    dlen = load.2 lbuf
+    buf = alloc 64
+    i = 0
+    jmp copy
+copy:
+    done = uge i, dlen
+    br done, fin, body
+body:
+    v = getc fd
+    p = add buf, i
+    store.1 p, v
+    i = add i, 1
+    jmp copy
+fin:
+    ret dlen
+}
+"#;
+
+/// `opj_read_header` — ghostscript-BZ697463 shape (OpenJPEG codebase:
+/// ghostscript ↔ opj_dump ↔ MuPDF; Idx 7, 8, 13). A zero component count
+/// combined with the encoder's raw-mode sentinel tile dimensions
+/// (`0x5A5A × 0xA5A5`) leaves the component table NULL; the decoder
+/// dereferences it. The sentinel values stand in for the real
+/// vulnerability's precisely-structured codestream state: random mutation
+/// has to hit five exact bytes, as in the original CVE's marker sequence.
+pub const OPJ_READ_HEADER: &str = r#"
+func opj_read_header(fd) {
+entry:
+    hbuf = alloc 5
+    n = read fd, hbuf, 5
+    ncomp = load.1 hbuf
+    tw = load.2 hbuf + 1
+    th = load.2 hbuf + 3
+    c1 = eq ncomp, 0
+    br c1, chk2, valid
+chk2:
+    c2 = eq tw, 0x5A5A
+    br c2, chk3, valid
+chk3:
+    c3 = eq th, 0xA5A5
+    br c3, null_path, valid
+null_path:
+    v = load.4 0
+    ret v
+valid:
+    comps = alloc 32
+    store.1 comps, ncomp
+    ret ncomp
+}
+"#;
+
+/// `tiff_vget_field` — CVE-2016-10095 shape (LibTIFF tiffsplit →
+/// opj_compress, libsdl2, libgdiplus; Idx 10–12, CWE-119). "The
+/// vulnerability appears when tag == 0x13d": that case writes past a
+/// small stack buffer (Listing 1 of the paper).
+pub const TIFF_VGET_FIELD: &str = r#"
+func tiff_vget_field(tag, value) {
+entry:
+    switch tag { 0x13d -> vuln, 0x100 -> benign, 0x101 -> benign, 0x102 -> benign, _ -> benign }
+vuln:
+    pagebuf = salloc 8
+    store.4 pagebuf + 16, value
+    ret 1
+benign:
+    slot = alloc 8
+    store.4 slot, value
+    ret 0
+}
+"#;
+
+/// `read_image` — CVE-2011-2896 shape (gif2png → gif2png artificial;
+/// Idx 9, heap CWE-119). Each image data block's size byte is trusted and
+/// the block is copied into a fixed 64-byte heap buffer.
+pub const READ_IMAGE: &str = r#"
+func read_image(fd) {
+entry:
+    size = getc fd
+    buf = alloc 64
+    i = 0
+    jmp copy
+copy:
+    done = uge i, size
+    br done, fin, body
+body:
+    v = getc fd
+    p = add buf, i
+    store.1 p, v
+    i = add i, 1
+    jmp copy
+fin:
+    ret size
+}
+"#;
+
+/// `pdf_stream_len` — CVE-2018-21009 shape (pdf2htmlEX → Poppler pdfinfo;
+/// Idx 15, CWE-190). The stream length is the 16-bit checked product of a
+/// count and a scale factor read from the object.
+pub const PDF_STREAM_LEN: &str = r#"
+func pdf_stream_len(fd) {
+entry:
+    hbuf = alloc 4
+    n = read fd, hbuf, 4
+    count = load.2 hbuf
+    scale = load.2 hbuf + 2
+    total = cmul.2 count, scale
+    ret total
+}
+"#;
+
+/// Every fragment, with the name of the function it defines (`ep`
+/// candidates for the pairs that use it).
+pub const ALL_FRAGMENTS: [(&str, &str); 9] = [
+    ("jpeg_decode_huffman", JPEG_HUFFMAN),
+    ("tj_decode", TJ_DECODE),
+    ("xref_parse", XREF_PARSE),
+    ("avc_parse_sps", AVC_PARSE_SPS),
+    ("pdf_read_obj", PDF_READ_OBJ),
+    ("opj_read_header", OPJ_READ_HEADER),
+    ("tiff_vget_field", TIFF_VGET_FIELD),
+    ("read_image", READ_IMAGE),
+    ("pdf_stream_len", PDF_STREAM_LEN),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octo_ir::parse::parse_program;
+
+    #[test]
+    fn every_fragment_parses_standalone() {
+        for (name, src) in ALL_FRAGMENTS {
+            let full = format!("func main() {{\nentry:\n halt 0\n}}\n{src}");
+            let p = parse_program(&full)
+                .unwrap_or_else(|e| panic!("fragment `{name}` does not parse: {e}"));
+            assert!(
+                p.func_by_name(name).is_some(),
+                "fragment `{name}` does not define its function"
+            );
+            octo_ir::validate::validate(&p)
+                .unwrap_or_else(|e| panic!("fragment `{name}` invalid: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn fragments_define_distinct_functions() {
+        let names: Vec<&str> = ALL_FRAGMENTS.iter().map(|(n, _)| *n).collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names, dedup);
+    }
+}

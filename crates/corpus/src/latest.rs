@@ -1,0 +1,64 @@
+//! "Latest version" variants (§V-B, experiment E6).
+//!
+//! The paper found three targets where the propagated vulnerability was
+//! still triggerable in the *latest* release at the time of writing:
+//! libgdx (Idx 1), pdftops of Xpdf (Idx 3), and tjbench of Mozilla mozjpeg
+//! (Idx 5). The maintainers were notified; Xpdf's fix received
+//! CVE-2020-35376. This module provides those latest-version targets —
+//! behaviourally identical to the evaluated versions, because upstream had
+//! not yet patched the clone.
+
+use crate::pairs::{pair_by_idx, Expected, SoftwarePair};
+
+/// The Table II indices with still-vulnerable latest versions.
+pub const LATEST_VULNERABLE_IDXS: [u32; 3] = [1, 3, 5];
+
+/// Returns the three §V-B latest-version pairs. Each is the corresponding
+/// Table II pair with the target relabelled as the latest release.
+pub fn latest_pairs() -> Vec<SoftwarePair> {
+    LATEST_VULNERABLE_IDXS
+        .iter()
+        .map(|&idx| {
+            let mut pair = pair_by_idx(idx).expect("known index");
+            pair.t_version = match idx {
+                1 => "latest (2020-01)",
+                3 => "4.02 (latest before CVE-2020-35376 fix)",
+                5 => "latest (2020-01)",
+                _ => unreachable!(),
+            };
+            // Still triggerable in the latest version.
+            debug_assert!(matches!(pair.expected, Expected::TypeI));
+            pair
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octo_vm::Vm;
+
+    #[test]
+    fn three_latest_targets() {
+        let latest = latest_pairs();
+        assert_eq!(latest.len(), 3);
+        let names: Vec<&str> = latest.iter().map(|p| p.t_name).collect();
+        assert_eq!(names, vec!["libgdx", "pdftops (Xpdf)", "tjbench (mozjpeg)"]);
+    }
+
+    #[test]
+    fn latest_versions_still_crash_on_reformable_input() {
+        // §V-B: the propagated vulnerability is still triggerable in the
+        // latest versions. Since these rows are Type-I, the original PoC
+        // itself demonstrates it.
+        for pair in latest_pairs() {
+            let out = Vm::new(&pair.t, pair.poc.bytes()).run();
+            let shared = pair.t.resolve_names(pair.shared.iter().map(String::as_str));
+            let in_shared = out
+                .crash()
+                .map(|c| c.backtrace.any_in(&shared))
+                .unwrap_or(false);
+            assert!(in_shared, "{} latest: {out:?}", pair.t_name);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # octo-corpus — the evaluation dataset of the paper.
+//!
+//! This crate materialises the 15 real-world software pairs of Table II as
+//! MicroIR programs: the original vulnerable software `S`, the propagated
+//! software `T`, the shared (cloned) function set `ℓ`, and the original
+//! malformed-file PoC for every row — plus the §V-B "latest version"
+//! variants and the §II-A PoC-type survey data.
+//!
+//! The substitution rationale (real CVE binaries → structurally equivalent
+//! MicroIR programs) is documented per row in `DESIGN.md`; the invariants
+//! that make the substitution meaningful are enforced by this crate's
+//! tests: every `S` crashes on its PoC *inside* `ℓ` with the row's CWE
+//! class, clones are byte-identical across `S` and `T`, and the rows
+//! flagged multi-entry really do enter `ep` multiple times.
+
+//!
+//! ```
+//! use octo_corpus::{all_pairs, Expected};
+//!
+//! let pairs = all_pairs();
+//! assert_eq!(pairs.len(), 15);
+//! // Table II's verdict distribution: 6 / 3 / 5 / 1.
+//! let triggered = pairs
+//!     .iter()
+//!     .filter(|p| p.expected.poc_generated())
+//!     .count();
+//! assert_eq!(triggered, 9);
+//! assert!(pairs.iter().any(|p| p.expected == Expected::Failure));
+//! ```
+#![warn(missing_docs)]
+
+pub mod fragments;
+pub mod latest;
+pub mod pairs;
+pub mod software;
+pub mod survey;
+
+pub use latest::latest_pairs;
+pub use pairs::{all_pairs, pair_by_idx, Expected, SoftwarePair};
+pub use survey::{summarize, survey_records, PocType, SurveySummary};

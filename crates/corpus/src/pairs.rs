@@ -1,0 +1,602 @@
+//! The 15 software pairs of Table II, with PoCs and expected outcomes.
+
+use octo_ir::parse::parse_program;
+use octo_ir::Program;
+use octo_poc::formats::{mini_avc, mini_gif, mini_j2k, mini_jpeg, mini_pdf, mini_tiff};
+use octo_poc::PocFile;
+
+use crate::software;
+
+/// The expected Table II classification of a pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expected {
+    /// Triggered; the original guiding input already fits `T`.
+    TypeI,
+    /// Triggered after reforming the guiding input.
+    TypeII,
+    /// Verified not triggerable.
+    TypeIII,
+    /// Verification fails (tooling limitation).
+    Failure,
+}
+
+impl Expected {
+    /// The label used in Table II.
+    pub fn label(self) -> &'static str {
+        match self {
+            Expected::TypeI => "Type-I",
+            Expected::TypeII => "Type-II",
+            Expected::TypeIII => "Type-III",
+            Expected::Failure => "Failure",
+        }
+    }
+
+    /// Whether the paper's `poc'` column is `O` for this row.
+    pub fn poc_generated(self) -> bool {
+        matches!(self, Expected::TypeI | Expected::TypeII)
+    }
+
+    /// Whether the paper's Verification column is `O`.
+    pub fn verified(self) -> bool {
+        !matches!(self, Expected::Failure)
+    }
+}
+
+/// One evaluated software pair (a Table II row).
+#[derive(Debug, Clone)]
+pub struct SoftwarePair {
+    /// Row index (1–15).
+    pub idx: u32,
+    /// Original software name.
+    pub s_name: &'static str,
+    /// Original software version.
+    pub s_version: &'static str,
+    /// Target software name.
+    pub t_name: &'static str,
+    /// Target software version.
+    pub t_version: &'static str,
+    /// Vulnerability identifier.
+    pub vuln_id: &'static str,
+    /// CWE class label (Table II "Type" column).
+    pub cwe: &'static str,
+    /// The original vulnerable software.
+    pub s: Program,
+    /// The propagated software.
+    pub t: Program,
+    /// Shared (cloned) function names — `ℓ`.
+    pub shared: Vec<String>,
+    /// The original PoC.
+    pub poc: PocFile,
+    /// Expected classification.
+    pub expected: Expected,
+    /// Whether `S` enters `ep` more than once for this PoC (the rows where
+    /// Table III's context-free baseline fails).
+    pub multi_entry: bool,
+}
+
+fn parse(name: &str, src: &str) -> Program {
+    let p = parse_program(src).unwrap_or_else(|e| panic!("corpus program `{name}`: {e}"));
+    octo_ir::validate::validate(&p)
+        .unwrap_or_else(|e| panic!("corpus program `{name}` invalid: {e:?}"));
+    p
+}
+
+/// The huffman-overflow PoC shared by Idx 1–2: a table that declares 20
+/// entries against a 16-entry buffer.
+fn poc_jpeg_huffman() -> PocFile {
+    let mut payload = vec![20u8];
+    payload.extend(std::iter::repeat(0x61).take(17));
+    PocFile::new(
+        mini_jpeg::Builder::new()
+            .segment(mini_jpeg::SEG_HUFF, &payload)
+            .build(),
+    )
+}
+
+/// The integer-overflow PoC of Idx 5: 512×512 overflows the 16-bit area.
+fn poc_tj_scan() -> PocFile {
+    PocFile::new(
+        mini_jpeg::Builder::new()
+            .segment(mini_jpeg::SEG_SCAN, &[0x00, 0x02, 0x00, 0x02])
+            .build(),
+    )
+}
+
+/// The infinite-loop PoC of Idx 3: the second xref entry carries the
+/// malformed `0xFF` byte that pins the whitespace skipper.
+fn poc_xref_loop() -> PocFile {
+    PocFile::new(
+        mini_pdf::Builder::new()
+            .object(mini_pdf::OBJ_XREF, &[0x01, 0x02, 0x0A])
+            .object(mini_pdf::OBJ_XREF, &[0x03, 0x04, 0xFF])
+            .build(),
+    )
+}
+
+/// The SPS-overflow PoC of Idx 4: the second sequence-parameter frame
+/// declares a 32-byte row against the 16-byte stack buffer.
+fn poc_avc_sps() -> PocFile {
+    let mut sps2 = vec![0x20, 0x00, 0x01, 0x00]; // w=32, h=1
+    sps2.extend(std::iter::repeat(0x44).take(16));
+    PocFile::new(
+        mini_avc::Builder::new()
+            .frame(mini_avc::FRAME_SPS, &[0x02, 0x00, 0x01, 0x00, 0xAA, 0xBB])
+            .frame(mini_avc::FRAME_SPS, &sps2)
+            .build(),
+    )
+}
+
+/// The stream-overflow PoC of Idx 6/14: an 80-byte payload against the
+/// 64-byte buffer.
+fn poc_pdf_stream_overflow() -> PocFile {
+    let mut payload = vec![0x50, 0x00]; // dlen = 80
+    payload.extend(std::iter::repeat(0x42).take(64));
+    PocFile::new(
+        mini_pdf::Builder::new()
+            .object(mini_pdf::OBJ_STREAM, &payload)
+            .build(),
+    )
+}
+
+/// The malformed embedded image of Idx 7/13: zero components with the
+/// sentinel tile inside a PDF container.
+fn poc_pdf_embedded_j2k() -> PocFile {
+    let img = mini_j2k::Builder::new()
+        .components(0)
+        .tile(0x5A5A, 0xA5A5)
+        .build();
+    PocFile::new(
+        mini_pdf::Builder::new()
+            .object(mini_pdf::OBJ_IMAGE, &img)
+            .build(),
+    )
+}
+
+/// The raw mini-J2K PoC of Idx 8.
+fn poc_raw_j2k() -> PocFile {
+    PocFile::new(
+        mini_j2k::Builder::new()
+            .components(0)
+            .tile(0x5A5A, 0xA5A5)
+            .build(),
+    )
+}
+
+/// The disclosed gif2png PoC of Idx 9: an *invalid* GIF version (the
+/// original binary never checks it) and an oversized data block.
+fn poc_gif_overflow() -> PocFile {
+    // A realistic image payload: one full benign block of pixel data
+    // (the disclosed PoC carried real image content), then the malformed
+    // block whose declared size exceeds the decoder's buffer.
+    let benign: Vec<u8> = (0..40u8).map(|i| i.wrapping_mul(7)).collect();
+    let mut big = vec![0u8; 16];
+    big.iter_mut().enumerate().for_each(|(i, b)| *b = i as u8);
+    PocFile::new(
+        mini_gif::Builder::new()
+            .version(*b"99a")
+            .block(&benign)
+            .block_oversized(0xFF, &big)
+            .build(),
+    )
+}
+
+/// The vulnerable-tag PoC of Idx 10–12: one directory entry with the
+/// `0x13d` tag of Listing 1.
+fn poc_tiff_tag() -> PocFile {
+    PocFile::new(
+        mini_tiff::Builder::new()
+            .entry(mini_tiff::VULN_TAG, 0xDEAD_BEEF)
+            .build(),
+    )
+}
+
+/// The checked-multiply overflow PoC of Idx 15: 0x300 × 0x200 exceeds the
+/// 16-bit stream length.
+fn poc_stream_len_overflow() -> PocFile {
+    PocFile::new(
+        mini_pdf::Builder::new()
+            .object(mini_pdf::OBJ_STREAM, &[0x00, 0x03, 0x00, 0x02])
+            .build(),
+    )
+}
+
+fn shared(names: &[&str]) -> Vec<String> {
+    names.iter().map(|s| s.to_string()).collect()
+}
+
+/// Builds one Table II row.
+#[allow(clippy::too_many_arguments)]
+fn pair(
+    idx: u32,
+    (s_name, s_version, s_src): (&'static str, &'static str, String),
+    (t_name, t_version, t_src): (&'static str, &'static str, String),
+    vuln_id: &'static str,
+    cwe: &'static str,
+    shared_fns: &[&str],
+    poc: PocFile,
+    expected: Expected,
+    multi_entry: bool,
+) -> SoftwarePair {
+    SoftwarePair {
+        idx,
+        s_name,
+        s_version,
+        t_name,
+        t_version,
+        vuln_id,
+        cwe,
+        s: parse(s_name, &s_src),
+        t: parse(t_name, &t_src),
+        shared: shared(shared_fns),
+        poc,
+        expected,
+        multi_entry,
+    }
+}
+
+/// All 15 pairs of Table II, in row order.
+pub fn all_pairs() -> Vec<SoftwarePair> {
+    vec![
+        pair(
+            1,
+            ("JPEG-compressor", "N/A", software::jpeg_compressor()),
+            ("libgdx", "1.9.10", software::libgdx()),
+            "CVE-2017-0700",
+            "No-CWE",
+            &["jpeg_decode_huffman"],
+            poc_jpeg_huffman(),
+            Expected::TypeI,
+            false,
+        ),
+        pair(
+            2,
+            ("JPEG-compressor", "N/A", software::jpeg_compressor()),
+            ("zxing", "@0a32109", software::zxing()),
+            "CVE-2017-0700",
+            "No-CWE",
+            &["jpeg_decode_huffman"],
+            poc_jpeg_huffman(),
+            Expected::TypeI,
+            false,
+        ),
+        pair(
+            3,
+            ("pdftops (Poppler)", "0.59", software::poppler_pdftops()),
+            ("pdftops (Xpdf)", "4.02", software::xpdf_pdftops_402()),
+            "CVE-2017-18267",
+            "CWE-835",
+            &["xref_parse"],
+            poc_xref_loop(),
+            Expected::TypeI,
+            true,
+        ),
+        pair(
+            4,
+            ("avconv", "12.3", software::avconv()),
+            ("ffmpeg", "1.0", software::ffmpeg()),
+            "CVE-2018-11102",
+            "CWE-119",
+            &["avc_parse_sps"],
+            poc_avc_sps(),
+            Expected::TypeI,
+            true,
+        ),
+        pair(
+            5,
+            (
+                "tjbench (libjpeg-turbo)",
+                "2.0.1",
+                software::tjbench_libjpeg_turbo(),
+            ),
+            (
+                "tjbench (mozjpeg)",
+                "@0xbbb7550",
+                software::tjbench_mozjpeg(),
+            ),
+            "CVE-2018-20330",
+            "CWE-190",
+            &["tj_decode"],
+            poc_tj_scan(),
+            Expected::TypeI,
+            false,
+        ),
+        pair(
+            6,
+            ("pdfalto", "0.2", software::pdfalto()),
+            ("pdfinfo (Xpdf)", "4.0.0", software::xpdf_pdfinfo_400()),
+            "CVE-2019-9878",
+            "CWE-119",
+            &["pdf_read_obj"],
+            poc_pdf_stream_overflow(),
+            Expected::TypeI,
+            false,
+        ),
+        pair(
+            7,
+            ("ghostscript", "9.26", software::ghostscript()),
+            ("opj_dump", "2.1.1", software::opj_dump_211()),
+            "ghostscript-BZ697463",
+            "No-CWE",
+            &["opj_read_header"],
+            poc_pdf_embedded_j2k(),
+            Expected::TypeII,
+            false,
+        ),
+        pair(
+            8,
+            ("opj_dump", "2.1.1", software::opj_dump_211()),
+            ("MuPDF", "1.9", software::mupdf()),
+            "ghostscript-BZ697463",
+            "No-CWE",
+            &["opj_read_header"],
+            poc_raw_j2k(),
+            Expected::TypeII,
+            false,
+        ),
+        pair(
+            9,
+            ("gif2png", "2.5.8", software::gif2png()),
+            (
+                "gif2png (artificial)",
+                "N/A",
+                software::gif2png_artificial(),
+            ),
+            "CVE-2011-2896",
+            "CWE-119",
+            &["read_image"],
+            poc_gif_overflow(),
+            Expected::TypeII,
+            true,
+        ),
+        pair(
+            10,
+            ("tiffsplit", "4.0.6", software::tiffsplit()),
+            ("opj_compress", "2.3.1", software::opj_compress()),
+            "CVE-2016-10095",
+            "CWE-119",
+            &["tiff_vget_field"],
+            poc_tiff_tag(),
+            Expected::TypeIII,
+            false,
+        ),
+        pair(
+            11,
+            ("tiffsplit", "4.0.6", software::tiffsplit()),
+            ("libsdl2", "2.0.12", software::libsdl2()),
+            "CVE-2016-10095",
+            "CWE-119",
+            &["tiff_vget_field"],
+            poc_tiff_tag(),
+            Expected::TypeIII,
+            false,
+        ),
+        pair(
+            12,
+            ("tiffsplit", "4.0.6", software::tiffsplit()),
+            ("libgdiplus", "6.0.5", software::libgdiplus()),
+            "CVE-2016-10095",
+            "CWE-119",
+            &["tiff_vget_field"],
+            poc_tiff_tag(),
+            Expected::TypeIII,
+            false,
+        ),
+        pair(
+            13,
+            ("ghostscript", "9.26", software::ghostscript()),
+            ("opj_dump", "2.2.0", software::opj_dump_220_patched()),
+            "ghostscript-BZ697463",
+            "No-CWE",
+            &["opj_read_header"],
+            poc_pdf_embedded_j2k(),
+            Expected::TypeIII,
+            false,
+        ),
+        pair(
+            14,
+            ("pdfalto", "0.2", software::pdfalto()),
+            (
+                "pdftops (Xpdf)",
+                "4.1.1",
+                software::xpdf_pdftops_411_patched(),
+            ),
+            "CVE-2019-9878",
+            "CWE-119",
+            &["pdf_read_obj"],
+            poc_pdf_stream_overflow(),
+            Expected::TypeIII,
+            false,
+        ),
+        pair(
+            15,
+            ("pdf2htmlEX", "0.14.6", software::pdf2htmlex()),
+            (
+                "pdfinfo (Poppler)",
+                "0.41.0",
+                software::poppler_pdfinfo_041(),
+            ),
+            "CVE-2018-21009",
+            "CWE-190",
+            &["pdf_stream_len"],
+            poc_stream_len_overflow(),
+            Expected::Failure,
+            false,
+        ),
+    ]
+}
+
+/// Looks up a pair by its Table II index.
+pub fn pair_by_idx(idx: u32) -> Option<SoftwarePair> {
+    all_pairs().into_iter().find(|p| p.idx == idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octo_vm::{RunOutcome, Vm};
+
+    #[test]
+    fn fifteen_pairs_with_expected_distribution() {
+        let pairs = all_pairs();
+        assert_eq!(pairs.len(), 15);
+        let count = |e: Expected| pairs.iter().filter(|p| p.expected == e).count();
+        // Table II: six Type-I, three Type-II, five Type-III, one Failure.
+        assert_eq!(count(Expected::TypeI), 6);
+        assert_eq!(count(Expected::TypeII), 3);
+        assert_eq!(count(Expected::TypeIII), 5);
+        assert_eq!(count(Expected::Failure), 1);
+    }
+
+    #[test]
+    fn every_s_crashes_on_its_poc_inside_shared_code() {
+        for p in all_pairs() {
+            let out = Vm::new(&p.s, p.poc.bytes()).run();
+            let crash = out.crash().unwrap_or_else(|| {
+                panic!(
+                    "Idx-{} `{}` does not crash on its PoC: {out:?}",
+                    p.idx, p.s_name
+                )
+            });
+            let shared_ids = p.s.resolve_names(p.shared.iter().map(String::as_str));
+            assert!(
+                crash.backtrace.any_in(&shared_ids),
+                "Idx-{} `{}` crash is outside ℓ: {crash}",
+                p.idx,
+                p.s_name
+            );
+        }
+    }
+
+    #[test]
+    fn crash_classes_match_cwe_column() {
+        for p in all_pairs() {
+            let out = Vm::new(&p.s, p.poc.bytes()).run();
+            let crash = out.crash().expect("crashes");
+            match p.cwe {
+                "CWE-119" => assert_eq!(crash.kind.class(), "CWE-119", "Idx-{}", p.idx),
+                "CWE-190" => assert_eq!(crash.kind.class(), "CWE-190", "Idx-{}", p.idx),
+                "CWE-835" => assert_eq!(crash.kind.class(), "CWE-835", "Idx-{}", p.idx),
+                "No-CWE" => {} // any crash class
+                other => panic!("unknown CWE label {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn shared_functions_exist_in_both_sides() {
+        for p in all_pairs() {
+            for name in &p.shared {
+                assert!(
+                    p.s.func_by_name(name).is_some(),
+                    "Idx-{}: `{name}` missing in S",
+                    p.idx
+                );
+                assert!(
+                    p.t.func_by_name(name).is_some(),
+                    "Idx-{}: `{name}` missing in T",
+                    p.idx
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cloned_fragments_are_textually_identical() {
+        // The premise of clone detection: the ℓ functions have identical
+        // bodies in S and T. Compare their printed forms.
+        for p in all_pairs() {
+            for name in &p.shared {
+                let sid = p.s.func_by_name(name).unwrap();
+                let tid = p.t.func_by_name(name).unwrap();
+                let mut s_text = String::new();
+                let mut t_text = String::new();
+                octo_ir::printer::print_function(p.s.func(sid), &p.s, &mut s_text);
+                octo_ir::printer::print_function(p.t.func(tid), &p.t, &mut t_text);
+                assert_eq!(s_text, t_text, "Idx-{}: clone `{name}` differs", p.idx);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_entry_flags_match_observed_entries() {
+        use octo_vm::Hook;
+        struct Count {
+            ep: octo_ir::FuncId,
+            n: u32,
+        }
+        impl Hook for Count {
+            fn on_call(&mut self, callee: octo_ir::FuncId, _a: &[u64], _d: usize) {
+                if callee == self.ep {
+                    self.n += 1;
+                }
+            }
+        }
+        for p in all_pairs() {
+            let ep = p.s.func_by_name(&p.shared[0]).unwrap();
+            let mut h = Count { ep, n: 0 };
+            Vm::new(&p.s, p.poc.bytes()).run_hooked(&mut h);
+            assert_eq!(
+                h.n > 1,
+                p.multi_entry,
+                "Idx-{}: ep entered {} times but multi_entry={}",
+                p.idx,
+                h.n,
+                p.multi_entry
+            );
+        }
+    }
+
+    #[test]
+    fn programs_are_nontrivial() {
+        // The paper's binaries span 2k–557k LoC; our MicroIR analogues
+        // must at least be real programs, not stubs: multiple functions,
+        // branches, and file input on both sides of every pair.
+        for p in all_pairs() {
+            for (label, prog) in [("S", &p.s), ("T", &p.t)] {
+                let st = octo_ir::ProgramStats::collect(prog);
+                assert!(st.functions >= 2, "Idx-{} {label}: {st}", p.idx);
+                assert!(st.instructions >= 15, "Idx-{} {label}: {st}", p.idx);
+                assert!(st.branches >= 1, "Idx-{} {label}: {st}", p.idx);
+                assert!(st.file_ops >= 2, "Idx-{} {label}: {st}", p.idx);
+            }
+        }
+    }
+
+    #[test]
+    fn pair_by_idx_lookup() {
+        assert_eq!(pair_by_idx(9).unwrap().t_name, "gif2png (artificial)");
+        assert!(pair_by_idx(16).is_none());
+    }
+
+    #[test]
+    fn benign_files_do_not_crash_s() {
+        // A well-formed file of each format exits cleanly on its S.
+        let cases: Vec<(u32, Vec<u8>)> = vec![
+            (
+                1,
+                mini_jpeg::Builder::new()
+                    .segment(mini_jpeg::SEG_HUFF, &[2, 7, 9])
+                    .build(),
+            ),
+            (
+                3,
+                mini_pdf::Builder::new()
+                    .object(mini_pdf::OBJ_XREF, &[1, 2, 0x0A])
+                    .build(),
+            ),
+            (
+                5,
+                mini_jpeg::Builder::new()
+                    .segment(mini_jpeg::SEG_SCAN, &[4, 0, 4, 0])
+                    .build(),
+            ),
+            (9, mini_gif::Builder::new().block(&[1, 2, 3]).build()),
+            (10, mini_tiff::Builder::new().entry(0x100, 7).build()),
+        ];
+        for (idx, file) in cases {
+            let p = pair_by_idx(idx).unwrap();
+            let out = Vm::new(&p.s, &file).run();
+            assert_eq!(out, RunOutcome::Exit(0), "Idx-{idx} benign run: {out:?}");
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! The §II-A PoC-type survey (experiment E5).
+//!
+//! The paper investigated all CVEs reported 2016–2019 that reference a
+//! Bugzilla report: 2,455 CVEs, of which 1,190 shipped a PoC; 823 of those
+//! PoCs (70 %) were malformed-file type. The original record set is not
+//! redistributable, so this module synthesises a record per CVE with the
+//! same aggregate counts — enough to regenerate the percentages the paper
+//! uses to justify targeting malformed-file PoCs.
+
+/// PoC categories (paper §II-A, after Mu et al.).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PocType {
+    /// Shell command type.
+    ShellCommand,
+    /// Program type (e.g. a Python script).
+    Program,
+    /// Malformed string type.
+    MalformedString,
+    /// Malformed file type (e.g. a malicious image) — OctoPoCs' target.
+    MalformedFile,
+}
+
+impl PocType {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PocType::ShellCommand => "shell command",
+            PocType::Program => "program",
+            PocType::MalformedString => "malformed string",
+            PocType::MalformedFile => "malformed file",
+        }
+    }
+}
+
+/// One surveyed CVE record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CveRecord {
+    /// Synthetic CVE identifier (`CVE-<year>-S<seq>`).
+    pub id: String,
+    /// Reporting year (2016–2019).
+    pub year: u16,
+    /// The PoC type, when a PoC was published.
+    pub poc: Option<PocType>,
+}
+
+/// Counts reported in §II-A.
+pub const TOTAL_CVES: usize = 2455;
+/// CVEs that shipped a PoC.
+pub const CVES_WITH_POC: usize = 1190;
+/// PoCs of malformed-file type.
+pub const MALFORMED_FILE_POCS: usize = 823;
+
+/// Generates the synthetic survey record set with the paper's aggregate
+/// counts. Deterministic: the same records every call.
+pub fn survey_records() -> Vec<CveRecord> {
+    let mut records = Vec::with_capacity(TOTAL_CVES);
+    // Distribute non-file PoC types round-robin over the remainder.
+    let other_types = [
+        PocType::ShellCommand,
+        PocType::Program,
+        PocType::MalformedString,
+    ];
+    for i in 0..TOTAL_CVES {
+        let year = 2016 + (i % 4) as u16;
+        let poc = if i < MALFORMED_FILE_POCS {
+            Some(PocType::MalformedFile)
+        } else if i < CVES_WITH_POC {
+            Some(other_types[i % other_types.len()])
+        } else {
+            None
+        };
+        records.push(CveRecord {
+            id: format!("CVE-{year}-S{i:04}"),
+            year,
+            poc,
+        });
+    }
+    records
+}
+
+/// Aggregate survey results (the numbers quoted in §II-A).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurveySummary {
+    /// Total CVEs with Bugzilla references.
+    pub total: usize,
+    /// CVEs that shipped any PoC.
+    pub with_poc: usize,
+    /// Count per PoC type.
+    pub by_type: Vec<(PocType, usize)>,
+    /// Fraction of PoCs that are malformed-file type.
+    pub malformed_file_share: f64,
+}
+
+/// Summarises a record set.
+pub fn summarize(records: &[CveRecord]) -> SurveySummary {
+    let with_poc = records.iter().filter(|r| r.poc.is_some()).count();
+    let mut by_type = Vec::new();
+    for ty in [
+        PocType::MalformedFile,
+        PocType::ShellCommand,
+        PocType::Program,
+        PocType::MalformedString,
+    ] {
+        let n = records.iter().filter(|r| r.poc == Some(ty)).count();
+        by_type.push((ty, n));
+    }
+    let files = by_type
+        .iter()
+        .find(|(t, _)| *t == PocType::MalformedFile)
+        .map(|(_, n)| *n)
+        .unwrap_or(0);
+    SurveySummary {
+        total: records.len(),
+        with_poc,
+        by_type,
+        malformed_file_share: if with_poc == 0 {
+            0.0
+        } else {
+            files as f64 / with_poc as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_counts_match_the_paper() {
+        let records = survey_records();
+        let s = summarize(&records);
+        assert_eq!(s.total, 2455);
+        assert_eq!(s.with_poc, 1190);
+        let files = s
+            .by_type
+            .iter()
+            .find(|(t, _)| *t == PocType::MalformedFile)
+            .unwrap()
+            .1;
+        assert_eq!(files, 823);
+        // "823 PoCs (70%) were malicious file types"
+        assert!((s.malformed_file_share - 0.6916).abs() < 0.01);
+    }
+
+    #[test]
+    fn years_cover_2016_to_2019() {
+        let records = survey_records();
+        for y in 2016..=2019u16 {
+            assert!(records.iter().any(|r| r.year == y));
+        }
+        assert!(records.iter().all(|r| (2016..=2019).contains(&r.year)));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(survey_records(), survey_records());
+    }
+}

@@ -1,0 +1,114 @@
+//! Every corpus binary must behave like real software on *well-formed*
+//! input: parse it and exit cleanly. This pins down that the planted
+//! vulnerabilities are actually input-dependent, not unconditional
+//! crashes — the precondition for the whole verification story.
+
+use octo_corpus::all_pairs;
+use octo_poc::formats::{mini_avc, mini_gif, mini_j2k, mini_jpeg, mini_pdf, mini_tiff};
+use octo_vm::{RunOutcome, Vm};
+
+/// A well-formed input for the *target* binary of the given Table II row.
+fn benign_input_for_t(idx: u32) -> Vec<u8> {
+    match idx {
+        // mini-JPEG consumers: one in-bounds huffman table.
+        1 | 2 => mini_jpeg::Builder::new()
+            .segment(mini_jpeg::SEG_HUFF, &[3, 10, 20, 30])
+            .build(),
+        // Xpdf pdftops: one well-formed xref entry.
+        3 => mini_pdf::Builder::new()
+            .object(mini_pdf::OBJ_XREF, &[1, 2, 0x0A])
+            .build(),
+        // ffmpeg: one small SPS frame (w=2 ⇒ 2 row bytes).
+        4 => mini_avc::Builder::new()
+            .frame(mini_avc::FRAME_SPS, &[2, 0, 1, 0, 0xAA, 0xBB])
+            .build(),
+        // mozjpeg tjbench: a scan whose area fits 16 bits.
+        5 => mini_jpeg::Builder::new()
+            .segment(mini_jpeg::SEG_SCAN, &[8, 0, 8, 0])
+            .build(),
+        // Xpdf pdfinfo / patched pdftops: a small stream (dlen=4 ≤ 64).
+        6 | 14 => {
+            let payload = [4u8, 0, 9, 9, 9, 9];
+            mini_pdf::Builder::new()
+                .object(mini_pdf::OBJ_STREAM, &payload)
+                .build()
+        }
+        // opj_dump (2.1.1 and patched 2.2.0): a valid single-component J2K.
+        7 | 13 => mini_j2k::Builder::new()
+            .components(1)
+            .tile(8, 8)
+            .data(&[1, 2, 3])
+            .build(),
+        // MuPDF: PDF with the 16 renderer option flags between version
+        // and object count, containing one valid embedded J2K.
+        8 => {
+            let img = mini_j2k::Builder::new().components(1).tile(8, 8).build();
+            let pdf = mini_pdf::Builder::new()
+                .object(mini_pdf::OBJ_IMAGE, &img)
+                .build();
+            let mut file = pdf[..5].to_vec();
+            file.extend_from_slice(&[0u8; 16]);
+            file.extend_from_slice(&pdf[5..]);
+            file
+        }
+        // Artificial gif2png: strictly valid version, in-bounds block.
+        9 => mini_gif::Builder::new().block(&[1, 2, 3]).build(),
+        // TIFF consumers read their hard-coded fields regardless of the
+        // directory; magic plus a count byte suffices.
+        10 | 11 | 12 => mini_tiff::Builder::new().entry(0x100, 7).build(),
+        // Poppler pdfinfo: a stream whose 16-bit product fits.
+        15 => mini_pdf::Builder::new()
+            .object(mini_pdf::OBJ_STREAM, &[2, 0, 3, 0])
+            .build(),
+        other => panic!("unknown idx {other}"),
+    }
+}
+
+#[test]
+fn every_t_exits_cleanly_on_wellformed_input() {
+    for pair in all_pairs() {
+        let input = benign_input_for_t(pair.idx);
+        let out = Vm::new(&pair.t, &input).run();
+        assert_eq!(
+            out,
+            RunOutcome::Exit(0),
+            "Idx-{} `{}` misbehaves on benign input: {out:?}",
+            pair.idx,
+            pair.t_name
+        );
+    }
+}
+
+#[test]
+fn every_t_rejects_garbage_without_crashing() {
+    // Wrong-magic garbage must be rejected with a nonzero exit, not a
+    // crash (real tools print "not a XXX file" and exit).
+    for pair in all_pairs() {
+        let garbage = vec![0xEEu8; 32];
+        let out = Vm::new(&pair.t, &garbage).run();
+        match out {
+            RunOutcome::Exit(code) => assert_ne!(
+                code, 0,
+                "Idx-{} `{}` accepted garbage",
+                pair.idx, pair.t_name
+            ),
+            RunOutcome::Crash(c) => {
+                panic!("Idx-{} `{}` crashed on garbage: {c}", pair.idx, pair.t_name)
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_input_never_crashes_any_binary() {
+    for pair in all_pairs() {
+        for (label, prog) in [("S", &pair.s), ("T", &pair.t)] {
+            let out = Vm::new(prog, &[]).run();
+            assert!(
+                matches!(out, RunOutcome::Exit(_)),
+                "Idx-{} {label}: empty input crashed: {out:?}",
+                pair.idx
+            );
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! The AFLGo baseline: directed greybox fuzzing.
+//!
+//! AFLGo instruments the target with per-block distances to the target
+//! location (computed over the *static* CFG at build time) and schedules
+//! seed energy by simulated annealing over those distances. Two properties
+//! of the real tool are reproduced:
+//!
+//! * **Distance instrumentation requires a static CFG path** to the
+//!   target. When the only route is an indirect jump the static CFG cannot
+//!   resolve (the MuPDF dispatch), instrumentation fails and the tool
+//!   errors out — the `Error†` cell of Table V.
+//! * **The input itself is still found by random mutation.** Unlike
+//!   OctoPoCs, AFLGo knows *where* to go but not *what bytes* get there
+//!   ("the input value to reach the vulnerable location in AFLGo was
+//!   randomly generated"), so magic-byte gates stay hard.
+
+use octo_cfg::{build_cfg, CfgMode, DistanceMap};
+use octo_ir::FuncId;
+
+use crate::fuzzer::{Campaign, FuzzConfig, FuzzOutcome, FuzzTarget};
+use crate::queue::Schedule;
+
+/// Runs an AFLGo campaign directed at `target_func`.
+///
+/// Returns [`FuzzOutcome::ToolError`] when the static CFG provides no
+/// distance from the program entry to the target (the instrumentation
+/// pass has nothing to emit).
+pub fn run_aflgo(
+    target: &FuzzTarget<'_>,
+    target_func: FuncId,
+    seeds: &[Vec<u8>],
+    config: FuzzConfig,
+) -> FuzzOutcome {
+    // Build-time distance instrumentation over the static CFG.
+    let cfg = match build_cfg(target.program, CfgMode::Static) {
+        Ok(c) => c,
+        Err(e) => {
+            return FuzzOutcome::ToolError {
+                message: format!("static CFG construction failed: {e}"),
+            }
+        }
+    };
+    let map = DistanceMap::compute(target.program, &cfg, target_func);
+    let entry = target.program.entry();
+    let entry_block = target.program.func(entry).entry();
+    if !map.reaches(entry, entry_block) {
+        return FuzzOutcome::ToolError {
+            message: format!(
+                "distance instrumentation failed: no static path from entry to `{}` \
+                 (indirect control flow unresolved)",
+                target.program.func(target_func).name
+            ),
+        };
+    }
+    let max_d = map.max_distance().max(1) as f64;
+    let distance_fn = move |blocks: &[(FuncId, octo_ir::BlockId)]| -> Option<f64> {
+        // AFLGo seed distance: mean over executed blocks that have a
+        // defined distance, normalised to [0,1].
+        let ds: Vec<f64> = blocks
+            .iter()
+            .filter_map(|(f, b)| map.get(*f, *b))
+            .map(|d| f64::from(d) / max_d)
+            .collect();
+        if ds.is_empty() {
+            None
+        } else {
+            Some(ds.iter().sum::<f64>() / ds.len() as f64)
+        }
+    };
+    let mut campaign = Campaign::new(target, config, Some(&distance_fn));
+    campaign.run(seeds, |progress| Schedule::AflGo { progress })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octo_ir::parse::parse_program;
+    use octo_vm::Limits;
+
+    #[test]
+    fn aflgo_errors_on_indirect_only_path() {
+        // The only way to the target crosses an unresolvable ijmp.
+        let src = r#"
+func main() {
+entry:
+    t = 0xB10C_0000_0000_0002
+    ijmp t
+mid:
+    call decode(0)
+    halt 0
+}
+func decode(fd) {
+entry:
+    ret
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let decode = p.func_by_name("decode").unwrap();
+        let target = FuzzTarget {
+            program: &p,
+            shared: vec![decode],
+            limits: Limits::default(),
+        };
+        let outcome = run_aflgo(&target, decode, &[vec![0]], FuzzConfig::default());
+        match outcome {
+            FuzzOutcome::ToolError { message } => {
+                assert!(message.contains("decode"), "{message}");
+            }
+            other => panic!("expected tool error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aflgo_cracks_shallow_directed_bug() {
+        let src = r#"
+func main() {
+entry:
+    fd = open
+    h = getc fd
+    ok = eq h, 0x47
+    br ok, body, rej
+body:
+    call decode(fd)
+    halt 0
+rej:
+    halt 1
+}
+func decode(fd) {
+entry:
+    buf = alloc 32
+    size = getc fd
+    big = ugt size, 32
+    br big, boom, fine
+boom:
+    store.1 buf + 33, 1
+    halt 9
+fine:
+    ret
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let decode = p.func_by_name("decode").unwrap();
+        let target = FuzzTarget {
+            program: &p,
+            shared: vec![decode],
+            limits: Limits::default(),
+        };
+        let config = FuzzConfig {
+            budget_virtual_secs: 3600.0,
+            ..FuzzConfig::default()
+        };
+        let outcome = run_aflgo(&target, decode, &[vec![0x47, 4]], config);
+        match outcome {
+            FuzzOutcome::CrashFound { input, .. } => {
+                assert_eq!(input[0], 0x47);
+                assert!(input[1] > 32);
+            }
+            other => panic!("expected crash, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aflgo_exhausts_on_magic_gate() {
+        let src = r#"
+func main() {
+entry:
+    fd = open
+    buf = alloc 8
+    n = read fd, buf, 4
+    v = load.4 buf
+    ok = eq v, 0xCAFEBABE
+    br ok, body, rej
+body:
+    call decode(fd)
+    halt 0
+rej:
+    halt 1
+}
+func decode(fd) {
+entry:
+    trap 1
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let decode = p.func_by_name("decode").unwrap();
+        let target = FuzzTarget {
+            program: &p,
+            shared: vec![decode],
+            limits: Limits::default(),
+        };
+        let config = FuzzConfig {
+            budget_virtual_secs: 5.0,
+            ..FuzzConfig::default()
+        };
+        let outcome = run_aflgo(&target, decode, &[vec![0; 8]], config);
+        assert!(matches!(outcome, FuzzOutcome::BudgetExhausted { .. }));
+    }
+}

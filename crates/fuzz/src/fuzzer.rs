@@ -1,0 +1,601 @@
+//! The greybox fuzzing campaign loop and the AFLFast entry point.
+
+use octo_ir::{FuncId, Program};
+use octo_vm::{CrashReport, Limits, RunOutcome, Vm, INSTS_PER_SECOND};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::coverage::{Bitmap, CoverageHook};
+use crate::mutate::Mutator;
+use crate::queue::{energy, PathFrequency, QueueEntry, Schedule};
+
+/// The program under fuzzing plus the verification acceptance set.
+#[derive(Debug, Clone)]
+pub struct FuzzTarget<'p> {
+    /// The target binary (`T` of a software pair).
+    pub program: &'p Program,
+    /// Shared functions `ℓ`: a crash verifies the propagated
+    /// vulnerability only if its backtrace enters one of these.
+    pub shared: Vec<FuncId>,
+    /// Per-execution limits (the watchdog also catches CWE-835 hangs).
+    pub limits: Limits,
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzConfig {
+    /// RNG seed (campaigns are fully deterministic given the seed).
+    pub rng_seed: u64,
+    /// Virtual-clock budget in seconds. The paper gives the baselines 20
+    /// hours (72 000 s).
+    pub budget_virtual_secs: f64,
+    /// Maximum input length.
+    pub max_input_len: usize,
+    /// Fixed virtual cost per execution (process setup / fork-server
+    /// overhead), in instructions.
+    pub exec_overhead_insts: u64,
+    /// Cap on the deterministic stage per seed (mutation count).
+    pub det_stage_cap: usize,
+    /// Whether seeds are trimmed (AFL's trim stage) before first fuzzing.
+    pub trim: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> FuzzConfig {
+        FuzzConfig {
+            rng_seed: 0x0c70,
+            budget_virtual_secs: 72_000.0, // 20 h
+            max_input_len: 256,
+            exec_overhead_insts: 300,
+            det_stage_cap: 8192,
+            trim: true,
+        }
+    }
+}
+
+/// Aggregate campaign statistics.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzStats {
+    /// Total executions.
+    pub execs: u64,
+    /// Virtual seconds consumed.
+    pub virtual_seconds: f64,
+    /// Edges covered at the end.
+    pub edges: usize,
+    /// Distinct execution paths observed.
+    pub distinct_paths: usize,
+    /// Queue size at the end.
+    pub queue_len: usize,
+    /// Coverage growth samples `(virtual_seconds, edges_covered)`,
+    /// recorded whenever new coverage is found — the classic
+    /// coverage-over-time curve of fuzzing evaluations.
+    pub coverage_curve: Vec<(f64, usize)>,
+}
+
+/// Campaign result.
+#[derive(Debug, Clone)]
+pub enum FuzzOutcome {
+    /// A crash inside `ℓ` was found: the propagated vulnerability is
+    /// verified, at the given virtual time.
+    CrashFound {
+        /// The crashing input.
+        input: Vec<u8>,
+        /// The crash report.
+        crash: CrashReport,
+        /// Statistics up to the crash.
+        stats: FuzzStats,
+    },
+    /// The budget ran out without verifying the vulnerability (the `N/A`
+    /// cells of Table V).
+    BudgetExhausted {
+        /// Final statistics.
+        stats: FuzzStats,
+    },
+    /// The tool could not run on this target (AFLGo's `Error†` cell).
+    ToolError {
+        /// Diagnostic message.
+        message: String,
+    },
+}
+
+impl FuzzOutcome {
+    /// Virtual seconds to verification, if a crash was found.
+    pub fn time_to_crash(&self) -> Option<f64> {
+        match self {
+            FuzzOutcome::CrashFound { stats, .. } => Some(stats.virtual_seconds),
+            _ => None,
+        }
+    }
+}
+
+/// Computes a seed's normalised distance from its executed blocks; `None`
+/// when no executed block can reach the target.
+pub(crate) type DistanceFn<'a> = dyn Fn(&[(FuncId, octo_ir::BlockId)]) -> Option<f64> + 'a;
+
+/// The shared campaign machinery behind both baselines.
+pub(crate) struct Campaign<'p, 'd> {
+    target: &'p FuzzTarget<'p>,
+    config: FuzzConfig,
+    rng: StdRng,
+    virgin: Bitmap,
+    /// Reused per-execution trace hook (allocating a fresh map per exec
+    /// dominates the campaign cost otherwise).
+    hook: CoverageHook,
+    freq: PathFrequency,
+    queue: Vec<QueueEntry>,
+    total_insts: u64,
+    execs: u64,
+    mutator: Mutator,
+    distance: Option<&'d DistanceFn<'d>>,
+    coverage_curve: Vec<(f64, usize)>,
+}
+
+struct ExecResult {
+    crash: Option<CrashReport>,
+    path_hash: u64,
+    new_coverage: bool,
+    insts: u64,
+    distance: Option<f64>,
+}
+
+impl<'p, 'd> Campaign<'p, 'd> {
+    pub(crate) fn new(
+        target: &'p FuzzTarget<'p>,
+        config: FuzzConfig,
+        distance: Option<&'d DistanceFn<'d>>,
+    ) -> Campaign<'p, 'd> {
+        Campaign {
+            target,
+            rng: StdRng::seed_from_u64(config.rng_seed),
+            config,
+            virgin: Bitmap::new(),
+            hook: CoverageHook::new(),
+            freq: PathFrequency::new(),
+            queue: Vec::new(),
+            total_insts: 0,
+            execs: 0,
+            mutator: Mutator::new(config.max_input_len),
+            distance,
+            coverage_curve: Vec::new(),
+        }
+    }
+
+    fn budget_insts(&self) -> u64 {
+        (self.config.budget_virtual_secs * INSTS_PER_SECOND as f64) as u64
+    }
+
+    fn over_budget(&self) -> bool {
+        self.total_insts >= self.budget_insts()
+    }
+
+    fn stats(&self) -> FuzzStats {
+        FuzzStats {
+            execs: self.execs,
+            virtual_seconds: self.total_insts as f64 / INSTS_PER_SECOND as f64,
+            edges: self.virgin.count_edges(),
+            distinct_paths: self.freq.distinct_paths(),
+            queue_len: self.queue.len(),
+            coverage_curve: self.coverage_curve.clone(),
+        }
+    }
+
+    fn run_one(&mut self, input: &[u8]) -> ExecResult {
+        self.hook.reset();
+        let mut vm = Vm::new(self.target.program, input).with_limits(self.target.limits);
+        let outcome = vm.run_hooked(&mut self.hook);
+        let insts = vm.insts_executed() + self.config.exec_overhead_insts;
+        self.total_insts += insts;
+        self.execs += 1;
+
+        self.hook.trace.classify();
+        let path_hash = self.hook.trace.path_hash();
+        self.freq.record(path_hash);
+        let new_coverage = self.virgin.merge_has_new(&self.hook.trace);
+        if new_coverage {
+            self.coverage_curve.push((
+                self.total_insts as f64 / INSTS_PER_SECOND as f64,
+                self.virgin.count_edges(),
+            ));
+        }
+        let distance = self.distance.and_then(|f| f(&self.hook.blocks));
+
+        let crash = match outcome {
+            RunOutcome::Crash(report) if report.backtrace.any_in(&self.target.shared) => {
+                Some(report)
+            }
+            _ => None,
+        };
+        ExecResult {
+            crash,
+            path_hash,
+            new_coverage,
+            insts,
+            distance,
+        }
+    }
+
+    fn push_seed(&mut self, input: Vec<u8>, r: &ExecResult, depth: u32) {
+        self.queue.push(QueueEntry {
+            input,
+            path_hash: r.path_hash,
+            times_fuzzed: 0,
+            depth,
+            exec_insts: r.insts,
+            distance: r.distance,
+        });
+    }
+
+    /// Runs the campaign with a progress-only schedule selector.
+    pub(crate) fn run(
+        &mut self,
+        seeds: &[Vec<u8>],
+        schedule: impl Fn(f64) -> Schedule,
+    ) -> FuzzOutcome {
+        self.run_with_freq(seeds, |progress, _mean| schedule(progress))
+    }
+
+    /// Runs the campaign; the schedule selector receives `(progress,
+    /// mean_path_frequency)`.
+    pub(crate) fn run_with_freq(
+        &mut self,
+        seeds: &[Vec<u8>],
+        schedule: impl Fn(f64, f64) -> Schedule,
+    ) -> FuzzOutcome {
+        // Seed stage.
+        for seed in seeds {
+            let r = self.run_one(seed);
+            if let Some(crash) = r.crash {
+                return FuzzOutcome::CrashFound {
+                    input: seed.clone(),
+                    crash,
+                    stats: self.stats(),
+                };
+            }
+            self.push_seed(seed.clone(), &r, 0);
+        }
+        if self.queue.is_empty() {
+            self.queue.push(QueueEntry {
+                input: vec![0],
+                path_hash: 0,
+                times_fuzzed: 0,
+                depth: 0,
+                exec_insts: 0,
+                distance: None,
+            });
+        }
+
+        // Main loop.
+        loop {
+            if self.over_budget() {
+                return FuzzOutcome::BudgetExhausted {
+                    stats: self.stats(),
+                };
+            }
+            for idx in 0..self.queue.len() {
+                if self.over_budget() {
+                    return FuzzOutcome::BudgetExhausted {
+                        stats: self.stats(),
+                    };
+                }
+                // Trim + deterministic stage on first selection.
+                if self.queue[idx].times_fuzzed == 0 {
+                    if self.config.trim {
+                        let r = crate::trim::trim_input(
+                            self.target.program,
+                            self.target.limits,
+                            &self.queue[idx].input,
+                        );
+                        self.total_insts += r.insts + r.execs * self.config.exec_overhead_insts;
+                        self.execs += r.execs;
+                        if r.input.len() < self.queue[idx].input.len() {
+                            self.queue[idx].input = r.input;
+                        }
+                    }
+                    let input = self.queue[idx].input.clone();
+                    let n = self
+                        .mutator
+                        .det_count(input.len())
+                        .min(self.config.det_stage_cap);
+                    for i in 0..n {
+                        if self.over_budget() {
+                            return FuzzOutcome::BudgetExhausted {
+                                stats: self.stats(),
+                            };
+                        }
+                        let cand = self.mutator.det_mutation(&input, i);
+                        if let Some(outcome) = self.try_input(cand, idx) {
+                            return outcome;
+                        }
+                    }
+                }
+                // Havoc + splice stage, energy by schedule.
+                let progress =
+                    (self.total_insts as f64 / self.budget_insts() as f64).clamp(0.0, 1.0);
+                let mean = crate::queue::mean_path_frequency(&self.freq, self.execs);
+                let e = energy(&self.queue[idx], &self.freq, schedule(progress, mean));
+                for _ in 0..e {
+                    if self.over_budget() {
+                        return FuzzOutcome::BudgetExhausted {
+                            stats: self.stats(),
+                        };
+                    }
+                    let cand = if self.queue.len() > 1 && self.rng.gen_ratio(1, 8) {
+                        let other = self.rng.gen_range(0..self.queue.len());
+                        let spliced = self.mutator.splice(
+                            &self.queue[idx].input.clone(),
+                            &self.queue[other].input.clone(),
+                            &mut self.rng,
+                        );
+                        self.mutator.havoc(&spliced, &mut self.rng)
+                    } else {
+                        self.mutator
+                            .havoc(&self.queue[idx].input.clone(), &mut self.rng)
+                    };
+                    if let Some(outcome) = self.try_input(cand, idx) {
+                        return outcome;
+                    }
+                }
+                self.queue[idx].times_fuzzed += 1;
+            }
+        }
+    }
+
+    /// Executes a candidate; returns `Some` to end the campaign.
+    fn try_input(&mut self, cand: Vec<u8>, parent: usize) -> Option<FuzzOutcome> {
+        let r = self.run_one(&cand);
+        if let Some(crash) = r.crash {
+            return Some(FuzzOutcome::CrashFound {
+                input: cand,
+                crash,
+                stats: self.stats(),
+            });
+        }
+        if r.new_coverage {
+            let depth = self.queue[parent].depth + 1;
+            self.push_seed(cand, &r, depth);
+        }
+        None
+    }
+}
+
+/// Runs an AFLFast campaign (coverage-guided, FAST power schedule — the
+/// paper's baseline configuration).
+pub fn run_aflfast(target: &FuzzTarget<'_>, seeds: &[Vec<u8>], config: FuzzConfig) -> FuzzOutcome {
+    let mut campaign = Campaign::new(target, config, None);
+    campaign.run(seeds, |_| Schedule::Fast)
+}
+
+/// Runs an AFLFast campaign with an explicit power schedule constructor
+/// (FAST, COE, or EXPLOIT). The constructor receives the campaign
+/// progress in `[0,1]` and the current mean path frequency.
+pub fn run_aflfast_with_schedule(
+    target: &FuzzTarget<'_>,
+    seeds: &[Vec<u8>],
+    config: FuzzConfig,
+    schedule: impl Fn(f64, f64) -> Schedule,
+) -> FuzzOutcome {
+    let mut campaign = Campaign::new(target, config, None);
+    campaign.run_with_freq(seeds, schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octo_ir::parse::parse_program;
+
+    /// Shallow bug: any block byte > 64 in a size-prefixed record crashes.
+    const SHALLOW: &str = r#"
+func main() {
+entry:
+    fd = open
+    h = getc fd
+    ok = eq h, 0x47
+    br ok, body, rej
+body:
+    call decode(fd)
+    halt 0
+rej:
+    halt 1
+}
+func decode(fd) {
+entry:
+    buf = alloc 64
+    size = getc fd
+    big = ugt size, 64
+    br big, boom, fine
+boom:
+    store.1 buf + 65, 1
+    halt 9
+fine:
+    ret
+}
+"#;
+
+    /// Deep bug: requires a 4-byte magic to match exactly.
+    const DEEP: &str = r#"
+func main() {
+entry:
+    fd = open
+    buf = alloc 8
+    n = read fd, buf, 4
+    v = load.4 buf
+    ok = eq v, 0xDEADBEEF
+    br ok, body, rej
+body:
+    call decode(fd)
+    halt 0
+rej:
+    halt 1
+}
+func decode(fd) {
+entry:
+    trap 1
+}
+"#;
+
+    fn target<'p>(p: &'p Program, shared: &str) -> FuzzTarget<'p> {
+        FuzzTarget {
+            program: p,
+            shared: vec![p.func_by_name(shared).unwrap()],
+            limits: Limits::default(),
+        }
+    }
+
+    #[test]
+    fn aflfast_cracks_shallow_bug() {
+        let p = parse_program(SHALLOW).unwrap();
+        let t = target(&p, "decode");
+        // Seed: a benign valid file.
+        let seeds = vec![vec![0x47, 10]];
+        let config = FuzzConfig {
+            budget_virtual_secs: 3600.0,
+            ..FuzzConfig::default()
+        };
+        let outcome = run_aflfast(&t, &seeds, config);
+        match outcome {
+            FuzzOutcome::CrashFound { input, stats, .. } => {
+                assert_eq!(input[0], 0x47);
+                assert!(input[1] > 64);
+                assert!(stats.virtual_seconds > 0.0);
+            }
+            other => panic!("expected crash, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aflfast_fails_deep_magic_in_budget() {
+        let p = parse_program(DEEP).unwrap();
+        let t = target(&p, "decode");
+        // Seed does NOT satisfy the magic.
+        let seeds = vec![vec![0u8; 8]];
+        let config = FuzzConfig {
+            budget_virtual_secs: 5.0, // small budget: must exhaust
+            ..FuzzConfig::default()
+        };
+        let outcome = run_aflfast(&t, &seeds, config);
+        match outcome {
+            FuzzOutcome::BudgetExhausted { stats } => {
+                assert!(stats.execs > 10);
+                assert!(stats.virtual_seconds >= 5.0);
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let p = parse_program(SHALLOW).unwrap();
+        let t = target(&p, "decode");
+        let seeds = vec![vec![0x47, 10]];
+        let config = FuzzConfig {
+            budget_virtual_secs: 3600.0,
+            ..FuzzConfig::default()
+        };
+        let a = run_aflfast(&t, &seeds, config);
+        let b = run_aflfast(&t, &seeds, config);
+        match (a, b) {
+            (
+                FuzzOutcome::CrashFound {
+                    input: ia,
+                    stats: sa,
+                    ..
+                },
+                FuzzOutcome::CrashFound {
+                    input: ib,
+                    stats: sb,
+                    ..
+                },
+            ) => {
+                assert_eq!(ia, ib);
+                assert_eq!(sa.execs, sb.execs);
+            }
+            other => panic!("expected two identical crashes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crash_outside_shared_does_not_count() {
+        // The crash is in main, not in the shared decode function.
+        let src = r#"
+func main() {
+entry:
+    fd = open
+    b = getc fd
+    c = eq b, 7
+    br c, boom, fine
+boom:
+    trap 5
+fine:
+    halt 0
+}
+func decode(fd) {
+entry:
+    ret
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let t = target(&p, "decode");
+        let config = FuzzConfig {
+            budget_virtual_secs: 2.0,
+            ..FuzzConfig::default()
+        };
+        let outcome = run_aflfast(&t, &[vec![0]], config);
+        assert!(
+            matches!(outcome, FuzzOutcome::BudgetExhausted { .. }),
+            "crash outside ℓ must not verify: {outcome:?}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod coverage_curve_tests {
+    use super::*;
+    use octo_ir::parse::parse_program;
+
+    #[test]
+    fn coverage_curve_is_monotone() {
+        let src = r#"
+func main() {
+entry:
+    fd = open
+    a = getc fd
+    c1 = ult a, 64
+    br c1, p1, p2
+p1:
+    halt 1
+p2:
+    b = getc fd
+    c2 = ult b, 64
+    br c2, p3, p4
+p3:
+    halt 2
+p4:
+    halt 3
+}
+func decoy(fd) {
+entry:
+    ret
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let target = FuzzTarget {
+            program: &p,
+            shared: vec![p.func_by_name("decoy").unwrap()],
+            limits: Limits::default(),
+        };
+        let config = FuzzConfig {
+            budget_virtual_secs: 2.0,
+            ..FuzzConfig::default()
+        };
+        let FuzzOutcome::BudgetExhausted { stats } = run_aflfast(&target, &[vec![0, 0]], config)
+        else {
+            panic!("no crash reachable in the shared set");
+        };
+        assert!(!stats.coverage_curve.is_empty());
+        for w in stats.coverage_curve.windows(2) {
+            assert!(w[1].0 >= w[0].0, "time must be non-decreasing");
+            assert!(w[1].1 > w[0].1, "edges must strictly grow per sample");
+        }
+        assert_eq!(stats.coverage_curve.last().unwrap().1, stats.edges);
+    }
+}

@@ -1,0 +1,70 @@
+//! # octo-fuzz — greybox fuzzing baselines (AFLFast and AFLGo).
+//!
+//! Table V of the paper compares OctoPoCs against AFLFast (coverage-based
+//! greybox fuzzing with power schedules) and AFLGo (directed greybox
+//! fuzzing), each given 20 hours. This crate reimplements both baselines
+//! over the MicroIR VM:
+//!
+//! * an AFL-style **edge-coverage bitmap** with hit-count bucketing
+//!   ([`coverage`]),
+//! * the AFL **mutation pipeline**: deterministic bitflip/arith/interest
+//!   stages plus stacked havoc and splicing ([`mutate`]),
+//! * the **AFLFast FAST power schedule** — energy grows with how often a
+//!   seed was fuzzed and shrinks with how often its path was exercised
+//!   ([`queue`]),
+//! * the **AFLGo annealing schedule** — seed energy scales with the seed's
+//!   distance to the target over the *static* CFG; when the target is
+//!   statically unreachable (MuPDF's indirect dispatch), AFLGo aborts with
+//!   a tool error, matching the `Error†` cell of Table V ([`aflgo`]).
+//!
+//! Time is measured on the **virtual clock** (executed instructions,
+//! [`octo_vm::INSTS_PER_SECOND`]): the paper's 20-hour wall-clock budget
+//! becomes a deterministic instruction budget, so the comparison is exact
+//! and reproducible.
+//!
+//! A crash only counts as *verifying the propagated vulnerability* when
+//! its backtrace enters the shared code area `ℓ` — the same acceptance
+//! criterion the paper applies.
+
+//!
+//! ```
+//! use octo_fuzz::{run_aflfast, FuzzConfig, FuzzOutcome, FuzzTarget};
+//! use octo_ir::parse::parse_program;
+//!
+//! let p = parse_program(
+//!     "func main() {\nentry:\n fd = open\n call decode(fd)\n halt 0\n}\n\
+//!      func decode(fd) {\nentry:\n b = getc fd\n c = ugt b, 200\n \
+//!      br c, boom, fine\nboom:\n trap 1\nfine:\n ret\n}\n",
+//! )?;
+//! let target = FuzzTarget {
+//!     program: &p,
+//!     shared: vec![p.func_by_name("decode").expect("exists")],
+//!     limits: octo_vm::Limits::default(),
+//! };
+//! let config = FuzzConfig {
+//!     budget_virtual_secs: 60.0,
+//!     ..FuzzConfig::default()
+//! };
+//! match run_aflfast(&target, &[vec![0u8; 4]], config) {
+//!     FuzzOutcome::CrashFound { input, .. } => assert!(input.iter().any(|&b| b > 200)),
+//!     other => panic!("shallow bug should fall quickly: {other:?}"),
+//! }
+//! # Ok::<(), octo_ir::parse::ParseError>(())
+//! ```
+#![warn(missing_docs)]
+
+pub mod aflgo;
+pub mod coverage;
+pub mod fuzzer;
+pub mod mutate;
+pub mod queue;
+pub mod trim;
+
+pub use aflgo::run_aflgo;
+pub use coverage::{Bitmap, CoverageHook, MAP_SIZE};
+pub use fuzzer::{
+    run_aflfast, run_aflfast_with_schedule, FuzzConfig, FuzzOutcome, FuzzStats, FuzzTarget,
+};
+pub use mutate::Mutator;
+pub use queue::{QueueEntry, Schedule};
+pub use trim::{trim_input, TrimResult};

@@ -1,0 +1,228 @@
+//! The AFL mutation pipeline.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Interesting 8-bit values (AFL's list).
+const INTERESTING_8: [u8; 9] = [0x80, 0xFF, 0, 1, 16, 32, 64, 100, 127];
+/// Interesting 16-bit values.
+const INTERESTING_16: [u16; 8] = [0x8000, 0xFFFF, 0, 1, 128, 255, 256, 512];
+/// Interesting 32-bit values.
+const INTERESTING_32: [u32; 6] = [0x8000_0000, 0xFFFF_FFFF, 0, 1, 0xFFFF, 0x10000];
+
+/// Stateless mutation operators over byte strings, plus the deterministic
+/// stage enumerator. Randomness comes from the caller's RNG so campaigns
+/// are reproducible.
+#[derive(Debug)]
+pub struct Mutator {
+    /// Maximum output length.
+    pub max_len: usize,
+}
+
+impl Mutator {
+    /// Creates a mutator with an output length cap.
+    pub fn new(max_len: usize) -> Mutator {
+        Mutator { max_len }
+    }
+
+    /// Number of deterministic mutations for an input of `len` bytes
+    /// (walking bitflips + byte arithmetic + interesting bytes).
+    pub fn det_count(&self, len: usize) -> usize {
+        // 8 bitflips + 2*35 arith + 9 interesting per byte.
+        len * (8 + 70 + INTERESTING_8.len())
+    }
+
+    /// The `i`-th deterministic mutation of `input` (i < `det_count`).
+    pub fn det_mutation(&self, input: &[u8], i: usize) -> Vec<u8> {
+        let per_byte = 8 + 70 + INTERESTING_8.len();
+        let byte = (i / per_byte).min(input.len().saturating_sub(1));
+        let op = i % per_byte;
+        let mut out = input.to_vec();
+        if out.is_empty() {
+            return out;
+        }
+        if op < 8 {
+            out[byte] ^= 1 << op;
+        } else if op < 8 + 35 {
+            out[byte] = out[byte].wrapping_add((op - 8 + 1) as u8);
+        } else if op < 8 + 70 {
+            out[byte] = out[byte].wrapping_sub((op - 8 - 35 + 1) as u8);
+        } else {
+            out[byte] = INTERESTING_8[op - 8 - 70];
+        }
+        out
+    }
+
+    /// One havoc mutation: 1–8 stacked random operations.
+    pub fn havoc(&self, input: &[u8], rng: &mut StdRng) -> Vec<u8> {
+        let mut out = input.to_vec();
+        if out.is_empty() {
+            out = vec![0];
+        }
+        let stack = 1 << rng.gen_range(0..4u32); // 1,2,4,8
+        for _ in 0..stack {
+            self.havoc_one(&mut out, rng);
+        }
+        out.truncate(self.max_len);
+        out
+    }
+
+    fn havoc_one(&self, out: &mut Vec<u8>, rng: &mut StdRng) {
+        if out.is_empty() {
+            out.push(rng.gen());
+            return;
+        }
+        match rng.gen_range(0..11u32) {
+            0 => {
+                // flip a bit
+                let i = rng.gen_range(0..out.len());
+                out[i] ^= 1 << rng.gen_range(0..8u32);
+            }
+            1 => {
+                // set interesting byte
+                let i = rng.gen_range(0..out.len());
+                out[i] = INTERESTING_8[rng.gen_range(0..INTERESTING_8.len())];
+            }
+            2 if out.len() >= 2 => {
+                // set interesting u16 (little-endian)
+                let i = rng.gen_range(0..out.len() - 1);
+                let v = INTERESTING_16[rng.gen_range(0..INTERESTING_16.len())];
+                out[i..i + 2].copy_from_slice(&v.to_le_bytes());
+            }
+            3 if out.len() >= 4 => {
+                // set interesting u32
+                let i = rng.gen_range(0..out.len() - 3);
+                let v = INTERESTING_32[rng.gen_range(0..INTERESTING_32.len())];
+                out[i..i + 4].copy_from_slice(&v.to_le_bytes());
+            }
+            4 => {
+                // random add/sub
+                let i = rng.gen_range(0..out.len());
+                let delta = rng.gen_range(1..=35u8);
+                out[i] = if rng.gen() {
+                    out[i].wrapping_add(delta)
+                } else {
+                    out[i].wrapping_sub(delta)
+                };
+            }
+            5 => {
+                // random byte
+                let i = rng.gen_range(0..out.len());
+                out[i] = rng.gen();
+            }
+            6 if out.len() > 1 => {
+                // delete a run
+                let i = rng.gen_range(0..out.len());
+                let n = rng.gen_range(1..=(out.len() - i).min(8));
+                out.drain(i..i + n);
+            }
+            7 => {
+                // insert random bytes
+                if out.len() < self.max_len {
+                    let i = rng.gen_range(0..=out.len());
+                    let n = rng.gen_range(1..=8usize).min(self.max_len - out.len());
+                    let bytes: Vec<u8> = (0..n).map(|_| rng.gen()).collect();
+                    out.splice(i..i, bytes);
+                }
+            }
+            8 if out.len() >= 2 => {
+                // clone a run elsewhere (overwrite)
+                let src = rng.gen_range(0..out.len());
+                let n = rng.gen_range(1..=(out.len() - src).min(8));
+                let dst = rng.gen_range(0..out.len() - (n - 1));
+                let run: Vec<u8> = out[src..src + n].to_vec();
+                out[dst..dst + n].copy_from_slice(&run);
+            }
+            9 => {
+                // swap two bytes
+                let i = rng.gen_range(0..out.len());
+                let j = rng.gen_range(0..out.len());
+                out.swap(i, j);
+            }
+            _ => {
+                // overwrite with zero run
+                let i = rng.gen_range(0..out.len());
+                let n = rng.gen_range(1..=(out.len() - i).min(4));
+                out[i..i + n].iter_mut().for_each(|b| *b = 0);
+            }
+        }
+    }
+
+    /// Splices two inputs at random crossover points (AFL's splice stage).
+    pub fn splice(&self, a: &[u8], b: &[u8], rng: &mut StdRng) -> Vec<u8> {
+        if a.is_empty() || b.is_empty() {
+            return if a.is_empty() { b.to_vec() } else { a.to_vec() };
+        }
+        let cut_a = rng.gen_range(0..a.len());
+        let cut_b = rng.gen_range(0..b.len());
+        let mut out = a[..cut_a].to_vec();
+        out.extend_from_slice(&b[cut_b..]);
+        out.truncate(self.max_len);
+        if out.is_empty() {
+            out.push(0);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn det_mutations_cover_every_byte() {
+        let m = Mutator::new(64);
+        let input = vec![0u8; 4];
+        let n = m.det_count(input.len());
+        let mut touched = [false; 4];
+        for i in 0..n {
+            let out = m.det_mutation(&input, i);
+            assert_eq!(out.len(), 4);
+            for (j, (&a, &b)) in out.iter().zip(input.iter()).enumerate() {
+                if a != b {
+                    touched[j] = true;
+                }
+            }
+        }
+        assert!(touched.iter().all(|&t| t), "{touched:?}");
+    }
+
+    #[test]
+    fn det_mutation_is_deterministic() {
+        let m = Mutator::new(64);
+        let input = b"GIF87a".to_vec();
+        assert_eq!(m.det_mutation(&input, 42), m.det_mutation(&input, 42));
+        assert_ne!(m.det_mutation(&input, 0), input);
+    }
+
+    #[test]
+    fn havoc_respects_max_len() {
+        let m = Mutator::new(16);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let out = m.havoc(b"hello world", &mut rng);
+            assert!(out.len() <= 16);
+            assert!(!out.is_empty());
+        }
+    }
+
+    #[test]
+    fn havoc_is_seed_deterministic() {
+        let m = Mutator::new(64);
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            assert_eq!(m.havoc(b"abc", &mut r1), m.havoc(b"abc", &mut r2));
+        }
+    }
+
+    #[test]
+    fn splice_combines_parents() {
+        let m = Mutator::new(64);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = m.splice(b"AAAAAA", b"BBBBBB", &mut rng);
+        assert!(!out.is_empty());
+        assert!(out.len() <= 12);
+    }
+}

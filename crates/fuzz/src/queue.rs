@@ -1,0 +1,229 @@
+//! Seed queue and power schedules.
+
+use std::collections::HashMap;
+
+/// One queued seed.
+#[derive(Debug, Clone)]
+pub struct QueueEntry {
+    /// The input bytes.
+    pub input: Vec<u8>,
+    /// Identifier of the execution path this seed exercises.
+    pub path_hash: u64,
+    /// How many times this seed has been picked for fuzzing (`s(i)` in
+    /// AFLFast).
+    pub times_fuzzed: u32,
+    /// Queue-chain depth (seed generation).
+    pub depth: u32,
+    /// Virtual execution cost of the seed (instructions).
+    pub exec_insts: u64,
+    /// AFLGo: normalised distance of the seed to the target in `[0,1]`
+    /// (0 = at the target); `None` when distance is undefined.
+    pub distance: Option<f64>,
+}
+
+/// Which power schedule assigns energy to seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Schedule {
+    /// AFLFast's FAST schedule: energy grows exponentially with
+    /// `times_fuzzed` and is divided by the path frequency, so rarely
+    /// exercised paths receive the most fuzzing.
+    Fast,
+    /// AFLFast's COE (cut-off exponential) schedule: seeds on
+    /// *high-frequency* paths (above the mean path frequency) receive no
+    /// energy at all; the rest follow FAST.
+    Coe {
+        /// Mean executions per discovered path so far.
+        mean_path_freq: f64,
+    },
+    /// AFLFast's EXPLOIT schedule (classic AFL): energy is a constant
+    /// multiple of the base, independent of path rarity.
+    Exploit,
+    /// AFLGo's annealing schedule: energy scales with closeness to the
+    /// target; the temperature parameter is the campaign progress in
+    /// `[0,1]` (exploration → exploitation).
+    AflGo {
+        /// Campaign progress `t/t_end`.
+        progress: f64,
+    },
+}
+
+/// Per-path execution frequency (`f(i)` in AFLFast).
+#[derive(Debug, Default)]
+pub struct PathFrequency {
+    counts: HashMap<u64, u64>,
+}
+
+impl PathFrequency {
+    /// Creates an empty table.
+    pub fn new() -> PathFrequency {
+        PathFrequency::default()
+    }
+
+    /// Records one execution of `path_hash`; returns the new count.
+    pub fn record(&mut self, path_hash: u64) -> u64 {
+        let c = self.counts.entry(path_hash).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    /// Current count for a path.
+    pub fn get(&self, path_hash: u64) -> u64 {
+        self.counts.get(&path_hash).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct paths observed.
+    pub fn distinct_paths(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// Base number of havoc iterations per selected seed.
+pub const HAVOC_BASE: u64 = 256;
+/// Hard cap on per-selection energy.
+pub const ENERGY_CAP: u64 = 16_384;
+
+/// Mean executions per distinct path (the COE cut-off).
+pub fn mean_path_frequency(freq: &PathFrequency, total_execs: u64) -> f64 {
+    let paths = freq.distinct_paths().max(1);
+    total_execs as f64 / paths as f64
+}
+
+/// Computes the number of havoc executions to spend on `entry` now.
+pub fn energy(entry: &QueueEntry, freq: &PathFrequency, schedule: Schedule) -> u64 {
+    match schedule {
+        Schedule::Fast => {
+            // FAST: p(i) = min(CAP, base * 2^s(i) / f(i))
+            let s = entry.times_fuzzed.min(16);
+            let f = freq.get(entry.path_hash).max(1);
+            (HAVOC_BASE.saturating_mul(1 << s) / f).clamp(1, ENERGY_CAP)
+        }
+        Schedule::Coe { mean_path_freq } => {
+            // COE: skip seeds on over-exercised paths entirely.
+            let f = freq.get(entry.path_hash).max(1);
+            if f as f64 > mean_path_freq {
+                return 0;
+            }
+            let s = entry.times_fuzzed.min(16);
+            (HAVOC_BASE.saturating_mul(1 << s) / f).clamp(1, ENERGY_CAP)
+        }
+        Schedule::Exploit => HAVOC_BASE,
+        Schedule::AflGo { progress } => {
+            // Annealing: T goes 1 → 0 with progress; the power factor
+            // p = (1 - d)(1 - T) + 0.5 T interpolates between uniform
+            // exploration and distance-driven exploitation.
+            let t = (1.0 - progress).clamp(0.0, 1.0);
+            let d = entry.distance.unwrap_or(1.0).clamp(0.0, 1.0);
+            let p = (1.0 - d) * (1.0 - t) + 0.5 * t;
+            // Map p ∈ [0,1] onto an exponential energy range like AFLGo's
+            // 2^(10(p-0.5)) factor.
+            let factor = 2f64.powf(10.0 * (p - 0.5));
+            ((HAVOC_BASE as f64 * factor) as u64).clamp(1, ENERGY_CAP)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(path: u64) -> QueueEntry {
+        QueueEntry {
+            input: vec![0],
+            path_hash: path,
+            times_fuzzed: 0,
+            depth: 0,
+            exec_insts: 100,
+            distance: None,
+        }
+    }
+
+    #[test]
+    fn fast_schedule_prefers_rare_paths() {
+        let mut freq = PathFrequency::new();
+        for _ in 0..100 {
+            freq.record(1);
+        }
+        freq.record(2);
+        let hot = entry(1);
+        let cold = entry(2);
+        assert!(energy(&cold, &freq, Schedule::Fast) > energy(&hot, &freq, Schedule::Fast));
+    }
+
+    #[test]
+    fn fast_schedule_grows_with_times_fuzzed() {
+        let freq = PathFrequency::new();
+        let mut e = entry(1);
+        let e0 = energy(&e, &freq, Schedule::Fast);
+        e.times_fuzzed = 4;
+        let e4 = energy(&e, &freq, Schedule::Fast);
+        assert!(e4 > e0);
+        e.times_fuzzed = 60; // saturates, stays within cap
+        assert!(energy(&e, &freq, Schedule::Fast) <= ENERGY_CAP);
+    }
+
+    #[test]
+    fn aflgo_schedule_prefers_close_seeds_late() {
+        let freq = PathFrequency::new();
+        let mut near = entry(1);
+        near.distance = Some(0.1);
+        let mut far = entry(2);
+        far.distance = Some(0.9);
+        // Early (progress 0): near and far get equal (exploration).
+        let sched0 = Schedule::AflGo { progress: 0.0 };
+        assert_eq!(energy(&near, &freq, sched0), energy(&far, &freq, sched0));
+        // Late (progress 1): near dominates.
+        let sched1 = Schedule::AflGo { progress: 1.0 };
+        assert!(energy(&near, &freq, sched1) > 4 * energy(&far, &freq, sched1));
+    }
+
+    #[test]
+    fn coe_cuts_off_hot_paths() {
+        let mut freq = PathFrequency::new();
+        for _ in 0..100 {
+            freq.record(1);
+        }
+        freq.record(2);
+        let hot = entry(1);
+        let cold = entry(2);
+        let sched = Schedule::Coe {
+            mean_path_freq: mean_path_frequency(&freq, 101),
+        };
+        assert_eq!(energy(&hot, &freq, sched), 0, "hot path gets nothing");
+        assert!(energy(&cold, &freq, sched) > 0);
+    }
+
+    #[test]
+    fn exploit_is_constant() {
+        let mut freq = PathFrequency::new();
+        freq.record(1);
+        let mut e = entry(1);
+        let a = energy(&e, &freq, Schedule::Exploit);
+        e.times_fuzzed = 10;
+        for _ in 0..50 {
+            freq.record(1);
+        }
+        let b = energy(&e, &freq, Schedule::Exploit);
+        assert_eq!(a, b);
+        assert_eq!(a, HAVOC_BASE);
+    }
+
+    #[test]
+    fn mean_path_frequency_math() {
+        let mut f = PathFrequency::new();
+        f.record(1);
+        f.record(1);
+        f.record(2);
+        assert!((mean_path_frequency(&f, 3) - 1.5).abs() < 1e-9);
+        assert!((mean_path_frequency(&PathFrequency::new(), 0) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_frequency_counts() {
+        let mut f = PathFrequency::new();
+        assert_eq!(f.record(9), 1);
+        assert_eq!(f.record(9), 2);
+        assert_eq!(f.get(9), 2);
+        assert_eq!(f.get(8), 0);
+        assert_eq!(f.distinct_paths(), 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! AFL-style input trimming.
+//!
+//! Before investing mutation energy in a seed, AFL shrinks it: chunks are
+//! removed as long as the execution path (classified coverage hash) stays
+//! the same. Smaller seeds make every subsequent havoc round cheaper and
+//! more likely to hit the bytes that matter.
+
+use octo_ir::Program;
+use octo_vm::{Limits, Vm};
+
+use crate::coverage::CoverageHook;
+
+/// Result of trimming one input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrimResult {
+    /// The (possibly) shrunken input.
+    pub input: Vec<u8>,
+    /// Executions spent trimming.
+    pub execs: u64,
+    /// Instructions executed while trimming (virtual-clock cost).
+    pub insts: u64,
+}
+
+fn path_hash_of(program: &Program, limits: Limits, input: &[u8], insts: &mut u64) -> u64 {
+    let mut hook = CoverageHook::new();
+    let mut vm = Vm::new(program, input).with_limits(limits);
+    let _ = vm.run_hooked(&mut hook);
+    *insts += vm.insts_executed();
+    hook.trace.classify();
+    hook.trace.path_hash()
+}
+
+/// Shrinks `input` while its execution path through `program` is
+/// unchanged. Removal passes use chunk sizes of 1/16th down to one byte
+/// (AFL's `MIN`/`MAX` trim geometry, simplified).
+pub fn trim_input(program: &Program, limits: Limits, input: &[u8]) -> TrimResult {
+    let mut insts = 0u64;
+    let mut execs = 0u64;
+    let baseline = path_hash_of(program, limits, input, &mut insts);
+    execs += 1;
+
+    let mut current = input.to_vec();
+    let mut chunk = (current.len() / 16).max(1);
+    while chunk >= 1 && !current.is_empty() {
+        let mut pos = 0;
+        while pos < current.len() {
+            let end = (pos + chunk).min(current.len());
+            let mut candidate = current.clone();
+            candidate.drain(pos..end);
+            let h = path_hash_of(program, limits, &candidate, &mut insts);
+            execs += 1;
+            if h == baseline {
+                current = candidate;
+                // Do not advance: the next chunk shifted into `pos`.
+            } else {
+                pos += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    TrimResult {
+        input: current,
+        execs,
+        insts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octo_ir::parse::parse_program;
+
+    /// A program that reads two header bytes and ignores the rest.
+    const HEADER_ONLY: &str = r#"
+func main() {
+entry:
+    fd = open
+    a = getc fd
+    ok = eq a, 0x47
+    br ok, second, rej
+second:
+    b = getc fd
+    ok2 = eq b, 0x49
+    br ok2, fin, rej
+fin:
+    halt 0
+rej:
+    halt 1
+}
+"#;
+
+    #[test]
+    fn trailing_bytes_are_trimmed() {
+        let p = parse_program(HEADER_ONLY).unwrap();
+        let mut input = b"GI".to_vec();
+        input.extend_from_slice(&[0xAA; 60]);
+        let r = trim_input(&p, Limits::default(), &input);
+        assert_eq!(r.input, b"GI".to_vec(), "only the consumed header remains");
+        assert!(r.execs > 1);
+        assert!(r.insts > 0);
+    }
+
+    #[test]
+    fn load_bearing_bytes_survive() {
+        let p = parse_program(HEADER_ONLY).unwrap();
+        let r = trim_input(&p, Limits::default(), b"GI");
+        assert_eq!(r.input, b"GI".to_vec());
+    }
+
+    #[test]
+    fn path_preservation_is_exact() {
+        // The trimmed input takes the same path as the original.
+        let p = parse_program(HEADER_ONLY).unwrap();
+        let mut input = b"GI".to_vec();
+        input.extend_from_slice(&[0u8; 31]);
+        let r = trim_input(&p, Limits::default(), &input);
+        let mut insts = 0;
+        let h_orig = path_hash_of(&p, Limits::default(), &input, &mut insts);
+        let h_trim = path_hash_of(&p, Limits::default(), &r.input, &mut insts);
+        assert_eq!(h_orig, h_trim);
+    }
+
+    #[test]
+    fn empty_input_is_stable() {
+        let p = parse_program(HEADER_ONLY).unwrap();
+        let r = trim_input(&p, Limits::default(), &[]);
+        assert!(r.input.is_empty());
+    }
+}

@@ -1,0 +1,312 @@
+//! MicroIR instructions and block terminators.
+
+use crate::types::{BinOp, BlockId, CheckedOp, FuncId, Operand, Reg, RegionKind, UnOp, Width};
+
+/// A single (non-terminator) MicroIR instruction.
+///
+/// Every instruction executes in one step of the concrete or symbolic
+/// interpreter. Memory-touching and file-touching instructions are the
+/// observables on which the taint engine (paper §III-A) and the combiner
+/// (paper §III-C) operate.
+///
+/// Field names follow one convention throughout: `dst` receives the
+/// result, `lhs`/`rhs`/`src` are read, `addr`+`offset` form the effective
+/// address, `fd`/`buf`/`len`/`pos` are the file-call parameters.
+#[allow(missing_docs)] // variant docs describe each form; field names are conventional
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// `dst = imm` — load a 64-bit constant.
+    Const { dst: Reg, value: u64 },
+    /// `dst = src` — register/immediate move.
+    Move { dst: Reg, src: Operand },
+    /// `dst = op(lhs, rhs)` — wrapping arithmetic / comparison.
+    Bin {
+        dst: Reg,
+        op: BinOp,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    /// `dst = op(src)` — unary operation.
+    Un { dst: Reg, op: UnOp, src: Operand },
+    /// Overflow-checked arithmetic at a given width.
+    ///
+    /// Overflow is a crash (CWE-190, integer overflow) — e.g. the
+    /// CVE-2018-20330 row of Table II.
+    CheckedBin {
+        dst: Reg,
+        op: CheckedOp,
+        width: Width,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    /// `dst = *(addr + offset)` — load `width` bytes little-endian.
+    Load {
+        dst: Reg,
+        addr: Operand,
+        offset: u64,
+        width: Width,
+    },
+    /// `*(addr + offset) = src` — store `width` bytes little-endian.
+    Store {
+        addr: Operand,
+        offset: u64,
+        src: Operand,
+        width: Width,
+    },
+    /// Allocate `size` bytes, returning the base address in `dst`.
+    ///
+    /// Allocations have hard bounds: access outside them is a crash
+    /// (CWE-119, buffer overflow).
+    Alloc {
+        dst: Reg,
+        size: Operand,
+        region: RegionKind,
+    },
+    /// Direct call. `dst` receives the return value, if any.
+    Call {
+        dst: Option<Reg>,
+        callee: FuncId,
+        args: Vec<Operand>,
+    },
+    /// Indirect call through a function address (see [`crate::encode_func_addr`]).
+    CallIndirect {
+        dst: Option<Reg>,
+        target: Operand,
+        args: Vec<Operand>,
+    },
+    /// `dst = &func` — materialise a function address.
+    FuncAddr { dst: Reg, func: FuncId },
+    /// `dst = &&block` — materialise a block address (computed goto).
+    BlockAddr { dst: Reg, block: BlockId },
+    /// `dst = open()` — open the input file; returns a file descriptor.
+    ///
+    /// MicroIR programs have exactly one input: "the PoC file". This mirrors
+    /// the paper's setting, where the vulnerable binaries take one malformed
+    /// file as input.
+    FileOpen { dst: Reg },
+    /// `dst = read(fd, buf, len)` — read up to `len` bytes at the current
+    /// file position into memory at `buf`; returns the byte count and
+    /// advances the file position indicator.
+    FileRead {
+        dst: Reg,
+        fd: Operand,
+        buf: Operand,
+        len: Operand,
+    },
+    /// `dst = getc(fd)` — read one byte; returns `u64::MAX` at EOF.
+    FileGetc { dst: Reg, fd: Operand },
+    /// `seek(fd, pos)` — set the file position indicator.
+    FileSeek { fd: Operand, pos: Operand },
+    /// `dst = tell(fd)` — read the file position indicator (paper §III-C
+    /// uses this indicator to place bunches in `poc'`).
+    FileTell { dst: Reg, fd: Operand },
+    /// `dst = size(fd)` — total input size in bytes.
+    FileSize { dst: Reg, fd: Operand },
+    /// `dst = mmap(fd)` — map the whole input file; returns the base
+    /// address. The paper's taint engine hooks both file-read and
+    /// memory-mapping functions (§III-A, Fig. 4).
+    MemMap { dst: Reg, fd: Operand },
+    /// Unconditional abort with a code (assertion failure / explicit
+    /// vulnerability trigger).
+    Trap { code: u64 },
+    /// No operation (padding; useful for instrumentation tests).
+    Nop,
+}
+
+impl Inst {
+    /// The register written by this instruction, if any.
+    pub fn def(&self) -> Option<Reg> {
+        match self {
+            Inst::Const { dst, .. }
+            | Inst::Move { dst, .. }
+            | Inst::Bin { dst, .. }
+            | Inst::Un { dst, .. }
+            | Inst::CheckedBin { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::Alloc { dst, .. }
+            | Inst::FuncAddr { dst, .. }
+            | Inst::BlockAddr { dst, .. }
+            | Inst::FileOpen { dst }
+            | Inst::FileRead { dst, .. }
+            | Inst::FileGetc { dst, .. }
+            | Inst::FileTell { dst, .. }
+            | Inst::FileSize { dst, .. }
+            | Inst::MemMap { dst, .. } => Some(*dst),
+            Inst::Call { dst, .. } | Inst::CallIndirect { dst, .. } => *dst,
+            Inst::Store { .. } | Inst::FileSeek { .. } | Inst::Trap { .. } | Inst::Nop => None,
+        }
+    }
+
+    /// The registers read by this instruction.
+    pub fn uses(&self) -> Vec<Reg> {
+        fn push(v: &mut Vec<Reg>, op: &Operand) {
+            if let Operand::Reg(r) = op {
+                v.push(*r);
+            }
+        }
+        let mut v = Vec::new();
+        match self {
+            Inst::Const { .. }
+            | Inst::FuncAddr { .. }
+            | Inst::BlockAddr { .. }
+            | Inst::FileOpen { .. }
+            | Inst::Trap { .. }
+            | Inst::Nop => {}
+            Inst::Move { src, .. } | Inst::Un { src, .. } => push(&mut v, src),
+            Inst::Bin { lhs, rhs, .. } | Inst::CheckedBin { lhs, rhs, .. } => {
+                push(&mut v, lhs);
+                push(&mut v, rhs);
+            }
+            Inst::Load { addr, .. } => push(&mut v, addr),
+            Inst::Store { addr, src, .. } => {
+                push(&mut v, addr);
+                push(&mut v, src);
+            }
+            Inst::Alloc { size, .. } => push(&mut v, size),
+            Inst::Call { args, .. } => args.iter().for_each(|a| push(&mut v, a)),
+            Inst::CallIndirect { target, args, .. } => {
+                push(&mut v, target);
+                args.iter().for_each(|a| push(&mut v, a));
+            }
+            Inst::FileRead { fd, buf, len, .. } => {
+                push(&mut v, fd);
+                push(&mut v, buf);
+                push(&mut v, len);
+            }
+            Inst::FileGetc { fd, .. } | Inst::FileTell { fd, .. } | Inst::FileSize { fd, .. } => {
+                push(&mut v, fd)
+            }
+            Inst::FileSeek { fd, pos } => {
+                push(&mut v, fd);
+                push(&mut v, pos);
+            }
+            Inst::MemMap { fd, .. } => push(&mut v, fd),
+        }
+        v
+    }
+
+    /// Whether this instruction can transfer control to another function.
+    pub fn is_call(&self) -> bool {
+        matches!(self, Inst::Call { .. } | Inst::CallIndirect { .. })
+    }
+}
+
+/// A basic-block terminator.
+#[allow(missing_docs)] // variant docs describe each form; field names are conventional
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jmp(BlockId),
+    /// Two-way branch on `cond != 0`.
+    Br {
+        cond: Operand,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    },
+    /// Multi-way branch on an exact value match.
+    Switch {
+        scrut: Operand,
+        cases: Vec<(u64, BlockId)>,
+        default: BlockId,
+    },
+    /// Indirect jump through a block address ([`crate::encode_block_addr`]).
+    ///
+    /// Static CFG recovery cannot resolve these edges; dynamic CFG recovery
+    /// (paper §IV-B) observes them at execution time. A program whose
+    /// reachability hinges on an unresolvable indirect jump reproduces the
+    /// paper's Idx-15 CFG-construction failure.
+    JmpIndirect { target: Operand },
+    /// Return from the current function.
+    Ret(Option<Operand>),
+    /// Terminate the whole program with an exit code.
+    Halt { code: Operand },
+}
+
+impl Terminator {
+    /// Statically known successor blocks (empty for `ijmp`, `ret`, `halt`).
+    pub fn static_successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jmp(b) => vec![*b],
+            Terminator::Br {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Terminator::Switch { cases, default, .. } => {
+                let mut v: Vec<BlockId> = cases.iter().map(|(_, b)| *b).collect();
+                v.push(*default);
+                v.dedup();
+                v
+            }
+            Terminator::JmpIndirect { .. } | Terminator::Ret(_) | Terminator::Halt { .. } => {
+                Vec::new()
+            }
+        }
+    }
+
+    /// Whether the terminator leaves the function (return or program exit).
+    pub fn is_exit(&self) -> bool {
+        matches!(self, Terminator::Ret(_) | Terminator::Halt { .. })
+    }
+
+    /// Whether control flow past this terminator cannot be derived from the
+    /// program text alone.
+    pub fn is_indirect(&self) -> bool {
+        matches!(self, Terminator::JmpIndirect { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn def_and_uses() {
+        let i = Inst::Bin {
+            dst: Reg(5),
+            op: BinOp::Add,
+            lhs: Operand::Reg(Reg(1)),
+            rhs: Operand::Imm(3),
+        };
+        assert_eq!(i.def(), Some(Reg(5)));
+        assert_eq!(i.uses(), vec![Reg(1)]);
+
+        let s = Inst::Store {
+            addr: Operand::Reg(Reg(2)),
+            offset: 4,
+            src: Operand::Reg(Reg(3)),
+            width: Width::W4,
+        };
+        assert_eq!(s.def(), None);
+        assert_eq!(s.uses(), vec![Reg(2), Reg(3)]);
+    }
+
+    #[test]
+    fn call_uses_args_and_target() {
+        let c = Inst::CallIndirect {
+            dst: Some(Reg(0)),
+            target: Operand::Reg(Reg(9)),
+            args: vec![Operand::Reg(Reg(1)), Operand::Imm(2)],
+        };
+        assert!(c.is_call());
+        assert_eq!(c.uses(), vec![Reg(9), Reg(1)]);
+    }
+
+    #[test]
+    fn switch_successors_dedup() {
+        let t = Terminator::Switch {
+            scrut: Operand::Reg(Reg(0)),
+            cases: vec![(1, BlockId(2)), (2, BlockId(2))],
+            default: BlockId(3),
+        };
+        assert_eq!(t.static_successors(), vec![BlockId(2), BlockId(3)]);
+        assert!(!t.is_exit());
+    }
+
+    #[test]
+    fn indirect_has_no_static_successors() {
+        let t = Terminator::JmpIndirect {
+            target: Operand::Reg(Reg(0)),
+        };
+        assert!(t.static_successors().is_empty());
+        assert!(t.is_indirect());
+    }
+}

@@ -1,0 +1,127 @@
+//! # octo-ir — MicroIR, the program substrate of the OctoPoCs reproduction.
+//!
+//! The original OctoPoCs system operates on real x86 binaries through Intel
+//! PIN (dynamic taint analysis) and angr (symbolic execution). Neither real
+//! binaries nor those frameworks are available here, so this crate provides
+//! the substitute substrate: a small register-based intermediate
+//! representation ("MicroIR") with exactly the observables those tools
+//! expose on native code:
+//!
+//! * byte-addressable memory with bounded allocations (so out-of-bounds
+//!   accesses are detectable, like a SIGSEGV),
+//! * explicit file input instructions (`open` / `read` / `getc` / `seek` /
+//!   `tell` / `mmap`) including a *file position indicator*, which phase P3
+//!   of the paper uses to place crash primitives,
+//! * function calls with a real call stack (so crash backtraces exist and
+//!   `ep` — the first shared function on the stack — is well defined),
+//! * conditional branches and switches whose conditions symbolic execution
+//!   can constrain,
+//! * indirect jumps/calls through computed addresses, which static CFG
+//!   recovery cannot resolve (used to reproduce the paper's Idx-15 failure
+//!   mode, an angr CFG-construction bug).
+//!
+//! Programs can be constructed through [`builder::FunctionBuilder`] or
+//! written in a textual assembly dialect parsed by [`parse::parse_program`].
+//!
+//! ```
+//! use octo_ir::parse::parse_program;
+//!
+//! let src = r#"
+//! func main() {
+//! entry:
+//!     fd = open
+//!     buf = alloc 16
+//!     n = read fd, buf, 16
+//!     ret n
+//! }
+//! "#;
+//! let program = parse_program(src)?;
+//! assert_eq!(program.function_count(), 1);
+//! # Ok::<(), octo_ir::parse::ParseError>(())
+//! ```
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod inst;
+pub mod parse;
+pub mod printer;
+pub mod program;
+pub mod stats;
+pub mod types;
+pub mod validate;
+
+pub use inst::{Inst, Terminator};
+pub use program::{BasicBlock, Function, Program};
+pub use stats::ProgramStats;
+pub use types::{BinOp, BlockId, CheckedOp, FuncId, Operand, Reg, RegionKind, UnOp, Width};
+
+/// Tag bits used to encode a basic-block address as a runtime value.
+///
+/// `baddr`/`ijmp` model computed gotos: the address of a block is an opaque
+/// 64-bit value that concrete and symbolic interpreters must agree on.
+pub const BLOCK_ADDR_TAG: u64 = 0xB10C_0000_0000_0000;
+/// Tag bits used to encode a function address as a runtime value (for
+/// indirect calls through function pointers).
+pub const FUNC_ADDR_TAG: u64 = 0xF0FC_0000_0000_0000;
+/// Mask selecting the tag portion of an encoded code address.
+pub const ADDR_TAG_MASK: u64 = 0xFFFF_0000_0000_0000;
+
+/// Encodes the address of `block` in `func` as an opaque runtime value.
+pub fn encode_block_addr(func: FuncId, block: BlockId) -> u64 {
+    BLOCK_ADDR_TAG | (u64::from(func.0) << 32) | u64::from(block.0)
+}
+
+/// Decodes a value produced by [`encode_block_addr`].
+///
+/// Returns `None` if the value does not carry the block-address tag.
+pub fn decode_block_addr(value: u64) -> Option<(FuncId, BlockId)> {
+    if value & ADDR_TAG_MASK == BLOCK_ADDR_TAG {
+        Some((
+            FuncId(((value >> 32) & 0xFFFF) as u32),
+            BlockId((value & 0xFFFF_FFFF) as u32),
+        ))
+    } else {
+        None
+    }
+}
+
+/// Encodes the address of `func` as an opaque runtime value.
+pub fn encode_func_addr(func: FuncId) -> u64 {
+    FUNC_ADDR_TAG | u64::from(func.0)
+}
+
+/// Decodes a value produced by [`encode_func_addr`].
+///
+/// Returns `None` if the value does not carry the function-address tag.
+pub fn decode_func_addr(value: u64) -> Option<FuncId> {
+    if value & ADDR_TAG_MASK == FUNC_ADDR_TAG {
+        Some(FuncId((value & 0xFFFF_FFFF) as u32))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_addr_roundtrip() {
+        let v = encode_block_addr(FuncId(7), BlockId(13));
+        assert_eq!(decode_block_addr(v), Some((FuncId(7), BlockId(13))));
+        assert_eq!(decode_func_addr(v), None);
+    }
+
+    #[test]
+    fn func_addr_roundtrip() {
+        let v = encode_func_addr(FuncId(42));
+        assert_eq!(decode_func_addr(v), Some(FuncId(42)));
+        assert_eq!(decode_block_addr(v), None);
+    }
+
+    #[test]
+    fn plain_values_are_not_code_addresses() {
+        assert_eq!(decode_block_addr(12345), None);
+        assert_eq!(decode_func_addr(0), None);
+    }
+}

@@ -1,0 +1,241 @@
+//! Pretty-printer emitting the assembler dialect parsed by [`crate::parse`].
+//!
+//! `parse(print(p))` reproduces `p` up to register names (the printer uses
+//! canonical `rN` names); the round-trip property is exercised by the crate's
+//! property tests.
+
+use std::fmt::Write as _;
+
+use crate::inst::{Inst, Terminator};
+use crate::program::{Function, Program};
+use crate::types::Operand;
+
+/// Renders a whole program in assembler syntax.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for (_, f) in p.iter() {
+        print_function(f, p, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one function in assembler syntax, appending to `out`.
+pub fn print_function(f: &Function, p: &Program, out: &mut String) {
+    let params: Vec<String> = (0..f.n_params).map(|i| format!("r{i}")).collect();
+    let _ = writeln!(out, "func {}({}) {{", f.name, params.join(", "));
+    for block in &f.blocks {
+        let _ = writeln!(out, "{}:", block.label);
+        for inst in &block.insts {
+            let _ = writeln!(out, "    {}", render_inst(inst, f, p));
+        }
+        let _ = writeln!(out, "    {}", render_term(&block.term, f));
+    }
+    let _ = writeln!(out, "}}");
+}
+
+fn render_operand(op: &Operand) -> String {
+    op.to_string()
+}
+
+fn render_inst(inst: &Inst, f: &Function, p: &Program) -> String {
+    let label_of = |b: &crate::types::BlockId| f.blocks[b.0 as usize].label.clone();
+    match inst {
+        Inst::Const { dst, value } => {
+            if *value > 0xFFFF {
+                format!("{dst} = {value:#x}")
+            } else {
+                format!("{dst} = {value}")
+            }
+        }
+        Inst::Move { dst, src } => format!("{dst} = {}", render_operand(src)),
+        Inst::Bin { dst, op, lhs, rhs } => format!(
+            "{dst} = {} {}, {}",
+            op.mnemonic(),
+            render_operand(lhs),
+            render_operand(rhs)
+        ),
+        Inst::Un { dst, op, src } => {
+            format!("{dst} = {} {}", op.mnemonic(), render_operand(src))
+        }
+        Inst::CheckedBin {
+            dst,
+            op,
+            width,
+            lhs,
+            rhs,
+        } => format!(
+            "{dst} = {}.{} {}, {}",
+            op.mnemonic(),
+            width,
+            render_operand(lhs),
+            render_operand(rhs)
+        ),
+        Inst::Load {
+            dst,
+            addr,
+            offset,
+            width,
+        } => {
+            if *offset == 0 {
+                format!("{dst} = load.{width} {}", render_operand(addr))
+            } else {
+                format!("{dst} = load.{width} {} + {offset}", render_operand(addr))
+            }
+        }
+        Inst::Store {
+            addr,
+            offset,
+            src,
+            width,
+        } => {
+            if *offset == 0 {
+                format!(
+                    "store.{width} {}, {}",
+                    render_operand(addr),
+                    render_operand(src)
+                )
+            } else {
+                format!(
+                    "store.{width} {} + {offset}, {}",
+                    render_operand(addr),
+                    render_operand(src)
+                )
+            }
+        }
+        Inst::Alloc { dst, size, region } => {
+            let kw = match region {
+                crate::types::RegionKind::Heap => "alloc",
+                crate::types::RegionKind::Stack => "salloc",
+            };
+            format!("{dst} = {kw} {}", render_operand(size))
+        }
+        Inst::Call { dst, callee, args } => {
+            let name = &p.func(*callee).name;
+            let args: Vec<String> = args.iter().map(render_operand).collect();
+            match dst {
+                Some(d) => format!("{d} = call {name}({})", args.join(", ")),
+                None => format!("call {name}({})", args.join(", ")),
+            }
+        }
+        Inst::CallIndirect { dst, target, args } => {
+            let args: Vec<String> = args.iter().map(render_operand).collect();
+            match dst {
+                Some(d) => format!(
+                    "{d} = icall {}({})",
+                    render_operand(target),
+                    args.join(", ")
+                ),
+                None => format!("icall {}({})", render_operand(target), args.join(", ")),
+            }
+        }
+        Inst::FuncAddr { dst, func } => format!("{dst} = faddr {}", p.func(*func).name),
+        Inst::BlockAddr { dst, block } => format!("{dst} = baddr {}", label_of(block)),
+        Inst::FileOpen { dst } => format!("{dst} = open"),
+        Inst::FileRead { dst, fd, buf, len } => format!(
+            "{dst} = read {}, {}, {}",
+            render_operand(fd),
+            render_operand(buf),
+            render_operand(len)
+        ),
+        Inst::FileGetc { dst, fd } => format!("{dst} = getc {}", render_operand(fd)),
+        Inst::FileSeek { fd, pos } => {
+            format!("seek {}, {}", render_operand(fd), render_operand(pos))
+        }
+        Inst::FileTell { dst, fd } => format!("{dst} = tell {}", render_operand(fd)),
+        Inst::FileSize { dst, fd } => format!("{dst} = fsize {}", render_operand(fd)),
+        Inst::MemMap { dst, fd } => format!("{dst} = mmap {}", render_operand(fd)),
+        Inst::Trap { code } => format!("trap {code}"),
+        Inst::Nop => "nop".to_string(),
+    }
+}
+
+fn render_term(term: &Terminator, f: &Function) -> String {
+    let label_of = |b: &crate::types::BlockId| f.blocks[b.0 as usize].label.clone();
+    match term {
+        Terminator::Jmp(b) => format!("jmp {}", label_of(b)),
+        Terminator::Br {
+            cond,
+            then_bb,
+            else_bb,
+        } => format!(
+            "br {}, {}, {}",
+            render_operand(cond),
+            label_of(then_bb),
+            label_of(else_bb)
+        ),
+        Terminator::Switch {
+            scrut,
+            cases,
+            default,
+        } => {
+            let mut arms: Vec<String> = cases
+                .iter()
+                .map(|(v, b)| format!("{v} -> {}", label_of(b)))
+                .collect();
+            arms.push(format!("_ -> {}", label_of(default)));
+            format!("switch {} {{ {} }}", render_operand(scrut), arms.join(", "))
+        }
+        Terminator::JmpIndirect { target } => format!("ijmp {}", render_operand(target)),
+        Terminator::Ret(None) => "ret".to_string(),
+        Terminator::Ret(Some(v)) => format!("ret {}", render_operand(v)),
+        Terminator::Halt { code } => format!("halt {}", render_operand(code)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    const SAMPLE: &str = r#"
+func main() {
+entry:
+    fd = open
+    buf = alloc 32
+    n = read fd, buf, 32
+    v = load.4 buf + 4
+    c = eq v, 0x1234_5678
+    br c, hit, miss
+hit:
+    store.1 buf + 1, 9
+    r = call helper(v, n)
+    ret r
+miss:
+    switch v { 0 -> hit, _ -> bye }
+bye:
+    halt 3
+}
+
+func helper(a, b) {
+entry:
+    x = cmul.4 a, b
+    ret x
+}
+"#;
+
+    #[test]
+    fn print_parse_roundtrip_is_stable() {
+        let p1 = parse_program(SAMPLE).unwrap();
+        let text1 = print_program(&p1);
+        let p2 = parse_program(&text1).unwrap();
+        let text2 = print_program(&p2);
+        // Printing canonicalises register names; a second round-trip must be
+        // a fixed point.
+        assert_eq!(text1, text2);
+        assert_eq!(p1.function_count(), p2.function_count());
+        for ((_, f1), (_, f2)) in p1.iter().zip(p2.iter()) {
+            assert_eq!(f1.blocks.len(), f2.blocks.len());
+            assert_eq!(f1.inst_count(), f2.inst_count());
+        }
+    }
+
+    #[test]
+    fn printed_text_contains_labels_and_calls() {
+        let p = parse_program(SAMPLE).unwrap();
+        let text = print_program(&p);
+        assert!(text.contains("miss:"));
+        assert!(text.contains("call helper("));
+        assert!(text.contains("switch "));
+    }
+}

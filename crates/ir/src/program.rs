@@ -1,0 +1,203 @@
+//! Program, function, and basic-block containers.
+
+use std::collections::HashMap;
+
+use crate::inst::{Inst, Terminator};
+use crate::types::{BlockId, FuncId, Reg};
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Human-readable label (unique within the function).
+    pub label: String,
+    /// Straight-line instructions.
+    pub insts: Vec<Inst>,
+    /// Control transfer out of the block.
+    pub term: Terminator,
+}
+
+impl BasicBlock {
+    /// Creates a block with the given label and terminator and no body.
+    pub fn new(label: impl Into<String>, term: Terminator) -> BasicBlock {
+        BasicBlock {
+            label: label.into(),
+            insts: Vec::new(),
+            term,
+        }
+    }
+}
+
+/// A MicroIR function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name (unique within the program).
+    pub name: String,
+    /// Number of parameters; they arrive in registers `r0..r{n_params}`.
+    pub n_params: u16,
+    /// Total number of registers used (including parameters).
+    pub n_regs: u16,
+    /// Basic blocks; `blocks[0]` is the entry block.
+    pub blocks: Vec<BasicBlock>,
+}
+
+impl Function {
+    /// The entry block id (always block 0).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Looks up a block by id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range; ids are only produced by the builder
+    /// and parser, which guarantee validity.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Finds a block id by label.
+    pub fn block_by_label(&self, label: &str) -> Option<BlockId> {
+        self.blocks
+            .iter()
+            .position(|b| b.label == label)
+            .map(|i| BlockId(i as u32))
+    }
+
+    /// The function's parameter registers.
+    pub fn params(&self) -> impl Iterator<Item = Reg> {
+        (0..self.n_params).map(Reg)
+    }
+
+    /// Total instruction count (excluding terminators).
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+/// A complete MicroIR program: a set of functions with a designated entry.
+///
+/// This is the unit that plays the role of a *binary* in the paper: the
+/// original vulnerable software `S` and the propagated software `T` are both
+/// values of this type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    funcs: Vec<Function>,
+    by_name: HashMap<String, FuncId>,
+    entry: FuncId,
+}
+
+impl Program {
+    /// Assembles a program from parts.
+    ///
+    /// # Errors
+    /// Returns an error message if function names collide or the entry
+    /// function does not exist.
+    pub fn from_functions(funcs: Vec<Function>, entry_name: &str) -> Result<Program, String> {
+        let mut by_name = HashMap::with_capacity(funcs.len());
+        for (i, f) in funcs.iter().enumerate() {
+            if by_name.insert(f.name.clone(), FuncId(i as u32)).is_some() {
+                return Err(format!("duplicate function name `{}`", f.name));
+            }
+        }
+        let entry = *by_name
+            .get(entry_name)
+            .ok_or_else(|| format!("entry function `{entry_name}` not found"))?;
+        Ok(Program {
+            funcs,
+            by_name,
+            entry,
+        })
+    }
+
+    /// The program entry function (conventionally `main`).
+    pub fn entry(&self) -> FuncId {
+        self.entry
+    }
+
+    /// Looks up a function by id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// Looks up a function id by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterates over `(id, function)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FuncId, &Function)> {
+        self.funcs
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FuncId(i as u32), f))
+    }
+
+    /// Number of functions.
+    pub fn function_count(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Total instruction count across all functions.
+    pub fn inst_count(&self) -> usize {
+        self.funcs.iter().map(Function::inst_count).sum()
+    }
+
+    /// Resolves a set of function names (e.g. the shared code area `ℓ`)
+    /// into ids, ignoring names that do not occur in this program.
+    pub fn resolve_names<'a>(&self, names: impl IntoIterator<Item = &'a str>) -> Vec<FuncId> {
+        names
+            .into_iter()
+            .filter_map(|n| self.func_by_name(n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Operand;
+
+    fn trivial_func(name: &str) -> Function {
+        Function {
+            name: name.to_string(),
+            n_params: 0,
+            n_regs: 1,
+            blocks: vec![BasicBlock::new(
+                "entry",
+                Terminator::Ret(Some(Operand::Imm(0))),
+            )],
+        }
+    }
+
+    #[test]
+    fn from_functions_resolves_entry() {
+        let p =
+            Program::from_functions(vec![trivial_func("main"), trivial_func("f")], "main").unwrap();
+        assert_eq!(p.entry(), FuncId(0));
+        assert_eq!(p.func_by_name("f"), Some(FuncId(1)));
+        assert_eq!(p.function_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Program::from_functions(vec![trivial_func("main"), trivial_func("main")], "main")
+            .unwrap_err();
+        assert!(err.contains("duplicate"));
+    }
+
+    #[test]
+    fn missing_entry_rejected() {
+        let err = Program::from_functions(vec![trivial_func("f")], "main").unwrap_err();
+        assert!(err.contains("entry"));
+    }
+
+    #[test]
+    fn resolve_names_skips_unknown() {
+        let p =
+            Program::from_functions(vec![trivial_func("main"), trivial_func("g")], "main").unwrap();
+        assert_eq!(p.resolve_names(["g", "nope"]), vec![FuncId(1)]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Program statistics — the "binary size" metadata of the dataset.
+//!
+//! The paper characterises its dataset by binary size ("ranging from
+//! 2,000 to 557,000 lines of code"); MicroIR's analogue is instruction,
+//! block, and function counts, plus a breakdown of the instruction mix.
+
+use std::collections::BTreeMap;
+
+use crate::inst::{Inst, Terminator};
+use crate::program::Program;
+
+/// Aggregate statistics for one program.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ProgramStats {
+    /// Number of functions.
+    pub functions: usize,
+    /// Total basic blocks.
+    pub blocks: usize,
+    /// Total instructions (excluding terminators).
+    pub instructions: usize,
+    /// Total terminators (== blocks).
+    pub terminators: usize,
+    /// Conditional branch + switch terminators (decision points).
+    pub branches: usize,
+    /// Direct call instructions.
+    pub calls: usize,
+    /// Indirect calls and jumps (the CFG-hostile constructs).
+    pub indirect_transfers: usize,
+    /// File-input instructions (`open`/`read`/`getc`/`seek`/`tell`/
+    /// `size`/`mmap`).
+    pub file_ops: usize,
+    /// Memory loads and stores.
+    pub memory_ops: usize,
+    /// Instruction count per function, by name.
+    pub per_function: BTreeMap<String, usize>,
+}
+
+impl ProgramStats {
+    /// Collects statistics over `program`.
+    pub fn collect(program: &Program) -> ProgramStats {
+        let mut stats = ProgramStats {
+            functions: program.function_count(),
+            ..ProgramStats::default()
+        };
+        for (_, func) in program.iter() {
+            let mut fn_insts = 0usize;
+            for block in &func.blocks {
+                stats.blocks += 1;
+                stats.terminators += 1;
+                match &block.term {
+                    Terminator::Br { .. } | Terminator::Switch { .. } => stats.branches += 1,
+                    Terminator::JmpIndirect { .. } => stats.indirect_transfers += 1,
+                    _ => {}
+                }
+                for inst in &block.insts {
+                    stats.instructions += 1;
+                    fn_insts += 1;
+                    match inst {
+                        Inst::Call { .. } => stats.calls += 1,
+                        Inst::CallIndirect { .. } => stats.indirect_transfers += 1,
+                        Inst::Load { .. } | Inst::Store { .. } => stats.memory_ops += 1,
+                        Inst::FileOpen { .. }
+                        | Inst::FileRead { .. }
+                        | Inst::FileGetc { .. }
+                        | Inst::FileSeek { .. }
+                        | Inst::FileTell { .. }
+                        | Inst::FileSize { .. }
+                        | Inst::MemMap { .. } => stats.file_ops += 1,
+                        _ => {}
+                    }
+                }
+            }
+            stats.per_function.insert(func.name.clone(), fn_insts);
+        }
+        stats
+    }
+
+    /// The largest function by instruction count.
+    pub fn largest_function(&self) -> Option<(&str, usize)> {
+        self.per_function
+            .iter()
+            .max_by_key(|(_, &n)| n)
+            .map(|(name, &n)| (name.as_str(), n))
+    }
+}
+
+impl std::fmt::Display for ProgramStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} functions, {} blocks, {} instructions ({} branches, {} calls, \
+             {} indirect, {} file ops, {} memory ops)",
+            self.functions,
+            self.blocks,
+            self.instructions,
+            self.branches,
+            self.calls,
+            self.indirect_transfers,
+            self.file_ops,
+            self.memory_ops
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    #[test]
+    fn counts_basic_shapes() {
+        let src = r#"
+func main() {
+entry:
+    fd = open
+    b = getc fd
+    c = eq b, 1
+    br c, yes, no
+yes:
+    r = call f(b)
+    halt r
+no:
+    buf = alloc 4
+    store.1 buf, b
+    v = load.1 buf
+    halt v
+}
+func f(x) {
+entry:
+    t = baddr out
+    ijmp t
+out:
+    ret x
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let s = ProgramStats::collect(&p);
+        assert_eq!(s.functions, 2);
+        assert_eq!(s.blocks, 5);
+        assert_eq!(s.branches, 1);
+        assert_eq!(s.calls, 1);
+        assert_eq!(s.indirect_transfers, 1);
+        assert_eq!(s.file_ops, 2); // open + getc
+        assert_eq!(s.memory_ops, 2); // store + load
+        assert_eq!(s.per_function["main"], 7);
+        assert_eq!(s.largest_function(), Some(("main", 7)));
+        assert!(s.to_string().contains("2 functions"));
+    }
+
+    #[test]
+    fn empty_function_breakdown() {
+        let p = parse_program("func main() {\nentry:\n halt 0\n}\n").unwrap();
+        let s = ProgramStats::collect(&p);
+        assert_eq!(s.instructions, 0);
+        assert_eq!(s.terminators, 1);
+        assert_eq!(s.per_function["main"], 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Structural validation of MicroIR programs.
+//!
+//! The interpreters assume these invariants; `validate` is run on every
+//! parsed or built program before execution in the pipeline.
+
+use std::fmt;
+
+use crate::inst::{Inst, Terminator};
+use crate::program::Program;
+use crate::types::{BlockId, FuncId, Operand, Reg};
+
+/// A single validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Function where the problem was found.
+    pub func: String,
+    /// Block label, when applicable.
+    pub block: Option<String>,
+    /// Description of the violation.
+    pub msg: String,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.block {
+            Some(b) => write!(f, "{}/{}: {}", self.func, b, self.msg),
+            None => write!(f, "{}: {}", self.func, self.msg),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validates every function of `program`.
+///
+/// Checked invariants:
+/// * block targets of every terminator are in range,
+/// * register operands are below the function's `n_regs`,
+/// * call targets exist and argument counts match the callee arity,
+/// * the entry function takes no parameters,
+/// * switch case values are unique.
+///
+/// # Errors
+/// Returns all violations found (not just the first).
+pub fn validate(program: &Program) -> Result<(), Vec<ValidationError>> {
+    let mut errors = Vec::new();
+    let entry = program.func(program.entry());
+    if entry.n_params != 0 {
+        errors.push(ValidationError {
+            func: entry.name.clone(),
+            block: None,
+            msg: "entry function must take no parameters".into(),
+        });
+    }
+    for (_, f) in program.iter() {
+        let n_blocks = f.blocks.len() as u32;
+        let check_block = |b: BlockId| b.0 < n_blocks;
+        let check_reg = |r: Reg| r.0 < f.n_regs;
+        let check_op = |op: &Operand| match op {
+            Operand::Reg(r) => check_reg(*r),
+            Operand::Imm(_) => true,
+        };
+        for block in &f.blocks {
+            let mut fail = |msg: String| {
+                errors.push(ValidationError {
+                    func: f.name.clone(),
+                    block: Some(block.label.clone()),
+                    msg,
+                });
+            };
+            for inst in &block.insts {
+                if let Some(d) = inst.def() {
+                    if !check_reg(d) {
+                        fail(format!("destination register {d} out of range"));
+                    }
+                }
+                for u in inst.uses() {
+                    if !check_reg(u) {
+                        fail(format!("register {u} out of range"));
+                    }
+                }
+                match inst {
+                    Inst::Call { callee, args, .. } => {
+                        check_call(program, *callee, args.len(), &mut fail);
+                    }
+                    Inst::FuncAddr { func, .. } => {
+                        if func.0 as usize >= program.function_count() {
+                            fail(format!("function address target {func} out of range"));
+                        }
+                    }
+                    Inst::BlockAddr { block: b, .. } => {
+                        if !check_block(*b) {
+                            fail(format!("block address target {b} out of range"));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let mut fail = |msg: String| {
+                errors.push(ValidationError {
+                    func: f.name.clone(),
+                    block: Some(block.label.clone()),
+                    msg,
+                });
+            };
+            match &block.term {
+                Terminator::Jmp(b) => {
+                    if !check_block(*b) {
+                        fail(format!("jump target {b} out of range"));
+                    }
+                }
+                Terminator::Br {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    if !check_op(cond) {
+                        fail("branch condition register out of range".into());
+                    }
+                    for b in [then_bb, else_bb] {
+                        if !check_block(*b) {
+                            fail(format!("branch target {b} out of range"));
+                        }
+                    }
+                }
+                Terminator::Switch {
+                    scrut,
+                    cases,
+                    default,
+                } => {
+                    if !check_op(scrut) {
+                        fail("switch scrutinee register out of range".into());
+                    }
+                    if !check_block(*default) {
+                        fail(format!("switch default {default} out of range"));
+                    }
+                    let mut seen = std::collections::HashSet::new();
+                    for (v, b) in cases {
+                        if !check_block(*b) {
+                            fail(format!("switch target {b} out of range"));
+                        }
+                        if !seen.insert(*v) {
+                            fail(format!("duplicate switch case value {v}"));
+                        }
+                    }
+                }
+                Terminator::JmpIndirect { target } => {
+                    if !check_op(target) {
+                        fail("indirect jump target register out of range".into());
+                    }
+                }
+                Terminator::Ret(Some(v)) => {
+                    if !check_op(v) {
+                        fail("return value register out of range".into());
+                    }
+                }
+                Terminator::Ret(None) => {}
+                Terminator::Halt { code } => {
+                    if !check_op(code) {
+                        fail("halt code register out of range".into());
+                    }
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn check_call(program: &Program, callee: FuncId, n_args: usize, fail: &mut impl FnMut(String)) {
+    if callee.0 as usize >= program.function_count() {
+        fail(format!("call target {callee} out of range"));
+        return;
+    }
+    let target = program.func(callee);
+    if usize::from(target.n_params) != n_args {
+        fail(format!(
+            "call to `{}` passes {n_args} args but it takes {}",
+            target.name, target.n_params
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+
+    #[test]
+    fn valid_program_passes() {
+        let p = parse_program(
+            "func main() {\nentry:\n r = call f(1)\n ret r\n}\nfunc f(a) {\nentry:\n ret a\n}\n",
+        )
+        .unwrap();
+        assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let p = parse_program(
+            "func main() {\nentry:\n r = call f(1, 2)\n ret r\n}\nfunc f(a) {\nentry:\n ret a\n}\n",
+        )
+        .unwrap();
+        let errs = validate(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.msg.contains("passes 2 args")));
+    }
+
+    #[test]
+    fn entry_with_params_detected() {
+        let p = parse_program("func main(a) {\nentry:\n ret a\n}\n").unwrap();
+        let errs = validate(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.msg.contains("no parameters")));
+    }
+
+    #[test]
+    fn duplicate_switch_cases_detected() {
+        let p = parse_program(
+            "func main() {\nentry:\n x = 1\n switch x { 1 -> a, 1 -> b, _ -> a }\na:\n ret 0\nb:\n ret 1\n}\n",
+        )
+        .unwrap();
+        let errs = validate(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.msg.contains("duplicate switch")));
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests: printer/parser round-trips over random programs.
+
+use octo_ir::builder::{FunctionBuilder, ProgramBuilder};
+use octo_ir::parse::parse_program;
+use octo_ir::printer::print_program;
+use octo_ir::{BinOp, Operand, Program, RegionKind, Terminator, UnOp, Width};
+use proptest::prelude::*;
+
+/// Strategy for one straight-line instruction emitted into a builder.
+#[derive(Debug, Clone)]
+enum GenInst {
+    Const(u64),
+    Bin(u8, u64),
+    Un(u8),
+    Alloc(u8, bool),
+    LoadStore(u8, u8),
+    FileOps,
+    Getc,
+}
+
+fn arb_inst() -> impl Strategy<Value = GenInst> {
+    prop_oneof![
+        any::<u64>().prop_map(GenInst::Const),
+        (any::<u8>(), any::<u64>()).prop_map(|(o, v)| GenInst::Bin(o, v)),
+        any::<u8>().prop_map(GenInst::Un),
+        (1u8..64, any::<bool>()).prop_map(|(s, h)| GenInst::Alloc(s, h)),
+        (any::<u8>(), 0u8..8).prop_map(|(w, o)| GenInst::LoadStore(w, o)),
+        Just(GenInst::FileOps),
+        Just(GenInst::Getc),
+    ]
+}
+
+const BIN_OPS: [BinOp; 12] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::ShrL,
+    BinOp::CmpEq,
+    BinOp::CmpNe,
+    BinOp::CmpLtU,
+    BinOp::CmpLeS,
+];
+
+const WIDTHS: [Width; 4] = [Width::W1, Width::W2, Width::W4, Width::W8];
+
+/// Builds a random (but always valid) program: a `main` with `n_blocks`
+/// blocks of random instructions, block `i` falling through to `i + 1` or
+/// branching forward, and a helper function called from the entry.
+fn build_program(blocks: Vec<Vec<GenInst>>, branchy: Vec<bool>) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let helper = pb.declare("helper");
+
+    let mut fb = FunctionBuilder::new("main", 0);
+    let fd = fb.emit_open();
+    let buf = fb.emit_alloc(Operand::Imm(64), RegionKind::Heap);
+    let mut last = fb.emit_call(helper, vec![fd.into()]);
+    let n = blocks.len();
+    let block_ids: Vec<_> = (0..n).map(|i| fb.block(&format!("b{i}"))).collect();
+    let done = fb.block("done");
+    fb.terminate(Terminator::Jmp(*block_ids.first().unwrap_or(&done)));
+
+    for (i, insts) in blocks.iter().enumerate() {
+        fb.select(block_ids[i]);
+        for g in insts {
+            last = match g {
+                GenInst::Const(v) => fb.emit_const(*v),
+                GenInst::Bin(o, v) => fb.emit_bin(
+                    BIN_OPS[*o as usize % BIN_OPS.len()],
+                    last.into(),
+                    Operand::Imm(*v),
+                ),
+                GenInst::Un(o) => {
+                    fb.emit_un(if *o % 2 == 0 { UnOp::Not } else { UnOp::Neg }, last.into())
+                }
+                GenInst::Alloc(s, heap) => fb.emit_alloc(
+                    Operand::Imm(u64::from(*s)),
+                    if *heap {
+                        RegionKind::Heap
+                    } else {
+                        RegionKind::Stack
+                    },
+                ),
+                GenInst::LoadStore(w, off) => {
+                    let width = WIDTHS[*w as usize % WIDTHS.len()];
+                    fb.emit_store(buf.into(), u64::from(*off), last.into(), width);
+                    fb.emit_load(buf.into(), u64::from(*off), width)
+                }
+                GenInst::FileOps => fb.emit_read(fd.into(), buf.into(), Operand::Imm(8)),
+                GenInst::Getc => fb.emit_getc(fd.into()),
+            };
+        }
+        let next = block_ids.get(i + 1).copied().unwrap_or(done);
+        if branchy.get(i).copied().unwrap_or(false) {
+            fb.terminate(Terminator::Br {
+                cond: last.into(),
+                then_bb: next,
+                else_bb: done,
+            });
+        } else {
+            fb.terminate(Terminator::Jmp(next));
+        }
+    }
+    fb.select(done);
+    fb.terminate(Terminator::Halt { code: last.into() });
+    pb.add(fb.finish().expect("valid main")).expect("add main");
+
+    let mut hb = FunctionBuilder::new("helper", 1);
+    let x = hb.param(0);
+    let y = hb.emit_bin(BinOp::Add, x.into(), Operand::Imm(1));
+    hb.terminate(Terminator::Ret(Some(y.into())));
+    pb.define(helper, hb.finish().expect("valid helper"))
+        .expect("define helper");
+    pb.build("main").expect("valid program")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Printing then parsing reaches a fixed point, and the reparsed
+    /// program is structurally identical in shape.
+    #[test]
+    fn print_parse_fixed_point(
+        blocks in prop::collection::vec(prop::collection::vec(arb_inst(), 0..6), 1..5),
+        branchy in prop::collection::vec(any::<bool>(), 0..5),
+    ) {
+        let p1 = build_program(blocks, branchy);
+        octo_ir::validate::validate(&p1).expect("generated program valid");
+        let text1 = print_program(&p1);
+        let p2 = parse_program(&text1).expect("printed program parses");
+        octo_ir::validate::validate(&p2).expect("reparsed program valid");
+        let text2 = print_program(&p2);
+        prop_assert_eq!(&text1, &text2, "print/parse not a fixed point");
+        prop_assert_eq!(p1.function_count(), p2.function_count());
+        prop_assert_eq!(p1.inst_count(), p2.inst_count());
+    }
+}

@@ -1,0 +1,328 @@
+//! Decoders for the mini formats — the inverse of [`crate::formats`].
+//!
+//! The pipeline never needs these (the subject programs parse their own
+//! input), but tests and tooling do: a generated `poc'` can be decoded to
+//! check *structurally* that the reform produced a well-formed container
+//! with the crash primitive in the right record, and the
+//! builder↔decoder round-trip is property-tested.
+
+use std::fmt;
+
+/// Why decoding failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Wrong or missing magic bytes.
+    BadMagic,
+    /// The file ends inside a declared structure.
+    Truncated {
+        /// What was being decoded.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => f.write_str("bad magic"),
+            DecodeError::Truncated { context } => write!(f, "truncated while reading {context}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Reader<'a> {
+        Reader { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.data.len() {
+            return Err(DecodeError::Truncated { context });
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, context: &'static str) -> Result<u8, DecodeError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    fn u16(&mut self, context: &'static str) -> Result<u16, DecodeError> {
+        let s = self.take(2, context)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, DecodeError> {
+        let s = self.take(4, context)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+}
+
+/// A decoded record-container file (mini-JPEG, mini-PDF, mini-AVC).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Container {
+    /// Version byte (mini-JPEG / mini-PDF only; 0 for mini-AVC).
+    pub version: u8,
+    /// `(kind, payload)` records in file order.
+    pub records: Vec<(u8, Vec<u8>)>,
+}
+
+/// Decodes a mini-JPEG file.
+///
+/// # Errors
+/// Fails on wrong magic or truncation.
+pub fn decode_mini_jpeg(data: &[u8]) -> Result<Container, DecodeError> {
+    decode_counted(data, b"MJPG")
+}
+
+/// Decodes a mini-PDF file.
+///
+/// # Errors
+/// Fails on wrong magic or truncation.
+pub fn decode_mini_pdf(data: &[u8]) -> Result<Container, DecodeError> {
+    decode_counted(data, b"%PDF")
+}
+
+fn decode_counted(data: &[u8], magic: &[u8; 4]) -> Result<Container, DecodeError> {
+    let mut r = Reader::new(data);
+    if r.take(4, "magic")? != magic {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = r.u8("version")?;
+    let count = r.u8("record count")?;
+    let mut records = Vec::with_capacity(usize::from(count));
+    for _ in 0..count {
+        let kind = r.u8("record kind")?;
+        let len = r.u16("record length")?;
+        let payload = r.take(usize::from(len), "record payload")?.to_vec();
+        records.push((kind, payload));
+    }
+    Ok(Container { version, records })
+}
+
+/// Decodes a mini-AVC stream (terminated by a kind-0 frame).
+///
+/// # Errors
+/// Fails on wrong magic or truncation (including a missing terminator).
+pub fn decode_mini_avc(data: &[u8]) -> Result<Container, DecodeError> {
+    let mut r = Reader::new(data);
+    if r.take(4, "magic")? != b"MAVC" {
+        return Err(DecodeError::BadMagic);
+    }
+    let mut records = Vec::new();
+    loop {
+        let kind = r.u8("frame kind")?;
+        if kind == 0 {
+            break;
+        }
+        let len = r.u16("frame size")?;
+        let payload = r.take(usize::from(len), "frame payload")?.to_vec();
+        records.push((kind, payload));
+    }
+    Ok(Container {
+        version: 0,
+        records,
+    })
+}
+
+/// A decoded mini-GIF file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gif {
+    /// The three version bytes after `GIF`.
+    pub version: [u8; 3],
+    /// Declared width.
+    pub width: u16,
+    /// Declared height.
+    pub height: u16,
+    /// `(declared_size, data)` per image block. `data.len()` can differ
+    /// from `declared_size` only for the final (possibly malformed) block.
+    pub blocks: Vec<(u8, Vec<u8>)>,
+}
+
+/// Decodes a mini-GIF file. Tolerates a malformed final block whose
+/// declared size exceeds the remaining bytes (the CVE-2011-2896 PoC
+/// shape) — the available bytes are returned.
+///
+/// # Errors
+/// Fails on wrong magic or header truncation.
+pub fn decode_mini_gif(data: &[u8]) -> Result<Gif, DecodeError> {
+    let mut r = Reader::new(data);
+    if r.take(3, "magic")? != b"GIF" {
+        return Err(DecodeError::BadMagic);
+    }
+    let v = r.take(3, "version")?;
+    let version = [v[0], v[1], v[2]];
+    let width = r.u16("width")?;
+    let height = r.u16("height")?;
+    let mut blocks = Vec::new();
+    loop {
+        let sep = r.u8("block separator")?;
+        match sep {
+            s if s == crate::formats::mini_gif::TRAILER => break,
+            s if s == crate::formats::mini_gif::IMAGE_SEPARATOR => {
+                let declared = r.u8("block size")?;
+                let remaining = r.data.len() - r.pos;
+                if usize::from(declared) > remaining {
+                    // Malformed final block (the CVE shape): the declared
+                    // size exceeds the file; take what exists and stop —
+                    // the trailer, if any, is indistinguishable from data.
+                    let data = r.take(remaining, "block data")?.to_vec();
+                    blocks.push((declared, data));
+                    break;
+                }
+                let data = r.take(usize::from(declared), "block data")?.to_vec();
+                blocks.push((declared, data));
+            }
+            _ => return Err(DecodeError::BadMagic),
+        }
+    }
+    Ok(Gif {
+        version,
+        width,
+        height,
+        blocks,
+    })
+}
+
+/// A decoded mini-TIFF directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tiff {
+    /// `(tag, value)` directory entries.
+    pub entries: Vec<(u16, u32)>,
+}
+
+/// Decodes a mini-TIFF file.
+///
+/// # Errors
+/// Fails on wrong magic or truncation.
+pub fn decode_mini_tiff(data: &[u8]) -> Result<Tiff, DecodeError> {
+    let mut r = Reader::new(data);
+    if r.take(4, "magic")? != b"II*\0" {
+        return Err(DecodeError::BadMagic);
+    }
+    let count = r.u8("entry count")?;
+    let mut entries = Vec::with_capacity(usize::from(count));
+    for _ in 0..count {
+        let tag = r.u16("tag")?;
+        let value = r.u32("value")?;
+        entries.push((tag, value));
+    }
+    Ok(Tiff { entries })
+}
+
+/// A decoded mini-J2K header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct J2k {
+    /// Component count.
+    pub ncomp: u8,
+    /// Tile width.
+    pub tile_w: u16,
+    /// Tile height.
+    pub tile_h: u16,
+    /// Remaining codestream bytes.
+    pub data: Vec<u8>,
+}
+
+/// Decodes a mini-J2K file.
+///
+/// # Errors
+/// Fails on wrong magic or header truncation.
+pub fn decode_mini_j2k(data: &[u8]) -> Result<J2k, DecodeError> {
+    let mut r = Reader::new(data);
+    if r.take(4, "magic")? != b"MJ2K" {
+        return Err(DecodeError::BadMagic);
+    }
+    let ncomp = r.u8("ncomp")?;
+    let tile_w = r.u16("tile width")?;
+    let tile_h = r.u16("tile height")?;
+    let data = data[r.pos..].to_vec();
+    Ok(J2k {
+        ncomp,
+        tile_w,
+        tile_h,
+        data,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formats::{mini_avc, mini_gif, mini_j2k, mini_jpeg, mini_pdf, mini_tiff};
+
+    #[test]
+    fn jpeg_roundtrip() {
+        let f = mini_jpeg::Builder::new()
+            .version(2)
+            .segment(mini_jpeg::SEG_HUFF, &[1, 2, 3])
+            .segment(mini_jpeg::SEG_SCAN, b"xyz")
+            .build();
+        let c = decode_mini_jpeg(&f).unwrap();
+        assert_eq!(c.version, 2);
+        assert_eq!(c.records.len(), 2);
+        assert_eq!(c.records[0], (mini_jpeg::SEG_HUFF, vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn pdf_roundtrip_with_nesting() {
+        let img = mini_j2k::Builder::new().components(0).build();
+        let f = mini_pdf::Builder::new()
+            .object(mini_pdf::OBJ_IMAGE, &img)
+            .build();
+        let c = decode_mini_pdf(&f).unwrap();
+        assert_eq!(c.records.len(), 1);
+        let inner = decode_mini_j2k(&c.records[0].1).unwrap();
+        assert_eq!(inner.ncomp, 0);
+    }
+
+    #[test]
+    fn gif_roundtrip_including_malformed_block() {
+        let f = mini_gif::Builder::new()
+            .version(*b"99a")
+            .block(b"ok")
+            .block_oversized(0xFF, &[1, 2, 3])
+            .build();
+        let g = decode_mini_gif(&f).unwrap();
+        assert_eq!(&g.version, b"99a");
+        assert_eq!(g.blocks[0], (2, b"ok".to_vec()));
+        assert_eq!(g.blocks[1].0, 0xFF);
+        assert!(g.blocks[1].1.len() < 0xFF);
+    }
+
+    #[test]
+    fn tiff_and_avc_roundtrip() {
+        let f = mini_tiff::Builder::new()
+            .entry(0x100, 7)
+            .entry(mini_tiff::VULN_TAG, 0xDEAD_BEEF)
+            .build();
+        let t = decode_mini_tiff(&f).unwrap();
+        assert_eq!(t.entries[1], (0x13d, 0xDEAD_BEEF));
+
+        let f = mini_avc::Builder::new()
+            .frame(mini_avc::FRAME_SPS, &[1, 2])
+            .frame(mini_avc::FRAME_PIC, &[3])
+            .build();
+        let c = decode_mini_avc(&f).unwrap();
+        assert_eq!(c.records.len(), 2);
+    }
+
+    #[test]
+    fn errors_are_classified() {
+        assert_eq!(decode_mini_jpeg(b"NOPE"), Err(DecodeError::BadMagic));
+        assert!(matches!(
+            decode_mini_jpeg(b"MJPG"),
+            Err(DecodeError::Truncated { .. })
+        ));
+        assert_eq!(decode_mini_gif(b"JIF87a"), Err(DecodeError::BadMagic));
+        assert!(matches!(
+            decode_mini_tiff(b"II*\0\x05"),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+}

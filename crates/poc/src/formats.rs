@@ -1,0 +1,514 @@
+//! Mini file formats — the corpus' stand-ins for JPEG/PDF/GIF/TIFF/JPEG2000.
+//!
+//! The paper's dataset feeds real malformed image/PDF files to real parsers.
+//! Our corpus programs (MicroIR) parse these simplified formats instead;
+//! each format keeps the structural features the evaluation depends on:
+//! magic headers (which random fuzzing must guess), length-prefixed
+//! records (which create file-position-dependent parsing, the reason bunch
+//! placement needs the file position indicator), and container nesting
+//! (a PDF can embed an image file — the MuPDF/ghostscript Type-II cases
+//! re-wrap a J2K payload in a PDF container and vice versa).
+//!
+//! All multi-byte integers are little-endian.
+
+/// Appends a `u16` little-endian.
+pub fn push_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32` little-endian.
+pub fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// mini-GIF: `"GIF" ver[3] width:u16 height:u16
+/// { 0x2C size:u8 data[size] }* 0x3B`
+///
+/// Models the gif2png CVE-2011-2896 shape: image blocks introduced by the
+/// GIF image separator (`0x2C`), each a size-prefixed run copied into a
+/// fixed-size buffer, terminated by the GIF trailer (`0x3B`).
+pub mod mini_gif {
+    use super::push_u16;
+
+    /// Canonical magic + version ("GIF87a").
+    pub const MAGIC: &[u8; 6] = b"GIF87a";
+    /// Header length (magic + width + height).
+    pub const HEADER_LEN: usize = 10;
+    /// Image-separator byte introducing each data block.
+    pub const IMAGE_SEPARATOR: u8 = 0x2C;
+    /// Trailer byte ending the file.
+    pub const TRAILER: u8 = 0x3B;
+
+    /// Builds a mini-GIF file.
+    #[derive(Debug, Clone)]
+    pub struct Builder {
+        version: [u8; 3],
+        width: u16,
+        height: u16,
+        blocks: Vec<(u8, Vec<u8>)>,
+    }
+
+    impl Builder {
+        /// A well-formed file skeleton (version `87a`).
+        pub fn new() -> Builder {
+            Builder {
+                version: *b"87a",
+                width: 4,
+                height: 4,
+                blocks: Vec::new(),
+            }
+        }
+
+        /// Overrides the three version bytes (the disclosed CVE-2011-2896
+        /// PoC carried an *invalid* version, which original gif2png
+        /// ignored — the paper's artificial Idx-9 target rejects it).
+        pub fn version(mut self, v: [u8; 3]) -> Builder {
+            self.version = v;
+            self
+        }
+
+        /// Sets the image dimensions.
+        pub fn size(mut self, width: u16, height: u16) -> Builder {
+            self.width = width;
+            self.height = height;
+            self
+        }
+
+        /// Appends one data block (≤ 255 bytes).
+        ///
+        /// # Panics
+        /// Panics if `data` exceeds 255 bytes.
+        pub fn block(mut self, data: &[u8]) -> Builder {
+            assert!(data.len() <= 255, "mini-GIF block too large");
+            self.blocks.push((data.len() as u8, data.to_vec()));
+            self
+        }
+
+        /// Appends a *malformed* block whose declared size byte differs
+        /// from the data actually present — the CVE-2011-2896 shape, where
+        /// the decoder trusts the declared size.
+        pub fn block_oversized(mut self, declared: u8, data: &[u8]) -> Builder {
+            self.blocks.push((declared, data.to_vec()));
+            self
+        }
+
+        /// Serialises the file.
+        pub fn build(&self) -> Vec<u8> {
+            let mut out = Vec::new();
+            out.extend_from_slice(b"GIF");
+            out.extend_from_slice(&self.version);
+            push_u16(&mut out, self.width);
+            push_u16(&mut out, self.height);
+            for (declared, data) in &self.blocks {
+                out.push(IMAGE_SEPARATOR);
+                out.push(*declared);
+                out.extend_from_slice(data);
+            }
+            out.push(TRAILER);
+            out
+        }
+    }
+
+    impl Default for Builder {
+        fn default() -> Builder {
+            Builder::new()
+        }
+    }
+}
+
+/// mini-TIFF: `"II*\0" count:u8 { tag:u16 value:u32 }*count`
+///
+/// Models the LibTIFF CVE-2016-10095 shape: a directory of tagged fields
+/// dispatched through `_TIFFVGetField(tag)`; tag `0x13d` is the vulnerable
+/// one.
+pub mod mini_tiff {
+    use super::{push_u16, push_u32};
+
+    /// Magic bytes.
+    pub const MAGIC: &[u8; 4] = b"II*\0";
+    /// The tag value that triggers the planted vulnerability.
+    pub const VULN_TAG: u16 = 0x13d;
+
+    /// Builds a mini-TIFF file from `(tag, value)` directory entries.
+    #[derive(Debug, Clone, Default)]
+    pub struct Builder {
+        entries: Vec<(u16, u32)>,
+    }
+
+    impl Builder {
+        /// An empty directory.
+        pub fn new() -> Builder {
+            Builder::default()
+        }
+
+        /// Appends a directory entry.
+        pub fn entry(mut self, tag: u16, value: u32) -> Builder {
+            self.entries.push((tag, value));
+            self
+        }
+
+        /// Serialises the file.
+        ///
+        /// # Panics
+        /// Panics if more than 255 entries were added.
+        pub fn build(&self) -> Vec<u8> {
+            assert!(self.entries.len() <= 255);
+            let mut out = Vec::new();
+            out.extend_from_slice(MAGIC);
+            out.push(self.entries.len() as u8);
+            for (tag, value) in &self.entries {
+                push_u16(&mut out, *tag);
+                push_u32(&mut out, *value);
+            }
+            out
+        }
+    }
+}
+
+/// mini-JPEG: `"MJPG" ver:u8 nseg:u8 { kind:u8 len:u16 payload[len] }*nseg`
+///
+/// Segment kinds mirror JPEG markers: `0xC4` (huffman table), `0xDA`
+/// (scan data), `0xE0` (application data).
+pub mod mini_jpeg {
+    use super::push_u16;
+
+    /// Magic bytes.
+    pub const MAGIC: &[u8; 4] = b"MJPG";
+    /// Huffman-table segment kind.
+    pub const SEG_HUFF: u8 = 0xC4;
+    /// Scan-data segment kind.
+    pub const SEG_SCAN: u8 = 0xDA;
+    /// Application-data segment kind.
+    pub const SEG_APP: u8 = 0xE0;
+
+    /// Builds a mini-JPEG file from typed segments.
+    #[derive(Debug, Clone, Default)]
+    pub struct Builder {
+        version: u8,
+        segments: Vec<(u8, Vec<u8>)>,
+    }
+
+    impl Builder {
+        /// Version-1 skeleton.
+        pub fn new() -> Builder {
+            Builder {
+                version: 1,
+                segments: Vec::new(),
+            }
+        }
+
+        /// Overrides the version byte.
+        pub fn version(mut self, v: u8) -> Builder {
+            self.version = v;
+            self
+        }
+
+        /// Appends a segment.
+        pub fn segment(mut self, kind: u8, payload: &[u8]) -> Builder {
+            self.segments.push((kind, payload.to_vec()));
+            self
+        }
+
+        /// Serialises the file.
+        ///
+        /// # Panics
+        /// Panics on more than 255 segments or a payload over 65535 bytes.
+        pub fn build(&self) -> Vec<u8> {
+            assert!(self.segments.len() <= 255);
+            let mut out = Vec::new();
+            out.extend_from_slice(MAGIC);
+            out.push(self.version);
+            out.push(self.segments.len() as u8);
+            for (kind, payload) in &self.segments {
+                assert!(payload.len() <= u16::MAX as usize);
+                out.push(*kind);
+                push_u16(&mut out, payload.len() as u16);
+                out.extend_from_slice(payload);
+            }
+            out
+        }
+    }
+}
+
+/// mini-J2K (JPEG2000 codestream): `"MJ2K" ncomp:u8 tilew:u16 tileh:u16 data…`
+///
+/// Models the OpenJPEG ghostscript-BZ697463 shape: a header whose
+/// component count of zero leads the shared decoder into a null
+/// dereference.
+pub mod mini_j2k {
+    use super::push_u16;
+
+    /// Magic bytes.
+    pub const MAGIC: &[u8; 4] = b"MJ2K";
+    /// Header length (magic + ncomp + tilew + tileh).
+    pub const HEADER_LEN: usize = 9;
+
+    /// Builds a mini-J2K file.
+    #[derive(Debug, Clone)]
+    pub struct Builder {
+        ncomp: u8,
+        tile: (u16, u16),
+        data: Vec<u8>,
+    }
+
+    impl Builder {
+        /// A well-formed single-component skeleton.
+        pub fn new() -> Builder {
+            Builder {
+                ncomp: 1,
+                tile: (8, 8),
+                data: Vec::new(),
+            }
+        }
+
+        /// Sets the component count (0 triggers the planted null deref in
+        /// the vulnerable decoders).
+        pub fn components(mut self, n: u8) -> Builder {
+            self.ncomp = n;
+            self
+        }
+
+        /// Sets the tile dimensions.
+        pub fn tile(mut self, w: u16, h: u16) -> Builder {
+            self.tile = (w, h);
+            self
+        }
+
+        /// Appends raw codestream data.
+        pub fn data(mut self, bytes: &[u8]) -> Builder {
+            self.data.extend_from_slice(bytes);
+            self
+        }
+
+        /// Serialises the file.
+        pub fn build(&self) -> Vec<u8> {
+            let mut out = Vec::new();
+            out.extend_from_slice(MAGIC);
+            out.push(self.ncomp);
+            push_u16(&mut out, self.tile.0);
+            push_u16(&mut out, self.tile.1);
+            out.extend_from_slice(&self.data);
+            out
+        }
+    }
+
+    impl Default for Builder {
+        fn default() -> Builder {
+            Builder::new()
+        }
+    }
+}
+
+/// mini-PDF: `"%PDF" ver:u8 nobj:u8 { kind:u8 len:u16 payload[len] }*nobj`
+///
+/// Object kinds: `'S'` content stream, `'X'` xref table, `'I'` embedded
+/// image (its payload is a complete mini-J2K or mini-JPEG file — container
+/// nesting used by the Type-II re-wrapping cases).
+pub mod mini_pdf {
+    use super::push_u16;
+
+    /// Magic bytes.
+    pub const MAGIC: &[u8; 4] = b"%PDF";
+    /// Content-stream object kind.
+    pub const OBJ_STREAM: u8 = b'S';
+    /// Cross-reference object kind.
+    pub const OBJ_XREF: u8 = b'X';
+    /// Embedded-image object kind.
+    pub const OBJ_IMAGE: u8 = b'I';
+
+    /// Builds a mini-PDF file from typed objects.
+    #[derive(Debug, Clone)]
+    pub struct Builder {
+        version: u8,
+        objects: Vec<(u8, Vec<u8>)>,
+    }
+
+    impl Builder {
+        /// Version-1 skeleton.
+        pub fn new() -> Builder {
+            Builder {
+                version: 1,
+                objects: Vec::new(),
+            }
+        }
+
+        /// Overrides the version byte.
+        pub fn version(mut self, v: u8) -> Builder {
+            self.version = v;
+            self
+        }
+
+        /// Appends an object.
+        pub fn object(mut self, kind: u8, payload: &[u8]) -> Builder {
+            self.objects.push((kind, payload.to_vec()));
+            self
+        }
+
+        /// Serialises the file.
+        ///
+        /// # Panics
+        /// Panics on more than 255 objects or a payload over 65535 bytes.
+        pub fn build(&self) -> Vec<u8> {
+            assert!(self.objects.len() <= 255);
+            let mut out = Vec::new();
+            out.extend_from_slice(MAGIC);
+            out.push(self.version);
+            out.push(self.objects.len() as u8);
+            for (kind, payload) in &self.objects {
+                assert!(payload.len() <= u16::MAX as usize);
+                out.push(*kind);
+                push_u16(&mut out, payload.len() as u16);
+                out.extend_from_slice(payload);
+            }
+            out
+        }
+    }
+
+    impl Default for Builder {
+        fn default() -> Builder {
+            Builder::new()
+        }
+    }
+}
+
+/// mini-AVC (video stream): `"MAVC" { kind:u8 size:u16 payload[size] }*`
+/// terminated by a kind-0 frame.
+///
+/// Models the avconv/ffmpeg CVE-2018-11102 shape: a sequence-parameter
+/// frame whose declared dimensions exceed the decoder's frame buffer.
+pub mod mini_avc {
+    use super::push_u16;
+
+    /// Magic bytes.
+    pub const MAGIC: &[u8; 4] = b"MAVC";
+    /// Sequence-parameter-set frame kind.
+    pub const FRAME_SPS: u8 = 1;
+    /// Picture-data frame kind.
+    pub const FRAME_PIC: u8 = 2;
+
+    /// Builds a mini-AVC stream from typed frames.
+    #[derive(Debug, Clone, Default)]
+    pub struct Builder {
+        frames: Vec<(u8, Vec<u8>)>,
+    }
+
+    impl Builder {
+        /// An empty stream.
+        pub fn new() -> Builder {
+            Builder::default()
+        }
+
+        /// Appends a frame.
+        pub fn frame(mut self, kind: u8, payload: &[u8]) -> Builder {
+            self.frames.push((kind, payload.to_vec()));
+            self
+        }
+
+        /// Serialises the stream (with the terminating kind-0 frame).
+        ///
+        /// # Panics
+        /// Panics if a payload exceeds 65535 bytes.
+        pub fn build(&self) -> Vec<u8> {
+            let mut out = Vec::new();
+            out.extend_from_slice(MAGIC);
+            for (kind, payload) in &self.frames {
+                assert!(payload.len() <= u16::MAX as usize);
+                out.push(*kind);
+                push_u16(&mut out, payload.len() as u16);
+                out.extend_from_slice(payload);
+            }
+            out.push(0);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gif_layout() {
+        let f = mini_gif::Builder::new()
+            .size(3, 5)
+            .block(b"abc")
+            .block(b"")
+            .build();
+        assert_eq!(&f[..6], mini_gif::MAGIC);
+        assert_eq!(u16::from_le_bytes([f[6], f[7]]), 3);
+        assert_eq!(u16::from_le_bytes([f[8], f[9]]), 5);
+        assert_eq!(f[10], mini_gif::IMAGE_SEPARATOR);
+        assert_eq!(f[11], 3); // first block size
+        assert_eq!(&f[12..15], b"abc");
+        assert_eq!(f[15], mini_gif::IMAGE_SEPARATOR);
+        assert_eq!(f[16], 0); // empty block
+        assert_eq!(*f.last().unwrap(), mini_gif::TRAILER);
+    }
+
+    #[test]
+    fn gif_invalid_version() {
+        let f = mini_gif::Builder::new().version(*b"99a").build();
+        assert_eq!(&f[3..6], b"99a");
+        assert_eq!(&f[..3], b"GIF");
+    }
+
+    #[test]
+    fn tiff_layout() {
+        let f = mini_tiff::Builder::new()
+            .entry(0x100, 64)
+            .entry(mini_tiff::VULN_TAG, 0)
+            .build();
+        assert_eq!(&f[..4], mini_tiff::MAGIC);
+        assert_eq!(f[4], 2);
+        assert_eq!(u16::from_le_bytes([f[5], f[6]]), 0x100);
+        assert_eq!(u16::from_le_bytes([f[11], f[12]]), 0x13d);
+    }
+
+    #[test]
+    fn jpeg_layout() {
+        let f = mini_jpeg::Builder::new()
+            .segment(mini_jpeg::SEG_HUFF, &[4, 1, 2, 3, 4])
+            .segment(mini_jpeg::SEG_SCAN, b"xy")
+            .build();
+        assert_eq!(&f[..4], mini_jpeg::MAGIC);
+        assert_eq!(f[4], 1); // version
+        assert_eq!(f[5], 2); // nseg
+        assert_eq!(f[6], mini_jpeg::SEG_HUFF);
+        assert_eq!(u16::from_le_bytes([f[7], f[8]]), 5);
+    }
+
+    #[test]
+    fn j2k_layout() {
+        let f = mini_j2k::Builder::new().components(0).tile(16, 16).build();
+        assert_eq!(&f[..4], mini_j2k::MAGIC);
+        assert_eq!(f[4], 0);
+        assert_eq!(f.len(), mini_j2k::HEADER_LEN);
+    }
+
+    #[test]
+    fn pdf_embeds_j2k() {
+        let img = mini_j2k::Builder::new().components(0).build();
+        let f = mini_pdf::Builder::new()
+            .object(mini_pdf::OBJ_STREAM, b"BT /F1 ET")
+            .object(mini_pdf::OBJ_IMAGE, &img)
+            .build();
+        assert_eq!(&f[..4], mini_pdf::MAGIC);
+        assert_eq!(f[5], 2); // nobj
+                             // the embedded image payload appears verbatim
+        let pos = f
+            .windows(img.len())
+            .position(|w| w == img.as_slice())
+            .unwrap();
+        assert!(pos > 6);
+    }
+
+    #[test]
+    fn avc_layout_terminates() {
+        let f = mini_avc::Builder::new()
+            .frame(mini_avc::FRAME_SPS, &[0x40, 0x00, 0x40, 0x00])
+            .build();
+        assert_eq!(&f[..4], mini_avc::MAGIC);
+        assert_eq!(f[4], mini_avc::FRAME_SPS);
+        assert_eq!(*f.last().unwrap(), 0);
+    }
+}

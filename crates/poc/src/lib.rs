@@ -1,0 +1,24 @@
+//! # octo-poc — proof-of-concept files, crash primitives, and mini formats.
+//!
+//! The paper's unit of input is a *malformed file type PoC* (§II-A): a byte
+//! file whose contents drive the vulnerable software into its crash. This
+//! crate provides:
+//!
+//! * [`PocFile`] — the byte-file type, with diff/hexdump utilities;
+//! * [`Bunch`] and [`CrashPrimitives`] — the output of phase P1: the PoC
+//!   bytes consumed inside the shared code area `ℓ`, grouped by which entry
+//!   into `ℓ` consumed them (the paper's context-aware grouping);
+//! * [`formats`] — builders for the five mini file formats the corpus
+//!   programs parse (mini-JPEG, mini-PDF, mini-GIF, mini-TIFF, mini-J2K and
+//!   a mini video stream), standing in for the real JPEG/PDF/GIF/TIFF
+//!   formats of the paper's dataset.
+#![warn(missing_docs)]
+
+pub mod decode;
+pub mod formats;
+pub mod poc;
+pub mod primitives;
+
+pub use decode::DecodeError;
+pub use poc::PocFile;
+pub use primitives::{Bunch, CrashPrimitives};

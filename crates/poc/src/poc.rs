@@ -1,0 +1,144 @@
+//! The PoC byte-file type.
+
+use std::fmt;
+
+/// A proof-of-concept input file: a sequence of bytes fed to a subject
+/// program as its single file input.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct PocFile {
+    bytes: Vec<u8>,
+}
+
+impl PocFile {
+    /// Wraps raw bytes.
+    pub fn new(bytes: Vec<u8>) -> PocFile {
+        PocFile { bytes }
+    }
+
+    /// The file contents.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// File length in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The byte at `offset` (0 past the end, mirroring the zero-filled
+    /// symbolic file convention).
+    pub fn byte(&self, offset: u32) -> u8 {
+        self.bytes.get(offset as usize).copied().unwrap_or(0)
+    }
+
+    /// Consumes the wrapper, returning the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Offsets (with values) where `self` and `other` differ; the longer
+    /// file's tail is compared against implicit zeros.
+    pub fn diff(&self, other: &PocFile) -> Vec<(u32, u8, u8)> {
+        let n = self.len().max(other.len()) as u32;
+        (0..n)
+            .filter_map(|o| {
+                let (a, b) = (self.byte(o), other.byte(o));
+                (a != b).then_some((o, a, b))
+            })
+            .collect()
+    }
+
+    /// A compact hexdump (16 bytes per row) for logs and reports.
+    pub fn hexdump(&self) -> String {
+        let mut out = String::new();
+        for (row, chunk) in self.bytes.chunks(16).enumerate() {
+            out.push_str(&format!("{:08x}  ", row * 16));
+            for (i, b) in chunk.iter().enumerate() {
+                out.push_str(&format!("{b:02x}"));
+                out.push(if i == 7 { ' ' } else { '\0' });
+                out.retain(|c| c != '\0');
+                out.push(' ');
+            }
+            for _ in chunk.len()..16 {
+                out.push_str("   ");
+            }
+            out.push(' ');
+            for b in chunk {
+                out.push(if b.is_ascii_graphic() || *b == b' ' {
+                    *b as char
+                } else {
+                    '.'
+                });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl From<Vec<u8>> for PocFile {
+    fn from(bytes: Vec<u8>) -> PocFile {
+        PocFile::new(bytes)
+    }
+}
+
+impl From<&[u8]> for PocFile {
+    fn from(bytes: &[u8]) -> PocFile {
+        PocFile::new(bytes.to_vec())
+    }
+}
+
+impl AsRef<[u8]> for PocFile {
+    fn as_ref(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+impl fmt::Display for PocFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PocFile({} bytes)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_access_zero_fills() {
+        let p = PocFile::from(&b"ab"[..]);
+        assert_eq!(p.byte(0), b'a');
+        assert_eq!(p.byte(5), 0);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn diff_reports_positions() {
+        let a = PocFile::from(&b"GIF87a"[..]);
+        let b = PocFile::from(&b"GIF99a"[..]);
+        let d = a.diff(&b);
+        assert_eq!(d, vec![(3, b'8', b'9'), (4, b'7', b'9')]);
+        assert!(a.diff(&a).is_empty());
+    }
+
+    #[test]
+    fn diff_covers_length_mismatch() {
+        let a = PocFile::from(&b"ab"[..]);
+        let b = PocFile::from(&b"abc"[..]);
+        assert_eq!(a.diff(&b), vec![(2, 0, b'c')]);
+    }
+
+    #[test]
+    fn hexdump_shows_ascii_column() {
+        let p = PocFile::from(&b"GIF87a\x00\xff"[..]);
+        let dump = p.hexdump();
+        assert!(dump.contains("47 49 46"), "{dump}");
+        assert!(dump.contains("GIF87a.."), "{dump}");
+    }
+}

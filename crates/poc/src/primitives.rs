@@ -1,0 +1,234 @@
+//! Crash primitives: the reusable part of a PoC.
+//!
+//! Phase P1 of the paper extracts, for each entry of the execution into the
+//! shared code area `ℓ`, the set of PoC file bytes consumed during that
+//! entry. Each such group is a *bunch*, "stored along with the number of
+//! encounters with `ep` (sequential value)". The ordered collection of
+//! bunches is the crash primitive set `q`.
+
+use std::collections::BTreeMap;
+
+use crate::poc::PocFile;
+
+/// The PoC bytes consumed during one entry into `ℓ`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bunch {
+    /// 1-based sequential number of the `ep` entry this bunch belongs to.
+    pub seq: u32,
+    /// `original offset → byte value` pairs, relative to the original PoC.
+    bytes: BTreeMap<u32, u8>,
+}
+
+impl Bunch {
+    /// Creates an empty bunch for entry `seq`.
+    pub fn new(seq: u32) -> Bunch {
+        Bunch {
+            seq,
+            bytes: BTreeMap::new(),
+        }
+    }
+
+    /// Records that the original PoC byte at `offset` (value `value`) was
+    /// consumed during this entry.
+    pub fn add(&mut self, offset: u32, value: u8) {
+        self.bytes.insert(offset, value);
+    }
+
+    /// `(offset, value)` pairs in ascending offset order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u8)> + '_ {
+        self.bytes.iter().map(|(&o, &v)| (o, v))
+    }
+
+    /// Number of bytes in the bunch.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the bunch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// The bunch as a dense byte string in offset order.
+    ///
+    /// When the consumed bytes are contiguous in the original PoC (the
+    /// common case: `ℓ` reads a record sequentially) this is exactly the
+    /// record's raw bytes, suitable for splicing at a new offset.
+    pub fn dense_bytes(&self) -> Vec<u8> {
+        self.bytes.values().copied().collect()
+    }
+
+    /// The lowest original offset, if non-empty.
+    pub fn first_offset(&self) -> Option<u32> {
+        self.bytes.keys().next().copied()
+    }
+
+    /// Whether the consumed offsets form one contiguous range.
+    pub fn is_contiguous(&self) -> bool {
+        let offs: Vec<u32> = self.bytes.keys().copied().collect();
+        offs.windows(2).all(|w| w[1] == w[0] + 1)
+    }
+}
+
+/// The full crash-primitive set `q` extracted from one PoC (paper P1).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CrashPrimitives {
+    bunches: Vec<Bunch>,
+    /// Arguments `ep` was called with at each entry (paper P3 re-executes
+    /// `ep` in `T` "with the same parameters as those used in S").
+    ep_args: Vec<Vec<u64>>,
+}
+
+impl CrashPrimitives {
+    /// Creates an empty primitive set.
+    pub fn new() -> CrashPrimitives {
+        CrashPrimitives::default()
+    }
+
+    /// Appends the bunch for the next `ep` entry together with the
+    /// arguments `ep` received at that entry.
+    pub fn push(&mut self, bunch: Bunch, args: Vec<u64>) {
+        self.bunches.push(bunch);
+        self.ep_args.push(args);
+    }
+
+    /// The bunches in entry order.
+    pub fn bunches(&self) -> &[Bunch] {
+        &self.bunches
+    }
+
+    /// The bunch for 0-based entry index `i`.
+    pub fn bunch(&self, i: usize) -> Option<&Bunch> {
+        self.bunches.get(i)
+    }
+
+    /// The arguments of the `i`-th `ep` entry.
+    pub fn args(&self, i: usize) -> Option<&[u64]> {
+        self.ep_args.get(i).map(Vec::as_slice)
+    }
+
+    /// Number of `ep` entries observed.
+    pub fn entry_count(&self) -> usize {
+        self.bunches.len()
+    }
+
+    /// Whether no entries were recorded (the vulnerability never entered
+    /// `ℓ` — cannot happen for a genuine `S`/`poc` pair).
+    pub fn is_empty(&self) -> bool {
+        self.bunches.is_empty()
+    }
+
+    /// Total bytes across all bunches.
+    pub fn total_bytes(&self) -> usize {
+        self.bunches.iter().map(Bunch::len).sum()
+    }
+
+    /// All distinct original-PoC offsets covered by any bunch.
+    pub fn all_offsets(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self
+            .bunches
+            .iter()
+            .flat_map(|b| b.iter().map(|(o, _)| o))
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Flattens every bunch into a single context-free bunch — the
+    /// *context-unaware* extraction the paper ablates in Table III. All
+    /// primitive bytes collapse into one group "located in poc' at once".
+    pub fn flatten(&self) -> CrashPrimitives {
+        let mut flat = Bunch::new(1);
+        for b in &self.bunches {
+            for (o, v) in b.iter() {
+                flat.add(o, v);
+            }
+        }
+        let args = self.ep_args.first().cloned().unwrap_or_default();
+        let mut out = CrashPrimitives::new();
+        out.push(flat, args);
+        out
+    }
+
+    /// Reconstructs the primitive bytes as they appear in `poc` (sanity
+    /// utility: every recorded value must match the PoC byte).
+    pub fn consistent_with(&self, poc: &PocFile) -> bool {
+        self.bunches
+            .iter()
+            .flat_map(Bunch::iter)
+            .all(|(o, v)| poc.byte(o) == v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CrashPrimitives {
+        let mut q = CrashPrimitives::new();
+        let mut b1 = Bunch::new(1);
+        b1.add(4, 0x41);
+        b1.add(5, 0x41);
+        let mut b2 = Bunch::new(2);
+        b2.add(9, 0x42);
+        b2.add(10, 0x42);
+        b2.add(11, 0x42);
+        q.push(b1, vec![7]);
+        q.push(b2, vec![7]);
+        q
+    }
+
+    #[test]
+    fn bunch_ordering_and_density() {
+        let mut b = Bunch::new(1);
+        b.add(9, 3);
+        b.add(4, 1);
+        b.add(5, 2);
+        assert_eq!(b.dense_bytes(), vec![1, 2, 3]);
+        assert_eq!(b.first_offset(), Some(4));
+        assert!(!b.is_contiguous());
+        let pairs: Vec<(u32, u8)> = b.iter().collect();
+        assert_eq!(pairs, vec![(4, 1), (5, 2), (9, 3)]);
+    }
+
+    #[test]
+    fn contiguous_detection() {
+        let mut b = Bunch::new(1);
+        b.add(4, 1);
+        b.add(5, 2);
+        b.add(6, 3);
+        assert!(b.is_contiguous());
+    }
+
+    #[test]
+    fn primitives_accumulate_entries() {
+        let q = sample();
+        assert_eq!(q.entry_count(), 2);
+        assert_eq!(q.total_bytes(), 5);
+        assert_eq!(q.all_offsets(), vec![4, 5, 9, 10, 11]);
+        assert_eq!(q.args(0), Some(&[7u64][..]));
+        assert_eq!(q.bunch(1).unwrap().seq, 2);
+    }
+
+    #[test]
+    fn flatten_merges_bunches() {
+        let q = sample();
+        let flat = q.flatten();
+        assert_eq!(flat.entry_count(), 1);
+        assert_eq!(flat.total_bytes(), 5);
+        assert_eq!(flat.bunch(0).unwrap().first_offset(), Some(4));
+    }
+
+    #[test]
+    fn consistency_check_against_poc() {
+        let q = sample();
+        let mut bytes = vec![0u8; 12];
+        for (o, v) in q.bunches().iter().flat_map(Bunch::iter) {
+            bytes[o as usize] = v;
+        }
+        assert!(q.consistent_with(&PocFile::new(bytes.clone())));
+        bytes[4] = 0xFF;
+        assert!(!q.consistent_with(&PocFile::new(bytes)));
+    }
+}

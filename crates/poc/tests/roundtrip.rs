@@ -1,0 +1,118 @@
+//! Property tests: format builders and decoders are inverse.
+
+use octo_poc::decode::{
+    decode_mini_avc, decode_mini_gif, decode_mini_j2k, decode_mini_jpeg, decode_mini_pdf,
+    decode_mini_tiff,
+};
+use octo_poc::formats::{mini_avc, mini_gif, mini_j2k, mini_jpeg, mini_pdf, mini_tiff};
+use proptest::prelude::*;
+
+fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 0..32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn jpeg_builder_decoder_roundtrip(
+        version in any::<u8>(),
+        segments in prop::collection::vec((any::<u8>(), arb_payload()), 0..6),
+    ) {
+        let mut b = mini_jpeg::Builder::new().version(version);
+        for (kind, payload) in &segments {
+            b = b.segment(*kind, payload);
+        }
+        let file = b.build();
+        let c = decode_mini_jpeg(&file).expect("roundtrip decodes");
+        prop_assert_eq!(c.version, version);
+        prop_assert_eq!(c.records, segments);
+    }
+
+    #[test]
+    fn pdf_builder_decoder_roundtrip(
+        version in any::<u8>(),
+        objects in prop::collection::vec((any::<u8>(), arb_payload()), 0..6),
+    ) {
+        let mut b = mini_pdf::Builder::new().version(version);
+        for (kind, payload) in &objects {
+            b = b.object(*kind, payload);
+        }
+        let file = b.build();
+        let c = decode_mini_pdf(&file).expect("roundtrip decodes");
+        prop_assert_eq!(c.records, objects);
+    }
+
+    #[test]
+    fn avc_builder_decoder_roundtrip(
+        frames in prop::collection::vec((1u8..=255, arb_payload()), 0..6),
+    ) {
+        let mut b = mini_avc::Builder::new();
+        for (kind, payload) in &frames {
+            b = b.frame(*kind, payload);
+        }
+        let file = b.build();
+        let c = decode_mini_avc(&file).expect("roundtrip decodes");
+        prop_assert_eq!(c.records, frames);
+    }
+
+    #[test]
+    fn gif_builder_decoder_roundtrip(
+        version in prop::array::uniform3(any::<u8>()),
+        dims in (any::<u16>(), any::<u16>()),
+        blocks in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..32), 0..5),
+    ) {
+        let mut b = mini_gif::Builder::new().version(version).size(dims.0, dims.1);
+        for data in &blocks {
+            b = b.block(data);
+        }
+        let file = b.build();
+        let g = decode_mini_gif(&file).expect("roundtrip decodes");
+        prop_assert_eq!(g.version, version);
+        prop_assert_eq!((g.width, g.height), dims);
+        let expected: Vec<(u8, Vec<u8>)> =
+            blocks.iter().map(|d| (d.len() as u8, d.clone())).collect();
+        prop_assert_eq!(g.blocks, expected);
+    }
+
+    #[test]
+    fn tiff_builder_decoder_roundtrip(
+        entries in prop::collection::vec((any::<u16>(), any::<u32>()), 0..8),
+    ) {
+        let mut b = mini_tiff::Builder::new();
+        for (tag, value) in &entries {
+            b = b.entry(*tag, *value);
+        }
+        let file = b.build();
+        let t = decode_mini_tiff(&file).expect("roundtrip decodes");
+        prop_assert_eq!(t.entries, entries);
+    }
+
+    #[test]
+    fn j2k_builder_decoder_roundtrip(
+        ncomp in any::<u8>(),
+        tile in (any::<u16>(), any::<u16>()),
+        data in arb_payload(),
+    ) {
+        let file = mini_j2k::Builder::new()
+            .components(ncomp)
+            .tile(tile.0, tile.1)
+            .data(&data)
+            .build();
+        let j = decode_mini_j2k(&file).expect("roundtrip decodes");
+        prop_assert_eq!(j.ncomp, ncomp);
+        prop_assert_eq!((j.tile_w, j.tile_h), tile);
+        prop_assert_eq!(j.data, data);
+    }
+
+    /// Random byte strings never panic any decoder (they error instead).
+    #[test]
+    fn decoders_are_total(data in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = decode_mini_jpeg(&data);
+        let _ = decode_mini_pdf(&data);
+        let _ = decode_mini_avc(&data);
+        let _ = decode_mini_gif(&data);
+        let _ = decode_mini_tiff(&data);
+        let _ = decode_mini_j2k(&data);
+    }
+}

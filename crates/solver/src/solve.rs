@@ -1,0 +1,541 @@
+//! The solving engine: domain propagation plus bounded backtracking search.
+
+use std::collections::BTreeMap;
+
+use crate::constraint::{Constraint, ConstraintSet};
+use crate::domain::ByteDomain;
+
+/// Budgets bounding a solve. With the defaults, every constraint set the
+/// reproduction's pipeline emits solves well inside the limits; `Unknown`
+/// results indicate the budget was hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveLimits {
+    /// Maximum search-tree nodes (0 = propagation only, no search).
+    pub max_nodes: u64,
+    /// Maximum pairwise support checks per propagation round.
+    pub max_pair_work: u64,
+}
+
+impl Default for SolveLimits {
+    fn default() -> SolveLimits {
+        SolveLimits {
+            max_nodes: 200_000,
+            max_pair_work: 2_000_000,
+        }
+    }
+}
+
+/// A satisfying byte assignment.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Model {
+    bytes: BTreeMap<u32, u8>,
+}
+
+impl Model {
+    /// Creates a model from explicit assignments.
+    pub fn from_bytes(bytes: BTreeMap<u32, u8>) -> Model {
+        Model { bytes }
+    }
+
+    /// The value of the byte at `offset` (unconstrained bytes default to 0,
+    /// matching the zero-filled symbolic input file).
+    pub fn byte(&self, offset: u32) -> u8 {
+        self.bytes.get(&offset).copied().unwrap_or(0)
+    }
+
+    /// Offsets that are explicitly constrained.
+    pub fn assigned(&self) -> impl Iterator<Item = (u32, u8)> + '_ {
+        self.bytes.iter().map(|(&o, &v)| (o, v))
+    }
+
+    /// Materialises a concrete file of `len` bytes.
+    pub fn to_file(&self, len: usize) -> Vec<u8> {
+        let mut out = vec![0u8; len];
+        for (&off, &v) in &self.bytes {
+            if (off as usize) < len {
+                out[off as usize] = v;
+            }
+        }
+        out
+    }
+
+    /// The highest constrained offset plus one (minimum file length that
+    /// carries every assignment).
+    pub fn required_len(&self) -> usize {
+        self.bytes
+            .keys()
+            .next_back()
+            .map(|&o| o as usize + 1)
+            .unwrap_or(0)
+    }
+}
+
+/// Outcome of a solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveResult {
+    /// Satisfiable, with a witness model.
+    Sat(Model),
+    /// Proven unsatisfiable.
+    Unsat,
+    /// Budget exhausted before a verdict.
+    Unknown,
+}
+
+impl SolveResult {
+    /// The model, if satisfiable.
+    pub fn model(&self) -> Option<&Model> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+}
+
+impl ConstraintSet {
+    /// Solves the set with default limits.
+    pub fn solve(&self) -> SolveResult {
+        self.solve_with(SolveLimits::default())
+    }
+
+    /// Solves the set with explicit limits.
+    pub fn solve_with(&self, limits: SolveLimits) -> SolveResult {
+        if self.is_trivially_false() {
+            // Normalisation proved the contradiction and dropped the
+            // offending constraint from the item list; the search below
+            // must not mistake the empty list for satisfiability.
+            return SolveResult::Unsat;
+        }
+        Solver::new(self, limits).solve()
+    }
+
+    /// Propagation-only feasibility pre-check (used by directed symbolic
+    /// execution to prune branches without paying for a full solve).
+    ///
+    /// `false` means *definitely unsatisfiable*; `true` means "not
+    /// refuted by propagation" (the full solve may still say `Unsat`).
+    pub fn quick_feasible(&self) -> bool {
+        if self.is_trivially_false() {
+            return false;
+        }
+        let limits = SolveLimits {
+            max_nodes: 0,
+            max_pair_work: 200_000,
+        };
+        !matches!(self.solve_with(limits), SolveResult::Unsat)
+    }
+}
+
+struct Solver<'a> {
+    constraints: &'a [Constraint],
+    /// Sorted variable offsets.
+    vars: Vec<u32>,
+    /// Domain per variable (indexed like `vars`).
+    domains: Vec<ByteDomain>,
+    /// Variable indices used by each constraint.
+    cvars: Vec<Vec<usize>>,
+    limits: SolveLimits,
+    nodes: u64,
+    budget_hit: bool,
+}
+
+impl<'a> Solver<'a> {
+    fn new(set: &'a ConstraintSet, limits: SolveLimits) -> Solver<'a> {
+        let vars: Vec<u32> = set.vars().into_iter().collect();
+        let index: BTreeMap<u32, usize> = vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let cvars = set
+            .items()
+            .iter()
+            .map(|c| c.vars().into_iter().map(|v| index[&v]).collect())
+            .collect();
+        Solver {
+            constraints: set.items(),
+            domains: vec![ByteDomain::full(); vars.len()],
+            vars,
+            cvars,
+            limits,
+            nodes: 0,
+            budget_hit: false,
+        }
+    }
+
+    fn solve(mut self) -> SolveResult {
+        if self.constraints.is_empty() {
+            return SolveResult::Sat(Model::default());
+        }
+        if !self.propagate() {
+            return SolveResult::Unsat;
+        }
+        // Try the cheap completion first: every variable at its domain
+        // minimum. If that satisfies everything we are done without search.
+        if let Some(model) = self.try_min_completion() {
+            return SolveResult::Sat(model);
+        }
+        if self.limits.max_nodes == 0 {
+            return SolveResult::Unknown;
+        }
+        let mut assignment: Vec<Option<u8>> =
+            self.domains.iter().map(ByteDomain::as_singleton).collect();
+        match self.search(&mut assignment) {
+            Some(model) => SolveResult::Sat(model),
+            None if self.budget_hit => SolveResult::Unknown,
+            None => SolveResult::Unsat,
+        }
+    }
+
+    /// Runs propagation to a fixpoint. Returns false on contradiction.
+    fn propagate(&mut self) -> bool {
+        let mut pair_work = 0u64;
+        loop {
+            let mut changed = false;
+            for (ci, c) in self.constraints.iter().enumerate() {
+                let free: Vec<usize> = self.cvars[ci]
+                    .iter()
+                    .copied()
+                    .filter(|&vi| self.domains[vi].as_singleton().is_none())
+                    .collect();
+                match free.len() {
+                    0 => {
+                        let ok = c.eval(&|off| self.singleton_of(off)).unwrap_or(false);
+                        if !ok {
+                            return false;
+                        }
+                    }
+                    1 => {
+                        let vi = free[0];
+                        let off = self.vars[vi];
+                        let mut keep = ByteDomain::empty();
+                        for cand in self.domains[vi].iter() {
+                            let ok = c
+                                .eval(&|o| {
+                                    if o == off {
+                                        Some(cand)
+                                    } else {
+                                        self.singleton_of(o)
+                                    }
+                                })
+                                .unwrap_or(false);
+                            if ok {
+                                keep.insert(cand);
+                            }
+                        }
+                        changed |= self.domains[vi].intersect(&keep);
+                        if self.domains[vi].is_empty() {
+                            return false;
+                        }
+                    }
+                    _ if free.len() >= 3 => {
+                        // Wide constraints: per-variable filtering is too
+                        // expensive, but interval reasoning can still
+                        // refute impossible bounds (e.g. a byte sum that
+                        // cannot reach the required constant).
+                        if self.interval_refuted(c) {
+                            return false;
+                        }
+                    }
+                    2 => {
+                        let (a, b) = (free[0], free[1]);
+                        let work =
+                            u64::from(self.domains[a].len()) * u64::from(self.domains[b].len());
+                        if pair_work + work > self.limits.max_pair_work {
+                            continue;
+                        }
+                        pair_work += work;
+                        changed |= self.pair_filter(ci, a, b);
+                        changed |= self.pair_filter(ci, b, a);
+                        if self.domains[a].is_empty() || self.domains[b].is_empty() {
+                            return false;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if !changed {
+                return true;
+            }
+        }
+    }
+
+    /// Removes values of `target` that have no support in `other` for
+    /// constraint `ci`. Returns whether the domain changed.
+    fn pair_filter(&mut self, ci: usize, target: usize, other: usize) -> bool {
+        let c = &self.constraints[ci];
+        let (t_off, o_off) = (self.vars[target], self.vars[other]);
+        let mut keep = ByteDomain::empty();
+        for tv in self.domains[target].iter() {
+            let supported = self.domains[other].iter().any(|ov| {
+                c.eval(&|off| {
+                    if off == t_off {
+                        Some(tv)
+                    } else if off == o_off {
+                        Some(ov)
+                    } else {
+                        self.singleton_of(off)
+                    }
+                })
+                .unwrap_or(false)
+            });
+            if supported {
+                keep.insert(tv);
+            }
+        }
+        self.domains[target].intersect(&keep)
+    }
+
+    fn singleton_of(&self, off: u32) -> Option<u8> {
+        let vi = self.vars.binary_search(&off).ok()?;
+        self.domains[vi].as_singleton()
+    }
+
+    /// Interval-refutation check for one constraint against the current
+    /// domains. `true` = definitely unsatisfiable.
+    fn interval_refuted(&self, c: &Constraint) -> bool {
+        let bounds = |off: u32| -> Option<(u8, u8)> {
+            let vi = self.vars.binary_search(&off).ok()?;
+            let d = &self.domains[vi];
+            Some((d.min()?, d.max()?))
+        };
+        let (Some(l), Some(r)) = (
+            crate::interval::eval_interval(&c.lhs, &bounds),
+            crate::interval::eval_interval(&c.rhs, &bounds),
+        ) else {
+            return false;
+        };
+        crate::interval::refutes(c.cond, &l, &r)
+    }
+
+    /// Tries completing with every domain's minimum value.
+    fn try_min_completion(&self) -> Option<Model> {
+        let bytes: BTreeMap<u32, u8> = self
+            .vars
+            .iter()
+            .zip(self.domains.iter())
+            .map(|(&off, d)| Some((off, d.min()?)))
+            .collect::<Option<_>>()?;
+        let lookup = |off: u32| bytes.get(&off).copied();
+        if self
+            .constraints
+            .iter()
+            .all(|c| c.eval(&lookup) == Some(true))
+        {
+            Some(Model::from_bytes(bytes))
+        } else {
+            None
+        }
+    }
+
+    fn search(&mut self, assignment: &mut Vec<Option<u8>>) -> Option<Model> {
+        self.nodes += 1;
+        if self.nodes > self.limits.max_nodes {
+            self.budget_hit = true;
+            return None;
+        }
+        // Check constraints whose variables are all assigned; prune early.
+        for (ci, c) in self.constraints.iter().enumerate() {
+            let all = self.cvars[ci].iter().all(|&vi| assignment[vi].is_some());
+            if all {
+                let ok = c
+                    .eval(&|off| {
+                        let vi = self.vars.binary_search(&off).ok()?;
+                        assignment[vi]
+                    })
+                    .unwrap_or(false);
+                if !ok {
+                    return None;
+                }
+            }
+        }
+        // Select the unassigned variable with the smallest domain (MRV).
+        let next = (0..self.vars.len())
+            .filter(|&vi| assignment[vi].is_none())
+            .min_by_key(|&vi| self.domains[vi].len());
+        let Some(vi) = next else {
+            // Complete assignment — already checked above.
+            let bytes = self
+                .vars
+                .iter()
+                .zip(assignment.iter())
+                .map(|(&off, v)| (off, v.expect("complete")))
+                .collect();
+            return Some(Model::from_bytes(bytes));
+        };
+        let candidates: Vec<u8> = self.domains[vi].iter().collect();
+        for v in candidates {
+            assignment[vi] = Some(v);
+            if let Some(model) = self.search(assignment) {
+                return Some(model);
+            }
+            if self.budget_hit {
+                assignment[vi] = None;
+                return None;
+            }
+        }
+        assignment[vi] = None;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Cond;
+    use crate::expr::Expr;
+    use octo_ir::BinOp;
+
+    fn sat_model(set: &ConstraintSet) -> Model {
+        match set.solve() {
+            SolveResult::Sat(m) => {
+                assert!(
+                    set.eval_file(&m.to_file(m.required_len().max(1))),
+                    "model does not satisfy set"
+                );
+                m
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solves_byte_equalities() {
+        let mut set = ConstraintSet::new();
+        set.assert_byte(0, b'G');
+        set.assert_byte(5, b'a');
+        let m = sat_model(&set);
+        assert_eq!(m.byte(0), b'G');
+        assert_eq!(m.byte(5), b'a');
+        assert_eq!(m.byte(3), 0);
+        assert_eq!(m.required_len(), 6);
+    }
+
+    #[test]
+    fn solves_word_equality() {
+        let mut set = ConstraintSet::new();
+        set.push(Constraint::new(
+            Expr::concat_le(2, 4),
+            Expr::val(0xDEAD_BEEF),
+            Cond::Eq,
+        ));
+        let m = sat_model(&set);
+        assert_eq!(m.byte(2), 0xEF);
+        assert_eq!(m.byte(5), 0xDE);
+    }
+
+    #[test]
+    fn detects_direct_conflict() {
+        let mut set = ConstraintSet::new();
+        set.assert_byte(0, 1);
+        set.assert_byte(0, 2);
+        assert_eq!(set.solve(), SolveResult::Unsat);
+        assert!(!set.quick_feasible());
+    }
+
+    #[test]
+    fn solves_inequalities() {
+        let mut set = ConstraintSet::new();
+        // 10 <= b0 < 20 and b0 != 15
+        set.push(Constraint::new(Expr::val(10), Expr::byte(0), Cond::Ule));
+        set.push(Constraint::new(Expr::byte(0), Expr::val(20), Cond::Ult));
+        set.push(Constraint::new(Expr::byte(0), Expr::val(15), Cond::Ne));
+        let m = sat_model(&set);
+        let v = m.byte(0);
+        assert!((10..20).contains(&v) && v != 15);
+    }
+
+    #[test]
+    fn unsat_empty_interval() {
+        let mut set = ConstraintSet::new();
+        set.push(Constraint::new(Expr::val(200), Expr::byte(0), Cond::Ule));
+        set.push(Constraint::new(Expr::byte(0), Expr::val(100), Cond::Ult));
+        assert_eq!(set.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn solves_arithmetic_relation() {
+        // b0 + b1 == 100 with b0 == 30
+        let mut set = ConstraintSet::new();
+        let sum = Expr::bin(BinOp::Add, Expr::byte(0), Expr::byte(1));
+        set.push(Constraint::new(sum, Expr::val(100), Cond::Eq));
+        set.assert_byte(0, 30);
+        let m = sat_model(&set);
+        assert_eq!(m.byte(1), 70);
+    }
+
+    #[test]
+    fn solves_two_free_vars_via_pair_propagation() {
+        // b0 * b1 == 35 → {1*35, 5*7, 7*5, 35*1}
+        let mut set = ConstraintSet::new();
+        let prod = Expr::bin(BinOp::Mul, Expr::byte(0), Expr::byte(1));
+        set.push(Constraint::new(prod, Expr::val(35), Cond::Eq));
+        let m = sat_model(&set);
+        assert_eq!(u32::from(m.byte(0)) * u32::from(m.byte(1)), 35);
+    }
+
+    #[test]
+    fn solves_three_var_constraint_via_search() {
+        // b0 + b1 + b2 == 600 (requires values above 85 — search territory)
+        let mut set = ConstraintSet::new();
+        let sum = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Add, Expr::byte(0), Expr::byte(1)),
+            Expr::byte(2),
+        );
+        set.push(Constraint::new(sum, Expr::val(600), Cond::Eq));
+        // Pin two to force the third.
+        set.assert_byte(0, 250);
+        set.assert_byte(1, 200);
+        let m = sat_model(&set);
+        assert_eq!(m.byte(2), 150);
+    }
+
+    #[test]
+    fn unsat_three_var_is_proven() {
+        let mut set = ConstraintSet::new();
+        let sum = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Add, Expr::byte(0), Expr::byte(1)),
+            Expr::byte(2),
+        );
+        // Max possible is 765.
+        set.push(Constraint::new(Expr::val(766), Expr::byte(3), Cond::Ule));
+        set.push(Constraint::new(sum, Expr::byte(3), Cond::Eq));
+        assert_eq!(set.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn signed_comparisons() {
+        // sign-extended-ish: interpret byte as small value, require
+        // (b0 - 5) <s 0  →  b0 < 5 in small range
+        let mut set = ConstraintSet::new();
+        let shifted = Expr::bin(BinOp::Sub, Expr::byte(0), Expr::val(5));
+        set.push(Constraint::new(shifted, Expr::val(0), Cond::Slt));
+        let m = sat_model(&set);
+        assert!(m.byte(0) < 5);
+    }
+
+    #[test]
+    fn quick_feasible_accepts_satisfiable() {
+        let mut set = ConstraintSet::new();
+        set.assert_byte(0, 7);
+        assert!(set.quick_feasible());
+    }
+
+    #[test]
+    fn empty_set_is_sat() {
+        let set = ConstraintSet::new();
+        assert!(set.solve().is_sat());
+    }
+
+    #[test]
+    fn model_to_file_truncates() {
+        let mut set = ConstraintSet::new();
+        set.assert_byte(10, 0xAA);
+        let m = sat_model(&set);
+        let f = m.to_file(4);
+        assert_eq!(f.len(), 4);
+        assert!(f.iter().all(|&b| b == 0));
+    }
+}

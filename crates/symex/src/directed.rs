@@ -1,0 +1,840 @@
+//! Directed symbolic execution plus the combining phase (paper Algorithm 2).
+//!
+//! The engine drives one state from the entry of `T` toward `ep`, using a
+//! backward-path [`DistanceMap`] as the direction oracle at every symbolic
+//! branch (phase P2). Whenever execution enters `ep`, the corresponding
+//! crash-primitive bunch is asserted at the current file position and the
+//! recorded `ep` arguments are replayed (phase P3); after the last entry
+//! the accumulated constraints are solved into `poc'`.
+//!
+//! The paper's four state kinds map as follows:
+//!
+//! * **active** — the state steps normally;
+//! * **loop** — a block is revisited within one activation; revisits are
+//!   allowed up to θ;
+//! * **loop-dead** — the constraints for exiting the loop at the current
+//!   iteration count are unsatisfiable; the engine keeps iterating (the
+//!   fallback stack holds the "loop once more" state) until θ;
+//! * **program-dead** — no feasible continuation anywhere: `ℓ` is not
+//!   reachable, so the vulnerability cannot be triggered in `T`
+//!   ([`DirectedOutcome::ProgramDead`], verdict case iii).
+
+use std::time::Instant;
+
+use octo_cfg::DistanceMap;
+use octo_ir::{BlockId, FuncId, Program};
+use octo_poc::{CrashPrimitives, PocFile};
+use octo_solver::{Cond, Constraint, Expr, ExprRef, SolveResult};
+
+use crate::exec::{DeadReason, StepEvent, SymExecutor};
+use crate::state::SymState;
+use crate::value::SymVal;
+
+/// Tunables for one directed run.
+#[derive(Debug, Clone, Copy)]
+pub struct DirectedConfig {
+    /// Length of the symbolic input file (the eventual `poc'` length).
+    pub file_len: u64,
+    /// θ — the maximum number of iterations tried for a loop state
+    /// (the paper sets 120, §IV-B).
+    pub theta: u32,
+    /// Bound on the fallback stack (alternate directions kept for
+    /// backtracking).
+    pub max_fallbacks: usize,
+    /// Total instruction budget across the run.
+    pub step_budget: u64,
+    /// How many infeasible bunch placements to tolerate before concluding
+    /// the combine constraints are unsatisfiable. The paper follows the
+    /// single backward-found correct path, so the first failures are on
+    /// the most direct paths; alternates only re-derive the same conflict
+    /// at shifted file positions.
+    pub max_stitch_failures: u32,
+    /// Loop acceleration (the paper's §III-D future work). When a branch
+    /// inside `ℓ` is *forced* — its negation is already refuted by the
+    /// collected constraints, which happens on every iteration of a copy
+    /// loop over bunch-pinned bytes — the engine takes it without adding a
+    /// redundant constraint and without charging the θ loop budget. With
+    /// this on, vulnerabilities that need more than θ loop iterations
+    /// inside `ℓ` still verify. Off by default (paper semantics).
+    pub loop_acceleration: bool,
+}
+
+impl Default for DirectedConfig {
+    fn default() -> DirectedConfig {
+        DirectedConfig {
+            file_len: 256,
+            theta: 120,
+            max_fallbacks: 4096,
+            step_budget: 2_000_000,
+            max_stitch_failures: 16,
+            loop_acceleration: false,
+        }
+    }
+}
+
+/// Statistics of a directed run (Table IV columns).
+#[derive(Debug, Clone, Default)]
+pub struct DirectedStats {
+    /// Wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Peak simulated memory (live state + fallbacks), bytes.
+    pub peak_mem_bytes: u64,
+    /// Instructions stepped.
+    pub total_steps: u64,
+    /// Fallback states consumed (backtracks).
+    pub backtracks: u64,
+}
+
+/// Result of the directed P2+P3 run.
+#[derive(Debug, Clone)]
+pub enum DirectedOutcome {
+    /// `poc'` was generated.
+    PocGenerated {
+        /// The reformed PoC.
+        poc: PocFile,
+        /// Number of `ep` entries stitched (bunch count).
+        entries: u32,
+        /// Constraints that make up the guiding input, kept so the caller
+        /// can classify Type-I vs Type-II (does the *original* poc already
+        /// satisfy them?).
+        guiding: octo_solver::ConstraintSet,
+    },
+    /// `ep` is unreachable from the entry of `T` (verdict case ii — the
+    /// shared code is never called).
+    EpUnreachable,
+    /// Every path died before stitching all bunches (verdict case iii).
+    ProgramDead,
+    /// The combine-phase constraints are unsatisfiable (e.g. `ep` argument
+    /// mismatch, or a patch-added check conflicts with the primitive
+    /// bytes) — the vulnerability cannot be triggered.
+    Unsat,
+    /// A loop state exceeded θ on every candidate path — the failure mode
+    /// §III-D declares out of scope.
+    LoopBudget,
+    /// Step or solver budget exhausted without a verdict.
+    Budget,
+}
+
+impl DirectedOutcome {
+    /// Whether a `poc'` was produced.
+    pub fn generated(&self) -> bool {
+        matches!(self, DirectedOutcome::PocGenerated { .. })
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Guided by the distance oracle (outside `ℓ`).
+    Directed,
+    /// Inside `ℓ` at the given entry depth: branches follow the current
+    /// model (the primitive bytes are already pinned, so `ℓ`'s own parsing
+    /// is determined).
+    ModelFollow { ep_depth: usize },
+}
+
+struct PathState {
+    state: SymState,
+    mode: Mode,
+}
+
+/// The directed engine.
+pub struct DirectedEngine<'p> {
+    executor: SymExecutor<'p>,
+    program: &'p Program,
+    map: &'p DistanceMap,
+    q: &'p CrashPrimitives,
+    config: DirectedConfig,
+}
+
+impl<'p> DirectedEngine<'p> {
+    /// Creates an engine for target program `T`.
+    ///
+    /// `map` must have been computed for `ep` over a CFG of `T`.
+    pub fn new(
+        program: &'p Program,
+        ep: FuncId,
+        map: &'p DistanceMap,
+        q: &'p CrashPrimitives,
+        config: DirectedConfig,
+    ) -> DirectedEngine<'p> {
+        let mut executor = SymExecutor::new(program, config.file_len).with_ep(ep);
+        executor.max_steps = config.step_budget;
+        DirectedEngine {
+            executor,
+            program,
+            map,
+            q,
+            config,
+        }
+    }
+
+    /// Runs P2+P3 to a verdict.
+    pub fn run(&self) -> (DirectedOutcome, DirectedStats) {
+        let start = Instant::now();
+        let mut stats = DirectedStats::default();
+        let entry_func = self.program.entry();
+        let entry_block = self.program.func(entry_func).entry();
+        if !self.map.reaches(entry_func, entry_block) {
+            stats.wall_seconds = start.elapsed().as_secs_f64();
+            return (DirectedOutcome::EpUnreachable, stats);
+        }
+        if self.q.is_empty() {
+            stats.wall_seconds = start.elapsed().as_secs_f64();
+            return (DirectedOutcome::Unsat, stats);
+        }
+
+        let mut fallbacks: Vec<PathState> = Vec::new();
+        let mut cur = PathState {
+            state: SymState::initial(self.program),
+            mode: Mode::Directed,
+        };
+        let mut unsat_seen = false;
+        let mut stitch_failures = 0u32;
+        let mut loop_budget_hit = false;
+        let mut total_steps: u64 = 0;
+
+        let final_state = loop {
+            if total_steps >= self.config.step_budget {
+                stats.total_steps = total_steps;
+                stats.wall_seconds = start.elapsed().as_secs_f64();
+                // Unsat evidence outweighs a bare budget verdict: every
+                // path that reached ep contradicted the crash primitives.
+                let outcome = if unsat_seen {
+                    DirectedOutcome::Unsat
+                } else {
+                    DirectedOutcome::Budget
+                };
+                return (outcome, stats);
+            }
+            total_steps += 1;
+
+            // Returning from `ℓ` switches back to directed mode.
+            if let Mode::ModelFollow { ep_depth } = cur.mode {
+                if cur.state.depth() < ep_depth {
+                    cur.mode = Mode::Directed;
+                }
+            }
+
+            let event = self.executor.step(&mut cur.state);
+            let next: Option<PathState> = match event {
+                StepEvent::Continue => Some(cur),
+                StepEvent::EnteredEp {
+                    entry,
+                    args,
+                    file_pos,
+                } => match self.stitch_bunch(&mut cur, entry, &args, file_pos) {
+                    Stitch::Done => break cur.state,
+                    Stitch::More => Some(cur),
+                    Stitch::Infeasible => {
+                        unsat_seen = true;
+                        stitch_failures += 1;
+                        if stitch_failures >= self.config.max_stitch_failures {
+                            stats.total_steps = total_steps;
+                            stats.wall_seconds = start.elapsed().as_secs_f64();
+                            return (DirectedOutcome::Unsat, stats);
+                        }
+                        None
+                    }
+                },
+                StepEvent::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => self.handle_branch(
+                    cur,
+                    &cond,
+                    then_bb,
+                    else_bb,
+                    &mut fallbacks,
+                    &mut loop_budget_hit,
+                ),
+                StepEvent::Switch {
+                    scrut,
+                    cases,
+                    default,
+                } => self.handle_switch(
+                    cur,
+                    &scrut,
+                    &cases,
+                    default,
+                    &mut fallbacks,
+                    &mut loop_budget_hit,
+                ),
+                StepEvent::Exited | StepEvent::Crashed(_) => None,
+                StepEvent::Dead(DeadReason::ConcretizeFailed) => {
+                    unsat_seen = true;
+                    None
+                }
+                StepEvent::Dead(_) => None,
+            };
+
+            // Memory accounting (for the Table IV RAM column).
+            if total_steps % 64 == 0 {
+                let mem: u64 = next.as_ref().map(|p| p.state.approx_bytes()).unwrap_or(0)
+                    + fallbacks
+                        .iter()
+                        .map(|p| p.state.approx_bytes())
+                        .sum::<u64>();
+                stats.peak_mem_bytes = stats.peak_mem_bytes.max(mem);
+            }
+
+            cur = match next {
+                Some(p) => p,
+                None => match fallbacks.pop() {
+                    Some(p) => {
+                        stats.backtracks += 1;
+                        p
+                    }
+                    None => {
+                        stats.total_steps = total_steps;
+                        stats.wall_seconds = start.elapsed().as_secs_f64();
+                        let outcome = if unsat_seen {
+                            DirectedOutcome::Unsat
+                        } else if loop_budget_hit {
+                            DirectedOutcome::LoopBudget
+                        } else {
+                            DirectedOutcome::ProgramDead
+                        };
+                        return (outcome, stats);
+                    }
+                },
+            };
+        };
+
+        stats.total_steps = total_steps;
+        stats.peak_mem_bytes = stats.peak_mem_bytes.max(
+            final_state.approx_bytes()
+                + fallbacks
+                    .iter()
+                    .map(|p| p.state.approx_bytes())
+                    .sum::<u64>(),
+        );
+        // P3.3: solve everything; the model becomes poc'.
+        let entries = final_state.ep_entries;
+        let guiding = final_state.constraints.clone();
+        let outcome = match final_state.constraints.solve() {
+            SolveResult::Sat(model) => {
+                let len = (self.config.file_len as usize).max(model.required_len());
+                DirectedOutcome::PocGenerated {
+                    poc: PocFile::new(model.to_file(len)),
+                    entries,
+                    guiding,
+                }
+            }
+            SolveResult::Unsat => DirectedOutcome::Unsat,
+            SolveResult::Unknown => DirectedOutcome::Budget,
+        };
+        stats.wall_seconds = start.elapsed().as_secs_f64();
+        (outcome, stats)
+    }
+
+    fn distance(&self, func: FuncId, block: BlockId) -> Option<u32> {
+        self.map.get(func, block)
+    }
+
+    /// Picks branch directions: feasible successors ordered by distance to
+    /// `ep`; the best continues, the rest go onto the fallback stack.
+    fn handle_branch(
+        &self,
+        cur: PathState,
+        cond: &ExprRef,
+        then_bb: BlockId,
+        else_bb: BlockId,
+        fallbacks: &mut Vec<PathState>,
+        loop_budget_hit: &mut bool,
+    ) -> Option<PathState> {
+        let func = cur.state.top().func;
+        if let Mode::ModelFollow { .. } = cur.mode {
+            return self.model_follow_branch(cur, cond, then_bb, else_bb);
+        }
+        let d_then = self.distance(func, then_bb);
+        let d_else = self.distance(func, else_bb);
+        if d_then.is_none() && d_else.is_none() {
+            // Off the guided region (e.g. both successors rejoin via a
+            // return) — decide by the current model, like inside ℓ.
+            return self.model_follow_branch(cur, cond, then_bb, else_bb);
+        }
+        // Order candidates by distance (unreachable last).
+        let mut order = [(true, d_then), (false, d_else)];
+        order.sort_by_key(|(_, d)| d.unwrap_or(u32::MAX));
+
+        let mut kept: Option<PathState> = None;
+        for (take_then, _) in order {
+            let mut cand = PathState {
+                state: cur.state.clone(),
+                mode: cur.mode,
+            };
+            let visits =
+                self.executor
+                    .take_branch(&mut cand.state, cond, take_then, then_bb, else_bb);
+            if visits > self.config.theta {
+                *loop_budget_hit = true;
+                continue;
+            }
+            if !cand.state.constraints.quick_feasible() {
+                continue;
+            }
+            if kept.is_none() {
+                kept = Some(cand);
+            } else if fallbacks.len() < self.config.max_fallbacks {
+                fallbacks.push(cand);
+            }
+        }
+        kept
+    }
+
+    fn handle_switch(
+        &self,
+        cur: PathState,
+        scrut: &ExprRef,
+        cases: &[(u64, BlockId)],
+        default: BlockId,
+        fallbacks: &mut Vec<PathState>,
+        loop_budget_hit: &mut bool,
+    ) -> Option<PathState> {
+        let func = cur.state.top().func;
+        if let Mode::ModelFollow { .. } = cur.mode {
+            return self.model_follow_switch(cur, scrut, cases, default);
+        }
+        // Candidates: each case plus default, ordered by distance.
+        let mut cands: Vec<(Option<u64>, Option<u32>)> = cases
+            .iter()
+            .map(|(v, b)| (Some(*v), self.distance(func, *b)))
+            .collect();
+        cands.push((None, self.distance(func, default)));
+        if cands.iter().all(|(_, d)| d.is_none()) {
+            return self.model_follow_switch(cur, scrut, cases, default);
+        }
+        cands.sort_by_key(|(_, d)| d.unwrap_or(u32::MAX));
+
+        let mut kept: Option<PathState> = None;
+        for (choice, _) in cands {
+            let mut cand = PathState {
+                state: cur.state.clone(),
+                mode: cur.mode,
+            };
+            let visits = self
+                .executor
+                .take_switch(&mut cand.state, scrut, cases, default, choice);
+            if visits > self.config.theta {
+                *loop_budget_hit = true;
+                continue;
+            }
+            if !cand.state.constraints.quick_feasible() {
+                continue;
+            }
+            if kept.is_none() {
+                kept = Some(cand);
+            } else if fallbacks.len() < self.config.max_fallbacks {
+                fallbacks.push(cand);
+            }
+        }
+        kept
+    }
+
+    fn model_follow_branch(
+        &self,
+        mut cur: PathState,
+        cond: &ExprRef,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    ) -> Option<PathState> {
+        let model = cur.state.model()?;
+        let v = cond.eval(&|off| Some(model.byte(off)))?;
+        if self.config.loop_acceleration && self.branch_is_forced(&mut cur.state, cond, v != 0) {
+            // Forced branch: the direction is already implied by the
+            // collected constraints — transfer control without growing the
+            // path condition or the loop budget.
+            let target = if v != 0 { then_bb } else { else_bb };
+            let frame = cur.state.top_mut();
+            frame.block = target;
+            frame.idx = 0;
+            return Some(cur);
+        }
+        let visits = self
+            .executor
+            .take_branch(&mut cur.state, cond, v != 0, then_bb, else_bb);
+        if visits > self.config.theta {
+            return None;
+        }
+        Some(cur)
+    }
+
+    /// Whether the opposite direction of a branch is refuted by the
+    /// current constraints (so taking the model's direction adds no
+    /// information).
+    fn branch_is_forced(&self, state: &mut SymState, cond: &ExprRef, take_then: bool) -> bool {
+        let mut probe = state.constraints.clone();
+        probe.push(Constraint::from_bool(cond, !take_then));
+        !probe.quick_feasible()
+    }
+
+    fn model_follow_switch(
+        &self,
+        mut cur: PathState,
+        scrut: &ExprRef,
+        cases: &[(u64, BlockId)],
+        default: BlockId,
+    ) -> Option<PathState> {
+        let model = cur.state.model()?;
+        let v = scrut.eval(&|off| Some(model.byte(off)))?;
+        let choice = cases.iter().find(|(c, _)| *c == v).map(|(c, _)| *c);
+        let visits = self
+            .executor
+            .take_switch(&mut cur.state, scrut, cases, default, choice);
+        if visits > self.config.theta {
+            return None;
+        }
+        Some(cur)
+    }
+
+    /// P3.1/P3.2: on entering `ep`, replay the recorded arguments and pin
+    /// the bunch bytes at the current file position.
+    fn stitch_bunch(
+        &self,
+        cur: &mut PathState,
+        entry: u32,
+        args: &[SymVal],
+        file_pos: u64,
+    ) -> Stitch {
+        let k = (entry - 1) as usize;
+        let Some(bunch) = self.q.bunch(k) else {
+            // T enters ep more often than S did; the extra entries carry no
+            // bunch — continue unconstrained.
+            return Stitch::More;
+        };
+        // Replay ep's arguments from S (paper: "executes ep in T with the
+        // same parameters as those used in S").
+        if let Some(expected) = self.q.args(k) {
+            for (arg, want) in args.iter().zip(expected.iter()) {
+                match arg.as_concrete() {
+                    Some(have) if have != *want => return Stitch::Infeasible,
+                    Some(_) => {}
+                    None => cur.state.add_constraint(Constraint::new(
+                        arg.to_expr(),
+                        Expr::val(*want),
+                        Cond::Eq,
+                    )),
+                }
+            }
+        }
+        // Pin the bunch bytes at the file position indicator (Fig. 5:
+        // "sym[5:9] == 0x41").
+        for (j, byte) in bunch.dense_bytes().iter().enumerate() {
+            let off = file_pos + j as u64;
+            if off >= self.config.file_len {
+                return Stitch::Infeasible; // bunch does not fit in the file
+            }
+            cur.state
+                .add_constraint(Constraint::byte_eq(off as u32, *byte));
+        }
+        if !cur.state.constraints.quick_feasible() {
+            return Stitch::Infeasible;
+        }
+        if (k + 1) == self.q.entry_count() {
+            return Stitch::Done; // Algorithm 2: break after the last bunch
+        }
+        cur.mode = Mode::ModelFollow {
+            ep_depth: cur.state.depth(),
+        };
+        Stitch::More
+    }
+}
+
+enum Stitch {
+    /// All bunches placed — stop and solve.
+    Done,
+    /// More entries expected — keep executing (model-follow inside `ℓ`).
+    More,
+    /// The placement contradicts the path condition.
+    Infeasible,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octo_cfg::{build_cfg, CfgMode};
+    use octo_ir::parse::parse_program;
+    use octo_poc::Bunch;
+    use octo_vm::{RunOutcome, Vm};
+
+    fn primitives(entries: &[(&[(u32, u8)], &[u64])]) -> CrashPrimitives {
+        let mut q = CrashPrimitives::new();
+        for (i, (bytes, args)) in entries.iter().enumerate() {
+            let mut b = Bunch::new(i as u32 + 1);
+            for (o, v) in bytes.iter() {
+                b.add(*o, *v);
+            }
+            q.push(b, args.to_vec());
+        }
+        q
+    }
+
+    fn run_directed(
+        src: &str,
+        ep_name: &str,
+        q: &CrashPrimitives,
+        file_len: u64,
+    ) -> (DirectedOutcome, octo_ir::Program) {
+        let p = parse_program(src).unwrap();
+        let ep = p.func_by_name(ep_name).unwrap();
+        let cfg = build_cfg(&p, CfgMode::Dynamic).unwrap();
+        let map = DistanceMap::compute(&p, &cfg, ep);
+        let config = DirectedConfig {
+            file_len,
+            ..DirectedConfig::default()
+        };
+        let engine = DirectedEngine::new(&p, ep, &map, q, config);
+        let (outcome, _) = engine.run();
+        (outcome, p)
+    }
+
+    const GATED: &str = r#"
+func main() {
+entry:
+    fd = open
+    magic = getc fd
+    c = eq magic, 0x4D
+    br c, ok, bad
+ok:
+    flag = getc fd
+    c2 = eq flag, 0x01
+    br c2, go, bad
+go:
+    call shared(fd)
+    halt 0
+bad:
+    halt 1
+}
+func shared(fd) {
+entry:
+    v = getc fd
+    c = eq v, 0x7F
+    br c, boom, fine
+boom:
+    trap 1
+fine:
+    ret
+}
+"#;
+
+    #[test]
+    fn generates_poc_through_magic_gates() {
+        // Bunch: the byte shared() consumes must be 0x7F.
+        let q = primitives(&[(&[(9, 0x7F)], &[3])]);
+        let (outcome, p) = run_directed(GATED, "shared", &q, 16);
+        let DirectedOutcome::PocGenerated { poc, entries, .. } = outcome else {
+            panic!("expected poc, got {outcome:?}");
+        };
+        assert_eq!(entries, 1);
+        // Guiding bytes satisfy the magic gates; the bunch lands at the
+        // file position when shared() is entered (offset 2).
+        assert_eq!(poc.byte(0), 0x4D);
+        assert_eq!(poc.byte(1), 0x01);
+        assert_eq!(poc.byte(2), 0x7F);
+        // P4 sanity: the generated poc' actually crashes T.
+        let out = Vm::new(&p, poc.bytes()).run();
+        assert!(matches!(out, RunOutcome::Crash(_)), "{out:?}");
+    }
+
+    #[test]
+    fn ep_unreachable_is_detected() {
+        let src = r#"
+func main() {
+entry:
+    halt 0
+}
+func shared(fd) {
+entry:
+    ret
+}
+"#;
+        let q = primitives(&[(&[(0, 1)], &[])]);
+        let (outcome, _) = run_directed(src, "shared", &q, 8);
+        assert!(matches!(outcome, DirectedOutcome::EpUnreachable));
+    }
+
+    #[test]
+    fn concrete_arg_mismatch_is_unsat() {
+        // T calls shared with a hard-coded 5; S recorded 0x13d.
+        let src = r#"
+func main() {
+entry:
+    fd = open
+    call shared(5)
+    halt 0
+}
+func shared(tag) {
+entry:
+    ret
+}
+"#;
+        let q = primitives(&[(&[], &[0x13d])]);
+        let (outcome, _) = run_directed(src, "shared", &q, 8);
+        assert!(matches!(outcome, DirectedOutcome::Unsat), "{outcome:?}");
+    }
+
+    #[test]
+    fn symbolic_arg_above_byte_range_is_unsat() {
+        // T passes a single input byte as the tag; S recorded 0x13d which
+        // no byte can equal.
+        let src = r#"
+func main() {
+entry:
+    fd = open
+    t = getc fd
+    call shared(t)
+    halt 0
+}
+func shared(tag) {
+entry:
+    ret
+}
+"#;
+        let q = primitives(&[(&[], &[0x13d])]);
+        let (outcome, _) = run_directed(src, "shared", &q, 8);
+        assert!(matches!(outcome, DirectedOutcome::Unsat), "{outcome:?}");
+    }
+
+    #[test]
+    fn guiding_constraint_conflicting_with_bunch_is_unsat() {
+        // The caller validates the byte that the bunch wants to be 0xFF.
+        let src = r#"
+func main() {
+entry:
+    fd = open
+    b = getc fd
+    c = ult b, 8
+    br c, ok, bad
+ok:
+    seek fd, 0
+    call shared(fd)
+    halt 0
+bad:
+    halt 1
+}
+func shared(fd) {
+entry:
+    v = getc fd
+    ret
+}
+"#;
+        let q = primitives(&[(&[(0, 0xFF)], &[3])]);
+        let (outcome, _) = run_directed(src, "shared", &q, 8);
+        assert!(matches!(outcome, DirectedOutcome::Unsat), "{outcome:?}");
+    }
+
+    #[test]
+    fn multi_entry_stitches_in_order() {
+        const TWO_RECORDS: &str = r#"
+func main() {
+entry:
+    fd = open
+    n = getc fd
+    c = eq n, 2
+    br c, loop_start, bad
+loop_start:
+    i = 0
+    jmp loop
+loop:
+    done = uge i, 2
+    br done, fin, body
+body:
+    call shared(fd)
+    i = add i, 1
+    jmp loop
+fin:
+    halt 0
+bad:
+    halt 1
+}
+func shared(fd) {
+entry:
+    a = getc fd
+    b = getc fd
+    ret
+}
+"#;
+        let q = primitives(&[
+            (&[(10, 0xAA), (11, 0xAB)], &[3]),
+            (&[(20, 0xBA), (21, 0xBB)], &[3]),
+        ]);
+        let (outcome, _) = run_directed(TWO_RECORDS, "shared", &q, 16);
+        let DirectedOutcome::PocGenerated { poc, entries, .. } = outcome else {
+            panic!("expected poc, got {outcome:?}");
+        };
+        assert_eq!(entries, 2);
+        assert_eq!(poc.byte(0), 2); // guiding: record count
+                                    // First bunch at pos 1..3, second at pos 3..5.
+        assert_eq!(poc.byte(1), 0xAA);
+        assert_eq!(poc.byte(2), 0xAB);
+        assert_eq!(poc.byte(3), 0xBA);
+        assert_eq!(poc.byte(4), 0xBB);
+    }
+
+    #[test]
+    fn loop_exit_through_bounded_iteration() {
+        // T must consume input records until a terminator byte, then call
+        // shared. The loop is symbolic; directed execution iterates up to θ.
+        let src = r#"
+func main() {
+entry:
+    fd = open
+    jmp loop
+loop:
+    b = getc fd
+    stop = eq b, 0
+    br stop, after, loop
+after:
+    call shared(fd)
+    halt 0
+}
+func shared(fd) {
+entry:
+    v = getc fd
+    ret
+}
+"#;
+        let q = primitives(&[(&[(3, 0x42)], &[3])]);
+        let (outcome, p) = run_directed(src, "shared", &q, 8);
+        let DirectedOutcome::PocGenerated { poc, .. } = outcome else {
+            panic!("expected poc, got {outcome:?}");
+        };
+        // The shortest exit: first byte is the terminator.
+        assert_eq!(poc.byte(0), 0);
+        assert_eq!(poc.byte(1), 0x42);
+        let out = Vm::new(&p, poc.bytes()).run();
+        assert!(matches!(out, RunOutcome::Exit(0)), "{out:?}");
+    }
+
+    #[test]
+    fn program_dead_when_gate_rejects_everything() {
+        // The gate requires getc(fd) == getc(fd)+1 — impossible; no path
+        // reaches shared.
+        let src = r#"
+func main() {
+entry:
+    fd = open
+    a = getc fd
+    b = add a, 1
+    c = eq a, b
+    br c, go, bad
+go:
+    call shared(fd)
+    halt 0
+bad:
+    halt 1
+}
+func shared(fd) {
+entry:
+    ret
+}
+"#;
+        let q = primitives(&[(&[], &[3])]);
+        let (outcome, _) = run_directed(src, "shared", &q, 8);
+        assert!(
+            matches!(outcome, DirectedOutcome::ProgramDead),
+            "{outcome:?}"
+        );
+    }
+}

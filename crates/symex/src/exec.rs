@@ -1,0 +1,809 @@
+//! The symbolic instruction stepper.
+//!
+//! [`SymExecutor::step`] advances one state by one instruction. Control
+//! decisions on symbolic data are *not* made here: a symbolic branch or
+//! switch is surfaced as a [`StepEvent`] and the exploration strategy
+//! (naive or directed) decides, then re-enters via [`SymExecutor::take_branch`]
+//! or [`SymExecutor::take_switch`].
+
+use octo_ir::{
+    decode_block_addr, decode_func_addr, encode_block_addr, encode_func_addr, BinOp, BlockId,
+    FuncId, Inst, Operand, Program, Terminator,
+};
+use octo_solver::{Cond, Constraint, Expr, ExprRef};
+use octo_vm::CrashKind;
+
+use crate::memory::SymMemFault;
+use crate::state::{SymFrame, SymState};
+use crate::value::{assemble, disassemble, SymByte, SymVal};
+
+/// Why a path cannot make further progress (distinct from a crash).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadReason {
+    /// Per-state instruction budget exhausted (runaway concrete loop).
+    StepBudget,
+    /// Call depth limit exceeded.
+    DepthLimit,
+    /// A required concretisation failed (constraints unsatisfiable or the
+    /// solver budget was exhausted).
+    ConcretizeFailed,
+}
+
+/// Result of advancing a state by one instruction.
+#[derive(Debug, Clone)]
+pub enum StepEvent {
+    /// The state advanced; keep stepping.
+    Continue,
+    /// The program exited cleanly on this path.
+    Exited,
+    /// This path crashes (with the current path condition).
+    Crashed(CrashKind),
+    /// A two-way branch on a symbolic condition. The strategy must call
+    /// [`SymExecutor::take_branch`] (possibly on a fork).
+    Branch {
+        /// The branch condition term.
+        cond: ExprRef,
+        /// Target when the condition is non-zero.
+        then_bb: BlockId,
+        /// Target when the condition is zero.
+        else_bb: BlockId,
+    },
+    /// A multi-way switch on a symbolic scrutinee. The strategy must call
+    /// [`SymExecutor::take_switch`].
+    Switch {
+        /// The scrutinee term.
+        scrut: ExprRef,
+        /// `(value, target)` cases.
+        cases: Vec<(u64, BlockId)>,
+        /// Default target.
+        default: BlockId,
+    },
+    /// Execution entered `ep` (the configured entry point of `ℓ`).
+    /// `file_pos` is the file position indicator at entry — where the
+    /// corresponding bunch is placed (paper P3.1).
+    EnteredEp {
+        /// 1-based entry count on this path.
+        entry: u32,
+        /// Arguments `ep` received.
+        args: Vec<SymVal>,
+        /// File position indicator at entry.
+        file_pos: u64,
+    },
+    /// The path is stuck for a non-crash reason.
+    Dead(DeadReason),
+}
+
+/// Stepper configuration plus shared program reference.
+#[derive(Debug, Clone)]
+pub struct SymExecutor<'p> {
+    program: &'p Program,
+    /// Length of the symbolic input file.
+    pub file_len: u64,
+    /// The entry point of `ℓ` whose entries are reported.
+    pub ep: Option<FuncId>,
+    /// Per-state instruction budget.
+    pub max_steps: u64,
+    /// Call depth limit.
+    pub max_depth: usize,
+}
+
+impl<'p> SymExecutor<'p> {
+    /// Creates a stepper for `program` with a symbolic file of `file_len`
+    /// bytes.
+    pub fn new(program: &'p Program, file_len: u64) -> SymExecutor<'p> {
+        SymExecutor {
+            program,
+            file_len,
+            ep: None,
+            max_steps: 200_000,
+            max_depth: 128,
+        }
+    }
+
+    /// Sets the `ep` function whose entries produce [`StepEvent::EnteredEp`].
+    pub fn with_ep(mut self, ep: FuncId) -> SymExecutor<'p> {
+        self.ep = Some(ep);
+        self
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    fn eval(&self, state: &SymState, op: Operand) -> SymVal {
+        match op {
+            Operand::Reg(r) => state.top().regs[r.0 as usize].clone(),
+            Operand::Imm(v) => SymVal::C(v),
+        }
+    }
+
+    /// Forces `v` concrete, pinning it with an equality constraint
+    /// (angr-style concretisation).
+    fn concretize(&self, state: &mut SymState, v: &SymVal) -> Result<u64, DeadReason> {
+        if let Some(c) = v.as_concrete() {
+            return Ok(c);
+        }
+        let model = state.model().ok_or(DeadReason::ConcretizeFailed)?;
+        let expr = v.to_expr();
+        let val = expr
+            .eval(&|off| Some(model.byte(off)))
+            .ok_or(DeadReason::ConcretizeFailed)?;
+        state.add_constraint(Constraint::new(expr, Expr::val(val), Cond::Eq));
+        Ok(val)
+    }
+
+    fn fault_to_crash(fault: SymMemFault) -> CrashKind {
+        match fault {
+            SymMemFault::Null { addr } => CrashKind::NullDeref { addr },
+            SymMemFault::OutOfBounds { addr, nearest } => CrashKind::OutOfBounds {
+                addr,
+                region: nearest,
+            },
+        }
+    }
+
+    /// Moves the innermost frame to `block`; returns its visit count (for
+    /// the strategy's θ loop policy).
+    pub fn goto(&self, state: &mut SymState, block: BlockId) -> u32 {
+        let n = state.visit(block);
+        let frame = state.top_mut();
+        frame.block = block;
+        frame.idx = 0;
+        n
+    }
+
+    /// Commits a direction at a symbolic branch: records the path
+    /// constraint and transfers control. Returns the visit count of the
+    /// target block.
+    pub fn take_branch(
+        &self,
+        state: &mut SymState,
+        cond: &ExprRef,
+        take_then: bool,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    ) -> u32 {
+        state.add_constraint(Constraint::from_bool(cond, take_then));
+        self.goto(state, if take_then { then_bb } else { else_bb })
+    }
+
+    /// Commits a switch decision. `choice = Some(v)` takes the case with
+    /// value `v`; `None` takes the default (constraining the scrutinee to
+    /// differ from every case).
+    pub fn take_switch(
+        &self,
+        state: &mut SymState,
+        scrut: &ExprRef,
+        cases: &[(u64, BlockId)],
+        default: BlockId,
+        choice: Option<u64>,
+    ) -> u32 {
+        match choice {
+            Some(v) => {
+                let target = cases
+                    .iter()
+                    .find(|(c, _)| *c == v)
+                    .map(|(_, b)| *b)
+                    .unwrap_or(default);
+                state.add_constraint(Constraint::new(scrut.clone(), Expr::val(v), Cond::Eq));
+                self.goto(state, target)
+            }
+            None => {
+                for (v, _) in cases {
+                    state.add_constraint(Constraint::new(scrut.clone(), Expr::val(*v), Cond::Ne));
+                }
+                self.goto(state, default)
+            }
+        }
+    }
+
+    /// Advances `state` by one instruction or terminator.
+    pub fn step(&self, state: &mut SymState) -> StepEvent {
+        state.steps += 1;
+        if state.steps > self.max_steps {
+            return StepEvent::Dead(DeadReason::StepBudget);
+        }
+        let (func_id, block_id, idx) = {
+            let f = state.top();
+            (f.func, f.block, f.idx)
+        };
+        let func = self.program.func(func_id);
+        let block = func.block(block_id);
+
+        if idx < block.insts.len() {
+            state.top_mut().idx += 1;
+            // `block` borrows through `self.program` (lifetime 'p), so the
+            // instruction reference outlives the `&mut state` uses below —
+            // no per-step clone needed.
+            let program = self.program;
+            let inst = &program.func(func_id).block(block_id).insts[idx];
+            return self.exec_inst(state, inst);
+        }
+
+        match block.term.clone() {
+            Terminator::Jmp(b) => {
+                self.goto(state, b);
+                StepEvent::Continue
+            }
+            Terminator::Br {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                let c = self.eval(state, cond);
+                match c.as_concrete() {
+                    Some(v) => {
+                        self.goto(state, if v != 0 { then_bb } else { else_bb });
+                        StepEvent::Continue
+                    }
+                    None => StepEvent::Branch {
+                        cond: c.to_expr(),
+                        then_bb,
+                        else_bb,
+                    },
+                }
+            }
+            Terminator::Switch {
+                scrut,
+                cases,
+                default,
+            } => {
+                let s = self.eval(state, scrut);
+                match s.as_concrete() {
+                    Some(v) => {
+                        let target = cases
+                            .iter()
+                            .find(|(c, _)| *c == v)
+                            .map(|(_, b)| *b)
+                            .unwrap_or(default);
+                        self.goto(state, target);
+                        StepEvent::Continue
+                    }
+                    None => StepEvent::Switch {
+                        scrut: s.to_expr(),
+                        cases,
+                        default,
+                    },
+                }
+            }
+            Terminator::JmpIndirect { target } => {
+                let t = self.eval(state, target);
+                let value = match self.concretize(state, &t) {
+                    Ok(v) => v,
+                    Err(r) => return StepEvent::Dead(r),
+                };
+                match decode_block_addr(value) {
+                    Some((f, b)) if f == func_id && (b.0 as usize) < func.blocks.len() => {
+                        self.goto(state, b);
+                        StepEvent::Continue
+                    }
+                    _ => StepEvent::Crashed(CrashKind::BadIndirect { value }),
+                }
+            }
+            Terminator::Ret(value) => {
+                let v = value.map(|op| self.eval(state, op));
+                let frame = state.frames.pop().expect("live state");
+                match state.frames.last_mut() {
+                    None => StepEvent::Exited,
+                    Some(caller) => {
+                        if let Some(dst) = frame.ret_dst {
+                            caller.regs[dst.0 as usize] = v.unwrap_or(SymVal::C(0));
+                        }
+                        StepEvent::Continue
+                    }
+                }
+            }
+            Terminator::Halt { .. } => StepEvent::Exited,
+        }
+    }
+
+    fn do_call(
+        &self,
+        state: &mut SymState,
+        callee: FuncId,
+        args: &[Operand],
+        dst: Option<octo_ir::Reg>,
+    ) -> StepEvent {
+        if state.depth() >= self.max_depth {
+            return StepEvent::Dead(DeadReason::DepthLimit);
+        }
+        let f = self.program.func(callee);
+        let mut regs = vec![SymVal::C(0); f.n_regs as usize];
+        let mut arg_vals = Vec::with_capacity(args.len());
+        for (i, a) in args.iter().enumerate() {
+            let v = self.eval(state, *a);
+            if i < f.n_params as usize {
+                regs[i] = v.clone();
+            }
+            arg_vals.push(v);
+        }
+        state.frames.push(SymFrame {
+            func: callee,
+            block: f.entry(),
+            idx: 0,
+            regs,
+            ret_dst: dst,
+            visits: std::collections::HashMap::new(),
+        });
+        if self.ep == Some(callee) {
+            state.ep_entries += 1;
+            return StepEvent::EnteredEp {
+                entry: state.ep_entries,
+                args: arg_vals,
+                file_pos: state.file_pos,
+            };
+        }
+        StepEvent::Continue
+    }
+
+    fn exec_inst(&self, state: &mut SymState, inst: &Inst) -> StepEvent {
+        macro_rules! set {
+            ($dst:expr, $val:expr) => {{
+                let v = $val;
+                state.top_mut().regs[$dst.0 as usize] = v;
+            }};
+        }
+        match inst {
+            Inst::Const { dst, value } => set!(dst, SymVal::C(*value)),
+            Inst::Move { dst, src } => set!(dst, self.eval(state, *src)),
+            Inst::Bin { dst, op, lhs, rhs } => {
+                let a = self.eval(state, *lhs);
+                let mut b = self.eval(state, *rhs);
+                if matches!(op, BinOp::DivU | BinOp::RemU) && b.as_concrete().is_none() {
+                    // Concretise the divisor (division is not decomposable
+                    // for the byte solver).
+                    match self.concretize(state, &b) {
+                        Ok(v) => b = SymVal::C(v),
+                        Err(r) => return StepEvent::Dead(r),
+                    }
+                }
+                match SymVal::bin(*op, &a, &b) {
+                    Some(v) => set!(dst, v),
+                    None => return StepEvent::Crashed(CrashKind::DivByZero),
+                }
+            }
+            Inst::Un { dst, op, src } => {
+                let v = SymVal::un(*op, &self.eval(state, *src));
+                set!(dst, v);
+            }
+            Inst::CheckedBin {
+                dst,
+                op,
+                width,
+                lhs,
+                rhs,
+            } => {
+                let a = self.eval(state, *lhs);
+                let b = self.eval(state, *rhs);
+                if let (Some(x), Some(y)) = (a.as_concrete(), b.as_concrete()) {
+                    match op.eval(*width, x, y) {
+                        Some(v) => set!(dst, SymVal::C(v)),
+                        None => {
+                            return StepEvent::Crashed(CrashKind::IntegerOverflow { width: *width })
+                        }
+                    }
+                } else {
+                    // Symbolic checked arithmetic: model the value with the
+                    // plain operation; the overflow trap manifests in the
+                    // concrete verification run (P4).
+                    let plain = match op {
+                        octo_ir::CheckedOp::Add => BinOp::Add,
+                        octo_ir::CheckedOp::Sub => BinOp::Sub,
+                        octo_ir::CheckedOp::Mul => BinOp::Mul,
+                    };
+                    match SymVal::bin(plain, &a, &b) {
+                        Some(v) => set!(dst, v),
+                        None => return StepEvent::Crashed(CrashKind::DivByZero),
+                    }
+                }
+            }
+            Inst::Load {
+                dst,
+                addr,
+                offset,
+                width,
+            } => {
+                let a = self.eval(state, *addr);
+                let base = match self.concretize(state, &a) {
+                    Ok(v) => v,
+                    Err(r) => return StepEvent::Dead(r),
+                };
+                match state
+                    .mem
+                    .read_range(base.wrapping_add(*offset), width.bytes())
+                {
+                    Ok(bytes) => set!(dst, assemble(&bytes)),
+                    Err(f) => return StepEvent::Crashed(Self::fault_to_crash(f)),
+                }
+            }
+            Inst::Store {
+                addr,
+                offset,
+                src,
+                width,
+            } => {
+                let a = self.eval(state, *addr);
+                let base = match self.concretize(state, &a) {
+                    Ok(v) => v,
+                    Err(r) => return StepEvent::Dead(r),
+                };
+                let v = self.eval(state, *src);
+                let bytes = disassemble(&v, *width);
+                if let Err(f) = state.mem.write_range(base.wrapping_add(*offset), &bytes) {
+                    return StepEvent::Crashed(Self::fault_to_crash(f));
+                }
+            }
+            Inst::Alloc { dst, size, region } => {
+                let s = self.eval(state, *size);
+                let sz = match self.concretize(state, &s) {
+                    Ok(v) => v,
+                    Err(r) => return StepEvent::Dead(r),
+                };
+                let base = state.mem.alloc(sz, *region);
+                set!(dst, SymVal::C(base));
+            }
+            Inst::Call { dst, callee, args } => {
+                return self.do_call(state, *callee, args, *dst);
+            }
+            Inst::CallIndirect { dst, target, args } => {
+                let t = self.eval(state, *target);
+                let value = match self.concretize(state, &t) {
+                    Ok(v) => v,
+                    Err(r) => return StepEvent::Dead(r),
+                };
+                match decode_func_addr(value)
+                    .filter(|f| (f.0 as usize) < self.program.function_count())
+                {
+                    Some(callee) => return self.do_call(state, callee, args, *dst),
+                    None => return StepEvent::Crashed(CrashKind::BadIndirect { value }),
+                }
+            }
+            Inst::FuncAddr { dst, func } => set!(dst, SymVal::C(encode_func_addr(*func))),
+            Inst::BlockAddr { dst, block } => {
+                let func = state.top().func;
+                set!(dst, SymVal::C(encode_block_addr(func, *block)));
+            }
+            Inst::FileOpen { dst } => {
+                state.fd_opened = true;
+                set!(dst, SymVal::C(octo_vm::vm::INPUT_FD));
+            }
+            Inst::FileRead { dst, fd, buf, len } => {
+                if let Some(e) = self.check_fd(state, *fd) {
+                    return e;
+                }
+                let b = self.eval(state, *buf);
+                let buf_addr = match self.concretize(state, &b) {
+                    Ok(v) => v,
+                    Err(r) => return StepEvent::Dead(r),
+                };
+                let l = self.eval(state, *len);
+                let want = match self.concretize(state, &l) {
+                    Ok(v) => v,
+                    Err(r) => return StepEvent::Dead(r),
+                };
+                let pos = state.file_pos.min(self.file_len);
+                let count = want.min(self.file_len - pos);
+                let bytes: Vec<SymByte> = (0..count)
+                    .map(|i| SymByte::S(Expr::byte((pos + i) as u32)))
+                    .collect();
+                if let Err(f) = state.mem.write_range(buf_addr, &bytes) {
+                    return StepEvent::Crashed(Self::fault_to_crash(f));
+                }
+                state.file_pos = pos + count;
+                set!(dst, SymVal::C(count));
+            }
+            Inst::FileGetc { dst, fd } => {
+                if let Some(e) = self.check_fd(state, *fd) {
+                    return e;
+                }
+                if state.file_pos < self.file_len {
+                    let off = state.file_pos as u32;
+                    state.file_pos += 1;
+                    set!(dst, SymVal::S(Expr::byte(off)));
+                } else {
+                    set!(dst, SymVal::C(u64::MAX));
+                }
+            }
+            Inst::FileSeek { fd, pos } => {
+                if let Some(e) = self.check_fd(state, *fd) {
+                    return e;
+                }
+                let p = self.eval(state, *pos);
+                match self.concretize(state, &p) {
+                    Ok(v) => state.file_pos = v,
+                    Err(r) => return StepEvent::Dead(r),
+                }
+            }
+            Inst::FileTell { dst, fd } => {
+                if let Some(e) = self.check_fd(state, *fd) {
+                    return e;
+                }
+                let fp = state.file_pos;
+                set!(dst, SymVal::C(fp));
+            }
+            Inst::FileSize { dst, fd } => {
+                if let Some(e) = self.check_fd(state, *fd) {
+                    return e;
+                }
+                set!(dst, SymVal::C(self.file_len));
+            }
+            Inst::MemMap { dst, fd } => {
+                if let Some(e) = self.check_fd(state, *fd) {
+                    return e;
+                }
+                let base = state.mem.alloc(self.file_len, octo_ir::RegionKind::Heap);
+                let bytes: Vec<SymByte> = (0..self.file_len)
+                    .map(|i| SymByte::S(Expr::byte(i as u32)))
+                    .collect();
+                if let Err(f) = state.mem.write_range(base, &bytes) {
+                    return StepEvent::Crashed(Self::fault_to_crash(f));
+                }
+                set!(dst, SymVal::C(base));
+            }
+            Inst::Trap { code } => return StepEvent::Crashed(CrashKind::Trap { code: *code }),
+            Inst::Nop => {}
+        }
+        StepEvent::Continue
+    }
+
+    fn check_fd(&self, state: &mut SymState, fd: Operand) -> Option<StepEvent> {
+        let v = self.eval(state, fd);
+        match self.concretize(state, &v) {
+            Ok(val) if state.fd_opened && val == octo_vm::vm::INPUT_FD => None,
+            Ok(val) => Some(StepEvent::Crashed(CrashKind::BadFileDescriptor { fd: val })),
+            Err(r) => Some(StepEvent::Dead(r)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octo_ir::parse::parse_program;
+    use octo_solver::SolveResult;
+
+    fn run_until_event(src: &str, file_len: u64) -> (SymState, StepEvent) {
+        let p = parse_program(src).unwrap();
+        let p = Box::leak(Box::new(p));
+        let ex = SymExecutor::new(p, file_len);
+        let mut st = SymState::initial(p);
+        loop {
+            match ex.step(&mut st) {
+                StepEvent::Continue => continue,
+                e => return (st, e),
+            }
+        }
+    }
+
+    #[test]
+    fn concrete_program_exits() {
+        let (_, e) = run_until_event("func main() {\nentry:\n x = 1\n halt x\n}\n", 0);
+        assert!(matches!(e, StepEvent::Exited));
+    }
+
+    #[test]
+    fn symbolic_branch_surfaces() {
+        let src = r#"
+func main() {
+entry:
+    fd = open
+    b = getc fd
+    c = eq b, 0x47
+    br c, yes, no
+yes:
+    halt 0
+no:
+    halt 1
+}
+"#;
+        let (st, e) = run_until_event(src, 4);
+        match e {
+            StepEvent::Branch { cond, .. } => {
+                // cond is `eq in[0], 0x47`
+                assert!(cond.vars().contains(&0));
+            }
+            other => panic!("expected branch, got {other:?}"),
+        }
+        assert_eq!(st.file_pos, 1);
+    }
+
+    #[test]
+    fn take_branch_records_constraint() {
+        let src = r#"
+func main() {
+entry:
+    fd = open
+    b = getc fd
+    c = eq b, 0x47
+    br c, yes, no
+yes:
+    halt 0
+no:
+    halt 1
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let ex = SymExecutor::new(&p, 4);
+        let mut st = SymState::initial(&p);
+        loop {
+            match ex.step(&mut st) {
+                StepEvent::Continue => {}
+                StepEvent::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    ex.take_branch(&mut st, &cond, true, then_bb, else_bb);
+                    break;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        match st.constraints.solve() {
+            SolveResult::Sat(m) => assert_eq!(m.byte(0), 0x47),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn symbolic_load_from_read_buffer() {
+        let src = r#"
+func main() {
+entry:
+    fd = open
+    buf = alloc 8
+    n = read fd, buf, 4
+    v = load.4 buf
+    c = eq v, 0x11223344
+    br c, yes, no
+yes:
+    halt 0
+no:
+    halt 1
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let ex = SymExecutor::new(&p, 8);
+        let mut st = SymState::initial(&p);
+        loop {
+            match ex.step(&mut st) {
+                StepEvent::Continue => {}
+                StepEvent::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    ex.take_branch(&mut st, &cond, true, then_bb, else_bb);
+                    break;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let m = st.model().expect("sat");
+        assert_eq!(m.byte(0), 0x44);
+        assert_eq!(m.byte(3), 0x11);
+    }
+
+    #[test]
+    fn ep_entry_event_reports_position_and_args() {
+        let src = r#"
+func main() {
+entry:
+    fd = open
+    h = getc fd
+    call shared(h, 9)
+    halt 0
+}
+func shared(a, b) {
+entry:
+    ret
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let ep = p.func_by_name("shared").unwrap();
+        let ex = SymExecutor::new(&p, 4).with_ep(ep);
+        let mut st = SymState::initial(&p);
+        loop {
+            match ex.step(&mut st) {
+                StepEvent::Continue => {}
+                StepEvent::EnteredEp {
+                    entry,
+                    args,
+                    file_pos,
+                } => {
+                    assert_eq!(entry, 1);
+                    assert_eq!(file_pos, 1); // one byte consumed before the call
+                    assert_eq!(args.len(), 2);
+                    assert!(args[0].is_symbolic());
+                    assert_eq!(args[1], SymVal::C(9));
+                    break;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn crash_paths_are_reported() {
+        let (_, e) = run_until_event("func main() {\nentry:\n trap 3\n}\n", 0);
+        assert!(matches!(e, StepEvent::Crashed(CrashKind::Trap { code: 3 })));
+        let (_, e) = run_until_event("func main() {\nentry:\n v = load.1 0\n halt v\n}\n", 0);
+        assert!(matches!(e, StepEvent::Crashed(CrashKind::NullDeref { .. })));
+    }
+
+    #[test]
+    fn step_budget_kills_runaway_loops() {
+        let src = "func main() {\nentry:\n jmp entry\n}\n";
+        let p = parse_program(src).unwrap();
+        let mut ex = SymExecutor::new(&p, 0);
+        ex.max_steps = 100;
+        let mut st = SymState::initial(&p);
+        loop {
+            match ex.step(&mut st) {
+                StepEvent::Continue => {}
+                StepEvent::Dead(DeadReason::StepBudget) => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn getc_past_eof_is_concrete_eof() {
+        let src = r#"
+func main() {
+entry:
+    fd = open
+    a = getc fd
+    b = getc fd
+    c = eq b, -1
+    br c, eof, data
+eof:
+    halt 0
+data:
+    halt 1
+}
+"#;
+        // file_len = 1: second getc is concretely EOF, branch is concrete.
+        let (_, e) = run_until_event(src, 1);
+        assert!(matches!(e, StepEvent::Exited));
+    }
+
+    #[test]
+    fn switch_on_symbolic_scrutinee_surfaces() {
+        let src = r#"
+func main() {
+entry:
+    fd = open
+    b = getc fd
+    switch b { 1 -> one, 2 -> two, _ -> other }
+one:
+    halt 1
+two:
+    halt 2
+other:
+    halt 3
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let ex = SymExecutor::new(&p, 2);
+        let mut st = SymState::initial(&p);
+        loop {
+            match ex.step(&mut st) {
+                StepEvent::Continue => {}
+                StepEvent::Switch {
+                    scrut,
+                    cases,
+                    default,
+                } => {
+                    // take the default: b != 1 && b != 2
+                    ex.take_switch(&mut st, &scrut, &cases, default, None);
+                    let m = st.model().expect("sat");
+                    assert!(m.byte(0) != 1 && m.byte(0) != 2);
+                    break;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

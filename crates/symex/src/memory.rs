@@ -1,0 +1,198 @@
+//! Symbolic process memory: the VM's region model with symbolic bytes.
+
+use octo_ir::RegionKind;
+use octo_vm::mem::{GUARD_GAP, HEAP_BASE, NULL_PAGE_END};
+
+use crate::value::SymByte;
+
+/// Why a symbolic memory access failed (mirrors [`octo_vm::mem::MemFault`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymMemFault {
+    /// Address in the null page.
+    Null {
+        /// Faulting address.
+        addr: u64,
+    },
+    /// Address outside every region.
+    OutOfBounds {
+        /// Faulting address.
+        addr: u64,
+        /// Kind of the nearest lower region, if any.
+        nearest: Option<RegionKind>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct SymRegion {
+    base: u64,
+    size: u64,
+    kind: RegionKind,
+    data: Vec<SymByte>,
+}
+
+/// Region-based memory over [`SymByte`] cells. The allocation layout is
+/// identical to the concrete VM's, so addresses observed symbolically match
+/// the addresses a concrete replay will produce.
+#[derive(Debug, Clone, Default)]
+pub struct SymMemory {
+    regions: Vec<SymRegion>,
+    next_base: u64,
+}
+
+impl SymMemory {
+    /// An empty memory.
+    pub fn new() -> SymMemory {
+        SymMemory {
+            regions: Vec::new(),
+            next_base: HEAP_BASE,
+        }
+    }
+
+    /// Allocates `size` zeroed bytes; returns the base address.
+    pub fn alloc(&mut self, size: u64, kind: RegionKind) -> u64 {
+        let base = self.next_base;
+        self.next_base = base + size.max(1) + GUARD_GAP;
+        self.next_base = (self.next_base + 15) & !15;
+        self.regions.push(SymRegion {
+            base,
+            size,
+            kind,
+            data: vec![SymByte::C(0); size as usize],
+        });
+        base
+    }
+
+    fn locate(&self, addr: u64) -> Result<(usize, usize), SymMemFault> {
+        match self.regions.binary_search_by(|r| {
+            use std::cmp::Ordering;
+            if addr < r.base {
+                Ordering::Greater
+            } else if addr >= r.base + r.size {
+                Ordering::Less
+            } else {
+                Ordering::Equal
+            }
+        }) {
+            Ok(i) => Ok((i, (addr - self.regions[i].base) as usize)),
+            Err(_) => {
+                if addr < NULL_PAGE_END {
+                    Err(SymMemFault::Null { addr })
+                } else {
+                    let nearest = self
+                        .regions
+                        .iter()
+                        .filter(|r| r.base <= addr)
+                        .next_back()
+                        .map(|r| r.kind);
+                    Err(SymMemFault::OutOfBounds { addr, nearest })
+                }
+            }
+        }
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    /// Faults if `addr` is unmapped.
+    pub fn read_byte(&self, addr: u64) -> Result<SymByte, SymMemFault> {
+        let (ri, off) = self.locate(addr)?;
+        Ok(self.regions[ri].data[off].clone())
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    /// Faults if `addr` is unmapped.
+    pub fn write_byte(&mut self, addr: u64, value: SymByte) -> Result<(), SymMemFault> {
+        let (ri, off) = self.locate(addr)?;
+        self.regions[ri].data[off] = value;
+        Ok(())
+    }
+
+    /// Reads `len` consecutive bytes.
+    ///
+    /// # Errors
+    /// Faults on the first unmapped byte.
+    pub fn read_range(&self, addr: u64, len: u64) -> Result<Vec<SymByte>, SymMemFault> {
+        (0..len)
+            .map(|i| self.read_byte(addr.wrapping_add(i)))
+            .collect()
+    }
+
+    /// Writes a run of bytes.
+    ///
+    /// # Errors
+    /// Faults on the first unmapped byte (earlier bytes stay written).
+    pub fn write_range(&mut self, addr: u64, bytes: &[SymByte]) -> Result<(), SymMemFault> {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_byte(addr.wrapping_add(i as u64), b.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Approximate node count across all cells (memory accounting for the
+    /// path-explosion budget).
+    pub fn size_nodes(&self) -> usize {
+        self.regions
+            .iter()
+            .map(|r| r.data.iter().map(SymByte::size).sum::<usize>())
+            .sum()
+    }
+
+    /// Number of allocated regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octo_solver::Expr;
+
+    #[test]
+    fn layout_matches_concrete_vm() {
+        // Allocations in the same order produce the same base addresses as
+        // the concrete VM — required so concretised pointers replay.
+        let mut s = SymMemory::new();
+        let mut c = octo_vm::Memory::new();
+        for size in [16u64, 1, 100, 0, 7] {
+            assert_eq!(
+                s.alloc(size, RegionKind::Heap),
+                c.alloc(size, RegionKind::Heap)
+            );
+        }
+    }
+
+    #[test]
+    fn rw_roundtrip_symbolic() {
+        let mut m = SymMemory::new();
+        let a = m.alloc(4, RegionKind::Heap);
+        m.write_byte(a + 1, SymByte::S(Expr::byte(9))).unwrap();
+        assert_eq!(m.read_byte(a + 1).unwrap(), SymByte::S(Expr::byte(9)));
+        assert_eq!(m.read_byte(a).unwrap(), SymByte::C(0));
+    }
+
+    #[test]
+    fn oob_and_null_faults() {
+        let mut m = SymMemory::new();
+        let a = m.alloc(2, RegionKind::Stack);
+        assert!(matches!(
+            m.read_byte(a + 2),
+            Err(SymMemFault::OutOfBounds {
+                nearest: Some(RegionKind::Stack),
+                ..
+            })
+        ));
+        assert!(matches!(m.read_byte(5), Err(SymMemFault::Null { addr: 5 })));
+    }
+
+    #[test]
+    fn size_nodes_counts_symbolic_cells() {
+        let mut m = SymMemory::new();
+        let a = m.alloc(2, RegionKind::Heap);
+        let base = m.size_nodes();
+        m.write_byte(a, SymByte::S(Expr::byte(0))).unwrap();
+        assert!(m.size_nodes() >= base);
+    }
+}

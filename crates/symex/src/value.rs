@@ -1,0 +1,232 @@
+//! Symbolic values: concrete-or-expression registers and memory bytes.
+
+use octo_ir::{BinOp, UnOp, Width};
+use octo_solver::{simplify::simplify, Expr, ExprRef};
+
+/// A register value: concrete or symbolic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymVal {
+    /// Concrete 64-bit value.
+    C(u64),
+    /// Symbolic term.
+    S(ExprRef),
+}
+
+impl SymVal {
+    /// The concrete value, if this is one (also recognises symbolic terms
+    /// that simplify to a constant).
+    pub fn as_concrete(&self) -> Option<u64> {
+        match self {
+            SymVal::C(v) => Some(*v),
+            SymVal::S(e) => e.as_const(),
+        }
+    }
+
+    /// Whether the value is symbolic (not a constant).
+    pub fn is_symbolic(&self) -> bool {
+        self.as_concrete().is_none()
+    }
+
+    /// Converts to an expression (constants become [`Expr::Const`]).
+    pub fn to_expr(&self) -> ExprRef {
+        match self {
+            SymVal::C(v) => Expr::val(*v),
+            SymVal::S(e) => e.clone(),
+        }
+    }
+
+    /// Applies a binary operation, staying concrete when possible.
+    ///
+    /// Division/remainder by a concrete zero returns `None` (a crash).
+    pub fn bin(op: BinOp, a: &SymVal, b: &SymVal) -> Option<SymVal> {
+        if let (Some(x), Some(y)) = (a.as_concrete(), b.as_concrete()) {
+            return op.eval(x, y).map(SymVal::C);
+        }
+        let e = simplify(&Expr::bin(op, a.to_expr(), b.to_expr()));
+        Some(SymVal::from_expr(e))
+    }
+
+    /// Applies a unary operation.
+    pub fn un(op: UnOp, a: &SymVal) -> SymVal {
+        if let Some(x) = a.as_concrete() {
+            return SymVal::C(op.eval(x));
+        }
+        SymVal::from_expr(simplify(&Expr::un(op, a.to_expr())))
+    }
+
+    /// Wraps an expression, collapsing constants.
+    pub fn from_expr(e: ExprRef) -> SymVal {
+        match e.as_const() {
+            Some(v) => SymVal::C(v),
+            None => SymVal::S(e),
+        }
+    }
+
+    /// Approximate node count (memory accounting).
+    pub fn size(&self) -> usize {
+        match self {
+            SymVal::C(_) => 1,
+            SymVal::S(e) => e.size(),
+        }
+    }
+}
+
+impl Default for SymVal {
+    fn default() -> SymVal {
+        SymVal::C(0)
+    }
+}
+
+impl From<u64> for SymVal {
+    fn from(v: u64) -> SymVal {
+        SymVal::C(v)
+    }
+}
+
+/// A memory byte: concrete or symbolic (8-bit term).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymByte {
+    /// Concrete byte.
+    C(u8),
+    /// Symbolic 8-bit term.
+    S(ExprRef),
+}
+
+impl SymByte {
+    /// The byte as an 8-bit expression.
+    pub fn to_expr(&self) -> ExprRef {
+        match self {
+            SymByte::C(v) => Expr::val(u64::from(*v)),
+            SymByte::S(e) => e.clone(),
+        }
+    }
+
+    /// The concrete value, if any.
+    pub fn as_concrete(&self) -> Option<u8> {
+        match self {
+            SymByte::C(v) => Some(*v),
+            SymByte::S(e) => e.as_const().map(|v| v as u8),
+        }
+    }
+
+    /// Approximate node count.
+    pub fn size(&self) -> usize {
+        match self {
+            SymByte::C(_) => 1,
+            SymByte::S(e) => e.size(),
+        }
+    }
+}
+
+impl Default for SymByte {
+    fn default() -> SymByte {
+        SymByte::C(0)
+    }
+}
+
+/// Assembles `width` bytes (little-endian) into one value.
+pub fn assemble(bytes: &[SymByte]) -> SymVal {
+    if let Some(concrete) = bytes
+        .iter()
+        .map(SymByte::as_concrete)
+        .collect::<Option<Vec<u8>>>()
+    {
+        let mut v = 0u64;
+        for (i, b) in concrete.iter().enumerate() {
+            v |= u64::from(*b) << (8 * i);
+        }
+        return SymVal::C(v);
+    }
+    if bytes.len() == 1 {
+        return SymVal::from_expr(bytes[0].to_expr());
+    }
+    let parts: Vec<ExprRef> = bytes.iter().map(SymByte::to_expr).collect();
+    SymVal::from_expr(simplify(&std::rc::Rc::new(Expr::Concat(parts))))
+}
+
+/// Splits a value into `width` bytes (little-endian).
+pub fn disassemble(value: &SymVal, width: Width) -> Vec<SymByte> {
+    let n = width.bytes() as usize;
+    match value {
+        SymVal::C(v) => (0..n).map(|i| SymByte::C((v >> (8 * i)) as u8)).collect(),
+        SymVal::S(e) => {
+            // Byte j = (e >> 8j) & 0xFF; simplification recovers concat
+            // components when e is a byte concat.
+            (0..n)
+                .map(|i| {
+                    let shifted = Expr::bin(BinOp::ShrL, e.clone(), Expr::val(8 * i as u64));
+                    let masked = Expr::bin(BinOp::And, shifted, Expr::val(0xFF));
+                    let s = simplify(&masked);
+                    match s.as_const() {
+                        Some(v) => SymByte::C(v as u8),
+                        None => SymByte::S(s),
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concrete_ops_stay_concrete() {
+        let a = SymVal::C(6);
+        let b = SymVal::C(7);
+        assert_eq!(SymVal::bin(BinOp::Mul, &a, &b), Some(SymVal::C(42)));
+        assert_eq!(SymVal::bin(BinOp::DivU, &a, &SymVal::C(0)), None);
+        assert_eq!(SymVal::un(UnOp::Neg, &SymVal::C(1)), SymVal::C(u64::MAX));
+    }
+
+    #[test]
+    fn symbolic_ops_simplify() {
+        let s = SymVal::S(Expr::byte(0));
+        let r = SymVal::bin(BinOp::Add, &s, &SymVal::C(0)).unwrap();
+        assert_eq!(r, SymVal::S(Expr::byte(0)));
+    }
+
+    #[test]
+    fn assemble_concrete_bytes() {
+        let bytes = vec![SymByte::C(0x78), SymByte::C(0x56)];
+        assert_eq!(assemble(&bytes), SymVal::C(0x5678));
+    }
+
+    #[test]
+    fn assemble_symbolic_builds_concat() {
+        let bytes = vec![SymByte::S(Expr::byte(4)), SymByte::S(Expr::byte(5))];
+        let v = assemble(&bytes);
+        assert_eq!(v.to_expr(), Expr::concat_le(4, 2));
+    }
+
+    #[test]
+    fn disassemble_concat_recovers_components() {
+        let v = SymVal::S(Expr::concat_le(0, 4));
+        let bytes = disassemble(&v, Width::W4);
+        assert_eq!(bytes[0].to_expr(), Expr::byte(0));
+        assert_eq!(bytes[3].to_expr(), Expr::byte(3));
+    }
+
+    #[test]
+    fn disassemble_concrete() {
+        let v = SymVal::C(0x1234_5678);
+        let bytes = disassemble(&v, Width::W4);
+        assert_eq!(
+            bytes,
+            vec![
+                SymByte::C(0x78),
+                SymByte::C(0x56),
+                SymByte::C(0x34),
+                SymByte::C(0x12)
+            ]
+        );
+    }
+
+    #[test]
+    fn roundtrip_assemble_disassemble() {
+        let v = SymVal::S(Expr::concat_le(8, 2));
+        let bytes = disassemble(&v, Width::W2);
+        assert_eq!(assemble(&bytes).to_expr(), v.to_expr());
+    }
+}

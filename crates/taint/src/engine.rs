@@ -1,0 +1,709 @@
+//! The taint engine: a [`Hook`] that tracks PoC bytes through execution.
+
+use std::collections::HashMap;
+
+use octo_ir::{FuncId, Inst, Operand, Reg, Terminator};
+use octo_poc::{Bunch, CrashPrimitives, PocFile};
+use octo_vm::{CrashReport, Hook, HookCtx};
+
+use crate::set::TaintSet;
+
+/// Taint granularity (paper §IV-A: "we also handle the tainting at the
+/// byte character-level").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Granularity {
+    /// Track each input byte independently (the paper's choice).
+    #[default]
+    Byte,
+    /// Track 8-byte-aligned groups — the coarser alternative the paper
+    /// rejects; kept as an ablation switch. Over-taints neighbouring
+    /// bytes, bloating bunches.
+    Word,
+}
+
+/// Whether extraction distinguishes `ep` entries (paper Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ContextMode {
+    /// One bunch per `ep` entry, in order (the paper's approach).
+    #[default]
+    ContextAware,
+    /// All primitive bytes collapse into a single bunch ("located in poc'
+    /// at once") — the Table III baseline.
+    ContextFree,
+}
+
+/// Configuration of one extraction run.
+#[derive(Debug, Clone)]
+pub struct TaintConfig {
+    /// The entry point of the shared code area `ℓ`.
+    pub ep: FuncId,
+    /// All functions of `ℓ` (used for reporting; the dynamic extent of an
+    /// `ep` activation defines "inside ℓ").
+    pub shared: Vec<FuncId>,
+    /// Byte- or word-level tainting.
+    pub granularity: Granularity,
+    /// Context-aware or context-free bunching.
+    pub context: ContextMode,
+}
+
+impl TaintConfig {
+    /// Byte-level, context-aware configuration (the paper's).
+    pub fn new(ep: FuncId, shared: Vec<FuncId>) -> TaintConfig {
+        TaintConfig {
+            ep,
+            shared,
+            granularity: Granularity::Byte,
+            context: ContextMode::ContextAware,
+        }
+    }
+
+    /// Switches to word-level tainting.
+    pub fn word_level(mut self) -> TaintConfig {
+        self.granularity = Granularity::Word;
+        self
+    }
+
+    /// Switches to context-free bunching (Table III baseline).
+    pub fn context_free(mut self) -> TaintConfig {
+        self.context = ContextMode::ContextFree;
+        self
+    }
+}
+
+#[derive(Default)]
+struct FrameTaint {
+    regs: HashMap<u16, TaintSet>,
+}
+
+impl FrameTaint {
+    fn get(&self, r: Reg) -> TaintSet {
+        self.regs.get(&r.0).cloned().unwrap_or_default()
+    }
+
+    fn set(&mut self, r: Reg, t: TaintSet) {
+        if t.is_empty() {
+            self.regs.remove(&r.0);
+        } else {
+            self.regs.insert(r.0, t);
+        }
+    }
+}
+
+/// The taint-tracking hook. Attach to a [`octo_vm::Vm`] run over the
+/// original software `S` executing the original `poc`, then take the
+/// extracted primitives with [`TaintEngine::into_primitives`].
+pub struct TaintEngine {
+    config: TaintConfig,
+    poc: PocFile,
+    mem: HashMap<u64, TaintSet>,
+    frames: Vec<FrameTaint>,
+    /// Destination registers of in-flight calls (one per frame above main).
+    call_dsts: Vec<Option<Reg>>,
+    /// Argument taints stashed between `on_inst(Call)` and `on_call`.
+    pending_args: Vec<TaintSet>,
+    /// Dst register stashed between `on_inst(Call)` and `on_call`.
+    pending_dst: Option<Reg>,
+    /// Return-value taint stashed between `on_term(Ret)` and `on_ret`.
+    pending_ret: TaintSet,
+    /// Call depth of the active `ep` activation, when inside `ℓ`.
+    inside_depth: Option<usize>,
+    ep_count: u32,
+    acc: Option<Bunch>,
+    acc_args: Vec<u64>,
+    primitives: CrashPrimitives,
+    crash: Option<CrashReport>,
+}
+
+impl TaintEngine {
+    /// Creates an engine for one run of `S` on `poc`.
+    pub fn new(config: TaintConfig, poc: PocFile) -> TaintEngine {
+        TaintEngine {
+            config,
+            poc,
+            mem: HashMap::new(),
+            frames: Vec::new(),
+            call_dsts: Vec::new(),
+            pending_args: Vec::new(),
+            pending_dst: None,
+            pending_ret: TaintSet::empty(),
+            inside_depth: None,
+            ep_count: 0,
+            acc: None,
+            acc_args: Vec::new(),
+            primitives: CrashPrimitives::new(),
+            crash: None,
+        }
+    }
+
+    /// Number of times execution entered `ep`.
+    pub fn ep_entries(&self) -> u32 {
+        self.ep_count
+    }
+
+    /// The crash report observed, if any.
+    pub fn crash(&self) -> Option<&CrashReport> {
+        self.crash.as_ref()
+    }
+
+    /// Finalises and returns the extracted crash primitives.
+    pub fn into_primitives(mut self) -> CrashPrimitives {
+        self.close_bunch(true);
+        self.primitives
+    }
+
+    fn op_taint(&self, op: Operand) -> TaintSet {
+        match op {
+            Operand::Reg(r) => self.frames.last().map(|f| f.get(r)).unwrap_or_default(),
+            Operand::Imm(_) => TaintSet::empty(),
+        }
+    }
+
+    fn set_reg(&mut self, r: Reg, t: TaintSet) {
+        if let Some(f) = self.frames.last_mut() {
+            f.set(r, t);
+        }
+    }
+
+    fn mem_taint_range(&self, addr: u64, len: u64) -> TaintSet {
+        let mut acc = TaintSet::empty();
+        for i in 0..len {
+            if let Some(t) = self.mem.get(&addr.wrapping_add(i)) {
+                acc = acc.union(t);
+            }
+        }
+        acc
+    }
+
+    fn set_mem_range(&mut self, addr: u64, len: u64, t: &TaintSet) {
+        for i in 0..len {
+            let a = addr.wrapping_add(i);
+            if t.is_empty() {
+                // Algorithm 1, line 11: overwriting with untainted data
+                // removes the address from the tainted set.
+                self.mem.remove(&a);
+            } else {
+                self.mem.insert(a, t.clone());
+            }
+        }
+    }
+
+    fn inside(&self) -> bool {
+        self.inside_depth.is_some()
+    }
+
+    /// Adds the offsets of `t` to the current bunch (P1.3).
+    fn record(&mut self, t: &TaintSet) {
+        if t.is_empty() || !self.inside() {
+            return;
+        }
+        if let Some(b) = &mut self.acc {
+            for off in t.iter() {
+                b.add(off, self.poc.byte(off));
+            }
+        }
+    }
+
+    /// Marks freshly uploaded file bytes: `mem[addr+i] = {file_off+i}`.
+    fn upload(&mut self, addr: u64, file_off: u64, len: u64) {
+        match self.config.granularity {
+            Granularity::Byte => {
+                for i in 0..len {
+                    self.mem
+                        .insert(addr + i, TaintSet::single((file_off + i) as u32));
+                }
+            }
+            Granularity::Word => {
+                // Each aligned 8-byte group shares the union of the offsets
+                // uploaded into it.
+                let mut groups: HashMap<u64, Vec<u32>> = HashMap::new();
+                for i in 0..len {
+                    groups
+                        .entry((addr + i) & !7)
+                        .or_default()
+                        .push((file_off + i) as u32);
+                }
+                for (base, offs) in groups {
+                    let set = TaintSet::from_iter(offs);
+                    for j in 0..8 {
+                        self.mem.insert(base + j, set.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    fn open_bunch(&mut self, args: &[u64]) {
+        match self.config.context {
+            ContextMode::ContextAware => {
+                self.acc = Some(Bunch::new(self.ep_count));
+                self.acc_args = args.to_vec();
+            }
+            ContextMode::ContextFree => {
+                if self.acc.is_none() {
+                    self.acc = Some(Bunch::new(1));
+                    self.acc_args = args.to_vec();
+                }
+            }
+        }
+    }
+
+    fn close_bunch(&mut self, final_close: bool) {
+        match self.config.context {
+            ContextMode::ContextAware => {
+                if let Some(b) = self.acc.take() {
+                    self.primitives.push(b, std::mem::take(&mut self.acc_args));
+                }
+            }
+            ContextMode::ContextFree => {
+                if final_close {
+                    if let Some(b) = self.acc.take() {
+                        self.primitives.push(b, std::mem::take(&mut self.acc_args));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Hook for TaintEngine {
+    fn on_inst(&mut self, ctx: &HookCtx<'_>, inst: &Inst) {
+        let eval = |op: Operand| match op {
+            Operand::Reg(r) => ctx.regs[r.0 as usize],
+            Operand::Imm(v) => v,
+        };
+        match inst {
+            Inst::Const { dst, .. }
+            | Inst::Alloc { dst, .. }
+            | Inst::FuncAddr { dst, .. }
+            | Inst::BlockAddr { dst, .. }
+            | Inst::FileOpen { dst }
+            | Inst::FileTell { dst, .. }
+            | Inst::FileSize { dst, .. } => self.set_reg(*dst, TaintSet::empty()),
+            Inst::Move { dst, src } => {
+                let t = self.op_taint(*src);
+                self.set_reg(*dst, t);
+            }
+            Inst::Bin { dst, lhs, rhs, .. } | Inst::CheckedBin { dst, lhs, rhs, .. } => {
+                let t = self.op_taint(*lhs).union(&self.op_taint(*rhs));
+                self.set_reg(*dst, t);
+            }
+            Inst::Un { dst, src, .. } => {
+                let t = self.op_taint(*src);
+                self.set_reg(*dst, t);
+            }
+            Inst::Load {
+                dst,
+                addr,
+                offset,
+                width,
+            } => {
+                let a = eval(*addr).wrapping_add(*offset);
+                let data = self.mem_taint_range(a, width.bytes());
+                let addr_t = self.op_taint(*addr);
+                let full = data.union(&addr_t);
+                self.record(&full);
+                self.set_reg(*dst, full);
+            }
+            Inst::Store {
+                addr,
+                offset,
+                src,
+                width,
+            } => {
+                let a = eval(*addr).wrapping_add(*offset);
+                let old = self.mem_taint_range(a, width.bytes());
+                let src_t = self.op_taint(*src);
+                let addr_t = self.op_taint(*addr);
+                let touched = old.union(&src_t).union(&addr_t);
+                self.record(&touched);
+                self.set_mem_range(a, width.bytes(), &src_t);
+            }
+            Inst::Call { dst, args, .. } => {
+                self.pending_args = args.iter().map(|a| self.op_taint(*a)).collect();
+                self.pending_dst = *dst;
+            }
+            Inst::CallIndirect { dst, args, .. } => {
+                self.pending_args = args.iter().map(|a| self.op_taint(*a)).collect();
+                self.pending_dst = *dst;
+            }
+            Inst::FileRead { dst, buf, len, .. } => {
+                let buf_addr = eval(*buf);
+                let want = eval(*len);
+                let pos = ctx.file_pos.min(ctx.file_size);
+                let count = want.min(ctx.file_size - pos);
+                if count > 0 {
+                    self.upload(buf_addr, pos, count);
+                    // Bytes read while inside ℓ are used in ℓ.
+                    let offs = TaintSet::from_iter(pos as u32..(pos + count) as u32);
+                    self.record(&offs);
+                }
+                self.set_reg(*dst, TaintSet::empty());
+            }
+            Inst::FileGetc { dst, .. } => {
+                if ctx.file_pos < ctx.file_size {
+                    let t = TaintSet::single(ctx.file_pos as u32);
+                    self.record(&t);
+                    self.set_reg(*dst, t);
+                } else {
+                    self.set_reg(*dst, TaintSet::empty());
+                }
+            }
+            Inst::MemMap { dst, .. } => {
+                // The whole input is uploaded; actual use inside ℓ is
+                // recorded at the subsequent loads.
+                self.set_reg(*dst, TaintSet::empty());
+            }
+            Inst::FileSeek { .. } | Inst::Trap { .. } | Inst::Nop => {}
+        }
+    }
+
+    fn on_term(&mut self, _ctx: &HookCtx<'_>, term: &Terminator) {
+        if let Terminator::Ret(Some(v)) = term {
+            self.pending_ret = self.op_taint(*v);
+        } else if let Terminator::Ret(None) = term {
+            self.pending_ret = TaintSet::empty();
+        }
+    }
+
+    fn on_mmap(&mut self, base: u64, len: u64) {
+        self.upload(base, 0, len);
+    }
+
+    fn on_call(&mut self, callee: FuncId, args: &[u64], depth: usize) {
+        let mut frame = FrameTaint::default();
+        for (i, t) in self.pending_args.drain(..).enumerate() {
+            frame.set(Reg(i as u16), t);
+        }
+        self.frames.push(frame);
+        if depth > 1 {
+            self.call_dsts.push(self.pending_dst.take());
+        }
+        if callee == self.config.ep && !self.inside() {
+            self.ep_count += 1;
+            self.inside_depth = Some(depth);
+            self.open_bunch(args);
+        }
+    }
+
+    fn on_ret(&mut self, _func: FuncId, value: Option<u64>, depth: usize) {
+        if self.inside_depth == Some(depth) {
+            self.inside_depth = None;
+            self.close_bunch(false);
+        }
+        self.frames.pop();
+        let dst = if depth > 1 {
+            self.call_dsts.pop().flatten()
+        } else {
+            None
+        };
+        if let Some(dst) = dst {
+            let t = if value.is_some() {
+                std::mem::take(&mut self.pending_ret)
+            } else {
+                TaintSet::empty()
+            };
+            self.set_reg(dst, t);
+        }
+        self.pending_ret = TaintSet::empty();
+    }
+
+    fn on_crash(&mut self, report: &CrashReport) {
+        self.crash = Some(report.clone());
+        if self.inside() {
+            self.inside_depth = None;
+            self.close_bunch(false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octo_ir::parse::parse_program;
+    use octo_vm::Vm;
+
+    fn run_taint(src: &str, poc: &[u8], ep_name: &str) -> (TaintEngine, octo_vm::RunOutcome) {
+        let p = parse_program(src).unwrap();
+        let ep = p.func_by_name(ep_name).unwrap();
+        let mut engine = TaintEngine::new(TaintConfig::new(ep, vec![ep]), PocFile::from(poc));
+        let out = Vm::new(&p, poc).run_hooked(&mut engine);
+        (engine, out)
+    }
+
+    const DIRECT_USE: &str = r#"
+func main() {
+entry:
+    fd = open
+    buf = alloc 8
+    n = read fd, buf, 8
+    call shared(buf)
+    halt 0
+}
+func shared(p) {
+entry:
+    v = load.1 p + 3
+    c = eq v, 0x58
+    br c, boom, fine
+boom:
+    trap 1
+fine:
+    ret
+}
+"#;
+
+    #[test]
+    fn bytes_loaded_inside_shared_are_primitives() {
+        let (engine, out) = run_taint(DIRECT_USE, b"aaaXbbbb", "shared");
+        assert!(out.is_crash());
+        assert_eq!(engine.ep_entries(), 1);
+        let q = engine.into_primitives();
+        assert_eq!(q.entry_count(), 1);
+        let offs: Vec<u32> = q.bunch(0).unwrap().iter().map(|(o, _)| o).collect();
+        assert_eq!(offs, vec![3]);
+        assert_eq!(q.bunch(0).unwrap().iter().next().unwrap().1, b'X');
+    }
+
+    #[test]
+    fn indirect_use_through_candidate_address() {
+        // A byte is read and *stored* before ℓ, then loaded inside ℓ.
+        let src = r#"
+func main() {
+entry:
+    fd = open
+    buf = alloc 4
+    n = read fd, buf, 4
+    stash = alloc 8
+    v = load.1 buf + 1
+    store.1 stash + 5, v
+    call shared(stash)
+    halt 0
+}
+func shared(p) {
+entry:
+    w = load.1 p + 5
+    c = eq w, 0x51
+    br c, boom, fine
+boom:
+    trap 2
+fine:
+    ret
+}
+"#;
+        let (engine, out) = run_taint(src, b"xQzz", "shared");
+        assert!(out.is_crash());
+        let q = engine.into_primitives();
+        let offs: Vec<u32> = q.bunch(0).unwrap().iter().map(|(o, _)| o).collect();
+        assert_eq!(offs, vec![1], "candidate address must carry offset 1");
+    }
+
+    const MULTI_ENTRY: &str = r#"
+func main() {
+entry:
+    fd = open
+    buf = alloc 2
+    n = read fd, buf, 2
+    call shared(buf)
+    n2 = read fd, buf, 2
+    call shared(buf)
+    halt 0
+}
+func shared(p) {
+entry:
+    v = load.1 p
+    w = load.1 p + 1
+    c = eq w, 0x21
+    br c, boom, fine
+boom:
+    trap 3
+fine:
+    ret
+}
+"#;
+
+    #[test]
+    fn context_aware_separates_bunches_per_entry() {
+        let (engine, out) = run_taint(MULTI_ENTRY, b"ab1!", "shared");
+        assert!(out.is_crash());
+        assert_eq!(engine.ep_entries(), 2);
+        let q = engine.into_primitives();
+        assert_eq!(q.entry_count(), 2);
+        let b1: Vec<u32> = q.bunch(0).unwrap().iter().map(|(o, _)| o).collect();
+        let b2: Vec<u32> = q.bunch(1).unwrap().iter().map(|(o, _)| o).collect();
+        assert_eq!(b1, vec![0, 1]);
+        assert_eq!(b2, vec![2, 3]);
+        assert_eq!(q.bunch(0).unwrap().seq, 1);
+        assert_eq!(q.bunch(1).unwrap().seq, 2);
+    }
+
+    #[test]
+    fn context_free_collapses_bunches() {
+        let p = parse_program(MULTI_ENTRY).unwrap();
+        let ep = p.func_by_name("shared").unwrap();
+        let poc = b"ab1!";
+        let mut engine = TaintEngine::new(
+            TaintConfig::new(ep, vec![ep]).context_free(),
+            PocFile::from(&poc[..]),
+        );
+        let out = Vm::new(&p, poc).run_hooked(&mut engine);
+        assert!(out.is_crash());
+        let q = engine.into_primitives();
+        assert_eq!(q.entry_count(), 1);
+        let offs: Vec<u32> = q.bunch(0).unwrap().iter().map(|(o, _)| o).collect();
+        assert_eq!(offs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn ep_arguments_are_captured() {
+        let src = r#"
+func main() {
+entry:
+    fd = open
+    b = getc fd
+    call shared(b, 7)
+    halt 0
+}
+func shared(x, y) {
+entry:
+    trap 1
+}
+"#;
+        let (engine, out) = run_taint(src, b"\x2A", "shared");
+        assert!(out.is_crash());
+        let q = engine.into_primitives();
+        assert_eq!(q.args(0), Some(&[0x2A, 7][..]));
+    }
+
+    #[test]
+    fn getc_inside_shared_is_recorded() {
+        let src = r#"
+func main() {
+entry:
+    fd = open
+    h = getc fd
+    call shared(fd)
+    halt 0
+}
+func shared(fd) {
+entry:
+    v = getc fd
+    c = eq v, 0x42
+    br c, boom, fine
+boom:
+    trap 4
+fine:
+    ret
+}
+"#;
+        let (engine, out) = run_taint(src, b"AB", "shared");
+        assert!(out.is_crash());
+        let q = engine.into_primitives();
+        let offs: Vec<u32> = q.bunch(0).unwrap().iter().map(|(o, _)| o).collect();
+        assert_eq!(offs, vec![1], "only the byte consumed inside ℓ");
+    }
+
+    #[test]
+    fn mmap_bytes_used_inside_shared_are_recorded() {
+        let src = r#"
+func main() {
+entry:
+    fd = open
+    base = mmap fd
+    call shared(base)
+    halt 0
+}
+func shared(p) {
+entry:
+    v = load.2 p + 2
+    c = eq v, 0x3231
+    br c, boom, fine
+boom:
+    trap 5
+fine:
+    ret
+}
+"#;
+        let (engine, out) = run_taint(src, b"ab12", "shared");
+        assert!(out.is_crash());
+        let q = engine.into_primitives();
+        let offs: Vec<u32> = q.bunch(0).unwrap().iter().map(|(o, _)| o).collect();
+        assert_eq!(offs, vec![2, 3]);
+    }
+
+    #[test]
+    fn word_granularity_over_taints() {
+        let (e_byte, _) = run_taint(DIRECT_USE, b"aaaXbbbb", "shared");
+        let q_byte = e_byte.into_primitives();
+
+        let p = parse_program(DIRECT_USE).unwrap();
+        let ep = p.func_by_name("shared").unwrap();
+        let poc = b"aaaXbbbb";
+        let mut e_word = TaintEngine::new(
+            TaintConfig::new(ep, vec![ep]).word_level(),
+            PocFile::from(&poc[..]),
+        );
+        Vm::new(&p, poc).run_hooked(&mut e_word);
+        let q_word = e_word.into_primitives();
+        assert!(
+            q_word.total_bytes() > q_byte.total_bytes(),
+            "word-level must over-taint: {} vs {}",
+            q_word.total_bytes(),
+            q_byte.total_bytes()
+        );
+    }
+
+    #[test]
+    fn untainted_store_clears_taint() {
+        // A tainted buffer byte is overwritten by a constant before ℓ reads
+        // it — the read inside ℓ must not contribute primitives.
+        let src = r#"
+func main() {
+entry:
+    fd = open
+    buf = alloc 4
+    n = read fd, buf, 4
+    store.1 buf + 0, 0
+    call shared(buf)
+    halt 0
+}
+func shared(p) {
+entry:
+    v = load.1 p
+    trap 6
+}
+"#;
+        let (engine, out) = run_taint(src, b"abcd", "shared");
+        assert!(out.is_crash());
+        let q = engine.into_primitives();
+        assert_eq!(q.total_bytes(), 0);
+    }
+
+    #[test]
+    fn return_value_taint_flows_to_caller() {
+        let src = r#"
+func main() {
+entry:
+    fd = open
+    b = call fetch(fd)
+    buf = alloc 2
+    store.1 buf, b
+    call shared(buf)
+    halt 0
+}
+func fetch(fd) {
+entry:
+    v = getc fd
+    ret v
+}
+func shared(p) {
+entry:
+    w = load.1 p
+    trap 7
+}
+"#;
+        let (engine, out) = run_taint(src, b"Z", "shared");
+        assert!(out.is_crash());
+        let q = engine.into_primitives();
+        let offs: Vec<u32> = q.bunch(0).unwrap().iter().map(|(o, _)| o).collect();
+        assert_eq!(offs, vec![0]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Small sorted sets of file offsets.
+
+use std::rc::Rc;
+
+/// An immutable, shareable set of PoC file offsets.
+///
+/// Taint sets are copied along every data-flow edge, so they are reference
+/// counted and copy-on-write: propagating a set is an `Rc` clone, and the
+/// common single-source case allocates once.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TaintSet {
+    offs: Option<Rc<Vec<u32>>>,
+}
+
+impl TaintSet {
+    /// The empty (untainted) set.
+    pub fn empty() -> TaintSet {
+        TaintSet::default()
+    }
+
+    /// A single-offset set.
+    pub fn single(off: u32) -> TaintSet {
+        TaintSet {
+            offs: Some(Rc::new(vec![off])),
+        }
+    }
+
+    /// Builds from a sorted, deduplicated vector.
+    fn from_sorted(v: Vec<u32>) -> TaintSet {
+        if v.is_empty() {
+            TaintSet::empty()
+        } else {
+            TaintSet {
+                offs: Some(Rc::new(v)),
+            }
+        }
+    }
+
+    /// Builds from arbitrary offsets.
+    pub fn from_iter(iter: impl IntoIterator<Item = u32>) -> TaintSet {
+        let mut v: Vec<u32> = iter.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        TaintSet::from_sorted(v)
+    }
+
+    /// Whether the set is empty (no taint).
+    pub fn is_empty(&self) -> bool {
+        self.offs.is_none()
+    }
+
+    /// Number of offsets.
+    pub fn len(&self) -> usize {
+        self.offs.as_ref().map_or(0, |v| v.len())
+    }
+
+    /// The offsets in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.offs.iter().flat_map(|v| v.iter().copied())
+    }
+
+    /// Set union. Cheap when either side is empty or both point to the
+    /// same underlying allocation.
+    pub fn union(&self, other: &TaintSet) -> TaintSet {
+        match (&self.offs, &other.offs) {
+            (None, None) => TaintSet::empty(),
+            (Some(_), None) => self.clone(),
+            (None, Some(_)) => other.clone(),
+            (Some(a), Some(b)) => {
+                if Rc::ptr_eq(a, b) {
+                    return self.clone();
+                }
+                let mut out = Vec::with_capacity(a.len() + b.len());
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        std::cmp::Ordering::Less => {
+                            out.push(a[i]);
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            out.push(b[j]);
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            out.push(a[i]);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                out.extend_from_slice(&a[i..]);
+                out.extend_from_slice(&b[j..]);
+                TaintSet::from_sorted(out)
+            }
+        }
+    }
+
+    /// Whether `off` is in the set.
+    pub fn contains(&self, off: u32) -> bool {
+        self.offs
+            .as_ref()
+            .is_some_and(|v| v.binary_search(&off).is_ok())
+    }
+}
+
+impl FromIterator<u32> for TaintSet {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> TaintSet {
+        TaintSet::from_iter(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_properties() {
+        let e = TaintSet::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert!(!e.contains(0));
+    }
+
+    #[test]
+    fn union_merges_sorted() {
+        let a = TaintSet::from_iter([5, 1, 3]);
+        let b = TaintSet::from_iter([2, 3, 9]);
+        let u = a.union(&b);
+        let offs: Vec<u32> = u.iter().collect();
+        assert_eq!(offs, vec![1, 2, 3, 5, 9]);
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let a = TaintSet::from_iter([4, 7]);
+        assert_eq!(a.union(&TaintSet::empty()), a);
+        assert_eq!(TaintSet::empty().union(&a), a);
+    }
+
+    #[test]
+    fn union_same_rc_is_cheap_identity() {
+        let a = TaintSet::single(3);
+        let b = a.clone();
+        assert_eq!(a.union(&b), a);
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let a = TaintSet::from_iter(0..100);
+        assert!(a.contains(42));
+        assert!(!a.contains(100));
+    }
+}

@@ -1,0 +1,160 @@
+//! Instrumentation hooks — the PIN-style callback surface.
+//!
+//! A [`Hook`] is attached to a [`crate::Vm`] run and receives events as the
+//! program executes. All methods have empty default bodies, so a hook only
+//! implements what it needs:
+//!
+//! * the taint engine ([`octo-taint`](https://docs.rs)) implements
+//!   `on_inst`, the file events, and the call events;
+//! * the fuzzers implement `on_edge` for coverage;
+//! * tests implement whatever they assert on.
+
+use octo_ir::{BlockId, FuncId, Inst, Terminator, Width};
+
+use crate::crash::CrashReport;
+
+/// Read-only view of the execution context passed to instruction hooks.
+#[derive(Debug)]
+pub struct HookCtx<'a> {
+    /// Currently executing function.
+    pub func: FuncId,
+    /// Currently executing block.
+    pub block: BlockId,
+    /// Index of the instruction within the block.
+    pub inst_idx: usize,
+    /// Registers of the current frame (pre-state: the instruction has not
+    /// executed yet).
+    pub regs: &'a [u64],
+    /// Current call depth (1 = inside the entry function).
+    pub depth: usize,
+    /// Current file position indicator (pre-state).
+    pub file_pos: u64,
+    /// Total input file size.
+    pub file_size: u64,
+}
+
+/// Execution event callbacks. All default to no-ops.
+#[allow(unused_variables)]
+pub trait Hook {
+    /// Fired before each instruction executes. `ctx.regs` holds pre-state
+    /// register values, so operand addresses can be computed by the hook.
+    fn on_inst(&mut self, ctx: &HookCtx<'_>, inst: &Inst) {}
+
+    /// Fired before each block terminator executes (same pre-state contract
+    /// as [`Hook::on_inst`]).
+    fn on_term(&mut self, ctx: &HookCtx<'_>, term: &Terminator) {}
+
+    /// Fired after a memory load completes.
+    fn on_mem_read(&mut self, addr: u64, width: Width, value: u64) {}
+
+    /// Fired after a memory store completes.
+    fn on_mem_write(&mut self, addr: u64, width: Width, value: u64) {}
+
+    /// Fired after `read` uploads input bytes to memory: `len` bytes from
+    /// file offset `file_off` were copied to `buf_addr`. This is the
+    /// file-read hook of the paper's Fig. 4.
+    fn on_file_read(&mut self, buf_addr: u64, file_off: u64, len: u64) {}
+
+    /// Fired after `getc` reads the byte at `file_off` into a register
+    /// (not fired at EOF).
+    fn on_file_getc(&mut self, file_off: u64, value: u8) {}
+
+    /// Fired after `mmap` maps the whole input at `base`.
+    fn on_mmap(&mut self, base: u64, len: u64) {}
+
+    /// Fired when a call transfers control into `callee` (after arguments
+    /// are bound). `depth` is the depth *inside* the callee.
+    fn on_call(&mut self, callee: FuncId, args: &[u64], depth: usize) {}
+
+    /// Fired when `func` returns. `depth` is the depth that was left.
+    fn on_ret(&mut self, func: FuncId, value: Option<u64>, depth: usize) {}
+
+    /// Fired on every control-flow edge taken between blocks of the same
+    /// function (fuzzer coverage granularity).
+    fn on_edge(&mut self, func: FuncId, from: BlockId, to: BlockId) {}
+
+    /// Fired once if the run ends in a crash.
+    fn on_crash(&mut self, report: &CrashReport) {}
+}
+
+/// The do-nothing hook, for plain uninstrumented runs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoHook;
+
+impl Hook for NoHook {}
+
+/// Combines two hooks, delivering every event to both (first `A`, then `B`).
+#[derive(Debug, Default)]
+pub struct Pair<A, B>(pub A, pub B);
+
+impl<A: Hook, B: Hook> Hook for Pair<A, B> {
+    fn on_inst(&mut self, ctx: &HookCtx<'_>, inst: &Inst) {
+        self.0.on_inst(ctx, inst);
+        self.1.on_inst(ctx, inst);
+    }
+    fn on_term(&mut self, ctx: &HookCtx<'_>, term: &Terminator) {
+        self.0.on_term(ctx, term);
+        self.1.on_term(ctx, term);
+    }
+    fn on_mem_read(&mut self, addr: u64, width: Width, value: u64) {
+        self.0.on_mem_read(addr, width, value);
+        self.1.on_mem_read(addr, width, value);
+    }
+    fn on_mem_write(&mut self, addr: u64, width: Width, value: u64) {
+        self.0.on_mem_write(addr, width, value);
+        self.1.on_mem_write(addr, width, value);
+    }
+    fn on_file_read(&mut self, buf_addr: u64, file_off: u64, len: u64) {
+        self.0.on_file_read(buf_addr, file_off, len);
+        self.1.on_file_read(buf_addr, file_off, len);
+    }
+    fn on_file_getc(&mut self, file_off: u64, value: u8) {
+        self.0.on_file_getc(file_off, value);
+        self.1.on_file_getc(file_off, value);
+    }
+    fn on_mmap(&mut self, base: u64, len: u64) {
+        self.0.on_mmap(base, len);
+        self.1.on_mmap(base, len);
+    }
+    fn on_call(&mut self, callee: FuncId, args: &[u64], depth: usize) {
+        self.0.on_call(callee, args, depth);
+        self.1.on_call(callee, args, depth);
+    }
+    fn on_ret(&mut self, func: FuncId, value: Option<u64>, depth: usize) {
+        self.0.on_ret(func, value, depth);
+        self.1.on_ret(func, value, depth);
+    }
+    fn on_edge(&mut self, func: FuncId, from: BlockId, to: BlockId) {
+        self.0.on_edge(func, from, to);
+        self.1.on_edge(func, from, to);
+    }
+    fn on_crash(&mut self, report: &CrashReport) {
+        self.0.on_crash(report);
+        self.1.on_crash(report);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counter {
+        calls: usize,
+    }
+
+    impl Hook for Counter {
+        fn on_call(&mut self, _callee: FuncId, _args: &[u64], _depth: usize) {
+            self.calls += 1;
+        }
+    }
+
+    #[test]
+    fn pair_delivers_to_both() {
+        let mut pair = Pair(Counter::default(), Counter::default());
+        pair.on_call(FuncId(0), &[], 1);
+        pair.on_call(FuncId(1), &[], 2);
+        assert_eq!(pair.0.calls, 2);
+        assert_eq!(pair.1.calls, 2);
+    }
+}

@@ -1,0 +1,285 @@
+//! Bounded, region-based process memory.
+//!
+//! Every allocation becomes a [`Region`] with hard bounds; regions are
+//! separated by guard gaps so an out-of-bounds access lands in unmapped
+//! space and is reported — the moral equivalent of a SIGSEGV, which is how
+//! the paper's subject binaries crash on CWE-119 vulnerabilities.
+
+use octo_ir::{RegionKind, Width};
+
+/// Base address of the first allocation. Anything below
+/// [`NULL_PAGE_END`] is the "null page": accessing it is a null-pointer
+/// dereference rather than a generic out-of-bounds fault.
+pub const HEAP_BASE: u64 = 0x0001_0000;
+/// Upper bound of the null page.
+pub const NULL_PAGE_END: u64 = 0x1000;
+/// Guard gap inserted between consecutive regions.
+pub const GUARD_GAP: u64 = 64;
+
+/// One contiguous allocated region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// First valid address.
+    pub base: u64,
+    /// Region size in bytes.
+    pub size: u64,
+    /// Heap or stack (affects crash classification only).
+    pub kind: RegionKind,
+    /// Backing bytes (len == size).
+    pub data: Vec<u8>,
+}
+
+impl Region {
+    /// Whether `addr` lies within the region.
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.base && addr < self.base + self.size
+    }
+}
+
+/// Why a memory access failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemFault {
+    /// Address in the null page.
+    Null {
+        /// Faulting address.
+        addr: u64,
+    },
+    /// Address outside every region (or straddling a region end).
+    OutOfBounds {
+        /// Faulting address.
+        addr: u64,
+        /// Kind of the nearest region below the address, when one exists —
+        /// used to classify heap vs stack overflow.
+        nearest: Option<RegionKind>,
+    },
+}
+
+/// Byte-addressable memory made of bounds-checked regions.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    regions: Vec<Region>,
+    next_base: u64,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Memory {
+        Memory {
+            regions: Vec::new(),
+            next_base: HEAP_BASE,
+        }
+    }
+
+    /// Allocates `size` bytes (zero-initialised) and returns the base
+    /// address. Zero-size allocations still receive a unique address.
+    pub fn alloc(&mut self, size: u64, kind: RegionKind) -> u64 {
+        let base = self.next_base;
+        self.next_base = base + size.max(1) + GUARD_GAP;
+        // keep 16-byte alignment for readability of addresses in reports
+        self.next_base = (self.next_base + 15) & !15;
+        self.regions.push(Region {
+            base,
+            size,
+            kind,
+            data: vec![0; size as usize],
+        });
+        base
+    }
+
+    /// Allocates a region pre-filled with `bytes` (used by `mmap`).
+    /// An empty `bytes` produces a zero-size region: it has a unique base
+    /// address but no accessible bytes.
+    pub fn alloc_with(&mut self, bytes: &[u8], kind: RegionKind) -> u64 {
+        let base = self.alloc(bytes.len() as u64, kind);
+        if !bytes.is_empty() {
+            let region = self.region_of_mut(base).expect("region just allocated");
+            region.data.copy_from_slice(bytes);
+        }
+        base
+    }
+
+    /// The region containing `addr`, if any.
+    pub fn region_of(&self, addr: u64) -> Option<&Region> {
+        match self.regions.binary_search_by(|r| cmp_region(r, addr)) {
+            Ok(i) => Some(&self.regions[i]),
+            Err(_) => None,
+        }
+    }
+
+    fn region_of_mut(&mut self, addr: u64) -> Option<&mut Region> {
+        match self.regions.binary_search_by(|r| cmp_region(r, addr)) {
+            Ok(i) => Some(&mut self.regions[i]),
+            Err(_) => None,
+        }
+    }
+
+    /// Classifies a fault at `addr` (which must not resolve to a region).
+    fn fault(&self, addr: u64) -> MemFault {
+        if addr < NULL_PAGE_END {
+            return MemFault::Null { addr };
+        }
+        let nearest = self
+            .regions
+            .iter()
+            .filter(|r| r.base <= addr)
+            .next_back()
+            .map(|r| r.kind);
+        MemFault::OutOfBounds { addr, nearest }
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    /// Faults if `addr` is unmapped.
+    pub fn read_u8(&self, addr: u64) -> Result<u8, MemFault> {
+        match self.region_of(addr) {
+            Some(r) => Ok(r.data[(addr - r.base) as usize]),
+            None => Err(self.fault(addr)),
+        }
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    /// Faults if `addr` is unmapped.
+    pub fn write_u8(&mut self, addr: u64, value: u8) -> Result<(), MemFault> {
+        match self.region_of_mut(addr) {
+            Some(r) => {
+                let off = (addr - r.base) as usize;
+                r.data[off] = value;
+                Ok(())
+            }
+            None => Err(self.fault(addr)),
+        }
+    }
+
+    /// Reads `width` bytes little-endian starting at `addr`.
+    ///
+    /// # Errors
+    /// Faults on the first unmapped byte.
+    pub fn read(&self, addr: u64, width: Width) -> Result<u64, MemFault> {
+        let mut value = 0u64;
+        for i in 0..width.bytes() {
+            let b = self.read_u8(addr.wrapping_add(i))?;
+            value |= u64::from(b) << (8 * i);
+        }
+        Ok(value)
+    }
+
+    /// Writes the low `width` bytes of `value` little-endian at `addr`.
+    ///
+    /// # Errors
+    /// Faults on the first unmapped byte. Bytes before the fault are
+    /// written (like a real partial store before the faulting access).
+    pub fn write(&mut self, addr: u64, value: u64, width: Width) -> Result<(), MemFault> {
+        for i in 0..width.bytes() {
+            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8)?;
+        }
+        Ok(())
+    }
+
+    /// Copies `bytes` into memory at `addr`.
+    ///
+    /// # Errors
+    /// Faults on the first unmapped byte.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemFault> {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), *b)?;
+        }
+        Ok(())
+    }
+
+    /// Number of regions allocated so far.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Total bytes allocated across all regions.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.regions.iter().map(|r| r.size).sum()
+    }
+}
+
+fn cmp_region(r: &Region, addr: u64) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    if addr < r.base {
+        Ordering::Greater
+    } else if addr >= r.base + r.size {
+        Ordering::Less
+    } else {
+        Ordering::Equal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_rw_roundtrip() {
+        let mut m = Memory::new();
+        let a = m.alloc(16, RegionKind::Heap);
+        m.write(a, 0x1122_3344_5566_7788, Width::W8).unwrap();
+        assert_eq!(m.read(a, Width::W8).unwrap(), 0x1122_3344_5566_7788);
+        assert_eq!(m.read(a, Width::W1).unwrap(), 0x88); // little-endian
+        assert_eq!(m.read(a + 7, Width::W1).unwrap(), 0x11);
+    }
+
+    #[test]
+    fn oob_is_detected_and_classified() {
+        let mut m = Memory::new();
+        let a = m.alloc(8, RegionKind::Stack);
+        let err = m.read_u8(a + 8).unwrap_err();
+        assert_eq!(
+            err,
+            MemFault::OutOfBounds {
+                addr: a + 8,
+                nearest: Some(RegionKind::Stack)
+            }
+        );
+    }
+
+    #[test]
+    fn straddling_read_faults() {
+        let mut m = Memory::new();
+        let a = m.alloc(4, RegionKind::Heap);
+        assert!(m.read(a, Width::W4).is_ok());
+        assert!(m.read(a + 1, Width::W4).is_err());
+    }
+
+    #[test]
+    fn null_page_faults_as_null() {
+        let m = Memory::new();
+        assert_eq!(m.read_u8(0).unwrap_err(), MemFault::Null { addr: 0 });
+        assert_eq!(m.read_u8(0x20).unwrap_err(), MemFault::Null { addr: 0x20 });
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let mut m = Memory::new();
+        let a = m.alloc(100, RegionKind::Heap);
+        let b = m.alloc(100, RegionKind::Heap);
+        assert!(b >= a + 100 + GUARD_GAP);
+        m.write_u8(a + 99, 1).unwrap();
+        assert!(m.write_u8(a + 100, 1).is_err());
+        m.write_u8(b, 2).unwrap();
+    }
+
+    #[test]
+    fn alloc_with_copies_contents() {
+        let mut m = Memory::new();
+        let a = m.alloc_with(b"hello", RegionKind::Heap);
+        assert_eq!(m.read_u8(a + 1).unwrap(), b'e');
+        assert_eq!(m.allocated_bytes(), 5);
+        assert_eq!(m.region_count(), 1);
+    }
+
+    #[test]
+    fn zero_size_allocations_get_unique_addresses() {
+        let mut m = Memory::new();
+        let a = m.alloc(0, RegionKind::Heap);
+        let b = m.alloc(0, RegionKind::Heap);
+        assert_ne!(a, b);
+        assert!(m.read_u8(a).is_err());
+    }
+}

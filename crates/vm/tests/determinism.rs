@@ -1,0 +1,92 @@
+//! Property tests: VM execution is total (never panics), deterministic,
+//! and bounded by its limits.
+
+use octo_ir::parse::parse_program;
+use octo_vm::{Limits, RunOutcome, Vm};
+use proptest::prelude::*;
+
+/// Random but syntactically valid programs from source-text templates:
+/// a chain of byte reads with data-dependent branches and arithmetic.
+fn arb_source() -> impl Strategy<Value = String> {
+    (
+        prop::collection::vec((any::<u8>(), any::<u8>(), 0u8..4), 1..8),
+        any::<bool>(),
+    )
+        .prop_map(|(steps, loopy)| {
+            let mut src = String::from("func main() {\nentry:\n    fd = open\n    acc = 0\n");
+            src.push_str("    jmp s0\n");
+            for (i, (k, v, op)) in steps.iter().enumerate() {
+                let opname = ["add", "xor", "mul", "sub"][*op as usize];
+                src.push_str(&format!(
+                    "s{i}:\n    b{i} = getc fd\n    acc = {opname} acc, b{i}\n    c{i} = eq b{i}, {k}\n    br c{i}, h{i}, n{i}\nh{i}:\n    acc = add acc, {v}\n    jmp n{i}\nn{i}:\n"
+                ));
+                let next = if i + 1 == steps.len() {
+                    "fin".to_string()
+                } else {
+                    format!("s{}", i + 1)
+                };
+                src.push_str(&format!("    jmp {next}\n"));
+            }
+            if loopy {
+                src.push_str("fin:\n    done = eq acc, acc\n    br done, fin, out\nout:\n    halt acc\n}\n");
+            } else {
+                src.push_str("fin:\n    halt acc\n}\n");
+            }
+            src
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Execution is deterministic: two runs of the same program on the
+    /// same input produce identical outcomes and instruction counts.
+    #[test]
+    fn execution_is_deterministic(
+        src in arb_source(),
+        input in prop::collection::vec(any::<u8>(), 0..16)
+    ) {
+        let p = parse_program(&src).expect("template parses");
+        octo_ir::validate::validate(&p).expect("valid");
+        let limits = Limits { max_insts: 50_000, max_call_depth: 8 };
+        let mut vm1 = Vm::new(&p, &input).with_limits(limits);
+        let out1 = vm1.run();
+        let mut vm2 = Vm::new(&p, &input).with_limits(limits);
+        let out2 = vm2.run();
+        prop_assert_eq!(out1, out2);
+        prop_assert_eq!(vm1.insts_executed(), vm2.insts_executed());
+    }
+
+    /// The watchdog bounds every execution: no run exceeds the limit by
+    /// more than one instruction.
+    #[test]
+    fn watchdog_bounds_execution(
+        src in arb_source(),
+        input in prop::collection::vec(any::<u8>(), 0..16),
+        budget in 10u64..500,
+    ) {
+        let p = parse_program(&src).expect("template parses");
+        let mut vm = Vm::new(&p, &input).with_limits(Limits {
+            max_insts: budget,
+            max_call_depth: 8,
+        });
+        let _ = vm.run();
+        prop_assert!(vm.insts_executed() <= budget + 1);
+    }
+
+    /// Clean exits return the accumulator; crashes only come from the
+    /// watchdog in this template family (no memory ops, no traps).
+    #[test]
+    fn template_family_crashes_only_via_watchdog(
+        src in arb_source(),
+        input in prop::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let p = parse_program(&src).expect("template parses");
+        let out = Vm::new(&p, &input)
+            .with_limits(Limits { max_insts: 50_000, max_call_depth: 8 })
+            .run();
+        if let RunOutcome::Crash(report) = out {
+            prop_assert_eq!(report.kind, octo_vm::CrashKind::InfiniteLoop);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Head-to-head: greybox fuzzing vs PoC reforming on the gif2png pair.
+//!
+//! Reproduces the flavour of Table V on the one target where fuzzing has a
+//! fighting chance (the artificial gif2png: a shallow size-byte bug behind
+//! a strict version check). AFLFast finds the crash by mutation; OctoPoCs
+//! reforms the original PoC directly. On the magic-gated targets (Idx 7
+//! and 8) the fuzzers exhaust 20 virtual hours — run
+//! `cargo run --release -p octo-bench --bin table5` for the full
+//! comparison.
+//!
+//! ```text
+//! cargo run --release --example fuzz_comparison
+//! ```
+
+use octo_corpus::pair_by_idx;
+use octo_fuzz::{run_aflfast, FuzzConfig, FuzzOutcome, FuzzTarget};
+use octo_poc::formats::mini_gif;
+use octopocs::{verify, PipelineConfig, SoftwarePairInput};
+
+fn main() {
+    // Table II Idx 9: gif2png → gif2png (artificial).
+    let pair = pair_by_idx(9).expect("Idx 9 exists");
+    let shared = pair.t.resolve_names(pair.shared.iter().map(String::as_str));
+
+    // --- AFLFast, seeded with a valid GIF, 1 virtual hour budget. ---
+    let target = FuzzTarget {
+        program: &pair.t,
+        shared,
+        limits: octo_vm::Limits::default(),
+    };
+    let seed = mini_gif::Builder::new().block(&[1, 2, 3]).build();
+    let config = FuzzConfig {
+        budget_virtual_secs: 3_600.0,
+        ..FuzzConfig::default()
+    };
+    println!("AFLFast fuzzing {} (1 virtual hour budget)...", pair.t_name);
+    match run_aflfast(&target, &[seed], config) {
+        FuzzOutcome::CrashFound {
+            input,
+            stats,
+            crash,
+        } => {
+            println!(
+                "  crash after {:.1} virtual s, {} execs ({} edges, {} paths)",
+                stats.virtual_seconds, stats.execs, stats.edges, stats.distinct_paths
+            );
+            println!(
+                "  crashing input: {} bytes, class {}",
+                input.len(),
+                crash.kind.class()
+            );
+        }
+        FuzzOutcome::BudgetExhausted { stats } => {
+            println!("  budget exhausted after {} execs", stats.execs)
+        }
+        FuzzOutcome::ToolError { message } => println!("  tool error: {message}"),
+    }
+
+    // --- OctoPoCs: reform the disclosed PoC. ---
+    println!("\nOctoPoCs reforming the disclosed PoC...");
+    let input = SoftwarePairInput {
+        s: &pair.s,
+        t: &pair.t,
+        poc: &pair.poc,
+        shared: &pair.shared,
+    };
+    let t0 = std::time::Instant::now();
+    let report = verify(&input, &PipelineConfig::default());
+    println!(
+        "  verdict {} in {:.2} wall s (symex backtracks: {})",
+        report.verdict,
+        t0.elapsed().as_secs_f64(),
+        report
+            .symex_stats
+            .as_ref()
+            .map(|s| s.backtracks)
+            .unwrap_or(0)
+    );
+    if let Some(poc_prime) = report.poc_prime() {
+        let diff = pair.poc.diff(poc_prime);
+        println!(
+            "  poc' differs from poc at {} offsets (version bytes were fixed up):",
+            diff.len()
+        );
+        for (off, old, new) in diff.iter().take(8) {
+            println!("    offset {off:>3}: {old:#04x} -> {new:#04x}");
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! The paper's §II-C motivating "triggered case": a JPEG2000 vulnerability
+//! propagated from OpenJPEG's `opj_dump` into MuPDF.
+//!
+//! The original PoC is a malicious raw J2K codestream; MuPDF "can receive
+//! only a PDF file as input", so the PoC as-is does nothing. OctoPoCs
+//! extracts the crash primitive from the J2K file and re-wraps it in a
+//! guiding input that drives MuPDF's PDF parser to the shared decoder —
+//! "changing the header part of the original JPEG file into PDF file
+//! format".
+//!
+//! ```text
+//! cargo run --release --example mutool_reform
+//! ```
+
+use octo_corpus::pair_by_idx;
+use octo_vm::Vm;
+use octopocs::{verify, PipelineConfig, SoftwarePairInput, Verdict};
+
+fn main() {
+    // Table II Idx 8: S = opj_dump 2.1.1, T = MuPDF 1.9.
+    let pair = pair_by_idxx();
+    println!(
+        "S = {} {}   T = {} {}",
+        pair.s_name, pair.s_version, pair.t_name, pair.t_version
+    );
+    println!("vulnerability: {} ({})\n", pair.vuln_id, pair.cwe);
+
+    println!(
+        "original poc ({} bytes — a raw mini-J2K codestream):",
+        pair.poc.len()
+    );
+    println!("{}", pair.poc.hexdump());
+
+    // 1. The original PoC crashes S ...
+    let s_out = Vm::new(&pair.s, pair.poc.bytes()).run();
+    println!("S(poc)  -> {s_out:?}");
+
+    // 2. ... but not T (MuPDF wants a PDF).
+    let t_out = Vm::new(&pair.t, pair.poc.bytes()).run();
+    println!("T(poc)  -> {t_out:?}   (the PoC does not even pass the header check)\n");
+
+    // 3. Reform the PoC.
+    let input = SoftwarePairInput {
+        s: &pair.s,
+        t: &pair.t,
+        poc: &pair.poc,
+        shared: &pair.shared,
+    };
+    let report = verify(&input, &PipelineConfig::default());
+    let Verdict::Triggered {
+        kind, poc_prime, ..
+    } = &report.verdict
+    else {
+        panic!("expected a triggered verdict, got {:?}", report.verdict);
+    };
+    println!("verdict: triggered, {kind} (guiding input had to change)");
+    println!(
+        "reformed poc' ({} bytes — now a mini-PDF with the J2K crash primitive inside):",
+        poc_prime.len()
+    );
+    println!("{}", poc_prime.hexdump());
+
+    // 4. Demonstrate the reformed PoC.
+    let t_out = Vm::new(&pair.t, poc_prime.bytes()).run();
+    println!("T(poc') -> {t_out:?}");
+    let crash = t_out.crash().expect("poc' crashes T");
+    println!("\ncrash backtrace in T:\n{}", crash.backtrace);
+}
+
+fn pair_by_idxx() -> octo_corpus::SoftwarePair {
+    pair_by_idx(8).expect("Idx 8 exists")
+}

@@ -1,0 +1,101 @@
+//! Quickstart: verify a propagated vulnerability end-to-end.
+//!
+//! Defines a tiny original software `S` (crashes when the shared decoder
+//! sees a magic byte) and a propagated software `T` (same cloned decoder
+//! behind a different header), then runs the full OctoPoCs pipeline and
+//! prints the reformed PoC.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use octo_ir::parse::parse_program;
+use octo_poc::PocFile;
+use octopocs::{verify, PipelineConfig, SoftwarePairInput, Verdict};
+
+/// The cloned vulnerable function: crashes on input byte 0x41.
+const SHARED: &str = r#"
+func decode(fd) {
+entry:
+    v = getc fd
+    c = eq v, 0x41
+    br c, boom, fine
+boom:
+    buf = alloc 4
+    store.1 buf + 4, v
+    jmp fine
+fine:
+    ret
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // S reads its one-byte payload directly.
+    let s = parse_program(&format!(
+        r#"
+func main() {{
+entry:
+    fd = open
+    call decode(fd)
+    halt 0
+}}
+{SHARED}
+"#
+    ))?;
+
+    // T requires an "OK" two-byte header before the cloned decoder runs.
+    let t = parse_program(&format!(
+        r#"
+func main() {{
+entry:
+    fd = open
+    h1 = getc fd
+    ok1 = eq h1, 'O'
+    br ok1, second, rej
+second:
+    h2 = getc fd
+    ok2 = eq h2, 'K'
+    br ok2, go, rej
+go:
+    call decode(fd)
+    halt 0
+rej:
+    halt 1
+}}
+{SHARED}
+"#
+    ))?;
+
+    // The original PoC crashes S but not T (wrong header).
+    let poc = PocFile::from(&b"A"[..]);
+    let shared = vec!["decode".to_string()];
+
+    let input = SoftwarePairInput {
+        s: &s,
+        t: &t,
+        poc: &poc,
+        shared: &shared,
+    };
+    let report = verify(&input, &PipelineConfig::default());
+
+    println!(
+        "ep              : {}",
+        report.ep_name.as_deref().unwrap_or("?")
+    );
+    println!("ep entries in S : {}", report.ep_entries);
+    println!("verdict         : {}", report.verdict);
+    match &report.verdict {
+        Verdict::Triggered {
+            kind, poc_prime, ..
+        } => {
+            println!("classification  : {kind}");
+            println!("reformed poc' ({} bytes):", poc_prime.len());
+            println!("{}", poc_prime.hexdump());
+            // Demonstrate it: run T on poc'.
+            let out = octo_vm::Vm::new(&t, poc_prime.bytes()).run();
+            println!("T(poc') outcome : {out:?}");
+        }
+        other => println!("unexpected verdict: {other:?}"),
+    }
+    Ok(())
+}

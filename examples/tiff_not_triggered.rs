@@ -1,0 +1,63 @@
+//! The paper's §II-C "non-triggered case": the LibTIFF CVE-2016-10095
+//! stack overflow cloned into OpenJPEG's `opj_compress`.
+//!
+//! The vulnerable `_TIFFVGetField` is present in the target, but
+//! `tiftoimage` only ever calls it with seven hard-coded tag values — the
+//! crash-triggering tag `0x13d` can never be delivered. OctoPoCs discovers
+//! this when the combine-phase constraints become unsatisfiable and
+//! verifies the vulnerability as *not triggerable* (Type-III), which is
+//! exactly the information a developer needs to deprioritise the patch.
+//!
+//! ```text
+//! cargo run --release --example tiff_not_triggered
+//! ```
+
+use octo_corpus::pair_by_idx;
+use octo_vm::Vm;
+use octopocs::{verify, NotTriggerableReason, PipelineConfig, SoftwarePairInput, Verdict};
+
+fn main() {
+    // Table II Idx 10: S = tiffsplit 4.0.6, T = opj_compress 2.3.1.
+    let pair = pair_by_idx(10).expect("Idx 10 exists");
+    println!(
+        "S = {} {}   T = {} {}",
+        pair.s_name, pair.s_version, pair.t_name, pair.t_version
+    );
+    println!("vulnerability: {} ({})\n", pair.vuln_id, pair.cwe);
+
+    // The PoC demonstrably crashes S (tag 0x13d reaches the clone).
+    let s_out = Vm::new(&pair.s, pair.poc.bytes()).run();
+    println!("S(poc) -> {s_out:?}");
+    let crash = s_out.crash().expect("S crashes");
+    println!("S crash: {} [{}]\n", crash.kind, crash.kind.class());
+
+    // Verification proves the clone cannot be triggered in T.
+    let input = SoftwarePairInput {
+        s: &pair.s,
+        t: &pair.t,
+        poc: &pair.poc,
+        shared: &pair.shared,
+    };
+    let report = verify(&input, &PipelineConfig::default());
+    match &report.verdict {
+        Verdict::NotTriggerable { reason } => {
+            println!("verdict: NOT triggerable (Type-III)");
+            println!("reason : {reason}");
+            assert_eq!(*reason, NotTriggerableReason::UnsatisfiableConstraints);
+            println!(
+                "\nThe shared `tiff_vget_field` is reachable in {}, but every call\n\
+                 site passes a hard-coded tag — the recorded crash argument 0x13d\n\
+                 conflicts with all of them, so no input file can trigger the clone.",
+                pair.t_name
+            );
+        }
+        other => panic!("expected Type-III, got {other:?}"),
+    }
+    println!(
+        "\npipeline: ep={} entries={} p1={} insts, wall={:.3}s",
+        report.ep_name.as_deref().unwrap_or("?"),
+        report.ep_entries,
+        report.p1_insts,
+        report.wall_seconds
+    );
+}

@@ -1,0 +1,63 @@
+//! Execution-trace view of PoC reforming: why the original PoC dies in
+//! the target and where the reformed one goes instead.
+//!
+//! Uses the VM's PIN-style trace recorder on the Idx-9 pair (gif2png →
+//! artificial gif2png): the original PoC carries an invalid GIF version,
+//! so the hardened target bails in its version check; the reformed PoC
+//! sails through into the cloned `read_image` and crashes there.
+//!
+//! ```text
+//! cargo run --release --example trace_diff
+//! ```
+
+use octo_corpus::pair_by_idx;
+use octo_vm::{TraceHook, Vm};
+use octopocs::{verify, PipelineConfig, SoftwarePairInput};
+
+fn main() {
+    let pair = pair_by_idx(9).expect("Idx 9 exists");
+    println!(
+        "pair: {} {} -> {} {}\n",
+        pair.s_name, pair.s_version, pair.t_name, pair.t_version
+    );
+
+    // Reform the PoC first.
+    let input = SoftwarePairInput {
+        s: &pair.s,
+        t: &pair.t,
+        poc: &pair.poc,
+        shared: &pair.shared,
+    };
+    let report = verify(&input, &PipelineConfig::default());
+    let poc_prime = report.poc_prime().expect("Idx 9 is Type-II triggered");
+
+    // Trace the original PoC through T.
+    let mut orig = TraceHook::with_limit(64);
+    let out_orig = Vm::new(&pair.t, pair.poc.bytes()).run_hooked(&mut orig);
+    println!("--- T(original poc): {out_orig:?}");
+    print!("{}", orig.trace.render(&pair.t));
+
+    // Trace the reformed PoC through T.
+    let mut reformed = TraceHook::with_limit(64);
+    let out_ref = Vm::new(&pair.t, poc_prime.bytes()).run_hooked(&mut reformed);
+    println!("\n--- T(reformed poc'): {out_ref:?}");
+    print!("{}", reformed.trace.render(&pair.t));
+
+    // Where do they part ways?
+    match orig.trace.divergence(&reformed.trace) {
+        Some(i) => println!(
+            "\ntraces diverge at event #{i}: {:?} vs {:?}",
+            orig.trace.events()[i],
+            reformed.trace.events()[i]
+        ),
+        None => println!("\none trace is a prefix of the other"),
+    }
+
+    let ep = pair.t.func_by_name(&pair.shared[0]).expect("clone in T");
+    println!(
+        "\nep (`{}`) entries — original: {}, reformed: {}",
+        pair.shared[0],
+        orig.trace.entry_count(ep),
+        reformed.trace.entry_count(ep)
+    );
+}

@@ -1,0 +1,2 @@
+//! Umbrella package hosting the repository-level integration tests and examples.
+#![warn(missing_docs)]

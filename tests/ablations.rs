@@ -1,0 +1,172 @@
+//! Pipeline-level ablation tests for the design decisions in DESIGN.md §5.
+
+use octo_corpus::pair_by_idx;
+use octopocs::{verify, NotTriggerableReason, PipelineConfig, SoftwarePairInput, Verdict};
+
+fn run(idx: u32, config: PipelineConfig) -> Verdict {
+    let pair = pair_by_idx(idx).expect("pair");
+    let input = SoftwarePairInput {
+        s: &pair.s,
+        t: &pair.t,
+        poc: &pair.poc,
+        shared: &pair.shared,
+    };
+    verify(&input, &config).verdict
+}
+
+#[test]
+fn static_cfg_loses_the_mupdf_verdict() {
+    // §IV-B: the dynamic CFG is the default because only it contains
+    // indirect edges. With the static CFG, MuPDF's dispatch edge is
+    // missing, `ep` looks unreachable, and the pipeline wrongly concludes
+    // Type-III — the vulnerability IS triggerable (Table II says Type-II).
+    let dynamic = run(8, PipelineConfig::default());
+    assert!(
+        matches!(dynamic, Verdict::Triggered { .. }),
+        "dynamic CFG must verify MuPDF: {dynamic:?}"
+    );
+    let static_ = run(8, PipelineConfig::default().static_cfg());
+    assert!(
+        matches!(
+            static_,
+            Verdict::NotTriggerable {
+                reason: NotTriggerableReason::EpNotCalled
+            }
+        ),
+        "static CFG must miss the indirect path: {static_:?}"
+    );
+}
+
+#[test]
+fn static_cfg_is_sufficient_without_indirection() {
+    // On targets with only direct control flow the two modes agree.
+    for idx in [1u32, 6, 9] {
+        let dynamic = run(idx, PipelineConfig::default());
+        let static_ = run(idx, PipelineConfig::default().static_cfg());
+        assert_eq!(
+            dynamic.type_label(),
+            static_.type_label(),
+            "Idx-{idx}: CFG modes disagree"
+        );
+    }
+}
+
+#[test]
+fn tiny_theta_breaks_the_loop_heavy_pair() {
+    // gif2png's first image block needs ~40 copy-loop iterations inside ℓ
+    // at the first ep entry; θ=4 cannot cover them and verification
+    // degrades from the correct Type-II.
+    let generous = run(9, PipelineConfig::default());
+    assert!(
+        matches!(generous, Verdict::Triggered { .. }),
+        "θ=120 must verify gif2png: {generous:?}"
+    );
+    let starved = run(9, PipelineConfig::default().with_theta(4));
+    assert!(
+        !matches!(starved, Verdict::Triggered { .. }),
+        "θ=4 should not verify the 40-iteration block copy: {starved:?}"
+    );
+}
+
+#[test]
+fn theta_does_not_matter_for_straight_line_pairs() {
+    // Pairs whose paths to ep are loop-free verify identically at any θ.
+    for theta in [2u32, 120] {
+        let verdict = run(5, PipelineConfig::default().with_theta(theta));
+        assert!(
+            matches!(verdict, Verdict::Triggered { .. }),
+            "Idx-5 at θ={theta}: {verdict:?}"
+        );
+    }
+}
+
+#[test]
+fn word_level_taint_bloats_primitives_on_partial_buffer_use() {
+    // DESIGN.md §5 decision 5 / paper §IV-A: byte-level tainting is
+    // required for precision. The effect shows whenever ℓ consumes only a
+    // *subset* of an uploaded buffer: word-level grouping drags the
+    // untouched neighbours into the bunch. (The corpus ℓ functions consume
+    // their whole header buffers, so this uses a dedicated S.)
+    use octo_ir::parse::parse_program;
+    use octo_poc::PocFile;
+    use octo_taint::{extract_crash_primitives, TaintConfig};
+    let s = parse_program(
+        r#"
+func main() {
+entry:
+    fd = open
+    buf = alloc 8
+    n = read fd, buf, 8
+    call shared(buf)
+    halt 0
+}
+func shared(p) {
+entry:
+    v = load.1 p + 2
+    c = eq v, 0x7F
+    br c, boom, fine
+boom:
+    trap 1
+fine:
+    ret
+}
+"#,
+    )
+    .expect("parses");
+    let poc = PocFile::from(&[0u8, 1, 0x7F, 3, 4, 5, 6, 7][..]);
+    let ep = s.func_by_name("shared").unwrap();
+    let byte = extract_crash_primitives(&s, &poc, &TaintConfig::new(ep, vec![ep]))
+        .expect("byte-level extraction");
+    let word = extract_crash_primitives(&s, &poc, &TaintConfig::new(ep, vec![ep]).word_level())
+        .expect("word-level extraction");
+    assert_eq!(byte.primitives.total_bytes(), 1, "byte-level is precise");
+    assert!(
+        word.primitives.total_bytes() > byte.primitives.total_bytes(),
+        "word-level must over-taint: {} vs {}",
+        word.primitives.total_bytes(),
+        byte.primitives.total_bytes()
+    );
+}
+
+#[test]
+fn loop_acceleration_rescues_starved_theta() {
+    // The §III-D future-work extension at pipeline level: with θ starved
+    // below gif2png's 40-iteration block copy, plain directed execution
+    // fails, but loop acceleration makes the forced copy-loop branches
+    // free and the verdict returns.
+    let starved = run(9, PipelineConfig::default().with_theta(4));
+    assert!(
+        !matches!(starved, Verdict::Triggered { .. }),
+        "θ=4 without acceleration: {starved:?}"
+    );
+    let rescued = run(
+        9,
+        PipelineConfig::default().with_theta(4).accelerate_loops(),
+    );
+    assert!(
+        matches!(rescued, Verdict::Triggered { .. }),
+        "θ=4 with acceleration: {rescued:?}"
+    );
+}
+
+#[test]
+fn loop_acceleration_does_not_change_correct_verdicts() {
+    // Acceleration is an optimisation, not a semantics change: every
+    // corpus row classifies identically with it enabled.
+    for pair in octo_corpus::all_pairs() {
+        let input = SoftwarePairInput {
+            s: &pair.s,
+            t: &pair.t,
+            poc: &pair.poc,
+            shared: &pair.shared,
+        };
+        let plain = verify(&input, &PipelineConfig::default());
+        let accel = verify(&input, &PipelineConfig::default().accelerate_loops());
+        assert_eq!(
+            plain.verdict.type_label(),
+            accel.verdict.type_label(),
+            "Idx-{}: acceleration changed the verdict",
+            pair.idx
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Property tests over the whole pipeline: randomly generated software
+//! pairs must verify correctly.
+//!
+//! The generator produces "gated reader" pairs: `S` guards the shared
+//! vulnerable decoder behind a random sequence of byte gates; `T` guards
+//! the *same cloned decoder* behind a different random gate sequence. For
+//! every generated pair the pipeline must report the vulnerability as
+//! triggered and the reformed `poc'` must actually crash `T` inside the
+//! clone — across hundreds of random shapes, not just the 15 corpus rows.
+
+use octo_ir::parse::parse_program;
+use octo_ir::Program;
+use octo_poc::PocFile;
+use octopocs::{verify, PipelineConfig, SoftwarePairInput, TriggerKind, Verdict};
+use proptest::prelude::*;
+
+/// The cloned vulnerable function: crashes when its input byte equals the
+/// trigger value.
+fn shared_fragment(trigger: u8) -> String {
+    format!(
+        r#"
+func decode(fd) {{
+entry:
+    v = getc fd
+    c = eq v, {trigger}
+    br c, boom, fine
+boom:
+    buf = alloc 4
+    store.1 buf + 4, v
+    jmp fine
+fine:
+    ret
+}}
+"#
+    )
+}
+
+/// A reader that checks `gates` byte-by-byte, then hands the file to the
+/// cloned decoder.
+fn gated_reader(gates: &[u8], trigger: u8) -> Program {
+    let mut src = String::from("func main() {\nentry:\n    fd = open\n    jmp g0\n");
+    for (i, g) in gates.iter().enumerate() {
+        src.push_str(&format!(
+            "g{i}:\n    b{i} = getc fd\n    c{i} = eq b{i}, {g}\n    br c{i}, g{next}, rej\n",
+            next = i + 1
+        ));
+    }
+    src.push_str(&format!(
+        "g{}:\n    call decode(fd)\n    halt 0\nrej:\n    halt 1\n}}\n{}",
+        gates.len(),
+        shared_fragment(trigger)
+    ));
+    parse_program(&src).expect("generated reader parses")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any propagated gated pair is verified as triggered, with the
+    /// correct Type-I/Type-II split, and the reformed PoC works.
+    #[test]
+    fn random_gated_pairs_verify_as_triggered(
+        s_gates in prop::collection::vec(1u8..=255, 0..4),
+        t_gates in prop::collection::vec(1u8..=255, 0..4),
+        trigger in 1u8..=255,
+    ) {
+        let s = gated_reader(&s_gates, trigger);
+        let t = gated_reader(&t_gates, trigger);
+        let mut poc_bytes = s_gates.clone();
+        poc_bytes.push(trigger);
+        let poc = PocFile::new(poc_bytes);
+        let shared = vec!["decode".to_string()];
+        let input = SoftwarePairInput { s: &s, t: &t, poc: &poc, shared: &shared };
+        let report = verify(&input, &PipelineConfig::default());
+
+        let Verdict::Triggered { kind, poc_prime, .. } = &report.verdict else {
+            return Err(TestCaseError::fail(format!(
+                "expected triggered, got {:?} (s_gates={s_gates:?}, t_gates={t_gates:?})",
+                report.verdict
+            )));
+        };
+        // The reformed PoC crashes T inside the clone.
+        let out = octo_vm::Vm::new(&t, poc_prime.bytes()).run();
+        let crash = out.crash().expect("poc' must crash T");
+        let decode = t.func_by_name("decode").expect("clone in T");
+        prop_assert!(crash.backtrace.any_in(&[decode]));
+        // poc' layout: T's gates then the trigger byte.
+        for (i, g) in t_gates.iter().enumerate() {
+            prop_assert_eq!(poc_prime.byte(i as u32), *g);
+        }
+        prop_assert_eq!(poc_prime.byte(t_gates.len() as u32), trigger);
+        // Identical gates ⇒ the original guiding input fits ⇒ Type-I.
+        if t_gates == s_gates {
+            prop_assert_eq!(*kind, TriggerKind::TypeI);
+        }
+    }
+
+    /// If the trigger value can never be delivered in T (hard-coded
+    /// argument), verification must say Type-III, never Triggered.
+    #[test]
+    fn hardcoded_argument_pairs_verify_as_not_triggerable(
+        s_gates in prop::collection::vec(1u8..=255, 0..3),
+        fixed_arg in 0u64..=255,
+        trigger in 1u8..=255,
+    ) {
+        prop_assume!(fixed_arg != u64::from(trigger));
+        let s = gated_reader(&s_gates, trigger);
+        // T calls the clone with a constant byte that differs from the
+        // trigger — the tiffsplit/opj_compress situation.
+        let t_src = format!(
+            r#"
+func main() {{
+entry:
+    fd = open
+    buf = alloc 1
+    store.1 buf, {fixed_arg}
+    call decode_wrap(buf)
+    halt 0
+}}
+func decode_wrap(p) {{
+entry:
+    v = load.1 p
+    c = eq v, {trigger}
+    br c, boom, fine
+boom:
+    ob = alloc 4
+    store.1 ob + 4, v
+    jmp fine
+fine:
+    ret
+}}
+"#
+        );
+        let t = parse_program(&t_src).expect("t parses");
+        let mut poc_bytes = s_gates.clone();
+        poc_bytes.push(trigger);
+        let poc = PocFile::new(poc_bytes);
+        // ℓ here is the decoder in S; T's clone has a different name on
+        // purpose — ep missing means the vulnerable code is absent, which
+        // must never be reported as triggered.
+        let shared = vec!["decode".to_string()];
+        let input = SoftwarePairInput { s: &s, t: &t, poc: &poc, shared: &shared };
+        let report = verify(&input, &PipelineConfig::default());
+        prop_assert!(
+            !report.verdict.poc_generated(),
+            "must not claim triggered: {:?}",
+            report.verdict
+        );
+    }
+}

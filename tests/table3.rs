@@ -1,0 +1,68 @@
+//! Integration test: Table III — context-aware vs context-free taint.
+//!
+//! The paper: "the taint analysis technique without context information
+//! failed to generate poc' in three of nine datasets, whereas
+//! context-aware taint analysis successfully generated poc' for all
+//! cases." The three failing rows are exactly the pairs where `S` enters
+//! `ep` multiple times (flagged `multi_entry` in the corpus).
+
+use octo_corpus::all_pairs;
+use octopocs::{verify, PipelineConfig, SoftwarePairInput, Verdict};
+
+fn run(pair: &octo_corpus::SoftwarePair, config: PipelineConfig) -> Verdict {
+    let input = SoftwarePairInput {
+        s: &pair.s,
+        t: &pair.t,
+        poc: &pair.poc,
+        shared: &pair.shared,
+    };
+    verify(&input, &config).verdict
+}
+
+#[test]
+fn context_aware_succeeds_on_all_nine() {
+    for pair in all_pairs()
+        .into_iter()
+        .filter(|p| p.expected.poc_generated())
+    {
+        let verdict = run(&pair, PipelineConfig::default());
+        assert!(
+            matches!(verdict, Verdict::Triggered { .. }),
+            "Idx-{}: context-aware must verify, got {verdict:?}",
+            pair.idx
+        );
+    }
+}
+
+#[test]
+fn context_free_fails_exactly_on_multi_entry_pairs() {
+    let mut failed = Vec::new();
+    let mut succeeded = Vec::new();
+    for pair in all_pairs()
+        .into_iter()
+        .filter(|p| p.expected.poc_generated())
+    {
+        let verdict = run(&pair, PipelineConfig::default().context_free());
+        let ok = matches!(verdict, Verdict::Triggered { .. });
+        if ok {
+            succeeded.push(pair.idx);
+        } else {
+            failed.push(pair.idx);
+        }
+        assert_eq!(
+            !ok,
+            pair.multi_entry,
+            "Idx-{}: context-free expected {} but verdict was {verdict:?}",
+            pair.idx,
+            if pair.multi_entry {
+                "failure"
+            } else {
+                "success"
+            },
+        );
+    }
+    // Three of nine fail, as in Table III.
+    assert_eq!(failed.len(), 3, "failing rows: {failed:?}");
+    assert_eq!(succeeded.len(), 6);
+    assert_eq!(failed, vec![3, 4, 9]);
+}

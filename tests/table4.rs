@@ -1,0 +1,90 @@
+//! Integration test: Table IV — naive vs directed symbolic execution.
+//!
+//! The shape that must hold (paper Table IV):
+//! * directed execution generates `poc'` on all three comparison pairs;
+//! * naive exploration succeeds only on the smallest target (opj_dump)
+//!   and dies with `MemError` (path explosion) on MuPDF and the
+//!   artificial gif2png;
+//! * on the pair where both succeed, naive consumes at least as much
+//!   memory as directed.
+
+use octo_cfg::{build_cfg, CfgMode, DistanceMap};
+use octo_corpus::pair_by_idx;
+use octo_symex::{
+    DirectedConfig, DirectedEngine, DirectedOutcome, DirectedStats, NaiveExplorer, NaiveOutcome,
+    NaiveStats,
+};
+use octo_taint::{extract_crash_primitives, TaintConfig};
+
+fn run_both(idx: u32) -> (NaiveOutcome, NaiveStats, DirectedOutcome, DirectedStats) {
+    let pair = pair_by_idx(idx).expect("pair");
+    let ep_s = pair.s.func_by_name(&pair.shared[0]).unwrap();
+    let q = extract_crash_primitives(
+        &pair.s,
+        &pair.poc,
+        &TaintConfig::new(
+            ep_s,
+            pair.s.resolve_names(pair.shared.iter().map(String::as_str)),
+        ),
+    )
+    .expect("P1")
+    .primitives;
+
+    let ep_t = pair.t.func_by_name(&pair.shared[0]).unwrap();
+    let file_len = pair.poc.len() as u64 + 64;
+
+    let (n_out, n_stats) = NaiveExplorer::new(&pair.t, file_len, ep_t).run();
+
+    let cfg = build_cfg(&pair.t, CfgMode::Dynamic).expect("cfg");
+    let map = DistanceMap::compute(&pair.t, &cfg, ep_t);
+    let config = DirectedConfig {
+        file_len,
+        ..DirectedConfig::default()
+    };
+    let (d_out, d_stats) = DirectedEngine::new(&pair.t, ep_t, &map, &q, config).run();
+    (n_out, n_stats, d_out, d_stats)
+}
+
+#[test]
+fn directed_generates_poc_on_all_three() {
+    for idx in [7u32, 8, 9] {
+        let (_, _, d_out, _) = run_both(idx);
+        assert!(d_out.generated(), "Idx-{idx}: directed failed: {d_out:?}");
+    }
+}
+
+#[test]
+fn naive_succeeds_only_on_the_small_target() {
+    // Idx 7: T = opj_dump — small enough for undirected exploration.
+    let (n_out, n_stats, _, d_stats) = run_both(7);
+    assert!(
+        matches!(n_out, NaiveOutcome::ReachedTarget { .. }),
+        "opj_dump naive should succeed: {n_out:?}"
+    );
+    // Where both work, naive is not cheaper in memory than directed.
+    assert!(
+        n_stats.peak_mem_bytes >= d_stats.peak_mem_bytes / 4,
+        "naive {} vs directed {}",
+        n_stats.peak_mem_bytes,
+        d_stats.peak_mem_bytes
+    );
+}
+
+#[test]
+fn naive_memerrors_on_mupdf() {
+    let (n_out, n_stats, _, _) = run_both(8);
+    assert!(
+        matches!(n_out, NaiveOutcome::MemError),
+        "MuPDF naive should path-explode: {n_out:?} ({n_stats:?})"
+    );
+    assert!(n_stats.states_created > 100, "{n_stats:?}");
+}
+
+#[test]
+fn naive_memerrors_on_gif2png_artificial() {
+    let (n_out, n_stats, _, _) = run_both(9);
+    assert!(
+        matches!(n_out, NaiveOutcome::MemError),
+        "gif2png(arti.) naive should path-explode: {n_out:?} ({n_stats:?})"
+    );
+}

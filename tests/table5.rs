@@ -1,0 +1,104 @@
+//! Integration test: Table V — fuzzing baselines vs OctoPoCs.
+//!
+//! Shape (with a scaled-down virtual budget; the outcome classes match
+//! the paper's 20-hour runs):
+//! * AFLFast verifies only the artificial gif2png (the shallow bug) and
+//!   exhausts its budget on the magic-gated opj_dump and MuPDF targets;
+//! * AFLGo cannot even start on MuPDF (static-CFG tool error) and
+//!   exhausts its budget on opj_dump;
+//! * OctoPoCs verifies all three.
+
+use octo_corpus::pair_by_idx;
+use octo_fuzz::{run_aflfast, run_aflgo, FuzzConfig, FuzzOutcome, FuzzTarget};
+use octo_poc::formats::{mini_gif, mini_j2k};
+use octopocs::{verify, PipelineConfig, SoftwarePairInput};
+
+fn config(budget: f64) -> FuzzConfig {
+    FuzzConfig {
+        budget_virtual_secs: budget,
+        ..FuzzConfig::default()
+    }
+}
+
+fn target<'p>(pair: &'p octo_corpus::SoftwarePair) -> FuzzTarget<'p> {
+    FuzzTarget {
+        program: &pair.t,
+        shared: pair.t.resolve_names(pair.shared.iter().map(String::as_str)),
+        limits: octo_vm::Limits::default(),
+    }
+}
+
+#[test]
+fn aflfast_cracks_gif2png_but_not_opj_dump() {
+    // gif2png (artificial): shallow bug, valid seed → crash found.
+    let gif = pair_by_idx(9).unwrap();
+    let seed = mini_gif::Builder::new().block(&[1, 2, 3]).build();
+    let out = run_aflfast(&target(&gif), &[seed], config(3_600.0));
+    assert!(
+        matches!(out, FuzzOutcome::CrashFound { .. }),
+        "gif2png: {out:?}"
+    );
+
+    // opj_dump: five exact bytes behind a magic gate → budget exhausted.
+    let opj = pair_by_idx(7).unwrap();
+    let seed = mini_j2k::Builder::new()
+        .components(1)
+        .tile(8, 8)
+        .data(&[1, 2, 3, 4])
+        .build();
+    let out = run_aflfast(&target(&opj), &[seed], config(120.0));
+    assert!(
+        matches!(out, FuzzOutcome::BudgetExhausted { .. }),
+        "opj_dump: {out:?}"
+    );
+}
+
+#[test]
+fn aflgo_tool_errors_on_mupdf() {
+    let mupdf = pair_by_idx(8).unwrap();
+    let t = target(&mupdf);
+    let ep = mupdf.t.func_by_name(&mupdf.shared[0]).unwrap();
+    let out = run_aflgo(&t, ep, &[vec![0u8; 8]], config(60.0));
+    match out {
+        FuzzOutcome::ToolError { message } => {
+            assert!(message.contains("opj_read_header"), "{message}");
+        }
+        other => panic!("expected tool error, got {other:?}"),
+    }
+}
+
+#[test]
+fn aflgo_runs_but_exhausts_on_opj_dump() {
+    let opj = pair_by_idx(7).unwrap();
+    let t = target(&opj);
+    let ep = opj.t.func_by_name(&opj.shared[0]).unwrap();
+    let seed = mini_j2k::Builder::new().components(1).tile(8, 8).build();
+    let out = run_aflgo(&t, ep, &[seed], config(120.0));
+    assert!(
+        matches!(out, FuzzOutcome::BudgetExhausted { .. }),
+        "opj_dump aflgo: {out:?}"
+    );
+}
+
+#[test]
+fn octopocs_verifies_all_three_quickly() {
+    for idx in [7u32, 8, 9] {
+        let pair = pair_by_idx(idx).unwrap();
+        let input = SoftwarePairInput {
+            s: &pair.s,
+            t: &pair.t,
+            poc: &pair.poc,
+            shared: &pair.shared,
+        };
+        let t0 = std::time::Instant::now();
+        let report = verify(&input, &PipelineConfig::default());
+        let secs = t0.elapsed().as_secs_f64();
+        assert!(
+            report.verdict.poc_generated(),
+            "Idx-{idx}: {:?}",
+            report.verdict
+        );
+        // "OctoPoCs required less than 15 min" — we are far below that.
+        assert!(secs < 900.0, "Idx-{idx} took {secs}s");
+    }
+}
