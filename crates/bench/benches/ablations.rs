@@ -22,7 +22,7 @@ fn bench_theta_sweep(c: &mut Criterion) {
     group.sample_size(10);
     let pair = pair_by_idx(9).expect("gif2png pair");
     for theta in [4u32, 16, 120] {
-        group.bench_function(format!("gif2png_theta_{theta:03}"), |b| {
+        group.bench_function(&format!("gif2png_theta_{theta:03}"), |b| {
             b.iter(|| {
                 let input = SoftwarePairInput {
                     s: &pair.s,

@@ -22,10 +22,10 @@ fn bench_table3_taint(c: &mut Criterion) {
         let shared = pair.s.resolve_names(pair.shared.iter().map(String::as_str));
         let aware = TaintConfig::new(ep, shared.clone());
         let plain = TaintConfig::new(ep, shared).context_free();
-        group.bench_function(format!("context_aware_idx_{idx:02}"), |b| {
+        group.bench_function(&format!("context_aware_idx_{idx:02}"), |b| {
             b.iter(|| extract_crash_primitives(&pair.s, &pair.poc, &aware).expect("extracts"));
         });
-        group.bench_function(format!("context_free_idx_{idx:02}"), |b| {
+        group.bench_function(&format!("context_free_idx_{idx:02}"), |b| {
             b.iter(|| extract_crash_primitives(&pair.s, &pair.poc, &plain).expect("extracts"));
         });
     }
@@ -56,7 +56,7 @@ fn bench_table4_symex(c: &mut Criterion) {
             file_len,
             ..DirectedConfig::default()
         };
-        group.bench_function(format!("directed_idx_{idx:02}_{}", pair.t_name), |b| {
+        group.bench_function(&format!("directed_idx_{idx:02}_{}", pair.t_name), |b| {
             b.iter(|| {
                 let engine = DirectedEngine::new(&pair.t, ep_t, &map, &q, config);
                 let (outcome, _) = engine.run();
@@ -82,7 +82,7 @@ fn bench_backward_path_finding(c: &mut Criterion) {
     for idx in [7u32, 8, 9] {
         let pair = pair_by_idx(idx).expect("pair");
         let ep_t = pair.t.func_by_name(&pair.shared[0]).expect("ep in T");
-        group.bench_function(format!("cfg_and_distance_idx_{idx:02}"), |b| {
+        group.bench_function(&format!("cfg_and_distance_idx_{idx:02}"), |b| {
             b.iter(|| {
                 let cfg = build_cfg(&pair.t, CfgMode::Dynamic).expect("cfg");
                 DistanceMap::compute(&pair.t, &cfg, ep_t)

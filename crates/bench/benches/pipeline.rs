@@ -12,7 +12,7 @@ fn bench_table2(c: &mut Criterion) {
     let mut group = c.benchmark_group("table2");
     group.sample_size(10);
     for pair in all_pairs() {
-        group.bench_function(format!("verify_idx_{:02}", pair.idx), |b| {
+        group.bench_function(&format!("verify_idx_{:02}", pair.idx), |b| {
             b.iter_batched(
                 || (),
                 |()| {
@@ -36,7 +36,7 @@ fn bench_table5_octopocs(c: &mut Criterion) {
     group.sample_size(10);
     for idx in [7u32, 8, 9] {
         let pair = pair_by_idx(idx).expect("pair");
-        group.bench_function(format!("octopocs_idx_{idx:02}_{}", pair.t_name), |b| {
+        group.bench_function(&format!("octopocs_idx_{idx:02}_{}", pair.t_name), |b| {
             b.iter(|| {
                 let input = SoftwarePairInput {
                     s: &pair.s,

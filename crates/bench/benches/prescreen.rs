@@ -1,0 +1,52 @@
+//! P0 pre-screen benches: pipeline wall-time with and without
+//! `PipelineConfig::static_prescreen` on the Type-III corpus rows.
+//!
+//! The interesting rows are the ones P0 can decide statically (Idx 10–12,
+//! the hardcoded-argument pairs): there the whole directed symbolic
+//! execution phase is skipped and verification reduces to P1 plus a call
+//! graph walk. On rows P0 cannot decide (Idx 13–14, data-dependent `ep`
+//! arguments) the screen must be close to free — its cost is one
+//! interprocedural constant-propagation pass over `T`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use octo_corpus::pair_by_idx;
+use octopocs::{verify, PipelineConfig, SoftwarePairInput};
+
+fn run(pair: &octo_corpus::SoftwarePair, config: &PipelineConfig) -> octopocs::VerificationReport {
+    let input = SoftwarePairInput {
+        s: &pair.s,
+        t: &pair.t,
+        poc: &pair.poc,
+        shared: &pair.shared,
+    };
+    verify(&input, config)
+}
+
+fn bench_prescreen_type_iii(c: &mut Criterion) {
+    let base = PipelineConfig::default();
+    let screened = PipelineConfig::default().with_static_prescreen();
+    for idx in [10u32, 11, 12, 13, 14] {
+        let pair = pair_by_idx(idx).expect("Type-III pair");
+        let mut group = c.benchmark_group(&format!("prescreen_idx{idx:02}"));
+        group.sample_size(10);
+        group.bench_function("off", |b| {
+            b.iter(|| {
+                let report = run(&pair, &base);
+                assert!(!report.prescreen);
+                report
+            });
+        });
+        group.bench_function("on", |b| {
+            b.iter(|| {
+                let report = run(&pair, &screened);
+                // Idx 10-12 are decided statically; 13-14 fall through.
+                assert_eq!(report.prescreen, idx <= 12);
+                report
+            });
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_prescreen_type_iii);
+criterion_main!(benches);

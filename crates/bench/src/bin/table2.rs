@@ -112,9 +112,6 @@ fn main() {
     }
 
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&rows).expect("serialise")
-        );
+        println!("{}", octo_bench::json::to_json_pretty(&rows));
     }
 }

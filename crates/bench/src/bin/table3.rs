@@ -77,9 +77,6 @@ fn main() {
         rows.len()
     );
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&rows).expect("serialise")
-        );
+        println!("{}", octo_bench::json::to_json_pretty(&rows));
     }
 }

@@ -123,9 +123,6 @@ fn main() {
     );
     println!("†: symbolic execution, ‡: directed symbolic execution, *: memory error.");
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&rows).expect("serialise")
-        );
+        println!("{}", octo_bench::json::to_json_pretty(&rows));
     }
 }

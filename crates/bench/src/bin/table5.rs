@@ -66,12 +66,11 @@ fn run_row(pair: &SoftwarePair, budget_secs: f64) -> Table5Row {
     // virtual clock — run them on scoped threads.
     eprintln!("  [{}] AFLFast + AFLGo ...", pair.t_name);
     let ep_t = pair.t.func_by_name(&pair.shared[0]).expect("ep in T");
-    let (aflfast, aflgo) = crossbeam::thread::scope(|scope| {
-        let fast = scope.spawn(|_| run_aflfast(&target, &seeds, config));
-        let go = scope.spawn(|_| run_aflgo(&target, ep_t, &seeds, config));
+    let (aflfast, aflgo) = std::thread::scope(|scope| {
+        let fast = scope.spawn(|| run_aflfast(&target, &seeds, config));
+        let go = scope.spawn(|| run_aflgo(&target, ep_t, &seeds, config));
         (fast.join().expect("aflfast"), go.join().expect("aflgo"))
-    })
-    .expect("campaign threads");
+    });
 
     eprintln!("  [{}] OctoPoCs ...", pair.t_name);
     let input = SoftwarePairInput {
@@ -149,9 +148,6 @@ fn main() {
          (static CFG cannot reach the target)."
     );
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&rows).expect("serialise")
-        );
+        println!("{}", octo_bench::json::to_json_pretty(&rows));
     }
 }

@@ -10,11 +10,12 @@
 //! | `table5` | Table V — AFLFast / AFLGo / OctoPoCs time-to-verdict (`--full` for the paper's 20-hour virtual budget) |
 //! | `survey` | §II-A PoC-type survey percentages |
 //!
-//! The library half holds the row types (serialisable with `serde`) and
-//! plain-text table rendering shared by the binaries and the Criterion
-//! benches.
+//! The library half holds the row types (serialisable via the
+//! dependency-free [`json`] module) and plain-text table rendering shared
+//! by the binaries and the Criterion benches.
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod render;
 pub mod rows;
 

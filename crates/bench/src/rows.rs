@@ -1,9 +1,25 @@
 //! Serialisable row types for each regenerated table.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{JsonRow, JsonValue};
+
+fn num(v: f64) -> JsonValue {
+    JsonValue::Num(v)
+}
+
+fn opt_num(v: Option<f64>) -> JsonValue {
+    v.map_or(JsonValue::Null, JsonValue::Num)
+}
+
+fn s(v: &str) -> JsonValue {
+    JsonValue::Str(v.to_string())
+}
+
+fn opt_s(v: &Option<String>) -> JsonValue {
+    v.as_ref().map_or(JsonValue::Null, |x| s(x))
+}
 
 /// One Table II row as produced by this reproduction.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table2Row {
     /// Table II index.
     pub idx: u32,
@@ -27,8 +43,25 @@ pub struct Table2Row {
     pub wall_seconds: f64,
 }
 
+impl JsonRow for Table2Row {
+    fn json_fields(&self) -> Vec<(&'static str, JsonValue)> {
+        vec![
+            ("idx", num(f64::from(self.idx))),
+            ("s", s(&self.s)),
+            ("t", s(&self.t)),
+            ("vuln_id", s(&self.vuln_id)),
+            ("cwe", s(&self.cwe)),
+            ("measured", s(&self.measured)),
+            ("expected", s(&self.expected)),
+            ("poc_generated", JsonValue::Bool(self.poc_generated)),
+            ("verified", JsonValue::Bool(self.verified)),
+            ("wall_seconds", num(self.wall_seconds)),
+        ]
+    }
+}
+
 /// One Table III row: context-aware vs context-free taint analysis.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table3Row {
     /// Table II index (1–9, the triggerable pairs).
     pub idx: u32,
@@ -42,8 +75,20 @@ pub struct Table3Row {
     pub context_aware_ok: bool,
 }
 
+impl JsonRow for Table3Row {
+    fn json_fields(&self) -> Vec<(&'static str, JsonValue)> {
+        vec![
+            ("idx", num(f64::from(self.idx))),
+            ("s", s(&self.s)),
+            ("t", s(&self.t)),
+            ("plain_taint_ok", JsonValue::Bool(self.plain_taint_ok)),
+            ("context_aware_ok", JsonValue::Bool(self.context_aware_ok)),
+        ]
+    }
+}
+
 /// One Table IV row: naive vs directed symbolic execution.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table4Row {
     /// Original software.
     pub s: String,
@@ -62,8 +107,22 @@ pub struct Table4Row {
     pub directed_ram_mb: f64,
 }
 
+impl JsonRow for Table4Row {
+    fn json_fields(&self) -> Vec<(&'static str, JsonValue)> {
+        vec![
+            ("s", s(&self.s)),
+            ("t", s(&self.t)),
+            ("naive_seconds", opt_num(self.naive_seconds)),
+            ("naive_ram_mb", opt_num(self.naive_ram_mb)),
+            ("naive_mem_error", JsonValue::Bool(self.naive_mem_error)),
+            ("directed_seconds", num(self.directed_seconds)),
+            ("directed_ram_mb", num(self.directed_ram_mb)),
+        ]
+    }
+}
+
 /// One Table V row: elapsed time to verification per tool.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table5Row {
     /// Original software.
     pub s: String,
@@ -77,6 +136,38 @@ pub struct Table5Row {
     pub aflgo_error: Option<String>,
     /// OctoPoCs seconds to verification.
     pub octopocs_seconds: f64,
+}
+
+impl JsonRow for Table5Row {
+    fn json_fields(&self) -> Vec<(&'static str, JsonValue)> {
+        vec![
+            ("s", s(&self.s)),
+            ("t", s(&self.t)),
+            ("aflfast_seconds", opt_num(self.aflfast_seconds)),
+            ("aflgo_seconds", opt_num(self.aflgo_seconds)),
+            ("aflgo_error", opt_s(&self.aflgo_error)),
+            ("octopocs_seconds", num(self.octopocs_seconds)),
+        ]
+    }
+}
+
+impl Table5Row {
+    /// Parses a row back from its [`crate::json::to_json`] form (used to
+    /// keep the serialisation round-trip testable without serde).
+    pub fn from_json(input: &str) -> Result<Table5Row, String> {
+        let map = crate::json::parse_object(input)?;
+        let get = |k: &str| map.get(k).ok_or_else(|| format!("missing field {k}"));
+        Ok(Table5Row {
+            s: get("s")?.as_str().ok_or("s: not a string")?.to_string(),
+            t: get("t")?.as_str().ok_or("t: not a string")?.to_string(),
+            aflfast_seconds: get("aflfast_seconds")?.as_num(),
+            aflgo_seconds: get("aflgo_seconds")?.as_num(),
+            aflgo_error: get("aflgo_error")?.as_str().map(str::to_string),
+            octopocs_seconds: get("octopocs_seconds")?
+                .as_num()
+                .ok_or("octopocs_seconds: not a number")?,
+        })
+    }
 }
 
 /// Helper: `O`/`X` cells like the paper's tables.
@@ -99,6 +190,7 @@ pub fn secs(v: Option<f64>) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::json::to_json;
 
     #[test]
     fn cells() {
@@ -118,8 +210,11 @@ mod tests {
             aflgo_error: None,
             octopocs_seconds: 1.0,
         };
-        let json = serde_json::to_string(&row).unwrap();
-        let back: Table5Row = serde_json::from_str(&json).unwrap();
+        let json = to_json(&row);
+        let back = Table5Row::from_json(&json).unwrap();
         assert_eq!(back.s, "gif2png");
+        assert_eq!(back.aflfast_seconds, Some(201.0));
+        assert_eq!(back.aflgo_seconds, None);
+        assert_eq!(back.octopocs_seconds, 1.0);
     }
 }

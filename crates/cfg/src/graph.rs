@@ -42,6 +42,43 @@ impl fmt::Display for CfgError {
 
 impl std::error::Error for CfgError {}
 
+/// Statically-derived resolutions of indirect control flow, consumed by
+/// dynamic-mode recovery in place of the address-taken over-approximation.
+///
+/// Produced by `octo-lint`'s constant-propagation pass: when the value
+/// flowing into an `ijmp`/`icall` is a compile-time constant with code
+/// provenance, the exact target set replaces the candidate sweep. A hint
+/// also rescues functions dynamic mode would otherwise reject (an
+/// indirect jump with no address-taken candidates).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CfgHints {
+    /// `(func, block)` → exact successor set of that block's `ijmp`.
+    pub ijmp_targets: Vec<(FuncId, BlockId, Vec<BlockId>)>,
+    /// `(func, block)` → exact callee set of that block's `icall`s.
+    pub icall_targets: Vec<(FuncId, BlockId, Vec<FuncId>)>,
+}
+
+impl CfgHints {
+    /// Whether no hints are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ijmp_targets.is_empty() && self.icall_targets.is_empty()
+    }
+
+    fn ijmp(&self, func: FuncId, block: BlockId) -> Option<&[BlockId]> {
+        self.ijmp_targets
+            .iter()
+            .find(|(f, b, _)| *f == func && *b == block)
+            .map(|(_, _, ts)| ts.as_slice())
+    }
+
+    fn icall(&self, func: FuncId, block: BlockId) -> Option<&[FuncId]> {
+        self.icall_targets
+            .iter()
+            .find(|(f, b, _)| *f == func && *b == block)
+            .map(|(_, _, ts)| ts.as_slice())
+    }
+}
+
 /// Recovered control flow for one function.
 #[derive(Debug, Clone, Default)]
 pub struct FuncCfg {
@@ -102,6 +139,25 @@ impl Cfg {
 /// function — there is nothing for address-taken resolution to propose, so
 /// the recovered graph would silently miss real edges.
 pub fn build_cfg(program: &Program, mode: CfgMode) -> Result<Cfg, CfgError> {
+    build_cfg_with_hints(program, mode, &CfgHints::default())
+}
+
+/// Builds the CFG of `program`, consulting `hints` for indirect flow.
+///
+/// Behaves exactly like [`build_cfg`] except that in [`CfgMode::Dynamic`]
+/// a hinted `ijmp` block takes its successors from the hint (even when no
+/// block address is taken in the function) and a hinted `icall` block
+/// takes its call edges from the hint instead of every address-taken
+/// function.
+///
+/// # Errors
+/// Same as [`build_cfg`]: an unhinted indirect jump in dynamic mode with
+/// no address-taken candidates fails with [`CfgError`].
+pub fn build_cfg_with_hints(
+    program: &Program,
+    mode: CfgMode,
+    hints: &CfgHints,
+) -> Result<Cfg, CfgError> {
     // Functions whose address is taken anywhere in the program are indirect
     // call candidates.
     let mut addr_taken_funcs: Vec<FuncId> = Vec::new();
@@ -118,7 +174,7 @@ pub fn build_cfg(program: &Program, mode: CfgMode) -> Result<Cfg, CfgError> {
     }
 
     let mut funcs = Vec::with_capacity(program.function_count());
-    for (_, f) in program.iter() {
+    for (fid, f) in program.iter() {
         let n = f.blocks.len();
         let mut succs: Vec<Vec<BlockId>> = vec![Vec::new(); n];
         let mut calls: Vec<(BlockId, FuncId)> = Vec::new();
@@ -143,8 +199,9 @@ pub fn build_cfg(program: &Program, mode: CfgMode) -> Result<Cfg, CfgError> {
                 match inst {
                     Inst::Call { callee, .. } => calls.push((bid, *callee)),
                     Inst::CallIndirect { .. } if mode == CfgMode::Dynamic => {
-                        for cand in &addr_taken_funcs {
-                            calls.push((bid, *cand));
+                        match hints.icall(fid, bid) {
+                            Some(exact) => calls.extend(exact.iter().map(|cand| (bid, *cand))),
+                            None => calls.extend(addr_taken_funcs.iter().map(|cand| (bid, *cand))),
                         }
                     }
                     _ => {}
@@ -154,7 +211,9 @@ pub fn build_cfg(program: &Program, mode: CfgMode) -> Result<Cfg, CfgError> {
                 Terminator::JmpIndirect { .. } => match mode {
                     CfgMode::Static => unresolved.push(bid),
                     CfgMode::Dynamic => {
-                        if addr_taken_blocks.is_empty() {
+                        if let Some(exact) = hints.ijmp(fid, bid) {
+                            succs[bi].extend(exact.iter().copied());
+                        } else if addr_taken_blocks.is_empty() {
                             return Err(CfgError {
                                 func: f.name.clone(),
                                 block: bid,
@@ -162,8 +221,9 @@ pub fn build_cfg(program: &Program, mode: CfgMode) -> Result<Cfg, CfgError> {
                                          targets; cannot recover edges"
                                     .into(),
                             });
+                        } else {
+                            succs[bi].extend(addr_taken_blocks.iter().copied());
                         }
-                        succs[bi].extend(addr_taken_blocks.iter().copied());
                     }
                 },
                 term => succs[bi].extend(term.static_successors()),
@@ -298,6 +358,60 @@ entry:
         // Static mode sees only the direct call.
         let cfg_s = build_cfg(&p, CfgMode::Static).unwrap();
         assert_eq!(cfg_s.func(p.entry()).calls.len(), 1);
+    }
+
+    #[test]
+    fn hints_narrow_indirect_jump_edges() {
+        let p = parse_program(DISPATCH).unwrap();
+        let main = p.func(p.entry());
+        let go = main.block_by_label("go").unwrap();
+        let a = main.block_by_label("blk_a").unwrap();
+        let hints = CfgHints {
+            ijmp_targets: vec![(p.entry(), go, vec![a])],
+            icall_targets: Vec::new(),
+        };
+        let cfg = build_cfg_with_hints(&p, CfgMode::Dynamic, &hints).unwrap();
+        assert_eq!(cfg.func(p.entry()).succs[go.0 as usize], vec![a]);
+    }
+
+    #[test]
+    fn hints_rescue_computed_goto_and_narrow_icalls() {
+        // No baddr anywhere: plain dynamic mode fails, a hint rescues it.
+        let src = r#"
+func main() {
+entry:
+    t = 7
+    ijmp t
+other:
+    g = faddr f
+    h = faddr g2
+    s = icall g(2)
+    halt s
+}
+func f(a) {
+entry:
+    ret a
+}
+func g2(a) {
+entry:
+    ret a
+}
+"#;
+        let p = parse_program(src).unwrap();
+        assert!(build_cfg(&p, CfgMode::Dynamic).is_err());
+        let main = p.func(p.entry());
+        let entry = main.block_by_label("entry").unwrap();
+        let other = main.block_by_label("other").unwrap();
+        let f = p.func_by_name("f").unwrap();
+        let hints = CfgHints {
+            ijmp_targets: vec![(p.entry(), entry, vec![other])],
+            icall_targets: vec![(p.entry(), other, vec![f])],
+        };
+        let cfg = build_cfg_with_hints(&p, CfgMode::Dynamic, &hints).unwrap();
+        let mc = cfg.func(p.entry());
+        assert_eq!(mc.succs[entry.0 as usize], vec![other]);
+        // The icall contributes only the hinted callee, not both faddr'd funcs.
+        assert_eq!(mc.calls, vec![(other, f)]);
     }
 
     #[test]

@@ -48,5 +48,5 @@ pub mod graph;
 pub mod loops;
 
 pub use distance::{shortest_path, DistanceMap, Node};
-pub use graph::{build_cfg, Cfg, CfgError, CfgMode, FuncCfg};
+pub use graph::{build_cfg, build_cfg_with_hints, Cfg, CfgError, CfgHints, CfgMode, FuncCfg};
 pub use loops::{natural_loops, Dominators, NaturalLoop};

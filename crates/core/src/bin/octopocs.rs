@@ -3,7 +3,8 @@
 //! ```text
 //! octopocs --s S.mir --t T.mir --poc poc.bin --shared f1,f2 [--out poc_prime.bin]
 //!          [--minimize] [--theta N] [--accelerate-loops] [--static-cfg]
-//!          [--context-free] [--json]
+//!          [--context-free] [--prescreen] [--json]
+//! octopocs lint program.mir [--format human|json]
 //! ```
 //!
 //! `S.mir`/`T.mir` are MicroIR assembly files (the dialect of
@@ -12,6 +13,11 @@
 //! 0 = triggered (a working `poc'` exists; written to `--out` when given),
 //! 1 = verified not triggerable, 2 = verification failure, 3 = usage or
 //! input error.
+//!
+//! The `lint` subcommand runs the `octo-lint` static analyses over one
+//! MicroIR program and prints the diagnostics (severity, function/block
+//! location, rule id). Exit code 0 = clean or warnings only, 1 = at least
+//! one error-severity diagnostic, 3 = unreadable or unparsable input.
 
 use std::process::ExitCode;
 
@@ -30,13 +36,15 @@ struct Args {
     accelerate_loops: bool,
     static_cfg: bool,
     context_free: bool,
+    prescreen: bool,
     json: bool,
 }
 
 fn usage() -> String {
     "usage: octopocs --s S.mir --t T.mir --poc poc.bin --shared f1,f2 \
      [--out poc_prime.bin] [--minimize] [--theta N] [--accelerate-loops] \
-     [--static-cfg] [--context-free] [--json]"
+     [--static-cfg] [--context-free] [--prescreen] [--json]\n       \
+     octopocs lint program.mir [--format human|json]"
         .to_string()
 }
 
@@ -52,6 +60,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         accelerate_loops: false,
         static_cfg: false,
         context_free: false,
+        prescreen: false,
         json: false,
     };
     let mut it = argv.iter();
@@ -84,6 +93,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--accelerate-loops" => args.accelerate_loops = true,
             "--static-cfg" => args.static_cfg = true,
             "--context-free" => args.context_free = true,
+            "--prescreen" => args.prescreen = true,
             "--json" => args.json = true,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
@@ -113,8 +123,73 @@ fn load_program(path: &str) -> Result<octo_ir::Program, String> {
     Ok(p)
 }
 
+/// The `octopocs lint` subcommand: static analysis of one program.
+fn lint_main(argv: &[String]) -> ExitCode {
+    let mut path: Option<&str> = None;
+    let mut json = false;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("json") => json = true,
+                Some("human") => json = false,
+                other => {
+                    eprintln!(
+                        "bad --format `{}` (expected human|json)",
+                        other.unwrap_or("")
+                    );
+                    return ExitCode::from(3);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("{}", usage());
+                return ExitCode::from(3);
+            }
+            other if !other.starts_with('-') && path.is_none() => path = Some(other),
+            other => {
+                eprintln!("unknown lint argument `{other}`\n{}", usage());
+                return ExitCode::from(3);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("lint: a program file is required\n{}", usage());
+        return ExitCode::from(3);
+    };
+    // Parse only — structural validation is the lint's own VAL001 rule,
+    // so invalid programs are reported, not rejected.
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    let program = match parse_program(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    let report = octo_lint::lint_program(&program);
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.error_count() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("lint") {
+        return lint_main(&argv[1..]);
+    }
     let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(msg) => {
@@ -156,6 +231,9 @@ fn main() -> ExitCode {
     if args.context_free {
         config = config.context_free();
     }
+    if args.prescreen {
+        config = config.with_static_prescreen();
+    }
 
     let poc = PocFile::new(poc_bytes);
     let input = SoftwarePairInput {
@@ -170,18 +248,22 @@ fn main() -> ExitCode {
         // Hand-rolled JSON keeps the core crate dependency-free.
         println!(
             "{{\"verdict\":\"{}\",\"poc_generated\":{},\"verified\":{},\"ep\":\"{}\",\
-             \"ep_entries\":{},\"wall_seconds\":{:.6}}}",
+             \"ep_entries\":{},\"prescreen\":{},\"wall_seconds\":{:.6}}}",
             report.verdict.type_label(),
             report.verdict.poc_generated(),
             report.verdict.verified(),
             report.ep_name.as_deref().unwrap_or(""),
             report.ep_entries,
+            report.prescreen,
             report.wall_seconds,
         );
     } else {
         println!("verdict    : {}", report.verdict);
         if let Some(ep) = &report.ep_name {
             println!("ep         : {ep} ({} entries in S)", report.ep_entries);
+        }
+        if report.prescreen {
+            println!("prescreen  : verdict decided statically in P0");
         }
         println!("time       : {:.3}s", report.wall_seconds);
     }

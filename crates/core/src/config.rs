@@ -37,6 +37,12 @@ pub struct PipelineConfig {
     /// without charging the θ budget, so vulnerabilities needing more
     /// than θ loop iterations still verify.
     pub loop_acceleration: bool,
+    /// Phase P0 (opt-in): static pre-screen of `T` before any symbolic
+    /// execution. When `octo-lint`'s interprocedural analysis proves `ep`
+    /// statically unreachable, or proves every call site passes constant
+    /// arguments that conflict with the ones P1 recorded, the pipeline
+    /// short-circuits to a Type-III verdict.
+    pub static_prescreen: bool,
 }
 
 impl Default for PipelineConfig {
@@ -52,6 +58,7 @@ impl Default for PipelineConfig {
             symex_step_budget: 2_000_000,
             max_fallbacks: 4096,
             loop_acceleration: false,
+            static_prescreen: false,
         }
     }
 }
@@ -78,6 +85,13 @@ impl PipelineConfig {
     /// Enables loop acceleration (see [`PipelineConfig::loop_acceleration`]).
     pub fn accelerate_loops(mut self) -> PipelineConfig {
         self.loop_acceleration = true;
+        self
+    }
+
+    /// Enables the P0 static pre-screen
+    /// (see [`PipelineConfig::static_prescreen`]).
+    pub fn with_static_prescreen(mut self) -> PipelineConfig {
+        self.static_prescreen = true;
         self
     }
 

@@ -44,6 +44,9 @@ pub struct VerificationReport {
     pub symex_stats: Option<DirectedStats>,
     /// Instructions executed in P4 (concrete run of `T`).
     pub p4_insts: u64,
+    /// Whether the verdict was decided by the P0 static pre-screen, i.e.
+    /// without running directed symbolic execution over `T`.
+    pub prescreen: bool,
     /// Total wall-clock seconds for the whole pipeline.
     pub wall_seconds: f64,
 }
@@ -59,6 +62,7 @@ impl VerificationReport {
             p1_insts: 0,
             symex_stats: None,
             p4_insts: 0,
+            prescreen: false,
             wall_seconds: 0.0,
         }
     }
@@ -101,6 +105,7 @@ pub fn verify(input: &SoftwarePairInput<'_>, config: &PipelineConfig) -> Verific
         p1_insts: 0,
         symex_stats: None,
         p4_insts: 0,
+        prescreen: false,
         wall_seconds: 0.0,
     };
 
@@ -145,6 +150,33 @@ pub fn verify(input: &SoftwarePairInput<'_>, config: &PipelineConfig) -> Verific
         report.wall_seconds = start.elapsed().as_secs_f64();
         return report;
     };
+
+    // --- P0 (opt-in): static pre-screen over T's call graph. ---
+    //
+    // Runs after `ep` is resolved in `T` (so EpMissingInT keeps priority)
+    // and before CFG recovery (so an unstitchable `T` still reports the
+    // Idx-15 CfgConstruction failure when the screen stays silent). The
+    // screen is conservative: it only speaks when the conclusion holds
+    // for *every* execution, so a positive answer makes the symbolic
+    // phases unnecessary.
+    if config.static_prescreen {
+        let recorded: Vec<Vec<u64>> = (0..extraction.primitives.entry_count())
+            .filter_map(|k| extraction.primitives.args(k).map(<[u64]>::to_vec))
+            .collect();
+        if let Some(outcome) = octo_lint::prescreen_ep(input.t, ep_t, &recorded) {
+            report.prescreen = true;
+            report.verdict = match outcome {
+                octo_lint::Prescreen::EpUnreachable => Verdict::NotTriggerable {
+                    reason: NotTriggerableReason::EpNotCalled,
+                },
+                octo_lint::Prescreen::ArgsNeverMatch { .. } => Verdict::NotTriggerable {
+                    reason: NotTriggerableReason::UnsatisfiableConstraints,
+                },
+            };
+            report.wall_seconds = start.elapsed().as_secs_f64();
+            return report;
+        }
+    }
 
     // --- CFG of T + backward path finding. ---
     let cfg = match build_cfg(input.t, config.cfg_mode) {
@@ -449,6 +481,87 @@ unreached:
                 reason: FailureReason::EpMissingInT { .. }
             }
         ));
+    }
+
+    fn verify_pair_prescreened(t_src: &str, poc: &[u8]) -> VerificationReport {
+        let s = s_program();
+        let t = parse_program(t_src).unwrap();
+        let poc = PocFile::from(poc);
+        let shared = vec!["shared".to_string()];
+        let input = SoftwarePairInput {
+            s: &s,
+            t: &t,
+            poc: &poc,
+            shared: &shared,
+        };
+        verify(&input, &PipelineConfig::default().with_static_prescreen())
+    }
+
+    #[test]
+    fn prescreen_decides_dead_ep_without_symex() {
+        let t_src = format!("func main() {{\nentry:\n halt 0\n}}\n{SHARED}");
+        let report = verify_pair_prescreened(&t_src, b"A");
+        assert!(matches!(
+            report.verdict,
+            Verdict::NotTriggerable {
+                reason: NotTriggerableReason::EpNotCalled
+            }
+        ));
+        assert!(report.prescreen, "P0 should have decided this pair");
+        assert!(report.symex_stats.is_none(), "no symbolic execution ran");
+    }
+
+    #[test]
+    fn prescreen_decides_hardcoded_argument_without_symex() {
+        let t_src = format!(
+            "func main() {{\nentry:\n fd = open\n call shared(0x10)\n halt 0\n}}\n{SHARED}"
+        );
+        let report = verify_pair_prescreened(&t_src, b"A");
+        assert!(matches!(
+            report.verdict,
+            Verdict::NotTriggerable {
+                reason: NotTriggerableReason::UnsatisfiableConstraints
+            }
+        ));
+        assert!(report.prescreen);
+        assert!(report.symex_stats.is_none());
+    }
+
+    #[test]
+    fn prescreen_stays_silent_on_triggerable_pairs() {
+        // The Type-I pair: ep is reachable with a data-dependent argument,
+        // so P0 must pass through and the verdict must be unchanged.
+        let t_src = format!(
+            "func main() {{\nentry:\n fd = open\n b = getc fd\n call shared(b)\n \
+             halt 0\n}}\n{SHARED}"
+        );
+        let report = verify_pair_prescreened(&t_src, b"A");
+        assert!(matches!(
+            report.verdict,
+            Verdict::Triggered {
+                kind: TriggerKind::TypeI,
+                ..
+            }
+        ));
+        assert!(!report.prescreen);
+        assert!(report.symex_stats.is_some());
+    }
+
+    #[test]
+    fn prescreen_preserves_cfg_failure() {
+        // The Idx-15 shape: the screen must not mask the CFG failure.
+        let t_src = format!(
+            "func main() {{\nentry:\n fd = open\n b = getc fd\n t = add b, 2\n \
+             ijmp t\nunreached:\n call shared(b)\n halt 0\n}}\n{SHARED}"
+        );
+        let report = verify_pair_prescreened(&t_src, b"A");
+        assert!(matches!(
+            report.verdict,
+            Verdict::Failure {
+                reason: FailureReason::CfgConstruction(_)
+            }
+        ));
+        assert!(!report.prescreen);
     }
 
     #[test]

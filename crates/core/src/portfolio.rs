@@ -12,8 +12,6 @@
 //! first (most severe crash class leading), then verification failures
 //! (unknown risk), then verified-safe clones.
 
-use crossbeam::thread;
-
 use crate::config::PipelineConfig;
 use crate::pipeline::{verify, SoftwarePairInput, VerificationReport};
 use crate::verdict::Verdict;
@@ -93,20 +91,19 @@ pub fn verify_portfolio(
     let mut reports: Vec<Option<(String, VerificationReport)>> = Vec::new();
     reports.resize_with(jobs.len(), || None);
 
-    thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (chunk_jobs, chunk_out) in jobs
             .chunks(jobs.len().div_ceil(threads).max(1))
             .zip(reports.chunks_mut(jobs.len().div_ceil(threads).max(1)))
         {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (job, slot) in chunk_jobs.iter().zip(chunk_out.iter_mut()) {
                     let report = verify(&job.input, config);
                     *slot = Some((job.name.to_string(), report));
                 }
             });
         }
-    })
-    .expect("portfolio worker panicked");
+    });
 
     let mut entries: Vec<PortfolioEntry> = reports
         .into_iter()

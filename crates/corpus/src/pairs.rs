@@ -85,7 +85,7 @@ fn parse(name: &str, src: &str) -> Program {
 /// entries against a 16-entry buffer.
 fn poc_jpeg_huffman() -> PocFile {
     let mut payload = vec![20u8];
-    payload.extend(std::iter::repeat(0x61).take(17));
+    payload.extend(std::iter::repeat_n(0x61, 17));
     PocFile::new(
         mini_jpeg::Builder::new()
             .segment(mini_jpeg::SEG_HUFF, &payload)
@@ -117,7 +117,7 @@ fn poc_xref_loop() -> PocFile {
 /// declares a 32-byte row against the 16-byte stack buffer.
 fn poc_avc_sps() -> PocFile {
     let mut sps2 = vec![0x20, 0x00, 0x01, 0x00]; // w=32, h=1
-    sps2.extend(std::iter::repeat(0x44).take(16));
+    sps2.extend(std::iter::repeat_n(0x44, 16));
     PocFile::new(
         mini_avc::Builder::new()
             .frame(mini_avc::FRAME_SPS, &[0x02, 0x00, 0x01, 0x00, 0xAA, 0xBB])
@@ -130,7 +130,7 @@ fn poc_avc_sps() -> PocFile {
 /// 64-byte buffer.
 fn poc_pdf_stream_overflow() -> PocFile {
     let mut payload = vec![0x50, 0x00]; // dlen = 80
-    payload.extend(std::iter::repeat(0x42).take(64));
+    payload.extend(std::iter::repeat_n(0x42, 64));
     PocFile::new(
         mini_pdf::Builder::new()
             .object(mini_pdf::OBJ_STREAM, &payload)

@@ -55,7 +55,7 @@ fn benign_input_for_t(idx: u32) -> Vec<u8> {
         9 => mini_gif::Builder::new().block(&[1, 2, 3]).build(),
         // TIFF consumers read their hard-coded fields regardless of the
         // directory; magic plus a count byte suffices.
-        10 | 11 | 12 => mini_tiff::Builder::new().entry(0x100, 7).build(),
+        10..=12 => mini_tiff::Builder::new().entry(0x100, 7).build(),
         // Poppler pdfinfo: a stream whose 16-bit product fits.
         15 => mini_pdf::Builder::new()
             .object(mini_pdf::OBJ_STREAM, &[2, 0, 3, 0])

@@ -252,6 +252,22 @@ impl Terminator {
     pub fn is_indirect(&self) -> bool {
         matches!(self, Terminator::JmpIndirect { .. })
     }
+
+    /// The registers read by this terminator (mirrors [`Inst::uses`]).
+    pub fn uses(&self) -> Vec<Reg> {
+        let op = match self {
+            Terminator::Jmp(_) | Terminator::Ret(None) => return Vec::new(),
+            Terminator::Br { cond, .. } => cond,
+            Terminator::Switch { scrut, .. } => scrut,
+            Terminator::JmpIndirect { target } => target,
+            Terminator::Ret(Some(v)) => v,
+            Terminator::Halt { code } => code,
+        };
+        match op {
+            Operand::Reg(r) => vec![*r],
+            Operand::Imm(_) => Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]

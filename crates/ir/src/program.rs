@@ -127,6 +127,16 @@ impl Program {
         self.by_name.get(name).copied()
     }
 
+    /// Mutable access to the function bodies (for program transforms
+    /// such as `octo-lint`'s CFG prune).
+    ///
+    /// Renaming a function through this slice would desynchronise the
+    /// name index — transforms must keep names (and the vector length)
+    /// intact.
+    pub fn funcs_mut(&mut self) -> &mut [Function] {
+        &mut self.funcs
+    }
+
     /// Iterates over `(id, function)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (FuncId, &Function)> {
         self.funcs

@@ -35,8 +35,12 @@ impl std::error::Error for ValidationError {}
 ///
 /// Checked invariants:
 /// * block targets of every terminator are in range,
+/// * block labels are unique within each function,
 /// * register operands are below the function's `n_regs`,
 /// * call targets exist and argument counts match the callee arity,
+/// * every function's parameters fit its register file (a call writes
+///   argument `i` into callee register `i`, so `n_params` beyond `n_regs`
+///   would make the interpreters store out of range),
 /// * the entry function takes no parameters,
 /// * switch case values are unique.
 ///
@@ -53,6 +57,26 @@ pub fn validate(program: &Program) -> Result<(), Vec<ValidationError>> {
         });
     }
     for (_, f) in program.iter() {
+        if f.n_params > f.n_regs {
+            errors.push(ValidationError {
+                func: f.name.clone(),
+                block: None,
+                msg: format!(
+                    "function takes {} params but has only {} registers",
+                    f.n_params, f.n_regs
+                ),
+            });
+        }
+        let mut labels = std::collections::HashSet::new();
+        for block in &f.blocks {
+            if !labels.insert(block.label.as_str()) {
+                errors.push(ValidationError {
+                    func: f.name.clone(),
+                    block: Some(block.label.clone()),
+                    msg: format!("duplicate block label `{}`", block.label),
+                });
+            }
+        }
         let n_blocks = f.blocks.len() as u32;
         let check_block = |b: BlockId| b.0 < n_blocks;
         let check_reg = |r: Reg| r.0 < f.n_regs;
@@ -83,15 +107,11 @@ pub fn validate(program: &Program) -> Result<(), Vec<ValidationError>> {
                     Inst::Call { callee, args, .. } => {
                         check_call(program, *callee, args.len(), &mut fail);
                     }
-                    Inst::FuncAddr { func, .. } => {
-                        if func.0 as usize >= program.function_count() {
-                            fail(format!("function address target {func} out of range"));
-                        }
+                    Inst::FuncAddr { func, .. } if func.0 as usize >= program.function_count() => {
+                        fail(format!("function address target {func} out of range"));
                     }
-                    Inst::BlockAddr { block: b, .. } => {
-                        if !check_block(*b) {
-                            fail(format!("block address target {b} out of range"));
-                        }
+                    Inst::BlockAddr { block: b, .. } if !check_block(*b) => {
+                        fail(format!("block address target {b} out of range"));
                     }
                     _ => {}
                 }
@@ -213,6 +233,39 @@ mod tests {
         let p = parse_program("func main(a) {\nentry:\n ret a\n}\n").unwrap();
         let errs = validate(&p).unwrap_err();
         assert!(errs.iter().any(|e| e.msg.contains("no parameters")));
+    }
+
+    #[test]
+    fn duplicate_block_labels_detected() {
+        // The parser refuses duplicate labels, so mutate a parsed program.
+        let mut p = parse_program("func main() {\nentry:\n jmp next\nnext:\n ret 0\n}\n").unwrap();
+        p.funcs_mut()[0].blocks[1].label = "entry".into();
+        let errs = validate(&p).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.msg.contains("duplicate block label")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn callee_params_exceeding_registers_detected() {
+        // A callee whose declared arity overflows its register file: the
+        // call itself has matching arity, but delivering the arguments
+        // would write out-of-range callee registers.
+        let mut p = parse_program(
+            "func main() {\nentry:\n r = call f(1)\n ret r\n}\nfunc f(a) {\nentry:\n ret a\n}\n",
+        )
+        .unwrap();
+        let f = &mut p.funcs_mut()[1];
+        f.n_params = f.n_regs + 1;
+        let errs = validate(&p).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.func == "f" && e.msg.contains("params but has only")),
+            "{errs:?}"
+        );
+        // The caller-side arity check fires too (1 arg vs inflated arity).
+        assert!(errs.iter().any(|e| e.msg.contains("passes 1 args")));
     }
 
     #[test]

@@ -1,0 +1,403 @@
+//! Interprocedural call graph and the static `ep`-reachability /
+//! argument pre-screen (pipeline phase P0).
+//!
+//! The pre-screen answers, **before** any symbolic execution, two
+//! questions whose negative answers decide a verification verdict:
+//!
+//! 1. *Can the entry point `ep` execute at all?* If no chain of calls
+//!    from the target's entry can reach `ep`, the propagated vulnerable
+//!    code is dead in `T` — verdict "not triggerable" (paper case ii).
+//! 2. *Can any call of `ep` match the recorded crash primitives?* The
+//!    directed engine must stitch every recorded `ep` entry against a
+//!    concrete call whose arguments equal the recorded values. If every
+//!    static call site of `ep` passes a compile-time constant that
+//!    disagrees with what the crash recorded, stitching is doomed —
+//!    verdict "not triggerable, unsatisfiable constraints".
+//!
+//! Everything here is an over-approximation of runtime behaviour: an
+//! unresolved indirect call contributes edges to *every* function, an
+//! address-taken `ep` disables the argument screen entirely, and a
+//! register argument only refutes when constant propagation's facts are
+//! sound for the block it appears in. When in doubt the screen stays
+//! silent and the pipeline proceeds to symbolic execution.
+
+use octo_cfg::FuncCfg;
+use octo_ir::{decode_func_addr, BlockId, FuncId, Function, Inst, Operand, Program, Terminator};
+
+use crate::constprop::{self, CVal, Provenance};
+use crate::dataflow::reachable_blocks;
+
+/// Best-effort per-function CFG: like dynamic mode, but an indirect jump
+/// with no address-taken candidates marks the block unresolved instead of
+/// failing the whole build. Used by the lint driver so one pathological
+/// function does not blind the analysis of every other.
+pub fn lenient_func_cfg(func: &Function) -> FuncCfg {
+    let n = func.blocks.len();
+    let mut succs: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+    let mut calls: Vec<(BlockId, FuncId)> = Vec::new();
+    let mut unresolved: Vec<BlockId> = Vec::new();
+
+    let mut addr_taken: Vec<BlockId> = Vec::new();
+    for b in &func.blocks {
+        for inst in &b.insts {
+            if let Inst::BlockAddr { block, .. } = inst {
+                if !addr_taken.contains(block) {
+                    addr_taken.push(*block);
+                }
+            }
+        }
+    }
+
+    for (bi, b) in func.blocks.iter().enumerate() {
+        let bid = BlockId(bi as u32);
+        for inst in &b.insts {
+            if let Inst::Call { callee, .. } = inst {
+                calls.push((bid, *callee));
+            }
+        }
+        match &b.term {
+            Terminator::JmpIndirect { .. } => {
+                if addr_taken.is_empty() {
+                    unresolved.push(bid);
+                } else {
+                    succs[bi].extend(addr_taken.iter().copied());
+                }
+            }
+            t => succs[bi].extend(t.static_successors()),
+        }
+        succs[bi].sort_by_key(|b| b.0);
+        succs[bi].dedup();
+    }
+
+    let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+    for (bi, ss) in succs.iter().enumerate() {
+        for s in ss {
+            preds[s.0 as usize].push(BlockId(bi as u32));
+        }
+    }
+    calls.sort_by_key(|(b, f)| (b.0, f.0));
+    calls.dedup();
+
+    FuncCfg {
+        succs,
+        preds,
+        calls,
+        unresolved_indirect: unresolved,
+    }
+}
+
+/// The interprocedural call graph, as over-approximated statically.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Per caller: callees of direct `call` instructions in blocks that
+    /// can execute.
+    pub direct: Vec<Vec<FuncId>>,
+    /// Per caller: exact callees of `icall`s whose target resolved to a
+    /// function-address constant.
+    pub resolved_icalls: Vec<Vec<FuncId>>,
+    /// Per caller: whether some `icall`'s target did *not* resolve — that
+    /// call may reach any function in the program.
+    pub unknown_icall: Vec<bool>,
+    /// Per function: whether its address is materialised (`faddr`)
+    /// anywhere in the program.
+    pub addr_taken: Vec<bool>,
+}
+
+impl CallGraph {
+    /// Functions reachable from `from` over the call graph, where an
+    /// unknown indirect call conservatively reaches every function.
+    pub fn reachable_from(&self, from: FuncId) -> Vec<bool> {
+        let n = self.direct.len();
+        let mut seen = vec![false; n];
+        let mut stack = vec![from.0 as usize];
+        seen[from.0 as usize] = true;
+        while let Some(f) = stack.pop() {
+            let visit = |callee: usize, seen: &mut Vec<bool>, stack: &mut Vec<usize>| {
+                if !seen[callee] {
+                    seen[callee] = true;
+                    stack.push(callee);
+                }
+            };
+            for c in self.direct[f].iter().chain(self.resolved_icalls[f].iter()) {
+                visit(c.0 as usize, &mut seen, &mut stack);
+            }
+            if self.unknown_icall[f] {
+                for callee in 0..n {
+                    visit(callee, &mut seen, &mut stack);
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Builds the call graph of `program`.
+pub fn build_call_graph(program: &Program) -> CallGraph {
+    let n = program.function_count();
+    let mut direct: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+    let mut resolved_icalls: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+    let mut unknown_icall = vec![false; n];
+    let mut addr_taken = vec![false; n];
+
+    for (_, f) in program.iter() {
+        for b in &f.blocks {
+            for inst in &b.insts {
+                if let Inst::FuncAddr { func, .. } = inst {
+                    addr_taken[func.0 as usize] = true;
+                }
+            }
+        }
+    }
+
+    for (fid, func) in program.iter() {
+        let cfg = lenient_func_cfg(func);
+        let facts_sound = cfg.unresolved_indirect.is_empty();
+        let reach = reachable_blocks(&cfg);
+        let fi = fid.0 as usize;
+        let states = facts_sound.then(|| constprop::analyze(func, fid, &cfg).0);
+
+        for (bi, block) in func.blocks.iter().enumerate() {
+            // In a soundly-recovered function, unreachable blocks never
+            // execute and contribute no edges. With an unresolved ijmp the
+            // recovered graph may miss edges, so every block might run.
+            if facts_sound && !reach[bi] {
+                continue;
+            }
+            let mut regs = match &states {
+                Some(s) => s.input[bi].clone(),
+                None => vec![CVal::Nac; func.n_regs as usize],
+            };
+            for inst in &block.insts {
+                match inst {
+                    Inst::Call { callee, .. } if !direct[fi].contains(callee) => {
+                        direct[fi].push(*callee);
+                    }
+                    Inst::CallIndirect { target, .. } => {
+                        let resolved = match target {
+                            // An immediate target is a fixed value no
+                            // matter what the dataflow facts say.
+                            Operand::Imm(v) => decode_func_addr(*v),
+                            Operand::Reg(_) => match constprop::eval_operand(target, &regs) {
+                                CVal::Known {
+                                    value,
+                                    prov: Provenance::Func,
+                                } => decode_func_addr(value),
+                                _ => None,
+                            },
+                        };
+                        match resolved {
+                            Some(callee) if (callee.0 as usize) < n => {
+                                if !resolved_icalls[fi].contains(&callee) {
+                                    resolved_icalls[fi].push(callee);
+                                }
+                            }
+                            _ => unknown_icall[fi] = true,
+                        }
+                    }
+                    _ => {}
+                }
+                constprop::transfer_inst(inst, &mut regs, fid);
+            }
+        }
+    }
+
+    CallGraph {
+        direct,
+        resolved_icalls,
+        unknown_icall,
+        addr_taken,
+    }
+}
+
+/// A conclusive pre-screen finding (absence means "proceed to symex").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Prescreen {
+    /// No call chain from the program entry reaches `ep`.
+    EpUnreachable,
+    /// Recorded `ep` entry `entry` can never be stitched: every static
+    /// call site passes a constant that disagrees with the recording.
+    ArgsNeverMatch {
+        /// Index of the unmatchable recorded entry.
+        entry: usize,
+    },
+}
+
+/// Runs the static pre-screen of `ep` in `program` against the crash
+/// recording's per-entry argument values.
+///
+/// Returns `None` whenever static knowledge is insufficient to decide —
+/// the screen never guesses.
+pub fn prescreen_ep(
+    program: &Program,
+    ep: FuncId,
+    recorded_args: &[Vec<u64>],
+) -> Option<Prescreen> {
+    let cg = build_call_graph(program);
+    let reach = cg.reachable_from(program.entry());
+    if !reach[ep.0 as usize] {
+        return Some(Prescreen::EpUnreachable);
+    }
+
+    // Argument screen. Bail out (stay silent) unless every way of
+    // entering `ep` is a statically visible direct call.
+    if recorded_args.is_empty() || cg.addr_taken[ep.0 as usize] {
+        return None;
+    }
+    if (0..program.function_count()).any(|f| reach[f] && cg.unknown_icall[f]) {
+        return None;
+    }
+
+    let mut sites: Vec<Vec<CVal>> = Vec::new();
+    for (fid, func) in program.iter() {
+        if !reach[fid.0 as usize] {
+            continue;
+        }
+        let cfg = lenient_func_cfg(func);
+        let facts_sound = cfg.unresolved_indirect.is_empty();
+        let block_reach = reachable_blocks(&cfg);
+        let states = facts_sound.then(|| constprop::analyze(func, fid, &cfg).0);
+        for (bi, block) in func.blocks.iter().enumerate() {
+            // Sites in provably dead blocks still count (harmless: they
+            // only weaken the screen), but their register facts do not.
+            let facts_ok = facts_sound && block_reach[bi];
+            let mut regs = match (&states, facts_ok) {
+                (Some(s), true) => s.input[bi].clone(),
+                _ => vec![CVal::Nac; func.n_regs as usize],
+            };
+            for inst in &block.insts {
+                if let Inst::Call { callee, args, .. } = inst {
+                    if *callee == ep {
+                        sites.push(
+                            args.iter()
+                                .map(|a| match a {
+                                    Operand::Imm(v) => CVal::known(*v),
+                                    Operand::Reg(_) if facts_ok => {
+                                        constprop::eval_operand(a, &regs)
+                                    }
+                                    Operand::Reg(_) => CVal::Nac,
+                                })
+                                .collect(),
+                        );
+                    }
+                }
+                constprop::transfer_inst(inst, &mut regs, fid);
+            }
+        }
+    }
+    if sites.is_empty() {
+        return None;
+    }
+
+    for (k, recorded) in recorded_args.iter().enumerate() {
+        let all_conflict = sites.iter().all(|site| {
+            site.iter()
+                .zip(recorded.iter())
+                .any(|(cv, want)| matches!(cv.as_const(), Some(have) if have != *want))
+        });
+        if all_conflict {
+            return Some(Prescreen::ArgsNeverMatch { entry: k });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octo_ir::parse::parse_program;
+
+    #[test]
+    fn unreachable_ep_detected() {
+        let p = parse_program(
+            "func main() {\nentry:\n halt 0\n}\n\
+             func ep(x) {\nentry:\n ret x\n}\n",
+        )
+        .unwrap();
+        let ep = p.func_by_name("ep").unwrap();
+        assert_eq!(prescreen_ep(&p, ep, &[]), Some(Prescreen::EpUnreachable));
+    }
+
+    #[test]
+    fn transitively_reachable_ep_passes() {
+        let p = parse_program(
+            "func main() {\nentry:\n call mid()\n halt 0\n}\n\
+             func mid() {\nentry:\n r = call ep(1)\n ret\n}\n\
+             func ep(x) {\nentry:\n ret x\n}\n",
+        )
+        .unwrap();
+        let ep = p.func_by_name("ep").unwrap();
+        assert_eq!(prescreen_ep(&p, ep, &[]), None);
+    }
+
+    #[test]
+    fn constant_argument_conflict_detected() {
+        // Every site passes tag 0x100; the crash recorded tag 0x13d.
+        let p = parse_program(
+            "func main() {\nentry:\n r = call ep(0x100, 5)\n s = call ep(0x101, 6)\n \
+             halt 0\n}\n\
+             func ep(tag, v) {\nentry:\n ret v\n}\n",
+        )
+        .unwrap();
+        let ep = p.func_by_name("ep").unwrap();
+        assert_eq!(
+            prescreen_ep(&p, ep, &[vec![0x13d, 0xdead]]),
+            Some(Prescreen::ArgsNeverMatch { entry: 0 })
+        );
+        // A recording the sites can produce is not refuted.
+        assert_eq!(prescreen_ep(&p, ep, &[vec![0x100, 5]]), None);
+    }
+
+    #[test]
+    fn non_constant_argument_stays_silent() {
+        let p = parse_program(
+            "func main() {\nentry:\n fd = open\n v = getc fd\n r = call ep(v)\n halt 0\n}\n\
+             func ep(x) {\nentry:\n ret x\n}\n",
+        )
+        .unwrap();
+        let ep = p.func_by_name("ep").unwrap();
+        assert_eq!(prescreen_ep(&p, ep, &[vec![0x13d]]), None);
+    }
+
+    #[test]
+    fn address_taken_ep_disables_argument_screen() {
+        let p = parse_program(
+            "func main() {\nentry:\n g = faddr ep\n r = call ep(1)\n s = icall g(9)\n \
+             halt 0\n}\n\
+             func ep(x) {\nentry:\n ret x\n}\n",
+        )
+        .unwrap();
+        let ep = p.func_by_name("ep").unwrap();
+        assert_eq!(prescreen_ep(&p, ep, &[vec![2]]), None);
+    }
+
+    #[test]
+    fn unknown_icall_disables_argument_screen_and_widens_reachability() {
+        // The icall target comes from input — it could be anything,
+        // including ep.
+        let p = parse_program(
+            "func main() {\nentry:\n fd = open\n v = getc fd\n r = icall v(1)\n halt 0\n}\n\
+             func ep(x) {\nentry:\n ret x\n}\n",
+        )
+        .unwrap();
+        let ep = p.func_by_name("ep").unwrap();
+        // Reachable through the unknown icall, and no argument verdict.
+        assert_eq!(prescreen_ep(&p, ep, &[vec![2]]), None);
+    }
+
+    #[test]
+    fn resolved_icall_contributes_exact_edge() {
+        let p = parse_program(
+            "func main() {\nentry:\n g = faddr a\n r = icall g(1)\n halt 0\n}\n\
+             func a(x) {\nentry:\n ret x\n}\n\
+             func b(x) {\nentry:\n ret x\n}\n",
+        )
+        .unwrap();
+        let cg = build_call_graph(&p);
+        let a = p.func_by_name("a").unwrap();
+        let b = p.func_by_name("b").unwrap();
+        let reach = cg.reachable_from(p.entry());
+        assert!(reach[a.0 as usize]);
+        assert!(!reach[b.0 as usize]);
+        assert!(!cg.unknown_icall[p.entry().0 as usize]);
+    }
+}

@@ -1,0 +1,435 @@
+//! Constant propagation and folding with code-address provenance.
+//!
+//! The lattice element per register is [`CVal`]: unknown-yet (`Undef`,
+//! top), a single compile-time constant (`Known`), or not-a-constant
+//! (`Nac`, bottom). Two design points matter for soundness against the
+//! concrete VM:
+//!
+//! * **Entry boundary.** The VM zero-initialises every register, so at
+//!   function entry the non-parameter registers are `Known(0)` while the
+//!   parameters — whose values the caller supplies — are `Nac`.
+//! * **Provenance.** A `Known` value remembers whether it was materialised
+//!   as a code address (`baddr`/`faddr`) or is plain data. Only
+//!   code-provenance constants resolve indirect jumps and calls: a raw
+//!   integer that merely *looks* like a tagged address (the Idx-15
+//!   corpus shape, where the jump target is produced by arithmetic) is
+//!   deliberately left unresolved, mirroring how binary-level CFG
+//!   recovery cannot see through computed gotos.
+
+use octo_cfg::FuncCfg;
+use octo_ir::{decode_block_addr, decode_func_addr, Operand};
+use octo_ir::{BlockId, FuncId, Function, Inst, Reg, Terminator};
+
+use crate::dataflow::{reachable_blocks, solve, Analysis, BlockStates, Direction};
+
+/// Where a known constant came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Plain data: literals, arithmetic results, file-independent moves.
+    Data,
+    /// Materialised by `baddr` (and only moved since).
+    Block,
+    /// Materialised by `faddr` (and only moved since).
+    Func,
+}
+
+/// The constant-propagation lattice value of one register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CVal {
+    /// Top: no execution reaching this point has been observed yet.
+    Undef,
+    /// The register holds exactly this value on every execution.
+    Known {
+        /// The constant.
+        value: u64,
+        /// Its origin (see [`Provenance`]).
+        prov: Provenance,
+    },
+    /// Bottom: the register may hold different values on different runs.
+    Nac,
+}
+
+impl CVal {
+    /// A known data constant.
+    pub fn known(value: u64) -> CVal {
+        CVal::Known {
+            value,
+            prov: Provenance::Data,
+        }
+    }
+
+    /// The constant value, if the register holds exactly one.
+    pub fn as_const(&self) -> Option<u64> {
+        match self {
+            CVal::Known { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// Lattice join (`Undef` is identity, disagreeing constants fall to
+    /// `Nac`, provenance must agree for the constant to survive).
+    pub fn join(self, other: CVal) -> CVal {
+        match (self, other) {
+            (CVal::Undef, x) | (x, CVal::Undef) => x,
+            (CVal::Nac, _) | (_, CVal::Nac) => CVal::Nac,
+            (a @ CVal::Known { .. }, b) => {
+                if a == b {
+                    a
+                } else {
+                    CVal::Nac
+                }
+            }
+        }
+    }
+}
+
+/// Forward constant propagation over one function.
+pub struct ConstProp<'f> {
+    func: &'f Function,
+    func_id: FuncId,
+}
+
+impl<'f> ConstProp<'f> {
+    /// Creates the analysis for `func`, whose program-level id is
+    /// `func_id` (needed to encode `baddr` results exactly as the VM
+    /// does, so that folded comparisons on address values stay faithful).
+    pub fn new(func: &'f Function, func_id: FuncId) -> ConstProp<'f> {
+        ConstProp { func, func_id }
+    }
+}
+
+/// Evaluates an operand under the register fact `regs`.
+pub fn eval_operand(op: &Operand, regs: &[CVal]) -> CVal {
+    match op {
+        Operand::Imm(v) => CVal::known(*v),
+        Operand::Reg(r) => regs[r.0 as usize],
+    }
+}
+
+fn set(regs: &mut [CVal], r: Reg, v: CVal) {
+    regs[r.0 as usize] = v;
+}
+
+/// Applies one instruction to the register fact (shared by the block
+/// transfer function and by mid-block queries at call sites).
+/// `func_id` is the id of the enclosing function.
+pub fn transfer_inst(inst: &Inst, regs: &mut [CVal], func_id: FuncId) {
+    match inst {
+        Inst::Const { dst, value } => set(regs, *dst, CVal::known(*value)),
+        Inst::Move { dst, src } => {
+            // Moves preserve provenance: a copied baddr still resolves.
+            set(regs, *dst, eval_operand(src, regs));
+        }
+        Inst::Bin { dst, op, lhs, rhs } => {
+            let v = match (
+                eval_operand(lhs, regs).as_const(),
+                eval_operand(rhs, regs).as_const(),
+            ) {
+                // Folding strips provenance: arithmetic on a code address
+                // yields data, so the result never resolves indirect flow.
+                (Some(a), Some(b)) => match op.eval(a, b) {
+                    Some(r) => CVal::known(r),
+                    None => CVal::Nac, // division by zero crashes at runtime
+                },
+                _ => CVal::Nac,
+            };
+            set(regs, *dst, v);
+        }
+        Inst::Un { dst, op, src } => {
+            let v = match eval_operand(src, regs).as_const() {
+                Some(a) => CVal::known(op.eval(a)),
+                None => CVal::Nac,
+            };
+            set(regs, *dst, v);
+        }
+        Inst::FuncAddr { dst, func } => set(
+            regs,
+            *dst,
+            CVal::Known {
+                value: octo_ir::encode_func_addr(*func),
+                prov: Provenance::Func,
+            },
+        ),
+        Inst::BlockAddr { dst, block } => set(
+            regs,
+            *dst,
+            CVal::Known {
+                value: octo_ir::encode_block_addr(func_id, *block),
+                prov: Provenance::Block,
+            },
+        ),
+        // Everything whose result depends on input, memory, allocation
+        // placement, overflow behaviour or a callee is not a constant.
+        Inst::CheckedBin { dst, .. }
+        | Inst::Load { dst, .. }
+        | Inst::Alloc { dst, .. }
+        | Inst::FileOpen { dst }
+        | Inst::FileRead { dst, .. }
+        | Inst::FileGetc { dst, .. }
+        | Inst::FileTell { dst, .. }
+        | Inst::FileSize { dst, .. }
+        | Inst::MemMap { dst, .. } => set(regs, *dst, CVal::Nac),
+        Inst::Call { dst, .. } | Inst::CallIndirect { dst, .. } => {
+            if let Some(d) = dst {
+                set(regs, *d, CVal::Nac);
+            }
+        }
+        Inst::Store { .. } | Inst::FileSeek { .. } | Inst::Trap { .. } | Inst::Nop => {}
+    }
+}
+
+impl Analysis for ConstProp<'_> {
+    type Fact = Vec<CVal>;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> Vec<CVal> {
+        // VM semantics: parameters are caller-supplied, everything else
+        // starts at zero.
+        (0..self.func.n_regs)
+            .map(|r| {
+                if r < self.func.n_params {
+                    CVal::Nac
+                } else {
+                    CVal::known(0)
+                }
+            })
+            .collect()
+    }
+
+    fn init(&self) -> Vec<CVal> {
+        vec![CVal::Undef; self.func.n_regs as usize]
+    }
+
+    fn join(&self, into: &mut Vec<CVal>, from: &Vec<CVal>) -> bool {
+        let mut changed = false;
+        for (a, b) in into.iter_mut().zip(from.iter()) {
+            let j = a.join(*b);
+            if j != *a {
+                *a = j;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn transfer(&self, block: BlockId, fact: &Vec<CVal>) -> Vec<CVal> {
+        let mut regs = fact.clone();
+        for inst in &self.func.blocks[block.0 as usize].insts {
+            transfer_inst(inst, &mut regs, self.func_id);
+        }
+        regs
+    }
+}
+
+/// Statically resolved control flow of one function.
+#[derive(Debug, Clone, Default)]
+pub struct ResolvedFlow {
+    /// `Br`/`Switch` blocks whose scrutinee is constant, with the only
+    /// successor that can execute.
+    pub const_branches: Vec<(BlockId, BlockId)>,
+    /// `ijmp` blocks whose target is a block address constant, with the
+    /// exact successor.
+    pub resolved_ijmps: Vec<(BlockId, BlockId)>,
+    /// Blocks containing an `icall` whose target is a function-address
+    /// constant, with the exact callee.
+    pub resolved_icalls: Vec<(BlockId, FuncId)>,
+}
+
+/// Runs constant propagation on `func` (program-level id `func_id`) and
+/// extracts the per-block states plus every statically resolved branch /
+/// indirect transfer.
+pub fn analyze(
+    func: &Function,
+    func_id: FuncId,
+    cfg: &FuncCfg,
+) -> (BlockStates<Vec<CVal>>, ResolvedFlow) {
+    let states = solve(&ConstProp::new(func, func_id), cfg);
+    let reach = reachable_blocks(cfg);
+    let mut flow = ResolvedFlow::default();
+
+    for (bi, block) in func.blocks.iter().enumerate() {
+        if !reach[bi] {
+            continue;
+        }
+        let bid = BlockId(bi as u32);
+
+        // Mid-block scan for resolvable indirect calls.
+        let mut regs = states.input[bi].clone();
+        for inst in &block.insts {
+            if let Inst::CallIndirect { target, .. } = inst {
+                if let CVal::Known {
+                    value,
+                    prov: Provenance::Func,
+                } = eval_operand(target, &regs)
+                {
+                    if let Some(f) = decode_func_addr(value) {
+                        flow.resolved_icalls.push((bid, f));
+                    }
+                }
+            }
+            transfer_inst(inst, &mut regs, func_id);
+        }
+
+        // `regs` now holds the block's output fact; resolve the terminator.
+        match &block.term {
+            Terminator::Br {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                if let Some(c) = eval_operand(cond, &regs).as_const() {
+                    let taken = if c != 0 { *then_bb } else { *else_bb };
+                    if then_bb != else_bb {
+                        flow.const_branches.push((bid, taken));
+                    }
+                }
+            }
+            Terminator::Switch {
+                scrut,
+                cases,
+                default,
+            } => {
+                if let Some(c) = eval_operand(scrut, &regs).as_const() {
+                    let taken = cases
+                        .iter()
+                        .find(|(v, _)| *v == c)
+                        .map(|(_, b)| *b)
+                        .unwrap_or(*default);
+                    flow.const_branches.push((bid, taken));
+                }
+            }
+            Terminator::JmpIndirect { target } => {
+                if let CVal::Known {
+                    value,
+                    prov: Provenance::Block,
+                } = eval_operand(target, &regs)
+                {
+                    // The VM only accepts same-function block addresses.
+                    if let Some((f, b)) = decode_block_addr(value) {
+                        if f == func_id && (b.0 as usize) < func.blocks.len() {
+                            flow.resolved_ijmps.push((bid, b));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    (states, flow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octo_cfg::{build_cfg, CfgMode};
+    use octo_ir::parse::parse_program;
+
+    fn analyze_main(src: &str) -> (octo_ir::Program, BlockStates<Vec<CVal>>, ResolvedFlow) {
+        let p = parse_program(src).unwrap();
+        let cfg = build_cfg(&p, CfgMode::Dynamic).unwrap();
+        let (states, flow) = analyze(p.func(p.entry()), p.entry(), cfg.func(p.entry()));
+        (p, states, flow)
+    }
+
+    #[test]
+    fn folds_arithmetic_and_branches() {
+        let (p, _, flow) = analyze_main(
+            "func main() {\nentry:\n a = 20\n b = add a, 22\n c = eq b, 42\n \
+             br c, yes, no\nyes:\n halt 0\nno:\n halt 1\n}\n",
+        );
+        let f = p.func(p.entry());
+        let entry = f.block_by_label("entry").unwrap();
+        let yes = f.block_by_label("yes").unwrap();
+        assert_eq!(flow.const_branches, vec![(entry, yes)]);
+    }
+
+    #[test]
+    fn zero_init_registers_are_known_zero() {
+        // `u` is only written in an unreachable block; every executing
+        // path reads the VM's zero initialisation, and the analysis knows.
+        let (p, _, flow) = analyze_main(
+            "func main() {\nentry:\n jmp probe\nnever:\n u = 5\n jmp probe\n\
+             probe:\n c = eq u, 0\n br c, yes, no\nyes:\n halt 0\nno:\n halt 1\n}\n",
+        );
+        let f = p.func(p.entry());
+        assert_eq!(
+            flow.const_branches,
+            vec![(
+                f.block_by_label("probe").unwrap(),
+                f.block_by_label("yes").unwrap()
+            )]
+        );
+    }
+
+    #[test]
+    fn params_are_not_constant() {
+        let p = parse_program(
+            "func main() {\nentry:\n r = call f(3)\n halt r\n}\n\
+             func f(x) {\nentry:\n c = eq x, 3\n br c, a, b\na:\n ret 1\nb:\n ret 0\n}\n",
+        )
+        .unwrap();
+        let cfg = build_cfg(&p, CfgMode::Dynamic).unwrap();
+        let fid = p.func_by_name("f").unwrap();
+        let (_, flow) = analyze(p.func(fid), fid, cfg.func(fid));
+        assert!(flow.const_branches.is_empty(), "param must stay Nac");
+    }
+
+    #[test]
+    fn resolves_block_address_ijmp_but_not_raw_arithmetic() {
+        let (p, _, flow) = analyze_main(
+            "func main() {\nentry:\n t = baddr tgt\n jmp go\ngo:\n ijmp t\n\
+             tgt:\n halt 0\n}\n",
+        );
+        let f = p.func(p.entry());
+        assert_eq!(
+            flow.resolved_ijmps,
+            vec![(
+                f.block_by_label("go").unwrap(),
+                f.block_by_label("tgt").unwrap()
+            )]
+        );
+
+        // The Idx-15 shape: a raw constant that happens to carry the tag
+        // bits must NOT resolve (data provenance).
+        let src = format!(
+            "func main() {{\nentry:\n t = {:#x}\n t2 = baddr dead\n ijmp t\ndead:\n halt 0\n}}\n",
+            octo_ir::encode_block_addr(octo_ir::FuncId(0), octo_ir::BlockId(1))
+        );
+        let (_, _, flow) = analyze_main(&src);
+        assert!(flow.resolved_ijmps.is_empty(), "arithmetic target resolved");
+    }
+
+    #[test]
+    fn join_of_disagreeing_constants_is_nac() {
+        let (p, states, flow) = analyze_main(
+            "func main() {\nentry:\n fd = open\n v = getc fd\n c = eq v, 1\n \
+             br c, a, b\na:\n x = 1\n jmp m\nb:\n x = 2\n jmp m\nm:\n \
+             d = eq x, 1\n br d, p, q\np:\n halt 0\nq:\n halt 1\n}\n",
+        );
+        let f = p.func(p.entry());
+        let m = f.block_by_label("m").unwrap();
+        assert!(flow.const_branches.iter().all(|(b, _)| *b != m));
+        // x is Nac at m's input.
+        let x_known = states.input[m.0 as usize]
+            .iter()
+            .filter(|v| matches!(v, CVal::Nac))
+            .count();
+        assert!(x_known >= 1);
+    }
+
+    #[test]
+    fn resolves_constant_icall() {
+        let p = parse_program(
+            "func main() {\nentry:\n g = faddr f\n r = icall g(5)\n halt r\n}\n\
+             func f(a) {\nentry:\n ret a\n}\n",
+        )
+        .unwrap();
+        let cfg = build_cfg(&p, CfgMode::Dynamic).unwrap();
+        let (_, flow) = analyze(p.func(p.entry()), p.entry(), cfg.func(p.entry()));
+        let f = p.func_by_name("f").unwrap();
+        assert_eq!(flow.resolved_icalls, vec![(octo_ir::BlockId(0), f)]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Worklist-based dataflow solving over a function's recovered CFG.
+//!
+//! The framework is deliberately small: an [`Analysis`] supplies the
+//! lattice (fact type, boundary/initial values, join) and the transfer
+//! function; [`solve`] iterates block-level facts to a fixed point in the
+//! analysis' [`Direction`]. All concrete analyses in this crate
+//! (constant propagation, reaching definitions, liveness) are instances.
+//!
+//! ## Reachability discipline
+//!
+//! Forward solving only propagates facts along edges whose source is
+//! reachable from the function entry. This is not an optimisation but a
+//! soundness requirement for constant propagation: the VM zero-initialises
+//! registers, so the entry boundary fact claims "every non-parameter
+//! register is 0" — joining in facts from blocks that can never execute
+//! would let impossible register values pollute (or, worse, impossible
+//! *constants* sharpen) the states of live blocks.
+
+use octo_cfg::FuncCfg;
+use octo_ir::BlockId;
+
+/// Which way facts flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from entry to exits; `input[b]` joins predecessors.
+    Forward,
+    /// Facts flow from exits to entry; `input[b]` joins successors.
+    Backward,
+}
+
+/// One dataflow analysis: lattice plus transfer function.
+pub trait Analysis {
+    /// The per-block fact (an element of the lattice).
+    type Fact: Clone + PartialEq;
+
+    /// Flow direction.
+    fn direction(&self) -> Direction;
+
+    /// Fact at the flow boundary: function entry for forward analyses,
+    /// every exit block for backward ones.
+    fn boundary(&self) -> Self::Fact;
+
+    /// Optimistic initial fact for all other blocks (lattice top).
+    fn init(&self) -> Self::Fact;
+
+    /// Joins `from` into `into`; returns whether `into` changed.
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact) -> bool;
+
+    /// Transfers the fact across block `block` (over its instructions and,
+    /// in the forward direction, its terminator's uses).
+    fn transfer(&self, block: BlockId, fact: &Self::Fact) -> Self::Fact;
+}
+
+/// The fixed point: per-block facts on entry to and exit from each block.
+///
+/// For a backward analysis the names keep their flow meaning, not their
+/// textual one: `input[b]` is the fact flowing *into* the transfer
+/// function (the block's live-out set, say) and `output[b]` the fact it
+/// produces (live-in).
+#[derive(Debug, Clone)]
+pub struct BlockStates<F> {
+    /// Fact entering each block's transfer function.
+    pub input: Vec<F>,
+    /// Fact leaving each block's transfer function.
+    pub output: Vec<F>,
+}
+
+/// Blocks reachable from the function entry over `cfg.succs`.
+pub fn reachable_blocks(cfg: &FuncCfg) -> Vec<bool> {
+    let n = cfg.succs.len();
+    let mut seen = vec![false; n];
+    if n == 0 {
+        return seen;
+    }
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    while let Some(b) = stack.pop() {
+        for s in &cfg.succs[b] {
+            let si = s.0 as usize;
+            if !seen[si] {
+                seen[si] = true;
+                stack.push(si);
+            }
+        }
+    }
+    seen
+}
+
+/// Solves `analysis` over the function graph `cfg` by round-robin
+/// iteration to a fixed point.
+///
+/// Forward analyses iterate only entry-reachable blocks (see the module
+/// docs); unreachable blocks keep the optimistic [`Analysis::init`] fact.
+/// Backward analyses iterate every block — liveness facts of dead blocks
+/// are harmless and the extra generality keeps the loop uniform.
+pub fn solve<A: Analysis>(analysis: &A, cfg: &FuncCfg) -> BlockStates<A::Fact> {
+    let n = cfg.succs.len();
+    let mut input: Vec<A::Fact> = (0..n).map(|_| analysis.init()).collect();
+    let mut output: Vec<A::Fact> = (0..n).map(|_| analysis.init()).collect();
+    if n == 0 {
+        return BlockStates { input, output };
+    }
+
+    let forward = analysis.direction() == Direction::Forward;
+    let reach = reachable_blocks(cfg);
+    let live = |b: usize| !forward || reach[b];
+
+    loop {
+        let mut changed = false;
+        for b in 0..n {
+            if !live(b) {
+                continue;
+            }
+            // Recompute the in-flow fact from scratch: boundary where the
+            // flow starts, joined with every live in-edge source.
+            let at_boundary = if forward {
+                b == 0
+            } else {
+                cfg.succs[b].is_empty()
+            };
+            let mut inp = if at_boundary {
+                analysis.boundary()
+            } else {
+                analysis.init()
+            };
+            let sources: &[BlockId] = if forward {
+                &cfg.preds[b]
+            } else {
+                &cfg.succs[b]
+            };
+            for s in sources {
+                let si = s.0 as usize;
+                if live(si) {
+                    analysis.join(&mut inp, &output[si]);
+                }
+            }
+            if inp != input[b] {
+                input[b] = inp;
+                changed = true;
+            }
+            let out = analysis.transfer(BlockId(b as u32), &input[b]);
+            if out != output[b] {
+                output[b] = out;
+                changed = true;
+            }
+        }
+        if !changed {
+            return BlockStates { input, output };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octo_cfg::{build_cfg, CfgMode};
+    use octo_ir::parse::parse_program;
+
+    /// A toy forward analysis: "how many distinct blocks lie on some path
+    /// from entry to here" — counts via a set union, exercising join.
+    struct PathBlocks;
+
+    impl Analysis for PathBlocks {
+        type Fact = Vec<u32>;
+
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+
+        fn boundary(&self) -> Vec<u32> {
+            Vec::new()
+        }
+
+        fn init(&self) -> Vec<u32> {
+            Vec::new()
+        }
+
+        fn join(&self, into: &mut Vec<u32>, from: &Vec<u32>) -> bool {
+            let before = into.len();
+            for x in from {
+                if !into.contains(x) {
+                    into.push(*x);
+                }
+            }
+            into.sort_unstable();
+            into.len() != before
+        }
+
+        fn transfer(&self, block: BlockId, fact: &Vec<u32>) -> Vec<u32> {
+            let mut out = fact.clone();
+            if !out.contains(&block.0) {
+                out.push(block.0);
+            }
+            out.sort_unstable();
+            out
+        }
+    }
+
+    #[test]
+    fn forward_solve_reaches_fixed_point_with_loop() {
+        let p = parse_program(
+            "func main() {\nentry:\n i = 0\n jmp head\nhead:\n c = ult i, 4\n \
+             br c, body, done\nbody:\n i = add i, 1\n jmp head\ndone:\n halt 0\n}\n",
+        )
+        .unwrap();
+        let cfg = build_cfg(&p, CfgMode::Dynamic).unwrap();
+        let states = solve(&PathBlocks, cfg.func(p.entry()));
+        let f = p.func(p.entry());
+        let done = f.block_by_label("done").unwrap().0 as usize;
+        // Every block is on some path to `done`.
+        assert_eq!(states.output[done].len(), f.blocks.len());
+        // The loop head sees both entry and the back edge.
+        let head = f.block_by_label("head").unwrap().0 as usize;
+        assert!(states.input[head].contains(&(f.blocks.len() as u32 - 2)));
+    }
+
+    #[test]
+    fn unreachable_blocks_keep_init_fact() {
+        let p = parse_program("func main() {\nentry:\n halt 0\ndead:\n halt 1\n}\n").unwrap();
+        let cfg = build_cfg(&p, CfgMode::Dynamic).unwrap();
+        let fcfg = cfg.func(p.entry());
+        let reach = reachable_blocks(fcfg);
+        assert_eq!(reach, vec![true, false]);
+        let states = solve(&PathBlocks, fcfg);
+        assert!(states.output[1].is_empty(), "dead block untouched");
+    }
+}

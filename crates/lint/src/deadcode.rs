@@ -1,0 +1,335 @@
+//! Unreachable-block detection, dead-store detection (via backward
+//! liveness) and the optional CFG-prune transform.
+//!
+//! The prune transform rewrites a program into a semantically equivalent
+//! one with less work for downstream consumers (naive symbolic
+//! exploration in `octo-symex`):
+//!
+//! * a `br`/`switch` whose scrutinee is a propagated constant becomes a
+//!   plain `jmp` to the only successor that can execute;
+//! * an `ijmp` whose target is a block-address constant becomes a `jmp`;
+//! * blocks unreachable after the rewrite are *neutralised*: their body
+//!   is replaced by a single `trap` and their terminator by a self-jump.
+//!   Executing a neutralised block would crash loudly — by construction
+//!   it cannot execute, and a loud failure is preferable to silently
+//!   diverging semantics if the reachability argument were ever wrong.
+//!
+//! Functions containing an unresolved indirect jump are left untouched:
+//! with edges missing from the recovered graph, "unreachable" cannot be
+//! trusted.
+
+use octo_cfg::FuncCfg;
+use octo_ir::{BlockId, Function, Inst, Program, Reg, Terminator};
+
+use crate::constprop::{self, ResolvedFlow};
+use crate::dataflow::{reachable_blocks, solve, Analysis, BlockStates, Direction};
+
+/// Backward liveness of registers for one function.
+pub struct Liveness<'f> {
+    func: &'f Function,
+}
+
+impl<'f> Liveness<'f> {
+    /// Creates the analysis for `func`.
+    pub fn new(func: &'f Function) -> Liveness<'f> {
+        Liveness { func }
+    }
+}
+
+impl Analysis for Liveness<'_> {
+    type Fact = Vec<bool>;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn boundary(&self) -> Vec<bool> {
+        vec![false; self.func.n_regs as usize]
+    }
+
+    fn init(&self) -> Vec<bool> {
+        vec![false; self.func.n_regs as usize]
+    }
+
+    fn join(&self, into: &mut Vec<bool>, from: &Vec<bool>) -> bool {
+        let mut changed = false;
+        for (a, b) in into.iter_mut().zip(from.iter()) {
+            if *b && !*a {
+                *a = true;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// `fact` is the block's live-out set; the result is live-in.
+    fn transfer(&self, block: BlockId, fact: &Vec<bool>) -> Vec<bool> {
+        let b = &self.func.blocks[block.0 as usize];
+        let mut live = fact.clone();
+        for u in b.term.uses() {
+            live[u.0 as usize] = true;
+        }
+        for inst in b.insts.iter().rev() {
+            if let Some(d) = inst.def() {
+                live[d.0 as usize] = false;
+            }
+            for u in inst.uses() {
+                live[u.0 as usize] = true;
+            }
+        }
+        live
+    }
+}
+
+/// Whether `inst` is free of side effects besides its register write, so
+/// that a dead destination makes the whole instruction dead.
+pub fn is_pure(inst: &Inst) -> bool {
+    matches!(
+        inst,
+        Inst::Const { .. }
+            | Inst::Move { .. }
+            | Inst::Bin { .. }
+            | Inst::Un { .. }
+            | Inst::FuncAddr { .. }
+            | Inst::BlockAddr { .. }
+    )
+}
+
+/// One dead store: a pure instruction whose result is never read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadStore {
+    /// Block containing the instruction.
+    pub block: BlockId,
+    /// Instruction index within the block.
+    pub inst: usize,
+    /// The register written in vain.
+    pub reg: Reg,
+}
+
+/// Finds pure instructions in reachable blocks whose destination is dead.
+///
+/// Returns nothing when the function has unresolved indirect jumps — a
+/// missing edge could hide the only reader.
+pub fn dead_stores(func: &Function, cfg: &FuncCfg) -> Vec<DeadStore> {
+    if !cfg.unresolved_indirect.is_empty() {
+        return Vec::new();
+    }
+    let states: BlockStates<Vec<bool>> = solve(&Liveness::new(func), cfg);
+    let reach = reachable_blocks(cfg);
+    let mut out = Vec::new();
+    for (bi, block) in func.blocks.iter().enumerate() {
+        if !reach[bi] {
+            continue;
+        }
+        // Walk backwards from the block's live-out set.
+        let mut live = states.input[bi].clone();
+        for u in block.term.uses() {
+            live[u.0 as usize] = true;
+        }
+        for (i, inst) in block.insts.iter().enumerate().rev() {
+            if let Some(d) = inst.def() {
+                if is_pure(inst) && !live[d.0 as usize] {
+                    out.push(DeadStore {
+                        block: BlockId(bi as u32),
+                        inst: i,
+                        reg: d,
+                    });
+                }
+                live[d.0 as usize] = false;
+            }
+            for u in inst.uses() {
+                live[u.0 as usize] = true;
+            }
+        }
+    }
+    out.sort_by_key(|d| (d.block.0, d.inst));
+    out
+}
+
+/// Blocks of `func` not reachable from its entry over `cfg`.
+///
+/// Empty when the function has unresolved indirect jumps (missing edges
+/// make reachability an under-approximation).
+pub fn unreachable(func: &Function, cfg: &FuncCfg) -> Vec<BlockId> {
+    if !cfg.unresolved_indirect.is_empty() {
+        return Vec::new();
+    }
+    let reach = reachable_blocks(cfg);
+    (0..func.blocks.len())
+        .filter(|b| !reach[*b])
+        .map(|b| BlockId(b as u32))
+        .collect()
+}
+
+/// What [`prune_program`] changed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// `br`/`switch` terminators folded to `jmp`.
+    pub branches_folded: usize,
+    /// `ijmp` terminators folded to `jmp`.
+    pub ijmps_folded: usize,
+    /// Unreachable blocks neutralised.
+    pub blocks_neutralized: usize,
+}
+
+/// Returns a pruned copy of `program` (see the module docs) along with
+/// statistics. Block and function ids are preserved — consumers keep
+/// their indices. Functions with unresolved indirect jumps, and programs
+/// whose dynamic CFG cannot be recovered at all, are returned unchanged.
+pub fn prune_program(program: &Program) -> (Program, PruneStats) {
+    let mut pruned = program.clone();
+    let mut stats = PruneStats::default();
+    let Ok(cfg) = octo_cfg::build_cfg(program, octo_cfg::CfgMode::Dynamic) else {
+        return (pruned, stats);
+    };
+
+    for (fid, func) in program.iter() {
+        let fcfg = cfg.func(fid);
+        if !fcfg.unresolved_indirect.is_empty() {
+            continue;
+        }
+        let (_, flow): (_, ResolvedFlow) = constprop::analyze(func, fid, fcfg);
+        let out = &mut pruned.funcs_mut()[fid.0 as usize];
+
+        // Fold statically decided terminators.
+        for (bid, target) in &flow.const_branches {
+            out.blocks[bid.0 as usize].term = Terminator::Jmp(*target);
+            stats.branches_folded += 1;
+        }
+        for (bid, target) in &flow.resolved_ijmps {
+            out.blocks[bid.0 as usize].term = Terminator::Jmp(*target);
+            stats.ijmps_folded += 1;
+        }
+
+        // Recompute reachability over the folded graph.
+        let n = out.blocks.len();
+        let mut succs: Vec<Vec<BlockId>> = Vec::with_capacity(n);
+        let addr_taken: Vec<BlockId> = out
+            .blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .filter_map(|i| match i {
+                Inst::BlockAddr { block, .. } => Some(*block),
+                _ => None,
+            })
+            .collect();
+        for b in &out.blocks {
+            match &b.term {
+                Terminator::JmpIndirect { .. } => succs.push(addr_taken.clone()),
+                t => succs.push(t.static_successors()),
+            }
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(b) = stack.pop() {
+            for s in &succs[b] {
+                if !seen[s.0 as usize] {
+                    seen[s.0 as usize] = true;
+                    stack.push(s.0 as usize);
+                }
+            }
+        }
+        for (bi, block) in out.blocks.iter_mut().enumerate() {
+            if !seen[bi] {
+                block.insts = vec![Inst::Trap { code: 0xDEAD }];
+                block.term = Terminator::Jmp(BlockId(bi as u32));
+                stats.blocks_neutralized += 1;
+            }
+        }
+    }
+    (pruned, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octo_cfg::{build_cfg, CfgMode};
+    use octo_ir::parse::parse_program;
+
+    #[test]
+    fn dead_store_found_and_live_store_kept() {
+        let p = parse_program("func main() {\nentry:\n a = 1\n b = 2\n halt a\n}\n").unwrap();
+        let cfg = build_cfg(&p, CfgMode::Dynamic).unwrap();
+        let ds = dead_stores(p.func(p.entry()), cfg.func(p.entry()));
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].inst, 1, "only `b = 2` is dead");
+    }
+
+    #[test]
+    fn overwritten_store_is_dead() {
+        let p = parse_program("func main() {\nentry:\n a = 1\n a = 2\n halt a\n}\n").unwrap();
+        let cfg = build_cfg(&p, CfgMode::Dynamic).unwrap();
+        let ds = dead_stores(p.func(p.entry()), cfg.func(p.entry()));
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].inst, 0, "the first write never survives");
+    }
+
+    #[test]
+    fn impure_insts_never_reported() {
+        // The call result is unused but calls have effects.
+        let p = parse_program(
+            "func main() {\nentry:\n r = call f(1)\n halt 0\n}\n\
+             func f(a) {\nentry:\n ret a\n}\n",
+        )
+        .unwrap();
+        let cfg = build_cfg(&p, CfgMode::Dynamic).unwrap();
+        assert!(dead_stores(p.func(p.entry()), cfg.func(p.entry())).is_empty());
+    }
+
+    #[test]
+    fn unreachable_block_listed() {
+        let p = parse_program("func main() {\nentry:\n halt 0\ndead:\n halt 1\n}\n").unwrap();
+        let cfg = build_cfg(&p, CfgMode::Dynamic).unwrap();
+        let u = unreachable(p.func(p.entry()), cfg.func(p.entry()));
+        assert_eq!(u, vec![BlockId(1)]);
+    }
+
+    #[test]
+    fn prune_folds_constant_branch_and_neutralises_dead_arm() {
+        let p = parse_program(
+            "func main() {\nentry:\n c = eq 1, 1\n br c, yes, no\nyes:\n halt 0\n\
+             no:\n halt 1\n}\n",
+        )
+        .unwrap();
+        let (q, stats) = prune_program(&p);
+        assert_eq!(stats.branches_folded, 1);
+        assert_eq!(stats.blocks_neutralized, 1);
+        let f = q.func(q.entry());
+        let yes = f.block_by_label("yes").unwrap();
+        assert_eq!(f.blocks[0].term, Terminator::Jmp(yes));
+        let no = f.block_by_label("no").unwrap();
+        assert!(matches!(
+            f.blocks[no.0 as usize].insts.as_slice(),
+            [Inst::Trap { .. }]
+        ));
+        assert!(octo_ir::validate::validate(&q).is_ok());
+        // Execution is unchanged: both versions halt with 0.
+        assert_eq!(
+            octo_vm::Vm::new(&p, b"").run(),
+            octo_vm::Vm::new(&q, b"").run()
+        );
+    }
+
+    #[test]
+    fn prune_folds_resolved_ijmp() {
+        let p = parse_program("func main() {\nentry:\n t = baddr tgt\n ijmp t\ntgt:\n halt 0\n}\n")
+            .unwrap();
+        let (q, stats) = prune_program(&p);
+        assert_eq!(stats.ijmps_folded, 1);
+        let f = q.func(q.entry());
+        let tgt = f.block_by_label("tgt").unwrap();
+        assert_eq!(f.blocks[0].term, Terminator::Jmp(tgt));
+    }
+
+    #[test]
+    fn unresolved_ijmp_function_untouched() {
+        let p = parse_program(
+            "func main() {\nentry:\n t = 0xB10C_0000_0000_0000\n ijmp t\ndead:\n halt 0\n}\n",
+        )
+        .unwrap();
+        let (q, stats) = prune_program(&p);
+        assert_eq!(stats, PruneStats::default());
+        assert_eq!(&q, &p);
+    }
+}

@@ -1,0 +1,227 @@
+//! Reaching definitions and the use-before-def diagnostics built on them.
+//!
+//! A definition site is one instruction that writes a register. Two
+//! sentinel "definitions" model the VM's entry state: every parameter is
+//! defined by the caller ([`PARAM_DEF`]) and every other register is
+//! implicitly zero-initialised ([`ZERO_DEF`]). Reading a register whose
+//! only reaching definition is the implicit zero is well-defined at
+//! runtime (the VM really does hand out 0) but almost always a bug in the
+//! program text — exactly the kind of latent defect a lint should flag.
+
+use std::collections::BTreeSet;
+
+use octo_cfg::FuncCfg;
+use octo_ir::{BlockId, Function, Reg};
+
+use crate::dataflow::{reachable_blocks, solve, Analysis, BlockStates, Direction};
+
+/// Sentinel definition site: implicit zero-initialisation at entry.
+pub const ZERO_DEF: u64 = u64::MAX;
+/// Sentinel definition site: parameter value supplied by the caller.
+pub const PARAM_DEF: u64 = u64::MAX - 1;
+
+/// Encodes an explicit definition site (`block`, instruction index).
+pub fn def_site(block: BlockId, inst: usize) -> u64 {
+    (u64::from(block.0) << 32) | inst as u64
+}
+
+/// Per-register sets of reaching definition sites.
+pub type DefSets = Vec<BTreeSet<u64>>;
+
+/// The reaching-definitions analysis for one function.
+pub struct ReachingDefs<'f> {
+    func: &'f Function,
+}
+
+impl<'f> ReachingDefs<'f> {
+    /// Creates the analysis for `func`.
+    pub fn new(func: &'f Function) -> ReachingDefs<'f> {
+        ReachingDefs { func }
+    }
+}
+
+impl Analysis for ReachingDefs<'_> {
+    type Fact = DefSets;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> DefSets {
+        (0..self.func.n_regs)
+            .map(|r| {
+                let sentinel = if r < self.func.n_params {
+                    PARAM_DEF
+                } else {
+                    ZERO_DEF
+                };
+                BTreeSet::from([sentinel])
+            })
+            .collect()
+    }
+
+    fn init(&self) -> DefSets {
+        vec![BTreeSet::new(); self.func.n_regs as usize]
+    }
+
+    fn join(&self, into: &mut DefSets, from: &DefSets) -> bool {
+        let mut changed = false;
+        for (a, b) in into.iter_mut().zip(from.iter()) {
+            for site in b {
+                changed |= a.insert(*site);
+            }
+        }
+        changed
+    }
+
+    fn transfer(&self, block: BlockId, fact: &DefSets) -> DefSets {
+        let mut sets = fact.clone();
+        for (i, inst) in self.func.blocks[block.0 as usize].insts.iter().enumerate() {
+            if let Some(d) = inst.def() {
+                sets[d.0 as usize] = BTreeSet::from([def_site(block, i)]);
+            }
+        }
+        sets
+    }
+}
+
+/// How certain the analysis is that a read precedes every assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UbdKind {
+    /// On *every* path to this read the register is still the implicit
+    /// zero (rule `UBD001`).
+    Always,
+    /// On *some* path the register is still the implicit zero (`UBD002`).
+    Maybe,
+}
+
+/// One use-before-def finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UbdFinding {
+    /// Block containing the reading instruction.
+    pub block: BlockId,
+    /// Instruction index within the block; `insts.len()` means the
+    /// terminator.
+    pub inst: usize,
+    /// The register read.
+    pub reg: Reg,
+    /// Certainty class.
+    pub kind: UbdKind,
+}
+
+/// Runs reaching definitions over `func` and reports every read of a
+/// register whose reaching definitions include the implicit zero.
+pub fn use_before_def(func: &Function, cfg: &FuncCfg) -> Vec<UbdFinding> {
+    let states: BlockStates<DefSets> = solve(&ReachingDefs::new(func), cfg);
+    let reach = reachable_blocks(cfg);
+    let mut findings = Vec::new();
+
+    for (bi, block) in func.blocks.iter().enumerate() {
+        if !reach[bi] {
+            continue;
+        }
+        let bid = BlockId(bi as u32);
+        let mut sets = states.input[bi].clone();
+        let check = |sets: &DefSets, inst: usize, reg: Reg, out: &mut Vec<UbdFinding>| {
+            let s = &sets[reg.0 as usize];
+            if s.contains(&ZERO_DEF) {
+                let kind = if s.len() == 1 {
+                    UbdKind::Always
+                } else {
+                    UbdKind::Maybe
+                };
+                out.push(UbdFinding {
+                    block: bid,
+                    inst,
+                    reg,
+                    kind,
+                });
+            }
+        };
+        for (i, inst) in block.insts.iter().enumerate() {
+            for u in inst.uses() {
+                check(&sets, i, u, &mut findings);
+            }
+            if let Some(d) = inst.def() {
+                sets[d.0 as usize] = BTreeSet::from([def_site(bid, i)]);
+            }
+        }
+        for u in block.term.uses() {
+            check(&sets, block.insts.len(), u, &mut findings);
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octo_cfg::{build_cfg, CfgMode};
+    use octo_ir::parse::parse_program;
+
+    fn findings(src: &str) -> (octo_ir::Program, Vec<UbdFinding>) {
+        let p = parse_program(src).unwrap();
+        let cfg = build_cfg(&p, CfgMode::Dynamic).unwrap();
+        let f = use_before_def(p.func(p.entry()), cfg.func(p.entry()));
+        (p, f)
+    }
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        let (_, f) = findings("func main() {\nentry:\n a = 1\n b = add a, 2\n halt b\n}\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn always_unassigned_read_detected() {
+        // `ghost` is only assigned in a block no path executes (the parser
+        // demands a textual definition, control flow never runs it).
+        let (p, f) = findings(
+            "func main() {\nentry:\n jmp probe\nghostdef:\n ghost = 5\n jmp probe\n\
+             probe:\n b = add ghost, 2\n halt b\n}\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].kind, UbdKind::Always);
+        assert_eq!(f[0].inst, 0);
+        let main = p.func(p.entry());
+        assert_eq!(f[0].block, main.block_by_label("probe").unwrap());
+    }
+
+    #[test]
+    fn maybe_unassigned_read_detected() {
+        // `x` is assigned on one arm only.
+        let (p, f) = findings(
+            "func main() {\nentry:\n fd = open\n v = getc fd\n c = eq v, 1\n \
+             br c, set, skip\nset:\n x = 7\n jmp m\nskip:\n jmp m\nm:\n halt x\n}\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].kind, UbdKind::Maybe);
+        let main = p.func(p.entry());
+        assert_eq!(f[0].block, main.block_by_label("m").unwrap());
+        // The read is in the terminator slot.
+        assert_eq!(f[0].inst, main.blocks[f[0].block.0 as usize].insts.len());
+    }
+
+    #[test]
+    fn params_count_as_defined() {
+        let p = parse_program(
+            "func main() {\nentry:\n r = call f(3)\n halt r\n}\n\
+             func f(x) {\nentry:\n ret x\n}\n",
+        )
+        .unwrap();
+        let cfg = build_cfg(&p, CfgMode::Dynamic).unwrap();
+        let fid = p.func_by_name("f").unwrap();
+        assert!(use_before_def(p.func(fid), cfg.func(fid)).is_empty());
+    }
+
+    #[test]
+    fn unreachable_blocks_not_scanned() {
+        // `deaduse` reads a never-reaching register, but it is itself
+        // unreachable — no finding.
+        let (_, f) = findings(
+            "func main() {\nentry:\n halt 0\ndeaddef:\n ghost = 1\n jmp deaduse\n\
+             deaduse:\n halt ghost\n}\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -68,10 +68,8 @@ fn simplify_bin(op: BinOp, a: ExprRef, b: ExprRef) -> ExprRef {
                 return a;
             }
         }
-        BinOp::Sub | BinOp::Shl | BinOp::ShrL | BinOp::ShrA => {
-            if b.as_const() == Some(0) {
-                return a;
-            }
+        BinOp::Sub | BinOp::Shl | BinOp::ShrL | BinOp::ShrA if b.as_const() == Some(0) => {
+            return a;
         }
         BinOp::Mul => {
             if a.as_const() == Some(1) {
@@ -99,15 +97,11 @@ fn simplify_bin(op: BinOp, a: ExprRef, b: ExprRef) -> ExprRef {
                 return r;
             }
         }
-        BinOp::CmpEq => {
-            if Rc::ptr_eq(&a, &b) {
-                return Expr::val(1);
-            }
+        BinOp::CmpEq if Rc::ptr_eq(&a, &b) => {
+            return Expr::val(1);
         }
-        BinOp::CmpNe => {
-            if Rc::ptr_eq(&a, &b) {
-                return Expr::val(0);
-            }
+        BinOp::CmpNe if Rc::ptr_eq(&a, &b) => {
+            return Expr::val(0);
         }
         _ => {}
     }

@@ -228,15 +228,14 @@ impl<'a> Solver<'a> {
                             return false;
                         }
                     }
-                    _ if free.len() >= 3 => {
-                        // Wide constraints: per-variable filtering is too
-                        // expensive, but interval reasoning can still
-                        // refute impossible bounds (e.g. a byte sum that
-                        // cannot reach the required constant).
-                        if self.interval_refuted(c) {
-                            return false;
-                        }
+                    // Wide constraints: per-variable filtering is too
+                    // expensive, but interval reasoning can still
+                    // refute impossible bounds (e.g. a byte sum that
+                    // cannot reach the required constant).
+                    _ if free.len() >= 3 && self.interval_refuted(c) => {
+                        return false;
                     }
+                    _ if free.len() >= 3 => {}
                     2 => {
                         let (a, b) = (free[0], free[1]);
                         let work =

@@ -269,7 +269,7 @@ impl<'p> DirectedEngine<'p> {
             };
 
             // Memory accounting (for the Table IV RAM column).
-            if total_steps % 64 == 0 {
+            if total_steps.is_multiple_of(64) {
                 let mem: u64 = next.as_ref().map(|p| p.state.approx_bytes()).unwrap_or(0)
                     + fallbacks
                         .iter()
@@ -558,7 +558,10 @@ mod tests {
     use octo_poc::Bunch;
     use octo_vm::{RunOutcome, Vm};
 
-    fn primitives(entries: &[(&[(u32, u8)], &[u64])]) -> CrashPrimitives {
+    /// One recorded `ep` entry: `(poc bytes consumed, argument values)`.
+    type EpEntry<'a> = (&'a [(u32, u8)], &'a [u64]);
+
+    fn primitives(entries: &[EpEntry<'_>]) -> CrashPrimitives {
         let mut q = CrashPrimitives::new();
         for (i, (bytes, args)) in entries.iter().enumerate() {
             let mut b = Bunch::new(i as u32 + 1);

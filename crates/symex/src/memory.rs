@@ -81,8 +81,7 @@ impl SymMemory {
                     let nearest = self
                         .regions
                         .iter()
-                        .filter(|r| r.base <= addr)
-                        .next_back()
+                        .rfind(|r| r.base <= addr)
                         .map(|r| r.kind);
                     Err(SymMemFault::OutOfBounds { addr, nearest })
                 }

@@ -7,7 +7,10 @@ use octo_symex::{
     DirectedConfig, DirectedEngine, DirectedOutcome, NaiveConfig, NaiveExplorer, NaiveOutcome,
 };
 
-fn primitives(entries: &[(&[(u32, u8)], &[u64])]) -> CrashPrimitives {
+/// One recorded `ep` entry: `(poc bytes consumed, argument values)`.
+type EpEntry<'a> = (&'a [(u32, u8)], &'a [u64]);
+
+fn primitives(entries: &[EpEntry<'_>]) -> CrashPrimitives {
     let mut q = CrashPrimitives::new();
     for (i, (bytes, args)) in entries.iter().enumerate() {
         let mut b = Bunch::new(i as u32 + 1);

@@ -36,14 +36,6 @@ impl TaintSet {
         }
     }
 
-    /// Builds from arbitrary offsets.
-    pub fn from_iter(iter: impl IntoIterator<Item = u32>) -> TaintSet {
-        let mut v: Vec<u32> = iter.into_iter().collect();
-        v.sort_unstable();
-        v.dedup();
-        TaintSet::from_sorted(v)
-    }
-
     /// Whether the set is empty (no taint).
     pub fn is_empty(&self) -> bool {
         self.offs.is_none()
@@ -106,7 +98,10 @@ impl TaintSet {
 
 impl FromIterator<u32> for TaintSet {
     fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> TaintSet {
-        TaintSet::from_iter(iter)
+        let mut v: Vec<u32> = iter.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        TaintSet::from_sorted(v)
     }
 }
 

@@ -121,8 +121,7 @@ impl Memory {
         let nearest = self
             .regions
             .iter()
-            .filter(|r| r.base <= addr)
-            .next_back()
+            .rfind(|r| r.base <= addr)
             .map(|r| r.kind);
         MemFault::OutOfBounds { addr, nearest }
     }

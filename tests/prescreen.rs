@@ -1,0 +1,101 @@
+//! Integration test: the P0 static pre-screen is verdict-preserving.
+//!
+//! With `PipelineConfig::static_prescreen` enabled, every Table II pair
+//! must keep its exact paper classification (Type I/II/III/Failure, and
+//! `poc'` generated exactly for Idx 1–9) — P0 may only *shortcut* work,
+//! never change an answer. At least one Type-III pair must be decided in
+//! P0 without any symbolic execution, and the shipped corpus must lint
+//! clean of error-severity diagnostics.
+
+use octo_corpus::all_pairs;
+use octopocs::{verify, PipelineConfig, SoftwarePairInput, Verdict};
+
+fn verify_pair(
+    pair: &octo_corpus::SoftwarePair,
+    config: &PipelineConfig,
+) -> octopocs::VerificationReport {
+    let input = SoftwarePairInput {
+        s: &pair.s,
+        t: &pair.t,
+        poc: &pair.poc,
+        shared: &pair.shared,
+    };
+    verify(&input, config)
+}
+
+#[test]
+fn prescreen_preserves_every_table2_verdict() {
+    let config = PipelineConfig::default().with_static_prescreen();
+    let mut decided_statically = 0u32;
+    for pair in all_pairs() {
+        let report = verify_pair(&pair, &config);
+        assert_eq!(
+            report.verdict.type_label(),
+            pair.expected.label(),
+            "Idx-{} ({} → {}): prescreen changed the verdict to {:?}",
+            pair.idx,
+            pair.s_name,
+            pair.t_name,
+            report.verdict,
+        );
+        assert_eq!(
+            report.verdict.poc_generated(),
+            pair.expected.poc_generated(),
+            "Idx-{}: poc' column mismatch under prescreen",
+            pair.idx
+        );
+        assert_eq!(
+            report.verdict.verified(),
+            pair.expected.verified(),
+            "Idx-{}: verification column mismatch under prescreen",
+            pair.idx
+        );
+        if report.prescreen {
+            // P0 verdicts are always Type-III and never run symex.
+            assert!(
+                matches!(report.verdict, Verdict::NotTriggerable { .. }),
+                "Idx-{}: P0 decided a non-Type-III verdict",
+                pair.idx
+            );
+            assert!(
+                report.symex_stats.is_none(),
+                "Idx-{}: P0 decided the pair but symex still ran",
+                pair.idx
+            );
+            decided_statically += 1;
+        }
+    }
+    assert!(
+        decided_statically >= 1,
+        "no Type-III pair was decided statically in P0"
+    );
+}
+
+#[test]
+fn prescreen_off_reports_flag_unset() {
+    for pair in all_pairs() {
+        let report = verify_pair(&pair, &PipelineConfig::default());
+        assert!(
+            !report.prescreen,
+            "Idx-{}: prescreen flag set with the phase disabled",
+            pair.idx
+        );
+    }
+}
+
+#[test]
+fn shipped_corpus_lints_without_errors() {
+    for pair in all_pairs() {
+        for (name, program) in [(&pair.s_name, &pair.s), (&pair.t_name, &pair.t)] {
+            let report = octo_lint::lint_program(program);
+            assert_eq!(
+                report.error_count(),
+                0,
+                "Idx-{} {}: error-severity diagnostics:\n{}",
+                pair.idx,
+                name,
+                report.render_human()
+            );
+        }
+    }
+}

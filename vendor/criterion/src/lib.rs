@@ -1,0 +1,251 @@
+//! Offline vendored subset of the `criterion` API.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the criterion surface its benches use: `Criterion`,
+//! `benchmark_group` (+ `sample_size` / `throughput` / `finish`),
+//! `bench_function`, `Bencher::iter` / `iter_batched`, `BatchSize`,
+//! `Throughput`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark runs `sample_size` timed samples of
+//! one routine invocation each (after one warm-up invocation) and reports
+//! min / mean / max wall-time. With `--test` on the command line (CI runs
+//! `cargo bench -- --test`) every routine executes exactly once and
+//! nothing is timed — matching criterion's test mode, which is how these
+//! benches are smoke-checked.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost. This subset re-runs setup per
+/// invocation regardless; the variants exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: upstream batches many per allocation.
+    SmallInput,
+    /// Large inputs: upstream batches few per allocation.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Routine processes this many abstract elements per invocation.
+    Elements(u64),
+    /// Routine processes this many bytes per invocation.
+    Bytes(u64),
+}
+
+/// Passed to every benchmark closure; runs and times the routine.
+pub struct Bencher<'a> {
+    test_mode: bool,
+    samples: usize,
+    durations: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, discarding its output.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let rounds = if self.test_mode { 1 } else { self.samples + 1 };
+        for i in 0..rounds {
+            let start = Instant::now();
+            let out = routine();
+            let elapsed = start.elapsed();
+            drop(out);
+            // First round is warm-up (skipped in test mode, where nothing
+            // is recorded at all).
+            if !self.test_mode && i > 0 {
+                self.durations.push(elapsed);
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let rounds = if self.test_mode { 1 } else { self.samples + 1 };
+        for i in 0..rounds {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            let elapsed = start.elapsed();
+            drop(out);
+            if !self.test_mode && i > 0 {
+                self.durations.push(elapsed);
+            }
+        }
+    }
+}
+
+fn report(id: &str, durations: &[Duration], throughput: Option<Throughput>) {
+    if durations.is_empty() {
+        println!("bench {id:<40} ok (test mode)");
+        return;
+    }
+    let total: Duration = durations.iter().sum();
+    let mean = total / durations.len() as u32;
+    let min = durations.iter().min().copied().unwrap_or_default();
+    let max = durations.iter().max().copied().unwrap_or_default();
+    let thr = match throughput {
+        Some(Throughput::Elements(n)) if mean.as_secs_f64() > 0.0 => {
+            format!("  {:.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean.as_secs_f64() > 0.0 => {
+            format!("  {:.0} B/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "bench {id:<40} mean {mean:>12?}  [min {min:?}, max {max:?}, n={}]{thr}",
+        durations.len()
+    );
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Overrides the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.default_samples = n.max(1);
+        self
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut durations = Vec::new();
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            samples: self.default_samples,
+            durations: &mut durations,
+        };
+        f(&mut b);
+        report(id, &durations, None);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            samples: None,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'c> {
+    parent: &'c Criterion,
+    name: String,
+    samples: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n.max(1));
+        self
+    }
+
+    /// Declares per-invocation throughput for derived rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut durations = Vec::new();
+        let mut b = Bencher {
+            test_mode: self.parent.test_mode,
+            samples: self.samples.unwrap_or(self.parent.default_samples),
+            durations: &mut durations,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id),
+            &durations,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group. (No-op beyond API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = <$crate::Criterion as ::core::default::Default>::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion {
+            test_mode: false,
+            default_samples: 3,
+        };
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2).throughput(Throughput::Elements(10));
+            g.bench_function("id", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        // one warm-up + two timed samples
+        assert_eq!(ran, 3);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            default_samples: 10,
+        };
+        let mut ran = 0u32;
+        c.bench_function("once", |b| {
+            b.iter_batched(|| 1u8, |x| ran += u32::from(x), BatchSize::SmallInput)
+        });
+        assert_eq!(ran, 1);
+    }
+}
