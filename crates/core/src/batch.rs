@@ -1,0 +1,604 @@
+//! Batch verification: the §VII triage workload made operational.
+//!
+//! One vulnerable source `S` typically fans out to many propagated
+//! targets `T₁…Tₙ` (every VUDDY/TransferFuzz-style report has this
+//! shape). [`run_batch`] runs a whole job set through the pipeline on a
+//! work-stealing scheduler ([`octo_sched::run_jobs`]) with:
+//!
+//! * a **content-addressed artifact cache** for the pipeline prefix
+//!   ([`crate::pipeline::prepare`]): jobs sharing
+//!   `(S, poc, ℓ, taint/vm config)` pay for preprocessing and P1 taint
+//!   extraction exactly once (single-flight), with hit/miss/byte stats;
+//! * a **per-job deadline** delivered as a cooperative
+//!   [`octo_sched::CancelToken`] into the directed engine, so a runaway
+//!   symbolic-execution job yields a
+//!   [`crate::verdict::FailureReason::Deadline`] verdict
+//!   instead of stalling the batch;
+//! * a **structured progress-event stream** (job started / phase
+//!   finished / cache hit / job done, with per-phase wall times),
+//!   consumable as human log lines or JSON lines via any
+//!   [`octo_sched::EventSink`].
+//!
+//! Results come back in submission order regardless of worker count, so
+//! batch output is deterministic and diffable (the CI golden file relies
+//! on this).
+
+use std::time::{Duration, Instant};
+
+use octo_ir::printer::print_program;
+use octo_ir::Program;
+use octo_poc::PocFile;
+use octo_sched::{
+    run_jobs, ArtifactCache, CacheStats, CancelToken, Event, EventSink, KeyHasher, SchedStats,
+};
+
+use crate::config::PipelineConfig;
+use crate::pipeline::{
+    prepare, verify_prepared, PrepareFailure, PreparedSource, SoftwarePairInput, VerificationReport,
+};
+use crate::portfolio::Urgency;
+
+/// One owned batch job (the borrowing [`crate::portfolio::Job`] is for
+/// in-process callers; batch jobs own their programs so they can be
+/// loaded from files or the corpus and shipped across worker threads).
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// Display name (e.g. `"idx10 CVE-2016-10095 tiffsplit->opj_compress"`).
+    pub name: String,
+    /// The original vulnerable software.
+    pub s: Program,
+    /// The propagated software.
+    pub t: Program,
+    /// The original PoC (crashes `S`).
+    pub poc: PocFile,
+    /// Names of the shared (cloned) functions.
+    pub shared: Vec<String>,
+}
+
+/// Knobs for one batch run.
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Worker threads (clamped to the job count; at least 1).
+    pub workers: usize,
+    /// Per-job wall-clock deadline for the pipeline suffix. `None` means
+    /// jobs are bounded only by the engines' own step budgets.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for BatchOptions {
+    fn default() -> BatchOptions {
+        BatchOptions {
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(4),
+            deadline: None,
+        }
+    }
+}
+
+/// The content-address of a job's cacheable prefix.
+///
+/// Everything [`prepare`] reads is hashed: the *printed form* of `S`
+/// (content, not identity), the PoC bytes, the shared set in order, and
+/// the taint/VM configuration. Changing any ingredient changes the key;
+/// `T` deliberately does not participate.
+pub fn prefix_cache_key(
+    s: &Program,
+    poc: &PocFile,
+    shared: &[String],
+    config: &PipelineConfig,
+) -> u64 {
+    let mut h = KeyHasher::new();
+    h.write_field(print_program(s).as_bytes());
+    h.write_field(poc.bytes());
+    h.write_u64(shared.len() as u64);
+    for name in shared {
+        h.write_field(name.as_bytes());
+    }
+    h.write_u64(config.taint_granularity as u64);
+    h.write_u64(config.taint_context as u64);
+    h.write_u64(config.vm_limits.max_insts);
+    h.write_u64(config.vm_limits.max_call_depth as u64);
+    h.finish()
+}
+
+/// One verified batch entry, in submission order.
+#[derive(Debug)]
+pub struct BatchEntry {
+    /// Job name.
+    pub name: String,
+    /// Patch-urgency bucket of the verdict.
+    pub urgency: Urgency,
+    /// Whether the pipeline prefix came from the artifact cache.
+    pub cache_hit: bool,
+    /// The full verification report (`wall_seconds` covers the whole job
+    /// as this batch executed it, cached prefix included).
+    pub report: VerificationReport,
+}
+
+/// Everything a batch run produced.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Entries in submission order.
+    pub entries: Vec<BatchEntry>,
+    /// Artifact-cache statistics.
+    pub cache: CacheStats,
+    /// Scheduler statistics.
+    pub sched: SchedStats,
+    /// Total wall-clock seconds for the batch.
+    pub wall_seconds: f64,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl BatchReport {
+    /// Entries re-ordered most-urgent-first (stable within a bucket).
+    pub fn by_urgency(&self) -> Vec<&BatchEntry> {
+        let mut refs: Vec<&BatchEntry> = self.entries.iter().collect();
+        refs.sort_by_key(|e| e.urgency);
+        refs
+    }
+
+    /// Human-readable run summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for (i, e) in self.by_urgency().into_iter().enumerate() {
+            out.push_str(&format!(
+                "{:>2}. {:<44} {:<9} {:<6} {:>8.3}s — {}\n",
+                i + 1,
+                e.name,
+                e.report.verdict.type_label(),
+                if e.cache_hit { "cached" } else { "" },
+                e.report.wall_seconds,
+                e.urgency.recommendation()
+            ));
+        }
+        out.push_str(&format!(
+            "cache: {} hits / {} misses ({} artifacts, {} bytes)\n",
+            self.cache.hits, self.cache.misses, self.cache.entries, self.cache.bytes
+        ));
+        out.push_str(&format!(
+            "sched: {} workers, {} steals ({} jobs moved), {:.3}s wall\n",
+            self.sched.workers, self.sched.steals, self.sched.jobs_stolen, self.wall_seconds
+        ));
+        out
+    }
+
+    /// The full machine-readable report (includes timings, cache and
+    /// scheduler statistics; **not** run-to-run stable).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"jobs\":[\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"verdict\":\"{}\",\"poc_generated\":{},\"verified\":{},\
+                 \"urgency\":\"{}\",\"cache_hit\":{},\"prescreen\":{},\"wall_seconds\":{:.6}}}{}\n",
+                json_escape(&e.name),
+                e.report.verdict.type_label(),
+                e.report.verdict.poc_generated(),
+                e.report.verdict.verified(),
+                e.urgency.recommendation(),
+                e.cache_hit,
+                e.report.prescreen,
+                e.report.wall_seconds,
+                if i + 1 == self.entries.len() { "" } else { "," }
+            ));
+        }
+        out.push_str(&format!(
+            "],\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"bytes\":{}}},\
+             \"sched\":{{\"workers\":{},\"steals\":{},\"jobs_stolen\":{}}},\
+             \"wall_seconds\":{:.6}}}",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.entries,
+            self.cache.bytes,
+            self.sched.workers,
+            self.sched.steals,
+            self.sched.jobs_stolen,
+            self.wall_seconds
+        ));
+        out
+    }
+
+    /// The *stable* machine-readable verdict list: submission order, no
+    /// timings, no environment-dependent fields. This is what the CI
+    /// golden file diffs against.
+    pub fn render_verdicts_json(&self) -> String {
+        let mut out = String::from("{\"jobs\":[\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"verdict\":\"{}\",\"poc_generated\":{},\"verified\":{}}}{}\n",
+                json_escape(&e.name),
+                e.report.verdict.type_label(),
+                e.report.verdict.poc_generated(),
+                e.report.verdict.verified(),
+                if i + 1 == self.entries.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+/// Size estimate for one cached prefix artifact.
+pub(crate) fn prep_artifact_bytes(artifact: &Result<PreparedSource, PrepareFailure>) -> u64 {
+    match artifact {
+        Ok(p) => p.approx_bytes(),
+        Err(_) => std::mem::size_of::<PrepareFailure>() as u64,
+    }
+}
+
+/// Runs one job against the shared prefix cache. Used by both
+/// [`run_batch`] and [`crate::portfolio::verify_portfolio`].
+pub(crate) fn verify_with_cache(
+    cache: &ArtifactCache<Result<PreparedSource, PrepareFailure>>,
+    input: &SoftwarePairInput<'_>,
+    config: &PipelineConfig,
+    cancel: Option<&CancelToken>,
+) -> (VerificationReport, bool, u64) {
+    let start = Instant::now();
+    let key = prefix_cache_key(input.s, input.poc, input.shared, config);
+    let (prep, hit) = cache.get_or_compute(key, || {
+        let artifact = prepare(input.s, input.poc, input.shared, config);
+        let bytes = prep_artifact_bytes(&artifact);
+        (artifact, bytes)
+    });
+    let mut report = match prep.as_ref() {
+        Ok(p) => verify_prepared(p, input, config, cancel),
+        Err(fail) => fail.to_report(),
+    };
+    // Bill the whole job (prefix, cached or not, plus suffix) to one
+    // clock, matching the sequential `verify` semantics.
+    report.wall_seconds = start.elapsed().as_secs_f64();
+    (report, hit, key)
+}
+
+/// Verifies every job on the work-stealing scheduler and returns the
+/// entries **in submission order** together with cache and scheduler
+/// statistics. Progress is streamed into `sink` as it happens.
+pub fn run_batch(
+    jobs: &[BatchJob],
+    config: &PipelineConfig,
+    options: &BatchOptions,
+    sink: &dyn EventSink,
+) -> BatchReport {
+    let start = Instant::now();
+    let cache: ArtifactCache<Result<PreparedSource, PrepareFailure>> = ArtifactCache::new();
+    let indices: Vec<usize> = (0..jobs.len()).collect();
+
+    let (entries, sched) = run_jobs(indices, options.workers, |_worker, i| {
+        let job = &jobs[i];
+        let job_start = Instant::now();
+        sink.emit(Event::JobStarted {
+            job: i,
+            name: job.name.clone(),
+        });
+        let input = SoftwarePairInput {
+            s: &job.s,
+            t: &job.t,
+            poc: &job.poc,
+            shared: &job.shared,
+        };
+        let prefix_start = Instant::now();
+        let token = options.deadline.map(CancelToken::with_deadline);
+        let (report, cache_hit, key) = verify_with_cache(&cache, &input, config, token.as_ref());
+        if cache_hit {
+            sink.emit(Event::CacheHit { job: i, key });
+        } else {
+            sink.emit(Event::PhaseFinished {
+                job: i,
+                phase: "prepare",
+                seconds: prefix_start.elapsed().as_secs_f64(),
+            });
+        }
+        if let Some(stats) = &report.symex_stats {
+            sink.emit(Event::PhaseFinished {
+                job: i,
+                phase: "symex",
+                seconds: stats.wall_seconds,
+            });
+        }
+        sink.emit(Event::JobFinished {
+            job: i,
+            outcome: report.verdict.type_label().to_string(),
+            seconds: job_start.elapsed().as_secs_f64(),
+        });
+        BatchEntry {
+            name: job.name.clone(),
+            urgency: Urgency::of(&report.verdict),
+            cache_hit,
+            report,
+        }
+    });
+
+    BatchReport {
+        entries,
+        cache: cache.stats(),
+        sched,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octo_ir::parse::parse_program;
+    use octo_sched::{EventLog, NullSink};
+    use octo_vm::Limits;
+
+    const SHARED: &str = r#"
+func shared(v) {
+entry:
+    c = eq v, 0x41
+    br c, boom, fine
+boom:
+    trap 1
+fine:
+    ret
+}
+"#;
+
+    fn s_program() -> Program {
+        parse_program(&format!(
+            "func main() {{\nentry:\n fd = open\n b = getc fd\n call shared(b)\n \
+             halt 0\n}}\n{SHARED}"
+        ))
+        .unwrap()
+    }
+
+    fn t_gated() -> Program {
+        parse_program(&format!(
+            "func main() {{\nentry:\n fd = open\n m = getc fd\n ok = eq m, 0x99\n \
+             br ok, go, rej\ngo:\n b = getc fd\n call shared(b)\n halt 0\nrej:\n \
+             halt 1\n}}\n{SHARED}"
+        ))
+        .unwrap()
+    }
+
+    fn t_safe() -> Program {
+        parse_program(&format!("func main() {{\nentry:\n halt 0\n}}\n{SHARED}")).unwrap()
+    }
+
+    fn job(name: &str, t: Program) -> BatchJob {
+        BatchJob {
+            name: name.to_string(),
+            s: s_program(),
+            t,
+            poc: PocFile::from(&b"A"[..]),
+            shared: vec!["shared".to_string()],
+        }
+    }
+
+    #[test]
+    fn cache_key_depends_on_every_ingredient() {
+        let config = PipelineConfig::default();
+        let s = s_program();
+        let poc = PocFile::from(&b"A"[..]);
+        let shared = vec!["shared".to_string()];
+        let base = prefix_cache_key(&s, &poc, &shared, &config);
+
+        // Same inputs → same key (content addressing, not identity).
+        assert_eq!(
+            base,
+            prefix_cache_key(&s_program(), &PocFile::from(&b"A"[..]), &shared, &config)
+        );
+        // Different S.
+        assert_ne!(base, prefix_cache_key(&t_safe(), &poc, &shared, &config));
+        // Different poc.
+        assert_ne!(
+            base,
+            prefix_cache_key(&s, &PocFile::from(&b"B"[..]), &shared, &config)
+        );
+        // Different shared set.
+        assert_ne!(
+            base,
+            prefix_cache_key(&s, &poc, &["other".to_string()], &config)
+        );
+        // Different taint config (context mode, granularity).
+        assert_ne!(
+            base,
+            prefix_cache_key(&s, &poc, &shared, &config.clone().context_free())
+        );
+        let coarse = PipelineConfig {
+            taint_granularity: octo_taint::Granularity::Word,
+            ..PipelineConfig::default()
+        };
+        assert_ne!(base, prefix_cache_key(&s, &poc, &shared, &coarse));
+        // Different VM limits.
+        let tight = PipelineConfig {
+            vm_limits: Limits {
+                max_insts: 1_000,
+                ..Limits::default()
+            },
+            ..PipelineConfig::default()
+        };
+        assert_ne!(base, prefix_cache_key(&s, &poc, &shared, &tight));
+    }
+
+    #[test]
+    fn shared_source_pays_prepare_once() {
+        // Two targets cloned from one (S, poc): one prepare, one hit.
+        let jobs = vec![job("gated", t_gated()), job("safe", t_safe())];
+        let report = run_batch(
+            &jobs,
+            &PipelineConfig::default(),
+            &BatchOptions::default(),
+            &NullSink,
+        );
+        assert_eq!(report.cache.misses, 1, "P1 must run exactly once");
+        assert_eq!(report.cache.hits, 1);
+        assert_eq!(report.cache.entries, 1);
+        assert!(report.cache.bytes > 0);
+        assert_eq!(report.entries.iter().filter(|e| e.cache_hit).count(), 1);
+        // Both entries carry identical P1 statistics (same artifact).
+        assert_eq!(
+            report.entries[0].report.p1_insts,
+            report.entries[1].report.p1_insts
+        );
+        assert!(report.entries[0].report.p1_insts > 0);
+        // Verdicts in submission order.
+        assert_eq!(report.entries[0].report.verdict.type_label(), "Type-II");
+        assert_eq!(report.entries[1].report.verdict.type_label(), "Type-III");
+    }
+
+    #[test]
+    fn distinct_configs_do_not_share_artifacts() {
+        // The same pair under a different taint config must miss again.
+        let jobs = vec![job("a", t_gated())];
+        let cache_aware = run_batch(
+            &jobs,
+            &PipelineConfig::default(),
+            &BatchOptions::default(),
+            &NullSink,
+        );
+        assert_eq!(cache_aware.cache.misses, 1);
+        let free = PipelineConfig::default().context_free();
+        let cache_free = run_batch(&jobs, &free, &BatchOptions::default(), &NullSink);
+        assert_eq!(
+            cache_free.cache.misses, 1,
+            "fresh cache, fresh config, fresh miss"
+        );
+    }
+
+    #[test]
+    fn batch_verdicts_match_sequential_verify() {
+        let jobs = vec![
+            job("gated", t_gated()),
+            job("safe", t_safe()),
+            job("same", s_program()),
+        ];
+        let config = PipelineConfig::default();
+        let batch = run_batch(
+            &jobs,
+            &config,
+            &BatchOptions {
+                workers: 3,
+                deadline: None,
+            },
+            &NullSink,
+        );
+        for (entry, job) in batch.entries.iter().zip(jobs.iter()) {
+            let input = SoftwarePairInput {
+                s: &job.s,
+                t: &job.t,
+                poc: &job.poc,
+                shared: &job.shared,
+            };
+            let sequential = crate::pipeline::verify(&input, &config);
+            assert_eq!(
+                entry.report.verdict.type_label(),
+                sequential.verdict.type_label(),
+                "{}",
+                job.name
+            );
+        }
+    }
+
+    #[test]
+    fn event_stream_covers_the_lifecycle() {
+        let jobs = vec![job("one", t_gated()), job("two", t_gated())];
+        let log = EventLog::new();
+        run_batch(
+            &jobs,
+            &PipelineConfig::default(),
+            &BatchOptions {
+                workers: 1,
+                deadline: None,
+            },
+            &log,
+        );
+        let events = log.snapshot();
+        let count = |f: &dyn Fn(&Event) -> bool| events.iter().filter(|e| f(e)).count();
+        assert_eq!(count(&|e| matches!(e, Event::JobStarted { .. })), 2);
+        assert_eq!(count(&|e| matches!(e, Event::JobFinished { .. })), 2);
+        assert_eq!(count(&|e| matches!(e, Event::CacheHit { .. })), 1);
+        assert!(
+            count(&|e| matches!(
+                e,
+                Event::PhaseFinished {
+                    phase: "prepare",
+                    ..
+                }
+            )) == 1
+        );
+        assert!(count(&|e| matches!(e, Event::PhaseFinished { phase: "symex", .. })) >= 1);
+        // Every event renders both ways.
+        for e in &events {
+            assert!(!e.render_human().is_empty());
+            assert!(e.render_json().starts_with('{'));
+        }
+    }
+
+    #[test]
+    fn renderers_are_consistent() {
+        let jobs = vec![job("gated", t_gated()), job("safe", t_safe())];
+        let report = run_batch(
+            &jobs,
+            &PipelineConfig::default(),
+            &BatchOptions::default(),
+            &NullSink,
+        );
+        let human = report.render_human();
+        assert!(human.contains("Type-II"), "{human}");
+        assert!(human.contains("cache: 1 hits / 1 misses"), "{human}");
+        let json = report.render_json();
+        assert!(json.contains("\"cache_hit\":true"), "{json}");
+        let stable = report.render_verdicts_json();
+        assert!(
+            stable.contains("\"name\":\"gated\",\"verdict\":\"Type-II\""),
+            "{stable}"
+        );
+        assert!(
+            !stable.contains("wall_seconds"),
+            "stable output must not carry timings"
+        );
+        // Urgency ordering puts the triggered clone first.
+        let ordered = report.by_urgency();
+        assert_eq!(ordered[0].name, "gated");
+    }
+
+    #[test]
+    fn per_job_deadline_fails_fast_without_stalling() {
+        let jobs = vec![job("gated", t_gated()), job("safe", t_safe())];
+        let options = BatchOptions {
+            workers: 2,
+            deadline: Some(Duration::ZERO),
+        };
+        let report = run_batch(&jobs, &PipelineConfig::default(), &options, &NullSink);
+        // The symex-bound job dies on the deadline…
+        assert_eq!(report.entries[0].report.verdict.type_label(), "Failure");
+        assert!(matches!(
+            report.entries[0].report.verdict,
+            crate::verdict::Verdict::Failure {
+                reason: crate::verdict::FailureReason::Deadline
+            }
+        ));
+        // …but jobs decided before symex are unaffected.
+        assert_eq!(report.entries[1].report.verdict.type_label(), "Type-III");
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let report = run_batch(
+            &[],
+            &PipelineConfig::default(),
+            &BatchOptions::default(),
+            &NullSink,
+        );
+        assert!(report.entries.is_empty());
+        assert_eq!(report.cache.misses, 0);
+    }
+}

@@ -5,6 +5,9 @@
 //!          [--minimize] [--theta N] [--accelerate-loops] [--static-cfg]
 //!          [--context-free] [--prescreen] [--json]
 //! octopocs lint program.mir [--format human|json]
+//! octopocs batch (--corpus | --jobs FILE) [--workers N] [--deadline-secs S]
+//!          [--json | --verdicts-json] [--events] [--theta N]
+//!          [--accelerate-loops] [--static-cfg] [--context-free] [--prescreen]
 //! ```
 //!
 //! `S.mir`/`T.mir` are MicroIR assembly files (the dialect of
@@ -18,11 +21,21 @@
 //! MicroIR program and prints the diagnostics (severity, function/block
 //! location, rule id). Exit code 0 = clean or warnings only, 1 = at least
 //! one error-severity diagnostic, 3 = unreadable or unparsable input.
+//!
+//! The `batch` subcommand verifies a whole job set on the work-stealing
+//! scheduler with the shared artifact cache (see `octopocs::batch`).
+//! `--corpus` runs the 15 Table II pairs; `--jobs FILE` reads one job per
+//! line (`name S.mir T.mir poc.bin f1,f2`; `#` starts a comment).
+//! `--json` emits the full machine-readable report, `--verdicts-json` the
+//! stable verdicts-only document that CI diffs against its golden file,
+//! and `--events` streams progress events to stderr. Exit code 0 = the
+//! batch ran (whatever the verdicts), 3 = usage or input error.
 
 use std::process::ExitCode;
 
 use octo_ir::parse::parse_program;
 use octo_poc::PocFile;
+use octopocs::batch::{run_batch, BatchJob, BatchOptions};
 use octopocs::{verify, PipelineConfig, SoftwarePairInput, Verdict};
 
 struct Args {
@@ -44,7 +57,10 @@ fn usage() -> String {
     "usage: octopocs --s S.mir --t T.mir --poc poc.bin --shared f1,f2 \
      [--out poc_prime.bin] [--minimize] [--theta N] [--accelerate-loops] \
      [--static-cfg] [--context-free] [--prescreen] [--json]\n       \
-     octopocs lint program.mir [--format human|json]"
+     octopocs lint program.mir [--format human|json]\n       \
+     octopocs batch (--corpus | --jobs FILE) [--workers N] \
+     [--deadline-secs S] [--json | --verdicts-json] [--events] [--theta N] \
+     [--accelerate-loops] [--static-cfg] [--context-free] [--prescreen]"
         .to_string()
 }
 
@@ -185,10 +201,166 @@ fn lint_main(argv: &[String]) -> ExitCode {
     }
 }
 
+/// Reads a `--jobs` file: one job per whitespace-separated line
+/// (`name S.mir T.mir poc.bin f1,f2`), `#` starting a comment.
+fn load_job_file(path: &str) -> Result<Vec<BatchJob>, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut jobs = Vec::new();
+    for (lineno, line) in src.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        let [name, s_path, t_path, poc_path, shared] = fields[..] else {
+            return Err(format!(
+                "{path}:{}: expected `name S.mir T.mir poc.bin f1,f2`, got {} fields",
+                lineno + 1,
+                fields.len()
+            ));
+        };
+        let poc_bytes = std::fs::read(poc_path)
+            .map_err(|e| format!("{path}:{}: {poc_path}: {e}", lineno + 1))?;
+        jobs.push(BatchJob {
+            name: name.to_string(),
+            s: load_program(s_path).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?,
+            t: load_program(t_path).map_err(|e| format!("{path}:{}: {e}", lineno + 1))?,
+            poc: PocFile::new(poc_bytes),
+            shared: shared
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect(),
+        });
+    }
+    if jobs.is_empty() {
+        return Err(format!("{path}: no jobs"));
+    }
+    Ok(jobs)
+}
+
+/// The Table II corpus as a batch job set.
+fn corpus_jobs() -> Vec<BatchJob> {
+    octo_corpus::all_pairs()
+        .into_iter()
+        .map(|p| BatchJob {
+            name: p.display_name(),
+            s: p.s,
+            t: p.t,
+            poc: p.poc,
+            shared: p.shared,
+        })
+        .collect()
+}
+
+/// The `octopocs batch` subcommand: scheduled batch verification.
+fn batch_main(argv: &[String]) -> ExitCode {
+    let mut corpus = false;
+    let mut jobs_path: Option<String> = None;
+    let mut options = BatchOptions::default();
+    let mut config = PipelineConfig::default();
+    let mut json = false;
+    let mut verdicts_json = false;
+    let mut events = false;
+    let mut it = argv.iter();
+    let parse_error = |msg: String| {
+        if msg.is_empty() {
+            eprintln!("{}", usage());
+        } else {
+            eprintln!("{msg}\n{}", usage());
+        }
+        ExitCode::from(3)
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        let result: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--corpus" => corpus = true,
+                "--jobs" => jobs_path = Some(value("--jobs")?),
+                "--workers" => {
+                    options.workers = value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("bad --workers: {e}"))?;
+                    if options.workers == 0 {
+                        return Err("--workers must be at least 1".to_string());
+                    }
+                }
+                "--deadline-secs" => {
+                    let secs: f64 = value("--deadline-secs")?
+                        .parse()
+                        .map_err(|e| format!("bad --deadline-secs: {e}"))?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err("--deadline-secs must be positive".to_string());
+                    }
+                    options.deadline = Some(std::time::Duration::from_secs_f64(secs));
+                }
+                "--theta" => {
+                    config.theta = value("--theta")?
+                        .parse()
+                        .map_err(|e| format!("bad --theta: {e}"))?
+                }
+                "--accelerate-loops" => config.loop_acceleration = true,
+                "--static-cfg" => config.cfg_mode = octo_cfg::CfgMode::Static,
+                "--context-free" => config.taint_context = octo_taint::ContextMode::ContextFree,
+                "--prescreen" => config.static_prescreen = true,
+                "--json" => json = true,
+                "--verdicts-json" => verdicts_json = true,
+                "--events" => events = true,
+                "--help" | "-h" => return Err(String::new()),
+                other => return Err(format!("unknown batch flag `{other}`")),
+            }
+            Ok(())
+        })();
+        if let Err(msg) = result {
+            return parse_error(msg);
+        }
+    }
+    if corpus == jobs_path.is_some() {
+        return parse_error("exactly one of --corpus or --jobs is required".to_string());
+    }
+    if json && verdicts_json {
+        return parse_error("--json and --verdicts-json are mutually exclusive".to_string());
+    }
+    let jobs = if corpus {
+        corpus_jobs()
+    } else {
+        match load_job_file(jobs_path.as_deref().expect("checked above")) {
+            Ok(jobs) => jobs,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(3);
+            }
+        }
+    };
+
+    let stderr_sink = |event: octo_sched::Event| eprintln!("{}", event.render_human());
+    let report = if events {
+        run_batch(&jobs, &config, &options, &stderr_sink)
+    } else {
+        run_batch(&jobs, &config, &options, &octo_sched::NullSink)
+    };
+
+    if verdicts_json {
+        print!("{}", report.render_verdicts_json());
+    } else if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("lint") {
         return lint_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("batch") {
+        return batch_main(&argv[1..]);
     }
     let args = match parse_args(&argv) {
         Ok(a) => a,

@@ -91,6 +91,7 @@
 //! ```
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod config;
 pub mod minimize;
 pub mod pipeline;
@@ -98,9 +99,13 @@ pub mod portfolio;
 pub mod preprocess;
 pub mod verdict;
 
+pub use batch::{prefix_cache_key, run_batch, BatchEntry, BatchJob, BatchOptions, BatchReport};
 pub use config::PipelineConfig;
 pub use minimize::{minimize_poc, MinimizeStats};
-pub use pipeline::{verify, SoftwarePairInput, VerificationReport};
+pub use pipeline::{
+    prepare, verify, verify_prepared, PrepareFailure, PreparedSource, SoftwarePairInput,
+    VerificationReport,
+};
 pub use portfolio::{render_portfolio, verify_portfolio, Job, PortfolioEntry, Urgency};
 pub use preprocess::{identify_ep, PreprocessError};
 pub use verdict::{FailureReason, NotTriggerableReason, TriggerKind, Verdict};

@@ -1,8 +1,20 @@
 //! The end-to-end verification pipeline (P1 → P4).
+//!
+//! The pipeline is split at its natural caching seam: everything that
+//! depends only on `(S, poc, ℓ, taint/vm config)` — preprocessing plus
+//! the P1 crash-primitive extraction — lives in [`prepare`] and produces
+//! a [`PreparedSource`]; everything that also looks at `T` lives in
+//! [`verify_prepared`]. [`verify`] composes the two for the one-pair
+//! case. Batch runs (see [`crate::batch`]) memoize [`prepare`] in a
+//! content-addressed cache, so N targets cloned from one source pay for
+//! preprocessing and taint exactly once.
+
+use std::time::Instant;
 
 use octo_cfg::{build_cfg, DistanceMap};
-use octo_ir::Program;
-use octo_poc::PocFile;
+use octo_ir::{FuncId, Program};
+use octo_poc::{CrashPrimitives, PocFile};
+use octo_sched::CancelToken;
 use octo_symex::{DirectedConfig, DirectedEngine, DirectedOutcome, DirectedStats};
 use octo_taint::{extract_with_limits, TaintConfig, TaintError};
 use octo_vm::{CrashReport, RunOutcome, Vm};
@@ -76,75 +88,199 @@ impl VerificationReport {
     }
 }
 
-/// Verifies whether the vulnerability propagated from `S` to `T` can still
-/// be triggered (the whole OctoPoCs pipeline).
+/// The cacheable prefix of the pipeline: everything derived from
+/// `(S, poc, ℓ, taint/vm config)` alone — preprocessing (identify `ep` on
+/// the crash stack of `S`) plus the P1 crash-primitive extraction.
 ///
-/// Never panics on malformed inputs; every abnormal condition maps to a
-/// [`Verdict::Failure`] with a diagnostic [`FailureReason`].
-pub fn verify(input: &SoftwarePairInput<'_>, config: &PipelineConfig) -> VerificationReport {
-    let start = std::time::Instant::now();
+/// A `PreparedSource` is independent of `T`, so one value serves every
+/// target cloned from the same source; [`crate::batch::run_batch`] keys
+/// it by content hash in an artifact cache.
+#[derive(Debug, Clone)]
+pub struct PreparedSource {
+    /// `ep` in `S`'s function namespace.
+    pub ep: FuncId,
+    /// `ep`'s name (identical in `T`, since the code was cloned).
+    pub ep_name: String,
+    /// The crash `poc` causes in `S`.
+    pub s_crash: CrashReport,
+    /// The crash primitives `q` (one bunch per `ep` entry).
+    pub primitives: CrashPrimitives,
+    /// How many times `S` entered `ep`.
+    pub ep_entries: u32,
+    /// Instructions the P1 taint run executed.
+    pub p1_insts: u64,
+}
 
+impl PreparedSource {
+    /// Approximate in-memory size, for cache byte accounting.
+    pub fn approx_bytes(&self) -> u64 {
+        let bunch_bytes: usize = (0..self.primitives.entry_count())
+            .map(|k| {
+                self.primitives
+                    .bunch(k)
+                    .map(|b| b.dense_bytes().len())
+                    .unwrap_or(0)
+                    + self.primitives.args(k).map(<[u64]>::len).unwrap_or(0) * 8
+            })
+            .sum();
+        (std::mem::size_of::<PreparedSource>() + self.ep_name.len() + bunch_bytes) as u64
+    }
+}
+
+/// Why [`prepare`] failed, keeping whatever it had already learned so
+/// failure reports stay as informative as the unsplit pipeline's.
+#[derive(Debug, Clone)]
+pub struct PrepareFailure {
+    /// The failure cause (maps 1:1 onto the final verdict).
+    pub reason: FailureReason,
+    /// `ep`'s name, when preprocessing got that far.
+    pub ep_name: Option<String>,
+    /// Crash of `S` under `poc`, when preprocessing got that far.
+    pub s_crash: Option<CrashReport>,
+}
+
+impl PrepareFailure {
+    fn new(reason: FailureReason) -> PrepareFailure {
+        PrepareFailure {
+            reason,
+            ep_name: None,
+            s_crash: None,
+        }
+    }
+
+    /// Expands the failure into a full report. The caller stamps
+    /// `wall_seconds`.
+    pub fn to_report(&self) -> VerificationReport {
+        let mut report = VerificationReport::failure(self.reason.clone());
+        report.ep_name = self.ep_name.clone();
+        report.s_crash = self.s_crash.clone();
+        report
+    }
+}
+
+/// Runs preprocessing and P1 over `S` (the `T`-independent prefix).
+///
+/// # Errors
+/// Fails when `poc` does not crash `S`, or crashes it outside `ℓ` (see
+/// [`PrepareFailure`]); both map onto [`Verdict::Failure`] causes.
+// The Err carries the diagnostic crash report by value; the failure path
+// runs at most once per batch source group (the result is cached), so a
+// large cold-path variant beats boxing on every inspection.
+#[allow(clippy::result_large_err)]
+pub fn prepare(
+    s: &Program,
+    poc: &PocFile,
+    shared: &[String],
+    config: &PipelineConfig,
+) -> Result<PreparedSource, PrepareFailure> {
     // --- Preprocessing: find ep on the crash stack of S. ---
-    let ep_info = match identify_ep(input.s, input.poc, input.shared, config.vm_limits) {
+    let ep_info = match identify_ep(s, poc, shared, config.vm_limits) {
         Ok(info) => info,
         Err(PreprocessError::NoCrash { exit_code }) => {
-            return VerificationReport::failure(FailureReason::PocDoesNotCrashS { exit_code })
+            return Err(PrepareFailure::new(FailureReason::PocDoesNotCrashS {
+                exit_code,
+            }))
         }
         Err(PreprocessError::NoSharedFrame | PreprocessError::SharedSetEmpty) => {
-            return VerificationReport::failure(FailureReason::EpNotOnCrashStack)
+            return Err(PrepareFailure::new(FailureReason::EpNotOnCrashStack))
         }
-    };
-    let mut report = VerificationReport {
-        verdict: Verdict::Failure {
-            reason: FailureReason::Budget,
-        },
-        ep_name: Some(ep_info.ep_name.clone()),
-        s_crash: Some(ep_info.s_crash.clone()),
-        t_crash: None,
-        ep_entries: 0,
-        p1_insts: 0,
-        symex_stats: None,
-        p4_insts: 0,
-        prescreen: false,
-        wall_seconds: 0.0,
     };
 
     // --- P1: context-aware taint analysis over S. ---
-    let shared_ids = input
-        .s
-        .resolve_names(input.shared.iter().map(String::as_str));
+    let shared_ids = s.resolve_names(shared.iter().map(String::as_str));
     let taint_config = TaintConfig {
         ep: ep_info.ep,
         shared: shared_ids,
         granularity: config.taint_granularity,
         context: config.taint_context,
     };
-    let extraction = match extract_with_limits(input.s, input.poc, &taint_config, config.vm_limits)
-    {
+    let extraction = match extract_with_limits(s, poc, &taint_config, config.vm_limits) {
         Ok(e) => e,
-        Err(TaintError::NoCrash { exit_code }) => {
-            report.verdict = Verdict::Failure {
-                reason: FailureReason::PocDoesNotCrashS { exit_code },
+        Err(err) => {
+            let reason = match err {
+                TaintError::NoCrash { exit_code } => FailureReason::PocDoesNotCrashS { exit_code },
+                TaintError::EpNeverEntered => FailureReason::EpNotOnCrashStack,
             };
-            report.wall_seconds = start.elapsed().as_secs_f64();
-            return report;
-        }
-        Err(TaintError::EpNeverEntered) => {
-            report.verdict = Verdict::Failure {
-                reason: FailureReason::EpNotOnCrashStack,
-            };
-            report.wall_seconds = start.elapsed().as_secs_f64();
-            return report;
+            return Err(PrepareFailure {
+                reason,
+                ep_name: Some(ep_info.ep_name),
+                s_crash: Some(ep_info.s_crash),
+            });
         }
     };
-    report.ep_entries = extraction.ep_entries;
-    report.p1_insts = extraction.insts;
+    Ok(PreparedSource {
+        ep: ep_info.ep,
+        ep_name: ep_info.ep_name,
+        s_crash: ep_info.s_crash,
+        primitives: extraction.primitives,
+        ep_entries: extraction.ep_entries,
+        p1_insts: extraction.insts,
+    })
+}
+
+/// Verifies whether the vulnerability propagated from `S` to `T` can still
+/// be triggered (the whole OctoPoCs pipeline).
+///
+/// Never panics on malformed inputs; every abnormal condition maps to a
+/// [`Verdict::Failure`] with a diagnostic [`FailureReason`].
+pub fn verify(input: &SoftwarePairInput<'_>, config: &PipelineConfig) -> VerificationReport {
+    let start = Instant::now();
+    match prepare(input.s, input.poc, input.shared, config) {
+        Ok(prep) => verify_suffix(&prep, input, config, None, start),
+        Err(fail) => {
+            let mut report = fail.to_report();
+            report.wall_seconds = start.elapsed().as_secs_f64();
+            report
+        }
+    }
+}
+
+/// Runs the `T`-dependent pipeline suffix (P0 pre-screen, CFG recovery,
+/// P2–P4) against an already-prepared source prefix.
+///
+/// `cancel` is polled cooperatively by the directed engine; when it fires
+/// (per-job deadline, batch cancellation) the verdict is
+/// [`Verdict::Failure`] with [`FailureReason::Deadline`] instead of the
+/// job stalling its batch.
+pub fn verify_prepared(
+    prep: &PreparedSource,
+    input: &SoftwarePairInput<'_>,
+    config: &PipelineConfig,
+    cancel: Option<&CancelToken>,
+) -> VerificationReport {
+    verify_suffix(prep, input, config, cancel, Instant::now())
+}
+
+/// The suffix with an explicit start instant, so [`verify`] can bill the
+/// prefix and suffix to one wall clock.
+fn verify_suffix(
+    prep: &PreparedSource,
+    input: &SoftwarePairInput<'_>,
+    config: &PipelineConfig,
+    cancel: Option<&CancelToken>,
+    start: Instant,
+) -> VerificationReport {
+    let mut report = VerificationReport {
+        verdict: Verdict::Failure {
+            reason: FailureReason::Budget,
+        },
+        ep_name: Some(prep.ep_name.clone()),
+        s_crash: Some(prep.s_crash.clone()),
+        t_crash: None,
+        ep_entries: prep.ep_entries,
+        p1_insts: prep.p1_insts,
+        symex_stats: None,
+        p4_insts: 0,
+        prescreen: false,
+        wall_seconds: 0.0,
+    };
+    let extraction = &prep.primitives;
 
     // --- Resolve ep in T (clone name). ---
-    let Some(ep_t) = input.t.func_by_name(&ep_info.ep_name) else {
+    let Some(ep_t) = input.t.func_by_name(&prep.ep_name) else {
         report.verdict = Verdict::Failure {
             reason: FailureReason::EpMissingInT {
-                name: ep_info.ep_name.clone(),
+                name: prep.ep_name.clone(),
             },
         };
         report.wall_seconds = start.elapsed().as_secs_f64();
@@ -160,8 +296,8 @@ pub fn verify(input: &SoftwarePairInput<'_>, config: &PipelineConfig) -> Verific
     // for *every* execution, so a positive answer makes the symbolic
     // phases unnecessary.
     if config.static_prescreen {
-        let recorded: Vec<Vec<u64>> = (0..extraction.primitives.entry_count())
-            .filter_map(|k| extraction.primitives.args(k).map(<[u64]>::to_vec))
+        let recorded: Vec<Vec<u64>> = (0..extraction.entry_count())
+            .filter_map(|k| extraction.args(k).map(<[u64]>::to_vec))
             .collect();
         if let Some(outcome) = octo_lint::prescreen_ep(input.t, ep_t, &recorded) {
             report.prescreen = true;
@@ -201,7 +337,10 @@ pub fn verify(input: &SoftwarePairInput<'_>, config: &PipelineConfig) -> Verific
         loop_acceleration: config.loop_acceleration,
         ..DirectedConfig::default()
     };
-    let engine = DirectedEngine::new(input.t, ep_t, &map, &extraction.primitives, directed_config);
+    let mut engine = DirectedEngine::new(input.t, ep_t, &map, extraction, directed_config);
+    if let Some(token) = cancel {
+        engine = engine.with_cancel(token.clone());
+    }
     let (outcome, stats) = engine.run();
     report.symex_stats = Some(stats);
 
@@ -220,6 +359,9 @@ pub fn verify(input: &SoftwarePairInput<'_>, config: &PipelineConfig) -> Verific
         },
         DirectedOutcome::Budget => Verdict::Failure {
             reason: FailureReason::Budget,
+        },
+        DirectedOutcome::Cancelled => Verdict::Failure {
+            reason: FailureReason::Deadline,
         },
         DirectedOutcome::PocGenerated {
             poc: poc_prime,
@@ -562,6 +704,109 @@ unreached:
             }
         ));
         assert!(!report.prescreen);
+    }
+
+    #[test]
+    fn every_failure_path_records_wall_time() {
+        // Regression: `VerificationReport::failure` used to hardcode
+        // `wall_seconds: 0.0` and the early-exit paths kept it.
+        let t_safe = format!("func main() {{\nentry:\n halt 0\n}}\n{SHARED}");
+        // Path 1: poc does not crash S.
+        let report = verify_pair(&t_safe, b"Z");
+        assert!(matches!(report.verdict, Verdict::Failure { .. }));
+        assert!(report.wall_seconds > 0.0, "NoCrash path: {report:?}");
+        // Path 2: ep missing in T.
+        let t = parse_program("func main() {\nentry:\n halt 0\n}\n").unwrap();
+        let s = s_program();
+        let poc = PocFile::from(&b"A"[..]);
+        let shared = vec!["shared".to_string()];
+        let input = SoftwarePairInput {
+            s: &s,
+            t: &t,
+            poc: &poc,
+            shared: &shared,
+        };
+        let report = verify(&input, &PipelineConfig::default());
+        assert!(matches!(
+            report.verdict,
+            Verdict::Failure {
+                reason: FailureReason::EpMissingInT { .. }
+            }
+        ));
+        assert!(report.wall_seconds > 0.0, "EpMissingInT path");
+        // Path 3: CFG construction failure (Idx-15 shape).
+        let t_ijmp = format!(
+            "func main() {{\nentry:\n t = 0xB10C_0000_0000_0002\n ijmp t\nunreached:\n \
+             fd = open\n b = getc fd\n call shared(b)\n halt 0\n}}\n{SHARED}"
+        );
+        let report = verify_pair(&t_ijmp, b"A");
+        assert!(matches!(
+            report.verdict,
+            Verdict::Failure {
+                reason: FailureReason::CfgConstruction(_)
+            }
+        ));
+        assert!(report.wall_seconds > 0.0, "CfgConstruction path");
+    }
+
+    #[test]
+    fn prepare_then_verify_prepared_matches_verify() {
+        let t_src = format!(
+            "func main() {{\nentry:\n fd = open\n b = getc fd\n call shared(b)\n \
+             halt 0\n}}\n{SHARED}"
+        );
+        let s = s_program();
+        let t = parse_program(&t_src).unwrap();
+        let poc = PocFile::from(&b"A"[..]);
+        let shared = vec!["shared".to_string()];
+        let input = SoftwarePairInput {
+            s: &s,
+            t: &t,
+            poc: &poc,
+            shared: &shared,
+        };
+        let config = PipelineConfig::default();
+        let whole = verify(&input, &config);
+        let prep = prepare(&s, &poc, &shared, &config).expect("prefix succeeds");
+        assert!(prep.approx_bytes() > 0);
+        let split = verify_prepared(&prep, &input, &config, None);
+        assert_eq!(whole.verdict.type_label(), split.verdict.type_label());
+        assert_eq!(whole.ep_name, split.ep_name);
+        assert_eq!(whole.ep_entries, split.ep_entries);
+        assert_eq!(whole.p1_insts, split.p1_insts);
+        assert_eq!(whole.p4_insts, split.p4_insts);
+    }
+
+    #[test]
+    fn expired_deadline_yields_deadline_failure() {
+        // A Type-I pair with an already-expired per-job deadline: the
+        // directed engine must yield instead of running, and the verdict
+        // must be the dedicated Deadline failure.
+        let t_src = format!(
+            "func main() {{\nentry:\n fd = open\n b = getc fd\n call shared(b)\n \
+             halt 0\n}}\n{SHARED}"
+        );
+        let s = s_program();
+        let t = parse_program(&t_src).unwrap();
+        let poc = PocFile::from(&b"A"[..]);
+        let shared = vec!["shared".to_string()];
+        let input = SoftwarePairInput {
+            s: &s,
+            t: &t,
+            poc: &poc,
+            shared: &shared,
+        };
+        let config = PipelineConfig::default();
+        let prep = prepare(&s, &poc, &shared, &config).expect("prefix succeeds");
+        let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+        let report = verify_prepared(&prep, &input, &config, Some(&token));
+        assert!(matches!(
+            report.verdict,
+            Verdict::Failure {
+                reason: FailureReason::Deadline
+            }
+        ));
+        assert!(report.wall_seconds > 0.0);
     }
 
     #[test]

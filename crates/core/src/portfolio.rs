@@ -6,14 +6,20 @@
 //! can use OCTOPOCS to determine which vulnerabilities need to be patched
 //! more urgently (i.e., they can prioritize vulnerability patches)."
 //!
-//! [`verify_portfolio`] runs the pipeline over a set of jobs (in parallel
-//! — verification of independent pairs shares nothing) and returns the
-//! results ordered by patch urgency: demonstrated-triggerable clones
-//! first (most severe crash class leading), then verification failures
-//! (unknown risk), then verified-safe clones.
+//! [`verify_portfolio`] runs the pipeline over a set of jobs on the
+//! work-stealing scheduler ([`octo_sched::run_jobs`]) — job costs are
+//! wildly skewed, so static chunking would stall whole chunks behind one
+//! slow symbolic-execution job — and returns the results ordered by patch
+//! urgency: demonstrated-triggerable clones first (most severe crash
+//! class leading), then verification failures (unknown risk), then
+//! verified-safe clones. Jobs sharing `(S, poc, ℓ)` share the pipeline
+//! prefix through the batch artifact cache (see [`crate::batch`]).
 
+use octo_sched::{run_jobs, ArtifactCache};
+
+use crate::batch::verify_with_cache;
 use crate::config::PipelineConfig;
-use crate::pipeline::{verify, SoftwarePairInput, VerificationReport};
+use crate::pipeline::{SoftwarePairInput, VerificationReport};
 use crate::verdict::Verdict;
 
 /// One named verification job.
@@ -75,8 +81,12 @@ pub struct PortfolioEntry {
     pub report: VerificationReport,
 }
 
-/// Verifies every job (in parallel, up to `threads` at a time) and
-/// returns the entries sorted most-urgent-first.
+/// Verifies every job (on up to `threads` work-stealing workers) and
+/// returns the entries sorted most-urgent-first (the sort is stable, so
+/// entries within one urgency bucket stay in submission order).
+///
+/// Jobs that share a source prefix `(S, poc, ℓ, config)` run
+/// preprocessing and P1 once, through a batch-local artifact cache.
 ///
 /// # Panics
 /// Panics if a worker thread panics (propagated), which only happens on
@@ -87,35 +97,17 @@ pub fn verify_portfolio(
     config: &PipelineConfig,
     threads: usize,
 ) -> Vec<PortfolioEntry> {
-    let threads = threads.max(1);
-    let mut reports: Vec<Option<(String, VerificationReport)>> = Vec::new();
-    reports.resize_with(jobs.len(), || None);
-
-    std::thread::scope(|scope| {
-        for (chunk_jobs, chunk_out) in jobs
-            .chunks(jobs.len().div_ceil(threads).max(1))
-            .zip(reports.chunks_mut(jobs.len().div_ceil(threads).max(1)))
-        {
-            scope.spawn(move || {
-                for (job, slot) in chunk_jobs.iter().zip(chunk_out.iter_mut()) {
-                    let report = verify(&job.input, config);
-                    *slot = Some((job.name.to_string(), report));
-                }
-            });
+    let cache = ArtifactCache::new();
+    let indices: Vec<usize> = (0..jobs.len()).collect();
+    let (mut entries, _stats) = run_jobs(indices, threads.max(1), |_worker, i| {
+        let job = &jobs[i];
+        let (report, _cache_hit, _key) = verify_with_cache(&cache, &job.input, config, None);
+        PortfolioEntry {
+            name: job.name.to_string(),
+            urgency: Urgency::of(&report.verdict),
+            report,
         }
     });
-
-    let mut entries: Vec<PortfolioEntry> = reports
-        .into_iter()
-        .map(|slot| {
-            let (name, report) = slot.expect("every job produced a report");
-            PortfolioEntry {
-                name,
-                urgency: Urgency::of(&report.verdict),
-                report,
-            }
-        })
-        .collect();
     entries.sort_by_key(|e| e.urgency);
     entries
 }
@@ -212,26 +204,48 @@ fine:
 
     #[test]
     fn single_thread_and_many_threads_agree() {
+        // A mixed bag: triggered and safe clones interleaved, so the
+        // final ordering exercises both the urgency sort and the
+        // scheduler's submission-order guarantee within each bucket.
         let s = s_prog();
-        let t = t_triggered();
+        let t1 = t_triggered();
+        let t2 = t_safe();
         let poc = PocFile::from(&b"A"[..]);
         let shared = vec!["decode".to_string()];
-        let job = Job {
-            name: "only",
-            input: SoftwarePairInput {
-                s: &s,
-                t: &t,
-                poc: &poc,
-                shared: &shared,
-            },
+        let names = ["a", "b", "c", "d", "e", "f", "g", "h", "i", "j"];
+        let jobs: Vec<Job<'_>> = names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| Job {
+                name,
+                input: SoftwarePairInput {
+                    s: &s,
+                    t: if i % 3 == 0 { &t2 } else { &t1 },
+                    poc: &poc,
+                    shared: &shared,
+                },
+            })
+            .collect();
+        let fingerprint = |entries: &[PortfolioEntry]| -> Vec<(String, Urgency, &'static str)> {
+            entries
+                .iter()
+                .map(|e| (e.name.clone(), e.urgency, e.report.verdict.type_label()))
+                .collect()
         };
-        let jobs = vec![job; 5];
-        let a = verify_portfolio(&jobs, &PipelineConfig::default(), 1);
-        let b = verify_portfolio(&jobs, &PipelineConfig::default(), 8);
-        assert_eq!(a.len(), b.len());
-        for (x, y) in a.iter().zip(b.iter()) {
-            assert_eq!(x.urgency, y.urgency);
-            assert_eq!(x.report.verdict.type_label(), y.report.verdict.type_label());
+        let reference = fingerprint(&verify_portfolio(&jobs, &PipelineConfig::default(), 1));
+        // Verdicts AND order must be identical for any worker count…
+        for workers in [2, 8] {
+            let got = fingerprint(&verify_portfolio(
+                &jobs,
+                &PipelineConfig::default(),
+                workers,
+            ));
+            assert_eq!(got, reference, "workers={workers}");
+        }
+        // …and independent of how the steals interleave across runs.
+        for round in 0..3 {
+            let got = fingerprint(&verify_portfolio(&jobs, &PipelineConfig::default(), 8));
+            assert_eq!(got, reference, "round={round}");
         }
     }
 

@@ -64,6 +64,9 @@ pub enum FailureReason {
     LoopBudget,
     /// A step or solver budget ran out without a verdict.
     Budget,
+    /// The per-job deadline fired (or the batch scheduler cancelled the
+    /// job) before directed execution reached a verdict.
+    Deadline,
     /// The original PoC did not crash `S` — the input pair is invalid.
     PocDoesNotCrashS {
         /// Exit code of the clean run.
@@ -92,6 +95,7 @@ impl fmt::Display for FailureReason {
             FailureReason::CfgConstruction(e) => write!(f, "CFG construction failed: {e}"),
             FailureReason::LoopBudget => f.write_str("loop state exceeded θ"),
             FailureReason::Budget => f.write_str("analysis budget exhausted"),
+            FailureReason::Deadline => f.write_str("per-job deadline exceeded (cancelled)"),
             FailureReason::PocDoesNotCrashS { exit_code } => {
                 write!(f, "original poc does not crash S (exit {exit_code})")
             }

@@ -74,6 +74,17 @@ pub struct SoftwarePair {
     pub multi_entry: bool,
 }
 
+impl SoftwarePair {
+    /// Stable display name for reports and batch job lists, e.g.
+    /// `"idx01 CVE-2017-0700 JPEG-compressor->libgdx"`.
+    pub fn display_name(&self) -> String {
+        format!(
+            "idx{:02} {} {}->{}",
+            self.idx, self.vuln_id, self.s_name, self.t_name
+        )
+    }
+}
+
 fn parse(name: &str, src: &str) -> Program {
     let p = parse_program(src).unwrap_or_else(|e| panic!("corpus program `{name}`: {e}"));
     octo_ir::validate::validate(&p)
@@ -445,6 +456,19 @@ mod tests {
         assert_eq!(count(Expected::TypeII), 3);
         assert_eq!(count(Expected::TypeIII), 5);
         assert_eq!(count(Expected::Failure), 1);
+    }
+
+    #[test]
+    fn display_names_are_stable_and_unique() {
+        let pairs = all_pairs();
+        assert_eq!(
+            pairs[0].display_name(),
+            "idx01 CVE-2017-0700 JPEG-compressor->libgdx"
+        );
+        let mut names: Vec<String> = pairs.iter().map(SoftwarePair::display_name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), pairs.len(), "names must be unique");
     }
 
     #[test]

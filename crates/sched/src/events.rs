@@ -1,0 +1,254 @@
+//! The structured progress-event stream.
+//!
+//! Batch runs emit one [`Event`] per interesting transition: a job
+//! starting, a pipeline phase finishing (with its wall time), an artifact
+//! cache hit, a job finishing with its outcome. Consumers choose the
+//! representation: [`Event::render_human`] for log lines,
+//! [`Event::render_json`] for JSON-lines machine consumption.
+//!
+//! Emission goes through the [`EventSink`] trait so producers do not care
+//! where events land. Any `Fn(Event) + Sync` closure is a sink;
+//! [`EventLog`] buffers events in memory (tests, post-hoc rendering) and
+//! [`NullSink`] drops them.
+
+use std::sync::Mutex;
+
+/// One progress event in a batch run.
+///
+/// `job` is the submission index of the job the event belongs to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A worker picked the job up.
+    JobStarted {
+        /// Submission index.
+        job: usize,
+        /// Display name.
+        name: String,
+    },
+    /// One pipeline phase of the job completed.
+    PhaseFinished {
+        /// Submission index.
+        job: usize,
+        /// Phase label (e.g. `"prepare"`, `"verify"`).
+        phase: &'static str,
+        /// Wall-clock seconds spent in the phase.
+        seconds: f64,
+    },
+    /// The job's cacheable prefix was answered from the artifact cache.
+    CacheHit {
+        /// Submission index.
+        job: usize,
+        /// The content-address that hit.
+        key: u64,
+    },
+    /// The job finished with a verdict.
+    JobFinished {
+        /// Submission index.
+        job: usize,
+        /// Outcome label (e.g. `"Type-I"`).
+        outcome: String,
+        /// Total wall-clock seconds for the job.
+        seconds: f64,
+    },
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Event {
+    /// The submission index of the job this event belongs to.
+    pub fn job(&self) -> usize {
+        match self {
+            Event::JobStarted { job, .. }
+            | Event::PhaseFinished { job, .. }
+            | Event::CacheHit { job, .. }
+            | Event::JobFinished { job, .. } => *job,
+        }
+    }
+
+    /// One human-readable log line (no trailing newline).
+    pub fn render_human(&self) -> String {
+        match self {
+            Event::JobStarted { job, name } => format!("[{job:>3}] start    {name}"),
+            Event::PhaseFinished {
+                job,
+                phase,
+                seconds,
+            } => format!("[{job:>3}] phase    {phase} ({seconds:.3}s)"),
+            Event::CacheHit { job, key } => format!("[{job:>3}] cache    hit {key:016x}"),
+            Event::JobFinished {
+                job,
+                outcome,
+                seconds,
+            } => format!("[{job:>3}] done     {outcome} ({seconds:.3}s)"),
+        }
+    }
+
+    /// One JSON-lines object (no trailing newline).
+    pub fn render_json(&self) -> String {
+        match self {
+            Event::JobStarted { job, name } => format!(
+                "{{\"event\":\"job_started\",\"job\":{job},\"name\":\"{}\"}}",
+                json_escape(name)
+            ),
+            Event::PhaseFinished {
+                job,
+                phase,
+                seconds,
+            } => format!(
+                "{{\"event\":\"phase_finished\",\"job\":{job},\"phase\":\"{phase}\",\
+                 \"seconds\":{seconds:.6}}}"
+            ),
+            Event::CacheHit { job, key } => {
+                format!("{{\"event\":\"cache_hit\",\"job\":{job},\"key\":\"{key:016x}\"}}")
+            }
+            Event::JobFinished {
+                job,
+                outcome,
+                seconds,
+            } => format!(
+                "{{\"event\":\"job_finished\",\"job\":{job},\"outcome\":\"{}\",\
+                 \"seconds\":{seconds:.6}}}",
+                json_escape(outcome)
+            ),
+        }
+    }
+}
+
+/// A consumer of progress events. Sinks are shared across worker threads,
+/// so implementations must be `Sync`.
+pub trait EventSink: Sync {
+    /// Receives one event.
+    fn emit(&self, event: Event);
+}
+
+/// Every `Sync` closure over [`Event`] is a sink.
+impl<F: Fn(Event) + Sync> EventSink for F {
+    fn emit(&self, event: Event) {
+        self(event)
+    }
+}
+
+/// Drops every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&self, _event: Event) {}
+}
+
+/// Buffers events in memory, in emission order.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Mutex<Vec<Event>>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// A snapshot of all events emitted so far.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.lock().expect("event log poisoned").clone()
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("event log poisoned").len()
+    }
+
+    /// Whether no event was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events matching a predicate.
+    pub fn filtered(&self, pred: impl Fn(&Event) -> bool) -> Vec<Event> {
+        self.snapshot().into_iter().filter(|e| pred(e)).collect()
+    }
+}
+
+impl EventSink for EventLog {
+    fn emit(&self, event: Event) {
+        self.events.lock().expect("event log poisoned").push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_collects_in_order() {
+        let log = EventLog::new();
+        log.emit(Event::JobStarted {
+            job: 0,
+            name: "a".into(),
+        });
+        log.emit(Event::JobFinished {
+            job: 0,
+            outcome: "Type-I".into(),
+            seconds: 0.25,
+        });
+        assert_eq!(log.len(), 2);
+        assert!(!log.is_empty());
+        assert_eq!(log.snapshot()[1].job(), 0);
+        assert_eq!(
+            log.filtered(|e| matches!(e, Event::JobFinished { .. }))
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn json_rendering_escapes_names() {
+        let e = Event::JobStarted {
+            job: 3,
+            name: "a\"b\\c\nd".into(),
+        };
+        assert_eq!(
+            e.render_json(),
+            "{\"event\":\"job_started\",\"job\":3,\"name\":\"a\\\"b\\\\c\\nd\"}"
+        );
+    }
+
+    #[test]
+    fn human_rendering_mentions_phase_and_outcome() {
+        let p = Event::PhaseFinished {
+            job: 1,
+            phase: "prepare",
+            seconds: 0.5,
+        };
+        assert!(p.render_human().contains("prepare"));
+        let h = Event::CacheHit { job: 1, key: 0xAB };
+        assert!(h.render_human().contains("00000000000000ab"));
+    }
+
+    #[test]
+    fn closures_are_sinks() {
+        let count = std::sync::atomic::AtomicUsize::new(0);
+        let sink = |_e: Event| {
+            count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        };
+        let dyn_sink: &dyn EventSink = &sink;
+        dyn_sink.emit(Event::CacheHit { job: 0, key: 1 });
+        NullSink.emit(Event::CacheHit { job: 0, key: 2 });
+        assert_eq!(count.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,38 @@
+//! # octo-sched — batch-verification scheduling substrate.
+//!
+//! The paper's §VII use case is a developer triaging *many* propagated
+//! clones of one CVE: one vulnerable source `S` fans out to dozens of
+//! targets `T`. Verifying such a batch well needs three things the
+//! pipeline itself does not provide, and this crate supplies all three as
+//! a dependency-free bottom layer of the workspace:
+//!
+//! * [`run_jobs`] — a **work-stealing scheduler**: per-worker deques with
+//!   steal-half balancing instead of static chunking, so one slow
+//!   symbolic-execution job no longer stalls every job that was chunked
+//!   behind it. Results are returned in submission order regardless of
+//!   worker count or steal interleavings.
+//! * [`ArtifactCache`] — a **content-addressed artifact cache** with
+//!   single-flight semantics: the first worker to need an artifact
+//!   computes it exactly once, concurrent requesters block and then hit.
+//!   Hit/miss/byte statistics are tracked for reporting. Keys are plain
+//!   `u64` content hashes; [`KeyHasher`] provides the FNV-1a derivation.
+//! * [`CancelToken`] — **cooperative cancellation** with optional
+//!   deadlines. Long-running engines poll the token and wind down instead
+//!   of stalling the batch.
+//!
+//! A structured [`Event`] stream (job started / phase finished / cache
+//! hit / job done, with per-phase wall times) makes batch progress
+//! observable either as human log lines or as JSON lines; any
+//! `Fn(Event) + Sync` closure is an [`EventSink`], and [`EventLog`]
+//! collects events for later inspection.
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod cancel;
+pub mod events;
+pub mod scheduler;
+
+pub use cache::{ArtifactCache, CacheStats, KeyHasher};
+pub use cancel::CancelToken;
+pub use events::{Event, EventLog, EventSink, NullSink};
+pub use scheduler::{run_jobs, SchedStats};

@@ -1,0 +1,215 @@
+//! The work-stealing job scheduler.
+//!
+//! Static chunking (split the job list into `threads` contiguous chunks,
+//! one thread each) has a bad worst case that batch verification hits
+//! constantly: job costs are wildly skewed — a directed-symbolic-execution
+//! job can cost 100× a prescreen-decided one — so the chunk containing the
+//! slow job stalls while other workers idle. [`run_jobs`] instead gives
+//! every worker a deque of job indices; a worker that drains its own deque
+//! steals *half* of a victim's remaining jobs (from the tail, away from
+//! the victim's pop end), which rebalances in O(log n) steals without a
+//! central queue bottleneck.
+//!
+//! Results are written into per-index slots, so the returned vector is in
+//! **submission order** no matter how many workers ran or how the steals
+//! interleaved; with a deterministic job function the output is therefore
+//! fully deterministic.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// What the scheduler observed while running one batch.
+#[derive(Debug, Clone, Default)]
+pub struct SchedStats {
+    /// Workers actually spawned (≤ requested; never more than jobs).
+    pub workers: usize,
+    /// Jobs executed by each worker (sums to the job count).
+    pub executed: Vec<u64>,
+    /// Successful steal operations (each moves ≥ 1 job).
+    pub steals: u64,
+    /// Total jobs moved by steals.
+    pub jobs_stolen: u64,
+}
+
+/// Runs every job on a pool of `workers` work-stealing workers and
+/// returns the results **in submission order**, plus scheduling stats.
+///
+/// `run` is called as `run(worker_index, job)`. Ordering of the result
+/// vector is independent of `workers` and of steal interleavings; if
+/// `run` is deterministic, so is the entire result.
+///
+/// # Panics
+/// Propagates panics from `run` (the batch is aborted).
+pub fn run_jobs<J, R, F>(jobs: Vec<J>, workers: usize, run: F) -> (Vec<R>, SchedStats)
+where
+    J: Send,
+    R: Send,
+    F: Fn(usize, J) -> R + Sync,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return (
+            Vec::new(),
+            SchedStats {
+                workers: 0,
+                ..SchedStats::default()
+            },
+        );
+    }
+    let workers = workers.clamp(1, n);
+
+    // Job payloads and result slots live in per-index cells; each index is
+    // executed exactly once, by whichever worker holds it.
+    let payloads: Vec<Mutex<Option<J>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    // Initial distribution: round-robin, so even without any steal every
+    // worker starts with an interleaved (not contiguous) share.
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+        .collect();
+    let executed: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let steals = AtomicU64::new(0);
+    let jobs_stolen = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let payloads = &payloads;
+            let results = &results;
+            let deques = &deques;
+            let executed = &executed;
+            let steals = &steals;
+            let jobs_stolen = &jobs_stolen;
+            let run = &run;
+            scope.spawn(move || loop {
+                // 1. Pop from the front of the own deque.
+                let mut next = deques[w].lock().expect("deque poisoned").pop_front();
+                // 2. Otherwise steal the back half of the first non-empty
+                //    victim deque.
+                if next.is_none() {
+                    for off in 1..workers {
+                        let victim = (w + off) % workers;
+                        let stolen = {
+                            let mut vd = deques[victim].lock().expect("deque poisoned");
+                            let len = vd.len();
+                            if len == 0 {
+                                continue;
+                            }
+                            vd.split_off(len - len.div_ceil(2))
+                        };
+                        steals.fetch_add(1, Ordering::Relaxed);
+                        jobs_stolen.fetch_add(stolen.len() as u64, Ordering::Relaxed);
+                        let mut own = deques[w].lock().expect("deque poisoned");
+                        own.extend(stolen);
+                        next = own.pop_front();
+                        break;
+                    }
+                }
+                // 3. Nothing anywhere: this worker is done. (Jobs never
+                //    spawn jobs, so emptiness only ever advances.)
+                let Some(idx) = next else { break };
+                let job = payloads[idx]
+                    .lock()
+                    .expect("payload poisoned")
+                    .take()
+                    .expect("job executed twice");
+                let out = run(w, job);
+                *results[idx].lock().expect("result poisoned") = Some(out);
+                executed[w].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+    });
+
+    let out = results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result poisoned")
+                .expect("every job produced a result")
+        })
+        .collect();
+    let stats = SchedStats {
+        workers,
+        executed: executed.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        steals: steals.load(Ordering::Relaxed),
+        jobs_stolen: jobs_stolen.load(Ordering::Relaxed),
+    };
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately skewed cost function (job 0 dominates).
+    fn cost_of(i: usize) -> u64 {
+        if i == 0 {
+            200_000
+        } else {
+            500
+        }
+    }
+
+    /// Deterministic busywork returning a value derived from the input.
+    fn spin(seed: u64, iters: u64) -> u64 {
+        let mut h = seed ^ 0xcbf2_9ce4_8422_2325;
+        for i in 0..iters {
+            h ^= i;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    #[test]
+    fn empty_batch() {
+        let (out, stats) = run_jobs(Vec::<u64>::new(), 4, |_, j| j);
+        assert!(out.is_empty());
+        assert_eq!(stats.workers, 0);
+    }
+
+    #[test]
+    fn results_keep_submission_order_for_any_worker_count() {
+        let jobs: Vec<usize> = (0..37).collect();
+        let reference: Vec<u64> = jobs.iter().map(|&i| spin(i as u64, cost_of(i))).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let (out, stats) = run_jobs(jobs.clone(), workers, |_, i| spin(i as u64, cost_of(i)));
+            assert_eq!(out, reference, "workers={workers}");
+            assert_eq!(stats.workers, workers.min(jobs.len()));
+            assert_eq!(stats.executed.iter().sum::<u64>(), jobs.len() as u64);
+        }
+    }
+
+    #[test]
+    fn skewed_batches_actually_steal() {
+        // One worker gets pinned on the heavy job; the other must steal
+        // the rest of its deque. With round-robin distribution and two
+        // workers, worker 0 holds jobs {0, 2, 4, ...}: job 0 is heavy, so
+        // worker 1 finishing its odd jobs steals the remaining evens.
+        let jobs: Vec<usize> = (0..64).collect();
+        let (out, stats) = run_jobs(jobs, 2, |_, i| spin(i as u64, cost_of(i) * 20));
+        assert_eq!(out.len(), 64);
+        assert!(stats.steals > 0, "expected at least one steal: {stats:?}");
+        assert_eq!(stats.jobs_stolen > 0, stats.steals > 0);
+    }
+
+    #[test]
+    fn single_job_runs_on_one_worker() {
+        let (out, stats) = run_jobs(vec![9u64], 16, |w, j| {
+            assert_eq!(w, 0);
+            j * 2
+        });
+        assert_eq!(out, vec![18]);
+        assert_eq!(stats.workers, 1);
+    }
+
+    #[test]
+    fn worker_index_is_in_range() {
+        let jobs: Vec<usize> = (0..100).collect();
+        let (out, _) = run_jobs(jobs, 5, |w, i| {
+            assert!(w < 5);
+            i
+        });
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+}

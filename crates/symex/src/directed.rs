@@ -24,6 +24,7 @@ use std::time::Instant;
 use octo_cfg::DistanceMap;
 use octo_ir::{BlockId, FuncId, Program};
 use octo_poc::{CrashPrimitives, PocFile};
+use octo_sched::CancelToken;
 use octo_solver::{Cond, Constraint, Expr, ExprRef, SolveResult};
 
 use crate::exec::{DeadReason, StepEvent, SymExecutor};
@@ -113,6 +114,9 @@ pub enum DirectedOutcome {
     LoopBudget,
     /// Step or solver budget exhausted without a verdict.
     Budget,
+    /// The run's [`CancelToken`] fired (per-job deadline or an explicit
+    /// cancel from the batch scheduler) before a verdict was reached.
+    Cancelled,
 }
 
 impl DirectedOutcome {
@@ -121,6 +125,9 @@ impl DirectedOutcome {
         matches!(self, DirectedOutcome::PocGenerated { .. })
     }
 }
+
+/// How many engine steps pass between two cancellation polls.
+pub const CANCEL_POLL_STEPS: u64 = 512;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
@@ -144,6 +151,7 @@ pub struct DirectedEngine<'p> {
     map: &'p DistanceMap,
     q: &'p CrashPrimitives,
     config: DirectedConfig,
+    cancel: Option<CancelToken>,
 }
 
 impl<'p> DirectedEngine<'p> {
@@ -165,7 +173,17 @@ impl<'p> DirectedEngine<'p> {
             map,
             q,
             config,
+            cancel: None,
         }
+    }
+
+    /// Attaches a cooperative cancellation token. The run loop polls it
+    /// every [`CANCEL_POLL_STEPS`] steps and winds down with
+    /// [`DirectedOutcome::Cancelled`] once it fires, so a runaway job
+    /// yields to its batch instead of stalling it.
+    pub fn with_cancel(mut self, token: CancelToken) -> DirectedEngine<'p> {
+        self.cancel = Some(token);
+        self
     }
 
     /// Runs P2+P3 to a verdict.
@@ -194,6 +212,16 @@ impl<'p> DirectedEngine<'p> {
         let mut total_steps: u64 = 0;
 
         let final_state = loop {
+            // Deadline / cancellation poll, at a coarse cadence so the
+            // Instant read stays off the hot path. Step 0 is included:
+            // an already-expired deadline never starts executing.
+            if total_steps.is_multiple_of(CANCEL_POLL_STEPS)
+                && self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+            {
+                stats.total_steps = total_steps;
+                stats.wall_seconds = start.elapsed().as_secs_f64();
+                return (DirectedOutcome::Cancelled, stats);
+            }
             if total_steps >= self.config.step_budget {
                 stats.total_steps = total_steps;
                 stats.wall_seconds = start.elapsed().as_secs_f64();
@@ -808,6 +836,68 @@ entry:
         assert_eq!(poc.byte(1), 0x42);
         let out = Vm::new(&p, poc.bytes()).run();
         assert!(matches!(out, RunOutcome::Exit(0)), "{out:?}");
+    }
+
+    #[test]
+    fn expired_deadline_cancels_before_any_step() {
+        let p = parse_program(GATED).unwrap();
+        let ep = p.func_by_name("shared").unwrap();
+        let cfg = build_cfg(&p, octo_cfg::CfgMode::Dynamic).unwrap();
+        let map = DistanceMap::compute(&p, &cfg, ep);
+        let q = primitives(&[(&[(9, 0x7F)], &[3])]);
+        let config = DirectedConfig {
+            file_len: 16,
+            ..DirectedConfig::default()
+        };
+        let engine = DirectedEngine::new(&p, ep, &map, &q, config)
+            .with_cancel(CancelToken::with_deadline(std::time::Duration::ZERO));
+        let (outcome, stats) = engine.run();
+        assert!(matches!(outcome, DirectedOutcome::Cancelled), "{outcome:?}");
+        assert_eq!(stats.total_steps, 0, "cancelled before stepping");
+    }
+
+    #[test]
+    fn explicit_cancel_mid_run_is_observed() {
+        // A token cancelled up front but with no deadline: the engine must
+        // notice it through the flag alone.
+        let p = parse_program(GATED).unwrap();
+        let ep = p.func_by_name("shared").unwrap();
+        let cfg = build_cfg(&p, octo_cfg::CfgMode::Dynamic).unwrap();
+        let map = DistanceMap::compute(&p, &cfg, ep);
+        let q = primitives(&[(&[(9, 0x7F)], &[3])]);
+        let token = CancelToken::new();
+        token.cancel();
+        let engine = DirectedEngine::new(
+            &p,
+            ep,
+            &map,
+            &q,
+            DirectedConfig {
+                file_len: 16,
+                ..DirectedConfig::default()
+            },
+        )
+        .with_cancel(token);
+        let (outcome, _) = engine.run();
+        assert!(matches!(outcome, DirectedOutcome::Cancelled), "{outcome:?}");
+    }
+
+    #[test]
+    fn live_token_does_not_change_the_verdict() {
+        let p = parse_program(GATED).unwrap();
+        let ep = p.func_by_name("shared").unwrap();
+        let cfg = build_cfg(&p, octo_cfg::CfgMode::Dynamic).unwrap();
+        let map = DistanceMap::compute(&p, &cfg, ep);
+        let q = primitives(&[(&[(9, 0x7F)], &[3])]);
+        let config = DirectedConfig {
+            file_len: 16,
+            ..DirectedConfig::default()
+        };
+        let engine = DirectedEngine::new(&p, ep, &map, &q, config).with_cancel(
+            CancelToken::with_deadline(std::time::Duration::from_secs(600)),
+        );
+        let (outcome, _) = engine.run();
+        assert!(outcome.generated(), "{outcome:?}");
     }
 
     #[test]

@@ -63,7 +63,9 @@ pub mod naive;
 pub mod state;
 pub mod value;
 
-pub use directed::{DirectedConfig, DirectedEngine, DirectedOutcome, DirectedStats};
+pub use directed::{
+    DirectedConfig, DirectedEngine, DirectedOutcome, DirectedStats, CANCEL_POLL_STEPS,
+};
 pub use exec::{StepEvent, SymExecutor};
 pub use naive::{NaiveConfig, NaiveExplorer, NaiveOutcome, NaiveStats};
 pub use state::SymState;
