@@ -23,10 +23,12 @@
 //! batch output is deterministic and diffable (the CI golden file relies
 //! on this).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use octo_ir::printer::print_program;
 use octo_ir::Program;
+use octo_obs::{Counter, Gauge, Histogram, MetricsRegistry, Span, SpanObserver};
 use octo_poc::PocFile;
 use octo_sched::{
     run_jobs, ArtifactCache, CacheStats, CancelToken, Event, EventSink, KeyHasher, SchedStats,
@@ -34,7 +36,8 @@ use octo_sched::{
 
 use crate::config::PipelineConfig;
 use crate::pipeline::{
-    prepare, verify_prepared, PrepareFailure, PreparedSource, SoftwarePairInput, VerificationReport,
+    prepare, verify_prepared_observed, PrepareFailure, PreparedSource, SoftwarePairInput,
+    VerificationReport,
 };
 use crate::portfolio::Urgency;
 
@@ -125,6 +128,11 @@ pub struct BatchReport {
     pub cache: CacheStats,
     /// Scheduler statistics.
     pub sched: SchedStats,
+    /// Every metric the run recorded (see `docs/observability.md`);
+    /// renderable as JSON or Prometheus text via
+    /// [`MetricsRegistry::render_json`] /
+    /// [`MetricsRegistry::render_prometheus`].
+    pub metrics: MetricsRegistry,
     /// Total wall-clock seconds for the batch.
     pub wall_seconds: f64,
 }
@@ -167,6 +175,28 @@ impl BatchReport {
                 e.urgency.recommendation()
             ));
         }
+        out.push_str("phases (seconds):\n");
+        out.push_str(&format!(
+            "    {:<44} {:>9} {:>9} {:>9}\n",
+            "job", "prepare", "symex", "p4"
+        ));
+        for e in &self.entries {
+            let symex = e
+                .report
+                .symex_stats
+                .as_ref()
+                .map(|s| format!("{:.3}", s.wall_seconds))
+                .unwrap_or_else(|| "-".to_string());
+            let p4 = if e.report.p4_insts > 0 {
+                format!("{:.3}", e.report.p4_seconds)
+            } else {
+                "-".to_string()
+            };
+            out.push_str(&format!(
+                "    {:<44} {:>9.3} {:>9} {:>9}\n",
+                e.name, e.report.prepare_seconds, symex, p4
+            ));
+        }
         out.push_str(&format!(
             "cache: {} hits / {} misses ({} artifacts, {} bytes)\n",
             self.cache.hits, self.cache.misses, self.cache.entries, self.cache.bytes
@@ -183,9 +213,17 @@ impl BatchReport {
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\"jobs\":[\n");
         for (i, e) in self.entries.iter().enumerate() {
+            let symex_seconds = e
+                .report
+                .symex_stats
+                .as_ref()
+                .map(|s| format!("{:.6}", s.wall_seconds))
+                .unwrap_or_else(|| "null".to_string());
             out.push_str(&format!(
                 "{{\"name\":\"{}\",\"verdict\":\"{}\",\"poc_generated\":{},\"verified\":{},\
-                 \"urgency\":\"{}\",\"cache_hit\":{},\"prescreen\":{},\"wall_seconds\":{:.6}}}{}\n",
+                 \"urgency\":\"{}\",\"cache_hit\":{},\"prescreen\":{},\
+                 \"prepare_seconds\":{:.6},\"symex_seconds\":{},\"p4_seconds\":{:.6},\
+                 \"wall_seconds\":{:.6}}}{}\n",
                 json_escape(&e.name),
                 e.report.verdict.type_label(),
                 e.report.verdict.poc_generated(),
@@ -193,6 +231,9 @@ impl BatchReport {
                 e.urgency.recommendation(),
                 e.cache_hit,
                 e.report.prescreen,
+                e.report.prepare_seconds,
+                symex_seconds,
+                e.report.p4_seconds,
                 e.report.wall_seconds,
                 if i + 1 == self.entries.len() { "" } else { "," }
             ));
@@ -243,27 +284,207 @@ pub(crate) fn prep_artifact_bytes(artifact: &Result<PreparedSource, PrepareFailu
 
 /// Runs one job against the shared prefix cache. Used by both
 /// [`run_batch`] and [`crate::portfolio::verify_portfolio`].
+///
+/// `obs` receives the phase spans: `"prepare"` fires only when this call
+/// actually computed the prefix (a cache miss); `"symex"` and `"p4"`
+/// fire from inside the pipeline suffix.
 pub(crate) fn verify_with_cache(
     cache: &ArtifactCache<Result<PreparedSource, PrepareFailure>>,
     input: &SoftwarePairInput<'_>,
     config: &PipelineConfig,
     cancel: Option<&CancelToken>,
+    obs: &dyn SpanObserver,
 ) -> (VerificationReport, bool, u64) {
     let start = Instant::now();
     let key = prefix_cache_key(input.s, input.poc, input.shared, config);
     let (prep, hit) = cache.get_or_compute(key, || {
+        let span = Span::start("prepare").with_observer(obs);
         let artifact = prepare(input.s, input.poc, input.shared, config);
+        span.finish();
         let bytes = prep_artifact_bytes(&artifact);
         (artifact, bytes)
     });
+    let prepare_seconds = start.elapsed().as_secs_f64();
     let mut report = match prep.as_ref() {
-        Ok(p) => verify_prepared(p, input, config, cancel),
+        Ok(p) => verify_prepared_observed(p, input, config, cancel, obs),
         Err(fail) => fail.to_report(),
     };
+    // The prefix as *this job* paid for it: a full prepare on a miss, a
+    // cache lookup (plus possibly waiting out another worker's
+    // single-flight compute) on a hit.
+    report.prepare_seconds = prepare_seconds;
     // Bill the whole job (prefix, cached or not, plus suffix) to one
     // clock, matching the sequential `verify` semantics.
     report.wall_seconds = start.elapsed().as_secs_f64();
     (report, hit, key)
+}
+
+/// Bridges pipeline phase spans into the batch event stream, stamping
+/// each with the job's submission index.
+struct SinkSpans<'a> {
+    sink: &'a dyn EventSink,
+    job: usize,
+}
+
+impl SpanObserver for SinkSpans<'_> {
+    fn span_finished(&self, name: &'static str, seconds: f64) {
+        self.sink.emit(Event::PhaseFinished {
+            job: self.job,
+            phase: name,
+            seconds,
+        });
+    }
+}
+
+/// Wall-time histogram bounds, microseconds (100µs … 10s).
+const MICROS_BUCKETS: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// Bunch-payload histogram bounds, bytes.
+const BUNCH_BUCKETS: [u64; 6] = [1, 4, 16, 64, 256, 1_024];
+
+fn micros(seconds: f64) -> u64 {
+    (seconds * 1e6) as u64
+}
+
+/// Pre-registered handles for every metric a batch run records, so the
+/// per-job hot path touches only lock-free atomics (the registry's
+/// name-lookup mutex is paid once, up front). The full catalogue is
+/// documented in `docs/observability.md` and pinned by
+/// `tests/golden/metrics_schema.txt`.
+struct BatchMetrics {
+    jobs_total: Arc<Counter>,
+    verdict_type_i: Arc<Counter>,
+    verdict_type_ii: Arc<Counter>,
+    verdict_type_iii: Arc<Counter>,
+    verdict_failure: Arc<Counter>,
+    prescreen_decided: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_entries: Arc<Gauge>,
+    cache_bytes: Arc<Gauge>,
+    sched_workers: Arc<Gauge>,
+    sched_steals: Arc<Counter>,
+    sched_jobs_stolen: Arc<Counter>,
+    p1_insts: Arc<Counter>,
+    p4_insts: Arc<Counter>,
+    taint_bytes_uploaded: Arc<Counter>,
+    taint_records: Arc<Counter>,
+    taint_peak_tainted_addrs: Arc<Gauge>,
+    taint_bunch_bytes: Arc<Histogram>,
+    symex_steps: Arc<Counter>,
+    symex_backtracks: Arc<Counter>,
+    symex_loop_retries: Arc<Counter>,
+    symex_forced_branches: Arc<Counter>,
+    symex_peak_mem_bytes: Arc<Gauge>,
+    symex_peak_fallback_depth: Arc<Gauge>,
+    solver_calls: Arc<Counter>,
+    solver_interval_refutations: Arc<Counter>,
+    solver_simplify_rewrites: Arc<Counter>,
+    job_queue_latency: Arc<Histogram>,
+    job_wall: Arc<Histogram>,
+    phase_p1: Arc<Histogram>,
+    phase_p2p3: Arc<Histogram>,
+    phase_p4: Arc<Histogram>,
+}
+
+impl BatchMetrics {
+    fn register(reg: &MetricsRegistry) -> BatchMetrics {
+        BatchMetrics {
+            jobs_total: reg.counter("batch_jobs_total"),
+            verdict_type_i: reg.counter("batch_verdict_type_i_total"),
+            verdict_type_ii: reg.counter("batch_verdict_type_ii_total"),
+            verdict_type_iii: reg.counter("batch_verdict_type_iii_total"),
+            verdict_failure: reg.counter("batch_verdict_failure_total"),
+            prescreen_decided: reg.counter("batch_prescreen_decided_total"),
+            cache_hits: reg.counter("cache_hits_total"),
+            cache_misses: reg.counter("cache_misses_total"),
+            cache_entries: reg.gauge("cache_entries"),
+            cache_bytes: reg.gauge("cache_bytes"),
+            sched_workers: reg.gauge("sched_workers"),
+            sched_steals: reg.counter("sched_steals_total"),
+            sched_jobs_stolen: reg.counter("sched_jobs_stolen_total"),
+            p1_insts: reg.counter("pipeline_p1_insts_total"),
+            p4_insts: reg.counter("pipeline_p4_insts_total"),
+            taint_bytes_uploaded: reg.counter("taint_bytes_uploaded_total"),
+            taint_records: reg.counter("taint_records_total"),
+            taint_peak_tainted_addrs: reg.gauge("taint_peak_tainted_addrs"),
+            taint_bunch_bytes: reg.histogram("taint_bunch_bytes", &BUNCH_BUCKETS),
+            symex_steps: reg.counter("symex_steps_total"),
+            symex_backtracks: reg.counter("symex_backtracks_total"),
+            symex_loop_retries: reg.counter("symex_loop_retries_total"),
+            symex_forced_branches: reg.counter("symex_forced_branches_total"),
+            symex_peak_mem_bytes: reg.gauge("symex_peak_mem_bytes"),
+            symex_peak_fallback_depth: reg.gauge("symex_peak_fallback_depth"),
+            solver_calls: reg.counter("solver_calls_total"),
+            solver_interval_refutations: reg.counter("solver_interval_refutations_total"),
+            solver_simplify_rewrites: reg.counter("solver_simplify_rewrites_total"),
+            job_queue_latency: reg.histogram("job_queue_latency_micros", &MICROS_BUCKETS),
+            job_wall: reg.histogram("job_wall_micros", &MICROS_BUCKETS),
+            phase_p1: reg.histogram("phase_p1_micros", &MICROS_BUCKETS),
+            phase_p2p3: reg.histogram("phase_p2p3_micros", &MICROS_BUCKETS),
+            phase_p4: reg.histogram("phase_p4_micros", &MICROS_BUCKETS),
+        }
+    }
+
+    /// Records one finished job. P1-side counters (taint, `p1_insts`,
+    /// bunch sizes) are billed only when this job actually computed the
+    /// prefix — cached artifacts would double-count work done once.
+    fn record_job(&self, entry: &BatchEntry) {
+        let report = &entry.report;
+        self.jobs_total.inc();
+        match report.verdict.type_label() {
+            "Type-I" => self.verdict_type_i.inc(),
+            "Type-II" => self.verdict_type_ii.inc(),
+            "Type-III" => self.verdict_type_iii.inc(),
+            _ => self.verdict_failure.inc(),
+        }
+        if report.prescreen {
+            self.prescreen_decided.inc();
+        }
+        self.job_wall.observe(micros(report.wall_seconds));
+        self.phase_p1.observe(micros(report.prepare_seconds));
+        if !entry.cache_hit {
+            self.p1_insts.add(report.p1_insts);
+            if let Some(t) = report.taint_stats {
+                self.taint_bytes_uploaded.add(t.bytes_uploaded);
+                self.taint_records.add(t.taint_records);
+                self.taint_peak_tainted_addrs
+                    .record_max(t.peak_tainted_addrs);
+            }
+            for &bytes in &report.bunch_bytes {
+                self.taint_bunch_bytes.observe(bytes);
+            }
+        }
+        if let Some(s) = &report.symex_stats {
+            self.symex_steps.add(s.total_steps);
+            self.symex_backtracks.add(s.backtracks);
+            self.symex_loop_retries.add(s.loop_retries);
+            self.symex_forced_branches.add(s.forced_branches);
+            self.symex_peak_mem_bytes.record_max(s.peak_mem_bytes);
+            self.symex_peak_fallback_depth
+                .record_max(s.peak_fallback_depth);
+            self.solver_calls.add(s.solver_calls);
+            self.solver_interval_refutations.add(s.interval_refutations);
+            self.solver_simplify_rewrites.add(s.simplify_rewrites);
+            self.phase_p2p3.observe(micros(s.wall_seconds));
+        }
+        if report.p4_insts > 0 {
+            self.p4_insts.add(report.p4_insts);
+            self.phase_p4.observe(micros(report.p4_seconds));
+        }
+    }
+
+    /// Records run-level cache and scheduler statistics (once, after all
+    /// workers have joined).
+    fn record_run(&self, cache: &CacheStats, sched: &SchedStats) {
+        self.cache_hits.add(cache.hits);
+        self.cache_misses.add(cache.misses);
+        self.cache_entries.set(cache.entries);
+        self.cache_bytes.set(cache.bytes);
+        self.sched_workers.set(sched.workers as u64);
+        self.sched_steals.add(sched.steals);
+        self.sched_jobs_stolen.add(sched.jobs_stolen);
+    }
 }
 
 /// Verifies every job on the work-stealing scheduler and returns the
@@ -277,10 +498,16 @@ pub fn run_batch(
 ) -> BatchReport {
     let start = Instant::now();
     let cache: ArtifactCache<Result<PreparedSource, PrepareFailure>> = ArtifactCache::new();
+    let metrics = MetricsRegistry::new();
+    let recorder = BatchMetrics::register(&metrics);
     let indices: Vec<usize> = (0..jobs.len()).collect();
 
     let (entries, sched) = run_jobs(indices, options.workers, |_worker, i| {
         let job = &jobs[i];
+        // Queue latency: how long the job sat submitted-but-unclaimed.
+        recorder
+            .job_queue_latency
+            .observe(micros(start.elapsed().as_secs_f64()));
         let job_start = Instant::now();
         sink.emit(Event::JobStarted {
             job: i,
@@ -292,42 +519,34 @@ pub fn run_batch(
             poc: &job.poc,
             shared: &job.shared,
         };
-        let prefix_start = Instant::now();
         let token = options.deadline.map(CancelToken::with_deadline);
-        let (report, cache_hit, key) = verify_with_cache(&cache, &input, config, token.as_ref());
+        let spans = SinkSpans { sink, job: i };
+        let (report, cache_hit, key) =
+            verify_with_cache(&cache, &input, config, token.as_ref(), &spans);
         if cache_hit {
             sink.emit(Event::CacheHit { job: i, key });
-        } else {
-            sink.emit(Event::PhaseFinished {
-                job: i,
-                phase: "prepare",
-                seconds: prefix_start.elapsed().as_secs_f64(),
-            });
-        }
-        if let Some(stats) = &report.symex_stats {
-            sink.emit(Event::PhaseFinished {
-                job: i,
-                phase: "symex",
-                seconds: stats.wall_seconds,
-            });
         }
         sink.emit(Event::JobFinished {
             job: i,
             outcome: report.verdict.type_label().to_string(),
             seconds: job_start.elapsed().as_secs_f64(),
         });
-        BatchEntry {
+        let entry = BatchEntry {
             name: job.name.clone(),
             urgency: Urgency::of(&report.verdict),
             cache_hit,
             report,
-        }
+        };
+        recorder.record_job(&entry);
+        entry
     });
 
+    recorder.record_run(&cache.stats(), &sched);
     BatchReport {
         entries,
         cache: cache.stats(),
         sched,
+        metrics,
         wall_seconds: start.elapsed().as_secs_f64(),
     }
 }
@@ -535,6 +754,11 @@ fine:
             )) == 1
         );
         assert!(count(&|e| matches!(e, Event::PhaseFinished { phase: "symex", .. })) >= 1);
+        // Both gated jobs reach P4 (a poc' is generated for each).
+        assert_eq!(
+            count(&|e| matches!(e, Event::PhaseFinished { phase: "p4", .. })),
+            2
+        );
         // Every event renders both ways.
         for e in &events {
             assert!(!e.render_human().is_empty());
@@ -554,8 +778,12 @@ fine:
         let human = report.render_human();
         assert!(human.contains("Type-II"), "{human}");
         assert!(human.contains("cache: 1 hits / 1 misses"), "{human}");
+        // The phase table lists every job; the symex-free job shows "-".
+        assert!(human.contains("phases (seconds):"), "{human}");
         let json = report.render_json();
         assert!(json.contains("\"cache_hit\":true"), "{json}");
+        assert!(json.contains("\"prepare_seconds\":"), "{json}");
+        assert!(json.contains("\"symex_seconds\":"), "{json}");
         let stable = report.render_verdicts_json();
         assert!(
             stable.contains("\"name\":\"gated\",\"verdict\":\"Type-II\""),
@@ -588,6 +816,84 @@ fine:
         ));
         // …but jobs decided before symex are unaffected.
         assert_eq!(report.entries[1].report.verdict.type_label(), "Type-III");
+    }
+
+    #[test]
+    fn metrics_account_for_the_whole_run() {
+        // Two jobs share one prefix: P1-side counters must be billed
+        // once, per-job counters twice.
+        let jobs = vec![job("gated", t_gated()), job("safe", t_safe())];
+        let report = run_batch(
+            &jobs,
+            &PipelineConfig::default(),
+            &BatchOptions::default(),
+            &NullSink,
+        );
+        let m = &report.metrics;
+        let counter = |name: &str| m.get_counter(name).expect(name).get();
+        let gauge = |name: &str| m.get_gauge(name).expect(name).get();
+        assert_eq!(counter("batch_jobs_total"), 2);
+        assert_eq!(counter("batch_verdict_type_ii_total"), 1);
+        assert_eq!(counter("batch_verdict_type_iii_total"), 1);
+        assert_eq!(counter("cache_hits_total"), 1);
+        assert_eq!(counter("cache_misses_total"), 1);
+        assert_eq!(gauge("cache_entries"), 1);
+        // P1 ran once; its counters must not be double-billed by the hit.
+        assert_eq!(
+            counter("pipeline_p1_insts_total"),
+            report.entries[0].report.p1_insts,
+            "cached prefix must not double-count P1 work"
+        );
+        assert_eq!(counter("taint_bytes_uploaded_total"), 1, "one getc byte");
+        let bunches = m.get_histogram("taint_bunch_bytes").expect("registered");
+        assert_eq!(bunches.count(), 1, "one bunch, recorded once");
+        // Both jobs ran symex (the safe T still needs the engine to prove
+        // ep unreachable); the gated one reached P4.
+        assert!(counter("symex_steps_total") > 0);
+        assert!(counter("solver_calls_total") > 0);
+        assert!(counter("pipeline_p4_insts_total") > 0);
+        assert!(gauge("symex_peak_mem_bytes") > 0);
+        let wall = m.get_histogram("job_wall_micros").expect("registered");
+        assert_eq!(wall.count(), 2);
+        let queue = m
+            .get_histogram("job_queue_latency_micros")
+            .expect("registered");
+        assert_eq!(queue.count(), 2);
+        let p1 = m.get_histogram("phase_p1_micros").expect("registered");
+        assert_eq!(p1.count(), 2, "every job pays some prefix wall time");
+        // Renderings stay well-formed and carry every metric name.
+        let json = m.render_json();
+        let prom = m.render_prometheus();
+        for name in m.names() {
+            assert!(json.contains(&format!("\"name\":\"{name}\"")), "{name}");
+            assert!(prom.contains(&name), "{name}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_registers_the_full_schema() {
+        // Even a no-op run exposes the complete metric catalogue (the
+        // schema golden file and CI diff rely on eager registration),
+        // and renders it without NaN or division by zero.
+        let report = run_batch(
+            &[],
+            &PipelineConfig::default(),
+            &BatchOptions::default(),
+            &NullSink,
+        );
+        assert!(report.metrics.names().len() >= 30);
+        let json = report.metrics.render_json();
+        assert!(!json.contains("NaN"), "{json}");
+        assert!(!json.contains("null"), "{json}");
+        assert_eq!(
+            report
+                .metrics
+                .get_histogram("job_wall_micros")
+                .expect("registered")
+                .quantile(0.5),
+            None,
+            "empty histogram has no quantiles, not NaN"
+        );
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //!          [--context-free] [--prescreen] [--json]
 //! octopocs lint program.mir [--format human|json]
 //! octopocs batch (--corpus | --jobs FILE) [--workers N] [--deadline-secs S]
-//!          [--json | --verdicts-json] [--events] [--theta N]
+//!          [--json | --verdicts-json] [--events] [--metrics-json PATH]
+//!          [--metrics-prom PATH] [--theta N]
 //!          [--accelerate-loops] [--static-cfg] [--context-free] [--prescreen]
 //! ```
 //!
@@ -28,8 +29,11 @@
 //! line (`name S.mir T.mir poc.bin f1,f2`; `#` starts a comment).
 //! `--json` emits the full machine-readable report, `--verdicts-json` the
 //! stable verdicts-only document that CI diffs against its golden file,
-//! and `--events` streams progress events to stderr. Exit code 0 = the
-//! batch ran (whatever the verdicts), 3 = usage or input error.
+//! and `--events` streams progress events to stderr. `--metrics-json` and
+//! `--metrics-prom` write the run's metrics registry (counters, gauges,
+//! phase histograms; see `docs/observability.md`) to a file as JSON or
+//! Prometheus text exposition. Exit code 0 = the batch ran (whatever the
+//! verdicts), 3 = usage or input error.
 
 use std::process::ExitCode;
 
@@ -59,7 +63,8 @@ fn usage() -> String {
      [--static-cfg] [--context-free] [--prescreen] [--json]\n       \
      octopocs lint program.mir [--format human|json]\n       \
      octopocs batch (--corpus | --jobs FILE) [--workers N] \
-     [--deadline-secs S] [--json | --verdicts-json] [--events] [--theta N] \
+     [--deadline-secs S] [--json | --verdicts-json] [--events] \
+     [--metrics-json PATH] [--metrics-prom PATH] [--theta N] \
      [--accelerate-loops] [--static-cfg] [--context-free] [--prescreen]"
         .to_string()
 }
@@ -262,6 +267,8 @@ fn batch_main(argv: &[String]) -> ExitCode {
     let mut json = false;
     let mut verdicts_json = false;
     let mut events = false;
+    let mut metrics_json: Option<String> = None;
+    let mut metrics_prom: Option<String> = None;
     let mut it = argv.iter();
     let parse_error = |msg: String| {
         if msg.is_empty() {
@@ -310,6 +317,8 @@ fn batch_main(argv: &[String]) -> ExitCode {
                 "--json" => json = true,
                 "--verdicts-json" => verdicts_json = true,
                 "--events" => events = true,
+                "--metrics-json" => metrics_json = Some(value("--metrics-json")?),
+                "--metrics-prom" => metrics_prom = Some(value("--metrics-prom")?),
                 "--help" | "-h" => return Err(String::new()),
                 other => return Err(format!("unknown batch flag `{other}`")),
             }
@@ -343,6 +352,18 @@ fn batch_main(argv: &[String]) -> ExitCode {
     } else {
         run_batch(&jobs, &config, &options, &octo_sched::NullSink)
     };
+
+    for (path, content) in [
+        (&metrics_json, report.metrics.render_json()),
+        (&metrics_prom, report.metrics.render_prometheus()),
+    ] {
+        if let Some(path) = path {
+            if let Err(e) = std::fs::write(path, content) {
+                eprintln!("error writing {path}: {e}");
+                return ExitCode::from(3);
+            }
+        }
+    }
 
     if verdicts_json {
         print!("{}", report.render_verdicts_json());

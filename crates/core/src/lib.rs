@@ -103,8 +103,8 @@ pub use batch::{prefix_cache_key, run_batch, BatchEntry, BatchJob, BatchOptions,
 pub use config::PipelineConfig;
 pub use minimize::{minimize_poc, MinimizeStats};
 pub use pipeline::{
-    prepare, verify, verify_prepared, PrepareFailure, PreparedSource, SoftwarePairInput,
-    VerificationReport,
+    prepare, verify, verify_prepared, verify_prepared_observed, PrepareFailure, PreparedSource,
+    SoftwarePairInput, VerificationReport,
 };
 pub use portfolio::{render_portfolio, verify_portfolio, Job, PortfolioEntry, Urgency};
 pub use preprocess::{identify_ep, PreprocessError};

@@ -13,10 +13,11 @@ use std::time::Instant;
 
 use octo_cfg::{build_cfg, DistanceMap};
 use octo_ir::{FuncId, Program};
+use octo_obs::{NullObserver, Span, SpanObserver};
 use octo_poc::{CrashPrimitives, PocFile};
 use octo_sched::CancelToken;
 use octo_symex::{DirectedConfig, DirectedEngine, DirectedOutcome, DirectedStats};
-use octo_taint::{extract_with_limits, TaintConfig, TaintError};
+use octo_taint::{extract_with_limits, TaintConfig, TaintError, TaintStats};
 use octo_vm::{CrashReport, RunOutcome, Vm};
 
 use crate::config::PipelineConfig;
@@ -52,6 +53,13 @@ pub struct VerificationReport {
     pub ep_entries: u32,
     /// Instructions executed in P1 (taint run over `S`).
     pub p1_insts: u64,
+    /// P1 taint-engine counters (bytes uploaded, tainted-address peak,
+    /// records). Present whenever the prefix succeeded, even when the
+    /// prepared artifact came from a cache.
+    pub taint_stats: Option<TaintStats>,
+    /// Dense byte count of each crash-primitive bunch, in `ep`-entry
+    /// order (the P3 stitching payload sizes).
+    pub bunch_bytes: Vec<u64>,
     /// Directed symbolic execution statistics (P2+P3).
     pub symex_stats: Option<DirectedStats>,
     /// Instructions executed in P4 (concrete run of `T`).
@@ -59,6 +67,13 @@ pub struct VerificationReport {
     /// Whether the verdict was decided by the P0 static pre-screen, i.e.
     /// without running directed symbolic execution over `T`.
     pub prescreen: bool,
+    /// Wall-clock seconds of the pipeline prefix as this job paid for it
+    /// (preprocessing + P1, or a cache lookup when the artifact was
+    /// shared).
+    pub prepare_seconds: f64,
+    /// Wall-clock seconds of the P4 concrete replay of `T` under `poc'`
+    /// (0 when P4 never ran).
+    pub p4_seconds: f64,
     /// Total wall-clock seconds for the whole pipeline.
     pub wall_seconds: f64,
 }
@@ -72,9 +87,13 @@ impl VerificationReport {
             t_crash: None,
             ep_entries: 0,
             p1_insts: 0,
+            taint_stats: None,
+            bunch_bytes: Vec::new(),
             symex_stats: None,
             p4_insts: 0,
             prescreen: false,
+            prepare_seconds: 0.0,
+            p4_seconds: 0.0,
             wall_seconds: 0.0,
         }
     }
@@ -109,6 +128,8 @@ pub struct PreparedSource {
     pub ep_entries: u32,
     /// Instructions the P1 taint run executed.
     pub p1_insts: u64,
+    /// P1 taint-engine counters.
+    pub taint: TaintStats,
 }
 
 impl PreparedSource {
@@ -215,6 +236,7 @@ pub fn prepare(
         primitives: extraction.primitives,
         ep_entries: extraction.ep_entries,
         p1_insts: extraction.insts,
+        taint: extraction.stats,
     })
 }
 
@@ -226,10 +248,16 @@ pub fn prepare(
 pub fn verify(input: &SoftwarePairInput<'_>, config: &PipelineConfig) -> VerificationReport {
     let start = Instant::now();
     match prepare(input.s, input.poc, input.shared, config) {
-        Ok(prep) => verify_suffix(&prep, input, config, None, start),
+        Ok(prep) => {
+            let prepare_seconds = start.elapsed().as_secs_f64();
+            let mut report = verify_suffix(&prep, input, config, None, &NullObserver, start);
+            report.prepare_seconds = prepare_seconds;
+            report
+        }
         Err(fail) => {
             let mut report = fail.to_report();
             report.wall_seconds = start.elapsed().as_secs_f64();
+            report.prepare_seconds = report.wall_seconds;
             report
         }
     }
@@ -248,7 +276,20 @@ pub fn verify_prepared(
     config: &PipelineConfig,
     cancel: Option<&CancelToken>,
 ) -> VerificationReport {
-    verify_suffix(prep, input, config, cancel, Instant::now())
+    verify_prepared_observed(prep, input, config, cancel, &NullObserver)
+}
+
+/// [`verify_prepared`] with a [`SpanObserver`] receiving the `"symex"`
+/// and `"p4"` phase spans as they finish (the batch runner bridges these
+/// into its [`octo_sched::Event`] stream and metrics registry).
+pub fn verify_prepared_observed(
+    prep: &PreparedSource,
+    input: &SoftwarePairInput<'_>,
+    config: &PipelineConfig,
+    cancel: Option<&CancelToken>,
+    obs: &dyn SpanObserver,
+) -> VerificationReport {
+    verify_suffix(prep, input, config, cancel, obs, Instant::now())
 }
 
 /// The suffix with an explicit start instant, so [`verify`] can bill the
@@ -258,6 +299,7 @@ fn verify_suffix(
     input: &SoftwarePairInput<'_>,
     config: &PipelineConfig,
     cancel: Option<&CancelToken>,
+    obs: &dyn SpanObserver,
     start: Instant,
 ) -> VerificationReport {
     let mut report = VerificationReport {
@@ -269,9 +311,20 @@ fn verify_suffix(
         t_crash: None,
         ep_entries: prep.ep_entries,
         p1_insts: prep.p1_insts,
+        taint_stats: Some(prep.taint),
+        bunch_bytes: (0..prep.primitives.entry_count())
+            .map(|k| {
+                prep.primitives
+                    .bunch(k)
+                    .map(|b| b.dense_bytes().len() as u64)
+                    .unwrap_or(0)
+            })
+            .collect(),
         symex_stats: None,
         p4_insts: 0,
         prescreen: false,
+        prepare_seconds: 0.0,
+        p4_seconds: 0.0,
         wall_seconds: 0.0,
     };
     let extraction = &prep.primitives;
@@ -341,7 +394,9 @@ fn verify_suffix(
     if let Some(token) = cancel {
         engine = engine.with_cancel(token.clone());
     }
+    let symex_span = Span::start("symex").with_observer(obs);
     let (outcome, stats) = engine.run();
+    symex_span.finish();
     report.symex_stats = Some(stats);
 
     report.verdict = match outcome {
@@ -373,7 +428,9 @@ fn verify_suffix(
                 .t
                 .resolve_names(input.shared.iter().map(String::as_str));
             let mut vm = Vm::new(input.t, poc_prime.bytes()).with_limits(config.vm_limits);
+            let p4_span = Span::start("p4").with_observer(obs);
             let outcome = vm.run();
+            report.p4_seconds = p4_span.finish();
             report.p4_insts = vm.insts_executed();
             match outcome {
                 RunOutcome::Crash(crash) if crash.backtrace.any_in(&shared_t) => {
@@ -831,5 +888,54 @@ entry:
         assert!(report.s_crash.is_some());
         assert!(report.t_crash.is_some());
         assert!(report.poc_prime().is_some());
+        // Observability fields: the prefix and P4 are billed separately,
+        // and the P1 engine counters travel with the report.
+        assert!(report.prepare_seconds > 0.0);
+        assert!(report.prepare_seconds < report.wall_seconds);
+        assert!(report.p4_seconds > 0.0);
+        let taint = report.taint_stats.expect("prefix succeeded");
+        assert!(taint.bytes_uploaded > 0);
+        // One ep entry → one bunch. Its dense payload may be empty (the
+        // tainted byte reaches `shared` through an argument register,
+        // not memory), which is exactly what the size metric shows.
+        assert_eq!(report.bunch_bytes.len(), 1);
+    }
+
+    #[test]
+    fn observer_sees_symex_and_p4_spans() {
+        use std::sync::Mutex;
+
+        struct Recorder(Mutex<Vec<(&'static str, f64)>>);
+        impl SpanObserver for Recorder {
+            fn span_finished(&self, name: &'static str, seconds: f64) {
+                self.0.lock().unwrap().push((name, seconds));
+            }
+        }
+
+        let t_src = format!(
+            "func main() {{\nentry:\n fd = open\n b = getc fd\n call shared(b)\n \
+             halt 0\n}}\n{SHARED}"
+        );
+        let s = s_program();
+        let t = parse_program(&t_src).unwrap();
+        let poc = PocFile::from(&b"A"[..]);
+        let shared = vec!["shared".to_string()];
+        let input = SoftwarePairInput {
+            s: &s,
+            t: &t,
+            poc: &poc,
+            shared: &shared,
+        };
+        let config = PipelineConfig::default();
+        let prep = prepare(&s, &poc, &shared, &config).expect("prefix succeeds");
+        let obs = Recorder(Mutex::new(Vec::new()));
+        let report = verify_prepared_observed(&prep, &input, &config, None, &obs);
+        assert!(report.verdict.poc_generated());
+        let spans = obs.0.into_inner().unwrap();
+        let names: Vec<&str> = spans.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["symex", "p4"], "spans fire in phase order");
+        assert!(spans.iter().all(|(_, s)| *s >= 0.0));
+        let (_, p4) = spans[1];
+        assert!((p4 - report.p4_seconds).abs() < 1e-9);
     }
 }

@@ -101,7 +101,8 @@ pub fn verify_portfolio(
     let indices: Vec<usize> = (0..jobs.len()).collect();
     let (mut entries, _stats) = run_jobs(indices, threads.max(1), |_worker, i| {
         let job = &jobs[i];
-        let (report, _cache_hit, _key) = verify_with_cache(&cache, &job.input, config, None);
+        let (report, _cache_hit, _key) =
+            verify_with_cache(&cache, &job.input, config, None, &octo_obs::NullObserver);
         PortfolioEntry {
             name: job.name.to_string(),
             urgency: Urgency::of(&report.verdict),

@@ -1,0 +1,155 @@
+//! Phase-scoped timers.
+//!
+//! A [`Span`] measures one phase of the pipeline (P1 taint, P2+P3
+//! directed symex, P4 replay). Spans nest by construction order —
+//! starting a span inside another simply times the inner region — and
+//! on finish they can record the elapsed microseconds into a
+//! [`Histogram`] and/or notify a [`SpanObserver`]. The observer hook is
+//! how phase timings reach `octo_sched::EventSink` without this crate
+//! depending on the scheduler: the bridge lives with the caller.
+
+use std::time::Instant;
+
+use crate::registry::Histogram;
+
+/// Receives finished-span notifications.
+///
+/// Implementors bridge spans into other event systems; the batch layer
+/// adapts this to `octo_sched::Event::PhaseFinished`.
+pub trait SpanObserver: Sync {
+    /// Called exactly once per span when it finishes (or is dropped).
+    fn span_finished(&self, name: &'static str, seconds: f64);
+}
+
+/// An observer that discards every notification.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl SpanObserver for NullObserver {
+    fn span_finished(&self, _name: &'static str, _seconds: f64) {}
+}
+
+/// An RAII phase timer.
+///
+/// ```
+/// use octo_obs::{MetricsRegistry, Span};
+/// let reg = MetricsRegistry::new();
+/// let hist = reg.histogram("phase_p1_micros", &[100, 10_000]);
+/// let span = Span::start("p1").with_histogram(&hist);
+/// // ... do the phase work ...
+/// let seconds = span.finish();
+/// assert!(seconds >= 0.0);
+/// assert_eq!(hist.count(), 1);
+/// ```
+#[must_use = "a span measures the region it is alive for"]
+pub struct Span<'a> {
+    name: &'static str,
+    start: Instant,
+    histogram: Option<&'a Histogram>,
+    observer: Option<&'a dyn SpanObserver>,
+    finished: bool,
+}
+
+impl<'a> Span<'a> {
+    /// Starts the clock.
+    pub fn start(name: &'static str) -> Span<'a> {
+        Span {
+            name,
+            start: Instant::now(),
+            histogram: None,
+            observer: None,
+            finished: false,
+        }
+    }
+
+    /// Also record the elapsed time (in microseconds) into `h` on finish.
+    pub fn with_histogram(mut self, h: &'a Histogram) -> Span<'a> {
+        self.histogram = Some(h);
+        self
+    }
+
+    /// Also notify `obs` on finish.
+    pub fn with_observer(mut self, obs: &'a dyn SpanObserver) -> Span<'a> {
+        self.observer = Some(obs);
+        self
+    }
+
+    /// Stops the clock, records, and returns the elapsed seconds.
+    pub fn finish(mut self) -> f64 {
+        self.record()
+    }
+
+    fn record(&mut self) -> f64 {
+        if self.finished {
+            return 0.0;
+        }
+        self.finished = true;
+        let elapsed = self.start.elapsed();
+        if let Some(h) = self.histogram {
+            h.observe(elapsed.as_micros() as u64);
+        }
+        if let Some(obs) = self.observer {
+            obs.span_finished(self.name, elapsed.as_secs_f64());
+        }
+        elapsed.as_secs_f64()
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+    use std::sync::Mutex;
+
+    struct Recorder(Mutex<Vec<(&'static str, f64)>>);
+
+    impl SpanObserver for Recorder {
+        fn span_finished(&self, name: &'static str, seconds: f64) {
+            self.0.lock().unwrap().push((name, seconds));
+        }
+    }
+
+    #[test]
+    fn finish_records_once_into_histogram_and_observer() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("t", &[1_000_000]);
+        let rec = Recorder(Mutex::new(Vec::new()));
+        let span = Span::start("p2").with_histogram(&h).with_observer(&rec);
+        let secs = span.finish();
+        assert!(secs >= 0.0);
+        assert_eq!(h.count(), 1);
+        let seen = rec.0.lock().unwrap();
+        assert_eq!(seen.len(), 1, "finish + drop must not double-record");
+        assert_eq!(seen[0].0, "p2");
+        assert!(seen[0].1 >= 0.0);
+    }
+
+    #[test]
+    fn dropping_an_unfinished_span_still_records() {
+        let rec = Recorder(Mutex::new(Vec::new()));
+        {
+            let _span = Span::start("p4").with_observer(&rec);
+        }
+        assert_eq!(rec.0.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn spans_nest_by_scope() {
+        let reg = MetricsRegistry::new();
+        let outer_h = reg.histogram("outer", &[]);
+        let inner_h = reg.histogram("inner", &[]);
+        let outer = Span::start("outer").with_histogram(&outer_h);
+        let inner = Span::start("inner").with_histogram(&inner_h);
+        let inner_secs = inner.finish();
+        let outer_secs = outer.finish();
+        assert!(outer_secs >= inner_secs, "outer span covers the inner one");
+        assert_eq!(outer_h.count(), 1);
+        assert_eq!(inner_h.count(), 1);
+    }
+}

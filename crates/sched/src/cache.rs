@@ -226,6 +226,18 @@ mod tests {
     }
 
     #[test]
+    fn unconsulted_cache_hit_ratio_is_zero_not_nan() {
+        // Regression guard for the metrics exports: an empty batch
+        // renders CacheStats without ever consulting the cache, and the
+        // ratio must stay a plain 0.0 (no 0/0 NaN leaking into JSON).
+        let cache: ArtifactCache<u32> = ArtifactCache::new();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0));
+        assert_eq!(stats.hit_ratio(), 0.0);
+        assert!(stats.hit_ratio().is_finite());
+    }
+
+    #[test]
     fn distinct_keys_do_not_alias() {
         let cache: ArtifactCache<u32> = ArtifactCache::new();
         let (a, _) = cache.get_or_compute(1, || (10, 1));

@@ -52,4 +52,4 @@ pub use constraint::{Cond, Constraint, ConstraintSet};
 pub use domain::ByteDomain;
 pub use expr::{Expr, ExprRef};
 pub use interval::{eval_interval, Interval};
-pub use solve::{Model, SolveLimits, SolveResult};
+pub use solve::{Model, SolveLimits, SolveResult, SolverCounters};

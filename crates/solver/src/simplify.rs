@@ -8,11 +8,27 @@
 //!   form*, which the constraint normaliser can decompose into per-byte
 //!   facts — the fragment where propagation is complete.
 
+use std::cell::Cell;
 use std::rc::Rc;
 
 use octo_ir::BinOp;
 
 use crate::expr::{Expr, ExprRef};
+
+thread_local! {
+    static REWRITES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A rewrite rule fired: count it for the observability layer (surfaced
+/// through `SolverCounters::simplify_rewrites`).
+fn note_rewrite() {
+    REWRITES.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// Total rewrite-rule firings on this thread since it started.
+pub(crate) fn rewrites_total() -> u64 {
+    REWRITES.with(Cell::get)
+}
 
 /// Simplifies an expression bottom-up. Idempotent.
 pub fn simplify(e: &ExprRef) -> ExprRef {
@@ -22,9 +38,11 @@ pub fn simplify(e: &ExprRef) -> ExprRef {
             let parts: Vec<ExprRef> = parts.iter().map(simplify).collect();
             // All-constant concat folds to a constant.
             if let Some(v) = concat_const(&parts) {
+                note_rewrite();
                 return Expr::val(v);
             }
             if parts.len() == 1 {
+                note_rewrite();
                 return parts.into_iter().next().expect("len 1");
             }
             Rc::new(Expr::Concat(parts))
@@ -32,6 +50,7 @@ pub fn simplify(e: &ExprRef) -> ExprRef {
         Expr::Un(op, a) => {
             let a = simplify(a);
             if let Some(v) = a.as_const() {
+                note_rewrite();
                 return Expr::val(op.eval(v));
             }
             Expr::un(*op, a)
@@ -56,51 +75,64 @@ fn simplify_bin(op: BinOp, a: ExprRef, b: ExprRef) -> ExprRef {
     // Full constant folding (when not dividing by zero).
     if let (Some(x), Some(y)) = (a.as_const(), b.as_const()) {
         if let Some(v) = op.eval(x, y) {
+            note_rewrite();
             return Expr::val(v);
         }
     }
     match op {
         BinOp::Add | BinOp::Or | BinOp::Xor => {
             if a.as_const() == Some(0) {
+                note_rewrite();
                 return b;
             }
             if b.as_const() == Some(0) {
+                note_rewrite();
                 return a;
             }
         }
         BinOp::Sub | BinOp::Shl | BinOp::ShrL | BinOp::ShrA if b.as_const() == Some(0) => {
+            note_rewrite();
             return a;
         }
         BinOp::Mul => {
             if a.as_const() == Some(1) {
+                note_rewrite();
                 return b;
             }
             if b.as_const() == Some(1) {
+                note_rewrite();
                 return a;
             }
             if a.as_const() == Some(0) || b.as_const() == Some(0) {
+                note_rewrite();
                 return Expr::val(0);
             }
         }
         BinOp::And => {
             if a.as_const() == Some(u64::MAX) {
+                note_rewrite();
                 return b;
             }
             if b.as_const() == Some(u64::MAX) {
+                note_rewrite();
                 return a;
             }
             if a.as_const() == Some(0) || b.as_const() == Some(0) {
+                note_rewrite();
                 return Expr::val(0);
             }
             // Byte-aligned masking of a concat truncates it.
             if let Some(r) = mask_concat(&a, &b) {
+                note_rewrite();
                 return r;
             }
         }
         BinOp::CmpEq if Rc::ptr_eq(&a, &b) => {
+            note_rewrite();
             return Expr::val(1);
         }
         BinOp::CmpNe if Rc::ptr_eq(&a, &b) => {
+            note_rewrite();
             return Expr::val(0);
         }
         _ => {}
@@ -109,6 +141,7 @@ fn simplify_bin(op: BinOp, a: ExprRef, b: ExprRef) -> ExprRef {
     if matches!(op, BinOp::ShrL) {
         if let (Expr::Concat(parts), Some(sh)) = (&*a, b.as_const()) {
             if sh % 8 == 0 && (sh / 8) as usize <= parts.len() {
+                note_rewrite();
                 let skip = (sh / 8) as usize;
                 let rest: Vec<ExprRef> = parts[skip..].to_vec();
                 return match rest.len() {

@@ -1,9 +1,68 @@
 //! The solving engine: domain propagation plus bounded backtracking search.
 
+use std::cell::Cell;
 use std::collections::BTreeMap;
 
 use crate::constraint::{Constraint, ConstraintSet};
 use crate::domain::ByteDomain;
+
+thread_local! {
+    static SOLVES: Cell<u64> = const { Cell::new(0) };
+    static UNSAT_RESULTS: Cell<u64> = const { Cell::new(0) };
+    static INTERVAL_REFUTATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Snapshot of the thread-local solver activity counters.
+///
+/// Every [`ConstraintSet::solve_with`] entry (including
+/// [`ConstraintSet::quick_feasible`] pre-checks) bumps `solves`; `Unsat`
+/// results bump `unsat_results`; refutations proven by interval
+/// reasoning alone bump `interval_refutations`; rewrite-rule firings in
+/// the simplifier bump `simplify_rewrites`. Callers take two snapshots
+/// and diff them with [`SolverCounters::since`] to attribute work to a
+/// region — the counters are per-thread, so a verification job measures
+/// only itself.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverCounters {
+    /// Solver entries (full solves and propagation-only pre-checks).
+    pub solves: u64,
+    /// Solves that returned `Unsat`.
+    pub unsat_results: u64,
+    /// Constraints refuted by interval reasoning during propagation.
+    pub interval_refutations: u64,
+    /// Simplifier rewrite rules fired.
+    pub simplify_rewrites: u64,
+}
+
+impl SolverCounters {
+    /// Reads the current thread's counters.
+    pub fn snapshot() -> SolverCounters {
+        SolverCounters {
+            solves: SOLVES.with(Cell::get),
+            unsat_results: UNSAT_RESULTS.with(Cell::get),
+            interval_refutations: INTERVAL_REFUTATIONS.with(Cell::get),
+            simplify_rewrites: crate::simplify::rewrites_total(),
+        }
+    }
+
+    /// The activity between `earlier` and this snapshot.
+    pub fn since(&self, earlier: &SolverCounters) -> SolverCounters {
+        SolverCounters {
+            solves: self.solves.wrapping_sub(earlier.solves),
+            unsat_results: self.unsat_results.wrapping_sub(earlier.unsat_results),
+            interval_refutations: self
+                .interval_refutations
+                .wrapping_sub(earlier.interval_refutations),
+            simplify_rewrites: self
+                .simplify_rewrites
+                .wrapping_sub(earlier.simplify_rewrites),
+        }
+    }
+}
+
+fn bump(cell: &'static std::thread::LocalKey<Cell<u64>>) {
+    cell.with(|c| c.set(c.get().wrapping_add(1)));
+}
 
 /// Budgets bounding a solve. With the defaults, every constraint set the
 /// reproduction's pipeline emits solves well inside the limits; `Unknown`
@@ -104,13 +163,19 @@ impl ConstraintSet {
 
     /// Solves the set with explicit limits.
     pub fn solve_with(&self, limits: SolveLimits) -> SolveResult {
-        if self.is_trivially_false() {
+        bump(&SOLVES);
+        let result = if self.is_trivially_false() {
             // Normalisation proved the contradiction and dropped the
             // offending constraint from the item list; the search below
             // must not mistake the empty list for satisfiability.
-            return SolveResult::Unsat;
+            SolveResult::Unsat
+        } else {
+            Solver::new(self, limits).solve()
+        };
+        if result == SolveResult::Unsat {
+            bump(&UNSAT_RESULTS);
         }
-        Solver::new(self, limits).solve()
+        result
     }
 
     /// Propagation-only feasibility pre-check (used by directed symbolic
@@ -233,6 +298,7 @@ impl<'a> Solver<'a> {
                     // refute impossible bounds (e.g. a byte sum that
                     // cannot reach the required constant).
                     _ if free.len() >= 3 && self.interval_refuted(c) => {
+                        bump(&INTERVAL_REFUTATIONS);
                         return false;
                     }
                     _ if free.len() >= 3 => {}
@@ -526,6 +592,41 @@ mod tests {
     fn empty_set_is_sat() {
         let set = ConstraintSet::new();
         assert!(set.solve().is_sat());
+    }
+
+    #[test]
+    fn counters_attribute_solver_activity() {
+        let before = SolverCounters::snapshot();
+
+        let mut set = ConstraintSet::new();
+        set.assert_byte(0, 7);
+        assert!(set.solve().is_sat());
+        assert!(set.quick_feasible());
+
+        // An interval-refutable wide constraint: b0+b1+b2 (max 765) must
+        // equal 1000.
+        let mut wide = ConstraintSet::new();
+        let sum = Expr::bin(
+            BinOp::Add,
+            Expr::bin(BinOp::Add, Expr::byte(0), Expr::byte(1)),
+            Expr::byte(2),
+        );
+        wide.push(Constraint::new(sum, Expr::val(1000), Cond::Eq));
+        assert_eq!(wide.solve(), SolveResult::Unsat);
+
+        let d = SolverCounters::snapshot().since(&before);
+        assert!(d.solves >= 3, "solve + quick_feasible + unsat: {d:?}");
+        assert!(d.unsat_results >= 1, "{d:?}");
+        assert!(d.interval_refutations >= 1, "{d:?}");
+    }
+
+    #[test]
+    fn simplify_rewrites_are_counted() {
+        let before = SolverCounters::snapshot();
+        let e = Expr::bin(BinOp::Add, Expr::val(2), Expr::val(40));
+        assert_eq!(crate::simplify::simplify(&e).as_const(), Some(42));
+        let d = SolverCounters::snapshot().since(&before);
+        assert!(d.simplify_rewrites >= 1, "{d:?}");
     }
 
     #[test]

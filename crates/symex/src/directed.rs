@@ -25,7 +25,7 @@ use octo_cfg::DistanceMap;
 use octo_ir::{BlockId, FuncId, Program};
 use octo_poc::{CrashPrimitives, PocFile};
 use octo_sched::CancelToken;
-use octo_solver::{Cond, Constraint, Expr, ExprRef, SolveResult};
+use octo_solver::{Cond, Constraint, Expr, ExprRef, SolveResult, SolverCounters};
 
 use crate::exec::{DeadReason, StepEvent, SymExecutor};
 use crate::state::SymState;
@@ -73,7 +73,14 @@ impl Default for DirectedConfig {
     }
 }
 
-/// Statistics of a directed run (Table IV columns).
+/// Statistics of a directed run (Table IV columns plus the
+/// observability counters threaded through P2+P3).
+///
+/// Every field is stamped through the single finish point in
+/// [`DirectedEngine::run`], so no early-exit path can return stale
+/// zeros, and the memory peak is maintained event-driven (fallback
+/// push/pop and constraint-growth points), so spikes between the coarse
+/// polls are observed too.
 #[derive(Debug, Clone, Default)]
 pub struct DirectedStats {
     /// Wall-clock seconds.
@@ -84,6 +91,21 @@ pub struct DirectedStats {
     pub total_steps: u64,
     /// Fallback states consumed (backtracks).
     pub backtracks: u64,
+    /// High-watermark of the fallback stack.
+    pub peak_fallback_depth: u64,
+    /// Branch candidates abandoned because a block's visit count
+    /// exceeded θ (loop-state retries).
+    pub loop_retries: u64,
+    /// Forced branches taken via loop acceleration (no constraint
+    /// added, no θ charge).
+    pub forced_branches: u64,
+    /// Solver entries during the run (full solves plus `quick_feasible`
+    /// pre-checks and model queries).
+    pub solver_calls: u64,
+    /// Constraint-set refutations proven by interval reasoning alone.
+    pub interval_refutations: u64,
+    /// Simplifier rewrite rules fired while building expressions.
+    pub simplify_rewrites: u64,
 }
 
 /// Result of the directed P2+P3 run.
@@ -144,6 +166,32 @@ struct PathState {
     mode: Mode,
 }
 
+/// Mutable per-run context shared by the step loop and the branch
+/// handlers: the fallback stack (with per-entry size so memory
+/// accounting is O(1)) and the flags that select the exit verdict.
+#[derive(Default)]
+struct RunCtx {
+    /// Alternate-direction states kept for backtracking, each with its
+    /// `approx_bytes` at push time.
+    fallbacks: Vec<(PathState, u64)>,
+    /// Sum of the stored fallback sizes.
+    fallback_bytes: u64,
+    loop_budget_hit: bool,
+    unsat_seen: bool,
+    stitch_failures: u32,
+}
+
+impl RunCtx {
+    /// Pops the most recent fallback, keeping `fallback_bytes` and the
+    /// backtrack count in sync.
+    fn pop(&mut self, stats: &mut DirectedStats) -> Option<PathState> {
+        let (p, bytes) = self.fallbacks.pop()?;
+        self.fallback_bytes -= bytes;
+        stats.backtracks += 1;
+        Some(p)
+    }
+}
+
 /// The directed engine.
 pub struct DirectedEngine<'p> {
     executor: SymExecutor<'p>,
@@ -187,54 +235,60 @@ impl<'p> DirectedEngine<'p> {
     }
 
     /// Runs P2+P3 to a verdict.
+    ///
+    /// All bookkeeping funnels through this single finish point:
+    /// [`run_inner`](Self::run_inner) accumulates steps, backtracks, and
+    /// memory in place, and the wall clock plus the solver-counter
+    /// deltas are stamped exactly once here — no early-exit path can
+    /// return stale zeros.
     pub fn run(&self) -> (DirectedOutcome, DirectedStats) {
         let start = Instant::now();
+        let solver_before = SolverCounters::snapshot();
         let mut stats = DirectedStats::default();
+        let outcome = self.run_inner(&mut stats);
+        let solver = SolverCounters::snapshot().since(&solver_before);
+        stats.solver_calls = solver.solves;
+        stats.interval_refutations = solver.interval_refutations;
+        stats.simplify_rewrites = solver.simplify_rewrites;
+        stats.wall_seconds = start.elapsed().as_secs_f64();
+        (outcome, stats)
+    }
+
+    fn run_inner(&self, stats: &mut DirectedStats) -> DirectedOutcome {
         let entry_func = self.program.entry();
         let entry_block = self.program.func(entry_func).entry();
         if !self.map.reaches(entry_func, entry_block) {
-            stats.wall_seconds = start.elapsed().as_secs_f64();
-            return (DirectedOutcome::EpUnreachable, stats);
+            return DirectedOutcome::EpUnreachable;
         }
         if self.q.is_empty() {
-            stats.wall_seconds = start.elapsed().as_secs_f64();
-            return (DirectedOutcome::Unsat, stats);
+            return DirectedOutcome::Unsat;
         }
 
-        let mut fallbacks: Vec<PathState> = Vec::new();
+        let mut ctx = RunCtx::default();
         let mut cur = PathState {
             state: SymState::initial(self.program),
             mode: Mode::Directed,
         };
-        let mut unsat_seen = false;
-        let mut stitch_failures = 0u32;
-        let mut loop_budget_hit = false;
-        let mut total_steps: u64 = 0;
 
         let final_state = loop {
             // Deadline / cancellation poll, at a coarse cadence so the
             // Instant read stays off the hot path. Step 0 is included:
             // an already-expired deadline never starts executing.
-            if total_steps.is_multiple_of(CANCEL_POLL_STEPS)
+            if stats.total_steps.is_multiple_of(CANCEL_POLL_STEPS)
                 && self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
             {
-                stats.total_steps = total_steps;
-                stats.wall_seconds = start.elapsed().as_secs_f64();
-                return (DirectedOutcome::Cancelled, stats);
+                return DirectedOutcome::Cancelled;
             }
-            if total_steps >= self.config.step_budget {
-                stats.total_steps = total_steps;
-                stats.wall_seconds = start.elapsed().as_secs_f64();
+            if stats.total_steps >= self.config.step_budget {
                 // Unsat evidence outweighs a bare budget verdict: every
                 // path that reached ep contradicted the crash primitives.
-                let outcome = if unsat_seen {
+                return if ctx.unsat_seen {
                     DirectedOutcome::Unsat
                 } else {
                     DirectedOutcome::Budget
                 };
-                return (outcome, stats);
             }
-            total_steps += 1;
+            stats.total_steps += 1;
 
             // Returning from `ℓ` switches back to directed mode.
             if let Mode::ModelFollow { ep_depth } = cur.mode {
@@ -252,14 +306,17 @@ impl<'p> DirectedEngine<'p> {
                     file_pos,
                 } => match self.stitch_bunch(&mut cur, entry, &args, file_pos) {
                     Stitch::Done => break cur.state,
-                    Stitch::More => Some(cur),
+                    Stitch::More => {
+                        // Stitching appended bunch constraints — a
+                        // growth point for the memory watermark.
+                        self.note_mem(&cur, &ctx, stats);
+                        Some(cur)
+                    }
                     Stitch::Infeasible => {
-                        unsat_seen = true;
-                        stitch_failures += 1;
-                        if stitch_failures >= self.config.max_stitch_failures {
-                            stats.total_steps = total_steps;
-                            stats.wall_seconds = start.elapsed().as_secs_f64();
-                            return (DirectedOutcome::Unsat, stats);
+                        ctx.unsat_seen = true;
+                        ctx.stitch_failures += 1;
+                        if ctx.stitch_failures >= self.config.max_stitch_failures {
+                            return DirectedOutcome::Unsat;
                         }
                         None
                     }
@@ -268,79 +325,56 @@ impl<'p> DirectedEngine<'p> {
                     cond,
                     then_bb,
                     else_bb,
-                } => self.handle_branch(
-                    cur,
-                    &cond,
-                    then_bb,
-                    else_bb,
-                    &mut fallbacks,
-                    &mut loop_budget_hit,
-                ),
+                } => self.handle_branch(cur, &cond, then_bb, else_bb, &mut ctx, stats),
                 StepEvent::Switch {
                     scrut,
                     cases,
                     default,
-                } => self.handle_switch(
-                    cur,
-                    &scrut,
-                    &cases,
-                    default,
-                    &mut fallbacks,
-                    &mut loop_budget_hit,
-                ),
+                } => self.handle_switch(cur, &scrut, &cases, default, &mut ctx, stats),
                 StepEvent::Exited | StepEvent::Crashed(_) => None,
                 StepEvent::Dead(DeadReason::ConcretizeFailed) => {
-                    unsat_seen = true;
+                    ctx.unsat_seen = true;
                     None
                 }
                 StepEvent::Dead(_) => None,
             };
 
-            // Memory accounting (for the Table IV RAM column).
-            if total_steps.is_multiple_of(64) {
-                let mem: u64 = next.as_ref().map(|p| p.state.approx_bytes()).unwrap_or(0)
-                    + fallbacks
-                        .iter()
-                        .map(|p| p.state.approx_bytes())
-                        .sum::<u64>();
-                stats.peak_mem_bytes = stats.peak_mem_bytes.max(mem);
+            // Steady-state memory poll (Table IV RAM column). Spikes are
+            // caught event-driven at fallback pushes and stitch points;
+            // this cadence covers gradual constraint growth and is O(1)
+            // thanks to the running `fallback_bytes` sum.
+            if stats.total_steps.is_multiple_of(64) {
+                if let Some(p) = next.as_ref() {
+                    self.note_mem(p, &ctx, stats);
+                }
             }
 
             cur = match next {
                 Some(p) => p,
-                None => match fallbacks.pop() {
-                    Some(p) => {
-                        stats.backtracks += 1;
-                        p
-                    }
+                None => match ctx.pop(stats) {
+                    Some(p) => p,
                     None => {
-                        stats.total_steps = total_steps;
-                        stats.wall_seconds = start.elapsed().as_secs_f64();
-                        let outcome = if unsat_seen {
+                        return if ctx.unsat_seen {
                             DirectedOutcome::Unsat
-                        } else if loop_budget_hit {
+                        } else if ctx.loop_budget_hit {
                             DirectedOutcome::LoopBudget
                         } else {
                             DirectedOutcome::ProgramDead
                         };
-                        return (outcome, stats);
                     }
                 },
             };
         };
 
-        stats.total_steps = total_steps;
-        stats.peak_mem_bytes = stats.peak_mem_bytes.max(
-            final_state.approx_bytes()
-                + fallbacks
-                    .iter()
-                    .map(|p| p.state.approx_bytes())
-                    .sum::<u64>(),
-        );
+        let final_path = PathState {
+            state: final_state,
+            mode: Mode::Directed,
+        };
+        self.note_mem(&final_path, &ctx, stats);
         // P3.3: solve everything; the model becomes poc'.
-        let entries = final_state.ep_entries;
-        let guiding = final_state.constraints.clone();
-        let outcome = match final_state.constraints.solve() {
+        let entries = final_path.state.ep_entries;
+        let guiding = final_path.state.constraints.clone();
+        match final_path.state.constraints.solve() {
             SolveResult::Sat(model) => {
                 let len = (self.config.file_len as usize).max(model.required_len());
                 DirectedOutcome::PocGenerated {
@@ -351,9 +385,27 @@ impl<'p> DirectedEngine<'p> {
             }
             SolveResult::Unsat => DirectedOutcome::Unsat,
             SolveResult::Unknown => DirectedOutcome::Budget,
-        };
-        stats.wall_seconds = start.elapsed().as_secs_f64();
-        (outcome, stats)
+        }
+    }
+
+    /// Raises the memory watermark to the current live state plus the
+    /// fallback stack.
+    fn note_mem(&self, cur: &PathState, ctx: &RunCtx, stats: &mut DirectedStats) {
+        stats.peak_mem_bytes = stats
+            .peak_mem_bytes
+            .max(cur.state.approx_bytes() + ctx.fallback_bytes);
+    }
+
+    /// Stores an alternate direction for backtracking (bounded by
+    /// `max_fallbacks`) and keeps the stack-depth watermark current.
+    fn push_fallback(&self, cand: PathState, ctx: &mut RunCtx, stats: &mut DirectedStats) {
+        if ctx.fallbacks.len() >= self.config.max_fallbacks {
+            return;
+        }
+        let bytes = cand.state.approx_bytes();
+        ctx.fallback_bytes += bytes;
+        ctx.fallbacks.push((cand, bytes));
+        stats.peak_fallback_depth = stats.peak_fallback_depth.max(ctx.fallbacks.len() as u64);
     }
 
     fn distance(&self, func: FuncId, block: BlockId) -> Option<u32> {
@@ -368,19 +420,19 @@ impl<'p> DirectedEngine<'p> {
         cond: &ExprRef,
         then_bb: BlockId,
         else_bb: BlockId,
-        fallbacks: &mut Vec<PathState>,
-        loop_budget_hit: &mut bool,
+        ctx: &mut RunCtx,
+        stats: &mut DirectedStats,
     ) -> Option<PathState> {
         let func = cur.state.top().func;
         if let Mode::ModelFollow { .. } = cur.mode {
-            return self.model_follow_branch(cur, cond, then_bb, else_bb);
+            return self.model_follow_branch(cur, cond, then_bb, else_bb, stats);
         }
         let d_then = self.distance(func, then_bb);
         let d_else = self.distance(func, else_bb);
         if d_then.is_none() && d_else.is_none() {
             // Off the guided region (e.g. both successors rejoin via a
             // return) — decide by the current model, like inside ℓ.
-            return self.model_follow_branch(cur, cond, then_bb, else_bb);
+            return self.model_follow_branch(cur, cond, then_bb, else_bb, stats);
         }
         // Order candidates by distance (unreachable last).
         let mut order = [(true, d_then), (false, d_else)];
@@ -396,7 +448,8 @@ impl<'p> DirectedEngine<'p> {
                 self.executor
                     .take_branch(&mut cand.state, cond, take_then, then_bb, else_bb);
             if visits > self.config.theta {
-                *loop_budget_hit = true;
+                stats.loop_retries += 1;
+                ctx.loop_budget_hit = true;
                 continue;
             }
             if !cand.state.constraints.quick_feasible() {
@@ -404,9 +457,15 @@ impl<'p> DirectedEngine<'p> {
             }
             if kept.is_none() {
                 kept = Some(cand);
-            } else if fallbacks.len() < self.config.max_fallbacks {
-                fallbacks.push(cand);
+            } else {
+                self.push_fallback(cand, ctx, stats);
             }
+        }
+        // A fork is a growth point: the spike (kept state + the freshly
+        // pushed sibling) must land in the watermark even if the path
+        // dies before the next poll.
+        if let Some(k) = &kept {
+            self.note_mem(k, ctx, stats);
         }
         kept
     }
@@ -417,12 +476,12 @@ impl<'p> DirectedEngine<'p> {
         scrut: &ExprRef,
         cases: &[(u64, BlockId)],
         default: BlockId,
-        fallbacks: &mut Vec<PathState>,
-        loop_budget_hit: &mut bool,
+        ctx: &mut RunCtx,
+        stats: &mut DirectedStats,
     ) -> Option<PathState> {
         let func = cur.state.top().func;
         if let Mode::ModelFollow { .. } = cur.mode {
-            return self.model_follow_switch(cur, scrut, cases, default);
+            return self.model_follow_switch(cur, scrut, cases, default, stats);
         }
         // Candidates: each case plus default, ordered by distance.
         let mut cands: Vec<(Option<u64>, Option<u32>)> = cases
@@ -431,7 +490,7 @@ impl<'p> DirectedEngine<'p> {
             .collect();
         cands.push((None, self.distance(func, default)));
         if cands.iter().all(|(_, d)| d.is_none()) {
-            return self.model_follow_switch(cur, scrut, cases, default);
+            return self.model_follow_switch(cur, scrut, cases, default, stats);
         }
         cands.sort_by_key(|(_, d)| d.unwrap_or(u32::MAX));
 
@@ -445,7 +504,8 @@ impl<'p> DirectedEngine<'p> {
                 .executor
                 .take_switch(&mut cand.state, scrut, cases, default, choice);
             if visits > self.config.theta {
-                *loop_budget_hit = true;
+                stats.loop_retries += 1;
+                ctx.loop_budget_hit = true;
                 continue;
             }
             if !cand.state.constraints.quick_feasible() {
@@ -453,9 +513,12 @@ impl<'p> DirectedEngine<'p> {
             }
             if kept.is_none() {
                 kept = Some(cand);
-            } else if fallbacks.len() < self.config.max_fallbacks {
-                fallbacks.push(cand);
+            } else {
+                self.push_fallback(cand, ctx, stats);
             }
+        }
+        if let Some(k) = &kept {
+            self.note_mem(k, ctx, stats);
         }
         kept
     }
@@ -466,6 +529,7 @@ impl<'p> DirectedEngine<'p> {
         cond: &ExprRef,
         then_bb: BlockId,
         else_bb: BlockId,
+        stats: &mut DirectedStats,
     ) -> Option<PathState> {
         let model = cur.state.model()?;
         let v = cond.eval(&|off| Some(model.byte(off)))?;
@@ -473,6 +537,7 @@ impl<'p> DirectedEngine<'p> {
             // Forced branch: the direction is already implied by the
             // collected constraints — transfer control without growing the
             // path condition or the loop budget.
+            stats.forced_branches += 1;
             let target = if v != 0 { then_bb } else { else_bb };
             let frame = cur.state.top_mut();
             frame.block = target;
@@ -483,6 +548,7 @@ impl<'p> DirectedEngine<'p> {
             .executor
             .take_branch(&mut cur.state, cond, v != 0, then_bb, else_bb);
         if visits > self.config.theta {
+            stats.loop_retries += 1;
             return None;
         }
         Some(cur)
@@ -503,6 +569,7 @@ impl<'p> DirectedEngine<'p> {
         scrut: &ExprRef,
         cases: &[(u64, BlockId)],
         default: BlockId,
+        stats: &mut DirectedStats,
     ) -> Option<PathState> {
         let model = cur.state.model()?;
         let v = scrut.eval(&|off| Some(model.byte(off)))?;
@@ -511,6 +578,7 @@ impl<'p> DirectedEngine<'p> {
             .executor
             .take_switch(&mut cur.state, scrut, cases, default, choice);
         if visits > self.config.theta {
+            stats.loop_retries += 1;
             return None;
         }
         Some(cur)
@@ -898,6 +966,209 @@ entry:
         );
         let (outcome, _) = engine.run();
         assert!(outcome.generated(), "{outcome:?}");
+    }
+
+    /// Builds the engine with a custom config (and optional token) and
+    /// runs it, returning the stats too.
+    fn run_configured(
+        src: &str,
+        ep_name: &str,
+        q: &CrashPrimitives,
+        config: DirectedConfig,
+        cancel: Option<CancelToken>,
+    ) -> (DirectedOutcome, DirectedStats) {
+        let p = parse_program(src).unwrap();
+        let ep = p.func_by_name(ep_name).unwrap();
+        let cfg = build_cfg(&p, CfgMode::Dynamic).unwrap();
+        let map = DistanceMap::compute(&p, &cfg, ep);
+        let mut engine = DirectedEngine::new(&p, ep, &map, q, config);
+        if let Some(token) = cancel {
+            engine = engine.with_cancel(token);
+        }
+        engine.run()
+    }
+
+    /// Both arms of the fork reach `shared`, but every path dies on the
+    /// concrete-argument mismatch within a handful of steps — long
+    /// before the first 64-step memory poll.
+    const FORK_THEN_MISMATCH: &str = r#"
+func main() {
+entry:
+    fd = open
+    b = getc fd
+    c = ult b, 10
+    br c, p1, p2
+p1:
+    call shared(5)
+    halt 0
+p2:
+    call shared(5)
+    halt 0
+}
+func shared(tag) {
+entry:
+    ret
+}
+"#;
+
+    #[test]
+    fn short_lived_memory_spike_is_observed() {
+        // Regression (ISSUE 3): the peak used to be sampled only every
+        // 64 steps, so a run that forks (two live states) and dies
+        // within a few steps reported peak_mem_bytes == 0. The peak is
+        // now maintained event-driven at fallback pushes, so the spike
+        // — strictly more memory than a single fresh state — must be
+        // observed even on this short Unsat run.
+        let q = primitives(&[(&[], &[0x13d])]);
+        let p = parse_program(FORK_THEN_MISMATCH).unwrap();
+        let single_state = SymState::initial(&p).approx_bytes();
+        let (outcome, stats) = run_configured(
+            FORK_THEN_MISMATCH,
+            "shared",
+            &q,
+            DirectedConfig {
+                file_len: 8,
+                ..DirectedConfig::default()
+            },
+            None,
+        );
+        assert!(matches!(outcome, DirectedOutcome::Unsat), "{outcome:?}");
+        assert!(
+            stats.total_steps < 64,
+            "the spike must fall between polls for this regression test \
+             to mean anything (got {} steps)",
+            stats.total_steps
+        );
+        assert!(
+            stats.peak_mem_bytes > single_state,
+            "peak {} must exceed one fresh state ({single_state}): the \
+             fork held two live states",
+            stats.peak_mem_bytes
+        );
+        assert_eq!(stats.peak_fallback_depth, 1);
+        assert!(stats.backtracks >= 1);
+    }
+
+    #[test]
+    fn every_outcome_variant_carries_stats() {
+        // Regression (ISSUE 3): wall_seconds/total_steps used to be
+        // hand-assigned on each of ~8 early exits; a new exit path could
+        // silently return zeros. All bookkeeping now funnels through the
+        // single finish point in run(), checked here variant by variant.
+        let gated_q = || primitives(&[(&[(9, 0x7F)], &[3])]);
+        let config = |file_len| DirectedConfig {
+            file_len,
+            ..DirectedConfig::default()
+        };
+
+        // PocGenerated: a full successful run records everything.
+        let (outcome, stats) = run_configured(GATED, "shared", &gated_q(), config(16), None);
+        assert!(outcome.generated(), "{outcome:?}");
+        assert!(stats.wall_seconds > 0.0);
+        assert!(stats.total_steps > 0);
+        assert!(stats.peak_mem_bytes > 0);
+        assert!(stats.solver_calls > 0, "quick_feasible + final solve");
+        assert!(stats.peak_fallback_depth >= 1, "the rejected gate arms");
+
+        // EpUnreachable: decided before stepping, but the clock ran.
+        let unreachable = r#"
+func main() {
+entry:
+    halt 0
+}
+func shared(fd) {
+entry:
+    ret
+}
+"#;
+        let q = primitives(&[(&[(0, 1)], &[])]);
+        let (outcome, stats) = run_configured(unreachable, "shared", &q, config(8), None);
+        assert!(matches!(outcome, DirectedOutcome::EpUnreachable));
+        assert!(stats.wall_seconds > 0.0);
+        assert_eq!(stats.total_steps, 0);
+
+        // Unsat: the mismatch runs are short but fully accounted.
+        let q = primitives(&[(&[], &[0x13d])]);
+        let (outcome, stats) = run_configured(FORK_THEN_MISMATCH, "shared", &q, config(8), None);
+        assert!(matches!(outcome, DirectedOutcome::Unsat));
+        assert!(stats.wall_seconds > 0.0);
+        assert!(stats.total_steps > 0);
+        assert!(stats.solver_calls > 0);
+
+        // ProgramDead: every path rejected by an impossible gate.
+        let dead = r#"
+func main() {
+entry:
+    fd = open
+    a = getc fd
+    b = add a, 1
+    c = eq a, b
+    br c, go, bad
+go:
+    call shared(fd)
+    halt 0
+bad:
+    halt 1
+}
+func shared(fd) {
+entry:
+    ret
+}
+"#;
+        let q = primitives(&[(&[], &[3])]);
+        let (outcome, stats) = run_configured(dead, "shared", &q, config(8), None);
+        assert!(matches!(outcome, DirectedOutcome::ProgramDead));
+        assert!(stats.wall_seconds > 0.0);
+        assert!(stats.total_steps > 0);
+
+        // LoopBudget: θ = 0 charges every revisited target, so the very
+        // first fork abandons both arms as loop states.
+        let (outcome, stats) = run_configured(
+            GATED,
+            "shared",
+            &gated_q(),
+            DirectedConfig {
+                file_len: 16,
+                theta: 0,
+                ..DirectedConfig::default()
+            },
+            None,
+        );
+        assert!(
+            matches!(outcome, DirectedOutcome::LoopBudget),
+            "{outcome:?}"
+        );
+        assert!(stats.wall_seconds > 0.0);
+        assert!(stats.total_steps > 0);
+        assert!(stats.loop_retries >= 2, "both fork arms charged");
+
+        // Budget: the step budget stops the run at an exact count.
+        let (outcome, stats) = run_configured(
+            GATED,
+            "shared",
+            &gated_q(),
+            DirectedConfig {
+                file_len: 16,
+                step_budget: 2,
+                ..DirectedConfig::default()
+            },
+            None,
+        );
+        assert!(matches!(outcome, DirectedOutcome::Budget), "{outcome:?}");
+        assert!(stats.wall_seconds > 0.0);
+        assert_eq!(stats.total_steps, 2);
+
+        // Cancelled: an expired deadline still stamps the clock.
+        let (outcome, stats) = run_configured(
+            GATED,
+            "shared",
+            &gated_q(),
+            config(16),
+            Some(CancelToken::with_deadline(std::time::Duration::ZERO)),
+        );
+        assert!(matches!(outcome, DirectedOutcome::Cancelled));
+        assert!(stats.wall_seconds > 0.0);
+        assert_eq!(stats.total_steps, 0);
     }
 
     #[test]

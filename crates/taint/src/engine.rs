@@ -89,6 +89,17 @@ impl FrameTaint {
     }
 }
 
+/// Counters of one taint run (P1 observability).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaintStats {
+    /// Input-file bytes uploaded into simulated memory (getc/read).
+    pub bytes_uploaded: u64,
+    /// High-watermark of the tainted-address map.
+    pub peak_tainted_addrs: u64,
+    /// Taint sets recorded into bunches while inside `ℓ`.
+    pub taint_records: u64,
+}
+
 /// The taint-tracking hook. Attach to a [`octo_vm::Vm`] run over the
 /// original software `S` executing the original `poc`, then take the
 /// extracted primitives with [`TaintEngine::into_primitives`].
@@ -112,6 +123,7 @@ pub struct TaintEngine {
     acc_args: Vec<u64>,
     primitives: CrashPrimitives,
     crash: Option<CrashReport>,
+    stats: TaintStats,
 }
 
 impl TaintEngine {
@@ -132,6 +144,7 @@ impl TaintEngine {
             acc_args: Vec::new(),
             primitives: CrashPrimitives::new(),
             crash: None,
+            stats: TaintStats::default(),
         }
     }
 
@@ -143,6 +156,12 @@ impl TaintEngine {
     /// The crash report observed, if any.
     pub fn crash(&self) -> Option<&CrashReport> {
         self.crash.as_ref()
+    }
+
+    /// Counters accumulated so far (read them before
+    /// [`TaintEngine::into_primitives`] consumes the engine).
+    pub fn stats(&self) -> TaintStats {
+        self.stats
     }
 
     /// Finalises and returns the extracted crash primitives.
@@ -185,6 +204,12 @@ impl TaintEngine {
                 self.mem.insert(a, t.clone());
             }
         }
+        self.note_tainted_peak();
+    }
+
+    /// Keeps the tainted-address watermark current after map growth.
+    fn note_tainted_peak(&mut self) {
+        self.stats.peak_tainted_addrs = self.stats.peak_tainted_addrs.max(self.mem.len() as u64);
     }
 
     fn inside(&self) -> bool {
@@ -197,6 +222,7 @@ impl TaintEngine {
             return;
         }
         if let Some(b) = &mut self.acc {
+            self.stats.taint_records += 1;
             for off in t.iter() {
                 b.add(off, self.poc.byte(off));
             }
@@ -205,6 +231,7 @@ impl TaintEngine {
 
     /// Marks freshly uploaded file bytes: `mem[addr+i] = {file_off+i}`.
     fn upload(&mut self, addr: u64, file_off: u64, len: u64) {
+        self.stats.bytes_uploaded += len;
         match self.config.granularity {
             Granularity::Byte => {
                 for i in 0..len {
@@ -230,6 +257,7 @@ impl TaintEngine {
                 }
             }
         }
+        self.note_tainted_peak();
     }
 
     fn open_bunch(&mut self, args: &[u64]) {
@@ -341,6 +369,10 @@ impl Hook for TaintEngine {
             }
             Inst::FileGetc { dst, .. } => {
                 if ctx.file_pos < ctx.file_size {
+                    // A getc consumes one input byte just like a read;
+                    // it lands in a register instead of memory, so it is
+                    // billed here rather than in `upload`.
+                    self.stats.bytes_uploaded += 1;
                     let t = TaintSet::single(ctx.file_pos as u32);
                     self.record(&t);
                     self.set_reg(*dst, t);

@@ -6,7 +6,7 @@ use octo_ir::Program;
 use octo_poc::{CrashPrimitives, PocFile};
 use octo_vm::{CrashReport, Limits, RunOutcome, Vm};
 
-use crate::engine::{TaintConfig, TaintEngine};
+use crate::engine::{TaintConfig, TaintEngine, TaintStats};
 
 /// Why extraction could not produce crash primitives.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,6 +46,8 @@ pub struct Extraction {
     pub ep_entries: u32,
     /// Instructions executed (virtual-clock ticks).
     pub insts: u64,
+    /// Engine counters (bytes uploaded, tainted-address peak, records).
+    pub stats: TaintStats,
 }
 
 /// Runs `S` on `poc` under the taint engine and extracts crash primitives.
@@ -85,6 +87,7 @@ pub fn extract_with_limits(
             if ep_entries == 0 {
                 return Err(TaintError::EpNeverEntered);
             }
+            let stats = engine.stats();
             let primitives: CrashPrimitives = engine.into_primitives();
             debug_assert!(primitives.consistent_with(poc));
             Ok(Extraction {
@@ -92,6 +95,7 @@ pub fn extract_with_limits(
                 crash,
                 ep_entries,
                 insts,
+                stats,
             })
         }
     }
@@ -142,6 +146,9 @@ fine:
         assert_eq!(ex.crash.kind.class(), "TRAP");
         assert_eq!(ex.primitives.total_bytes(), 1);
         assert!(ex.insts > 0);
+        assert_eq!(ex.stats.bytes_uploaded, 4, "read fd, buf, 4");
+        assert!(ex.stats.peak_tainted_addrs >= 4);
+        assert!(ex.stats.taint_records >= 1, "the load inside shared");
     }
 
     #[test]

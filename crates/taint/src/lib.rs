@@ -62,6 +62,6 @@ pub mod engine;
 pub mod extract;
 pub mod set;
 
-pub use engine::{ContextMode, Granularity, TaintConfig, TaintEngine};
+pub use engine::{ContextMode, Granularity, TaintConfig, TaintEngine, TaintStats};
 pub use extract::{extract_crash_primitives, extract_with_limits, Extraction, TaintError};
 pub use set::TaintSet;
