@@ -94,6 +94,7 @@ fn bench_corpus_batch(c: &mut Criterion) {
                     &BatchOptions {
                         workers,
                         deadline: None,
+                        trace: None,
                     },
                     &octo_sched::NullSink,
                 );

@@ -170,6 +170,35 @@ impl Table5Row {
     }
 }
 
+/// One `trace-overhead` row: corpus batch wall time with the flight
+/// recorder off, recording into the ring, or recording plus a Chrome
+/// trace export (see `docs/observability.md`).
+#[derive(Debug, Clone)]
+pub struct TraceOverheadRow {
+    /// `"off"`, `"ring"`, or `"chrome-export"`.
+    pub mode: String,
+    /// Best-of-N batch wall seconds in this mode.
+    pub seconds: f64,
+    /// Trace events recorded (0 with the recorder off).
+    pub events: u64,
+    /// Chrome export size in bytes (0 unless exporting).
+    pub export_bytes: u64,
+    /// Wall-time overhead versus the `off` baseline, percent.
+    pub overhead_pct: f64,
+}
+
+impl JsonRow for TraceOverheadRow {
+    fn json_fields(&self) -> Vec<(&'static str, JsonValue)> {
+        vec![
+            ("mode", s(&self.mode)),
+            ("seconds", num(self.seconds)),
+            ("events", num(self.events as f64)),
+            ("export_bytes", num(self.export_bytes as f64)),
+            ("overhead_pct", num(self.overhead_pct)),
+        ]
+    }
+}
+
 /// Helper: `O`/`X` cells like the paper's tables.
 pub fn ox(b: bool) -> String {
     if b {

@@ -31,8 +31,10 @@ use octo_ir::Program;
 use octo_obs::{Counter, Gauge, Histogram, MetricsRegistry, Span, SpanObserver};
 use octo_poc::PocFile;
 use octo_sched::{
-    run_jobs, ArtifactCache, CacheStats, CancelToken, Event, EventSink, KeyHasher, SchedStats,
+    run_jobs, ArtifactCache, CacheStats, CancelToken, Event, EventClock, EventKind, EventSink,
+    KeyHasher, SchedStats,
 };
+use octo_trace::{FlightRecorder, TraceKind};
 
 use crate::config::PipelineConfig;
 use crate::pipeline::{
@@ -66,6 +68,12 @@ pub struct BatchOptions {
     /// Per-job wall-clock deadline for the pipeline suffix. `None` means
     /// jobs are bounded only by the engines' own step budgets.
     pub deadline: Option<Duration>,
+    /// Flight recorder for the run. When set, every worker installs it
+    /// for the duration of each job (tagged with the job's submission
+    /// index and the worker id), so the engines' [`octo_trace`] events
+    /// land in one ring; render with [`octo_trace::chrome::render_chrome`]
+    /// or per-event JSON lines. `None` keeps tracing a no-op.
+    pub trace: Option<Arc<FlightRecorder>>,
 }
 
 impl Default for BatchOptions {
@@ -75,6 +83,7 @@ impl Default for BatchOptions {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(4),
             deadline: None,
+            trace: None,
         }
     }
 }
@@ -254,6 +263,23 @@ impl BatchReport {
         out
     }
 
+    /// Human-readable post-mortems for every entry that carries one
+    /// (not-triggerable, loop-budget, and deadline verdicts — see
+    /// [`crate::verdict::Verdict::post_mortem_event`]), in submission
+    /// order. Empty when no job warranted one.
+    pub fn render_post_mortems(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            if let Some(pm) = &e.report.post_mortem {
+                out.push_str(&format!("{}:\n", e.name));
+                for line in pm.render_human().lines() {
+                    out.push_str(&format!("  {line}\n"));
+                }
+            }
+        }
+        out
+    }
+
     /// The *stable* machine-readable verdict list: submission order, no
     /// timings, no environment-dependent fields. This is what the CI
     /// golden file diffs against.
@@ -319,20 +345,32 @@ pub(crate) fn verify_with_cache(
     (report, hit, key)
 }
 
-/// Bridges pipeline phase spans into the batch event stream, stamping
-/// each with the job's submission index.
+/// Bridges pipeline phase spans into the batch event stream (stamped
+/// with the job's submission index, the worker id, and a per-worker
+/// monotonic timestamp) and into the flight recorder as `B`/`E` pairs.
 struct SinkSpans<'a> {
     sink: &'a dyn EventSink,
+    clock: &'a EventClock,
     job: usize,
+    worker: usize,
 }
 
 impl SpanObserver for SinkSpans<'_> {
+    fn span_started(&self, name: &'static str) {
+        octo_trace::emit(TraceKind::SpanBegin { name });
+    }
+
     fn span_finished(&self, name: &'static str, seconds: f64) {
-        self.sink.emit(Event::PhaseFinished {
-            job: self.job,
-            phase: name,
-            seconds,
-        });
+        octo_trace::emit(TraceKind::SpanEnd { name });
+        self.sink.emit(Event::new(
+            self.clock.stamp(self.worker),
+            self.worker,
+            EventKind::PhaseFinished {
+                job: self.job,
+                phase: name,
+                seconds,
+            },
+        ));
     }
 }
 
@@ -501,18 +539,30 @@ pub fn run_batch(
     let metrics = MetricsRegistry::new();
     let recorder = BatchMetrics::register(&metrics);
     let indices: Vec<usize> = (0..jobs.len()).collect();
+    let clock = EventClock::new(options.workers);
 
-    let (entries, sched) = run_jobs(indices, options.workers, |_worker, i| {
+    let (entries, sched) = run_jobs(indices, options.workers, |worker, i| {
         let job = &jobs[i];
         // Queue latency: how long the job sat submitted-but-unclaimed.
         recorder
             .job_queue_latency
             .observe(micros(start.elapsed().as_secs_f64()));
         let job_start = Instant::now();
-        sink.emit(Event::JobStarted {
-            job: i,
-            name: job.name.clone(),
-        });
+        // Route this job's engine-level trace events (solver entries,
+        // state deaths, bunch assertions, …) into the shared ring,
+        // tagged with the submission index and worker lane.
+        let _trace = options
+            .trace
+            .as_ref()
+            .map(|rec| octo_trace::install(rec, i as u32, worker as u32));
+        sink.emit(Event::new(
+            clock.stamp(worker),
+            worker,
+            EventKind::JobStarted {
+                job: i,
+                name: job.name.clone(),
+            },
+        ));
         let input = SoftwarePairInput {
             s: &job.s,
             t: &job.t,
@@ -520,17 +570,30 @@ pub fn run_batch(
             shared: &job.shared,
         };
         let token = options.deadline.map(CancelToken::with_deadline);
-        let spans = SinkSpans { sink, job: i };
+        let spans = SinkSpans {
+            sink,
+            clock: &clock,
+            job: i,
+            worker,
+        };
         let (report, cache_hit, key) =
             verify_with_cache(&cache, &input, config, token.as_ref(), &spans);
         if cache_hit {
-            sink.emit(Event::CacheHit { job: i, key });
+            sink.emit(Event::new(
+                clock.stamp(worker),
+                worker,
+                EventKind::CacheHit { job: i, key },
+            ));
         }
-        sink.emit(Event::JobFinished {
-            job: i,
-            outcome: report.verdict.type_label().to_string(),
-            seconds: job_start.elapsed().as_secs_f64(),
-        });
+        sink.emit(Event::new(
+            clock.stamp(worker),
+            worker,
+            EventKind::JobFinished {
+                job: i,
+                outcome: report.verdict.type_label().to_string(),
+                seconds: job_start.elapsed().as_secs_f64(),
+            },
+        ));
         let entry = BatchEntry {
             name: job.name.clone(),
             urgency: Urgency::of(&report.verdict),
@@ -705,7 +768,7 @@ fine:
             &config,
             &BatchOptions {
                 workers: 3,
-                deadline: None,
+                ..BatchOptions::default()
             },
             &NullSink,
         );
@@ -735,28 +798,28 @@ fine:
             &PipelineConfig::default(),
             &BatchOptions {
                 workers: 1,
-                deadline: None,
+                ..BatchOptions::default()
             },
             &log,
         );
         let events = log.snapshot();
-        let count = |f: &dyn Fn(&Event) -> bool| events.iter().filter(|e| f(e)).count();
-        assert_eq!(count(&|e| matches!(e, Event::JobStarted { .. })), 2);
-        assert_eq!(count(&|e| matches!(e, Event::JobFinished { .. })), 2);
-        assert_eq!(count(&|e| matches!(e, Event::CacheHit { .. })), 1);
+        let count = |f: &dyn Fn(&EventKind) -> bool| events.iter().filter(|e| f(&e.kind)).count();
+        assert_eq!(count(&|k| matches!(k, EventKind::JobStarted { .. })), 2);
+        assert_eq!(count(&|k| matches!(k, EventKind::JobFinished { .. })), 2);
+        assert_eq!(count(&|k| matches!(k, EventKind::CacheHit { .. })), 1);
         assert!(
-            count(&|e| matches!(
-                e,
-                Event::PhaseFinished {
+            count(&|k| matches!(
+                k,
+                EventKind::PhaseFinished {
                     phase: "prepare",
                     ..
                 }
             )) == 1
         );
-        assert!(count(&|e| matches!(e, Event::PhaseFinished { phase: "symex", .. })) >= 1);
+        assert!(count(&|k| matches!(k, EventKind::PhaseFinished { phase: "symex", .. })) >= 1);
         // Both gated jobs reach P4 (a poc' is generated for each).
         assert_eq!(
-            count(&|e| matches!(e, Event::PhaseFinished { phase: "p4", .. })),
+            count(&|k| matches!(k, EventKind::PhaseFinished { phase: "p4", .. })),
             2
         );
         // Every event renders both ways.
@@ -764,6 +827,48 @@ fine:
             assert!(!e.render_human().is_empty());
             assert!(e.render_json().starts_with('{'));
         }
+        // One worker, one lane: the EventClock stamps must strictly
+        // increase in emission order.
+        for pair in events.windows(2) {
+            assert_eq!(pair[0].worker, 0);
+            assert!(
+                pair[1].ts_micros > pair[0].ts_micros,
+                "timestamps regressed: {} then {}",
+                pair[0].ts_micros,
+                pair[1].ts_micros
+            );
+        }
+    }
+
+    #[test]
+    fn flight_recorder_captures_batch_and_post_mortems_render() {
+        let rec = Arc::new(FlightRecorder::with_default_capacity());
+        let jobs = vec![job("gated", t_gated()), job("safe", t_safe())];
+        let options = BatchOptions {
+            workers: 2,
+            deadline: None,
+            trace: Some(Arc::clone(&rec)),
+        };
+        let report = run_batch(&jobs, &PipelineConfig::default(), &options, &NullSink);
+        assert!(!rec.is_empty(), "engines recorded trace events");
+        let snapshot = rec.snapshot();
+        // Both jobs appear, tagged with their submission index.
+        assert!(snapshot.iter().any(|e| e.job == 0));
+        assert!(snapshot.iter().any(|e| e.job == 1));
+        // The ring renders to a valid Chrome trace with paired spans.
+        let chrome = octo_trace::chrome::render_chrome(&snapshot);
+        let stats = octo_trace::chrome::validate(&chrome).expect("valid trace");
+        assert!(stats.pairs > 0, "span B/E pairs present");
+        // The safe clone is Type-III: it alone carries a post-mortem.
+        let pm = report.render_post_mortems();
+        assert!(pm.contains("safe:"), "{pm}");
+        assert!(pm.contains("ep-unreachable"), "{pm}");
+        assert!(!pm.contains("gated:"), "triggered jobs get no post-mortem");
+        // With a recorder installed the post-mortem carries a tail.
+        let safe = &report.entries[1];
+        let mortem = safe.report.post_mortem.as_ref().expect("attached");
+        assert!(!mortem.tail.is_empty(), "flight-record tail captured");
+        assert!(mortem.tail.iter().all(|e| e.job == 1), "tail is job-local");
     }
 
     #[test]
@@ -804,6 +909,7 @@ fine:
         let options = BatchOptions {
             workers: 2,
             deadline: Some(Duration::ZERO),
+            ..BatchOptions::default()
         };
         let report = run_batch(&jobs, &PipelineConfig::default(), &options, &NullSink);
         // The symex-bound job dies on the deadline…

@@ -7,7 +7,8 @@
 //! octopocs lint program.mir [--format human|json]
 //! octopocs batch (--corpus | --jobs FILE) [--workers N] [--deadline-secs S]
 //!          [--json | --verdicts-json] [--events] [--metrics-json PATH]
-//!          [--metrics-prom PATH] [--theta N]
+//!          [--metrics-prom PATH] [--trace-chrome PATH] [--trace-jsonl PATH]
+//!          [--post-mortem] [--theta N]
 //!          [--accelerate-loops] [--static-cfg] [--context-free] [--prescreen]
 //! ```
 //!
@@ -32,8 +33,14 @@
 //! and `--events` streams progress events to stderr. `--metrics-json` and
 //! `--metrics-prom` write the run's metrics registry (counters, gauges,
 //! phase histograms; see `docs/observability.md`) to a file as JSON or
-//! Prometheus text exposition. Exit code 0 = the batch ran (whatever the
-//! verdicts), 3 = usage or input error.
+//! Prometheus text exposition. `--trace-chrome` records the run in a
+//! flight recorder and writes a Chrome Trace Event Format file (load it
+//! in `chrome://tracing` or Perfetto; one lane per worker);
+//! `--trace-jsonl` writes the same events as JSON lines. `--post-mortem`
+//! prints, for every not-triggerable or deadline verdict, why the
+//! directed engine gave up (deciding event, `ep` entry count at death,
+//! dying state's constraints, flight-record tail). Exit code 0 = the
+//! batch ran (whatever the verdicts), 3 = usage or input error.
 
 use std::process::ExitCode;
 
@@ -64,7 +71,8 @@ fn usage() -> String {
      octopocs lint program.mir [--format human|json]\n       \
      octopocs batch (--corpus | --jobs FILE) [--workers N] \
      [--deadline-secs S] [--json | --verdicts-json] [--events] \
-     [--metrics-json PATH] [--metrics-prom PATH] [--theta N] \
+     [--metrics-json PATH] [--metrics-prom PATH] [--trace-chrome PATH] \
+     [--trace-jsonl PATH] [--post-mortem] [--theta N] \
      [--accelerate-loops] [--static-cfg] [--context-free] [--prescreen]"
         .to_string()
 }
@@ -269,6 +277,9 @@ fn batch_main(argv: &[String]) -> ExitCode {
     let mut events = false;
     let mut metrics_json: Option<String> = None;
     let mut metrics_prom: Option<String> = None;
+    let mut trace_chrome: Option<String> = None;
+    let mut trace_jsonl: Option<String> = None;
+    let mut post_mortem = false;
     let mut it = argv.iter();
     let parse_error = |msg: String| {
         if msg.is_empty() {
@@ -319,6 +330,9 @@ fn batch_main(argv: &[String]) -> ExitCode {
                 "--events" => events = true,
                 "--metrics-json" => metrics_json = Some(value("--metrics-json")?),
                 "--metrics-prom" => metrics_prom = Some(value("--metrics-prom")?),
+                "--trace-chrome" => trace_chrome = Some(value("--trace-chrome")?),
+                "--trace-jsonl" => trace_jsonl = Some(value("--trace-jsonl")?),
+                "--post-mortem" => post_mortem = true,
                 "--help" | "-h" => return Err(String::new()),
                 other => return Err(format!("unknown batch flag `{other}`")),
             }
@@ -346,6 +360,12 @@ fn batch_main(argv: &[String]) -> ExitCode {
         }
     };
 
+    // A flight recorder only when an export asked for one; otherwise
+    // tracing stays a no-op in every engine.
+    let recorder = (trace_chrome.is_some() || trace_jsonl.is_some())
+        .then(|| std::sync::Arc::new(octopocs::FlightRecorder::with_default_capacity()));
+    options.trace = recorder.clone();
+
     let stderr_sink = |event: octo_sched::Event| eprintln!("{}", event.render_human());
     let report = if events {
         run_batch(&jobs, &config, &options, &stderr_sink)
@@ -353,15 +373,47 @@ fn batch_main(argv: &[String]) -> ExitCode {
         run_batch(&jobs, &config, &options, &octo_sched::NullSink)
     };
 
-    for (path, content) in [
+    let mut outputs: Vec<(&Option<String>, String)> = vec![
         (&metrics_json, report.metrics.render_json()),
         (&metrics_prom, report.metrics.render_prometheus()),
-    ] {
+    ];
+    if let Some(rec) = &recorder {
+        let snapshot = rec.snapshot();
+        if rec.dropped() > 0 {
+            eprintln!(
+                "trace: ring overflowed, {} oldest events overwritten",
+                rec.dropped()
+            );
+        }
+        outputs.push((&trace_chrome, octo_trace::chrome::render_chrome(&snapshot)));
+        let mut lines = String::new();
+        for e in &snapshot {
+            lines.push_str(&e.render_json());
+            lines.push('\n');
+        }
+        outputs.push((&trace_jsonl, lines));
+    }
+    for (path, content) in outputs {
         if let Some(path) = path {
             if let Err(e) = std::fs::write(path, content) {
                 eprintln!("error writing {path}: {e}");
                 return ExitCode::from(3);
             }
+        }
+    }
+
+    if post_mortem {
+        let mortems = report.render_post_mortems();
+        let text = if mortems.is_empty() {
+            "no post-mortems: no job ended not-triggerable or on a deadline\n".to_string()
+        } else {
+            mortems
+        };
+        // Keep machine-readable stdout intact when a JSON mode is on.
+        if json || verdicts_json {
+            eprint!("{text}");
+        } else {
+            print!("{text}");
         }
     }
 

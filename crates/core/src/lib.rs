@@ -102,6 +102,7 @@ pub mod verdict;
 pub use batch::{prefix_cache_key, run_batch, BatchEntry, BatchJob, BatchOptions, BatchReport};
 pub use config::PipelineConfig;
 pub use minimize::{minimize_poc, MinimizeStats};
+pub use octo_trace::{FlightRecorder, PostMortem};
 pub use pipeline::{
     prepare, verify, verify_prepared, verify_prepared_observed, PrepareFailure, PreparedSource,
     SoftwarePairInput, VerificationReport,

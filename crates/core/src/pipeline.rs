@@ -18,6 +18,7 @@ use octo_poc::{CrashPrimitives, PocFile};
 use octo_sched::CancelToken;
 use octo_symex::{DirectedConfig, DirectedEngine, DirectedOutcome, DirectedStats};
 use octo_taint::{extract_with_limits, TaintConfig, TaintError, TaintStats};
+use octo_trace::{PostMortem, TraceKind};
 use octo_vm::{CrashReport, RunOutcome, Vm};
 
 use crate::config::PipelineConfig;
@@ -76,6 +77,11 @@ pub struct VerificationReport {
     pub p4_seconds: f64,
     /// Total wall-clock seconds for the whole pipeline.
     pub wall_seconds: f64,
+    /// Why triggering failed, for verdicts that warrant an explanation
+    /// (any not-triggerable verdict, loop budget, or deadline — see
+    /// [`Verdict::post_mortem_event`]). Synthesized from the directed
+    /// engine's death note and the flight-record tail of this job.
+    pub post_mortem: Option<PostMortem>,
 }
 
 impl VerificationReport {
@@ -95,6 +101,7 @@ impl VerificationReport {
             prepare_seconds: 0.0,
             p4_seconds: 0.0,
             wall_seconds: 0.0,
+            post_mortem: None,
         }
     }
 
@@ -326,6 +333,7 @@ fn verify_suffix(
         prepare_seconds: 0.0,
         p4_seconds: 0.0,
         wall_seconds: 0.0,
+        post_mortem: None,
     };
     let extraction = &prep.primitives;
 
@@ -362,6 +370,7 @@ fn verify_suffix(
                     reason: NotTriggerableReason::UnsatisfiableConstraints,
                 },
             };
+            attach_post_mortem(&mut report, prep);
             report.wall_seconds = start.elapsed().as_secs_f64();
             return report;
         }
@@ -432,6 +441,10 @@ fn verify_suffix(
             let outcome = vm.run();
             report.p4_seconds = p4_span.finish();
             report.p4_insts = vm.insts_executed();
+            octo_trace::emit(TraceKind::P4Replay {
+                insts: report.p4_insts,
+                crashed: matches!(outcome, RunOutcome::Crash(_)),
+            });
             match outcome {
                 RunOutcome::Crash(crash) if crash.backtrace.any_in(&shared_t) => {
                     // Type-I iff the *original* poc already satisfies all
@@ -463,8 +476,41 @@ fn verify_suffix(
             }
         }
     };
+    attach_post_mortem(&mut report, prep);
     report.wall_seconds = start.elapsed().as_secs_f64();
     report
+}
+
+/// Synthesizes the post-mortem for verdicts that warrant one (see
+/// [`Verdict::post_mortem_event`]): the deciding event, the directed
+/// engine's death note (where the last state died, on which `ep` entry,
+/// under how many constraints), and the flight-record tail of this job.
+/// Works without a recorder installed — the tail is simply empty.
+fn attach_post_mortem(report: &mut VerificationReport, prep: &PreparedSource) {
+    let Some(event) = report.verdict.post_mortem_event() else {
+        return;
+    };
+    let death = report.symex_stats.as_ref().and_then(|s| s.death.as_ref());
+    let detail = if report.prescreen {
+        "decided statically by the P0 pre-screen; no symbolic execution ran".to_string()
+    } else if let Some(note) = death {
+        format!(
+            "last state died of {} at fallback depth {}",
+            note.reason, note.fallback_depth
+        )
+    } else {
+        "the directed engine found no path from T's entry toward ep (empty distance map)"
+            .to_string()
+    };
+    report.post_mortem = Some(PostMortem {
+        event: event.to_string(),
+        ep_entries: death.map_or(0, |n| n.ep_entries),
+        total_entries: prep.ep_entries,
+        constraints: death.map_or(0, |n| n.constraints),
+        last_constraint: death.and_then(|n| n.last_constraint.clone()),
+        detail,
+        tail: octo_trace::job_tail(32),
+    });
 }
 
 #[cfg(test)]
@@ -899,6 +945,74 @@ entry:
         // tainted byte reaches `shared` through an argument register,
         // not memory), which is exactly what the size metric shows.
         assert_eq!(report.bunch_bytes.len(), 1);
+    }
+
+    #[test]
+    fn post_mortems_attach_to_not_triggerable_and_deadline_verdicts() {
+        // Type-III / ep never called: no death note (the engine never
+        // found a path), so the entry count at death is 0.
+        let t_dead = format!("func main() {{\nentry:\n halt 0\n}}\n{SHARED}");
+        let report = verify_pair(&t_dead, b"A");
+        let pm = report
+            .post_mortem
+            .as_ref()
+            .expect("Type-III gets a post-mortem");
+        assert_eq!(pm.event, "ep-unreachable");
+        assert_eq!(pm.total_entries, 1);
+        assert!(!pm.detail.is_empty());
+        assert!(pm.tail.is_empty(), "no recorder installed");
+
+        // Type-III / hardcoded argument: the final solve is unsat, and the
+        // death note carries the dying path's constraint summary.
+        let t_hard = format!(
+            "func main() {{\nentry:\n fd = open\n call shared(0x10)\n halt 0\n}}\n{SHARED}"
+        );
+        let report = verify_pair(&t_hard, b"A");
+        let pm = report
+            .post_mortem
+            .as_ref()
+            .expect("unsat gets a post-mortem");
+        assert_eq!(pm.event, "unsat");
+        assert!(pm.detail.contains("died of"), "{}", pm.detail);
+
+        // Prescreened verdicts say so in the detail line.
+        let report = verify_pair_prescreened(&t_dead, b"A");
+        let pm = report
+            .post_mortem
+            .as_ref()
+            .expect("prescreen gets a post-mortem");
+        assert_eq!(pm.event, "ep-unreachable");
+        assert!(pm.detail.contains("pre-screen"), "{}", pm.detail);
+
+        // Deadline verdicts name the deadline event.
+        let t_ok = format!(
+            "func main() {{\nentry:\n fd = open\n b = getc fd\n call shared(b)\n \
+             halt 0\n}}\n{SHARED}"
+        );
+        let s = s_program();
+        let t = parse_program(&t_ok).unwrap();
+        let poc = PocFile::from(&b"A"[..]);
+        let shared = vec!["shared".to_string()];
+        let input = SoftwarePairInput {
+            s: &s,
+            t: &t,
+            poc: &poc,
+            shared: &shared,
+        };
+        let config = PipelineConfig::default();
+        let prep = prepare(&s, &poc, &shared, &config).expect("prefix succeeds");
+        let token = CancelToken::with_deadline(std::time::Duration::ZERO);
+        let report = verify_prepared(&prep, &input, &config, Some(&token));
+        let pm = report
+            .post_mortem
+            .as_ref()
+            .expect("deadline gets a post-mortem");
+        assert_eq!(pm.event, "deadline");
+
+        // Triggered verdicts carry none.
+        let report = verify_pair(&t_ok, b"A");
+        assert!(report.verdict.poc_generated());
+        assert!(report.post_mortem.is_none());
     }
 
     #[test]

@@ -150,6 +150,31 @@ impl Verdict {
         !matches!(self, Verdict::Failure { .. })
     }
 
+    /// The post-mortem event label for verdicts that warrant one, `None`
+    /// otherwise.
+    ///
+    /// A post-mortem explains *why triggering failed*: every
+    /// not-triggerable verdict qualifies (`"ep-unreachable"`,
+    /// `"program-dead"`, `"unsat"`), as do the two engine give-ups
+    /// (`"loop-dead"`, `"deadline"`). Triggered verdicts and input-side
+    /// failures (bad PoC, missing `ep`, CFG trouble) do not.
+    pub fn post_mortem_event(&self) -> Option<&'static str> {
+        match self {
+            Verdict::NotTriggerable { reason } => Some(match reason {
+                NotTriggerableReason::EpNotCalled => "ep-unreachable",
+                NotTriggerableReason::ProgramDead => "program-dead",
+                NotTriggerableReason::UnsatisfiableConstraints => "unsat",
+            }),
+            Verdict::Failure {
+                reason: FailureReason::LoopBudget,
+            } => Some("loop-dead"),
+            Verdict::Failure {
+                reason: FailureReason::Deadline,
+            } => Some("deadline"),
+            _ => None,
+        }
+    }
+
     /// Short label for table rendering (`Type-I`, `Type-II`, `Type-III`,
     /// `Failure`).
     pub fn type_label(&self) -> &'static str {
@@ -207,6 +232,35 @@ mod tests {
         };
         assert_eq!(x.type_label(), "Failure");
         assert!(!x.verified());
+    }
+
+    #[test]
+    fn post_mortem_events_cover_exactly_the_not_triggered_verdicts() {
+        let ev = |v: &Verdict| v.post_mortem_event();
+        let nt = |reason| Verdict::NotTriggerable { reason };
+        assert_eq!(
+            ev(&nt(NotTriggerableReason::EpNotCalled)),
+            Some("ep-unreachable")
+        );
+        assert_eq!(
+            ev(&nt(NotTriggerableReason::ProgramDead)),
+            Some("program-dead")
+        );
+        assert_eq!(
+            ev(&nt(NotTriggerableReason::UnsatisfiableConstraints)),
+            Some("unsat")
+        );
+        let fail = |reason| Verdict::Failure { reason };
+        assert_eq!(ev(&fail(FailureReason::LoopBudget)), Some("loop-dead"));
+        assert_eq!(ev(&fail(FailureReason::Deadline)), Some("deadline"));
+        assert_eq!(ev(&fail(FailureReason::Budget)), None);
+        assert_eq!(ev(&fail(FailureReason::EpNotOnCrashStack)), None);
+        let t = Verdict::Triggered {
+            kind: TriggerKind::TypeI,
+            poc_prime: PocFile::default(),
+            crash_class: "CWE-119",
+        };
+        assert_eq!(ev(&t), None);
     }
 
     #[test]

@@ -17,6 +17,11 @@ use crate::registry::Histogram;
 /// Implementors bridge spans into other event systems; the batch layer
 /// adapts this to `octo_sched::Event::PhaseFinished`.
 pub trait SpanObserver: Sync {
+    /// Called when a span attaches via [`Span::with_observer`], before
+    /// the region runs. Default: ignored. Observers that bridge spans
+    /// into a trace (paired begin/end events) override this.
+    fn span_started(&self, _name: &'static str) {}
+
     /// Called exactly once per span when it finishes (or is dropped).
     fn span_finished(&self, name: &'static str, seconds: f64);
 }
@@ -68,8 +73,10 @@ impl<'a> Span<'a> {
         self
     }
 
-    /// Also notify `obs` on finish.
+    /// Also notify `obs`: [`SpanObserver::span_started`] now,
+    /// [`SpanObserver::span_finished`] on finish.
     pub fn with_observer(mut self, obs: &'a dyn SpanObserver) -> Span<'a> {
+        obs.span_started(self.name);
         self.observer = Some(obs);
         self
     }
@@ -137,6 +144,22 @@ mod tests {
             let _span = Span::start("p4").with_observer(&rec);
         }
         assert_eq!(rec.0.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn span_started_fires_at_attach() {
+        struct Starts(Mutex<Vec<&'static str>>);
+        impl SpanObserver for Starts {
+            fn span_started(&self, name: &'static str) {
+                self.0.lock().unwrap().push(name);
+            }
+            fn span_finished(&self, _name: &'static str, _seconds: f64) {}
+        }
+        let obs = Starts(Mutex::new(Vec::new()));
+        let span = Span::start("symex").with_observer(&obs);
+        assert_eq!(*obs.0.lock().unwrap(), vec!["symex"], "fires before finish");
+        span.finish();
+        assert_eq!(obs.0.lock().unwrap().len(), 1, "finish adds no start");
     }
 
     #[test]

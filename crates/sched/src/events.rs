@@ -2,22 +2,27 @@
 //!
 //! Batch runs emit one [`Event`] per interesting transition: a job
 //! starting, a pipeline phase finishing (with its wall time), an artifact
-//! cache hit, a job finishing with its outcome. Consumers choose the
-//! representation: [`Event::render_human`] for log lines,
-//! [`Event::render_json`] for JSON-lines machine consumption.
+//! cache hit, a job finishing with its outcome. Each event carries the
+//! emitting worker's lane and a per-worker monotonic timestamp from an
+//! [`EventClock`] — under work stealing, wall-clock reads from different
+//! threads can otherwise land out of order in the JSON-lines sink.
+//! Consumers choose the representation: [`Event::render_human`] for log
+//! lines, [`Event::render_json`] for JSON-lines machine consumption.
 //!
 //! Emission goes through the [`EventSink`] trait so producers do not care
 //! where events land. Any `Fn(Event) + Sync` closure is a sink;
 //! [`EventLog`] buffers events in memory (tests, post-hoc rendering) and
 //! [`NullSink`] drops them.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
-/// One progress event in a batch run.
+/// What happened (the variant payload of an [`Event`]).
 ///
 /// `job` is the submission index of the job the event belongs to.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Event {
+pub enum EventKind {
     /// A worker picked the job up.
     JobStarted {
         /// Submission index.
@@ -52,6 +57,19 @@ pub enum Event {
     },
 }
 
+/// One progress event in a batch run: a kind, the worker lane that
+/// emitted it, and a timestamp that is strictly increasing per worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Microseconds since the run's [`EventClock`] origin, adjusted so
+    /// consecutive stamps from the same worker strictly increase.
+    pub ts_micros: u64,
+    /// The scheduler worker that emitted the event.
+    pub worker: usize,
+    /// What happened.
+    pub kind: EventKind,
+}
+
 /// Escapes a string for embedding in a JSON string literal.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -70,27 +88,37 @@ fn json_escape(s: &str) -> String {
 }
 
 impl Event {
+    /// Builds an event. Producers normally stamp `ts_micros` with
+    /// [`EventClock::stamp`] for the emitting worker.
+    pub fn new(ts_micros: u64, worker: usize, kind: EventKind) -> Event {
+        Event {
+            ts_micros,
+            worker,
+            kind,
+        }
+    }
+
     /// The submission index of the job this event belongs to.
     pub fn job(&self) -> usize {
-        match self {
-            Event::JobStarted { job, .. }
-            | Event::PhaseFinished { job, .. }
-            | Event::CacheHit { job, .. }
-            | Event::JobFinished { job, .. } => *job,
+        match &self.kind {
+            EventKind::JobStarted { job, .. }
+            | EventKind::PhaseFinished { job, .. }
+            | EventKind::CacheHit { job, .. }
+            | EventKind::JobFinished { job, .. } => *job,
         }
     }
 
     /// One human-readable log line (no trailing newline).
     pub fn render_human(&self) -> String {
-        match self {
-            Event::JobStarted { job, name } => format!("[{job:>3}] start    {name}"),
-            Event::PhaseFinished {
+        match &self.kind {
+            EventKind::JobStarted { job, name } => format!("[{job:>3}] start    {name}"),
+            EventKind::PhaseFinished {
                 job,
                 phase,
                 seconds,
             } => format!("[{job:>3}] phase    {phase} ({seconds:.3}s)"),
-            Event::CacheHit { job, key } => format!("[{job:>3}] cache    hit {key:016x}"),
-            Event::JobFinished {
+            EventKind::CacheHit { job, key } => format!("[{job:>3}] cache    hit {key:016x}"),
+            EventKind::JobFinished {
                 job,
                 outcome,
                 seconds,
@@ -98,34 +126,74 @@ impl Event {
         }
     }
 
-    /// One JSON-lines object (no trailing newline).
+    /// One JSON-lines object (no trailing newline). The leading keys
+    /// (`event`, `ts_us`, `worker`) are shared with the octo-trace
+    /// JSON-lines stream so one consumer can merge both.
     pub fn render_json(&self) -> String {
-        match self {
-            Event::JobStarted { job, name } => format!(
-                "{{\"event\":\"job_started\",\"job\":{job},\"name\":\"{}\"}}",
+        let head = format!("\"ts_us\":{},\"worker\":{}", self.ts_micros, self.worker);
+        match &self.kind {
+            EventKind::JobStarted { job, name } => format!(
+                "{{\"event\":\"job_started\",{head},\"job\":{job},\"name\":\"{}\"}}",
                 json_escape(name)
             ),
-            Event::PhaseFinished {
+            EventKind::PhaseFinished {
                 job,
                 phase,
                 seconds,
             } => format!(
-                "{{\"event\":\"phase_finished\",\"job\":{job},\"phase\":\"{phase}\",\
+                "{{\"event\":\"phase_finished\",{head},\"job\":{job},\"phase\":\"{phase}\",\
                  \"seconds\":{seconds:.6}}}"
             ),
-            Event::CacheHit { job, key } => {
-                format!("{{\"event\":\"cache_hit\",\"job\":{job},\"key\":\"{key:016x}\"}}")
+            EventKind::CacheHit { job, key } => {
+                format!("{{\"event\":\"cache_hit\",{head},\"job\":{job},\"key\":\"{key:016x}\"}}")
             }
-            Event::JobFinished {
+            EventKind::JobFinished {
                 job,
                 outcome,
                 seconds,
             } => format!(
-                "{{\"event\":\"job_finished\",\"job\":{job},\"outcome\":\"{}\",\
+                "{{\"event\":\"job_finished\",{head},\"job\":{job},\"outcome\":\"{}\",\
                  \"seconds\":{seconds:.6}}}",
                 json_escape(outcome)
             ),
         }
+    }
+}
+
+/// Stamps events with per-worker strictly-monotonic microsecond ticks.
+///
+/// A plain `Instant::elapsed` read is monotonic per call but coarse: two
+/// events emitted back-to-back on one worker (or a stolen job resuming
+/// on another) can read the same microsecond, and the JSON-lines stream
+/// then shows ties or — when rendered after a steal — apparent
+/// reordering. [`EventClock::stamp`] clamps each worker's stamp to at
+/// least one past that worker's previous stamp, so per-worker order is
+/// recoverable from timestamps alone.
+#[derive(Debug)]
+pub struct EventClock {
+    origin: Instant,
+    last: Vec<AtomicU64>,
+}
+
+impl EventClock {
+    /// A clock for `workers` lanes (at least one), starting now.
+    pub fn new(workers: usize) -> EventClock {
+        EventClock {
+            origin: Instant::now(),
+            last: (0..workers.max(1)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Microseconds since the clock started, strictly greater than any
+    /// stamp previously returned for `worker`.
+    pub fn stamp(&self, worker: usize) -> u64 {
+        let lane = &self.last[worker % self.last.len()];
+        let now = self.origin.elapsed().as_micros() as u64;
+        // Each lane is only stamped from the thread running that worker,
+        // so a relaxed read-modify-write cycle is race-free.
+        let ts = now.max(lane.load(Ordering::Relaxed) + 1);
+        lane.store(ts, Ordering::Relaxed);
+        ts
     }
 }
 
@@ -194,23 +262,27 @@ impl EventSink for EventLog {
 mod tests {
     use super::*;
 
+    fn at(kind: EventKind) -> Event {
+        Event::new(0, 0, kind)
+    }
+
     #[test]
     fn log_collects_in_order() {
         let log = EventLog::new();
-        log.emit(Event::JobStarted {
+        log.emit(at(EventKind::JobStarted {
             job: 0,
             name: "a".into(),
-        });
-        log.emit(Event::JobFinished {
+        }));
+        log.emit(at(EventKind::JobFinished {
             job: 0,
             outcome: "Type-I".into(),
             seconds: 0.25,
-        });
+        }));
         assert_eq!(log.len(), 2);
         assert!(!log.is_empty());
         assert_eq!(log.snapshot()[1].job(), 0);
         assert_eq!(
-            log.filtered(|e| matches!(e, Event::JobFinished { .. }))
+            log.filtered(|e| matches!(e.kind, EventKind::JobFinished { .. }))
                 .len(),
             1
         );
@@ -218,25 +290,30 @@ mod tests {
 
     #[test]
     fn json_rendering_escapes_names() {
-        let e = Event::JobStarted {
-            job: 3,
-            name: "a\"b\\c\nd".into(),
-        };
+        let e = Event::new(
+            41,
+            2,
+            EventKind::JobStarted {
+                job: 3,
+                name: "a\"b\\c\nd".into(),
+            },
+        );
         assert_eq!(
             e.render_json(),
-            "{\"event\":\"job_started\",\"job\":3,\"name\":\"a\\\"b\\\\c\\nd\"}"
+            "{\"event\":\"job_started\",\"ts_us\":41,\"worker\":2,\"job\":3,\
+             \"name\":\"a\\\"b\\\\c\\nd\"}"
         );
     }
 
     #[test]
     fn human_rendering_mentions_phase_and_outcome() {
-        let p = Event::PhaseFinished {
+        let p = at(EventKind::PhaseFinished {
             job: 1,
             phase: "prepare",
             seconds: 0.5,
-        };
+        });
         assert!(p.render_human().contains("prepare"));
-        let h = Event::CacheHit { job: 1, key: 0xAB };
+        let h = at(EventKind::CacheHit { job: 1, key: 0xAB });
         assert!(h.render_human().contains("00000000000000ab"));
     }
 
@@ -247,8 +324,55 @@ mod tests {
             count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         };
         let dyn_sink: &dyn EventSink = &sink;
-        dyn_sink.emit(Event::CacheHit { job: 0, key: 1 });
-        NullSink.emit(Event::CacheHit { job: 0, key: 2 });
+        dyn_sink.emit(at(EventKind::CacheHit { job: 0, key: 1 }));
+        NullSink.emit(at(EventKind::CacheHit { job: 0, key: 2 }));
         assert_eq!(count.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn clock_stamps_strictly_increase_per_worker() {
+        // Regression: back-to-back emissions within one microsecond used
+        // to produce tied (and, across a steal, reordered) timestamps.
+        let clock = EventClock::new(2);
+        let mut prev = 0;
+        for _ in 0..10_000 {
+            let ts = clock.stamp(0);
+            assert!(ts > prev, "stamp {ts} not after {prev}");
+            prev = ts;
+        }
+        // The other lane is independent and also strictly increases.
+        let a = clock.stamp(1);
+        let b = clock.stamp(1);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn clock_stamps_from_worker_threads_stay_monotonic() {
+        use std::sync::Arc;
+        let clock = Arc::new(EventClock::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|w| {
+                let clock = Arc::clone(&clock);
+                std::thread::spawn(move || {
+                    let mut stamps = Vec::with_capacity(1000);
+                    for _ in 0..1000 {
+                        stamps.push(clock.stamp(w));
+                    }
+                    stamps
+                })
+            })
+            .collect();
+        for h in handles {
+            let stamps = h.join().unwrap();
+            assert!(stamps.windows(2).all(|p| p[0] < p[1]));
+        }
+    }
+
+    #[test]
+    fn clock_tolerates_out_of_range_worker_index() {
+        let clock = EventClock::new(1);
+        let a = clock.stamp(0);
+        let b = clock.stamp(7); // folds onto lane 0
+        assert!(b > a);
     }
 }

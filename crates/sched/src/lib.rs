@@ -34,5 +34,5 @@ pub mod scheduler;
 
 pub use cache::{ArtifactCache, CacheStats, KeyHasher};
 pub use cancel::CancelToken;
-pub use events::{Event, EventLog, EventSink, NullSink};
+pub use events::{Event, EventClock, EventKind, EventLog, EventSink, NullSink};
 pub use scheduler::{run_jobs, SchedStats};

@@ -164,6 +164,18 @@ impl ConstraintSet {
     /// Solves the set with explicit limits.
     pub fn solve_with(&self, limits: SolveLimits) -> SolveResult {
         bump(&SOLVES);
+        // Flight-recorder bracket around the whole entry. The payload
+        // (an Instant read and a counter snapshot) is gated on a live
+        // recorder so the batch hot path stays untouched.
+        let traced = octo_trace::is_active().then(|| {
+            octo_trace::emit(octo_trace::TraceKind::SolverBegin {
+                constraints: self.len() as u64,
+            });
+            (
+                std::time::Instant::now(),
+                INTERVAL_REFUTATIONS.with(Cell::get),
+            )
+        });
         let result = if self.is_trivially_false() {
             // Normalisation proved the contradiction and dropped the
             // offending constraint from the item list; the search below
@@ -174,6 +186,17 @@ impl ConstraintSet {
         };
         if result == SolveResult::Unsat {
             bump(&UNSAT_RESULTS);
+        }
+        if let Some((start, refutations_before)) = traced {
+            octo_trace::emit(octo_trace::TraceKind::SolverEnd {
+                result: match &result {
+                    SolveResult::Sat(_) => "sat",
+                    SolveResult::Unsat => "unsat",
+                    SolveResult::Unknown => "unknown",
+                },
+                micros: start.elapsed().as_micros() as u64,
+                refutations: INTERVAL_REFUTATIONS.with(Cell::get) - refutations_before,
+            });
         }
         result
     }
@@ -637,5 +660,55 @@ mod tests {
         let f = m.to_file(4);
         assert_eq!(f.len(), 4);
         assert!(f.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn solver_entries_are_bracketed_in_the_flight_record() {
+        use octo_trace::{FlightRecorder, TraceKind};
+        use std::sync::Arc;
+
+        let mut set = ConstraintSet::new();
+        set.assert_byte(0, 0x41);
+        // Without a recorder: nothing is emitted anywhere to check, but
+        // the solve itself must be unaffected.
+        assert!(set.solve().is_sat());
+
+        let rec = Arc::new(FlightRecorder::new(64));
+        let guard = octo_trace::install(&rec, 2, 1);
+        assert!(set.solve().is_sat());
+        drop(guard);
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 2, "one begin + one end: {events:?}");
+        assert!(matches!(
+            events[0].kind,
+            TraceKind::SolverBegin { constraints: 1 }
+        ));
+        let TraceKind::SolverEnd { result, .. } = &events[1].kind else {
+            panic!("expected SolverEnd, got {:?}", events[1].kind);
+        };
+        assert_eq!(*result, "sat");
+
+        // An unsat set reports "unsat" in the bracket.
+        let rec = Arc::new(FlightRecorder::new(64));
+        let guard = octo_trace::install(&rec, 0, 0);
+        let mut bad = ConstraintSet::new();
+        bad.assert_byte(0, 1);
+        bad.assert_byte(0, 2);
+        assert_eq!(bad.solve(), SolveResult::Unsat);
+        drop(guard);
+        let ends: Vec<_> = rec
+            .snapshot()
+            .into_iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    TraceKind::SolverEnd {
+                        result: "unsat",
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert_eq!(ends.len(), 1, "exactly one unsat solver exit");
     }
 }

@@ -26,6 +26,7 @@ use octo_ir::{BlockId, FuncId, Program};
 use octo_poc::{CrashPrimitives, PocFile};
 use octo_sched::CancelToken;
 use octo_solver::{Cond, Constraint, Expr, ExprRef, SolveResult, SolverCounters};
+use octo_trace::{emit, TraceKind};
 
 use crate::exec::{DeadReason, StepEvent, SymExecutor};
 use crate::state::SymState;
@@ -106,6 +107,29 @@ pub struct DirectedStats {
     pub interval_refutations: u64,
     /// Simplifier rewrite rules fired while building expressions.
     pub simplify_rewrites: u64,
+    /// Where and why the most recent state died. On a not-triggerable
+    /// or deadline outcome this describes the dying state the verdict
+    /// was decided on; the pipeline turns it into a post-mortem.
+    pub death: Option<DeathNote>,
+}
+
+/// A snapshot of the state that most recently died, taken at the point
+/// of death (the state itself is dropped).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeathNote {
+    /// Why the state died: `"branch-dead"`, `"stitch-infeasible"`,
+    /// `"loop-retry"`, `"exited"`, `"crashed"`, `"concretize-failed"`,
+    /// `"dead"`, `"deadline"`, `"step-budget"`, `"final-unsat"`, or
+    /// `"model-unavailable"`.
+    pub reason: &'static str,
+    /// Bunches the state had stitched (`ep` entries) when it died.
+    pub ep_entries: u32,
+    /// Path-condition size at death.
+    pub constraints: u64,
+    /// The most recent constraint on the dying path, if any.
+    pub last_constraint: Option<String>,
+    /// Fallback-stack depth at death (alternates still pending).
+    pub fallback_depth: u64,
 }
 
 /// Result of the directed P2+P3 run.
@@ -145,6 +169,19 @@ impl DirectedOutcome {
     /// Whether a `poc'` was produced.
     pub fn generated(&self) -> bool {
         matches!(self, DirectedOutcome::PocGenerated { .. })
+    }
+
+    /// A stable kebab-case label for the trace stream and post-mortems.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DirectedOutcome::PocGenerated { .. } => "poc-generated",
+            DirectedOutcome::EpUnreachable => "ep-unreachable",
+            DirectedOutcome::ProgramDead => "program-dead",
+            DirectedOutcome::Unsat => "unsat",
+            DirectedOutcome::LoopBudget => "loop-dead",
+            DirectedOutcome::Budget => "step-budget",
+            DirectedOutcome::Cancelled => "deadline",
+        }
     }
 }
 
@@ -188,6 +225,9 @@ impl RunCtx {
         let (p, bytes) = self.fallbacks.pop()?;
         self.fallback_bytes -= bytes;
         stats.backtracks += 1;
+        emit(TraceKind::FallbackPop {
+            depth: self.fallbacks.len() as u64,
+        });
         Some(p)
     }
 }
@@ -236,8 +276,8 @@ impl<'p> DirectedEngine<'p> {
 
     /// Runs P2+P3 to a verdict.
     ///
-    /// All bookkeeping funnels through this single finish point:
-    /// [`run_inner`](Self::run_inner) accumulates steps, backtracks, and
+    /// All bookkeeping funnels through this single finish point: the
+    /// inner engine loop accumulates steps, backtracks, and
     /// memory in place, and the wall clock plus the solver-counter
     /// deltas are stamped exactly once here — no early-exit path can
     /// return stale zeros.
@@ -251,6 +291,10 @@ impl<'p> DirectedEngine<'p> {
         stats.interval_refutations = solver.interval_refutations;
         stats.simplify_rewrites = solver.simplify_rewrites;
         stats.wall_seconds = start.elapsed().as_secs_f64();
+        emit(TraceKind::EngineOutcome {
+            outcome: outcome.label(),
+            steps: stats.total_steps,
+        });
         (outcome, stats)
     }
 
@@ -277,9 +321,14 @@ impl<'p> DirectedEngine<'p> {
             if stats.total_steps.is_multiple_of(CANCEL_POLL_STEPS)
                 && self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
             {
+                emit(TraceKind::CancelFired {
+                    step: stats.total_steps,
+                });
+                self.note_death(&cur.state, "deadline", &ctx, stats);
                 return DirectedOutcome::Cancelled;
             }
             if stats.total_steps >= self.config.step_budget {
+                self.note_death(&cur.state, "step-budget", &ctx, stats);
                 // Unsat evidence outweighs a bare budget verdict: every
                 // path that reached ep contradicted the crash primitives.
                 return if ctx.unsat_seen {
@@ -315,6 +364,8 @@ impl<'p> DirectedEngine<'p> {
                     Stitch::Infeasible => {
                         ctx.unsat_seen = true;
                         ctx.stitch_failures += 1;
+                        emit(TraceKind::StitchInfeasible { entry });
+                        self.note_death(&cur.state, "stitch-infeasible", &ctx, stats);
                         if ctx.stitch_failures >= self.config.max_stitch_failures {
                             return DirectedOutcome::Unsat;
                         }
@@ -331,12 +382,23 @@ impl<'p> DirectedEngine<'p> {
                     cases,
                     default,
                 } => self.handle_switch(cur, &scrut, &cases, default, &mut ctx, stats),
-                StepEvent::Exited | StepEvent::Crashed(_) => None,
-                StepEvent::Dead(DeadReason::ConcretizeFailed) => {
-                    ctx.unsat_seen = true;
+                StepEvent::Exited => {
+                    self.note_death(&cur.state, "exited", &ctx, stats);
                     None
                 }
-                StepEvent::Dead(_) => None,
+                StepEvent::Crashed(_) => {
+                    self.note_death(&cur.state, "crashed", &ctx, stats);
+                    None
+                }
+                StepEvent::Dead(DeadReason::ConcretizeFailed) => {
+                    ctx.unsat_seen = true;
+                    self.note_death(&cur.state, "concretize-failed", &ctx, stats);
+                    None
+                }
+                StepEvent::Dead(_) => {
+                    self.note_death(&cur.state, "dead", &ctx, stats);
+                    None
+                }
             };
 
             // Steady-state memory poll (Table IV RAM column). Spikes are
@@ -383,7 +445,10 @@ impl<'p> DirectedEngine<'p> {
                     guiding,
                 }
             }
-            SolveResult::Unsat => DirectedOutcome::Unsat,
+            SolveResult::Unsat => {
+                self.note_death(&final_path.state, "final-unsat", &ctx, stats);
+                DirectedOutcome::Unsat
+            }
             SolveResult::Unknown => DirectedOutcome::Budget,
         }
     }
@@ -396,16 +461,45 @@ impl<'p> DirectedEngine<'p> {
             .max(cur.state.approx_bytes() + ctx.fallback_bytes);
     }
 
+    /// Snapshots a dying state into `stats.death` (the verdict is decided
+    /// on the *last* death) and mirrors it into the flight record.
+    fn note_death(
+        &self,
+        state: &SymState,
+        reason: &'static str,
+        ctx: &RunCtx,
+        stats: &mut DirectedStats,
+    ) {
+        let note = DeathNote {
+            reason,
+            ep_entries: state.ep_entries,
+            constraints: state.constraints.len() as u64,
+            last_constraint: state.constraints.items().last().map(ToString::to_string),
+            fallback_depth: ctx.fallbacks.len() as u64,
+        };
+        emit(TraceKind::StateDead {
+            reason,
+            ep_entries: note.ep_entries,
+            constraints: note.constraints,
+        });
+        stats.death = Some(note);
+    }
+
     /// Stores an alternate direction for backtracking (bounded by
     /// `max_fallbacks`) and keeps the stack-depth watermark current.
-    fn push_fallback(&self, cand: PathState, ctx: &mut RunCtx, stats: &mut DirectedStats) {
+    /// Returns whether the state was kept.
+    fn push_fallback(&self, cand: PathState, ctx: &mut RunCtx, stats: &mut DirectedStats) -> bool {
         if ctx.fallbacks.len() >= self.config.max_fallbacks {
-            return;
+            return false;
         }
         let bytes = cand.state.approx_bytes();
         ctx.fallback_bytes += bytes;
         ctx.fallbacks.push((cand, bytes));
         stats.peak_fallback_depth = stats.peak_fallback_depth.max(ctx.fallbacks.len() as u64);
+        emit(TraceKind::FallbackPush {
+            depth: ctx.fallbacks.len() as u64,
+        });
+        true
     }
 
     fn distance(&self, func: FuncId, block: BlockId) -> Option<u32> {
@@ -425,20 +519,21 @@ impl<'p> DirectedEngine<'p> {
     ) -> Option<PathState> {
         let func = cur.state.top().func;
         if let Mode::ModelFollow { .. } = cur.mode {
-            return self.model_follow_branch(cur, cond, then_bb, else_bb, stats);
+            return self.model_follow_branch(cur, cond, then_bb, else_bb, ctx, stats);
         }
         let d_then = self.distance(func, then_bb);
         let d_else = self.distance(func, else_bb);
         if d_then.is_none() && d_else.is_none() {
             // Off the guided region (e.g. both successors rejoin via a
             // return) — decide by the current model, like inside ℓ.
-            return self.model_follow_branch(cur, cond, then_bb, else_bb, stats);
+            return self.model_follow_branch(cur, cond, then_bb, else_bb, ctx, stats);
         }
         // Order candidates by distance (unreachable last).
         let mut order = [(true, d_then), (false, d_else)];
         order.sort_by_key(|(_, d)| d.unwrap_or(u32::MAX));
 
         let mut kept: Option<PathState> = None;
+        let mut siblings = 0u32;
         for (take_then, _) in order {
             let mut cand = PathState {
                 state: cur.state.clone(),
@@ -450,6 +545,7 @@ impl<'p> DirectedEngine<'p> {
             if visits > self.config.theta {
                 stats.loop_retries += 1;
                 ctx.loop_budget_hit = true;
+                emit(TraceKind::LoopRetry { visits });
                 continue;
             }
             if !cand.state.constraints.quick_feasible() {
@@ -457,15 +553,21 @@ impl<'p> DirectedEngine<'p> {
             }
             if kept.is_none() {
                 kept = Some(cand);
-            } else {
-                self.push_fallback(cand, ctx, stats);
+            } else if self.push_fallback(cand, ctx, stats) {
+                siblings += 1;
             }
         }
         // A fork is a growth point: the spike (kept state + the freshly
         // pushed sibling) must land in the watermark even if the path
         // dies before the next poll.
-        if let Some(k) = &kept {
-            self.note_mem(k, ctx, stats);
+        match &kept {
+            Some(k) => {
+                if siblings > 0 {
+                    emit(TraceKind::StateFork { siblings });
+                }
+                self.note_mem(k, ctx, stats);
+            }
+            None => self.note_death(&cur.state, "branch-dead", ctx, stats),
         }
         kept
     }
@@ -481,7 +583,7 @@ impl<'p> DirectedEngine<'p> {
     ) -> Option<PathState> {
         let func = cur.state.top().func;
         if let Mode::ModelFollow { .. } = cur.mode {
-            return self.model_follow_switch(cur, scrut, cases, default, stats);
+            return self.model_follow_switch(cur, scrut, cases, default, ctx, stats);
         }
         // Candidates: each case plus default, ordered by distance.
         let mut cands: Vec<(Option<u64>, Option<u32>)> = cases
@@ -490,11 +592,12 @@ impl<'p> DirectedEngine<'p> {
             .collect();
         cands.push((None, self.distance(func, default)));
         if cands.iter().all(|(_, d)| d.is_none()) {
-            return self.model_follow_switch(cur, scrut, cases, default, stats);
+            return self.model_follow_switch(cur, scrut, cases, default, ctx, stats);
         }
         cands.sort_by_key(|(_, d)| d.unwrap_or(u32::MAX));
 
         let mut kept: Option<PathState> = None;
+        let mut siblings = 0u32;
         for (choice, _) in cands {
             let mut cand = PathState {
                 state: cur.state.clone(),
@@ -506,6 +609,7 @@ impl<'p> DirectedEngine<'p> {
             if visits > self.config.theta {
                 stats.loop_retries += 1;
                 ctx.loop_budget_hit = true;
+                emit(TraceKind::LoopRetry { visits });
                 continue;
             }
             if !cand.state.constraints.quick_feasible() {
@@ -513,12 +617,18 @@ impl<'p> DirectedEngine<'p> {
             }
             if kept.is_none() {
                 kept = Some(cand);
-            } else {
-                self.push_fallback(cand, ctx, stats);
+            } else if self.push_fallback(cand, ctx, stats) {
+                siblings += 1;
             }
         }
-        if let Some(k) = &kept {
-            self.note_mem(k, ctx, stats);
+        match &kept {
+            Some(k) => {
+                if siblings > 0 {
+                    emit(TraceKind::StateFork { siblings });
+                }
+                self.note_mem(k, ctx, stats);
+            }
+            None => self.note_death(&cur.state, "branch-dead", ctx, stats),
         }
         kept
     }
@@ -529,10 +639,17 @@ impl<'p> DirectedEngine<'p> {
         cond: &ExprRef,
         then_bb: BlockId,
         else_bb: BlockId,
+        ctx: &RunCtx,
         stats: &mut DirectedStats,
     ) -> Option<PathState> {
-        let model = cur.state.model()?;
-        let v = cond.eval(&|off| Some(model.byte(off)))?;
+        let Some(v) = cur
+            .state
+            .model()
+            .and_then(|model| cond.eval(&|off| Some(model.byte(off))))
+        else {
+            self.note_death(&cur.state, "model-unavailable", ctx, stats);
+            return None;
+        };
         if self.config.loop_acceleration && self.branch_is_forced(&mut cur.state, cond, v != 0) {
             // Forced branch: the direction is already implied by the
             // collected constraints — transfer control without growing the
@@ -549,6 +666,8 @@ impl<'p> DirectedEngine<'p> {
             .take_branch(&mut cur.state, cond, v != 0, then_bb, else_bb);
         if visits > self.config.theta {
             stats.loop_retries += 1;
+            emit(TraceKind::LoopRetry { visits });
+            self.note_death(&cur.state, "loop-retry", ctx, stats);
             return None;
         }
         Some(cur)
@@ -569,16 +688,25 @@ impl<'p> DirectedEngine<'p> {
         scrut: &ExprRef,
         cases: &[(u64, BlockId)],
         default: BlockId,
+        ctx: &RunCtx,
         stats: &mut DirectedStats,
     ) -> Option<PathState> {
-        let model = cur.state.model()?;
-        let v = scrut.eval(&|off| Some(model.byte(off)))?;
+        let Some(v) = cur
+            .state
+            .model()
+            .and_then(|model| scrut.eval(&|off| Some(model.byte(off))))
+        else {
+            self.note_death(&cur.state, "model-unavailable", ctx, stats);
+            return None;
+        };
         let choice = cases.iter().find(|(c, _)| *c == v).map(|(c, _)| *c);
         let visits = self
             .executor
             .take_switch(&mut cur.state, scrut, cases, default, choice);
         if visits > self.config.theta {
             stats.loop_retries += 1;
+            emit(TraceKind::LoopRetry { visits });
+            self.note_death(&cur.state, "loop-retry", ctx, stats);
             return None;
         }
         Some(cur)
@@ -616,7 +744,8 @@ impl<'p> DirectedEngine<'p> {
         }
         // Pin the bunch bytes at the file position indicator (Fig. 5:
         // "sym[5:9] == 0x41").
-        for (j, byte) in bunch.dense_bytes().iter().enumerate() {
+        let dense = bunch.dense_bytes();
+        for (j, byte) in dense.iter().enumerate() {
             let off = file_pos + j as u64;
             if off >= self.config.file_len {
                 return Stitch::Infeasible; // bunch does not fit in the file
@@ -624,6 +753,11 @@ impl<'p> DirectedEngine<'p> {
             cur.state
                 .add_constraint(Constraint::byte_eq(off as u32, *byte));
         }
+        emit(TraceKind::BunchAsserted {
+            entry,
+            bytes: dense.len() as u64,
+            file_pos,
+        });
         if !cur.state.constraints.quick_feasible() {
             return Stitch::Infeasible;
         }
@@ -1169,6 +1303,130 @@ entry:
         assert!(matches!(outcome, DirectedOutcome::Cancelled));
         assert!(stats.wall_seconds > 0.0);
         assert_eq!(stats.total_steps, 0);
+    }
+
+    #[test]
+    fn death_notes_describe_the_dying_state() {
+        // ProgramDead: the gate's go-arm is infeasible, so the only
+        // surviving path walks the reject arm and exits — the last death
+        // the verdict is decided on is that clean exit.
+        let dead = r#"
+func main() {
+entry:
+    fd = open
+    a = getc fd
+    b = add a, 1
+    c = eq a, b
+    br c, go, bad
+go:
+    call shared(fd)
+    halt 0
+bad:
+    halt 1
+}
+func shared(fd) {
+entry:
+    ret
+}
+"#;
+        let q = primitives(&[(&[], &[3])]);
+        let (outcome, stats) = run_configured(
+            dead,
+            "shared",
+            &q,
+            DirectedConfig {
+                file_len: 8,
+                ..DirectedConfig::default()
+            },
+            None,
+        );
+        assert!(matches!(outcome, DirectedOutcome::ProgramDead));
+        let death = stats.death.expect("program-dead run records a death");
+        assert_eq!(death.reason, "exited");
+        assert_eq!(death.ep_entries, 0, "died before ever entering ep");
+        assert!(death.constraints > 0, "the gate constraint was collected");
+        assert!(death.last_constraint.is_some());
+
+        // Cancelled: the death note names the deadline.
+        let (outcome, stats) = run_configured(
+            GATED,
+            "shared",
+            &primitives(&[(&[(9, 0x7F)], &[3])]),
+            DirectedConfig {
+                file_len: 16,
+                ..DirectedConfig::default()
+            },
+            Some(CancelToken::with_deadline(std::time::Duration::ZERO)),
+        );
+        assert!(matches!(outcome, DirectedOutcome::Cancelled));
+        assert_eq!(stats.death.expect("deadline death").reason, "deadline");
+
+        // A successful run keeps whatever death happened on a rejected
+        // sibling path but never loses the verdict.
+        let (outcome, _) = run_configured(
+            GATED,
+            "shared",
+            &primitives(&[(&[(9, 0x7F)], &[3])]),
+            DirectedConfig {
+                file_len: 16,
+                ..DirectedConfig::default()
+            },
+            None,
+        );
+        assert!(outcome.generated());
+    }
+
+    #[test]
+    fn flight_record_covers_a_directed_run() {
+        use octo_trace::{FlightRecorder, TraceKind};
+        use std::sync::Arc;
+
+        let rec = Arc::new(FlightRecorder::new(4096));
+        let guard = octo_trace::install(&rec, 5, 2);
+        let (outcome, _) = run_configured(
+            GATED,
+            "shared",
+            &primitives(&[(&[(9, 0x7F)], &[3])]),
+            DirectedConfig {
+                file_len: 16,
+                ..DirectedConfig::default()
+            },
+            None,
+        );
+        drop(guard);
+        assert!(outcome.generated());
+        let events = rec.snapshot();
+        assert!(events.iter().all(|e| e.job == 5 && e.worker == 2));
+        let has = |f: &dyn Fn(&TraceKind) -> bool| events.iter().any(|e| f(&e.kind));
+        assert!(has(&|k| matches!(k, TraceKind::FallbackPush { .. })));
+        assert!(has(&|k| matches!(
+            k,
+            TraceKind::BunchAsserted { entry: 1, .. }
+        )));
+        assert!(has(&|k| matches!(
+            k,
+            TraceKind::EngineOutcome {
+                outcome: "poc-generated",
+                ..
+            }
+        )));
+        // The solver was exercised under the recorder... but solver-side
+        // begin/end events are wired in octo-solver; here we only assert
+        // the engine's own events. A run without a recorder must emit
+        // nothing new.
+        let before = rec.len();
+        let (outcome, _) = run_configured(
+            GATED,
+            "shared",
+            &primitives(&[(&[(9, 0x7F)], &[3])]),
+            DirectedConfig {
+                file_len: 16,
+                ..DirectedConfig::default()
+            },
+            None,
+        );
+        assert!(outcome.generated());
+        assert_eq!(rec.len(), before, "no recorder installed, no events");
     }
 
     #[test]

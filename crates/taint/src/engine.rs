@@ -279,12 +279,20 @@ impl TaintEngine {
         match self.config.context {
             ContextMode::ContextAware => {
                 if let Some(b) = self.acc.take() {
+                    octo_trace::emit(octo_trace::TraceKind::BunchRecorded {
+                        entry: b.seq,
+                        bytes: b.len() as u64,
+                    });
                     self.primitives.push(b, std::mem::take(&mut self.acc_args));
                 }
             }
             ContextMode::ContextFree => {
                 if final_close {
                     if let Some(b) = self.acc.take() {
+                        octo_trace::emit(octo_trace::TraceKind::BunchRecorded {
+                            entry: b.seq,
+                            bytes: b.len() as u64,
+                        });
                         self.primitives.push(b, std::mem::take(&mut self.acc_args));
                     }
                 }
@@ -412,6 +420,9 @@ impl Hook for TaintEngine {
         }
         if callee == self.config.ep && !self.inside() {
             self.ep_count += 1;
+            octo_trace::emit(octo_trace::TraceKind::EpEntered {
+                entry: self.ep_count,
+            });
             self.inside_depth = Some(depth);
             self.open_bunch(args);
         }

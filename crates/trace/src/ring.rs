@@ -1,0 +1,210 @@
+//! The bounded, overwrite-oldest event ring.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::{TraceEvent, TraceKind};
+
+/// Default ring capacity when the caller does not choose one.
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+struct Ring {
+    /// Fixed-capacity storage; grows up to `capacity` then wraps.
+    slots: Vec<TraceEvent>,
+    capacity: usize,
+    /// Next write position once `slots` is full.
+    head: usize,
+}
+
+/// A bounded flight recorder: the last `capacity` events, shared across
+/// the scheduler's worker threads. When full it overwrites the oldest
+/// event and counts the loss in [`FlightRecorder::dropped`] — recording
+/// never blocks on the consumer and never allocates past the cap.
+pub struct FlightRecorder {
+    origin: Instant,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    ring: Mutex<Ring>,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder keeping at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            origin: Instant::now(),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            ring: Mutex::new(Ring {
+                slots: Vec::new(),
+                capacity,
+                head: 0,
+            }),
+        }
+    }
+
+    /// Creates a recorder with [`DEFAULT_CAPACITY`].
+    pub fn with_default_capacity() -> Self {
+        Self::new(DEFAULT_CAPACITY)
+    }
+
+    /// Records one event, stamping it with the next sequence number and
+    /// the microseconds since the recorder was created.
+    pub fn record(&self, job: u32, worker: u32, kind: TraceKind) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let ts_micros = self.origin.elapsed().as_micros() as u64;
+        let event = TraceEvent {
+            seq,
+            ts_micros,
+            job,
+            worker,
+            kind,
+        };
+        let mut ring = self.ring.lock().unwrap();
+        if ring.slots.len() < ring.capacity {
+            ring.slots.push(event);
+        } else {
+            let head = ring.head;
+            ring.slots[head] = event;
+            ring.head = (head + 1) % ring.capacity;
+            drop(ring);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// All retained events, oldest first (by sequence number).
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let ring = self.ring.lock().unwrap();
+        let mut events: Vec<TraceEvent> = ring.slots.clone();
+        drop(ring);
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// The last `n` retained events of `job`, oldest first.
+    pub fn tail_for_job(&self, job: u32, n: usize) -> Vec<TraceEvent> {
+        let mut events: Vec<TraceEvent> = {
+            let ring = self.ring.lock().unwrap();
+            ring.slots
+                .iter()
+                .filter(|e| e.job == job)
+                .cloned()
+                .collect()
+        };
+        events.sort_by_key(|e| e.seq);
+        if events.len() > n {
+            events.drain(..events.len() - n);
+        }
+        events
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.lock().unwrap().slots.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn retains_in_order_until_capacity() {
+        let rec = FlightRecorder::new(4);
+        for i in 0..3 {
+            rec.record(0, 0, TraceKind::LoopRetry { visits: i });
+        }
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(rec.dropped(), 0);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert!(matches!(e.kind, TraceKind::LoopRetry { visits } if visits == i as u32));
+        }
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let rec = FlightRecorder::new(4);
+        for i in 0..10 {
+            rec.record(0, 0, TraceKind::LoopRetry { visits: i });
+        }
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 4);
+        assert_eq!(rec.dropped(), 6);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn tail_for_job_filters_and_limits() {
+        let rec = FlightRecorder::new(32);
+        for i in 0..6 {
+            rec.record(i % 2, 0, TraceKind::FallbackPush { depth: i as u64 });
+        }
+        let tail = rec.tail_for_job(1, 2);
+        assert_eq!(tail.len(), 2);
+        assert!(tail.iter().all(|e| e.job == 1));
+        assert!(tail[0].seq < tail[1].seq);
+        assert_eq!(rec.tail_for_job(7, 4).len(), 0);
+    }
+
+    #[test]
+    fn timestamps_never_decrease_in_seq_order() {
+        let rec = FlightRecorder::new(128);
+        for _ in 0..100 {
+            rec.record(0, 0, TraceKind::CancelFired { step: 1 });
+        }
+        let events = rec.snapshot();
+        for pair in events.windows(2) {
+            assert!(pair[0].ts_micros <= pair[1].ts_micros);
+            assert!(pair[0].seq < pair[1].seq);
+        }
+    }
+
+    #[test]
+    fn concurrent_recording_keeps_unique_seqs() {
+        let rec = Arc::new(FlightRecorder::new(4096));
+        let handles: Vec<_> = (0..4)
+            .map(|w| {
+                let rec = Arc::clone(&rec);
+                thread::spawn(move || {
+                    for i in 0..256 {
+                        rec.record(w, w, TraceKind::LoopRetry { visits: i });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let events = rec.snapshot();
+        assert_eq!(events.len(), 1024);
+        let mut seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 1024);
+    }
+}

@@ -39,6 +39,7 @@ fn batch_over_corpus_matches_the_golden_file() {
         &BatchOptions {
             workers: 4,
             deadline: None,
+            trace: None,
         },
         &NullSink,
     );
@@ -67,6 +68,7 @@ fn batch_verdicts_match_sequential_verify_for_every_pair() {
         &BatchOptions {
             workers: 8,
             deadline: None,
+            trace: None,
         },
         &NullSink,
     );
@@ -107,6 +109,7 @@ fn two_targets_of_one_source_share_a_single_p1_run() {
         &BatchOptions {
             workers: 2,
             deadline: None,
+            trace: None,
         },
         &NullSink,
     );

@@ -35,6 +35,7 @@ fn run_corpus(workers: usize) -> BatchReport {
         &BatchOptions {
             workers,
             deadline: None,
+            trace: None,
         },
         &NullSink,
     )
