@@ -65,7 +65,9 @@ fn bench_skewed_mix(c: &mut Criterion) {
     group.bench_function("stealing", |b| {
         b.iter(|| {
             let (out, _stats) = run_jobs(jobs.clone(), 4, |_, cost| spin(cost, cost));
-            out.iter().fold(0u64, |a, &v| a.wrapping_add(v))
+            out.iter()
+                .map(|r| r.as_ref().expect("no job panics"))
+                .fold(0u64, |a, &v| a.wrapping_add(v))
         })
     });
     group.finish();
@@ -93,8 +95,7 @@ fn bench_corpus_batch(c: &mut Criterion) {
                     &config,
                     &BatchOptions {
                         workers,
-                        deadline: None,
-                        trace: None,
+                        ..BatchOptions::default()
                     },
                     &octo_sched::NullSink,
                 );

@@ -47,8 +47,8 @@ fn run_mode(jobs: &[BatchJob], record: bool, export: bool) -> (f64, u64, u64) {
         let recorder = record.then(|| Arc::new(FlightRecorder::with_default_capacity()));
         let options = BatchOptions {
             workers: WORKERS,
-            deadline: None,
             trace: recorder.clone(),
+            ..BatchOptions::default()
         };
         let start = std::time::Instant::now();
         let report = run_batch(jobs, &config, &options, &NullSink);

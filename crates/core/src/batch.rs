@@ -26,13 +26,14 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use octo_faults::{FaultPlan, JobFaults, RetryPolicy};
 use octo_ir::printer::print_program;
 use octo_ir::Program;
 use octo_obs::{Counter, Gauge, Histogram, MetricsRegistry, Span, SpanObserver};
 use octo_poc::PocFile;
 use octo_sched::{
     run_jobs, ArtifactCache, CacheStats, CancelToken, Event, EventClock, EventKind, EventSink,
-    KeyHasher, SchedStats,
+    KeyHasher, SchedStats, Watchdog, WatchdogConfig,
 };
 use octo_trace::{FlightRecorder, TraceKind};
 
@@ -74,6 +75,21 @@ pub struct BatchOptions {
     /// land in one ring; render with [`octo_trace::chrome::render_chrome`]
     /// or per-event JSON lines. `None` keeps tracing a no-op.
     pub trace: Option<Arc<FlightRecorder>>,
+    /// Retry policy for transient failures (deadline, hung, panic,
+    /// injected fault). The default attempts each job exactly once —
+    /// identical to the pre-retry behavior.
+    pub retry: RetryPolicy,
+    /// Deterministic fault plan. When set, every job attempt runs with an
+    /// installed [`octo_faults`] context keyed by the job's submission
+    /// index, so the plan's injections replay byte-for-byte across runs
+    /// and worker counts. `None` keeps every fault site inert.
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Watchdog configuration. When set, a monitor thread observes every
+    /// attempt's heartbeat (the directed engine beats its cancel token at
+    /// a fixed step cadence) and escalates a silent job to its token
+    /// before the global deadline, yielding
+    /// [`crate::verdict::FailureReason::Hung`].
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl Default for BatchOptions {
@@ -84,6 +100,9 @@ impl Default for BatchOptions {
                 .unwrap_or(4),
             deadline: None,
             trace: None,
+            retry: RetryPolicy::default(),
+            faults: None,
+            watchdog: None,
         }
     }
 }
@@ -123,6 +142,10 @@ pub struct BatchEntry {
     pub urgency: Urgency,
     /// Whether the pipeline prefix came from the artifact cache.
     pub cache_hit: bool,
+    /// Whether the job ended quarantined: its final attempt still failed
+    /// transiently (deadline, hung, panic, injected fault), so the
+    /// degraded verdict is preserved but flagged as unreliable.
+    pub quarantined: bool,
     /// The full verification report (`wall_seconds` covers the whole job
     /// as this batch executed it, cached prefix included).
     pub report: VerificationReport,
@@ -133,6 +156,10 @@ pub struct BatchEntry {
 pub struct BatchReport {
     /// Entries in submission order.
     pub entries: Vec<BatchEntry>,
+    /// Submission indices of quarantined entries (ascending). A
+    /// quarantined job exhausted its retry budget on transient failures;
+    /// its entry is still present with the last attempt's verdict.
+    pub quarantined: Vec<usize>,
     /// Artifact-cache statistics.
     pub cache: CacheStats,
     /// Scheduler statistics.
@@ -214,6 +241,18 @@ impl BatchReport {
             "sched: {} workers, {} steals ({} jobs moved), {:.3}s wall\n",
             self.sched.workers, self.sched.steals, self.sched.jobs_stolen, self.wall_seconds
         ));
+        if !self.quarantined.is_empty() {
+            let names: Vec<&str> = self
+                .quarantined
+                .iter()
+                .map(|&i| self.entries[i].name.as_str())
+                .collect();
+            out.push_str(&format!(
+                "quarantined ({}): {}\n",
+                names.len(),
+                names.join(", ")
+            ));
+        }
         out
     }
 
@@ -231,6 +270,7 @@ impl BatchReport {
             out.push_str(&format!(
                 "{{\"name\":\"{}\",\"verdict\":\"{}\",\"poc_generated\":{},\"verified\":{},\
                  \"urgency\":\"{}\",\"cache_hit\":{},\"prescreen\":{},\
+                 \"attempts\":{},\"quarantined\":{},\
                  \"prepare_seconds\":{:.6},\"symex_seconds\":{},\"p4_seconds\":{:.6},\
                  \"wall_seconds\":{:.6}}}{}\n",
                 json_escape(&e.name),
@@ -240,6 +280,8 @@ impl BatchReport {
                 e.urgency.recommendation(),
                 e.cache_hit,
                 e.report.prescreen,
+                e.report.attempts,
+                e.quarantined,
                 e.report.prepare_seconds,
                 symex_seconds,
                 e.report.p4_seconds,
@@ -247,10 +289,13 @@ impl BatchReport {
                 if i + 1 == self.entries.len() { "" } else { "," }
             ));
         }
+        let quarantined: Vec<String> = self.quarantined.iter().map(usize::to_string).collect();
         out.push_str(&format!(
-            "],\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"bytes\":{}}},\
+            "],\"quarantined\":[{}],\
+             \"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"bytes\":{}}},\
              \"sched\":{{\"workers\":{},\"steals\":{},\"jobs_stolen\":{}}},\
              \"wall_seconds\":{:.6}}}",
+            quarantined.join(","),
             self.cache.hits,
             self.cache.misses,
             self.cache.entries,
@@ -281,17 +326,22 @@ impl BatchReport {
     }
 
     /// The *stable* machine-readable verdict list: submission order, no
-    /// timings, no environment-dependent fields. This is what the CI
-    /// golden file diffs against.
+    /// timings, no environment-dependent fields (`attempts` and
+    /// `quarantined` are deterministic — they depend only on the fault
+    /// plan and retry policy, never on wall time). This is what the CI
+    /// golden files diff against.
     pub fn render_verdicts_json(&self) -> String {
         let mut out = String::from("{\"jobs\":[\n");
         for (i, e) in self.entries.iter().enumerate() {
             out.push_str(&format!(
-                "{{\"name\":\"{}\",\"verdict\":\"{}\",\"poc_generated\":{},\"verified\":{}}}{}\n",
+                "{{\"name\":\"{}\",\"verdict\":\"{}\",\"poc_generated\":{},\"verified\":{},\
+                 \"attempts\":{},\"quarantined\":{}}}{}\n",
                 json_escape(&e.name),
                 e.report.verdict.type_label(),
                 e.report.verdict.poc_generated(),
                 e.report.verdict.verified(),
+                e.report.attempts,
+                e.quarantined,
                 if i + 1 == self.entries.len() { "" } else { "," }
             ));
         }
@@ -423,6 +473,11 @@ struct BatchMetrics {
     phase_p1: Arc<Histogram>,
     phase_p2p3: Arc<Histogram>,
     phase_p4: Arc<Histogram>,
+    retries: Arc<Counter>,
+    quarantined: Arc<Counter>,
+    panics: Arc<Counter>,
+    faults_injected: Arc<Counter>,
+    watchdog_fired: Arc<Counter>,
 }
 
 impl BatchMetrics {
@@ -461,6 +516,11 @@ impl BatchMetrics {
             phase_p1: reg.histogram("phase_p1_micros", &MICROS_BUCKETS),
             phase_p2p3: reg.histogram("phase_p2p3_micros", &MICROS_BUCKETS),
             phase_p4: reg.histogram("phase_p4_micros", &MICROS_BUCKETS),
+            retries: reg.counter("batch_retries_total"),
+            quarantined: reg.counter("batch_quarantined_total"),
+            panics: reg.counter("batch_panics_total"),
+            faults_injected: reg.counter("batch_faults_injected_total"),
+            watchdog_fired: reg.counter("batch_watchdog_fired_total"),
         }
     }
 
@@ -478,6 +538,12 @@ impl BatchMetrics {
         }
         if report.prescreen {
             self.prescreen_decided.inc();
+        }
+        if entry.quarantined {
+            self.quarantined.inc();
+        }
+        if report.attempts > 1 {
+            self.retries.add(u64::from(report.attempts) - 1);
         }
         self.job_wall.observe(micros(report.wall_seconds));
         self.phase_p1.observe(micros(report.prepare_seconds));
@@ -528,6 +594,13 @@ impl BatchMetrics {
 /// Verifies every job on the work-stealing scheduler and returns the
 /// entries **in submission order** together with cache and scheduler
 /// statistics. Progress is streamed into `sink` as it happens.
+///
+/// Each job attempt runs inside a panic envelope: a panicking pipeline
+/// degrades to a [`crate::verdict::FailureReason::Internal`] verdict
+/// (with a synthesized post-mortem) instead of taking the batch down.
+/// Transient failures are retried per `options.retry`; a job whose final
+/// attempt still fails transiently is *quarantined* — its degraded
+/// verdict is kept and its index listed in [`BatchReport::quarantined`].
 pub fn run_batch(
     jobs: &[BatchJob],
     config: &PipelineConfig,
@@ -540,8 +613,9 @@ pub fn run_batch(
     let recorder = BatchMetrics::register(&metrics);
     let indices: Vec<usize> = (0..jobs.len()).collect();
     let clock = EventClock::new(options.workers);
+    let watchdog = options.watchdog.map(Watchdog::spawn);
 
-    let (entries, sched) = run_jobs(indices, options.workers, |worker, i| {
+    let (results, sched) = run_jobs(indices, options.workers, |worker, i| {
         let job = &jobs[i];
         // Queue latency: how long the job sat submitted-but-unclaimed.
         recorder
@@ -555,6 +629,16 @@ pub fn run_batch(
             .trace
             .as_ref()
             .map(|rec| octo_trace::install(rec, i as u32, worker as u32));
+        // One fault context per *job*, shared across attempts: occurrence
+        // counters persist, so an Nth(1) rule fires on attempt 1 and the
+        // retry runs clean (that is how a retry rescues an injected
+        // fault), and the whole schedule replays byte-for-byte from
+        // (seed, submission index) regardless of worker count.
+        let faults_ctx = options
+            .faults
+            .as_ref()
+            .map(|plan| Arc::new(JobFaults::new(plan, i as u32)));
+        let _faults = faults_ctx.as_ref().map(octo_faults::install);
         sink.emit(Event::new(
             clock.stamp(worker),
             worker,
@@ -569,15 +653,72 @@ pub fn run_batch(
             poc: &job.poc,
             shared: &job.shared,
         };
-        let token = options.deadline.map(CancelToken::with_deadline);
         let spans = SinkSpans {
             sink,
             clock: &clock,
             job: i,
             worker,
         };
-        let (report, cache_hit, key) =
-            verify_with_cache(&cache, &input, config, token.as_ref(), &spans);
+        let max_attempts = options.retry.max_attempts.max(1);
+        let mut attempt = 1u32;
+        let (report, cache_hit, key, quarantined) = loop {
+            // A fresh token per attempt: a previous attempt's cancelled
+            // (or escalated) token must not pre-cancel the retry. The
+            // watchdog watches each attempt independently.
+            let token = if options.deadline.is_some() || watchdog.is_some() {
+                Some(match options.deadline {
+                    Some(d) => CancelToken::with_deadline(d),
+                    None => CancelToken::new(),
+                })
+            } else {
+                None
+            };
+            let _watch = match (watchdog.as_ref(), token.as_ref()) {
+                (Some(dog), Some(t)) => Some(dog.watch(t)),
+                _ => None,
+            };
+            // The inner panic envelope. Catching here (rather than
+            // relying on the scheduler's own envelope) keeps the trace
+            // and fault guards installed while the degraded report is
+            // synthesized — the post-mortem tail captures the events
+            // leading up to the panic — and lets the retry loop treat a
+            // panic like any other transient failure.
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                verify_with_cache(&cache, &input, config, token.as_ref(), &spans)
+            }));
+            let (mut report, cache_hit, key) = match caught {
+                Ok(r) => r,
+                Err(payload) => {
+                    recorder.panics.inc();
+                    let panic = octo_sched::JobPanic::from_payload(payload.as_ref());
+                    (VerificationReport::from_panic(panic.message), false, 0)
+                }
+            };
+            report.attempts = attempt;
+            let transient = matches!(
+                &report.verdict,
+                crate::verdict::Verdict::Failure { reason } if reason.is_transient()
+            );
+            if transient && attempt < max_attempts {
+                let backoff = options.retry.backoff_for(i as u32, attempt);
+                octo_trace::emit(TraceKind::RetryScheduled {
+                    attempt,
+                    backoff_micros: backoff.as_micros() as u64,
+                });
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+                attempt += 1;
+                continue;
+            }
+            if transient {
+                octo_trace::emit(TraceKind::JobQuarantined { attempts: attempt });
+            }
+            break (report, cache_hit, key, transient);
+        };
+        if let Some(ctx) = &faults_ctx {
+            recorder.faults_injected.add(ctx.fired());
+        }
         if cache_hit {
             sink.emit(Event::new(
                 clock.stamp(worker),
@@ -598,15 +739,53 @@ pub fn run_batch(
             name: job.name.clone(),
             urgency: Urgency::of(&report.verdict),
             cache_hit,
+            quarantined,
             report,
         };
         recorder.record_job(&entry);
         entry
     });
 
+    // A job can only reach the scheduler's own envelope by panicking in
+    // the batch bookkeeping around the inner one (the pipeline itself is
+    // caught above). Degrade it the same way: preserved batch, degraded
+    // verdict, quarantined.
+    let entries: Vec<BatchEntry> = results
+        .into_iter()
+        .enumerate()
+        .map(|(i, result)| match result {
+            Ok(entry) => entry,
+            Err(panic) => {
+                recorder.panics.inc();
+                let mut report = VerificationReport::from_panic(panic.message);
+                report.wall_seconds = start.elapsed().as_secs_f64();
+                let entry = BatchEntry {
+                    name: jobs[i].name.clone(),
+                    urgency: Urgency::of(&report.verdict),
+                    cache_hit: false,
+                    quarantined: true,
+                    report,
+                };
+                recorder.record_job(&entry);
+                entry
+            }
+        })
+        .collect();
+    let quarantined: Vec<usize> = entries
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.quarantined)
+        .map(|(i, _)| i)
+        .collect();
+
+    if let Some(dog) = &watchdog {
+        recorder.watchdog_fired.add(dog.fired());
+    }
+    drop(watchdog);
     recorder.record_run(&cache.stats(), &sched);
     BatchReport {
         entries,
+        quarantined,
         cache: cache.stats(),
         sched,
         metrics,
@@ -846,8 +1025,8 @@ fine:
         let jobs = vec![job("gated", t_gated()), job("safe", t_safe())];
         let options = BatchOptions {
             workers: 2,
-            deadline: None,
             trace: Some(Arc::clone(&rec)),
+            ..BatchOptions::default()
         };
         let report = run_batch(&jobs, &PipelineConfig::default(), &options, &NullSink);
         assert!(!rec.is_empty(), "engines recorded trace events");
@@ -1012,5 +1191,110 @@ fine:
         );
         assert!(report.entries.is_empty());
         assert_eq!(report.cache.misses, 0);
+    }
+
+    #[test]
+    fn injected_panic_isolates_the_failing_job() {
+        // The acceptance shape: a batch where job k's engine panics must
+        // still complete every other job, and job k must come back as a
+        // degraded Internal verdict with a synthesized post-mortem.
+        use octo_faults::FaultSite;
+        let jobs = vec![
+            job("victim", t_gated()),
+            job("gated", t_gated()),
+            job("safe", t_safe()),
+        ];
+        let plan = Arc::new(FaultPlan::new(11).nth(FaultSite::DirectedPanic, Some(0), 1));
+        let options = BatchOptions {
+            workers: 2,
+            faults: Some(plan),
+            ..BatchOptions::default()
+        };
+        let report = run_batch(&jobs, &PipelineConfig::default(), &options, &NullSink);
+        assert_eq!(report.entries.len(), 3);
+        let victim = &report.entries[0];
+        match &victim.report.verdict {
+            crate::verdict::Verdict::Failure {
+                reason: crate::verdict::FailureReason::Internal { panic_msg },
+            } => assert!(panic_msg.contains("injected panic"), "{panic_msg}"),
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        let pm = victim.report.post_mortem.as_ref().expect("synthesized");
+        assert_eq!(pm.event, "panic");
+        // A panic under the default single-attempt policy quarantines.
+        assert!(victim.quarantined);
+        assert_eq!(report.quarantined, vec![0]);
+        // The other jobs are untouched — the deque was not poisoned.
+        assert_eq!(report.entries[1].report.verdict.type_label(), "Type-II");
+        assert_eq!(report.entries[2].report.verdict.type_label(), "Type-III");
+        assert!(!report.entries[1].quarantined);
+        assert!(!report.entries[2].quarantined);
+        // The bookkeeping saw the panic and the injection.
+        let counter = |name: &str| report.metrics.get_counter(name).expect(name).get();
+        assert_eq!(counter("batch_panics_total"), 1);
+        assert_eq!(counter("batch_quarantined_total"), 1);
+        assert!(counter("batch_faults_injected_total") >= 1);
+        // The human rendering names the quarantined job.
+        let human = report.render_human();
+        assert!(human.contains("quarantined (1): victim"), "{human}");
+    }
+
+    #[test]
+    fn retry_rescues_a_transient_injected_fault() {
+        // Nth(1) fires on attempt 1 and is consumed; the fault context is
+        // shared across attempts, so the retry runs clean and the job
+        // recovers its real verdict.
+        use octo_faults::FaultSite;
+        let jobs = vec![job("flaky", t_gated())];
+        let plan = Arc::new(FaultPlan::new(5).nth(FaultSite::DirectedPanic, Some(0), 1));
+        let options = BatchOptions {
+            workers: 1,
+            faults: Some(plan),
+            retry: RetryPolicy {
+                max_attempts: 2,
+                base_backoff: Duration::ZERO,
+                jitter_seed: 0,
+            },
+            ..BatchOptions::default()
+        };
+        let report = run_batch(&jobs, &PipelineConfig::default(), &options, &NullSink);
+        let entry = &report.entries[0];
+        assert_eq!(entry.report.verdict.type_label(), "Type-II");
+        assert_eq!(entry.report.attempts, 2);
+        assert!(!entry.quarantined);
+        assert!(report.quarantined.is_empty());
+        let counter = |name: &str| report.metrics.get_counter(name).expect(name).get();
+        assert_eq!(counter("batch_retries_total"), 1);
+        assert_eq!(counter("batch_panics_total"), 1);
+        assert_eq!(counter("batch_quarantined_total"), 0);
+    }
+
+    #[test]
+    fn fault_plan_replays_byte_identical() {
+        // Two runs with the same plan seed must produce byte-identical
+        // stable JSON, regardless of worker count.
+        use octo_faults::FaultSite;
+        let jobs = vec![
+            job("victim", t_gated()),
+            job("gated", t_gated()),
+            job("safe", t_safe()),
+        ];
+        let run = |workers: usize| {
+            let plan = Arc::new(
+                FaultPlan::new(42)
+                    .nth(FaultSite::DirectedPanic, Some(0), 1)
+                    .probability(FaultSite::SolverSolve, Some(2), 1.0),
+            );
+            let options = BatchOptions {
+                workers,
+                faults: Some(plan),
+                ..BatchOptions::default()
+            };
+            run_batch(&jobs, &PipelineConfig::default(), &options, &NullSink).render_verdicts_json()
+        };
+        let first = run(2);
+        assert_eq!(first, run(2), "same seed, same workers: identical");
+        assert_eq!(first, run(1), "worker count must not change verdicts");
+        assert_eq!(first, run(8), "worker count must not change verdicts");
     }
 }

@@ -10,6 +10,8 @@
 //!          [--metrics-prom PATH] [--trace-chrome PATH] [--trace-jsonl PATH]
 //!          [--post-mortem] [--theta N]
 //!          [--accelerate-loops] [--static-cfg] [--context-free] [--prescreen]
+//!          [--fault-plan FILE] [--retry N] [--retry-backoff-ms MS]
+//!          [--watchdog-quiet-secs S]
 //! ```
 //!
 //! `S.mir`/`T.mir` are MicroIR assembly files (the dialect of
@@ -39,8 +41,17 @@
 //! `--trace-jsonl` writes the same events as JSON lines. `--post-mortem`
 //! prints, for every not-triggerable or deadline verdict, why the
 //! directed engine gave up (deciding event, `ep` entry count at death,
-//! dying state's constraints, flight-record tail). Exit code 0 = the
-//! batch ran (whatever the verdicts), 3 = usage or input error.
+//! dying state's constraints, flight-record tail).
+//!
+//! Robustness knobs (see `docs/robustness.md`): `--fault-plan FILE`
+//! loads a deterministic fault-injection plan (JSON; seed + per-site
+//! rules) and replays it byte-for-byte; `--retry N` attempts each job up
+//! to N times on transient failures (deadline, hung, panic, injected
+//! fault), quarantining jobs that still fail; `--retry-backoff-ms MS`
+//! sets the base backoff between attempts; `--watchdog-quiet-secs S`
+//! spawns a watchdog that escalates a job whose heartbeat stays silent
+//! for S seconds. Exit code 0 = the batch ran (whatever the verdicts),
+//! 3 = usage or input error.
 
 use std::process::ExitCode;
 
@@ -73,7 +84,9 @@ fn usage() -> String {
      [--deadline-secs S] [--json | --verdicts-json] [--events] \
      [--metrics-json PATH] [--metrics-prom PATH] [--trace-chrome PATH] \
      [--trace-jsonl PATH] [--post-mortem] [--theta N] \
-     [--accelerate-loops] [--static-cfg] [--context-free] [--prescreen]"
+     [--accelerate-loops] [--static-cfg] [--context-free] [--prescreen] \
+     [--fault-plan FILE] [--retry N] [--retry-backoff-ms MS] \
+     [--watchdog-quiet-secs S]"
         .to_string()
 }
 
@@ -328,6 +341,39 @@ fn batch_main(argv: &[String]) -> ExitCode {
                 "--json" => json = true,
                 "--verdicts-json" => verdicts_json = true,
                 "--events" => events = true,
+                "--fault-plan" => {
+                    let path = value("--fault-plan")?;
+                    let text =
+                        std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+                    let plan = octopocs::FaultPlan::parse_json(&text)
+                        .map_err(|e| format!("{path}: {e}"))?;
+                    options.faults = Some(std::sync::Arc::new(plan));
+                }
+                "--retry" => {
+                    options.retry.max_attempts = value("--retry")?
+                        .parse()
+                        .map_err(|e| format!("bad --retry: {e}"))?;
+                    if options.retry.max_attempts == 0 {
+                        return Err("--retry must be at least 1".to_string());
+                    }
+                }
+                "--retry-backoff-ms" => {
+                    let ms: u64 = value("--retry-backoff-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --retry-backoff-ms: {e}"))?;
+                    options.retry.base_backoff = std::time::Duration::from_millis(ms);
+                }
+                "--watchdog-quiet-secs" => {
+                    let secs: f64 = value("--watchdog-quiet-secs")?
+                        .parse()
+                        .map_err(|e| format!("bad --watchdog-quiet-secs: {e}"))?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err("--watchdog-quiet-secs must be positive".to_string());
+                    }
+                    options.watchdog = Some(octopocs::WatchdogConfig::with_quiet(
+                        std::time::Duration::from_secs_f64(secs),
+                    ));
+                }
                 "--metrics-json" => metrics_json = Some(value("--metrics-json")?),
                 "--metrics-prom" => metrics_prom = Some(value("--metrics-prom")?),
                 "--trace-chrome" => trace_chrome = Some(value("--trace-chrome")?),

@@ -102,11 +102,15 @@ pub mod verdict;
 pub use batch::{prefix_cache_key, run_batch, BatchEntry, BatchJob, BatchOptions, BatchReport};
 pub use config::PipelineConfig;
 pub use minimize::{minimize_poc, MinimizeStats};
+pub use octo_faults::{FaultPlan, FaultRule, FaultSite, RetryPolicy, Trigger};
+pub use octo_sched::WatchdogConfig;
 pub use octo_trace::{FlightRecorder, PostMortem};
 pub use pipeline::{
     prepare, verify, verify_prepared, verify_prepared_observed, PrepareFailure, PreparedSource,
     SoftwarePairInput, VerificationReport,
 };
-pub use portfolio::{render_portfolio, verify_portfolio, Job, PortfolioEntry, Urgency};
+pub use portfolio::{
+    render_portfolio, verify_portfolio, verify_portfolio_with_faults, Job, PortfolioEntry, Urgency,
+};
 pub use preprocess::{identify_ep, PreprocessError};
 pub use verdict::{FailureReason, NotTriggerableReason, TriggerKind, Verdict};

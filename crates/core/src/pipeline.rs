@@ -82,6 +82,12 @@ pub struct VerificationReport {
     /// [`Verdict::post_mortem_event`]). Synthesized from the directed
     /// engine's death note and the flight-record tail of this job.
     pub post_mortem: Option<PostMortem>,
+    /// How many times the batch runner attempted this job (1 unless a
+    /// [`RetryPolicy`] re-ran a transient failure). Single-pair
+    /// [`verify`] calls always report 1.
+    ///
+    /// [`RetryPolicy`]: octo_faults::RetryPolicy
+    pub attempts: u32,
 }
 
 impl VerificationReport {
@@ -102,7 +108,29 @@ impl VerificationReport {
             p4_seconds: 0.0,
             wall_seconds: 0.0,
             post_mortem: None,
+            attempts: 1,
         }
+    }
+
+    /// Synthesizes the degraded report for a job whose pipeline panicked.
+    ///
+    /// The batch runner calls this from inside the worker after catching
+    /// the unwind, while the job's trace guard is still installed — so the
+    /// post-mortem tail captures the events leading up to the panic.
+    pub fn from_panic(panic_msg: String) -> VerificationReport {
+        let mut report = VerificationReport::failure(FailureReason::Internal {
+            panic_msg: panic_msg.clone(),
+        });
+        report.post_mortem = Some(PostMortem {
+            event: "panic".to_string(),
+            ep_entries: 0,
+            total_entries: 0,
+            constraints: 0,
+            last_constraint: None,
+            detail: format!("job panicked: {panic_msg}"),
+            tail: octo_trace::job_tail(32),
+        });
+        report
     }
 
     /// The reformed PoC, when one was generated and works.
@@ -334,6 +362,7 @@ fn verify_suffix(
         p4_seconds: 0.0,
         wall_seconds: 0.0,
         post_mortem: None,
+        attempts: 1,
     };
     let extraction = &prep.primitives;
 
@@ -424,9 +453,34 @@ fn verify_suffix(
         DirectedOutcome::Budget => Verdict::Failure {
             reason: FailureReason::Budget,
         },
+        // A cancelled run is a deadline failure unless the cancel token
+        // was escalated by the watchdog, in which case the job was hung
+        // (silent heartbeat) rather than merely slow.
         DirectedOutcome::Cancelled => Verdict::Failure {
-            reason: FailureReason::Deadline,
+            reason: if cancel.is_some_and(CancelToken::was_escalated) {
+                FailureReason::Hung
+            } else {
+                FailureReason::Deadline
+            },
         },
+        DirectedOutcome::Injected => Verdict::Failure {
+            reason: FailureReason::Injected {
+                site: "solver-solve",
+            },
+        },
+        // Fault site: a spurious non-crash replay — poc' exists but the
+        // concrete run is pretended away (insts 0, no crash).
+        DirectedOutcome::PocGenerated { .. }
+            if octo_faults::should_inject(octo_faults::FaultSite::P4Replay) =>
+        {
+            octo_trace::emit(TraceKind::P4Replay {
+                insts: 0,
+                crashed: false,
+            });
+            Verdict::Failure {
+                reason: FailureReason::Injected { site: "p4-replay" },
+            }
+        }
         DirectedOutcome::PocGenerated {
             poc: poc_prime,
             guiding,
@@ -1013,6 +1067,112 @@ entry:
         let report = verify_pair(&t_ok, b"A");
         assert!(report.verdict.poc_generated());
         assert!(report.post_mortem.is_none());
+    }
+
+    #[test]
+    fn escalated_cancel_maps_to_hung_not_deadline() {
+        // A pre-escalated token (what the watchdog produces for a silent
+        // job) must yield the dedicated Hung failure, with a post-mortem.
+        let t_src = format!(
+            "func main() {{\nentry:\n fd = open\n b = getc fd\n call shared(b)\n \
+             halt 0\n}}\n{SHARED}"
+        );
+        let s = s_program();
+        let t = parse_program(&t_src).unwrap();
+        let poc = PocFile::from(&b"A"[..]);
+        let shared = vec!["shared".to_string()];
+        let input = SoftwarePairInput {
+            s: &s,
+            t: &t,
+            poc: &poc,
+            shared: &shared,
+        };
+        let config = PipelineConfig::default();
+        let prep = prepare(&s, &poc, &shared, &config).expect("prefix succeeds");
+        let token = CancelToken::new();
+        token.escalate();
+        let report = verify_prepared(&prep, &input, &config, Some(&token));
+        assert!(matches!(
+            report.verdict,
+            Verdict::Failure {
+                reason: FailureReason::Hung
+            }
+        ));
+        let pm = report
+            .post_mortem
+            .as_ref()
+            .expect("hung gets a post-mortem");
+        assert_eq!(pm.event, "hung");
+    }
+
+    #[test]
+    fn injected_solver_fault_degrades_the_verdict() {
+        use octo_faults::{FaultPlan, FaultSite, JobFaults};
+        use std::sync::Arc;
+
+        let t_src = format!(
+            "func main() {{\nentry:\n fd = open\n b = getc fd\n call shared(b)\n \
+             halt 0\n}}\n{SHARED}"
+        );
+        // Probability 1.0: *every* solve is injected. The quick-feasible
+        // pre-checks swallow injections as "not refuted", so the final
+        // solve — the one that decides the verdict — is injected too.
+        let plan = Arc::new(FaultPlan::new(7).probability(FaultSite::SolverSolve, None, 1.0));
+        let ctx = Arc::new(JobFaults::new(&plan, 0));
+        let guard = octo_faults::install(&ctx);
+        let report = verify_pair(&t_src, b"A");
+        drop(guard);
+        assert!(
+            matches!(
+                report.verdict,
+                Verdict::Failure {
+                    reason: FailureReason::Injected {
+                        site: "solver-solve"
+                    }
+                }
+            ),
+            "{:?}",
+            report.verdict
+        );
+        let pm = report
+            .post_mortem
+            .as_ref()
+            .expect("injected faults get a post-mortem");
+        assert_eq!(pm.event, "fault-injected");
+        assert!(ctx.fired() >= 1);
+
+        // Without the plan installed the same pair triggers normally.
+        let clean = verify_pair(&t_src, b"A");
+        assert!(clean.verdict.poc_generated());
+    }
+
+    #[test]
+    fn injected_p4_replay_reports_a_spurious_non_crash() {
+        use octo_faults::{FaultPlan, FaultSite, JobFaults};
+        use std::sync::Arc;
+
+        let t_src = format!(
+            "func main() {{\nentry:\n fd = open\n b = getc fd\n call shared(b)\n \
+             halt 0\n}}\n{SHARED}"
+        );
+        let plan = Arc::new(FaultPlan::new(7).nth(FaultSite::P4Replay, None, 1));
+        let ctx = Arc::new(JobFaults::new(&plan, 0));
+        let guard = octo_faults::install(&ctx);
+        let report = verify_pair(&t_src, b"A");
+        drop(guard);
+        assert!(
+            matches!(
+                report.verdict,
+                Verdict::Failure {
+                    reason: FailureReason::Injected { site: "p4-replay" }
+                }
+            ),
+            "{:?}",
+            report.verdict
+        );
+        assert_eq!(report.p4_insts, 0, "the replay was pretended away");
+        assert!(report.t_crash.is_none());
+        assert_eq!(ctx.fired(), 1);
     }
 
     #[test]

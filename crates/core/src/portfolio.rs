@@ -88,19 +88,34 @@ pub struct PortfolioEntry {
 /// Jobs that share a source prefix `(S, poc, ℓ, config)` run
 /// preprocessing and P1 once, through a batch-local artifact cache.
 ///
-/// # Panics
-/// Panics if a worker thread panics (propagated), which only happens on
-/// internal invariant violations — `verify` itself never panics on
-/// malformed inputs.
+/// Never propagates a panic from a worker: a panicking arm is caught by
+/// the scheduler's isolation envelope and degraded to a
+/// [`crate::verdict::FailureReason::Internal`] entry (urgency
+/// `Unknown`), so the surviving arms' verdicts are still returned.
 pub fn verify_portfolio(
     jobs: &[Job<'_>],
     config: &PipelineConfig,
     threads: usize,
 ) -> Vec<PortfolioEntry> {
+    verify_portfolio_with_faults(jobs, config, threads, None)
+}
+
+/// [`verify_portfolio`] with a deterministic [`octo_faults::FaultPlan`]
+/// installed around each arm (keyed by submission index), for chaos
+/// testing the portfolio path itself.
+pub fn verify_portfolio_with_faults(
+    jobs: &[Job<'_>],
+    config: &PipelineConfig,
+    threads: usize,
+    faults: Option<&std::sync::Arc<octo_faults::FaultPlan>>,
+) -> Vec<PortfolioEntry> {
     let cache = ArtifactCache::new();
     let indices: Vec<usize> = (0..jobs.len()).collect();
-    let (mut entries, _stats) = run_jobs(indices, threads.max(1), |_worker, i| {
+    let (results, _stats) = run_jobs(indices, threads.max(1), |_worker, i| {
         let job = &jobs[i];
+        let faults_ctx =
+            faults.map(|plan| std::sync::Arc::new(octo_faults::JobFaults::new(plan, i as u32)));
+        let _guard = faults_ctx.as_ref().map(octo_faults::install);
         let (report, _cache_hit, _key) =
             verify_with_cache(&cache, &job.input, config, None, &octo_obs::NullObserver);
         PortfolioEntry {
@@ -109,6 +124,21 @@ pub fn verify_portfolio(
             report,
         }
     });
+    let mut entries: Vec<PortfolioEntry> = results
+        .into_iter()
+        .enumerate()
+        .map(|(i, result)| match result {
+            Ok(entry) => entry,
+            Err(panic) => {
+                let report = VerificationReport::from_panic(panic.message);
+                PortfolioEntry {
+                    name: jobs[i].name.to_string(),
+                    urgency: Urgency::of(&report.verdict),
+                    report,
+                }
+            }
+        })
+        .collect();
     entries.sort_by_key(|e| e.urgency);
     entries
 }
@@ -248,6 +278,58 @@ fine:
             let got = fingerprint(&verify_portfolio(&jobs, &PipelineConfig::default(), 8));
             assert_eq!(got, reference, "round={round}");
         }
+    }
+
+    #[test]
+    fn panicking_arm_degrades_without_killing_the_portfolio() {
+        use crate::verdict::FailureReason;
+        use octo_faults::{FaultPlan, FaultSite};
+        use std::sync::Arc;
+
+        let s = s_prog();
+        let t1 = t_triggered();
+        let t2 = t_safe();
+        let poc = PocFile::from(&b"A"[..]);
+        let shared = vec!["decode".to_string()];
+        let jobs = vec![
+            Job {
+                name: "live-clone",
+                input: SoftwarePairInput {
+                    s: &s,
+                    t: &t1,
+                    poc: &poc,
+                    shared: &shared,
+                },
+            },
+            Job {
+                name: "safe-clone",
+                input: SoftwarePairInput {
+                    s: &s,
+                    t: &t2,
+                    poc: &poc,
+                    shared: &shared,
+                },
+            },
+        ];
+        // Job 0's directed engine panics on entry; job 1 must survive.
+        let plan = Arc::new(FaultPlan::new(3).nth(FaultSite::DirectedPanic, Some(0), 1));
+        let entries =
+            verify_portfolio_with_faults(&jobs, &PipelineConfig::default(), 2, Some(&plan));
+        assert_eq!(entries.len(), 2, "no arm was lost");
+        let dead = entries.iter().find(|e| e.name == "live-clone").unwrap();
+        assert_eq!(dead.urgency, Urgency::Unknown);
+        match &dead.report.verdict {
+            Verdict::Failure {
+                reason: FailureReason::Internal { panic_msg },
+            } => assert!(panic_msg.contains("injected panic"), "{panic_msg}"),
+            other => panic!("expected Internal failure, got {other:?}"),
+        }
+        let safe = entries.iter().find(|e| e.name == "safe-clone").unwrap();
+        assert_eq!(
+            safe.urgency,
+            Urgency::VerifiedSafe,
+            "survivor's verdict kept"
+        );
     }
 
     #[test]

@@ -87,6 +87,61 @@ pub enum FailureReason {
         /// The generated (non-working) PoC, for diagnosis.
         poc_prime: PocFile,
     },
+    /// The job panicked inside the pipeline. The panic was caught by the
+    /// scheduler's isolation envelope; the batch kept running and this
+    /// verdict records what the payload said.
+    Internal {
+        /// The panic payload, downcast to a string (or a placeholder).
+        panic_msg: String,
+    },
+    /// The watchdog escalated the job: its heartbeat went silent for the
+    /// configured quiet period and the cancel token was fired early,
+    /// before the per-job deadline.
+    Hung,
+    /// A deterministic fault plan (octo-faults) injected a failure at the
+    /// named site. Only ever produced under an installed [`FaultPlan`]
+    /// (chaos tests, CI `chaos` job) — never in production runs.
+    ///
+    /// [`FaultPlan`]: octo_faults::FaultPlan
+    Injected {
+        /// The fault-site label (e.g. `"solver-solve"`, `"p4-replay"`).
+        site: &'static str,
+    },
+}
+
+impl FailureReason {
+    /// Stable kebab-case label for reports and metrics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FailureReason::CfgConstruction(_) => "cfg-construction",
+            FailureReason::LoopBudget => "loop-budget",
+            FailureReason::Budget => "budget",
+            FailureReason::Deadline => "deadline",
+            FailureReason::PocDoesNotCrashS { .. } => "poc-does-not-crash-s",
+            FailureReason::EpNotOnCrashStack => "ep-not-on-crash-stack",
+            FailureReason::EpMissingInT { .. } => "ep-missing-in-t",
+            FailureReason::PocPrimeDidNotCrash { .. } => "poc-prime-did-not-crash",
+            FailureReason::Internal { .. } => "internal",
+            FailureReason::Hung => "hung",
+            FailureReason::Injected { .. } => "injected",
+        }
+    }
+
+    /// Whether a retry could plausibly produce a different outcome.
+    ///
+    /// Deadlines, watchdog escalations, panics, and injected faults are
+    /// environmental: rerunning the same job may succeed. Everything else
+    /// is a deterministic property of the input pair and retrying would
+    /// only reproduce it.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            FailureReason::Deadline
+                | FailureReason::Hung
+                | FailureReason::Internal { .. }
+                | FailureReason::Injected { .. }
+        )
+    }
 }
 
 impl fmt::Display for FailureReason {
@@ -108,6 +163,11 @@ impl fmt::Display for FailureReason {
             FailureReason::PocPrimeDidNotCrash { .. } => {
                 f.write_str("generated poc' did not crash T")
             }
+            FailureReason::Internal { panic_msg } => {
+                write!(f, "internal error (job panicked: {panic_msg})")
+            }
+            FailureReason::Hung => f.write_str("job hung (watchdog escalated the cancel token)"),
+            FailureReason::Injected { site } => write!(f, "fault injected at site `{site}`"),
         }
     }
 }
@@ -155,9 +215,10 @@ impl Verdict {
     ///
     /// A post-mortem explains *why triggering failed*: every
     /// not-triggerable verdict qualifies (`"ep-unreachable"`,
-    /// `"program-dead"`, `"unsat"`), as do the two engine give-ups
-    /// (`"loop-dead"`, `"deadline"`). Triggered verdicts and input-side
-    /// failures (bad PoC, missing `ep`, CFG trouble) do not.
+    /// `"program-dead"`, `"unsat"`), as do the engine give-ups
+    /// (`"loop-dead"`, `"deadline"`) and the fault-tolerance verdicts
+    /// (`"panic"`, `"hung"`, `"fault-injected"`). Triggered verdicts and
+    /// input-side failures (bad PoC, missing `ep`, CFG trouble) do not.
     pub fn post_mortem_event(&self) -> Option<&'static str> {
         match self {
             Verdict::NotTriggerable { reason } => Some(match reason {
@@ -171,6 +232,15 @@ impl Verdict {
             Verdict::Failure {
                 reason: FailureReason::Deadline,
             } => Some("deadline"),
+            Verdict::Failure {
+                reason: FailureReason::Internal { .. },
+            } => Some("panic"),
+            Verdict::Failure {
+                reason: FailureReason::Hung,
+            } => Some("hung"),
+            Verdict::Failure {
+                reason: FailureReason::Injected { .. },
+            } => Some("fault-injected"),
             _ => None,
         }
     }
@@ -253,6 +323,17 @@ mod tests {
         let fail = |reason| Verdict::Failure { reason };
         assert_eq!(ev(&fail(FailureReason::LoopBudget)), Some("loop-dead"));
         assert_eq!(ev(&fail(FailureReason::Deadline)), Some("deadline"));
+        assert_eq!(
+            ev(&fail(FailureReason::Internal {
+                panic_msg: "boom".into()
+            })),
+            Some("panic")
+        );
+        assert_eq!(ev(&fail(FailureReason::Hung)), Some("hung"));
+        assert_eq!(
+            ev(&fail(FailureReason::Injected { site: "p4-replay" })),
+            Some("fault-injected")
+        );
         assert_eq!(ev(&fail(FailureReason::Budget)), None);
         assert_eq!(ev(&fail(FailureReason::EpNotOnCrashStack)), None);
         let t = Verdict::Triggered {
@@ -261,6 +342,31 @@ mod tests {
             crash_class: "CWE-119",
         };
         assert_eq!(ev(&t), None);
+    }
+
+    #[test]
+    fn transience_tracks_the_environmental_failures_only() {
+        assert!(FailureReason::Deadline.is_transient());
+        assert!(FailureReason::Hung.is_transient());
+        assert!(FailureReason::Internal {
+            panic_msg: "boom".into()
+        }
+        .is_transient());
+        assert!(FailureReason::Injected {
+            site: "solver-solve"
+        }
+        .is_transient());
+        assert!(!FailureReason::Budget.is_transient());
+        assert!(!FailureReason::LoopBudget.is_transient());
+        assert!(!FailureReason::EpNotOnCrashStack.is_transient());
+        assert_eq!(FailureReason::Hung.label(), "hung");
+        assert_eq!(
+            FailureReason::Injected {
+                site: "solver-solve"
+            }
+            .label(),
+            "injected"
+        );
     }
 
     #[test]

@@ -147,8 +147,15 @@ impl<V> ArtifactCache<V> {
         // slow compute on one key never blocks lookups of other keys.
         let mut guard = slot.lock().expect("cache slot poisoned");
         if let Some(v) = guard.as_ref() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return (Arc::clone(v), true);
+            // Fault-injection site: an active fault plan can force the
+            // hit path to behave like a miss (discard and recompute), to
+            // exercise callers' miss paths under a plan-controlled
+            // schedule. Inert without an installed fault context.
+            if !octo_faults::should_inject(octo_faults::FaultSite::CacheMiss) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return (Arc::clone(v), true);
+            }
+            guard.take();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let (value, size) = compute();
@@ -267,6 +274,40 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn injected_miss_forces_recompute_and_counts_as_miss() {
+        use std::sync::Arc;
+
+        // The hit path consults the fault plan once per *stored-value
+        // lookup*, so occurrence 1 is the first would-be hit.
+        let plan = Arc::new(octo_faults::FaultPlan::new(0).nth(
+            octo_faults::FaultSite::CacheMiss,
+            None,
+            1,
+        ));
+        let ctx = Arc::new(octo_faults::JobFaults::new(&plan, 0));
+        let _g = octo_faults::install(&ctx);
+
+        let cache: ArtifactCache<u32> = ArtifactCache::new();
+        let computed = AtomicU32::new(0);
+        let compute = || {
+            computed.fetch_add(1, Ordering::SeqCst);
+            (55, 4)
+        };
+        let (_, hit1) = cache.get_or_compute(3, compute); // genuine miss
+        let (v2, hit2) = cache.get_or_compute(3, compute); // injected miss
+        let (v3, hit3) = cache.get_or_compute(3, compute); // clean hit
+        assert_eq!((hit1, hit2, hit3), (false, false, true));
+        assert_eq!((*v2, *v3), (55, 55));
+        assert_eq!(
+            computed.load(Ordering::SeqCst),
+            2,
+            "injected miss must recompute"
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 1));
     }
 
     #[test]

@@ -5,18 +5,29 @@
 //! polls [`CancelToken::is_cancelled`] at a coarse cadence and winds down
 //! when it fires — either because a supervisor called
 //! [`CancelToken::cancel`], or because the token's deadline passed.
+//!
+//! The token also carries a **heartbeat counter**: engines call
+//! [`CancelToken::beat`] at the same coarse cadence as the cancel poll,
+//! and the [`crate::watchdog::Watchdog`] reads [`CancelToken::beats`] to
+//! tell a slow-but-alive job from a wedged one. A watchdog that gives up
+//! on a silent job calls [`CancelToken::escalate`], which cancels the
+//! token *and* marks it so the engine's owner can report the failure as a
+//! hang rather than an ordinary deadline.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A shared cancellation flag plus an optional deadline.
 ///
 /// Clones share the flag: cancelling any clone cancels all of them. The
-/// deadline is fixed at construction and also observed by every clone.
+/// deadline is fixed at construction and also observed by every clone;
+/// the heartbeat counter and escalation mark are likewise shared.
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
+    escalated: Arc<AtomicBool>,
+    beats: Arc<AtomicU64>,
     deadline: Option<Instant>,
 }
 
@@ -29,9 +40,32 @@ impl CancelToken {
     /// A token that additionally fires once `budget` has elapsed from now.
     pub fn with_deadline(budget: Duration) -> CancelToken {
         CancelToken {
-            flag: Arc::new(AtomicBool::new(false)),
             deadline: Some(Instant::now() + budget),
+            ..CancelToken::default()
         }
+    }
+
+    /// Records one unit of engine progress. Cheap enough to call at the
+    /// cancel-poll cadence.
+    pub fn beat(&self) {
+        self.beats.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Heartbeats recorded so far (shared by every clone).
+    pub fn beats(&self) -> u64 {
+        self.beats.load(Ordering::Relaxed)
+    }
+
+    /// Cancels the token *and* marks the cancellation as a watchdog
+    /// escalation, so the owner reports a hang instead of a deadline.
+    pub fn escalate(&self) {
+        self.escalated.store(true, Ordering::Release);
+        self.cancel();
+    }
+
+    /// Whether the cancellation came from [`CancelToken::escalate`].
+    pub fn was_escalated(&self) -> bool {
+        self.escalated.load(Ordering::Acquire)
     }
 
     /// Requests cancellation (on this token and every clone of it).
@@ -66,7 +100,29 @@ mod tests {
     fn fresh_token_is_live() {
         let t = CancelToken::new();
         assert!(!t.is_cancelled());
+        assert!(!t.was_escalated());
+        assert_eq!(t.beats(), 0);
         assert_eq!(t.remaining(), None);
+    }
+
+    #[test]
+    fn beats_and_escalation_are_shared_across_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        t.beat();
+        t.beat();
+        assert_eq!(clone.beats(), 2);
+        clone.escalate();
+        assert!(t.is_cancelled());
+        assert!(t.was_escalated());
+    }
+
+    #[test]
+    fn plain_cancel_is_not_an_escalation() {
+        let t = CancelToken::new();
+        t.cancel();
+        assert!(t.is_cancelled());
+        assert!(!t.was_escalated());
     }
 
     #[test]

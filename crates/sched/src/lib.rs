@@ -18,7 +18,16 @@
 //!   `u64` content hashes; [`KeyHasher`] provides the FNV-1a derivation.
 //! * [`CancelToken`] — **cooperative cancellation** with optional
 //!   deadlines. Long-running engines poll the token and wind down instead
-//!   of stalling the batch.
+//!   of stalling the batch. The token doubles as a per-job **heartbeat**
+//!   channel, which the [`Watchdog`] monitor thread reads to escalate a
+//!   wedged job (cancel it with the escalation mark set) before any
+//!   global deadline would.
+//!
+//! [`run_jobs`] is additionally **panic-isolated**: a job whose closure
+//! unwinds surfaces as `Err(`[`JobPanic`]`)` in its result slot while the
+//! batch keeps running, and the [`ArtifactCache`] hit path carries an
+//! `octo-faults` injection hook so cache-miss storms are reproducible in
+//! tests (see `docs/robustness.md`).
 //!
 //! A structured [`Event`] stream (job started / phase finished / cache
 //! hit / job done, with per-phase wall times) makes batch progress
@@ -31,8 +40,10 @@ pub mod cache;
 pub mod cancel;
 pub mod events;
 pub mod scheduler;
+pub mod watchdog;
 
 pub use cache::{ArtifactCache, CacheStats, KeyHasher};
 pub use cancel::CancelToken;
 pub use events::{Event, EventClock, EventKind, EventLog, EventSink, NullSink};
-pub use scheduler::{run_jobs, SchedStats};
+pub use scheduler::{run_jobs, JobPanic, SchedStats};
+pub use watchdog::{WatchGuard, Watchdog, WatchdogConfig};

@@ -14,8 +14,14 @@
 //! **submission order** no matter how many workers ran or how the steals
 //! interleaved; with a deterministic job function the output is therefore
 //! fully deterministic.
+//!
+//! Jobs are **panic-isolated**: a `run` call that unwinds is caught and
+//! surfaces as `Err(`[`JobPanic`]`)` in its result slot while every other
+//! job keeps running — one misbehaving verification pair cannot take down
+//! a corpus batch.
 
 use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -24,12 +30,42 @@ use std::sync::Mutex;
 pub struct SchedStats {
     /// Workers actually spawned (≤ requested; never more than jobs).
     pub workers: usize,
-    /// Jobs executed by each worker (sums to the job count).
+    /// Jobs executed by each worker. Sums to the job count: a job that
+    /// panics mid-run still counts exactly once, on the worker that ran
+    /// it.
     pub executed: Vec<u64>,
     /// Successful steal operations (each moves ≥ 1 job).
     pub steals: u64,
     /// Total jobs moved by steals.
     pub jobs_stolen: u64,
+}
+
+/// The captured payload of a job whose `run` call panicked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// The panic message, when the payload was a `&str` or `String`
+    /// (the overwhelmingly common case); a placeholder otherwise.
+    pub message: String,
+}
+
+impl JobPanic {
+    /// Extracts a human-readable message from a caught panic payload.
+    pub fn from_payload(payload: &(dyn std::any::Any + Send)) -> JobPanic {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        };
+        JobPanic { message }
+    }
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job panicked: {}", self.message)
+    }
 }
 
 /// Runs every job on a pool of `workers` work-stealing workers and
@@ -40,8 +76,17 @@ pub struct SchedStats {
 /// `run` is deterministic, so is the entire result.
 ///
 /// # Panics
-/// Propagates panics from `run` (the batch is aborted).
-pub fn run_jobs<J, R, F>(jobs: Vec<J>, workers: usize, run: F) -> (Vec<R>, SchedStats)
+/// Never propagates panics from `run`: each call runs inside
+/// [`std::panic::catch_unwind`], and a panicking job yields
+/// `Err(`[`JobPanic`]`)` in its slot while the remaining jobs (on every
+/// worker, including the one that caught the panic) run to completion.
+/// No scheduler lock is held while `run` executes, so an unwind can
+/// never poison a deque or a result slot.
+pub fn run_jobs<J, R, F>(
+    jobs: Vec<J>,
+    workers: usize,
+    run: F,
+) -> (Vec<Result<R, JobPanic>>, SchedStats)
 where
     J: Send,
     R: Send,
@@ -62,7 +107,8 @@ where
     // Job payloads and result slots live in per-index cells; each index is
     // executed exactly once, by whichever worker holds it.
     let payloads: Vec<Mutex<Option<J>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<Result<R, JobPanic>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
 
     // Initial distribution: round-robin, so even without any steal every
     // worker starts with an interleaved (not contiguous) share.
@@ -114,8 +160,16 @@ where
                     .expect("payload poisoned")
                     .take()
                     .expect("job executed twice");
-                let out = run(w, job);
+                // The envelope is unwind-safe by construction: `job` was
+                // already taken out of its slot (it is consumed either
+                // way), and `run` is only ever observed through a shared
+                // reference — any interior state it mutates is the
+                // caller's contract, not the scheduler's.
+                let out = std::panic::catch_unwind(AssertUnwindSafe(|| run(w, job)))
+                    .map_err(|payload| JobPanic::from_payload(payload.as_ref()));
                 *results[idx].lock().expect("result poisoned") = Some(out);
+                // Exactly once per completed-or-failed job, on the worker
+                // that ran it — panicking jobs count too.
                 executed[w].fetch_add(1, Ordering::Relaxed);
             });
         }
@@ -161,6 +215,13 @@ mod tests {
         h
     }
 
+    /// Unwraps every slot of a batch that is expected to be panic-free.
+    fn ok_all<R>(out: Vec<Result<R, JobPanic>>) -> Vec<R> {
+        out.into_iter()
+            .map(|r| r.expect("no job should have panicked"))
+            .collect()
+    }
+
     #[test]
     fn empty_batch() {
         let (out, stats) = run_jobs(Vec::<u64>::new(), 4, |_, j| j);
@@ -174,7 +235,7 @@ mod tests {
         let reference: Vec<u64> = jobs.iter().map(|&i| spin(i as u64, cost_of(i))).collect();
         for workers in [1, 2, 3, 8, 64] {
             let (out, stats) = run_jobs(jobs.clone(), workers, |_, i| spin(i as u64, cost_of(i)));
-            assert_eq!(out, reference, "workers={workers}");
+            assert_eq!(ok_all(out), reference, "workers={workers}");
             assert_eq!(stats.workers, workers.min(jobs.len()));
             assert_eq!(stats.executed.iter().sum::<u64>(), jobs.len() as u64);
         }
@@ -199,7 +260,7 @@ mod tests {
             assert_eq!(w, 0);
             j * 2
         });
-        assert_eq!(out, vec![18]);
+        assert_eq!(ok_all(out), vec![18]);
         assert_eq!(stats.workers, 1);
     }
 
@@ -210,6 +271,65 @@ mod tests {
             assert!(w < 5);
             i
         });
-        assert_eq!(out, (0..100).collect::<Vec<_>>());
+        assert_eq!(ok_all(out), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_and_the_rest_complete() {
+        let jobs: Vec<usize> = (0..20).collect();
+        for workers in [1, 2, 4, 16] {
+            let (out, stats) = run_jobs(jobs.clone(), workers, |_, i| {
+                assert!(i != 7, "injected failure in job {i}");
+                i * 10
+            });
+            assert_eq!(out.len(), 20, "workers={workers}");
+            for (i, slot) in out.iter().enumerate() {
+                if i == 7 {
+                    let p = slot.as_ref().expect_err("job 7 must surface its panic");
+                    assert!(
+                        p.message.contains("injected failure in job 7"),
+                        "captured message: {:?}",
+                        p.message
+                    );
+                } else {
+                    assert_eq!(slot.as_ref().expect("healthy job"), &(i * 10));
+                }
+            }
+            assert_eq!(stats.executed.iter().sum::<u64>(), 20, "workers={workers}");
+        }
+    }
+
+    /// Regression: `executed` must count a panicking job exactly once on
+    /// the worker that ran it, so per-worker counts still sum to the job
+    /// count.
+    #[test]
+    fn executed_counts_panicked_jobs_exactly_once() {
+        let jobs: Vec<usize> = (0..32).collect();
+        for workers in [1, 3, 8] {
+            let (out, stats) = run_jobs(jobs.clone(), workers, |_, i| {
+                assert!(i % 5 != 0, "boom {i}");
+                i
+            });
+            assert_eq!(
+                out.iter().filter(|r| r.is_err()).count(),
+                7,
+                "workers={workers}"
+            );
+            assert_eq!(
+                stats.executed.iter().sum::<u64>(),
+                jobs.len() as u64,
+                "workers={workers}: {stats:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_string_panic_payload_gets_a_placeholder_message() {
+        let (out, _) = run_jobs(vec![0u64], 1, |_, _| -> u64 {
+            std::panic::panic_any(42i32);
+        });
+        let p = out[0].as_ref().expect_err("payload must surface");
+        assert_eq!(p.message, "<non-string panic payload>");
+        assert!(p.to_string().contains("job panicked"));
     }
 }

@@ -1,0 +1,275 @@
+//! Heartbeat watchdog: escalates silent jobs before the global deadline.
+//!
+//! A per-job deadline catches jobs that are *slow*; it says nothing about
+//! jobs that are *wedged* — an engine stuck in a loop that still polls
+//! its cancel token would only be collected when the (possibly much
+//! later, possibly absent) deadline fires, holding a worker hostage the
+//! whole time. The [`Watchdog`] closes that gap: each watched job shares
+//! its [`CancelToken`]'s heartbeat counter with a monitor thread, and a
+//! job whose counter stops advancing for longer than the quiet budget is
+//! **escalated** — its token is cancelled with the escalation mark set,
+//! so the owner reports `Hung` (not `Deadline`) and the worker moves on.
+//!
+//! The monitor never touches job state directly; escalation is entirely
+//! cooperative, riding the same poll the engines already do for
+//! deadlines. Tuning guidance lives in `docs/robustness.md`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::cancel::CancelToken;
+
+/// Tuning for a [`Watchdog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// How long a watched job may go without a heartbeat before it is
+    /// escalated. Must comfortably exceed the longest legitimate gap
+    /// between beats (e.g. one slow solver call or the whole prepare
+    /// phase, which beats only on entry to the engine).
+    pub quiet: Duration,
+    /// How often the monitor thread rescans the watched jobs.
+    pub poll: Duration,
+}
+
+impl WatchdogConfig {
+    /// A config with the given quiet budget and a poll interval of one
+    /// quarter of it (but at least 5 ms).
+    pub fn with_quiet(quiet: Duration) -> WatchdogConfig {
+        WatchdogConfig {
+            quiet,
+            poll: (quiet / 4).max(Duration::from_millis(5)),
+        }
+    }
+}
+
+struct Watched {
+    token: CancelToken,
+    last_beats: u64,
+    last_progress: Instant,
+}
+
+struct Inner {
+    quiet: Duration,
+    stop: AtomicBool,
+    fired: AtomicU64,
+    watched: Mutex<HashMap<u64, Watched>>,
+}
+
+impl Inner {
+    fn scan(&self) {
+        let now = Instant::now();
+        let mut watched = self.watched.lock().expect("watchdog registry poisoned");
+        watched.retain(|_, entry| {
+            let beats = entry.token.beats();
+            if beats != entry.last_beats {
+                entry.last_beats = beats;
+                entry.last_progress = now;
+                return true;
+            }
+            if entry.token.is_cancelled() {
+                // Already winding down (deadline or explicit cancel);
+                // nothing for the watchdog to add.
+                return true;
+            }
+            if now.duration_since(entry.last_progress) >= self.quiet {
+                entry.token.escalate();
+                self.fired.fetch_add(1, Ordering::Relaxed);
+                // Drop the entry: one escalation per registration.
+                return false;
+            }
+            true
+        });
+    }
+}
+
+/// A monitor thread escalating watched jobs that stop heartbeating.
+///
+/// Create one per batch with [`Watchdog::spawn`], register each job
+/// attempt with [`Watchdog::watch`], and let the returned guard
+/// deregister the job when the attempt finishes. Dropping the `Watchdog`
+/// stops and joins the monitor.
+#[derive(Debug)]
+pub struct Watchdog {
+    inner: Arc<Inner>,
+    next_id: AtomicU64,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Starts the monitor thread.
+    pub fn spawn(config: WatchdogConfig) -> Watchdog {
+        let inner = Arc::new(Inner {
+            quiet: config.quiet,
+            stop: AtomicBool::new(false),
+            fired: AtomicU64::new(0),
+            watched: Mutex::new(HashMap::new()),
+        });
+        let monitor = Arc::clone(&inner);
+        let poll = config.poll.max(Duration::from_millis(1));
+        let handle = std::thread::Builder::new()
+            .name("octo-watchdog".to_string())
+            .spawn(move || {
+                while !monitor.stop.load(Ordering::Acquire) {
+                    std::thread::sleep(poll);
+                    monitor.scan();
+                }
+            })
+            .expect("spawning the watchdog thread");
+        Watchdog {
+            inner,
+            next_id: AtomicU64::new(0),
+            handle: Some(handle),
+        }
+    }
+
+    /// Registers one job attempt. The job counts as having just made
+    /// progress; it is escalated if `token`'s heartbeat counter then
+    /// stays unchanged for the quiet budget. Dropping the guard
+    /// deregisters the attempt.
+    pub fn watch(&self, token: &CancelToken) -> WatchGuard {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let entry = Watched {
+            token: token.clone(),
+            last_beats: token.beats(),
+            last_progress: Instant::now(),
+        };
+        self.inner
+            .watched
+            .lock()
+            .expect("watchdog registry poisoned")
+            .insert(id, entry);
+        WatchGuard {
+            inner: Arc::clone(&self.inner),
+            id,
+        }
+    }
+
+    /// How many escalations this watchdog has fired.
+    pub fn fired(&self) -> u64 {
+        self.inner.fired.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.inner.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Deregisters a watched job attempt on drop.
+#[must_use = "dropping the guard stops watching the job"]
+#[derive(Debug)]
+pub struct WatchGuard {
+    inner: Arc<Inner>,
+    id: u64,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("quiet", &self.quiet)
+            .field("fired", &self.fired)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for WatchGuard {
+    fn drop(&mut self) {
+        self.inner
+            .watched
+            .lock()
+            .expect("watchdog registry poisoned")
+            .remove(&self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> WatchdogConfig {
+        WatchdogConfig {
+            quiet: Duration::from_millis(40),
+            poll: Duration::from_millis(5),
+        }
+    }
+
+    /// Polls `cond` for up to `budget`, returning whether it came true.
+    fn eventually(budget: Duration, cond: impl Fn() -> bool) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < budget {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        cond()
+    }
+
+    #[test]
+    fn silent_job_is_escalated() {
+        let dog = Watchdog::spawn(fast_config());
+        let token = CancelToken::new();
+        let _watch = dog.watch(&token);
+        assert!(
+            eventually(Duration::from_secs(5), || token.is_cancelled()),
+            "watchdog never escalated a silent job"
+        );
+        assert!(token.was_escalated());
+        assert_eq!(dog.fired(), 1);
+    }
+
+    #[test]
+    fn beating_job_survives() {
+        let dog = Watchdog::spawn(fast_config());
+        let token = CancelToken::new();
+        let _watch = dog.watch(&token);
+        let deadline = Instant::now() + Duration::from_millis(200);
+        while Instant::now() < deadline {
+            token.beat();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            !token.is_cancelled(),
+            "a heartbeating job must not be escalated"
+        );
+        assert_eq!(dog.fired(), 0);
+    }
+
+    #[test]
+    fn dropped_guard_deregisters() {
+        let dog = Watchdog::spawn(fast_config());
+        let token = CancelToken::new();
+        drop(dog.watch(&token));
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(
+            !token.is_cancelled(),
+            "deregistered jobs must not be escalated"
+        );
+    }
+
+    #[test]
+    fn already_cancelled_job_is_not_double_counted() {
+        let dog = Watchdog::spawn(fast_config());
+        let token = CancelToken::new();
+        token.cancel();
+        let _watch = dog.watch(&token);
+        std::thread::sleep(Duration::from_millis(120));
+        assert_eq!(dog.fired(), 0);
+        assert!(!token.was_escalated());
+    }
+
+    #[test]
+    fn with_quiet_derives_a_sane_poll() {
+        let c = WatchdogConfig::with_quiet(Duration::from_secs(2));
+        assert_eq!(c.poll, Duration::from_millis(500));
+        let tiny = WatchdogConfig::with_quiet(Duration::from_millis(4));
+        assert_eq!(tiny.poll, Duration::from_millis(5));
+    }
+}

@@ -138,6 +138,11 @@ pub enum SolveResult {
     Unsat,
     /// Budget exhausted before a verdict.
     Unknown,
+    /// Produced only under `octo-faults` injection (the `solver-solve`
+    /// site): the solve was abandoned at entry. Consumers treat it like
+    /// `Unknown`, except that the directed engine surfaces it as a
+    /// distinct, retryable `fault-injected` outcome.
+    Injected,
 }
 
 impl SolveResult {
@@ -164,6 +169,12 @@ impl ConstraintSet {
     /// Solves the set with explicit limits.
     pub fn solve_with(&self, limits: SolveLimits) -> SolveResult {
         bump(&SOLVES);
+        // Fault-injection site: abandon the solve at entry (after the
+        // counter bump, so solver accounting stays truthful about the
+        // attempt). Inert without an installed fault context.
+        if octo_faults::should_inject(octo_faults::FaultSite::SolverSolve) {
+            return SolveResult::Injected;
+        }
         // Flight-recorder bracket around the whole entry. The payload
         // (an Instant read and a counter snapshot) is gated on a live
         // recorder so the batch hot path stays untouched.
@@ -193,6 +204,7 @@ impl ConstraintSet {
                     SolveResult::Sat(_) => "sat",
                     SolveResult::Unsat => "unsat",
                     SolveResult::Unknown => "unknown",
+                    SolveResult::Injected => "injected",
                 },
                 micros: start.elapsed().as_micros() as u64,
                 refutations: INTERVAL_REFUTATIONS.with(Cell::get) - refutations_before,
@@ -519,6 +531,31 @@ mod tests {
         set.assert_byte(0, 2);
         assert_eq!(set.solve(), SolveResult::Unsat);
         assert!(!set.quick_feasible());
+    }
+
+    #[test]
+    fn injected_fault_abandons_the_solve_at_entry() {
+        use std::sync::Arc;
+
+        let mut set = ConstraintSet::new();
+        set.assert_byte(0, b'G');
+        // Fire on the 1st solver call only: the next call is clean.
+        let plan = Arc::new(octo_faults::FaultPlan::new(0).nth(
+            octo_faults::FaultSite::SolverSolve,
+            None,
+            1,
+        ));
+        let ctx = Arc::new(octo_faults::JobFaults::new(&plan, 0));
+        {
+            let _g = octo_faults::install(&ctx);
+            assert_eq!(set.solve(), SolveResult::Injected);
+            assert!(set.solve().is_sat(), "occurrence 2 must solve normally");
+            // An injected pre-check is "not refuted", mirroring Unknown.
+            assert!(!SolveResult::Injected.is_sat());
+            assert_eq!(SolveResult::Injected.model(), None);
+        }
+        assert!(set.solve().is_sat(), "no context: injection inert");
+        assert_eq!(ctx.fired(), 1);
     }
 
     #[test]

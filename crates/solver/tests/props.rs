@@ -86,6 +86,7 @@ proptest! {
             SolveResult::Sat(_) => prop_assert!(any, "solver said Sat but no witness exists"),
             SolveResult::Unsat => prop_assert!(!any, "solver said Unsat but a witness exists"),
             SolveResult::Unknown => {} // budget — no claim
+            SolveResult::Injected => prop_assert!(false, "no fault plan is installed"),
         }
     }
 
@@ -146,6 +147,7 @@ fn exhausted_budget_reports_unknown_not_a_wrong_verdict() {
         SolveResult::Sat(m) => {
             panic!("budget exhaustion produced a bogus model: {m:?}")
         }
+        SolveResult::Injected => panic!("no fault plan is installed"),
     }
     // With a real budget the verdict is Unsat.
     assert_eq!(set.solve(), SolveResult::Unsat);

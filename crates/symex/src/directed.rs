@@ -119,8 +119,9 @@ pub struct DirectedStats {
 pub struct DeathNote {
     /// Why the state died: `"branch-dead"`, `"stitch-infeasible"`,
     /// `"loop-retry"`, `"exited"`, `"crashed"`, `"concretize-failed"`,
-    /// `"dead"`, `"deadline"`, `"step-budget"`, `"final-unsat"`, or
-    /// `"model-unavailable"`.
+    /// `"dead"`, `"deadline"`, `"hung"` (watchdog escalation),
+    /// `"step-budget"`, `"final-unsat"`, `"model-unavailable"`, or
+    /// `"fault-injected"` (an `octo-faults` plan forced the death).
     pub reason: &'static str,
     /// Bunches the state had stitched (`ep` entries) when it died.
     pub ep_entries: u32,
@@ -160,9 +161,15 @@ pub enum DirectedOutcome {
     LoopBudget,
     /// Step or solver budget exhausted without a verdict.
     Budget,
-    /// The run's [`CancelToken`] fired (per-job deadline or an explicit
-    /// cancel from the batch scheduler) before a verdict was reached.
+    /// The run's [`CancelToken`] fired (per-job deadline, an explicit
+    /// cancel from the batch scheduler, or a watchdog escalation — the
+    /// token's `was_escalated` flag tells the caller which) before a
+    /// verdict was reached.
     Cancelled,
+    /// An `octo-faults` plan injected a fault the engine could not step
+    /// around (currently: the final combine-phase solve was abandoned).
+    /// A transient, retryable outcome by construction.
+    Injected,
 }
 
 impl DirectedOutcome {
@@ -181,6 +188,7 @@ impl DirectedOutcome {
             DirectedOutcome::LoopBudget => "loop-dead",
             DirectedOutcome::Budget => "step-budget",
             DirectedOutcome::Cancelled => "deadline",
+            DirectedOutcome::Injected => "fault-injected",
         }
     }
 }
@@ -314,18 +322,42 @@ impl<'p> DirectedEngine<'p> {
             mode: Mode::Directed,
         };
 
+        // Fault-injection sites (inert without an installed `octo-faults`
+        // context), checked once per run so a retry attempt sees the next
+        // occurrence number.
+        if octo_faults::should_inject(octo_faults::FaultSite::DirectedPanic) {
+            panic!("injected panic: directed engine (fault plan)");
+        }
+        if octo_faults::should_inject(octo_faults::FaultSite::DirectedLoopDead) {
+            self.note_death(&cur.state, "fault-injected", &ctx, stats);
+            return DirectedOutcome::LoopBudget;
+        }
+        if let Some(token) = self.cancel.as_ref() {
+            if octo_faults::should_inject(octo_faults::FaultSite::DirectedHang) {
+                // A simulated wedge: responsive to cancellation but never
+                // heartbeating, so only a watchdog escalation or the
+                // deadline frees the worker. Armed only when a token
+                // exists — without one the hang would be unrecoverable.
+                while !token.is_cancelled() {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                return self.cancelled_outcome(&cur, &ctx, stats);
+            }
+        }
+
         let final_state = loop {
             // Deadline / cancellation poll, at a coarse cadence so the
             // Instant read stays off the hot path. Step 0 is included:
-            // an already-expired deadline never starts executing.
-            if stats.total_steps.is_multiple_of(CANCEL_POLL_STEPS)
-                && self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
-            {
-                emit(TraceKind::CancelFired {
-                    step: stats.total_steps,
-                });
-                self.note_death(&cur.state, "deadline", &ctx, stats);
-                return DirectedOutcome::Cancelled;
+            // an already-expired deadline never starts executing. The
+            // heartbeat rides the same cadence, so the watchdog can tell
+            // a slow-but-stepping engine from a wedged one.
+            if stats.total_steps.is_multiple_of(CANCEL_POLL_STEPS) {
+                if let Some(token) = self.cancel.as_ref() {
+                    token.beat();
+                    if token.is_cancelled() {
+                        return self.cancelled_outcome(&cur, &ctx, stats);
+                    }
+                }
             }
             if stats.total_steps >= self.config.step_budget {
                 self.note_death(&cur.state, "step-budget", &ctx, stats);
@@ -450,7 +482,42 @@ impl<'p> DirectedEngine<'p> {
                 DirectedOutcome::Unsat
             }
             SolveResult::Unknown => DirectedOutcome::Budget,
+            SolveResult::Injected => {
+                self.note_death(&final_path.state, "fault-injected", &ctx, stats);
+                DirectedOutcome::Injected
+            }
         }
+    }
+
+    /// The single wind-down point for a fired cancel token: records the
+    /// trace events and the death note, distinguishing a watchdog
+    /// escalation (`"hung"`) from an ordinary deadline.
+    fn cancelled_outcome(
+        &self,
+        cur: &PathState,
+        ctx: &RunCtx,
+        stats: &mut DirectedStats,
+    ) -> DirectedOutcome {
+        let token = self
+            .cancel
+            .as_ref()
+            .expect("cancelled_outcome needs a token");
+        let escalated = token.was_escalated();
+        if escalated {
+            emit(TraceKind::WatchdogFired {
+                beats: token.beats(),
+            });
+        }
+        emit(TraceKind::CancelFired {
+            step: stats.total_steps,
+        });
+        self.note_death(
+            &cur.state,
+            if escalated { "hung" } else { "deadline" },
+            ctx,
+            stats,
+        );
+        DirectedOutcome::Cancelled
     }
 
     /// Raises the memory watermark to the current live state plus the
@@ -1374,6 +1441,113 @@ entry:
             None,
         );
         assert!(outcome.generated());
+    }
+
+    #[test]
+    fn injected_loop_dead_forces_the_loop_budget_outcome() {
+        use octo_faults::{FaultPlan, FaultSite, JobFaults};
+        use std::sync::Arc;
+
+        let q = primitives(&[(&[(9, 0x7F)], &[3])]);
+        let plan = Arc::new(FaultPlan::new(0).nth(FaultSite::DirectedLoopDead, None, 1));
+        let ctx = Arc::new(JobFaults::new(&plan, 0));
+        let config = DirectedConfig {
+            file_len: 16,
+            ..DirectedConfig::default()
+        };
+        {
+            let _g = octo_faults::install(&ctx);
+            let (outcome, stats) = run_configured(GATED, "shared", &q, config, None);
+            assert!(
+                matches!(outcome, DirectedOutcome::LoopBudget),
+                "{outcome:?}"
+            );
+            assert_eq!(stats.total_steps, 0, "forced before stepping");
+            assert_eq!(stats.death.expect("forced death").reason, "fault-injected");
+        }
+        // Occurrence 2 (a retry attempt) runs clean.
+        let _g = octo_faults::install(&ctx);
+        let (outcome, _) = run_configured(GATED, "shared", &q, config, None);
+        assert!(outcome.generated(), "{outcome:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "injected panic: directed engine")]
+    fn injected_panic_fires_inside_the_engine() {
+        use octo_faults::{FaultPlan, FaultSite, JobFaults};
+        use std::sync::Arc;
+
+        let q = primitives(&[(&[(9, 0x7F)], &[3])]);
+        let plan = Arc::new(FaultPlan::new(0).nth(FaultSite::DirectedPanic, None, 1));
+        let ctx = Arc::new(JobFaults::new(&plan, 0));
+        let _g = octo_faults::install(&ctx);
+        let _ = run_configured(
+            GATED,
+            "shared",
+            &q,
+            DirectedConfig {
+                file_len: 16,
+                ..DirectedConfig::default()
+            },
+            None,
+        );
+    }
+
+    #[test]
+    fn injected_hang_is_escalated_by_the_watchdog_as_hung() {
+        use octo_faults::{FaultPlan, FaultSite, JobFaults};
+        use octo_sched::{Watchdog, WatchdogConfig};
+        use std::sync::Arc;
+
+        let q = primitives(&[(&[(9, 0x7F)], &[3])]);
+        let plan = Arc::new(FaultPlan::new(0).nth(FaultSite::DirectedHang, None, 1));
+        let ctx = Arc::new(JobFaults::new(&plan, 0));
+        let _g = octo_faults::install(&ctx);
+
+        let dog = Watchdog::spawn(WatchdogConfig {
+            quiet: std::time::Duration::from_millis(50),
+            poll: std::time::Duration::from_millis(5),
+        });
+        let token = CancelToken::new(); // no deadline: only the watchdog can free it
+        let _watch = dog.watch(&token);
+        let (outcome, stats) = run_configured(
+            GATED,
+            "shared",
+            &q,
+            DirectedConfig {
+                file_len: 16,
+                ..DirectedConfig::default()
+            },
+            Some(token.clone()),
+        );
+        assert!(matches!(outcome, DirectedOutcome::Cancelled), "{outcome:?}");
+        assert!(
+            token.was_escalated(),
+            "the hang must come from the watchdog"
+        );
+        assert_eq!(stats.death.expect("hang death").reason, "hung");
+        assert_eq!(dog.fired(), 1);
+
+        // Without a token the hang site is skipped entirely: the engine
+        // must not wedge unrecoverably.
+        let ctx2 = Arc::new(JobFaults::new(&plan, 0));
+        let _g2 = octo_faults::install(&ctx2);
+        let (outcome, _) = run_configured(
+            GATED,
+            "shared",
+            &q,
+            DirectedConfig {
+                file_len: 16,
+                ..DirectedConfig::default()
+            },
+            None,
+        );
+        assert!(outcome.generated(), "{outcome:?}");
+        assert_eq!(
+            ctx2.fired(),
+            0,
+            "hang site is not consulted without a token"
+        );
     }
 
     #[test]

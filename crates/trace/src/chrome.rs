@@ -32,6 +32,10 @@ pub const KNOWN_EVENT_NAMES: &[&str] = &[
     "ep_entered",
     "bunch_recorded",
     "p4_replay",
+    "fault_injected",
+    "retry_scheduled",
+    "job_quarantined",
+    "watchdog_fired",
 ];
 
 /// Renders `events` (any order; re-sorted by sequence number) as a

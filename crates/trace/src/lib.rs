@@ -158,6 +158,29 @@ pub enum TraceKind {
         /// Whether the replay crashed.
         crashed: bool,
     },
+    /// An `octo-faults` injection site fired under the active fault plan.
+    FaultInjected {
+        /// Stable site label (e.g. `"directed-panic"`, `"cache-miss"`).
+        site: &'static str,
+    },
+    /// The batch runner scheduled a retry of a transiently failed job.
+    RetryScheduled {
+        /// The 1-based attempt that just failed.
+        attempt: u32,
+        /// Backoff slept before the next attempt.
+        backoff_micros: u64,
+    },
+    /// The batch runner quarantined a job after exhausting its retry
+    /// budget (verdict preserved, batch continues).
+    JobQuarantined {
+        /// Total attempts the job consumed.
+        attempts: u32,
+    },
+    /// The scheduler watchdog escalated a silent job to its cancel token.
+    WatchdogFired {
+        /// Heartbeats the job had recorded when escalation fired.
+        beats: u64,
+    },
 }
 
 impl TraceKind {
@@ -178,6 +201,10 @@ impl TraceKind {
             TraceKind::EpEntered { .. } => "ep_entered",
             TraceKind::BunchRecorded { .. } => "bunch_recorded",
             TraceKind::P4Replay { .. } => "p4_replay",
+            TraceKind::FaultInjected { .. } => "fault_injected",
+            TraceKind::RetryScheduled { .. } => "retry_scheduled",
+            TraceKind::JobQuarantined { .. } => "job_quarantined",
+            TraceKind::WatchdogFired { .. } => "watchdog_fired",
         }
     }
 
@@ -232,6 +259,13 @@ impl TraceKind {
             TraceKind::P4Replay { insts, crashed } => {
                 format!("\"insts\":{insts},\"crashed\":{crashed}")
             }
+            TraceKind::FaultInjected { site } => format!("\"site\":\"{site}\""),
+            TraceKind::RetryScheduled {
+                attempt,
+                backoff_micros,
+            } => format!("\"attempt\":{attempt},\"backoff_micros\":{backoff_micros}"),
+            TraceKind::JobQuarantined { attempts } => format!("\"attempts\":{attempts}"),
+            TraceKind::WatchdogFired { beats } => format!("\"beats\":{beats}"),
         }
     }
 }
@@ -467,6 +501,13 @@ mod tests {
                 insts: 1,
                 crashed: true,
             },
+            TraceKind::FaultInjected { site: "cache-miss" },
+            TraceKind::RetryScheduled {
+                attempt: 1,
+                backoff_micros: 250,
+            },
+            TraceKind::JobQuarantined { attempts: 3 },
+            TraceKind::WatchdogFired { beats: 7 },
         ];
         for k in kinds {
             assert!(!k.name().is_empty());

@@ -38,8 +38,7 @@ fn batch_over_corpus_matches_the_golden_file() {
         &config,
         &BatchOptions {
             workers: 4,
-            deadline: None,
-            trace: None,
+            ..BatchOptions::default()
         },
         &NullSink,
     );
@@ -67,8 +66,7 @@ fn batch_verdicts_match_sequential_verify_for_every_pair() {
         &config,
         &BatchOptions {
             workers: 8,
-            deadline: None,
-            trace: None,
+            ..BatchOptions::default()
         },
         &NullSink,
     );
@@ -108,8 +106,7 @@ fn two_targets_of_one_source_share_a_single_p1_run() {
         &PipelineConfig::default(),
         &BatchOptions {
             workers: 2,
-            deadline: None,
-            trace: None,
+            ..BatchOptions::default()
         },
         &NullSink,
     );

@@ -34,8 +34,7 @@ fn run_corpus(workers: usize) -> BatchReport {
         &PipelineConfig::default(),
         &BatchOptions {
             workers,
-            deadline: None,
-            trace: None,
+            ..BatchOptions::default()
         },
         &NullSink,
     )

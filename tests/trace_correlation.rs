@@ -86,8 +86,8 @@ fn spans_appear_exactly_once(workers: usize) {
     let log = EventLog::new();
     let options = BatchOptions {
         workers,
-        deadline: None,
         trace: Some(Arc::clone(&rec)),
+        ..BatchOptions::default()
     };
     let report = run_batch(&jobs(), &PipelineConfig::default(), &options, &log);
     assert_eq!(report.entries.len(), 6);
