@@ -1,0 +1,118 @@
+//! Measures clone-scanning throughput over the Table II corpus: raw
+//! fingerprinting (functions/sec), all-pairs retrieval (program
+//! pairs/sec), and the full `expand_scan` fan-out including callgraph
+//! reachability (expanded jobs/sec). Each stage runs several full
+//! passes and keeps the best wall time (minimum is the standard
+//! noise-robust statistic for this shape of benchmark).
+//!
+//! ```text
+//! cargo run --release -p octo-bench --bin clone_throughput [-- --out PATH]
+//! ```
+//!
+//! Writes the rows as JSON to `--out` (default `BENCH_clone.json` in
+//! the current directory) and prints them as a table. Fingerprinting is
+//! the hot path of a fleet scan — it must stay far cheaper than one
+//! pipeline run — so the acceptance target is tens of thousands of
+//! functions per second.
+
+use octo_bench::{render_table, CloneBenchRow};
+use octo_clone::{fingerprint_program, retrieve_pairs, CloneParams};
+use octo_ir::Program;
+use octopocs::{corpus_scan_inputs, expand_scan};
+
+const ITERATIONS: usize = 5;
+
+/// Runs `pass` `ITERATIONS` times, returning (best seconds, items).
+fn best_of<F: FnMut() -> u64>(mut pass: F) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut items = 0u64;
+    for _ in 0..ITERATIONS {
+        let start = std::time::Instant::now();
+        items = pass();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (best, items)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_clone.json".to_string();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--out" => out_path = it.next().expect("missing value for --out").clone(),
+            other => {
+                eprintln!("unknown flag `{other}` (usage: clone_throughput [--out PATH])");
+                std::process::exit(3);
+            }
+        }
+    }
+
+    let pairs = octo_corpus::all_pairs();
+    let programs: Vec<&Program> = pairs.iter().flat_map(|p| [&p.s, &p.t]).collect();
+    let (sources, targets) = corpus_scan_inputs();
+    let params = CloneParams::default();
+
+    let mut rows: Vec<CloneBenchRow> = Vec::new();
+    let mut push = |stage: &str, (seconds, items): (f64, u64)| {
+        rows.push(CloneBenchRow {
+            stage: stage.to_string(),
+            items,
+            seconds,
+            items_per_sec: items as f64 / seconds,
+        });
+    };
+
+    push(
+        "fingerprint",
+        best_of(|| {
+            programs
+                .iter()
+                .map(|p| fingerprint_program(p).funcs.len() as u64)
+                .sum()
+        }),
+    );
+    push(
+        "retrieve",
+        best_of(|| {
+            let mut compared = 0u64;
+            for s in &pairs {
+                for t in &pairs {
+                    std::hint::black_box(retrieve_pairs(&s.s, &t.t, &params));
+                    compared += 1;
+                }
+            }
+            compared
+        }),
+    );
+    push(
+        "expand",
+        best_of(|| expand_scan(&sources, &targets, &params).jobs.len() as u64),
+    );
+
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.stage.clone(),
+                r.items.to_string(),
+                format!("{:.4}", r.seconds),
+                format!("{:.0}", r.items_per_sec),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Clone-scanning throughput on the corpus (best of 5)",
+            &["stage", "items", "seconds", "items/sec"],
+            &cells,
+        )
+    );
+    let json = octo_bench::json::to_json_pretty(&rows);
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("error writing {out_path}: {e}");
+        std::process::exit(3);
+    }
+    println!("rows written to {out_path}");
+}

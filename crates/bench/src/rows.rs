@@ -199,6 +199,33 @@ impl JsonRow for TraceOverheadRow {
     }
 }
 
+/// One `clone_throughput` row: fingerprinting / retrieval / scan-expansion
+/// throughput over the Table II corpus (see `docs/clone-scanning.md`).
+#[derive(Debug, Clone)]
+pub struct CloneBenchRow {
+    /// `"fingerprint"`, `"retrieve"`, or `"expand"`.
+    pub stage: String,
+    /// Work items processed per iteration (functions for
+    /// `fingerprint`, program pairs for `retrieve`, expanded jobs for
+    /// `expand`).
+    pub items: u64,
+    /// Best-of-N wall seconds for one full pass.
+    pub seconds: f64,
+    /// `items / seconds` for the best pass.
+    pub items_per_sec: f64,
+}
+
+impl JsonRow for CloneBenchRow {
+    fn json_fields(&self) -> Vec<(&'static str, JsonValue)> {
+        vec![
+            ("stage", s(&self.stage)),
+            ("items", num(self.items as f64)),
+            ("seconds", num(self.seconds)),
+            ("items_per_sec", num(self.items_per_sec)),
+        ]
+    }
+}
+
 /// Helper: `O`/`X` cells like the paper's tables.
 pub fn ox(b: bool) -> String {
     if b {

@@ -1,0 +1,247 @@
+//! Clone-pair retrieval between a source program and target programs.
+//!
+//! This is the cheap, high-recall half of a retrieve-then-validate
+//! pipeline (VulCoCo's design): every candidate it emits is meant to be
+//! *verified* by the expensive PoC-reformation oracle, so scoring errs
+//! toward inclusion and annotates each candidate with how trustworthy
+//! its reachability evidence is.
+
+use octo_ir::Program;
+use octo_lint::ReachKind;
+
+use crate::fingerprint::{
+    containment, context_similarity, fingerprint_program, FuncFingerprint, ProgramFingerprints,
+};
+
+/// Retrieval parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CloneParams {
+    /// Minimum combined score for a candidate to be kept.
+    pub threshold: f64,
+    /// Keep at most this many candidates per (S, T) program pair
+    /// (`0` = unlimited). Applied after score ordering.
+    pub top_k: usize,
+    /// Source functions with fewer instructions are not used as queries
+    /// (tiny functions shingle to almost nothing and match everywhere).
+    pub min_insts: usize,
+    /// Whether program entry functions may appear in candidates. Entry
+    /// functions are the application drivers, not shared library code —
+    /// ℓ members must be callable *under* the entry, so the default
+    /// excludes them on both sides.
+    pub include_entry: bool,
+}
+
+impl Default for CloneParams {
+    fn default() -> CloneParams {
+        CloneParams {
+            threshold: 0.5,
+            top_k: 0,
+            min_insts: 4,
+            include_entry: false,
+        }
+    }
+}
+
+/// Weight of shingle containment in the combined score; the remainder is
+/// callgraph-context similarity.
+pub const CONTAINMENT_WEIGHT: f64 = 0.85;
+
+/// One retrieved candidate: "source function `s_func` appears cloned as
+/// `t_func` in the target".
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Function name in S.
+    pub s_func: String,
+    /// Function name in T.
+    pub t_func: String,
+    /// Combined score in `[0, 1]` (exactly `1.0` iff canonical bodies
+    /// are identical).
+    pub score: f64,
+    /// Shingle containment `|S ∩ T| / |S|`.
+    pub containment: f64,
+    /// Context-feature similarity.
+    pub context: f64,
+    /// Whether the canonical bodies are byte-identical.
+    pub exact: bool,
+    /// How the target function is reached from T's entry — candidates in
+    /// unreachable code verify trivially to "not triggerable", so the
+    /// scan reports this up front.
+    pub reach: ReachKind,
+}
+
+impl Candidate {
+    /// Stable label for the reachability column.
+    pub fn reach_label(&self) -> &'static str {
+        match self.reach {
+            ReachKind::No => "none",
+            ReachKind::Direct => "direct",
+            ReachKind::OverApprox => "over-approx",
+        }
+    }
+}
+
+/// Scores one (source function, target function) pair.
+fn score_pair(s: &FuncFingerprint, t: &FuncFingerprint) -> (f64, f64, f64, bool) {
+    if s.exact == t.exact {
+        return (1.0, 1.0, context_similarity(&s.ctx, &t.ctx), true);
+    }
+    let c = containment(&s.shingles, &t.shingles);
+    let x = context_similarity(&s.ctx, &t.ctx);
+    (
+        CONTAINMENT_WEIGHT * c + (1.0 - CONTAINMENT_WEIGHT) * x,
+        c,
+        x,
+        false,
+    )
+}
+
+/// Retrieves clone candidates between pre-computed fingerprints.
+/// `t_reach` must be `cg.reach_kinds_from(T.entry())` for the target.
+pub fn retrieve_from_fingerprints(
+    s: &ProgramFingerprints,
+    t: &ProgramFingerprints,
+    t_reach: &[ReachKind],
+    params: &CloneParams,
+) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for (si, sf) in s.funcs.iter().enumerate() {
+        if !params.include_entry && si == s.entry {
+            continue;
+        }
+        if sf.insts < params.min_insts {
+            continue;
+        }
+        for (ti, tf) in t.funcs.iter().enumerate() {
+            if !params.include_entry && ti == t.entry {
+                continue;
+            }
+            let (score, cont, ctx, exact) = score_pair(sf, tf);
+            if score >= params.threshold {
+                out.push(Candidate {
+                    s_func: sf.name.clone(),
+                    t_func: tf.name.clone(),
+                    score,
+                    containment: cont,
+                    context: ctx,
+                    exact,
+                    reach: t_reach.get(ti).copied().unwrap_or(ReachKind::No),
+                });
+            }
+        }
+    }
+    // Deterministic: score descending, then names.
+    out.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then_with(|| a.s_func.cmp(&b.s_func))
+            .then_with(|| a.t_func.cmp(&b.t_func))
+    });
+    if params.top_k > 0 {
+        out.truncate(params.top_k);
+    }
+    out
+}
+
+/// Retrieves clone candidates between two programs (fingerprinting both
+/// on the fly). For fleet scans, fingerprint S once and call
+/// [`retrieve_from_fingerprints`] per target instead.
+pub fn retrieve_pairs(s: &Program, t: &Program, params: &CloneParams) -> Vec<Candidate> {
+    let sf = fingerprint_program(s);
+    let tf = fingerprint_program(t);
+    let cg = octo_lint::build_call_graph(t);
+    let reach = cg.reach_kinds_from(t.entry());
+    retrieve_from_fingerprints(&sf, &tf, &reach, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octo_ir::parse::parse_program;
+
+    const LOOPY: &str = "entry:\n fd = open\n buf = alloc 16\n i = 0\n jmp loop\n\
+                         loop:\n done = uge i, 16\n br done, fin, body\n\
+                         body:\n v = getc fd\n p = add buf, i\n store.1 p, v\n \
+                         i = add i, 1\n jmp loop\n\
+                         fin:\n ret i\n";
+
+    fn prog(frag_name: &str, frag_body: &str) -> Program {
+        parse_program(&format!(
+            "func main() {{\nentry:\n r = call {frag_name}()\n halt r\n}}\n\
+             func {frag_name}() {{\n{frag_body}}}\n"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_clone_scores_one_and_entry_is_excluded() {
+        let s = prog("decode", LOOPY);
+        let t = prog("decode", LOOPY);
+        let cands = retrieve_pairs(&s, &t, &CloneParams::default());
+        assert_eq!(cands.len(), 1, "{cands:?}");
+        let c = &cands[0];
+        assert_eq!((c.s_func.as_str(), c.t_func.as_str()), ("decode", "decode"));
+        assert!(c.exact);
+        assert!((c.score - 1.0).abs() < 1e-12);
+        assert_eq!(c.reach, ReachKind::Direct);
+    }
+
+    #[test]
+    fn renamed_clone_is_still_retrieved_across_names() {
+        let s = prog("decode", LOOPY);
+        let t = prog("parse_chunk", LOOPY);
+        let cands = retrieve_pairs(&s, &t, &CloneParams::default());
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].t_func, "parse_chunk");
+        assert!(cands[0].exact);
+    }
+
+    #[test]
+    fn unrelated_function_is_below_threshold() {
+        let s = prog("decode", LOOPY);
+        let t = prog(
+            "decode",
+            "entry:\n a = 1\n b = shl a, 4\n c = xor b, 0x5a\n d = mul c, 3\n ret d\n",
+        );
+        let cands = retrieve_pairs(&s, &t, &CloneParams::default());
+        assert!(cands.is_empty(), "{cands:?}");
+    }
+
+    #[test]
+    fn top_k_limits_candidates() {
+        let s = prog("decode", LOOPY);
+        let t = parse_program(&format!(
+            "func main() {{\nentry:\n r = call a()\n s = call b()\n halt r\n}}\n\
+             func a() {{\n{LOOPY}}}\n\
+             func b() {{\n{LOOPY}}}\n"
+        ))
+        .unwrap();
+        let all = retrieve_pairs(&s, &t, &CloneParams::default());
+        assert_eq!(all.len(), 2);
+        let one = retrieve_pairs(
+            &s,
+            &t,
+            &CloneParams {
+                top_k: 1,
+                ..CloneParams::default()
+            },
+        );
+        assert_eq!(one.len(), 1);
+        // Ties break by name: `a` sorts before `b`.
+        assert_eq!(one[0].t_func, "a");
+    }
+
+    #[test]
+    fn unreachable_target_clone_is_flagged_not_dropped() {
+        let s = prog("decode", LOOPY);
+        // T contains the clone but never calls it.
+        let t = parse_program(&format!(
+            "func main() {{\nentry:\n halt 0\n}}\n\
+             func decode() {{\n{LOOPY}}}\n"
+        ))
+        .unwrap();
+        let cands = retrieve_pairs(&s, &t, &CloneParams::default());
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].reach, ReachKind::No);
+        assert_eq!(cands[0].reach_label(), "none");
+    }
+}

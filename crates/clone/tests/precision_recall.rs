@@ -1,0 +1,95 @@
+//! Precision/recall harness over the synthesized variant corpus.
+//!
+//! For every Table II pair, `octo_corpus::variants` synthesizes three
+//! positive variants of `T` (registers renamed, blocks reordered, body
+//! embedded behind a host prologue) and one negative decoy (same shape,
+//! different computation everywhere). Retrieval at the default
+//! threshold must rediscover every shared function in every positive
+//! variant (recall 1.0 — the paper's setting assumes the clone detector
+//! finds ℓ) and reject decoys often enough to keep precision ≥ 0.8.
+//!
+//! The floors pinned here are quoted in `docs/clone-scanning.md`; keep
+//! the two in sync.
+
+use octo_clone::{retrieve_pairs, CloneParams};
+use octo_corpus::variants::{variant_corpus, VariantKind};
+
+/// Recall floor for positive variants: every shared function retrieved,
+/// no exceptions. (The verification oracle can reject false positives
+/// downstream; a false *negative* is silent missed propagation.)
+const RECALL_FLOOR: f64 = 1.0;
+
+/// Precision floor over the whole variant corpus.
+const PRECISION_FLOOR: f64 = 0.8;
+
+#[test]
+fn recall_is_total_and_precision_holds_on_variant_corpus() {
+    let params = CloneParams::default();
+    let mut tp = 0usize; // shared function retrieved in a positive variant
+    let mut fnr = Vec::new(); // false negatives (named, for the message)
+    let mut fpr = Vec::new(); // false positives: decoy retrieved
+    let mut tn = 0usize;
+
+    for case in variant_corpus() {
+        let cands = retrieve_pairs(&case.s, &case.t, &params);
+        for shared in &case.shared {
+            let hit = cands
+                .iter()
+                .any(|c| &c.s_func == shared && &c.t_func == shared);
+            match (case.kind.is_positive(), hit) {
+                (true, true) => tp += 1,
+                (true, false) => fnr.push(format!("{}:{shared}", case.name)),
+                (false, true) => fpr.push(format!("{}:{shared}", case.name)),
+                (false, false) => tn += 1,
+            }
+        }
+    }
+
+    let recall = tp as f64 / (tp + fnr.len()) as f64;
+    assert!(
+        recall >= RECALL_FLOOR,
+        "recall {recall:.3} < {RECALL_FLOOR} — missed: {fnr:?}"
+    );
+    let precision = tp as f64 / (tp + fpr.len()) as f64;
+    assert!(
+        precision >= PRECISION_FLOOR,
+        "precision {precision:.3} < {PRECISION_FLOOR} — false positives: {fpr:?}"
+    );
+    // The harness must actually exercise both classes.
+    assert!(tp >= 45, "positives exercised: {tp}");
+    assert!(tn + fpr.len() >= 15, "decoys exercised: {}", tn + fpr.len());
+}
+
+/// Positive variants score high enough that the default threshold is
+/// not load-bearing: renamed and reordered clones are *exact* matches
+/// (score 1.0), embedded clones keep containment 1.0.
+#[test]
+fn positive_variants_score_at_the_top() {
+    let params = CloneParams::default();
+    for case in variant_corpus() {
+        if !case.kind.is_positive() {
+            continue;
+        }
+        let cands = retrieve_pairs(&case.s, &case.t, &params);
+        for shared in &case.shared {
+            let c = cands
+                .iter()
+                .find(|c| &c.s_func == shared && &c.t_func == shared)
+                .unwrap_or_else(|| panic!("{}:{shared} not retrieved", case.name));
+            match case.kind {
+                VariantKind::Renamed | VariantKind::Reordered => {
+                    assert!(c.exact, "{}:{shared} should be an exact match", case.name);
+                }
+                VariantKind::Inlined => {
+                    assert!(
+                        (c.containment - 1.0).abs() < 1e-12,
+                        "{}:{shared} containment {:.4}",
+                        case.name,
+                        c.containment
+                    );
+                }
+                VariantKind::Decoy => unreachable!(),
+            }
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Property tests for fingerprint invariance: the transforms a
+//! downstream vendor applies when cloning a function (register
+//! renaming, block reordering, prologue embedding) must not change what
+//! retrieval sees, while semantic edits must.
+//!
+//! The transforms come from `octo_corpus::variants` — the same ones the
+//! precision/recall harness uses — applied here to randomly chosen real
+//! corpus functions with randomized seeds.
+
+use octo_clone::{
+    containment, fingerprint_function, retrieve_pairs, CloneParams, ContextFeatures,
+    FuncFingerprint,
+};
+use octo_corpus::variants::{embed_prologue, permute_registers, reorder_blocks, semantic_edit};
+use octo_corpus::{all_pairs, pair_by_idx};
+use octo_ir::{Function, Program};
+use proptest::prelude::*;
+
+/// Fingerprints with a fixed context: these properties are about the
+/// *body* fingerprint, and body transforms never change the callgraph
+/// context anyway.
+fn fp(f: &Function) -> FuncFingerprint {
+    fingerprint_function(
+        f,
+        ContextFeatures {
+            out_degree: 0,
+            in_degree: 0,
+            reach_count: 0,
+            addr_taken: false,
+            n_params: u64::from(f.n_params),
+        },
+    )
+}
+
+/// Every shared corpus function big enough to be a retrieval query,
+/// with its host program index.
+fn query_functions() -> Vec<(u32, String)> {
+    all_pairs()
+        .iter()
+        .flat_map(|p| {
+            p.shared
+                .iter()
+                .map(|s| (p.idx, s.clone()))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+fn lookup(idx: u32, name: &str) -> Function {
+    let pair = pair_by_idx(idx).unwrap();
+    let id = pair.t.func_by_name(name).unwrap();
+    pair.t.func(id).clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Register renaming and block reordering are invisible to the
+    /// fingerprint: exact hash, shingles and everything else identical.
+    #[test]
+    fn fingerprint_invariant_under_rename_and_reorder(
+        choice in 0usize..100,
+        seed in 1u64..u64::MAX,
+    ) {
+        let queries = query_functions();
+        let (idx, name) = &queries[choice % queries.len()];
+        let f = lookup(*idx, name);
+        let base = fp(&f);
+
+        let renamed = fp(&permute_registers(&f, seed));
+        prop_assert_eq!(base.exact, renamed.exact, "rename changed the exact hash");
+        prop_assert_eq!(&base.shingles, &renamed.shingles);
+
+        let reordered = fp(&reorder_blocks(&f, seed));
+        prop_assert_eq!(base.exact, reordered.exact, "reorder changed the exact hash");
+        prop_assert_eq!(&base.shingles, &reordered.shingles);
+    }
+
+    /// Embedding the body behind a host prologue keeps containment at
+    /// exactly 1.0 — every original shingle survives — even though the
+    /// exact hash must differ.
+    #[test]
+    fn embedded_clone_keeps_full_containment(choice in 0usize..100) {
+        let queries = query_functions();
+        let (idx, name) = &queries[choice % queries.len()];
+        let f = lookup(*idx, name);
+        let base = fp(&f);
+        let embedded = fp(&embed_prologue(&f));
+        prop_assert_ne!(base.exact, embedded.exact);
+        let c = containment(&base.shingles, &embedded.shingles);
+        prop_assert!((c - 1.0).abs() < 1e-12, "containment {} != 1.0", c);
+    }
+
+    /// A semantic edit (operands swapped, constants perturbed) touches
+    /// every window: the fingerprints must share almost nothing.
+    #[test]
+    fn semantic_edit_destroys_the_fingerprint(choice in 0usize..100) {
+        let queries = query_functions();
+        let (idx, name) = &queries[choice % queries.len()];
+        let f = lookup(*idx, name);
+        let base = fp(&f);
+        let edited = fp(&semantic_edit(&f));
+        prop_assert_ne!(base.exact, edited.exact);
+        let c = containment(&base.shingles, &edited.shingles);
+        prop_assert!(c < 0.5, "decoy containment {} too high for {}", c, name);
+    }
+}
+
+/// Deterministic end-to-end spot check kept outside proptest: the
+/// retrieval layer (not just raw fingerprints) sees through a combined
+/// rename + reorder of every shared function.
+#[test]
+fn retrieval_survives_combined_rename_and_reorder() {
+    for pair in all_pairs() {
+        let funcs: Vec<Function> = pair
+            .t
+            .iter()
+            .map(|(_, f)| {
+                if pair.shared.iter().any(|s| s == &f.name) {
+                    reorder_blocks(&permute_registers(f, 0xDEC0DE), 0xC0FFEE)
+                } else {
+                    f.clone()
+                }
+            })
+            .collect();
+        let entry = pair.t.func(pair.t.entry()).name.clone();
+        let t = Program::from_functions(funcs, &entry).unwrap();
+        let cands = retrieve_pairs(&pair.s, &t, &CloneParams::default());
+        for shared in &pair.shared {
+            assert!(
+                cands
+                    .iter()
+                    .any(|c| &c.s_func == shared && &c.t_func == shared && c.exact),
+                "idx{:02}: {} not retrieved as exact after rename+reorder",
+                pair.idx,
+                shared
+            );
+        }
+    }
+}

@@ -173,7 +173,7 @@ pub struct BatchReport {
     pub wall_seconds: f64,
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -430,6 +430,9 @@ const MICROS_BUCKETS: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, 10_000
 /// Bunch-payload histogram bounds, bytes.
 const BUNCH_BUCKETS: [u64; 6] = [1, 4, 16, 64, 256, 1_024];
 
+/// Clone-score histogram bounds, centi-units (`score * 100`).
+pub(crate) const SCORE_CENTI_BUCKETS: [u64; 6] = [50, 60, 70, 80, 90, 100];
+
 fn micros(seconds: f64) -> u64 {
     (seconds * 1e6) as u64
 }
@@ -482,6 +485,14 @@ struct BatchMetrics {
 
 impl BatchMetrics {
     fn register(reg: &MetricsRegistry) -> BatchMetrics {
+        // Clone-scan metrics are recorded by `crate::scan::run_scan` after
+        // the batch returns; registered eagerly here so every run exposes
+        // the full pinned schema (tests/golden/metrics_schema.txt).
+        reg.counter("clone_candidates_total");
+        reg.counter("clone_functions_fingerprinted_total");
+        reg.counter("clone_pairs_compared_total");
+        reg.counter("clone_scan_jobs_total");
+        reg.histogram("clone_score_centi", &SCORE_CENTI_BUCKETS);
         BatchMetrics {
             jobs_total: reg.counter("batch_jobs_total"),
             verdict_type_i: reg.counter("batch_verdict_type_i_total"),

@@ -4,7 +4,13 @@
 //! octopocs --s S.mir --t T.mir --poc poc.bin --shared f1,f2 [--out poc_prime.bin]
 //!          [--minimize] [--theta N] [--accelerate-loops] [--static-cfg]
 //!          [--context-free] [--prescreen] [--json]
-//! octopocs lint program.mir [--format human|json]
+//! octopocs lint program.mir [--format human|json] [--canonical]
+//! octopocs clone --s S.mir --t T.mir [--threshold X] [--top-k N]
+//!          [--min-insts N] [--json]
+//! octopocs scan (--corpus | --s S.mir --poc poc.bin --target T.mir...)
+//!          [--threshold X] [--top-k N] [--workers N] [--deadline-secs S]
+//!          [--json | --verdicts-json] [--candidates-json PATH] [--events]
+//!          [--metrics-json PATH] [--metrics-prom PATH]
 //! octopocs batch (--corpus | --jobs FILE) [--workers N] [--deadline-secs S]
 //!          [--json | --verdicts-json] [--events] [--metrics-json PATH]
 //!          [--metrics-prom PATH] [--trace-chrome PATH] [--trace-jsonl PATH]
@@ -25,6 +31,19 @@
 //! MicroIR program and prints the diagnostics (severity, function/block
 //! location, rule id). Exit code 0 = clean or warnings only, 1 = at least
 //! one error-severity diagnostic, 3 = unreadable or unparsable input.
+//! `--canonical` instead prints the program's canonical normal form
+//! (entry-first DFS block order, dense register/label renumbering) —
+//! renamed/reordered clones print identically, so the output is directly
+//! diffable.
+//!
+//! The `clone` subcommand retrieves cloned-function candidates between
+//! two programs using `octo-clone` static fingerprints (no verification;
+//! exit 0 = candidates found, 1 = none). The `scan` subcommand goes end
+//! to end: it discovers the shared set ℓ per target and verifies every
+//! discovered `(S, poc, Tᵢ, ℓᵢ)` job on the batch scheduler
+//! (`--candidates-json` writes the stable retrieval document CI diffs
+//! against `tests/golden/clone_candidates.json`). See
+//! `docs/clone-scanning.md`.
 //!
 //! The `batch` subcommand verifies a whole job set on the work-stealing
 //! scheduler with the shared artifact cache (see `octopocs::batch`).
@@ -79,7 +98,13 @@ fn usage() -> String {
     "usage: octopocs --s S.mir --t T.mir --poc poc.bin --shared f1,f2 \
      [--out poc_prime.bin] [--minimize] [--theta N] [--accelerate-loops] \
      [--static-cfg] [--context-free] [--prescreen] [--json]\n       \
-     octopocs lint program.mir [--format human|json]\n       \
+     octopocs lint program.mir [--format human|json] [--canonical]\n       \
+     octopocs clone --s S.mir --t T.mir [--threshold X] [--top-k N] \
+     [--min-insts N] [--json]\n       \
+     octopocs scan (--corpus | --s S.mir --poc poc.bin --target T.mir...) \
+     [--threshold X] [--top-k N] [--workers N] [--deadline-secs S] \
+     [--json | --verdicts-json] [--candidates-json PATH] [--events] \
+     [--metrics-json PATH] [--metrics-prom PATH]\n       \
      octopocs batch (--corpus | --jobs FILE) [--workers N] \
      [--deadline-secs S] [--json | --verdicts-json] [--events] \
      [--metrics-json PATH] [--metrics-prom PATH] [--trace-chrome PATH] \
@@ -169,9 +194,11 @@ fn load_program(path: &str) -> Result<octo_ir::Program, String> {
 fn lint_main(argv: &[String]) -> ExitCode {
     let mut path: Option<&str> = None;
     let mut json = false;
+    let mut canonical = false;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--canonical" => canonical = true,
             "--format" => match it.next().map(String::as_str) {
                 Some("json") => json = true,
                 Some("human") => json = false,
@@ -214,6 +241,14 @@ fn lint_main(argv: &[String]) -> ExitCode {
             return ExitCode::from(3);
         }
     };
+    if canonical {
+        // Canonicalization mode: print the normal form (entry-first DFS
+        // block order, dense register/label renumbering) instead of the
+        // diagnostics. `parse(print_canonical(p))` is a fixed point, so
+        // the output is diffable across renamed/reordered variants.
+        print!("{}", octo_ir::printer::print_program_canonical(&program));
+        return ExitCode::SUCCESS;
+    }
     let report = octo_lint::lint_program(&program);
     if json {
         println!("{}", report.render_json());
@@ -225,6 +260,275 @@ fn lint_main(argv: &[String]) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Parses the retrieval knobs shared by `clone` and `scan`.
+fn parse_clone_params(
+    flag: &str,
+    value: &mut dyn FnMut(&str) -> Result<String, String>,
+    params: &mut octo_clone::CloneParams,
+) -> Result<bool, String> {
+    match flag {
+        "--threshold" => {
+            params.threshold = value("--threshold")?
+                .parse()
+                .map_err(|e| format!("bad --threshold: {e}"))?;
+            if !(0.0..=1.0).contains(&params.threshold) {
+                return Err("--threshold must be in [0, 1]".to_string());
+            }
+        }
+        "--top-k" => {
+            params.top_k = value("--top-k")?
+                .parse()
+                .map_err(|e| format!("bad --top-k: {e}"))?;
+        }
+        "--min-insts" => {
+            params.min_insts = value("--min-insts")?
+                .parse()
+                .map_err(|e| format!("bad --min-insts: {e}"))?;
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// The `octopocs clone` subcommand: retrieve clone candidates between
+/// two programs (no verification). Exit 0 = at least one candidate,
+/// 1 = none, 3 = usage or input error.
+fn clone_main(argv: &[String]) -> ExitCode {
+    let mut s_path = String::new();
+    let mut t_path = String::new();
+    let mut params = octo_clone::CloneParams::default();
+    let mut json = false;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        let result: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--s" => s_path = value("--s")?,
+                "--t" => t_path = value("--t")?,
+                "--json" => json = true,
+                "--help" | "-h" => return Err(String::new()),
+                other => {
+                    if !parse_clone_params(other, &mut value, &mut params)? {
+                        return Err(format!("unknown clone flag `{other}`"));
+                    }
+                }
+            }
+            Ok(())
+        })();
+        if let Err(msg) = result {
+            if msg.is_empty() {
+                eprintln!("{}", usage());
+            } else {
+                eprintln!("{msg}\n{}", usage());
+            }
+            return ExitCode::from(3);
+        }
+    }
+    if s_path.is_empty() || t_path.is_empty() {
+        eprintln!("clone: --s and --t are required\n{}", usage());
+        return ExitCode::from(3);
+    }
+    let (s, t) = match (load_program(&s_path), load_program(&t_path)) {
+        (Ok(s), Ok(t)) => (s, t),
+        (s, t) => {
+            for msg in [s.err(), t.err()].into_iter().flatten() {
+                eprintln!("error: {msg}");
+            }
+            return ExitCode::from(3);
+        }
+    };
+    let expansion = octopocs::expand_scan(
+        &[octopocs::ScanSource {
+            name: s_path.clone(),
+            s,
+            poc: PocFile::new(Vec::new()),
+        }],
+        &[octopocs::ScanTarget {
+            name: t_path.clone(),
+            t,
+        }],
+        &params,
+    );
+    if json {
+        print!("{}", expansion.render_candidates_json());
+    } else {
+        print!("{}", expansion.render_candidates_human());
+    }
+    if expansion.candidate_count() > 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// The `octopocs scan` subcommand: discover ℓ per target and verify
+/// every discovered pair on the batch scheduler. Exit 0 = the scan ran,
+/// 3 = usage or input error.
+fn scan_main(argv: &[String]) -> ExitCode {
+    let mut corpus = false;
+    let mut s_path = String::new();
+    let mut poc_path = String::new();
+    let mut target_paths: Vec<String> = Vec::new();
+    let mut params = octo_clone::CloneParams::default();
+    let mut options = BatchOptions::default();
+    let config = PipelineConfig::default();
+    let mut json = false;
+    let mut verdicts_json = false;
+    let mut candidates_json: Option<String> = None;
+    let mut events = false;
+    let mut metrics_json: Option<String> = None;
+    let mut metrics_prom: Option<String> = None;
+    let mut it = argv.iter();
+    let parse_error = |msg: String| {
+        if msg.is_empty() {
+            eprintln!("{}", usage());
+        } else {
+            eprintln!("{msg}\n{}", usage());
+        }
+        ExitCode::from(3)
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        let result: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--corpus" => corpus = true,
+                "--s" => s_path = value("--s")?,
+                "--poc" => poc_path = value("--poc")?,
+                "--target" => target_paths.push(value("--target")?),
+                "--workers" => {
+                    options.workers = value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("bad --workers: {e}"))?;
+                    if options.workers == 0 {
+                        return Err("--workers must be at least 1".to_string());
+                    }
+                }
+                "--deadline-secs" => {
+                    let secs: f64 = value("--deadline-secs")?
+                        .parse()
+                        .map_err(|e| format!("bad --deadline-secs: {e}"))?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err("--deadline-secs must be positive".to_string());
+                    }
+                    options.deadline = Some(std::time::Duration::from_secs_f64(secs));
+                }
+                "--json" => json = true,
+                "--verdicts-json" => verdicts_json = true,
+                "--candidates-json" => candidates_json = Some(value("--candidates-json")?),
+                "--events" => events = true,
+                "--metrics-json" => metrics_json = Some(value("--metrics-json")?),
+                "--metrics-prom" => metrics_prom = Some(value("--metrics-prom")?),
+                "--help" | "-h" => return Err(String::new()),
+                other => {
+                    if !parse_clone_params(other, &mut value, &mut params)? {
+                        return Err(format!("unknown scan flag `{other}`"));
+                    }
+                }
+            }
+            Ok(())
+        })();
+        if let Err(msg) = result {
+            return parse_error(msg);
+        }
+    }
+    if corpus == (!s_path.is_empty() || !target_paths.is_empty()) {
+        return parse_error(
+            "exactly one of --corpus or (--s/--poc/--target...) is required".to_string(),
+        );
+    }
+    if json && verdicts_json {
+        return parse_error("--json and --verdicts-json are mutually exclusive".to_string());
+    }
+    let (sources, targets) = if corpus {
+        octopocs::corpus_scan_inputs()
+    } else {
+        if s_path.is_empty() || poc_path.is_empty() || target_paths.is_empty() {
+            return parse_error("scan needs --s, --poc and at least one --target".to_string());
+        }
+        let s = match load_program(&s_path) {
+            Ok(p) => p,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(3);
+            }
+        };
+        let poc_bytes = match std::fs::read(&poc_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {poc_path}: {e}");
+                return ExitCode::from(3);
+            }
+        };
+        let mut targets = Vec::new();
+        for path in &target_paths {
+            match load_program(path) {
+                Ok(t) => targets.push(octopocs::ScanTarget {
+                    name: path.clone(),
+                    t,
+                }),
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    return ExitCode::from(3);
+                }
+            }
+        }
+        (
+            vec![octopocs::ScanSource {
+                name: s_path.clone(),
+                s,
+                poc: PocFile::new(poc_bytes),
+            }],
+            targets,
+        )
+    };
+
+    let stderr_sink = |event: octo_sched::Event| eprintln!("{}", event.render_human());
+    let report = if events {
+        octopocs::run_scan(&sources, &targets, &params, &config, &options, &stderr_sink)
+    } else {
+        octopocs::run_scan(
+            &sources,
+            &targets,
+            &params,
+            &config,
+            &options,
+            &octo_sched::NullSink,
+        )
+    };
+
+    let outputs: Vec<(&Option<String>, String)> = vec![
+        (&candidates_json, report.expansion.render_candidates_json()),
+        (&metrics_json, report.batch.metrics.render_json()),
+        (&metrics_prom, report.batch.metrics.render_prometheus()),
+    ];
+    for (path, content) in outputs {
+        if let Some(path) = path {
+            if let Err(e) = std::fs::write(path, content) {
+                eprintln!("error writing {path}: {e}");
+                return ExitCode::from(3);
+            }
+        }
+    }
+
+    if verdicts_json {
+        print!("{}", report.batch.render_verdicts_json());
+    } else if json {
+        println!("{}", report.batch.render_json());
+    } else {
+        print!("{}", report.expansion.render_candidates_human());
+        print!("{}", report.batch.render_human());
+    }
+    ExitCode::SUCCESS
 }
 
 /// Reads a `--jobs` file: one job per whitespace-separated line
@@ -480,6 +784,12 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("batch") {
         return batch_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("clone") {
+        return clone_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("scan") {
+        return scan_main(&argv[1..]);
     }
     let args = match parse_args(&argv) {
         Ok(a) => a,

@@ -97,6 +97,7 @@ pub mod minimize;
 pub mod pipeline;
 pub mod portfolio;
 pub mod preprocess;
+pub mod scan;
 pub mod verdict;
 
 pub use batch::{prefix_cache_key, run_batch, BatchEntry, BatchJob, BatchOptions, BatchReport};
@@ -113,4 +114,8 @@ pub use portfolio::{
     render_portfolio, verify_portfolio, verify_portfolio_with_faults, Job, PortfolioEntry, Urgency,
 };
 pub use preprocess::{identify_ep, PreprocessError};
+pub use scan::{
+    corpus_scan_inputs, expand_scan, run_scan, PairCandidates, ScanExpansion, ScanReport,
+    ScanSource, ScanTarget,
+};
 pub use verdict::{FailureReason, NotTriggerableReason, TriggerKind, Verdict};

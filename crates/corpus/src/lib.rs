@@ -34,7 +34,9 @@ pub mod latest;
 pub mod pairs;
 pub mod software;
 pub mod survey;
+pub mod variants;
 
 pub use latest::latest_pairs;
 pub use pairs::{all_pairs, pair_by_idx, Expected, SoftwarePair};
 pub use survey::{summarize, survey_records, PocType, SurveySummary};
+pub use variants::{variant_corpus, VariantCase, VariantKind};

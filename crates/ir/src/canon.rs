@@ -1,0 +1,465 @@
+//! Canonicalization of MicroIR functions and programs.
+//!
+//! Canonical form makes two structurally equal-modulo-naming programs
+//! *identical*: blocks are reordered into an entry-first DFS preorder,
+//! labels are renamed positionally (`b0`, `b1`, …), and registers are
+//! renumbered by definition order (parameters keep their slots). The
+//! clone fingerprinter (`octo-clone`) hashes canonical instruction
+//! streams so register renaming and block reordering cannot change a
+//! fingerprint, and `octopocs lint --canonical` prints the same form for
+//! diffing hand-written variants.
+//!
+//! Canonical text is a parse fixed point: `parse(print_canonical(p))`
+//! rebuilds exactly `canonicalize_program(p)` for any parseable program.
+//! This relies on two assembler properties: blocks are pre-created in
+//! label-definition order, and registers are pre-created in
+//! definition-statement order (so a block that *uses* a register may be
+//! printed before the block defining it).
+//!
+//! Limits: blocks unreachable from the entry via static terminator edges
+//! and `baddr` references keep their relative input order at the tail of
+//! the function, so the canonical form of a function is only
+//! order-insensitive for its reachable region.
+
+use std::collections::HashMap;
+
+use crate::inst::{Inst, Terminator};
+use crate::program::{BasicBlock, Function, Program};
+use crate::types::{BlockId, Operand, Reg};
+
+/// The canonical visit order of `f`'s blocks: entry-first DFS preorder
+/// over each block's static terminator successors (syntactic order) and
+/// `baddr` targets (instruction order), with unreachable blocks appended
+/// in their original order.
+pub fn canonical_block_order(f: &Function) -> Vec<BlockId> {
+    let n = f.blocks.len();
+    let mut order: Vec<BlockId> = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut stack = vec![f.entry()];
+    while let Some(b) = stack.pop() {
+        let bi = b.0 as usize;
+        if bi >= n || seen[bi] {
+            continue;
+        }
+        seen[bi] = true;
+        order.push(b);
+        let block = &f.blocks[bi];
+        let mut succs = block.term.static_successors();
+        for inst in &block.insts {
+            if let Inst::BlockAddr { block, .. } = inst {
+                succs.push(*block);
+            }
+        }
+        // Push in reverse so the first successor is visited first.
+        for s in succs.into_iter().rev() {
+            stack.push(s);
+        }
+    }
+    for (bi, was_seen) in seen.iter().enumerate() {
+        if !was_seen {
+            order.push(BlockId(bi as u32));
+        }
+    }
+    order
+}
+
+/// Rewrites every register and block reference in `inst`.
+fn map_inst(inst: &Inst, reg: &impl Fn(Reg) -> Reg, blk: &impl Fn(BlockId) -> BlockId) -> Inst {
+    let op = |o: &Operand| match o {
+        Operand::Reg(r) => Operand::Reg(reg(*r)),
+        Operand::Imm(v) => Operand::Imm(*v),
+    };
+    match inst {
+        Inst::Const { dst, value } => Inst::Const {
+            dst: reg(*dst),
+            value: *value,
+        },
+        Inst::Move { dst, src } => Inst::Move {
+            dst: reg(*dst),
+            src: op(src),
+        },
+        Inst::Bin {
+            dst,
+            op: o,
+            lhs,
+            rhs,
+        } => Inst::Bin {
+            dst: reg(*dst),
+            op: *o,
+            lhs: op(lhs),
+            rhs: op(rhs),
+        },
+        Inst::Un { dst, op: o, src } => Inst::Un {
+            dst: reg(*dst),
+            op: *o,
+            src: op(src),
+        },
+        Inst::CheckedBin {
+            dst,
+            op: o,
+            width,
+            lhs,
+            rhs,
+        } => Inst::CheckedBin {
+            dst: reg(*dst),
+            op: *o,
+            width: *width,
+            lhs: op(lhs),
+            rhs: op(rhs),
+        },
+        Inst::Load {
+            dst,
+            addr,
+            offset,
+            width,
+        } => Inst::Load {
+            dst: reg(*dst),
+            addr: op(addr),
+            offset: *offset,
+            width: *width,
+        },
+        Inst::Store {
+            addr,
+            offset,
+            src,
+            width,
+        } => Inst::Store {
+            addr: op(addr),
+            offset: *offset,
+            src: op(src),
+            width: *width,
+        },
+        Inst::Alloc { dst, size, region } => Inst::Alloc {
+            dst: reg(*dst),
+            size: op(size),
+            region: *region,
+        },
+        Inst::Call { dst, callee, args } => Inst::Call {
+            dst: dst.map(&reg),
+            callee: *callee,
+            args: args.iter().map(op).collect(),
+        },
+        Inst::CallIndirect { dst, target, args } => Inst::CallIndirect {
+            dst: dst.map(&reg),
+            target: op(target),
+            args: args.iter().map(op).collect(),
+        },
+        Inst::FuncAddr { dst, func } => Inst::FuncAddr {
+            dst: reg(*dst),
+            func: *func,
+        },
+        Inst::BlockAddr { dst, block } => Inst::BlockAddr {
+            dst: reg(*dst),
+            block: blk(*block),
+        },
+        Inst::FileOpen { dst } => Inst::FileOpen { dst: reg(*dst) },
+        Inst::FileRead { dst, fd, buf, len } => Inst::FileRead {
+            dst: reg(*dst),
+            fd: op(fd),
+            buf: op(buf),
+            len: op(len),
+        },
+        Inst::FileGetc { dst, fd } => Inst::FileGetc {
+            dst: reg(*dst),
+            fd: op(fd),
+        },
+        Inst::FileSeek { fd, pos } => Inst::FileSeek {
+            fd: op(fd),
+            pos: op(pos),
+        },
+        Inst::FileTell { dst, fd } => Inst::FileTell {
+            dst: reg(*dst),
+            fd: op(fd),
+        },
+        Inst::FileSize { dst, fd } => Inst::FileSize {
+            dst: reg(*dst),
+            fd: op(fd),
+        },
+        Inst::MemMap { dst, fd } => Inst::MemMap {
+            dst: reg(*dst),
+            fd: op(fd),
+        },
+        Inst::Trap { code } => Inst::Trap { code: *code },
+        Inst::Nop => Inst::Nop,
+    }
+}
+
+/// Rewrites every register and block reference in `term`.
+fn map_term(
+    term: &Terminator,
+    reg: &impl Fn(Reg) -> Reg,
+    blk: &impl Fn(BlockId) -> BlockId,
+) -> Terminator {
+    let op = |o: &Operand| match o {
+        Operand::Reg(r) => Operand::Reg(reg(*r)),
+        Operand::Imm(v) => Operand::Imm(*v),
+    };
+    match term {
+        Terminator::Jmp(b) => Terminator::Jmp(blk(*b)),
+        Terminator::Br {
+            cond,
+            then_bb,
+            else_bb,
+        } => Terminator::Br {
+            cond: op(cond),
+            then_bb: blk(*then_bb),
+            else_bb: blk(*else_bb),
+        },
+        Terminator::Switch {
+            scrut,
+            cases,
+            default,
+        } => Terminator::Switch {
+            scrut: op(scrut),
+            cases: cases.iter().map(|(v, b)| (*v, blk(*b))).collect(),
+            default: blk(*default),
+        },
+        Terminator::JmpIndirect { target } => Terminator::JmpIndirect { target: op(target) },
+        Terminator::Ret(v) => Terminator::Ret(v.as_ref().map(op)),
+        Terminator::Halt { code } => Terminator::Halt { code: op(code) },
+    }
+}
+
+/// Rewrites every register reference through `reg` and every block
+/// reference through `blk`, leaving block layout, labels and `n_regs`
+/// untouched. Building block for renaming/reordering transforms (the
+/// corpus variant synthesizer) and for canonicalization itself.
+pub fn rewrite_function(
+    f: &Function,
+    reg: &impl Fn(Reg) -> Reg,
+    blk: &impl Fn(BlockId) -> BlockId,
+) -> Function {
+    Function {
+        name: f.name.clone(),
+        n_params: f.n_params,
+        n_regs: f.n_regs,
+        blocks: f
+            .blocks
+            .iter()
+            .map(|b| BasicBlock {
+                label: b.label.clone(),
+                insts: b.insts.iter().map(|i| map_inst(i, reg, blk)).collect(),
+                term: map_term(&b.term, reg, blk),
+            })
+            .collect(),
+    }
+}
+
+/// Canonicalizes one function: blocks in [`canonical_block_order`] with
+/// positional labels `b0..bN`, registers renumbered by definition order
+/// in the new layout (parameters keep slots `0..n_params`; registers
+/// that are read but never written are numbered after all defined ones,
+/// in first-use order), and every reference remapped to match.
+pub fn canonicalize_function(f: &Function) -> Function {
+    let order = canonical_block_order(f);
+
+    // Old block id -> new position.
+    let mut block_map: HashMap<u32, u32> = HashMap::with_capacity(order.len());
+    for (new, old) in order.iter().enumerate() {
+        block_map.insert(old.0, new as u32);
+    }
+
+    // Registers: parameters pinned, then definition order, then
+    // used-but-never-defined (not expressible in the text dialect, but
+    // builder-made programs may rely on the implicit-zero semantics).
+    let mut reg_map: HashMap<u16, u16> = HashMap::new();
+    let mut next: u16 = f.n_params;
+    for p in 0..f.n_params {
+        reg_map.insert(p, p);
+    }
+    let claim = |r: Reg, reg_map: &mut HashMap<u16, u16>, next: &mut u16| {
+        reg_map.entry(r.0).or_insert_with(|| {
+            let id = *next;
+            *next += 1;
+            id
+        });
+    };
+    for b in &order {
+        for inst in &f.blocks[b.0 as usize].insts {
+            if let Some(d) = inst.def() {
+                claim(d, &mut reg_map, &mut next);
+            }
+        }
+    }
+    for b in &order {
+        let block = &f.blocks[b.0 as usize];
+        for inst in &block.insts {
+            for u in inst.uses() {
+                claim(u, &mut reg_map, &mut next);
+            }
+        }
+        for u in block.term.uses() {
+            claim(u, &mut reg_map, &mut next);
+        }
+    }
+
+    let reg = |r: Reg| Reg(*reg_map.get(&r.0).unwrap_or(&r.0));
+    let blk = |b: BlockId| BlockId(*block_map.get(&b.0).unwrap_or(&b.0));
+
+    let blocks: Vec<BasicBlock> = order
+        .iter()
+        .enumerate()
+        .map(|(new, old)| {
+            let src = &f.blocks[old.0 as usize];
+            BasicBlock {
+                // The assembler pre-creates a block named `entry` at id 0,
+                // so the canonical entry label must be exactly that.
+                label: if new == 0 {
+                    "entry".to_string()
+                } else {
+                    format!("b{new}")
+                },
+                insts: src.insts.iter().map(|i| map_inst(i, &reg, &blk)).collect(),
+                term: map_term(&src.term, &reg, &blk),
+            }
+        })
+        .collect();
+
+    Function {
+        name: f.name.clone(),
+        n_params: f.n_params,
+        n_regs: next.max(f.n_params),
+        blocks,
+    }
+}
+
+/// Canonicalizes every function of `p`. Function order (and therefore
+/// every [`crate::types::FuncId`], call edge and the entry designation)
+/// is preserved — canonicalization is purely intra-function.
+pub fn canonicalize_program(p: &Program) -> Program {
+    let funcs: Vec<Function> = p.iter().map(|(_, f)| canonicalize_function(f)).collect();
+    let entry_name = p.func(p.entry()).name.clone();
+    Program::from_functions(funcs, &entry_name).expect("canonicalization preserves program shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_program;
+    use crate::printer::print_program_canonical;
+
+    const SAMPLE: &str = r#"
+func helper(x) {
+entry:
+    y = add x, 1
+    ret y
+}
+
+func main() {
+entry:
+    c = 1
+    br c, yes, no
+no:
+    k = 2
+    jmp merge
+yes:
+    v = call helper(c)
+    jmp merge
+merge:
+    r = add c, 1
+    ret r
+}
+"#;
+
+    #[test]
+    fn canonical_form_is_idempotent() {
+        let p = parse_program(SAMPLE).unwrap();
+        let once = canonicalize_program(&p);
+        let twice = canonicalize_program(&once);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn dfs_order_follows_branch_syntax() {
+        let p = parse_program(SAMPLE).unwrap();
+        let f = p.func(p.func_by_name("main").unwrap());
+        // Source order: entry, no, yes, merge. DFS follows `br c, yes, no`:
+        // entry, yes, merge, no.
+        let order = canonical_block_order(f);
+        let labels: Vec<&str> = order
+            .iter()
+            .map(|b| f.blocks[b.0 as usize].label.as_str())
+            .collect();
+        assert_eq!(labels, vec!["entry", "yes", "merge", "no"]);
+    }
+
+    #[test]
+    fn canonical_print_parses_back_to_canonical_form() {
+        let p = parse_program(SAMPLE).unwrap();
+        let canon = canonicalize_program(&p);
+        let text = print_program_canonical(&p);
+        let reparsed = parse_program(&text).unwrap();
+        assert_eq!(reparsed, canon);
+        // And canonical text is itself a fixed point.
+        assert_eq!(print_program_canonical(&reparsed), text);
+    }
+
+    #[test]
+    fn renamed_and_reordered_source_has_identical_canonical_text() {
+        // Same CFG as `main` above with blocks permuted and registers
+        // renamed; only reachable-region layout and names differ.
+        let variant = r#"
+func helper(q) {
+entry:
+    w = add q, 1
+    ret w
+}
+
+func main() {
+entry:
+    cond = 1
+    br cond, t_yes, t_no
+t_yes:
+    got = call helper(cond)
+    jmp t_merge
+t_merge:
+    out = add cond, 1
+    ret out
+t_no:
+    kk = 2
+    jmp t_merge
+}
+"#;
+        let a = parse_program(SAMPLE).unwrap();
+        let b = parse_program(variant).unwrap();
+        assert_eq!(print_program_canonical(&a), print_program_canonical(&b));
+    }
+
+    #[test]
+    fn used_but_never_defined_registers_get_trailing_ids() {
+        use crate::builder::{FunctionBuilder, ProgramBuilder};
+        use crate::inst::{Inst, Terminator};
+        use crate::types::{BinOp, Operand, Reg};
+
+        let mut fb = FunctionBuilder::new("main", 0);
+        let b0 = fb.block("entry");
+        fb.select(b0);
+        let x = fb.fresh(); // r0, defined
+        let ghost = fb.fresh(); // r1, never defined (implicit zero)
+        fb.emit(Inst::Bin {
+            dst: x,
+            op: BinOp::Add,
+            lhs: Operand::Reg(ghost),
+            rhs: Operand::Imm(1),
+        });
+        fb.terminate(Terminator::Ret(Some(Operand::Reg(x))));
+        let f = fb.finish().unwrap();
+        let mut pb = ProgramBuilder::new();
+        let id = pb.declare("main");
+        pb.define(id, f).unwrap();
+        let p = pb.build("main").unwrap();
+
+        let canon = canonicalize_program(&p);
+        let cf = canon.func(canon.func_by_name("main").unwrap());
+        // The defined register keeps the first slot; the ghost trails.
+        assert_eq!(
+            cf.blocks[0].insts[0],
+            Inst::Bin {
+                dst: Reg(0),
+                op: BinOp::Add,
+                lhs: Operand::Reg(Reg(1)),
+                rhs: Operand::Imm(1),
+            }
+        );
+    }
+}

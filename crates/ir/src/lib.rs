@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod canon;
 pub mod inst;
 pub mod parse;
 pub mod printer;
@@ -50,6 +51,9 @@ pub mod stats;
 pub mod types;
 pub mod validate;
 
+pub use canon::{
+    canonical_block_order, canonicalize_function, canonicalize_program, rewrite_function,
+};
 pub use inst::{Inst, Terminator};
 pub use program::{BasicBlock, Function, Program};
 pub use stats::ProgramStats;

@@ -349,6 +349,14 @@ impl<'a> Parser<'a> {
             {
                 ctx.fb.block(toks[0].text());
             }
+            // Pre-create registers in definition order, mirroring the block
+            // pre-pass: a use may then textually precede its definition (the
+            // canonical printer reorders blocks), while names with no
+            // definition anywhere still fail in `reg_use`.
+            if toks.len() >= 2 && matches!(toks[0], Token::Ident(_)) && toks[1] == Token::Punct('=')
+            {
+                ctx.reg_def(toks[0].text());
+            }
         }
         for (line_no, toks) in body {
             // Label line: `ident :`
@@ -991,6 +999,23 @@ entry:
         let e = parse_program("func main() {\nentry:\n x = add ghost, 1\n ret x\n}\n").unwrap_err();
         assert!(e.msg.contains("undefined register"), "{e}");
         assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn use_before_textual_definition_is_allowed() {
+        // The canonical printer may order a using block before the defining
+        // one; the register pre-pass makes that parseable. `x` is defined in
+        // `late`, used in `early` which appears first.
+        let src = "func main() {\n\
+                   entry:\n c = 1\n br c, early, late\n\
+                   early:\n y = add x, 1\n ret y\n\
+                   late:\n x = 7\n ret x\n}\n";
+        let p = parse_program(src).unwrap();
+        let f = p.func(p.entry());
+        // Ids follow definition-statement order: `c` (r0), `y` (r1), `x` (r2).
+        assert_eq!(f.blocks[1].insts[0].def(), Some(Reg(1)));
+        assert_eq!(f.blocks[1].insts[0].uses(), vec![Reg(2)]);
+        assert_eq!(f.blocks[2].insts[0].def(), Some(Reg(2)));
     }
 
     #[test]

@@ -20,6 +20,28 @@ pub fn print_program(p: &Program) -> String {
     out
 }
 
+/// Renders the whole program in canonical form: every function is passed
+/// through [`crate::canon::canonicalize_function`] first, so block order,
+/// labels and register numbers are normalized. The output is a parse
+/// fixed point: `parse(print_program_canonical(p))` equals
+/// `canonicalize_program(p)`.
+pub fn print_program_canonical(p: &Program) -> String {
+    let mut out = String::new();
+    for (_, f) in p.iter() {
+        print_function_canonical(f, p, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one function in canonical form, appending to `out`. `p` is
+/// only consulted for callee names (function ids are preserved by
+/// canonicalization).
+pub fn print_function_canonical(f: &Function, p: &Program, out: &mut String) {
+    let canon = crate::canon::canonicalize_function(f);
+    print_function(&canon, p, out);
+}
+
 /// Renders one function in assembler syntax, appending to `out`.
 pub fn print_function(f: &Function, p: &Program, out: &mut String) {
     let params: Vec<String> = (0..f.n_params).map(|i| format!("r{i}")).collect();

@@ -1,8 +1,9 @@
 //! Property tests: printer/parser round-trips over random programs.
 
 use octo_ir::builder::{FunctionBuilder, ProgramBuilder};
+use octo_ir::canonicalize_program;
 use octo_ir::parse::parse_program;
-use octo_ir::printer::print_program;
+use octo_ir::printer::{print_program, print_program_canonical};
 use octo_ir::{BinOp, Operand, Program, RegionKind, Terminator, UnOp, Width};
 use proptest::prelude::*;
 
@@ -138,5 +139,25 @@ proptest! {
         // parser default.
         let text2 = print_program(&p2);
         prop_assert_eq!(&text1, &text2, "print/parse not a fixed point");
+    }
+
+    /// `parse(print_canonical(p)) == canonicalize(p)`: the canonical
+    /// printer is a parse fixed point onto the canonical form, and the
+    /// canonical form is idempotent.
+    #[test]
+    fn canonical_print_parse_round_trips(
+        blocks in prop::collection::vec(prop::collection::vec(arb_inst(), 0..6), 1..5),
+        branchy in prop::collection::vec(any::<bool>(), 0..5),
+    ) {
+        let p = build_program(blocks, branchy);
+        let canon = canonicalize_program(&p);
+        prop_assert_eq!(&canon, &canonicalize_program(&canon), "canonicalize not idempotent");
+        let text = print_program_canonical(&p);
+        let reparsed = parse_program(&text).expect("canonical text parses");
+        prop_assert_eq!(&reparsed, &canon, "parse(print_canonical(p)) != canonicalize(p)");
+        prop_assert_eq!(
+            print_program_canonical(&reparsed), text,
+            "canonical text not a fixed point"
+        );
     }
 }

@@ -101,6 +101,24 @@ pub struct CallGraph {
     /// Per function: whether its address is materialised (`faddr`)
     /// anywhere in the program.
     pub addr_taken: Vec<bool>,
+    /// Every `icall` site whose target did not resolve statically, in
+    /// (caller, block) order. These are the sites that force
+    /// [`CallGraph::unknown_icall`] — kept individually so lints can
+    /// point at them instead of silently widening the graph.
+    pub unresolved_icall_sites: Vec<(FuncId, BlockId)>,
+}
+
+/// How a function is reached from a root, distinguishing edges the
+/// static graph proves from edges it merely cannot rule out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReachKind {
+    /// Not reachable even with every unknown indirect call widened.
+    No,
+    /// Reachable through direct calls and exactly-resolved `icall`s only.
+    Direct,
+    /// Reachable only if some unknown indirect call hits it — the
+    /// over-approximation, not a proven path.
+    OverApprox,
 }
 
 impl CallGraph {
@@ -129,6 +147,36 @@ impl CallGraph {
         }
         seen
     }
+
+    /// Like [`CallGraph::reachable_from`], but classifies every function
+    /// as [`ReachKind::Direct`] (reachable over proven edges alone),
+    /// [`ReachKind::OverApprox`] (reachable only via the unknown-icall
+    /// widening) or [`ReachKind::No`].
+    pub fn reach_kinds_from(&self, from: FuncId) -> Vec<ReachKind> {
+        let n = self.direct.len();
+        // Pass 1: proven edges only.
+        let mut direct = vec![false; n];
+        let mut stack = vec![from.0 as usize];
+        direct[from.0 as usize] = true;
+        while let Some(f) = stack.pop() {
+            for c in self.direct[f].iter().chain(self.resolved_icalls[f].iter()) {
+                let c = c.0 as usize;
+                if !direct[c] {
+                    direct[c] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        // Pass 2: the full over-approximation.
+        let wide = self.reachable_from(from);
+        (0..n)
+            .map(|f| match (direct[f], wide[f]) {
+                (true, _) => ReachKind::Direct,
+                (false, true) => ReachKind::OverApprox,
+                (false, false) => ReachKind::No,
+            })
+            .collect()
+    }
 }
 
 /// Builds the call graph of `program`.
@@ -138,6 +186,7 @@ pub fn build_call_graph(program: &Program) -> CallGraph {
     let mut resolved_icalls: Vec<Vec<FuncId>> = vec![Vec::new(); n];
     let mut unknown_icall = vec![false; n];
     let mut addr_taken = vec![false; n];
+    let mut unresolved_icall_sites: Vec<(FuncId, BlockId)> = Vec::new();
 
     for (_, f) in program.iter() {
         for b in &f.blocks {
@@ -151,16 +200,21 @@ pub fn build_call_graph(program: &Program) -> CallGraph {
 
     for (fid, func) in program.iter() {
         let cfg = lenient_func_cfg(func);
-        let facts_sound = cfg.unresolved_indirect.is_empty();
+        // Any indirect jump — even one with address-taken candidates —
+        // means the recovered CFG may miss edges: a computed block
+        // address can land on a block `baddr` never named. Edge
+        // collection must then scan every block, and the dataflow facts
+        // (solved over the possibly-incomplete graph) cannot be trusted.
+        let has_ijmp = func.blocks.iter().any(|b| b.term.is_indirect());
         let reach = reachable_blocks(&cfg);
         let fi = fid.0 as usize;
-        let states = facts_sound.then(|| constprop::analyze(func, fid, &cfg).0);
+        let states = (!has_ijmp).then(|| constprop::analyze(func, fid, &cfg).0);
 
         for (bi, block) in func.blocks.iter().enumerate() {
             // In a soundly-recovered function, unreachable blocks never
-            // execute and contribute no edges. With an unresolved ijmp the
+            // execute and contribute no edges. With any indirect jump the
             // recovered graph may miss edges, so every block might run.
-            if facts_sound && !reach[bi] {
+            if !has_ijmp && !reach[bi] {
                 continue;
             }
             let mut regs = match &states {
@@ -191,7 +245,13 @@ pub fn build_call_graph(program: &Program) -> CallGraph {
                                     resolved_icalls[fi].push(callee);
                                 }
                             }
-                            _ => unknown_icall[fi] = true,
+                            _ => {
+                                unknown_icall[fi] = true;
+                                let site = (fid, BlockId(bi as u32));
+                                if !unresolved_icall_sites.contains(&site) {
+                                    unresolved_icall_sites.push(site);
+                                }
+                            }
                         }
                     }
                     _ => {}
@@ -206,6 +266,7 @@ pub fn build_call_graph(program: &Program) -> CallGraph {
         resolved_icalls,
         unknown_icall,
         addr_taken,
+        unresolved_icall_sites,
     }
 }
 
@@ -253,13 +314,15 @@ pub fn prescreen_ep(
             continue;
         }
         let cfg = lenient_func_cfg(func);
-        let facts_sound = cfg.unresolved_indirect.is_empty();
+        // Mirror build_call_graph: any ijmp may hide CFG edges, making
+        // both block reachability and the dataflow facts untrustworthy.
+        let has_ijmp = func.blocks.iter().any(|b| b.term.is_indirect());
         let block_reach = reachable_blocks(&cfg);
-        let states = facts_sound.then(|| constprop::analyze(func, fid, &cfg).0);
+        let states = (!has_ijmp).then(|| constprop::analyze(func, fid, &cfg).0);
         for (bi, block) in func.blocks.iter().enumerate() {
             // Sites in provably dead blocks still count (harmless: they
             // only weaken the screen), but their register facts do not.
-            let facts_ok = facts_sound && block_reach[bi];
+            let facts_ok = !has_ijmp && block_reach[bi];
             let mut regs = match (&states, facts_ok) {
                 (Some(s), true) => s.input[bi].clone(),
                 _ => vec![CVal::Nac; func.n_regs as usize],
@@ -382,6 +445,58 @@ mod tests {
         let ep = p.func_by_name("ep").unwrap();
         // Reachable through the unknown icall, and no argument verdict.
         assert_eq!(prescreen_ep(&p, ep, &[vec![2]]), None);
+    }
+
+    #[test]
+    fn computed_block_address_does_not_drop_call_edges() {
+        // `t2 = t + 1` lands on block `b`, which `baddr` never names: the
+        // lenient CFG thinks `b` is dead, yet it runs and calls `helper`.
+        // A sound call graph must keep that edge (and the pre-screen must
+        // not declare helper unreachable).
+        let p = parse_program(
+            "func main() {\nentry:\n t = baddr a\n t2 = add t, 1\n ijmp t2\n\
+             a:\n halt 0\n\
+             b:\n call helper()\n halt 1\n}\n\
+             func helper() {\nentry:\n ret\n}\n",
+        )
+        .unwrap();
+        let cg = build_call_graph(&p);
+        let helper = p.func_by_name("helper").unwrap();
+        let reach = cg.reachable_from(p.entry());
+        assert!(
+            reach[helper.0 as usize],
+            "call edge in a lenient-unreachable block was dropped"
+        );
+        assert_eq!(prescreen_ep(&p, helper, &[]), None);
+    }
+
+    #[test]
+    fn unresolved_icall_sites_are_recorded() {
+        let p = parse_program(
+            "func main() {\nentry:\n fd = open\n v = getc fd\n r = icall v(1)\n halt 0\n}\n\
+             func ep(x) {\nentry:\n ret x\n}\n",
+        )
+        .unwrap();
+        let cg = build_call_graph(&p);
+        assert_eq!(cg.unresolved_icall_sites, vec![(p.entry(), BlockId(0))]);
+    }
+
+    #[test]
+    fn reach_kinds_distinguish_proven_from_widened() {
+        let p = parse_program(
+            "func main() {\nentry:\n fd = open\n v = getc fd\n r = icall v(1)\n \
+             call sub()\n halt 0\n}\n\
+             func sub() {\nentry:\n ret\n}\n\
+             func maybe(x) {\nentry:\n ret x\n}\n",
+        )
+        .unwrap();
+        let cg = build_call_graph(&p);
+        let kinds = cg.reach_kinds_from(p.entry());
+        let sub = p.func_by_name("sub").unwrap();
+        let maybe = p.func_by_name("maybe").unwrap();
+        assert_eq!(kinds[p.entry().0 as usize], ReachKind::Direct);
+        assert_eq!(kinds[sub.0 as usize], ReachKind::Direct);
+        assert_eq!(kinds[maybe.0 as usize], ReachKind::OverApprox);
     }
 
     #[test]

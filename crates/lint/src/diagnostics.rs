@@ -45,6 +45,9 @@ pub enum Rule {
     Cst003,
     /// Indirect jump with no static resolution (missing CFG edges).
     Cfg001,
+    /// Indirect call with no static resolution: the call graph
+    /// conservatively lets it reach every function.
+    Cfg002,
 }
 
 impl Rule {
@@ -60,6 +63,7 @@ impl Rule {
             Rule::Cst002 => "CST002",
             Rule::Cst003 => "CST003",
             Rule::Cfg001 => "CFG001",
+            Rule::Cfg002 => "CFG002",
         }
     }
 
@@ -67,9 +71,12 @@ impl Rule {
     pub fn severity(self) -> Severity {
         match self {
             Rule::Val001 => Severity::Error,
-            Rule::Ubd001 | Rule::Ubd002 | Rule::Dead001 | Rule::Dead002 | Rule::Cfg001 => {
-                Severity::Warning
-            }
+            Rule::Ubd001
+            | Rule::Ubd002
+            | Rule::Dead001
+            | Rule::Dead002
+            | Rule::Cfg001
+            | Rule::Cfg002 => Severity::Warning,
             Rule::Cst001 | Rule::Cst002 | Rule::Cst003 => Severity::Info,
         }
     }
@@ -129,6 +136,8 @@ pub struct LintSummary {
     pub resolved_icalls: usize,
     /// Unresolved indirect jumps (CFG001 count).
     pub unresolved_ijmps: usize,
+    /// Unresolved indirect calls (CFG002 count).
+    pub unresolved_icalls: usize,
     /// Use-before-def reads (UBD001 + UBD002 count).
     pub use_before_def: usize,
 }
@@ -212,7 +221,7 @@ impl LintReport {
         out.push_str(&format!(
             "],\"summary\":{{\"functions\":{},\"unreachable_blocks\":{},\"dead_stores\":{},\
              \"const_branches\":{},\"resolved_ijmps\":{},\"resolved_icalls\":{},\
-             \"unresolved_ijmps\":{},\"use_before_def\":{}}}}}",
+             \"unresolved_ijmps\":{},\"unresolved_icalls\":{},\"use_before_def\":{}}}}}",
             s.functions,
             s.unreachable_blocks,
             s.dead_stores,
@@ -220,6 +229,7 @@ impl LintReport {
             s.resolved_ijmps,
             s.resolved_icalls,
             s.unresolved_ijmps,
+            s.unresolved_icalls,
             s.use_before_def,
         ));
         out

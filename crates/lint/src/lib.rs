@@ -31,7 +31,9 @@ pub mod reaching;
 use octo_cfg::CfgHints;
 use octo_ir::{Inst, Program};
 
-pub use callgraph::{build_call_graph, lenient_func_cfg, prescreen_ep, CallGraph, Prescreen};
+pub use callgraph::{
+    build_call_graph, lenient_func_cfg, prescreen_ep, CallGraph, Prescreen, ReachKind,
+};
 pub use constprop::{CVal, Provenance, ResolvedFlow};
 pub use dataflow::{reachable_blocks, solve, Analysis, BlockStates, Direction};
 pub use deadcode::{prune_program, PruneStats};
@@ -105,6 +107,32 @@ pub fn lint_program(program: &Program) -> LintReport {
                 Some(&label(*b)),
                 format!("indirect call resolves to `{}`", program.func(*callee).name),
             ));
+        }
+        // Indirect calls constant propagation could not resolve widen the
+        // call graph to every function — surface each site (CFG002)
+        // instead of letting the edge set degrade silently.
+        for (bi, block) in func.blocks.iter().enumerate() {
+            let b = octo_ir::BlockId(bi as u32);
+            let icalls = block
+                .insts
+                .iter()
+                .filter(|i| matches!(i, Inst::CallIndirect { .. }))
+                .count();
+            let resolved = flow
+                .resolved_icalls
+                .iter()
+                .filter(|(bb, _)| *bb == b)
+                .count();
+            for _ in resolved..icalls {
+                report.summary.unresolved_icalls += 1;
+                report.diags.push(diag(
+                    Rule::Cfg002,
+                    Some(&label(b)),
+                    "indirect call with no statically resolved callee; the \
+                     call graph conservatively reaches every function"
+                        .to_string(),
+                ));
+            }
         }
 
         for finding in reaching::use_before_def(func, &cfg) {
@@ -240,6 +268,27 @@ mod tests {
         let go = f.block_by_label("go").unwrap();
         let tgt = f.block_by_label("tgt").unwrap();
         assert_eq!(cfg.func(p.entry()).succs[go.0 as usize], vec![tgt]);
+    }
+
+    #[test]
+    fn unresolved_icall_fires_cfg002() {
+        let p = parse_program(
+            "func main() {\nentry:\n fd = open\n v = getc fd\n r = icall v(1)\n halt 0\n}\n\
+             func ep(x) {\nentry:\n ret x\n}\n",
+        )
+        .unwrap();
+        let report = lint_program(&p);
+        let rules: Vec<&str> = report.diags.iter().map(|d| d.rule.id()).collect();
+        assert!(rules.contains(&"CFG002"), "{rules:?}");
+        assert_eq!(report.summary.unresolved_icalls, 1);
+        // A resolved icall stays CST003-only.
+        let q = parse_program(
+            "func main() {\nentry:\n g = faddr ep\n r = icall g(1)\n halt 0\n}\n\
+             func ep(x) {\nentry:\n ret x\n}\n",
+        )
+        .unwrap();
+        let qr = lint_program(&q);
+        assert_eq!(qr.summary.unresolved_icalls, 0, "{}", qr.render_human());
     }
 
     #[test]

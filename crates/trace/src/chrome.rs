@@ -36,6 +36,8 @@ pub const KNOWN_EVENT_NAMES: &[&str] = &[
     "retry_scheduled",
     "job_quarantined",
     "watchdog_fired",
+    "candidate_scored",
+    "scan_expanded",
 ];
 
 /// Renders `events` (any order; re-sorted by sequence number) as a

@@ -181,6 +181,20 @@ pub enum TraceKind {
         /// Heartbeats the job had recorded when escalation fired.
         beats: u64,
     },
+    /// Clone retrieval scored a (source function, target function)
+    /// candidate at or above threshold.
+    CandidateScored {
+        /// Combined score in centi-units (`score * 100`, rounded).
+        score_centi: u32,
+    },
+    /// A one-to-many scan expanded an (S, targets…) request into batch
+    /// jobs with discovered shared sets.
+    ScanExpanded {
+        /// Candidates retained across all targets.
+        candidates: u32,
+        /// Batch jobs emitted.
+        jobs: u32,
+    },
 }
 
 impl TraceKind {
@@ -205,6 +219,8 @@ impl TraceKind {
             TraceKind::RetryScheduled { .. } => "retry_scheduled",
             TraceKind::JobQuarantined { .. } => "job_quarantined",
             TraceKind::WatchdogFired { .. } => "watchdog_fired",
+            TraceKind::CandidateScored { .. } => "candidate_scored",
+            TraceKind::ScanExpanded { .. } => "scan_expanded",
         }
     }
 
@@ -266,6 +282,12 @@ impl TraceKind {
             } => format!("\"attempt\":{attempt},\"backoff_micros\":{backoff_micros}"),
             TraceKind::JobQuarantined { attempts } => format!("\"attempts\":{attempts}"),
             TraceKind::WatchdogFired { beats } => format!("\"beats\":{beats}"),
+            TraceKind::CandidateScored { score_centi } => {
+                format!("\"score_centi\":{score_centi}")
+            }
+            TraceKind::ScanExpanded { candidates, jobs } => {
+                format!("\"candidates\":{candidates},\"jobs\":{jobs}")
+            }
         }
     }
 }
