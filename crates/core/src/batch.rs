@@ -90,6 +90,15 @@ pub struct BatchOptions {
     /// before the global deadline, yielding
     /// [`crate::verdict::FailureReason::Hung`].
     pub watchdog: Option<WatchdogConfig>,
+    /// Run-level drain token. When set, every attempt's per-job token is
+    /// derived from it via [`CancelToken::child`], so firing this one
+    /// token (Ctrl-C, a service `drain`/`shutdown` request) winds down
+    /// every in-flight job cooperatively. Jobs cut short this way come
+    /// back as [`crate::verdict::FailureReason::Cancelled`] — never
+    /// retried, never quarantined — and jobs not yet started are skipped
+    /// outright. `None` (the default) keeps batches un-drainable, the
+    /// pre-existing behavior.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for BatchOptions {
@@ -103,6 +112,7 @@ impl Default for BatchOptions {
             retry: RetryPolicy::default(),
             faults: None,
             watchdog: None,
+            cancel: None,
         }
     }
 }
@@ -493,6 +503,15 @@ impl BatchMetrics {
         reg.counter("clone_pairs_compared_total");
         reg.counter("clone_scan_jobs_total");
         reg.histogram("clone_score_centi", &SCORE_CENTI_BUCKETS);
+        // Service-queue metrics are recorded by the octopocsd daemon
+        // (octo-serve) against this same registry; eagerly registered for
+        // the same reason — one pinned schema whether the registry backs
+        // a one-shot batch or a long-running service.
+        reg.counter("serve_admissions_total");
+        reg.counter("serve_rejections_total");
+        reg.counter("serve_replays_total");
+        reg.gauge("serve_queue_depth");
+        reg.histogram("serve_queue_wait_micros", &MICROS_BUCKETS);
         BatchMetrics {
             jobs_total: reg.counter("batch_jobs_total"),
             verdict_type_i: reg.counter("batch_verdict_type_i_total"),
@@ -589,16 +608,309 @@ impl BatchMetrics {
         }
     }
 
-    /// Records run-level cache and scheduler statistics (once, after all
-    /// workers have joined).
-    fn record_run(&self, cache: &CacheStats, sched: &SchedStats) {
-        self.cache_hits.add(cache.hits);
-        self.cache_misses.add(cache.misses);
-        self.cache_entries.set(cache.entries);
-        self.cache_bytes.set(cache.bytes);
+    /// Records run-level scheduler statistics (once per [`run_batch`],
+    /// after all workers have joined).
+    fn record_sched(&self, sched: &SchedStats) {
         self.sched_workers.set(sched.workers as u64);
         self.sched_steals.add(sched.steals);
         self.sched_jobs_stolen.add(sched.jobs_stolen);
+    }
+}
+
+/// Adds `current - synced` to `counter` and advances the high-water mark,
+/// so a monotonically growing source statistic (cache hits, watchdog
+/// firings) can be re-synced into a counter any number of times without
+/// double-billing. Safe under concurrent callers: `fetch_max` hands the
+/// delta to exactly one of them.
+fn sync_counter(counter: &Counter, synced: &std::sync::atomic::AtomicU64, current: u64) {
+    let prev = synced.fetch_max(current, std::sync::atomic::Ordering::AcqRel);
+    if current > prev {
+        counter.add(current - prev);
+    }
+}
+
+/// The long-lived execution substrate a batch (or a service) runs jobs
+/// on: one artifact cache, one metrics registry, one event clock, one
+/// optional watchdog — everything per-*run* that [`run_batch`] used to
+/// hold in locals, extracted so a daemon can keep it warm across many
+/// submissions. [`BatchRuntime::run_job`] is the whole per-job story
+/// (trace/fault guards, retry-then-quarantine, cancellation, events,
+/// metrics); [`run_batch`] is now a thin scheduler loop over it and the
+/// `octopocsd` service calls it one job at a time.
+pub struct BatchRuntime {
+    cache: ArtifactCache<Result<PreparedSource, PrepareFailure>>,
+    metrics: MetricsRegistry,
+    recorder: BatchMetrics,
+    clock: EventClock,
+    watchdog: Option<Watchdog>,
+    options: BatchOptions,
+    config: PipelineConfig,
+    synced_cache_hits: std::sync::atomic::AtomicU64,
+    synced_cache_misses: std::sync::atomic::AtomicU64,
+    synced_watchdog_fired: std::sync::atomic::AtomicU64,
+}
+
+impl std::fmt::Debug for BatchRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchRuntime")
+            .field("workers", &self.options.workers)
+            .field("cache", &self.cache.stats())
+            .finish()
+    }
+}
+
+impl BatchRuntime {
+    /// Builds the runtime: registers the full metric schema, spawns the
+    /// watchdog (when configured), starts the event clock.
+    pub fn new(config: &PipelineConfig, options: &BatchOptions) -> BatchRuntime {
+        let metrics = MetricsRegistry::new();
+        let recorder = BatchMetrics::register(&metrics);
+        BatchRuntime {
+            cache: ArtifactCache::new(),
+            recorder,
+            metrics,
+            clock: EventClock::new(options.workers),
+            watchdog: options.watchdog.map(Watchdog::spawn),
+            options: options.clone(),
+            config: config.clone(),
+            synced_cache_hits: std::sync::atomic::AtomicU64::new(0),
+            synced_cache_misses: std::sync::atomic::AtomicU64::new(0),
+            synced_watchdog_fired: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The runtime's metrics registry (call
+    /// [`BatchRuntime::refresh_metrics`] first for up-to-date cache and
+    /// watchdog figures).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The pipeline configuration every job runs under.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Current artifact-cache statistics.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Whether the run-level drain token has fired.
+    pub fn drained(&self) -> bool {
+        self.options
+            .cancel
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Re-syncs the registry's cache and watchdog metrics from their
+    /// live sources. Idempotent and safe to call concurrently (deltas
+    /// are high-water-marked, never double-billed); a service calls this
+    /// on every metrics request, [`run_batch`] once at the end.
+    pub fn refresh_metrics(&self) {
+        let stats = self.cache.stats();
+        sync_counter(
+            &self.recorder.cache_hits,
+            &self.synced_cache_hits,
+            stats.hits,
+        );
+        sync_counter(
+            &self.recorder.cache_misses,
+            &self.synced_cache_misses,
+            stats.misses,
+        );
+        self.recorder.cache_entries.set(stats.entries);
+        self.recorder.cache_bytes.set(stats.bytes);
+        if let Some(dog) = &self.watchdog {
+            sync_counter(
+                &self.recorder.watchdog_fired,
+                &self.synced_watchdog_fired,
+                dog.fired(),
+            );
+        }
+    }
+
+    /// A fresh cancel token for one attempt — derived from the run-level
+    /// drain token when one is set, carrying the per-job deadline when
+    /// one is configured, `None` when nothing could ever fire it and the
+    /// watchdog does not need a channel.
+    fn attempt_token(&self) -> Option<CancelToken> {
+        match (&self.options.cancel, self.options.deadline) {
+            (Some(run), Some(d)) => Some(run.child_with_deadline(d)),
+            (Some(run), None) => Some(run.child()),
+            (None, Some(d)) => Some(CancelToken::with_deadline(d)),
+            (None, None) => self.watchdog.as_ref().map(|_| CancelToken::new()),
+        }
+    }
+
+    /// Runs one job to a finished [`BatchEntry`]: queue-latency
+    /// accounting, trace and fault guards, the retry-then-quarantine
+    /// attempt loop inside a panic envelope, lifecycle events into
+    /// `sink`, and per-job metrics. `index` tags the job everywhere (the
+    /// event stream, the trace ring, the fault context); `queued_at` is
+    /// when the job was submitted (queue latency is measured from it).
+    ///
+    /// When the run-level drain token has fired, a job not yet started
+    /// is skipped outright and an in-flight attempt that dies
+    /// transiently is reported as
+    /// [`crate::verdict::FailureReason::Cancelled`] instead of burning
+    /// retries — but an attempt that *completes* during a drain keeps
+    /// its real verdict.
+    pub fn run_job(
+        &self,
+        index: usize,
+        worker: usize,
+        job: &BatchJob,
+        queued_at: Instant,
+        sink: &dyn EventSink,
+    ) -> BatchEntry {
+        let options = &self.options;
+        let recorder = &self.recorder;
+        // Queue latency: how long the job sat submitted-but-unclaimed.
+        recorder
+            .job_queue_latency
+            .observe(micros(queued_at.elapsed().as_secs_f64()));
+        let job_start = Instant::now();
+        // Route this job's engine-level trace events (solver entries,
+        // state deaths, bunch assertions, …) into the shared ring,
+        // tagged with the submission index and worker lane.
+        let _trace = options
+            .trace
+            .as_ref()
+            .map(|rec| octo_trace::install(rec, index as u32, worker as u32));
+        // One fault context per *job*, shared across attempts: occurrence
+        // counters persist, so an Nth(1) rule fires on attempt 1 and the
+        // retry runs clean (that is how a retry rescues an injected
+        // fault), and the whole schedule replays byte-for-byte from
+        // (seed, submission index) regardless of worker count.
+        let faults_ctx = options
+            .faults
+            .as_ref()
+            .map(|plan| Arc::new(JobFaults::new(plan, index as u32)));
+        let _faults = faults_ctx.as_ref().map(octo_faults::install);
+        sink.emit(Event::new(
+            self.clock.stamp(worker),
+            worker,
+            EventKind::JobStarted {
+                job: index,
+                name: job.name.clone(),
+            },
+        ));
+        let input = SoftwarePairInput {
+            s: &job.s,
+            t: &job.t,
+            poc: &job.poc,
+            shared: &job.shared,
+        };
+        let spans = SinkSpans {
+            sink,
+            clock: &self.clock,
+            job: index,
+            worker,
+        };
+        let max_attempts = options.retry.max_attempts.max(1);
+        let mut attempt = 1u32;
+        let (report, cache_hit, key, quarantined) = if self.drained() {
+            // Drained before this job ever started: skip the engines
+            // entirely and synthesize the incomplete verdict.
+            (VerificationReport::from_cancelled(), false, 0, false)
+        } else {
+            loop {
+                // A fresh token per attempt: a previous attempt's
+                // cancelled (or escalated) token must not pre-cancel the
+                // retry. The watchdog watches each attempt independently.
+                let token = self.attempt_token();
+                let _watch = match (self.watchdog.as_ref(), token.as_ref()) {
+                    (Some(dog), Some(t)) => Some(dog.watch(t)),
+                    _ => None,
+                };
+                // The inner panic envelope. Catching here (rather than
+                // relying on the scheduler's own envelope) keeps the trace
+                // and fault guards installed while the degraded report is
+                // synthesized — the post-mortem tail captures the events
+                // leading up to the panic — and lets the retry loop treat a
+                // panic like any other transient failure.
+                let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    verify_with_cache(&self.cache, &input, &self.config, token.as_ref(), &spans)
+                }));
+                let (mut report, cache_hit, key) = match caught {
+                    Ok(r) => r,
+                    Err(payload) => {
+                        recorder.panics.inc();
+                        let panic = octo_sched::JobPanic::from_payload(payload.as_ref());
+                        (VerificationReport::from_panic(panic.message), false, 0)
+                    }
+                };
+                report.attempts = attempt;
+                let transient = matches!(
+                    &report.verdict,
+                    crate::verdict::Verdict::Failure { reason } if reason.is_transient()
+                );
+                if transient && self.drained() {
+                    // The attempt most likely died *because* the drain
+                    // fired its parent token (the engine reports that as
+                    // a deadline or hang): report the job as incomplete,
+                    // no retry, no quarantine.
+                    let mut cancelled = VerificationReport::from_cancelled();
+                    cancelled.attempts = attempt;
+                    break (cancelled, cache_hit, key, false);
+                }
+                if transient && attempt < max_attempts {
+                    let backoff = options.retry.backoff_for(index as u32, attempt);
+                    octo_trace::emit(TraceKind::RetryScheduled {
+                        attempt,
+                        backoff_micros: backoff.as_micros() as u64,
+                    });
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    attempt += 1;
+                    continue;
+                }
+                if transient {
+                    octo_trace::emit(TraceKind::JobQuarantined { attempts: attempt });
+                }
+                break (report, cache_hit, key, transient);
+            }
+        };
+        let mut report = report;
+        if matches!(
+            &report.verdict,
+            crate::verdict::Verdict::Failure {
+                reason: crate::verdict::FailureReason::Cancelled
+            }
+        ) {
+            report.wall_seconds = job_start.elapsed().as_secs_f64();
+        }
+        if let Some(ctx) = &faults_ctx {
+            recorder.faults_injected.add(ctx.fired());
+        }
+        if cache_hit {
+            sink.emit(Event::new(
+                self.clock.stamp(worker),
+                worker,
+                EventKind::CacheHit { job: index, key },
+            ));
+        }
+        sink.emit(Event::new(
+            self.clock.stamp(worker),
+            worker,
+            EventKind::JobFinished {
+                job: index,
+                outcome: report.verdict.type_label().to_string(),
+                seconds: job_start.elapsed().as_secs_f64(),
+            },
+        ));
+        let entry = BatchEntry {
+            name: job.name.clone(),
+            urgency: Urgency::of(&report.verdict),
+            cache_hit,
+            quarantined,
+            report,
+        };
+        recorder.record_job(&entry);
+        entry
     }
 }
 
@@ -619,142 +931,11 @@ pub fn run_batch(
     sink: &dyn EventSink,
 ) -> BatchReport {
     let start = Instant::now();
-    let cache: ArtifactCache<Result<PreparedSource, PrepareFailure>> = ArtifactCache::new();
-    let metrics = MetricsRegistry::new();
-    let recorder = BatchMetrics::register(&metrics);
+    let runtime = BatchRuntime::new(config, options);
     let indices: Vec<usize> = (0..jobs.len()).collect();
-    let clock = EventClock::new(options.workers);
-    let watchdog = options.watchdog.map(Watchdog::spawn);
 
     let (results, sched) = run_jobs(indices, options.workers, |worker, i| {
-        let job = &jobs[i];
-        // Queue latency: how long the job sat submitted-but-unclaimed.
-        recorder
-            .job_queue_latency
-            .observe(micros(start.elapsed().as_secs_f64()));
-        let job_start = Instant::now();
-        // Route this job's engine-level trace events (solver entries,
-        // state deaths, bunch assertions, …) into the shared ring,
-        // tagged with the submission index and worker lane.
-        let _trace = options
-            .trace
-            .as_ref()
-            .map(|rec| octo_trace::install(rec, i as u32, worker as u32));
-        // One fault context per *job*, shared across attempts: occurrence
-        // counters persist, so an Nth(1) rule fires on attempt 1 and the
-        // retry runs clean (that is how a retry rescues an injected
-        // fault), and the whole schedule replays byte-for-byte from
-        // (seed, submission index) regardless of worker count.
-        let faults_ctx = options
-            .faults
-            .as_ref()
-            .map(|plan| Arc::new(JobFaults::new(plan, i as u32)));
-        let _faults = faults_ctx.as_ref().map(octo_faults::install);
-        sink.emit(Event::new(
-            clock.stamp(worker),
-            worker,
-            EventKind::JobStarted {
-                job: i,
-                name: job.name.clone(),
-            },
-        ));
-        let input = SoftwarePairInput {
-            s: &job.s,
-            t: &job.t,
-            poc: &job.poc,
-            shared: &job.shared,
-        };
-        let spans = SinkSpans {
-            sink,
-            clock: &clock,
-            job: i,
-            worker,
-        };
-        let max_attempts = options.retry.max_attempts.max(1);
-        let mut attempt = 1u32;
-        let (report, cache_hit, key, quarantined) = loop {
-            // A fresh token per attempt: a previous attempt's cancelled
-            // (or escalated) token must not pre-cancel the retry. The
-            // watchdog watches each attempt independently.
-            let token = if options.deadline.is_some() || watchdog.is_some() {
-                Some(match options.deadline {
-                    Some(d) => CancelToken::with_deadline(d),
-                    None => CancelToken::new(),
-                })
-            } else {
-                None
-            };
-            let _watch = match (watchdog.as_ref(), token.as_ref()) {
-                (Some(dog), Some(t)) => Some(dog.watch(t)),
-                _ => None,
-            };
-            // The inner panic envelope. Catching here (rather than
-            // relying on the scheduler's own envelope) keeps the trace
-            // and fault guards installed while the degraded report is
-            // synthesized — the post-mortem tail captures the events
-            // leading up to the panic — and lets the retry loop treat a
-            // panic like any other transient failure.
-            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                verify_with_cache(&cache, &input, config, token.as_ref(), &spans)
-            }));
-            let (mut report, cache_hit, key) = match caught {
-                Ok(r) => r,
-                Err(payload) => {
-                    recorder.panics.inc();
-                    let panic = octo_sched::JobPanic::from_payload(payload.as_ref());
-                    (VerificationReport::from_panic(panic.message), false, 0)
-                }
-            };
-            report.attempts = attempt;
-            let transient = matches!(
-                &report.verdict,
-                crate::verdict::Verdict::Failure { reason } if reason.is_transient()
-            );
-            if transient && attempt < max_attempts {
-                let backoff = options.retry.backoff_for(i as u32, attempt);
-                octo_trace::emit(TraceKind::RetryScheduled {
-                    attempt,
-                    backoff_micros: backoff.as_micros() as u64,
-                });
-                if !backoff.is_zero() {
-                    std::thread::sleep(backoff);
-                }
-                attempt += 1;
-                continue;
-            }
-            if transient {
-                octo_trace::emit(TraceKind::JobQuarantined { attempts: attempt });
-            }
-            break (report, cache_hit, key, transient);
-        };
-        if let Some(ctx) = &faults_ctx {
-            recorder.faults_injected.add(ctx.fired());
-        }
-        if cache_hit {
-            sink.emit(Event::new(
-                clock.stamp(worker),
-                worker,
-                EventKind::CacheHit { job: i, key },
-            ));
-        }
-        sink.emit(Event::new(
-            clock.stamp(worker),
-            worker,
-            EventKind::JobFinished {
-                job: i,
-                outcome: report.verdict.type_label().to_string(),
-                seconds: job_start.elapsed().as_secs_f64(),
-            },
-        ));
-        let entry = BatchEntry {
-            name: job.name.clone(),
-            urgency: Urgency::of(&report.verdict),
-            cache_hit,
-            quarantined,
-            report,
-        };
-        recorder.record_job(&entry);
-        entry
+        runtime.run_job(i, worker, &jobs[i], start, sink)
     });
 
     // A job can only reach the scheduler's own envelope by panicking in
@@ -767,7 +948,7 @@ pub fn run_batch(
         .map(|(i, result)| match result {
             Ok(entry) => entry,
             Err(panic) => {
-                recorder.panics.inc();
+                runtime.recorder.panics.inc();
                 let mut report = VerificationReport::from_panic(panic.message);
                 report.wall_seconds = start.elapsed().as_secs_f64();
                 let entry = BatchEntry {
@@ -777,7 +958,7 @@ pub fn run_batch(
                     quarantined: true,
                     report,
                 };
-                recorder.record_job(&entry);
+                runtime.recorder.record_job(&entry);
                 entry
             }
         })
@@ -789,15 +970,19 @@ pub fn run_batch(
         .map(|(i, _)| i)
         .collect();
 
-    if let Some(dog) = &watchdog {
-        recorder.watchdog_fired.add(dog.fired());
-    }
+    runtime.refresh_metrics();
+    runtime.recorder.record_sched(&sched);
+    let cache = runtime.cache.stats();
+    // Destructure to join the watchdog thread before handing the
+    // registry to the report.
+    let BatchRuntime {
+        metrics, watchdog, ..
+    } = runtime;
     drop(watchdog);
-    recorder.record_run(&cache.stats(), &sched);
     BatchReport {
         entries,
         quarantined,
-        cache: cache.stats(),
+        cache,
         sched,
         metrics,
         wall_seconds: start.elapsed().as_secs_f64(),
@@ -1278,6 +1463,122 @@ fine:
         assert_eq!(counter("batch_retries_total"), 1);
         assert_eq!(counter("batch_panics_total"), 1);
         assert_eq!(counter("batch_quarantined_total"), 0);
+    }
+
+    #[test]
+    fn pre_fired_drain_token_skips_every_job() {
+        // A batch whose drain token is already cancelled runs no engine:
+        // every entry is an incomplete Cancelled failure, nothing is
+        // quarantined, nothing retried.
+        let jobs = vec![job("one", t_gated()), job("two", t_safe())];
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let options = BatchOptions {
+            workers: 2,
+            cancel: Some(cancel),
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff: Duration::ZERO,
+                jitter_seed: 0,
+            },
+            ..BatchOptions::default()
+        };
+        let report = run_batch(&jobs, &PipelineConfig::default(), &options, &NullSink);
+        assert_eq!(report.entries.len(), 2);
+        for e in &report.entries {
+            assert!(
+                matches!(
+                    e.report.verdict,
+                    crate::verdict::Verdict::Failure {
+                        reason: crate::verdict::FailureReason::Cancelled
+                    }
+                ),
+                "{}: {:?}",
+                e.name,
+                e.report.verdict
+            );
+            assert_eq!(e.report.attempts, 1, "no retries during a drain");
+            assert!(!e.quarantined, "a drained job is not quarantined");
+        }
+        assert!(report.quarantined.is_empty());
+        assert_eq!(report.cache.misses, 0, "no engine work happened");
+        let counter = |name: &str| report.metrics.get_counter(name).expect(name).get();
+        assert_eq!(counter("batch_jobs_total"), 2);
+        assert_eq!(counter("batch_verdict_failure_total"), 2);
+        assert_eq!(counter("batch_retries_total"), 0);
+    }
+
+    #[test]
+    fn drain_rewrites_inflight_deadline_to_cancelled() {
+        // With the drain token fired and a zero deadline, the in-flight
+        // path dies transiently; the drain check must convert that to
+        // Cancelled rather than burning the retry budget. (The token is
+        // fired up front so the test is deterministic; the first job is
+        // then skipped pre-start, exercising the same rewrite.)
+        let jobs = vec![job("gated", t_gated())];
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let options = BatchOptions {
+            workers: 1,
+            deadline: Some(Duration::ZERO),
+            cancel: Some(cancel),
+            retry: RetryPolicy {
+                max_attempts: 5,
+                base_backoff: Duration::ZERO,
+                jitter_seed: 0,
+            },
+            ..BatchOptions::default()
+        };
+        let report = run_batch(&jobs, &PipelineConfig::default(), &options, &NullSink);
+        let e = &report.entries[0];
+        assert!(matches!(
+            e.report.verdict,
+            crate::verdict::Verdict::Failure {
+                reason: crate::verdict::FailureReason::Cancelled
+            }
+        ));
+        assert_eq!(e.report.attempts, 1);
+        assert!(!e.quarantined);
+    }
+
+    #[test]
+    fn unfired_drain_token_changes_nothing() {
+        // Merely *wiring* a drain token must not disturb verdicts,
+        // caching, or retry accounting.
+        let jobs = vec![job("gated", t_gated()), job("safe", t_safe())];
+        let options = BatchOptions {
+            workers: 2,
+            cancel: Some(CancelToken::new()),
+            ..BatchOptions::default()
+        };
+        let report = run_batch(&jobs, &PipelineConfig::default(), &options, &NullSink);
+        assert_eq!(report.entries[0].report.verdict.type_label(), "Type-II");
+        assert_eq!(report.entries[1].report.verdict.type_label(), "Type-III");
+        assert_eq!(report.cache.misses, 1);
+        assert_eq!(report.cache.hits, 1);
+    }
+
+    #[test]
+    fn runtime_runs_jobs_one_at_a_time_with_warm_cache() {
+        // The service path: a long-lived BatchRuntime fed jobs
+        // individually keeps its artifact cache and metrics across
+        // calls.
+        let runtime = BatchRuntime::new(&PipelineConfig::default(), &BatchOptions::default());
+        let a = runtime.run_job(0, 0, &job("gated", t_gated()), Instant::now(), &NullSink);
+        assert_eq!(a.report.verdict.type_label(), "Type-II");
+        assert!(!a.cache_hit);
+        let b = runtime.run_job(1, 0, &job("safe", t_safe()), Instant::now(), &NullSink);
+        assert_eq!(b.report.verdict.type_label(), "Type-III");
+        assert!(b.cache_hit, "second job reuses the warm prefix");
+        runtime.refresh_metrics();
+        let counter = |name: &str| runtime.metrics().get_counter(name).expect(name).get();
+        assert_eq!(counter("batch_jobs_total"), 2);
+        assert_eq!(counter("cache_hits_total"), 1);
+        assert_eq!(counter("cache_misses_total"), 1);
+        // Refreshing again must not double-bill the deltas.
+        runtime.refresh_metrics();
+        assert_eq!(counter("cache_hits_total"), 1);
+        assert_eq!(counter("cache_misses_total"), 1);
     }
 
     #[test]

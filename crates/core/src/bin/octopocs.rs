@@ -18,6 +18,13 @@
 //!          [--accelerate-loops] [--static-cfg] [--context-free] [--prescreen]
 //!          [--fault-plan FILE] [--retry N] [--retry-backoff-ms MS]
 //!          [--watchdog-quiet-secs S]
+//! octopocs submit (--corpus | --s S.mir --t T.mir --poc poc.bin --shared f1,f2
+//!          | --scan --s S.mir --poc poc.bin --target T.mir...)
+//!          [--priority interactive|bulk] [--socket PATH | --tcp ADDR]
+//! octopocs status [--id N] [--metrics-json PATH] [--socket PATH | --tcp ADDR]
+//! octopocs watch --id N [--socket PATH | --tcp ADDR]
+//! octopocs results [--wait] [--verdicts-json] [--socket PATH | --tcp ADDR]
+//! octopocs drain [--shutdown] [--socket PATH | --tcp ADDR]
 //! ```
 //!
 //! `S.mir`/`T.mir` are MicroIR assembly files (the dialect of
@@ -70,12 +77,31 @@
 //! sets the base backoff between attempts; `--watchdog-quiet-secs S`
 //! spawns a watchdog that escalates a job whose heartbeat stays silent
 //! for S seconds. Exit code 0 = the batch ran (whatever the verdicts),
-//! 3 = usage or input error.
+//! 3 = usage or input error, 130 = drained by SIGINT/SIGTERM (the first
+//! signal winds every in-flight job down cooperatively and the partial
+//! report — metrics files included — is still written; a second signal
+//! force-exits).
+//!
+//! The `submit`, `status`, `watch`, `results`, and `drain` subcommands
+//! are clients of a running `octopocsd` daemon (see `docs/service.md`):
+//! `submit` admits jobs — the 15-pair corpus, one explicit pair, or a
+//! client-side clone-scan expansion (`--scan`, same knobs as `octopocs
+//! scan`) — and prints one `accepted <id> <name>` line per job (exit 1
+//! if any submission was rejected by backpressure); `status` shows the
+//! queue (or one job with `--id`, or writes the daemon's metrics
+//! registry with `--metrics-json`); `watch` streams one job's progress
+//! events as JSON lines until its verdict; `results` prints finished
+//! verdicts (`--wait` blocks until the queue empties, `--verdicts-json`
+//! emits the same stable document as `octopocs batch --verdicts-json`);
+//! `drain` asks the daemon to finish queued work and exit
+//! (`--shutdown` cancels in-flight jobs instead, leaving them for
+//! journal replay).
 
 use std::process::ExitCode;
 
 use octo_ir::parse::parse_program;
 use octo_poc::PocFile;
+use octo_serve::{Client, Endpoint, Priority as ServePriority, Request, Response};
 use octopocs::batch::{run_batch, BatchJob, BatchOptions};
 use octopocs::{verify, PipelineConfig, SoftwarePairInput, Verdict};
 
@@ -111,7 +137,14 @@ fn usage() -> String {
      [--trace-jsonl PATH] [--post-mortem] [--theta N] \
      [--accelerate-loops] [--static-cfg] [--context-free] [--prescreen] \
      [--fault-plan FILE] [--retry N] [--retry-backoff-ms MS] \
-     [--watchdog-quiet-secs S]"
+     [--watchdog-quiet-secs S]\n       \
+     octopocs submit (--corpus | --s S.mir --t T.mir --poc poc.bin --shared f1,f2 | \
+     --scan --s S.mir --poc poc.bin --target T.mir...) \
+     [--priority interactive|bulk] [--socket PATH | --tcp ADDR]\n       \
+     octopocs status [--id N] [--metrics-json PATH] [--socket PATH | --tcp ADDR]\n       \
+     octopocs watch --id N [--socket PATH | --tcp ADDR]\n       \
+     octopocs results [--wait] [--verdicts-json] [--socket PATH | --tcp ADDR]\n       \
+     octopocs drain [--shutdown] [--socket PATH | --tcp ADDR]"
         .to_string()
 }
 
@@ -281,6 +314,9 @@ fn parse_clone_params(
             params.top_k = value("--top-k")?
                 .parse()
                 .map_err(|e| format!("bad --top-k: {e}"))?;
+            if params.top_k == 0 {
+                return Err("--top-k must be at least 1".to_string());
+            }
         }
         "--min-insts" => {
             params.min_insts = value("--min-insts")?
@@ -665,6 +701,12 @@ fn batch_main(argv: &[String]) -> ExitCode {
                     let ms: u64 = value("--retry-backoff-ms")?
                         .parse()
                         .map_err(|e| format!("bad --retry-backoff-ms: {e}"))?;
+                    if ms == 0 {
+                        return Err(
+                            "--retry-backoff-ms must be positive (omit the flag for no backoff)"
+                                .to_string(),
+                        );
+                    }
                     options.retry.base_backoff = std::time::Duration::from_millis(ms);
                 }
                 "--watchdog-quiet-secs" => {
@@ -715,6 +757,15 @@ fn batch_main(argv: &[String]) -> ExitCode {
     let recorder = (trace_chrome.is_some() || trace_jsonl.is_some())
         .then(|| std::sync::Arc::new(octopocs::FlightRecorder::with_default_capacity()));
     options.trace = recorder.clone();
+
+    // Graceful drain on the first SIGINT/SIGTERM: the run-level token
+    // winds every in-flight job down as `Cancelled`, the partial report
+    // (metrics files included) is still written, and the exit code
+    // flips to 130. A second signal force-exits immediately.
+    let drain = octo_sched::CancelToken::new();
+    if octo_sched::install_drain_signals(&drain) {
+        options.cancel = Some(drain.clone());
+    }
 
     let stderr_sink = |event: octo_sched::Event| eprintln!("{}", event.render_human());
     let report = if events {
@@ -774,7 +825,554 @@ fn batch_main(argv: &[String]) -> ExitCode {
     } else {
         print!("{}", report.render_human());
     }
+    if drain.is_cancelled() {
+        let incomplete = report
+            .entries
+            .iter()
+            .filter(|e| {
+                matches!(
+                    &e.report.verdict,
+                    Verdict::Failure {
+                        reason: octopocs::FailureReason::Cancelled
+                    }
+                )
+            })
+            .count();
+        eprintln!("batch: drained by signal; {incomplete} job(s) incomplete");
+        return ExitCode::from(130);
+    }
     ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// Service client subcommands: thin drivers of a running `octopocsd`
+// daemon over the `octo-serve` wire protocol (see docs/service.md).
+
+/// Connects to the daemon. The default endpoint is the daemon's default
+/// Unix socket, `octopocsd.sock`, in the current directory.
+fn service_connect(socket: Option<String>, tcp: Option<String>) -> Result<Client, String> {
+    let endpoint = match (socket, tcp) {
+        (Some(_), Some(_)) => return Err("--socket and --tcp are mutually exclusive".to_string()),
+        (_, Some(addr)) => Endpoint::Tcp(addr),
+        (path, None) => Endpoint::Unix(path.unwrap_or_else(|| "octopocsd.sock".to_string()).into()),
+    };
+    Client::connect(&endpoint)
+}
+
+/// The `octopocs submit` subcommand: admit jobs into a running daemon.
+/// Exit 0 = every job accepted, 1 = at least one rejected (backpressure
+/// or invalid), 3 = usage or connection error.
+fn submit_main(argv: &[String]) -> ExitCode {
+    let mut corpus = false;
+    let mut scan = false;
+    let mut s_path = String::new();
+    let mut t_path = String::new();
+    let mut poc_path = String::new();
+    let mut shared: Vec<String> = Vec::new();
+    let mut target_paths: Vec<String> = Vec::new();
+    let mut params = octo_clone::CloneParams::default();
+    let mut priority: Option<ServePriority> = None;
+    let mut socket: Option<String> = None;
+    let mut tcp: Option<String> = None;
+    let mut it = argv.iter();
+    let parse_error = |msg: String| {
+        if msg.is_empty() {
+            eprintln!("{}", usage());
+        } else {
+            eprintln!("{msg}\n{}", usage());
+        }
+        ExitCode::from(3)
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        let result: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--corpus" => corpus = true,
+                "--scan" => scan = true,
+                "--s" => s_path = value("--s")?,
+                "--t" => t_path = value("--t")?,
+                "--poc" => poc_path = value("--poc")?,
+                "--shared" => {
+                    shared = value("--shared")?
+                        .split(',')
+                        .map(str::to_string)
+                        .filter(|s| !s.is_empty())
+                        .collect()
+                }
+                "--target" => target_paths.push(value("--target")?),
+                "--priority" => {
+                    priority = Some(
+                        ServePriority::parse(&value("--priority")?)
+                            .map_err(|e| format!("bad --priority: {e}"))?,
+                    )
+                }
+                "--socket" => socket = Some(value("--socket")?),
+                "--tcp" => tcp = Some(value("--tcp")?),
+                "--help" | "-h" => return Err(String::new()),
+                other => {
+                    if !parse_clone_params(other, &mut value, &mut params)? {
+                        return Err(format!("unknown submit flag `{other}`"));
+                    }
+                }
+            }
+            Ok(())
+        })();
+        if let Err(msg) = result {
+            return parse_error(msg);
+        }
+    }
+    let single = !s_path.is_empty() && !scan;
+    if usize::from(corpus) + usize::from(scan) + usize::from(single) != 1 {
+        return parse_error(
+            "exactly one of --corpus, --scan, or (--s/--t/--poc/--shared) is required".to_string(),
+        );
+    }
+    // Corpus/scan expansions default to bulk; a single pair is a human
+    // waiting and defaults to interactive.
+    let (jobs, default_priority) = if corpus {
+        (corpus_jobs(), ServePriority::Bulk)
+    } else if scan {
+        if s_path.is_empty() || poc_path.is_empty() || target_paths.is_empty() {
+            return parse_error("--scan needs --s, --poc and at least one --target".to_string());
+        }
+        let s = match load_program(&s_path) {
+            Ok(p) => p,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::from(3);
+            }
+        };
+        let poc = match std::fs::read(&poc_path) {
+            Ok(bytes) => PocFile::new(bytes),
+            Err(e) => {
+                eprintln!("error: {poc_path}: {e}");
+                return ExitCode::from(3);
+            }
+        };
+        let mut targets = Vec::new();
+        for path in &target_paths {
+            match load_program(path) {
+                Ok(t) => targets.push(octopocs::ScanTarget {
+                    name: path.clone(),
+                    t,
+                }),
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    return ExitCode::from(3);
+                }
+            }
+        }
+        let expansion = octopocs::expand_scan(
+            &[octopocs::ScanSource {
+                name: s_path.clone(),
+                s,
+                poc,
+            }],
+            &targets,
+            &params,
+        );
+        (expansion.jobs, ServePriority::Bulk)
+    } else {
+        if t_path.is_empty() || poc_path.is_empty() || shared.is_empty() {
+            return parse_error("submit needs --s, --t, --poc and --shared".to_string());
+        }
+        let (s, t, poc_bytes) = match (
+            load_program(&s_path),
+            load_program(&t_path),
+            std::fs::read(&poc_path),
+        ) {
+            (Ok(s), Ok(t), Ok(p)) => (s, t, p),
+            (s, t, p) => {
+                for msg in [
+                    s.err(),
+                    t.err(),
+                    p.err().map(|e| format!("{poc_path}: {e}")),
+                ]
+                .into_iter()
+                .flatten()
+                {
+                    eprintln!("error: {msg}");
+                }
+                return ExitCode::from(3);
+            }
+        };
+        (
+            vec![BatchJob {
+                name: format!("{s_path} => {t_path}"),
+                s,
+                t,
+                poc: PocFile::new(poc_bytes),
+                shared,
+            }],
+            ServePriority::Interactive,
+        )
+    };
+    let priority = priority.unwrap_or(default_priority);
+
+    let mut client = match service_connect(socket, tcp) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    let mut refused = 0usize;
+    for job in &jobs {
+        let spec = octopocs::batch_job_to_spec(job, priority);
+        match client.request(&Request::Submit { job: spec }) {
+            Ok(Response::Accepted { id }) => println!("accepted {id} {}", job.name),
+            Ok(Response::Rejected { reason }) => {
+                eprintln!("rejected {}: {reason}", job.name);
+                refused += 1;
+            }
+            Ok(Response::Error { message }) => {
+                eprintln!("error {}: {message}", job.name);
+                refused += 1;
+            }
+            Ok(other) => {
+                eprintln!("error {}: unexpected response {}", job.name, other.render());
+                refused += 1;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(3);
+            }
+        }
+    }
+    if refused > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Parses the shared `--socket`/`--tcp`/`--id`-style flags of the small
+/// client subcommands. Returns `Err` on unknown flags.
+struct ClientArgs {
+    socket: Option<String>,
+    tcp: Option<String>,
+    id: Option<u64>,
+    metrics_json: Option<String>,
+    wait: bool,
+    verdicts_json: bool,
+    shutdown: bool,
+}
+
+fn parse_client_args(argv: &[String], subcommand: &str) -> Result<ClientArgs, String> {
+    let mut args = ClientArgs {
+        socket: None,
+        tcp: None,
+        id: None,
+        metrics_json: None,
+        wait: false,
+        verdicts_json: false,
+        shutdown: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--socket" => args.socket = Some(value("--socket")?),
+            "--tcp" => args.tcp = Some(value("--tcp")?),
+            "--id" => {
+                args.id = Some(
+                    value("--id")?
+                        .parse()
+                        .map_err(|e| format!("bad --id: {e}"))?,
+                )
+            }
+            "--metrics-json" if subcommand == "status" => {
+                args.metrics_json = Some(value("--metrics-json")?)
+            }
+            "--wait" if subcommand == "results" => args.wait = true,
+            "--verdicts-json" if subcommand == "results" => args.verdicts_json = true,
+            "--shutdown" if subcommand == "drain" => args.shutdown = true,
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown {subcommand} flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn render_job_status(j: &octo_serve::JobStatus) -> String {
+    let verdict = j
+        .verdict
+        .as_ref()
+        .map(|v| {
+            format!(
+                " verdict={}{}",
+                v.verdict,
+                if v.quarantined { " (quarantined)" } else { "" }
+            )
+        })
+        .unwrap_or_default();
+    format!(
+        "job {} [{}] {} {}{verdict}",
+        j.id,
+        j.priority.label(),
+        j.phase.label(),
+        j.name
+    )
+}
+
+/// The `octopocs status` subcommand. Exit 0 = answered, 1 = unknown job
+/// id, 3 = usage or connection error.
+fn status_main(argv: &[String]) -> ExitCode {
+    let args = match parse_client_args(argv, "status") {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}\n{}", usage());
+            return ExitCode::from(3);
+        }
+    };
+    let mut client = match service_connect(args.socket, args.tcp) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    if let Some(path) = &args.metrics_json {
+        match client.request(&Request::Metrics) {
+            Ok(Response::Metrics { body }) => {
+                if let Err(e) = std::fs::write(path, body) {
+                    eprintln!("error writing {path}: {e}");
+                    return ExitCode::from(3);
+                }
+            }
+            Ok(other) => {
+                eprintln!("error: unexpected response {}", other.render());
+                return ExitCode::from(3);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(3);
+            }
+        }
+    }
+    match client.request(&Request::Status { id: args.id }) {
+        Ok(Response::Status(s)) => {
+            println!(
+                "queued: {} interactive + {} bulk (capacity {}), running: {}, done: {}{}",
+                s.queued_interactive,
+                s.queued_bulk,
+                s.capacity,
+                s.running,
+                s.done,
+                if s.draining { ", draining" } else { "" }
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(Response::Job(j)) => {
+            println!("{}", render_job_status(&j));
+            if let Some(pm) = &j.post_mortem {
+                for line in pm.lines() {
+                    println!("  {line}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(Response::Error { message }) => {
+            eprintln!("error: {message}");
+            ExitCode::from(1)
+        }
+        Ok(other) => {
+            eprintln!("error: unexpected response {}", other.render());
+            ExitCode::from(3)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(3)
+        }
+    }
+}
+
+/// The `octopocs watch` subcommand: stream one job's events as JSON
+/// lines until its verdict. Exit 0 = done line received, 2 = the stream
+/// ended in an error line, 3 = usage or connection error.
+fn watch_main(argv: &[String]) -> ExitCode {
+    let args = match parse_client_args(argv, "watch") {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}\n{}", usage());
+            return ExitCode::from(3);
+        }
+    };
+    let Some(id) = args.id else {
+        eprintln!("watch needs --id\n{}", usage());
+        return ExitCode::from(3);
+    };
+    let mut client = match service_connect(args.socket, args.tcp) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    if let Err(e) = client.send(&Request::Watch { id }) {
+        eprintln!("error: {e}");
+        return ExitCode::from(3);
+    }
+    loop {
+        match client.recv() {
+            Ok(Some(resp @ Response::Event(_))) => println!("{}", resp.render()),
+            Ok(Some(resp @ Response::Done { .. })) => {
+                println!("{}", resp.render());
+                return ExitCode::SUCCESS;
+            }
+            Ok(Some(Response::Error { message })) => {
+                eprintln!("error: {message}");
+                return ExitCode::from(2);
+            }
+            Ok(Some(other)) => {
+                eprintln!("error: unexpected response {}", other.render());
+                return ExitCode::from(2);
+            }
+            Ok(None) => {
+                eprintln!("error: daemon closed the connection");
+                return ExitCode::from(2);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+}
+
+/// The `octopocs results` subcommand. `--wait` blocks until the queue
+/// is empty; `--verdicts-json` prints the same stable document as
+/// `octopocs batch --verdicts-json`. Exit 0 = answered, 3 = usage or
+/// connection error.
+fn results_main(argv: &[String]) -> ExitCode {
+    let args = match parse_client_args(argv, "results") {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}\n{}", usage());
+            return ExitCode::from(3);
+        }
+    };
+    let mut client = match service_connect(args.socket, args.tcp) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    if args.wait {
+        loop {
+            match client.request(&Request::Status { id: None }) {
+                Ok(Response::Status(s)) => {
+                    if s.queued_interactive + s.queued_bulk + s.running == 0 {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                }
+                Ok(other) => {
+                    eprintln!("error: unexpected response {}", other.render());
+                    return ExitCode::from(3);
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(3);
+                }
+            }
+        }
+    }
+    match client.request(&Request::Results) {
+        Ok(Response::Results { jobs }) => {
+            if args.verdicts_json {
+                // Byte-identical to `octopocs batch --verdicts-json`
+                // (and the CI golden): rows in submission order.
+                let mut out = String::from("{\"jobs\":[\n");
+                for (i, row) in jobs.iter().enumerate() {
+                    out.push_str(&format!(
+                        "{{\"name\":\"{}\",{}}}{}\n",
+                        octo_serve::json::json_escape(&row.name),
+                        row.verdict.render_fields(),
+                        if i + 1 == jobs.len() { "" } else { "," }
+                    ));
+                }
+                out.push_str("]}\n");
+                print!("{out}");
+            } else {
+                for row in &jobs {
+                    println!(
+                        "{:>4}  {:<28} {}{}",
+                        row.id,
+                        row.verdict.verdict,
+                        row.name,
+                        if row.verdict.quarantined {
+                            "  [quarantined]"
+                        } else {
+                            ""
+                        }
+                    );
+                }
+                println!("{} finished job(s)", jobs.len());
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(other) => {
+            eprintln!("error: unexpected response {}", other.render());
+            ExitCode::from(3)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(3)
+        }
+    }
+}
+
+/// The `octopocs drain` subcommand: ask the daemon to finish queued
+/// work and exit (`--shutdown` cancels in-flight jobs instead). Exit
+/// 0 = acknowledged, 3 = usage or connection error.
+fn drain_main(argv: &[String]) -> ExitCode {
+    let args = match parse_client_args(argv, "drain") {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}\n{}", usage());
+            return ExitCode::from(3);
+        }
+    };
+    let mut client = match service_connect(args.socket, args.tcp) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    let request = if args.shutdown {
+        Request::Shutdown
+    } else {
+        Request::Drain
+    };
+    match client.request(&request) {
+        Ok(Response::Draining { pending }) => {
+            println!("draining; {pending} job(s) still pending");
+            ExitCode::SUCCESS
+        }
+        Ok(Response::ShuttingDown) => {
+            println!("shutting down; incomplete jobs will replay from the journal");
+            ExitCode::SUCCESS
+        }
+        Ok(other) => {
+            eprintln!("error: unexpected response {}", other.render());
+            ExitCode::from(3)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(3)
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -790,6 +1388,21 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("scan") {
         return scan_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("submit") {
+        return submit_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("status") {
+        return status_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("watch") {
+        return watch_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("results") {
+        return results_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("drain") {
+        return drain_main(&argv[1..]);
     }
     let args = match parse_args(&argv) {
         Ok(a) => a,

@@ -1,0 +1,234 @@
+//! `octopocsd` — the long-running OctoPoCs verification daemon.
+//!
+//! ```text
+//! octopocsd [--socket PATH] [--tcp ADDR] [--journal PATH]
+//!           [--workers N] [--capacity N] [--deadline-secs S]
+//!           [--retry N] [--retry-backoff-ms MS] [--watchdog-quiet-secs S]
+//!           [--fault-plan FILE] [--theta N] [--accelerate-loops]
+//!           [--static-cfg] [--context-free] [--prescreen]
+//!           [--metrics-json PATH]
+//! ```
+//!
+//! The daemon listens on a Unix socket (default `octopocsd.sock`, plus
+//! an optional TCP address), accepts line-delimited JSON requests (see
+//! `docs/service.md`), and runs every admitted `(S, T, poc, ℓ)` job on
+//! the shared batch runtime — artifact cache, metrics registry, retry
+//! policy, watchdog, and fault plan all behave exactly as they do under
+//! `octopocs batch`. Jobs are journaled to `--journal` (default
+//! `octopocsd.journal`) before they are enqueued and their verdicts
+//! journaled on completion, so killing the daemon mid-batch and
+//! restarting it on the same journal resubmits the incomplete jobs
+//! under their original ids and converges to the same verdicts.
+//!
+//! Admission is bounded: at most `--capacity` jobs may wait (running
+//! jobs do not count), and a submission over the bound is answered with
+//! an explicit `rejected` line — the daemon never blocks a client on a
+//! full queue. Interactive-priority jobs are always dequeued ahead of
+//! bulk jobs.
+//!
+//! Lifecycle: a `drain` request stops admissions, finishes the queue,
+//! and exits; a `shutdown` request (or SIGINT/SIGTERM) also cancels
+//! in-flight jobs cooperatively — they come back as incomplete, not as
+//! verdicts. A second signal force-exits with status 130. On a clean
+//! exit the daemon writes `--metrics-json` (when given) and removes the
+//! socket file. Exit code 0 = clean drain/shutdown via the protocol,
+//! 130 = exit forced or initiated by a signal, 3 = usage or startup
+//! error.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use octo_sched::{drain_signal_count, install_drain_signals, CancelToken};
+use octo_serve::{serve, Daemon, Journal, ServerConfig};
+use octopocs::batch::BatchOptions;
+use octopocs::{PipelineConfig, ServeExecutor};
+
+fn usage() -> String {
+    "usage: octopocsd [--socket PATH] [--tcp ADDR] [--journal PATH] [--workers N] \
+     [--capacity N] [--deadline-secs S] [--retry N] [--retry-backoff-ms MS] \
+     [--watchdog-quiet-secs S] [--fault-plan FILE] [--theta N] [--accelerate-loops] \
+     [--static-cfg] [--context-free] [--prescreen] [--metrics-json PATH]"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut socket = std::path::PathBuf::from("octopocsd.sock");
+    let mut tcp: Option<String> = None;
+    let mut journal_path = std::path::PathBuf::from("octopocsd.journal");
+    let mut capacity: usize = 64;
+    let mut options = BatchOptions::default();
+    let mut config = PipelineConfig::default();
+    let mut metrics_json: Option<String> = None;
+    let mut it = argv.iter();
+    let parse_error = |msg: String| {
+        if msg.is_empty() {
+            eprintln!("{}", usage());
+        } else {
+            eprintln!("{msg}\n{}", usage());
+        }
+        ExitCode::from(3)
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        let result: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--socket" => socket = value("--socket")?.into(),
+                "--tcp" => tcp = Some(value("--tcp")?),
+                "--journal" => journal_path = value("--journal")?.into(),
+                "--capacity" => {
+                    capacity = value("--capacity")?
+                        .parse()
+                        .map_err(|e| format!("bad --capacity: {e}"))?;
+                    if capacity == 0 {
+                        return Err("--capacity must be at least 1".to_string());
+                    }
+                }
+                "--workers" => {
+                    options.workers = value("--workers")?
+                        .parse()
+                        .map_err(|e| format!("bad --workers: {e}"))?;
+                    if options.workers == 0 {
+                        return Err("--workers must be at least 1".to_string());
+                    }
+                }
+                "--deadline-secs" => {
+                    let secs: f64 = value("--deadline-secs")?
+                        .parse()
+                        .map_err(|e| format!("bad --deadline-secs: {e}"))?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err("--deadline-secs must be positive".to_string());
+                    }
+                    options.deadline = Some(std::time::Duration::from_secs_f64(secs));
+                }
+                "--retry" => {
+                    options.retry.max_attempts = value("--retry")?
+                        .parse()
+                        .map_err(|e| format!("bad --retry: {e}"))?;
+                    if options.retry.max_attempts == 0 {
+                        return Err("--retry must be at least 1".to_string());
+                    }
+                }
+                "--retry-backoff-ms" => {
+                    let ms: u64 = value("--retry-backoff-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --retry-backoff-ms: {e}"))?;
+                    if ms == 0 {
+                        return Err(
+                            "--retry-backoff-ms must be positive (omit the flag for no backoff)"
+                                .to_string(),
+                        );
+                    }
+                    options.retry.base_backoff = std::time::Duration::from_millis(ms);
+                }
+                "--watchdog-quiet-secs" => {
+                    let secs: f64 = value("--watchdog-quiet-secs")?
+                        .parse()
+                        .map_err(|e| format!("bad --watchdog-quiet-secs: {e}"))?;
+                    if !secs.is_finite() || secs <= 0.0 {
+                        return Err("--watchdog-quiet-secs must be positive".to_string());
+                    }
+                    options.watchdog = Some(octopocs::WatchdogConfig::with_quiet(
+                        std::time::Duration::from_secs_f64(secs),
+                    ));
+                }
+                "--fault-plan" => {
+                    let path = value("--fault-plan")?;
+                    let text =
+                        std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+                    let plan = octopocs::FaultPlan::parse_json(&text)
+                        .map_err(|e| format!("{path}: {e}"))?;
+                    options.faults = Some(Arc::new(plan));
+                }
+                "--theta" => {
+                    config.theta = value("--theta")?
+                        .parse()
+                        .map_err(|e| format!("bad --theta: {e}"))?
+                }
+                "--accelerate-loops" => config.loop_acceleration = true,
+                "--static-cfg" => config.cfg_mode = octo_cfg::CfgMode::Static,
+                "--context-free" => config.taint_context = octo_taint::ContextMode::ContextFree,
+                "--prescreen" => config.static_prescreen = true,
+                "--metrics-json" => metrics_json = Some(value("--metrics-json")?),
+                "--help" | "-h" => return Err(String::new()),
+                other => return Err(format!("unknown octopocsd flag `{other}`")),
+            }
+            Ok(())
+        })();
+        if let Err(msg) = result {
+            return parse_error(msg);
+        }
+    }
+
+    // The run-level drain token: SIGINT/SIGTERM fire it (the second
+    // signal force-exits), a `shutdown` request fires it through the
+    // executor. Every in-flight job's token is derived from it.
+    let drain = CancelToken::new();
+    options.cancel = Some(drain.clone());
+    install_drain_signals(&drain);
+
+    let (journal, replay) = match Journal::open(&journal_path) {
+        Ok(opened) => opened,
+        Err(e) => {
+            eprintln!("octopocsd: {e}");
+            return ExitCode::from(3);
+        }
+    };
+    let replayed = replay.incomplete().len();
+    let restored = replay.verdicts.len();
+
+    let executor = Arc::new(ServeExecutor::new(&config, &options));
+    let daemon = Daemon::new(executor.clone(), Some(journal), capacity);
+    daemon.restore(replay);
+    if replayed > 0 || restored > 0 {
+        eprintln!(
+            "octopocsd: journal {}: {restored} finished job(s) restored, \
+             {replayed} incomplete job(s) resubmitted",
+            journal_path.display()
+        );
+    }
+    let workers = daemon.start_workers(options.workers);
+    eprintln!(
+        "octopocsd: listening on {}{} ({} worker(s), capacity {capacity})",
+        socket.display(),
+        tcp.as_deref()
+            .map(|a| format!(" and tcp {a}"))
+            .unwrap_or_default(),
+        options.workers
+    );
+
+    let server_config = ServerConfig {
+        socket: socket.clone(),
+        tcp,
+    };
+    if let Err(e) = serve(&daemon, &server_config, &drain) {
+        eprintln!("octopocsd: {e}");
+        return ExitCode::from(3);
+    }
+    for handle in workers {
+        let _ = handle.join();
+    }
+    for error in executor.conversion_errors() {
+        eprintln!("octopocsd: {error}");
+    }
+    if let Some(path) = metrics_json {
+        if let Err(e) = std::fs::write(&path, daemon.metrics_json()) {
+            eprintln!("octopocsd: error writing {path}: {e}");
+        }
+    }
+    let status = daemon.status();
+    eprintln!(
+        "octopocsd: exiting ({} job(s) done, {} left for replay)",
+        status.done,
+        status.queued_interactive + status.queued_bulk + status.running
+    );
+    if drain_signal_count() > 0 {
+        ExitCode::from(130)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

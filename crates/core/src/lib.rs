@@ -98,9 +98,12 @@ pub mod pipeline;
 pub mod portfolio;
 pub mod preprocess;
 pub mod scan;
+pub mod service;
 pub mod verdict;
 
-pub use batch::{prefix_cache_key, run_batch, BatchEntry, BatchJob, BatchOptions, BatchReport};
+pub use batch::{
+    prefix_cache_key, run_batch, BatchEntry, BatchJob, BatchOptions, BatchReport, BatchRuntime,
+};
 pub use config::PipelineConfig;
 pub use minimize::{minimize_poc, MinimizeStats};
 pub use octo_faults::{FaultPlan, FaultRule, FaultSite, RetryPolicy, Trigger};
@@ -118,4 +121,5 @@ pub use scan::{
     corpus_scan_inputs, expand_scan, run_scan, PairCandidates, ScanExpansion, ScanReport,
     ScanSource, ScanTarget,
 };
+pub use service::{batch_job_to_spec, spec_to_batch_job, ServeExecutor};
 pub use verdict::{FailureReason, NotTriggerableReason, TriggerKind, Verdict};

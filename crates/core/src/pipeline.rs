@@ -133,6 +133,15 @@ impl VerificationReport {
         report
     }
 
+    /// The report for a job the batch (or service) drained before it
+    /// could run — or whose in-flight attempt was cut short by a drain.
+    /// Carries no post-mortem: a drained job is *incomplete*, not
+    /// diagnosable, and service journals deliberately do not persist it
+    /// as a terminal verdict (the job is resubmitted on restart).
+    pub fn from_cancelled() -> VerificationReport {
+        VerificationReport::failure(FailureReason::Cancelled)
+    }
+
     /// The reformed PoC, when one was generated and works.
     pub fn poc_prime(&self) -> Option<&PocFile> {
         match &self.verdict {

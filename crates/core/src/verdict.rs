@@ -107,6 +107,13 @@ pub enum FailureReason {
         /// The fault-site label (e.g. `"solver-solve"`, `"p4-replay"`).
         site: &'static str,
     },
+    /// The batch (or service) was drained — SIGINT, a `drain` request,
+    /// or daemon shutdown — before this job could complete. Unlike
+    /// [`FailureReason::Deadline`], this is deliberately **not**
+    /// transient: a draining run must not burn its retry budget, and a
+    /// service journal treats the job as incomplete (it is resubmitted
+    /// on restart rather than recorded as a terminal verdict).
+    Cancelled,
 }
 
 impl FailureReason {
@@ -124,6 +131,7 @@ impl FailureReason {
             FailureReason::Internal { .. } => "internal",
             FailureReason::Hung => "hung",
             FailureReason::Injected { .. } => "injected",
+            FailureReason::Cancelled => "cancelled",
         }
     }
 
@@ -168,6 +176,7 @@ impl fmt::Display for FailureReason {
             }
             FailureReason::Hung => f.write_str("job hung (watchdog escalated the cancel token)"),
             FailureReason::Injected { site } => write!(f, "fault injected at site `{site}`"),
+            FailureReason::Cancelled => f.write_str("run drained before the job completed"),
         }
     }
 }
@@ -336,6 +345,11 @@ mod tests {
         );
         assert_eq!(ev(&fail(FailureReason::Budget)), None);
         assert_eq!(ev(&fail(FailureReason::EpNotOnCrashStack)), None);
+        assert_eq!(
+            ev(&fail(FailureReason::Cancelled)),
+            None,
+            "a drained job is incomplete, not diagnosable"
+        );
         let t = Verdict::Triggered {
             kind: TriggerKind::TypeI,
             poc_prime: PocFile::default(),
@@ -359,6 +373,11 @@ mod tests {
         assert!(!FailureReason::Budget.is_transient());
         assert!(!FailureReason::LoopBudget.is_transient());
         assert!(!FailureReason::EpNotOnCrashStack.is_transient());
+        assert!(
+            !FailureReason::Cancelled.is_transient(),
+            "a drain must not trigger the retry loop"
+        );
+        assert_eq!(FailureReason::Cancelled.label(), "cancelled");
         assert_eq!(FailureReason::Hung.label(), "hung");
         assert_eq!(
             FailureReason::Injected {

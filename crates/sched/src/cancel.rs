@@ -23,12 +23,19 @@ use std::time::{Duration, Instant};
 /// Clones share the flag: cancelling any clone cancels all of them. The
 /// deadline is fixed at construction and also observed by every clone;
 /// the heartbeat counter and escalation mark are likewise shared.
+///
+/// A token can also be **derived** from a parent via
+/// [`CancelToken::child`]: the child observes the parent's cancellation
+/// (a drained batch cancels every in-flight attempt) but cancelling or
+/// escalating the child never propagates upward (one hung job's watchdog
+/// escalation must not kill its siblings).
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken {
     flag: Arc<AtomicBool>,
     escalated: Arc<AtomicBool>,
     beats: Arc<AtomicU64>,
     deadline: Option<Instant>,
+    parent: Option<Arc<CancelToken>>,
 }
 
 impl CancelToken {
@@ -41,6 +48,27 @@ impl CancelToken {
     pub fn with_deadline(budget: Duration) -> CancelToken {
         CancelToken {
             deadline: Some(Instant::now() + budget),
+            ..CancelToken::default()
+        }
+    }
+
+    /// A fresh token that also fires when `self` (or any of `self`'s
+    /// ancestors) fires. The link is one-way: cancelling or escalating
+    /// the child leaves the parent untouched, and the child's heartbeat
+    /// and escalation mark are its own.
+    pub fn child(&self) -> CancelToken {
+        CancelToken {
+            parent: Some(Arc::new(self.clone())),
+            ..CancelToken::default()
+        }
+    }
+
+    /// A [`CancelToken::child`] that additionally fires once `budget`
+    /// has elapsed from now.
+    pub fn child_with_deadline(&self, budget: Duration) -> CancelToken {
+        CancelToken {
+            deadline: Some(Instant::now() + budget),
+            parent: Some(Arc::new(self.clone())),
             ..CancelToken::default()
         }
     }
@@ -73,13 +101,19 @@ impl CancelToken {
         self.flag.store(true, Ordering::Release);
     }
 
-    /// Whether the token has fired — explicitly or by deadline.
+    /// Whether the token has fired — explicitly, by deadline, or because
+    /// a parent token fired.
     pub fn is_cancelled(&self) -> bool {
         if self.flag.load(Ordering::Acquire) {
             return true;
         }
-        match self.deadline {
-            Some(d) => Instant::now() >= d,
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return true;
+            }
+        }
+        match &self.parent {
+            Some(p) => p.is_cancelled(),
             None => false,
         }
     }
@@ -146,5 +180,56 @@ mod tests {
         let t = CancelToken::with_deadline(Duration::from_secs(3600));
         assert!(!t.is_cancelled());
         assert!(t.remaining().unwrap() > Duration::from_secs(3500));
+    }
+
+    #[test]
+    fn parent_cancellation_reaches_the_child() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        assert!(!child.is_cancelled());
+        parent.cancel();
+        assert!(child.is_cancelled());
+        // The child observes the parent's flag, not its escalation mark.
+        assert!(!child.was_escalated());
+    }
+
+    #[test]
+    fn child_cancellation_does_not_propagate_up() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        child.escalate();
+        assert!(child.is_cancelled());
+        assert!(child.was_escalated());
+        assert!(!parent.is_cancelled());
+        assert!(!parent.was_escalated());
+    }
+
+    #[test]
+    fn child_deadline_is_independent_of_the_parent() {
+        let parent = CancelToken::new();
+        let child = parent.child_with_deadline(Duration::ZERO);
+        assert!(child.is_cancelled(), "child deadline expired");
+        assert!(!parent.is_cancelled());
+        let live = parent.child_with_deadline(Duration::from_secs(3600));
+        assert!(!live.is_cancelled());
+        assert!(live.remaining().unwrap() > Duration::from_secs(3500));
+    }
+
+    #[test]
+    fn grandparent_cancellation_reaches_grandchildren() {
+        let root = CancelToken::new();
+        let mid = root.child();
+        let leaf = mid.child();
+        root.cancel();
+        assert!(leaf.is_cancelled());
+    }
+
+    #[test]
+    fn child_heartbeats_are_its_own() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        child.beat();
+        assert_eq!(child.beats(), 1);
+        assert_eq!(parent.beats(), 0);
     }
 }

@@ -219,6 +219,88 @@ impl EventSink for NullSink {
     fn emit(&self, _event: Event) {}
 }
 
+/// Fans one event stream out to any number of dynamically attached
+/// subscribers.
+///
+/// A batch run takes a single `&dyn EventSink`; a long-running service
+/// has many short-lived consumers — each `watch` connection wants the
+/// live stream while it is attached, a logger may want all of it. A
+/// `FanoutSink` is the bridge: it *is* an [`EventSink`], and every
+/// [`FanoutSink::subscribe`]d sink receives a clone of every event
+/// emitted while its subscription is live. Subscriptions are identified
+/// by the returned id and detached with [`FanoutSink::unsubscribe`]
+/// (dropping the fanout detaches everything).
+///
+/// Emission takes a short lock to snapshot the subscriber list; the
+/// subscriber sinks themselves run outside any fanout-internal state,
+/// so a slow subscriber delays delivery but cannot deadlock
+/// subscription management... as long as it does not call back into
+/// `subscribe`/`unsubscribe` from inside `emit`.
+#[derive(Default)]
+pub struct FanoutSink {
+    subscribers: Mutex<Vec<(u64, std::sync::Arc<dyn EventSink + Send + Sync>)>>,
+    next_id: AtomicU64,
+}
+
+impl std::fmt::Debug for FanoutSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FanoutSink")
+            .field("subscribers", &self.subscriber_count())
+            .finish()
+    }
+}
+
+impl FanoutSink {
+    /// A fanout with no subscribers (events are dropped until one
+    /// attaches).
+    pub fn new() -> FanoutSink {
+        FanoutSink::default()
+    }
+
+    /// Attaches a subscriber; every subsequent event is delivered to it
+    /// until the returned id is [`FanoutSink::unsubscribe`]d.
+    pub fn subscribe(&self, sink: std::sync::Arc<dyn EventSink + Send + Sync>) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.subscribers
+            .lock()
+            .expect("fanout poisoned")
+            .push((id, sink));
+        id
+    }
+
+    /// Detaches a subscriber. Unknown ids are ignored (the subscriber
+    /// may already have been detached).
+    pub fn unsubscribe(&self, id: u64) {
+        self.subscribers
+            .lock()
+            .expect("fanout poisoned")
+            .retain(|(sid, _)| *sid != id);
+    }
+
+    /// Currently attached subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.lock().expect("fanout poisoned").len()
+    }
+}
+
+impl EventSink for FanoutSink {
+    fn emit(&self, event: Event) {
+        // Snapshot under the lock, deliver outside it: a subscriber that
+        // blocks (a full channel, a slow socket) must not hold up
+        // subscribe/unsubscribe from other threads.
+        let snapshot: Vec<_> = self
+            .subscribers
+            .lock()
+            .expect("fanout poisoned")
+            .iter()
+            .map(|(_, s)| std::sync::Arc::clone(s))
+            .collect();
+        for sink in snapshot {
+            sink.emit(event.clone());
+        }
+    }
+}
+
 /// Buffers events in memory, in emission order.
 #[derive(Debug, Default)]
 pub struct EventLog {
@@ -374,5 +456,44 @@ mod tests {
         let a = clock.stamp(0);
         let b = clock.stamp(7); // folds onto lane 0
         assert!(b > a);
+    }
+
+    #[test]
+    fn fanout_delivers_to_every_live_subscriber() {
+        use std::sync::Arc;
+        let fanout = FanoutSink::new();
+        // No subscribers: events are dropped, not an error.
+        fanout.emit(at(EventKind::CacheHit { job: 0, key: 1 }));
+        let a = Arc::new(EventLog::new());
+        let b = Arc::new(EventLog::new());
+        let ida = fanout.subscribe(a.clone());
+        let _idb = fanout.subscribe(b.clone());
+        assert_eq!(fanout.subscriber_count(), 2);
+        fanout.emit(at(EventKind::JobStarted {
+            job: 1,
+            name: "x".into(),
+        }));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        fanout.unsubscribe(ida);
+        fanout.unsubscribe(ida); // double-detach is a no-op
+        fanout.emit(at(EventKind::JobFinished {
+            job: 1,
+            outcome: "Type-I".into(),
+            seconds: 0.1,
+        }));
+        assert_eq!(a.len(), 1, "detached subscriber sees nothing new");
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn fanout_is_usable_as_a_dyn_sink() {
+        use std::sync::Arc;
+        let fanout = FanoutSink::new();
+        let log = Arc::new(EventLog::new());
+        fanout.subscribe(log.clone());
+        let dyn_sink: &dyn EventSink = &fanout;
+        dyn_sink.emit(at(EventKind::CacheHit { job: 2, key: 7 }));
+        assert_eq!(log.snapshot()[0].job(), 2);
     }
 }

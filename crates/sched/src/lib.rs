@@ -40,10 +40,12 @@ pub mod cache;
 pub mod cancel;
 pub mod events;
 pub mod scheduler;
+pub mod signals;
 pub mod watchdog;
 
 pub use cache::{ArtifactCache, CacheStats, KeyHasher};
 pub use cancel::CancelToken;
-pub use events::{Event, EventClock, EventKind, EventLog, EventSink, NullSink};
+pub use events::{Event, EventClock, EventKind, EventLog, EventSink, FanoutSink, NullSink};
 pub use scheduler::{run_jobs, JobPanic, SchedStats};
+pub use signals::{drain_signal_count, install_drain_signals};
 pub use watchdog::{WatchGuard, Watchdog, WatchdogConfig};

@@ -1,0 +1,110 @@
+//! Drain-on-signal wiring for long-running processes.
+//!
+//! `octopocs batch` and `octopocsd` both want the same Ctrl-C contract:
+//! the **first** SIGINT/SIGTERM requests a graceful drain (fire a
+//! [`CancelToken`] so in-flight work winds down cooperatively, partial
+//! results are flushed, journals stay consistent), and a **second**
+//! signal forces the process out immediately with the conventional
+//! `128 + SIGINT` exit status.
+//!
+//! The handler body is async-signal-safe by construction: it performs
+//! two atomic operations (bump a counter, store the cancel flag) and —
+//! on the second signal only — calls `_exit`. No allocation, no locks,
+//! no formatting. The token to fire is parked in a process-global
+//! `OnceLock` *before* the handler is installed, so the handler never
+//! races its own setup.
+//!
+//! Implemented directly over the C `signal(2)` entry point (the libc
+//! the Rust runtime already links) — this crate stays dependency-free.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+
+use crate::cancel::CancelToken;
+
+/// Signals observed since [`install_drain_signals`]. Exposed so a drain
+/// loop can distinguish "user asked once, keep draining" from "never
+/// asked".
+static SIGNAL_COUNT: AtomicU32 = AtomicU32::new(0);
+
+/// The token the first signal fires. Set exactly once, before the
+/// handler is installed.
+static DRAIN_TOKEN: OnceLock<CancelToken> = OnceLock::new();
+
+#[cfg(unix)]
+mod ffi {
+    extern "C" {
+        pub fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        pub fn _exit(status: i32) -> !;
+    }
+
+    pub const SIGINT: i32 = 2;
+    pub const SIGTERM: i32 = 15;
+}
+
+/// The actual handler: drain on the first signal, die on the second.
+#[cfg(unix)]
+extern "C" fn on_drain_signal(_signum: i32) {
+    // `fetch_add` and `CancelToken::cancel` (an atomic store) are both
+    // async-signal-safe; nothing below allocates or locks.
+    let seen = SIGNAL_COUNT.fetch_add(1, Ordering::AcqRel);
+    if seen == 0 {
+        if let Some(token) = DRAIN_TOKEN.get() {
+            token.cancel();
+        }
+    } else {
+        unsafe { ffi::_exit(130) };
+    }
+}
+
+/// Installs the two-stage SIGINT/SIGTERM drain handler: the first
+/// signal cancels `token` (and every [`CancelToken::child`] derived
+/// from it), the second terminates the process with exit status 130.
+///
+/// Returns `false` without touching signal dispositions when a handler
+/// was already installed for a *different* token (the handler is
+/// process-global and installs at most once), or on non-Unix targets.
+pub fn install_drain_signals(token: &CancelToken) -> bool {
+    if DRAIN_TOKEN.set(token.clone()).is_err() {
+        return false;
+    }
+    #[cfg(unix)]
+    unsafe {
+        ffi::signal(ffi::SIGINT, on_drain_signal);
+        ffi::signal(ffi::SIGTERM, on_drain_signal);
+    }
+    cfg!(unix)
+}
+
+/// How many drain signals have been observed since install (0 = none).
+pub fn drain_signal_count() -> u32 {
+    SIGNAL_COUNT.load(Ordering::Acquire)
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    extern "C" {
+        fn raise(signum: i32) -> i32;
+    }
+
+    #[test]
+    fn first_signal_cancels_the_installed_token() {
+        // One process-global handler, so this is the single test that
+        // raises; it deliberately raises only once (a second raise
+        // would _exit the test runner).
+        let token = CancelToken::new();
+        assert!(install_drain_signals(&token), "first install wins");
+        // A second install (different token) is refused.
+        assert!(!install_drain_signals(&CancelToken::new()));
+        assert!(!token.is_cancelled());
+        unsafe { raise(ffi::SIGINT) };
+        // `raise` returns after the handler ran on this thread.
+        assert!(token.is_cancelled(), "drain token fired");
+        assert!(!token.was_escalated(), "a drain is not a hang");
+        assert_eq!(drain_signal_count(), 1);
+        // Children derived before or after the signal observe it.
+        assert!(token.child().is_cancelled());
+    }
+}

@@ -1,0 +1,125 @@
+//! The client side of the wire protocol, shared by the `octopocs
+//! submit|status|watch|results|drain` subcommands.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+use crate::proto::{Request, Response};
+
+/// Where the daemon listens, from the client's point of view.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// A Unix socket path.
+    Unix(PathBuf),
+    /// A TCP address (`host:port`).
+    Tcp(String),
+}
+
+enum Stream {
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+impl std::io::Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+/// A connected client. One request/response (or request/stream)
+/// exchange at a time.
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: Stream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    pub fn connect(endpoint: &Endpoint) -> Result<Client, String> {
+        let (reader, writer) = match endpoint {
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                let stream = std::os::unix::net::UnixStream::connect(path)
+                    .map_err(|e| format!("cannot connect to {}: {e}", path.display()))?;
+                let clone = stream
+                    .try_clone()
+                    .map_err(|e| format!("cannot clone stream: {e}"))?;
+                (Stream::Unix(clone), Stream::Unix(stream))
+            }
+            #[cfg(not(unix))]
+            Endpoint::Unix(path) => {
+                return Err(format!(
+                    "unix sockets unsupported on this platform ({})",
+                    path.display()
+                ))
+            }
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)
+                    .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+                let clone = stream
+                    .try_clone()
+                    .map_err(|e| format!("cannot clone stream: {e}"))?;
+                (Stream::Tcp(clone), Stream::Tcp(stream))
+            }
+        };
+        Ok(Client {
+            reader: BufReader::new(reader),
+            writer,
+        })
+    }
+
+    /// Sends one request line.
+    pub fn send(&mut self, request: &Request) -> Result<(), String> {
+        let mut line = request.render();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send failed: {e}"))
+    }
+
+    /// Reads one response line. `Ok(None)` means the daemon closed the
+    /// connection.
+    pub fn recv(&mut self) -> Result<Option<Response>, String> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| format!("recv failed: {e}"))?;
+        if n == 0 {
+            return Ok(None);
+        }
+        Response::parse(line.trim_end_matches('\n')).map(Some)
+    }
+
+    /// One request, one response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, String> {
+        self.send(request)?;
+        self.recv()?
+            .ok_or_else(|| "daemon closed the connection".to_string())
+    }
+}

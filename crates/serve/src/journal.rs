@@ -1,0 +1,236 @@
+//! The daemon's durable journal: an append-only file of line-delimited
+//! JSON records.
+//!
+//! Two record kinds, mirroring the wire protocol's types:
+//!
+//! ```text
+//! {"journal":"job","id":3,"job":{…JobSpec fields…}}
+//! {"journal":"verdict","id":3,"verdict":{…VerdictSummary fields…}}
+//! ```
+//!
+//! A job is journaled *before* it is enqueued; its verdict is journaled
+//! only when it completes for real (cancelled/drained outcomes are
+//! deliberately not journaled). On restart the daemon replays the file:
+//! jobs with verdicts are restored as done, jobs without are resubmitted
+//! under their **original ids**, so a batch interrupted by a crash
+//! converges to the same results as an uninterrupted run. A torn final
+//! line (the process died mid-append) is ignored; corruption anywhere
+//! else is an error.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use crate::json::parse_json;
+use crate::proto::{parse_jobspec, render_jobspec_fields, JobSpec, VerdictSummary};
+
+/// What a journal file contained when it was opened.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Every journaled job, in append (= id) order.
+    pub jobs: Vec<(u64, JobSpec)>,
+    /// Verdicts for the jobs that completed, by id.
+    pub verdicts: BTreeMap<u64, VerdictSummary>,
+}
+
+impl Replay {
+    /// Ids journaled as submitted but lacking a verdict — the jobs the
+    /// daemon must resubmit.
+    pub fn incomplete(&self) -> Vec<u64> {
+        self.jobs
+            .iter()
+            .map(|(id, _)| *id)
+            .filter(|id| !self.verdicts.contains_key(id))
+            .collect()
+    }
+}
+
+/// An open journal. All appends flush before returning so a record is
+/// on its way to disk before the daemon acts on it.
+#[derive(Debug)]
+pub struct Journal {
+    file: Mutex<File>,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path` and replays its
+    /// existing records.
+    pub fn open(path: &Path) -> Result<(Journal, Replay), String> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(path)
+            .map_err(|e| format!("cannot open journal {}: {e}", path.display()))?;
+        let mut text = String::new();
+        file.read_to_string(&mut text)
+            .map_err(|e| format!("cannot read journal {}: {e}", path.display()))?;
+        let replay = Journal::replay(&text)?;
+        Ok((
+            Journal {
+                file: Mutex::new(file),
+            },
+            replay,
+        ))
+    }
+
+    fn replay(text: &str) -> Result<Replay, String> {
+        let mut replay = Replay::default();
+        let lines: Vec<&str> = text.lines().collect();
+        let last = lines.len().saturating_sub(1);
+        for (i, line) in lines.iter().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Journal::parse_record(line) {
+                Ok(Record::Job { id, job }) => replay.jobs.push((id, job)),
+                Ok(Record::Verdict { id, verdict }) => {
+                    replay.verdicts.insert(id, verdict);
+                }
+                // The process died mid-append: a torn final line is
+                // expected and dropped. Torn *interior* lines mean the
+                // file was corrupted some other way — refuse to guess.
+                Err(_) if i == last => {}
+                Err(e) => return Err(format!("journal line {}: {e}", i + 1)),
+            }
+        }
+        Ok(replay)
+    }
+
+    fn parse_record(line: &str) -> Result<Record, String> {
+        let v = parse_json(line)?;
+        let kind = v
+            .get("journal")
+            .and_then(crate::json::JsonValue::as_str)
+            .ok_or("missing `journal` tag")?;
+        let id = v
+            .get("id")
+            .and_then(crate::json::JsonValue::as_u64)
+            .ok_or("missing `id`")?;
+        match kind {
+            "job" => {
+                let job = v.get("job").ok_or("missing `job`")?;
+                Ok(Record::Job {
+                    id,
+                    job: parse_jobspec(job)?,
+                })
+            }
+            "verdict" => {
+                let val = v.get("verdict").ok_or("missing `verdict`")?;
+                Ok(Record::Verdict {
+                    id,
+                    verdict: VerdictSummary::parse(val)?,
+                })
+            }
+            other => Err(format!("unknown journal record `{other}`")),
+        }
+    }
+
+    /// Appends a job record.
+    pub fn record_job(&self, id: u64, job: &JobSpec) -> Result<(), String> {
+        self.append(&format!(
+            "{{\"journal\":\"job\",\"id\":{id},\"job\":{{{}}}}}\n",
+            render_jobspec_fields(job)
+        ))
+    }
+
+    /// Appends a verdict record.
+    pub fn record_verdict(&self, id: u64, verdict: &VerdictSummary) -> Result<(), String> {
+        self.append(&format!(
+            "{{\"journal\":\"verdict\",\"id\":{id},\"verdict\":{{{}}}}}\n",
+            verdict.render_fields()
+        ))
+    }
+
+    fn append(&self, line: &str) -> Result<(), String> {
+        let mut file = self.file.lock().expect("journal lock poisoned");
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.flush())
+            .map_err(|e| format!("journal append failed: {e}"))
+    }
+}
+
+enum Record {
+    Job { id: u64, job: JobSpec },
+    Verdict { id: u64, verdict: VerdictSummary },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::Priority;
+
+    fn spec(name: &str) -> JobSpec {
+        JobSpec {
+            name: name.to_string(),
+            priority: Priority::Bulk,
+            s_text: "func main() {\nentry:\n halt 0\n}\n".to_string(),
+            t_text: "func main() {\nentry:\n halt 0\n}\n".to_string(),
+            poc_hex: "41".to_string(),
+            shared: vec!["f".to_string()],
+        }
+    }
+
+    fn verdict() -> VerdictSummary {
+        VerdictSummary {
+            verdict: "Type-I".to_string(),
+            poc_generated: true,
+            verified: true,
+            attempts: 1,
+            quarantined: false,
+        }
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("octo-serve-journal-{tag}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn round_trips_jobs_and_verdicts_across_reopen() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (journal, replay) = Journal::open(&path).unwrap();
+            assert!(replay.jobs.is_empty());
+            journal.record_job(1, &spec("a")).unwrap();
+            journal.record_job(2, &spec("b")).unwrap();
+            journal.record_verdict(1, &verdict()).unwrap();
+        }
+        let (_journal, replay) = Journal::open(&path).unwrap();
+        assert_eq!(replay.jobs.len(), 2);
+        assert_eq!(replay.jobs[0].0, 1);
+        assert_eq!(replay.jobs[0].1, spec("a"));
+        assert_eq!(replay.verdicts.len(), 1);
+        assert_eq!(replay.verdicts[&1], verdict());
+        assert_eq!(replay.incomplete(), vec![2]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_but_interior_corruption_is_an_error() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (journal, _) = Journal::open(&path).unwrap();
+            journal.record_job(1, &spec("a")).unwrap();
+        }
+        // Simulate dying mid-append: a truncated record at the end.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"journal\":\"verdict\",\"id\":1,\"verd");
+        std::fs::write(&path, &text).unwrap();
+        let (_j, replay) = Journal::open(&path).unwrap();
+        assert_eq!(replay.jobs.len(), 1);
+        assert!(replay.verdicts.is_empty());
+        assert_eq!(replay.incomplete(), vec![1]);
+
+        // The same garbage *before* a valid line is corruption.
+        let bad = "{\"journal\":\"verd\n{\"journal\":\"job\",\"id\":1,\"job\":{}}\n";
+        std::fs::write(&path, bad).unwrap();
+        assert!(Journal::open(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

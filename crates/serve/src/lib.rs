@@ -1,0 +1,36 @@
+//! `octo-serve`: the OctoPoCs verification service layer.
+//!
+//! Everything the long-running daemon (`octopocsd`) and its client
+//! subcommands share, engine-free:
+//!
+//! - [`json`]: a dependency-free JSON value parser for the wire and
+//!   journal formats.
+//! - [`proto`]: the line-delimited JSON wire protocol — requests,
+//!   responses, and their total parse/render pairs.
+//! - [`journal`]: the append-only durability log replayed on restart.
+//! - [`daemon`]: admission control, the bounded two-class priority
+//!   queue, the worker pool, and the [`daemon::JobExecutor`] seam the
+//!   core crate plugs its pipeline into.
+//! - [`server`]: the socket accept loop and capped line reader.
+//! - [`client`]: the connection type the CLI subcommands drive.
+//!
+//! The daemon's lifecycle and wire reference are documented in
+//! `docs/service.md`.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod journal;
+pub mod json;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, Endpoint};
+pub use daemon::{Daemon, ExecJob, ExecOutcome, JobExecutor, SubmitError, QUEUE_WAIT_BUCKETS};
+pub use journal::{Journal, Replay};
+pub use proto::{
+    JobPhase, JobSpec, JobStatus, Priority, QueueStatus, Request, Response, ResultRow,
+    VerdictSummary, WireEvent, WireEventKind, MAX_LINE_BYTES,
+};
+pub use server::{handle_connection, serve, ServerConfig};

@@ -1,0 +1,386 @@
+//! End-to-end service suite: a real `octopocsd` subprocess, driven
+//! through the `octopocs` client subcommands and the `octo_serve`
+//! client library, must reproduce the Table II golden verdicts at every
+//! worker count, converge to the same bytes after being killed
+//! mid-batch and restarted on its journal, refuse submissions over
+//! capacity with an explicit rejection (never a hang), and honour the
+//! drain signals and numeric-flag validation of `octopocs batch`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use octo_serve::{Client, Endpoint, Request, Response};
+
+/// The golden corpus verdicts (also pinned by `batch_golden.rs`).
+const GOLDEN: &str = include_str!("golden/batch_verdicts.json");
+
+/// A fault plan that wedges every job's directed engine (cancellable,
+/// never progressing) — the deterministic way to keep a worker busy.
+const HANG_PLAN: &str = "{\"seed\":1,\"rules\":[{\"site\":\"directed-hang\",\"nth\":1}]}";
+
+fn bin_path(name: &str) -> PathBuf {
+    // The binaries live in the same target directory as this test.
+    let mut p = std::env::current_exe().expect("test exe path");
+    p.pop(); // deps/
+    p.pop(); // debug/ or release/
+    p.push(name);
+    if !p.exists() {
+        let status = Command::new(env!("CARGO"))
+            .args(["build", "-p", "octopocs", "--bin", name])
+            .status()
+            .expect("cargo build");
+        assert!(status.success());
+    }
+    p
+}
+
+/// A scratch directory holding the daemon's socket and journal.
+fn workdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("octopocs-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("workdir");
+    dir
+}
+
+/// Starts `octopocsd` in `dir` and waits until its socket accepts
+/// connections.
+// The child is returned to the caller, which always kills or waits it;
+// the lint cannot see ownership escaping through the poll loop.
+#[allow(clippy::zombie_processes)]
+fn start_daemon(dir: &Path, extra: &[&str]) -> (Child, PathBuf) {
+    let socket = dir.join("d.sock");
+    let mut child = Command::new(bin_path("octopocsd"))
+        .current_dir(dir)
+        .args(["--socket", "d.sock", "--journal", "d.journal"])
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn octopocsd");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if Client::connect(&Endpoint::Unix(socket.clone())).is_ok() {
+            return (child, socket);
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            panic!("daemon never came up");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Runs an `octopocs` client subcommand against `socket`, returning
+/// (exit code, stdout, stderr).
+fn client(socket: &Path, args: &[&str]) -> (i32, String, String) {
+    let output = Command::new(bin_path("octopocs"))
+        .args(args)
+        .args(["--socket", socket.to_str().expect("utf8 socket path")])
+        .output()
+        .expect("spawn octopocs client");
+    (
+        output.status.code().expect("client exit code"),
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+fn queue_status(socket: &Path) -> octo_serve::QueueStatus {
+    let mut c = Client::connect(&Endpoint::Unix(socket.to_path_buf())).expect("connect");
+    match c.request(&Request::Status { id: None }).expect("status") {
+        Response::Status(s) => s,
+        other => panic!("unexpected status reply: {other:?}"),
+    }
+}
+
+/// Corpus → daemon → golden verdicts, at 1, 2 and 8 workers. The
+/// verdicts document must be byte-identical to the batch golden — the
+/// daemon is just another route to the same engine.
+#[test]
+fn daemon_reproduces_golden_verdicts_across_worker_counts() {
+    for workers in [1usize, 2, 8] {
+        let dir = workdir(&format!("golden{workers}"));
+        let (mut child, socket) = start_daemon(&dir, &["--workers", &workers.to_string()]);
+
+        let (code, stdout, stderr) = client(&socket, &["submit", "--corpus"]);
+        assert_eq!(code, 0, "submit failed: {stderr}");
+        assert_eq!(
+            stdout
+                .lines()
+                .filter(|l| l.starts_with("accepted "))
+                .count(),
+            15,
+            "expected 15 accepted jobs: {stdout}"
+        );
+
+        let (code, verdicts, stderr) = client(&socket, &["results", "--wait", "--verdicts-json"]);
+        assert_eq!(code, 0, "results failed: {stderr}");
+        assert_eq!(
+            verdicts, GOLDEN,
+            "daemon verdicts drifted from the golden at {workers} worker(s)"
+        );
+
+        let (code, _, stderr) = client(&socket, &["drain"]);
+        assert_eq!(code, 0, "drain failed: {stderr}");
+        let status = child.wait().expect("daemon exit");
+        assert_eq!(status.code(), Some(0), "daemon should exit cleanly");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Kill the daemon mid-batch (SIGKILL — no chance to flush anything
+/// beyond what the journal already holds), restart it on the same
+/// journal, and the finished document must still be byte-identical:
+/// replay resubmits exactly the incomplete jobs under their original
+/// ids.
+#[test]
+fn killed_daemon_replays_journal_and_converges() {
+    let dir = workdir("replay");
+    let (mut child, socket) = start_daemon(&dir, &["--workers", "1"]);
+
+    let (code, _, stderr) = client(&socket, &["submit", "--corpus"]);
+    assert_eq!(code, 0, "submit failed: {stderr}");
+
+    // Wait until at least 3 verdicts are journaled, then kill the
+    // daemon where it stands (best effort mid-batch; if the corpus
+    // outran the poll, replay is simply a no-op and the bytes must
+    // still match).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while queue_status(&socket).done < 3 {
+        assert!(Instant::now() < deadline, "no progress before kill");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().expect("SIGKILL daemon");
+    child.wait().expect("reap daemon");
+
+    let (mut child, socket) = start_daemon(&dir, &["--workers", "2"]);
+    let (code, verdicts, stderr) = client(&socket, &["results", "--wait", "--verdicts-json"]);
+    assert_eq!(code, 0, "results failed: {stderr}");
+    assert_eq!(
+        verdicts, GOLDEN,
+        "journal replay did not converge to the golden verdicts"
+    );
+
+    let (code, _, stderr) = client(&socket, &["drain"]);
+    assert_eq!(code, 0, "drain failed: {stderr}");
+    assert_eq!(child.wait().expect("daemon exit").code(), Some(0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Backpressure is explicit: with one worker wedged on a hanging job
+/// and a capacity-1 queue, the third submission is answered with a
+/// `rejected` line (exit 1) — the client is never left hanging.
+#[test]
+fn full_queue_submission_is_rejected_not_hung() {
+    let dir = workdir("backpressure");
+    std::fs::write(dir.join("hang.json"), HANG_PLAN).expect("write plan");
+    let (mut child, socket) = start_daemon(
+        &dir,
+        &[
+            "--workers",
+            "1",
+            "--capacity",
+            "1",
+            "--fault-plan",
+            "hang.json",
+        ],
+    );
+
+    // Job 1 wedges the only worker; job 2 fills the queue.
+    let submit_one = |tag: &str| {
+        let mut c = Client::connect(&Endpoint::Unix(socket.clone())).expect("connect");
+        let job = octopocs::batch_job_to_spec(
+            &octo_corpus::all_pairs()
+                .into_iter()
+                .map(|p| octopocs::BatchJob {
+                    name: format!("{tag} {}", p.display_name()),
+                    s: p.s,
+                    t: p.t,
+                    poc: p.poc,
+                    shared: p.shared,
+                })
+                .next()
+                .expect("corpus pair"),
+            octo_serve::Priority::Bulk,
+        );
+        c.request(&Request::Submit { job }).expect("submit reply")
+    };
+    assert!(matches!(submit_one("a"), Response::Accepted { id: 1 }));
+    // Wait for the worker to pick job 1 up so the queue is truly empty.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while queue_status(&socket).running < 1 {
+        assert!(Instant::now() < deadline, "worker never started the job");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(matches!(submit_one("b"), Response::Accepted { id: 2 }));
+    match submit_one("c") {
+        Response::Rejected { reason } => {
+            assert!(
+                reason.contains("queue full"),
+                "rejection should say the queue is full: {reason}"
+            );
+        }
+        other => panic!("third submit should be rejected, got {other:?}"),
+    }
+
+    // Shutdown cancels the wedged job; the daemon still exits cleanly.
+    let (code, stdout, stderr) = client(&socket, &["drain", "--shutdown"]);
+    assert_eq!(code, 0, "shutdown failed: {stderr}");
+    assert!(stdout.contains("shutting down"), "ack missing: {stdout}");
+    assert_eq!(child.wait().expect("daemon exit").code(), Some(0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `watch` streams a job's events and ends with its verdict line.
+#[test]
+fn watch_streams_events_until_the_verdict() {
+    let dir = workdir("watch");
+    let (mut child, socket) = start_daemon(&dir, &["--workers", "1"]);
+
+    let (code, _, stderr) = client(&socket, &["submit", "--corpus"]);
+    assert_eq!(code, 0, "submit failed: {stderr}");
+    let (code, stdout, stderr) = client(&socket, &["watch", "--id", "1"]);
+    assert_eq!(code, 0, "watch failed: {stderr}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(!lines.is_empty());
+    let last = Response::parse(lines.last().expect("last line")).expect("verdict line parses");
+    assert!(
+        matches!(&last, Response::Done { id: 1, .. }),
+        "watch must end with the verdict: {last:?}"
+    );
+
+    // The daemon's metrics are fetchable over the wire and carry the
+    // serve_* keys next to the engine's batch_* keys.
+    let metrics_path = dir.join("metrics.json");
+    let (code, _, stderr) = client(
+        &socket,
+        &[
+            "status",
+            "--metrics-json",
+            metrics_path.to_str().expect("utf8"),
+        ],
+    );
+    assert_eq!(code, 0, "status --metrics-json failed: {stderr}");
+    let metrics = std::fs::read_to_string(&metrics_path).expect("metrics file");
+    for key in [
+        "serve_admissions_total",
+        "serve_queue_depth",
+        "serve_queue_wait_micros",
+        "serve_rejections_total",
+        "serve_replays_total",
+        "batch_jobs_total",
+    ] {
+        assert!(metrics.contains(key), "metrics missing {key}");
+    }
+
+    let (code, _, stderr) = client(&socket, &["drain"]);
+    assert_eq!(code, 0, "drain failed: {stderr}");
+    assert_eq!(child.wait().expect("daemon exit").code(), Some(0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: the first SIGTERM drains `octopocs batch` gracefully —
+/// in-flight jobs wind down as cancelled, the partial report is still
+/// written, and the exit code is 130.
+#[test]
+fn batch_drains_gracefully_on_sigterm() {
+    let dir = workdir("sigterm");
+    std::fs::write(dir.join("hang.json"), HANG_PLAN).expect("write plan");
+    let child = Command::new(bin_path("octopocs"))
+        .current_dir(&dir)
+        .args([
+            "batch",
+            "--corpus",
+            "--workers",
+            "1",
+            "--fault-plan",
+            "hang.json",
+            "--verdicts-json",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn batch");
+    // Give the batch time to wedge on job 1, then ask it to drain.
+    std::thread::sleep(Duration::from_millis(400));
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    let output = child.wait_with_output().expect("batch exit");
+    assert_eq!(
+        output.status.code(),
+        Some(130),
+        "drained batch must exit 130; stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("\"jobs\":["),
+        "partial verdicts report missing: {stdout}"
+    );
+    assert!(
+        String::from_utf8_lossy(&output.stderr).contains("drained by signal"),
+        "drain notice missing"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: numeric flags are validated with clear errors (exit 3)
+/// instead of spinning up a broken run.
+#[test]
+fn numeric_flags_are_validated() {
+    let cases: &[(&[&str], &str)] = &[
+        (&["batch", "--corpus", "--workers", "0"], "--workers"),
+        (
+            &["batch", "--corpus", "--deadline-secs", "0"],
+            "--deadline-secs",
+        ),
+        (
+            &["batch", "--corpus", "--deadline-secs", "-2"],
+            "--deadline-secs",
+        ),
+        (
+            &["batch", "--corpus", "--retry-backoff-ms", "0"],
+            "--retry-backoff-ms",
+        ),
+        (&["scan", "--corpus", "--top-k", "0"], "--top-k"),
+        (&["scan", "--corpus", "--workers", "0"], "--workers"),
+    ];
+    for (args, flag) in cases {
+        let output = Command::new(bin_path("octopocs"))
+            .args(*args)
+            .output()
+            .expect("spawn octopocs");
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert_eq!(
+            output.status.code(),
+            Some(3),
+            "{args:?} must be a usage error; stderr: {stderr}"
+        );
+        assert!(
+            stderr.contains(flag),
+            "{args:?} diagnostic should name {flag}: {stderr}"
+        );
+    }
+    // The daemon validates the same flags at startup.
+    for args in [
+        &["--workers", "0"][..],
+        &["--capacity", "0"],
+        &["--deadline-secs", "0"],
+        &["--retry-backoff-ms", "0"],
+    ] {
+        let output = Command::new(bin_path("octopocsd"))
+            .args(args)
+            .output()
+            .expect("spawn octopocsd");
+        assert_eq!(
+            output.status.code(),
+            Some(3),
+            "octopocsd {args:?} must be a usage error"
+        );
+    }
+}
