@@ -199,6 +199,37 @@ impl JsonRow for TraceOverheadRow {
     }
 }
 
+/// One `scope_overhead` row: corpus wall time through the in-process
+/// daemon with the octo-scope observability plane off versus serving
+/// live HTTP scrapes plus rate sampling (see `docs/observability.md`).
+#[derive(Debug, Clone)]
+pub struct ScopeOverheadRow {
+    /// `"off"` or `"scope"`.
+    pub mode: String,
+    /// Best-of-N daemon-corpus wall seconds in this mode.
+    pub seconds: f64,
+    /// `/metrics` + `/jobs/<id>` scrapes served during the best run
+    /// (0 with the plane off).
+    pub scrapes: u64,
+    /// Registry snapshots taken by the rate sampler during the best
+    /// run (0 with the plane off).
+    pub samples: u64,
+    /// Wall-time overhead versus the `off` baseline, percent.
+    pub overhead_pct: f64,
+}
+
+impl JsonRow for ScopeOverheadRow {
+    fn json_fields(&self) -> Vec<(&'static str, JsonValue)> {
+        vec![
+            ("mode", s(&self.mode)),
+            ("seconds", num(self.seconds)),
+            ("scrapes", num(self.scrapes as f64)),
+            ("samples", num(self.samples as f64)),
+            ("overhead_pct", num(self.overhead_pct)),
+        ]
+    }
+}
+
 /// One `clone_throughput` row: fingerprinting / retrieval / scan-expansion
 /// throughput over the Table II corpus (see `docs/clone-scanning.md`).
 #[derive(Debug, Clone)]

@@ -491,6 +491,7 @@ struct BatchMetrics {
     panics: Arc<Counter>,
     faults_injected: Arc<Counter>,
     watchdog_fired: Arc<Counter>,
+    uptime_seconds: Arc<Gauge>,
 }
 
 impl BatchMetrics {
@@ -510,9 +511,17 @@ impl BatchMetrics {
         reg.counter("serve_admissions_total");
         reg.counter("serve_rejections_total");
         reg.counter("serve_replays_total");
-        reg.gauge("serve_queue_depth");
+        reg.gauge("serve_queue_depth_bulk");
+        reg.gauge("serve_queue_depth_interactive");
         reg.histogram("serve_queue_wait_micros", &MICROS_BUCKETS);
+        // Build identity for scrapers: a constant-1 info-style gauge
+        // carrying the crate version as a label.
+        reg.info(
+            "octopocs_build_info",
+            &[("version", env!("CARGO_PKG_VERSION"))],
+        );
         BatchMetrics {
+            uptime_seconds: reg.gauge("serve_uptime_seconds"),
             jobs_total: reg.counter("batch_jobs_total"),
             verdict_type_i: reg.counter("batch_verdict_type_i_total"),
             verdict_type_ii: reg.counter("batch_verdict_type_ii_total"),
@@ -648,6 +657,7 @@ pub struct BatchRuntime {
     synced_cache_hits: std::sync::atomic::AtomicU64,
     synced_cache_misses: std::sync::atomic::AtomicU64,
     synced_watchdog_fired: std::sync::atomic::AtomicU64,
+    started_at: Instant,
 }
 
 impl std::fmt::Debug for BatchRuntime {
@@ -676,6 +686,7 @@ impl BatchRuntime {
             synced_cache_hits: std::sync::atomic::AtomicU64::new(0),
             synced_cache_misses: std::sync::atomic::AtomicU64::new(0),
             synced_watchdog_fired: std::sync::atomic::AtomicU64::new(0),
+            started_at: Instant::now(),
         }
     }
 
@@ -709,6 +720,9 @@ impl BatchRuntime {
     /// are high-water-marked, never double-billed); a service calls this
     /// on every metrics request, [`run_batch`] once at the end.
     pub fn refresh_metrics(&self) {
+        self.recorder
+            .uptime_seconds
+            .set(self.started_at.elapsed().as_secs());
         let stats = self.cache.stats();
         sync_counter(
             &self.recorder.cache_hits,
@@ -862,6 +876,20 @@ impl BatchRuntime {
                         attempt,
                         backoff_micros: backoff.as_micros() as u64,
                     });
+                    // Mirror the retry into the lifecycle event stream so
+                    // watchers (and the HTTP timelines built from the
+                    // daemon's fanout) see each failed attempt with the
+                    // heartbeat count the attempt token accumulated.
+                    sink.emit(Event::new(
+                        self.clock.stamp(worker),
+                        worker,
+                        EventKind::RetryScheduled {
+                            job: index,
+                            attempt,
+                            backoff_micros: backoff.as_micros() as u64,
+                            beats: token.as_ref().map_or(0, CancelToken::beats),
+                        },
+                    ));
                     if !backoff.is_zero() {
                         std::thread::sleep(backoff);
                     }

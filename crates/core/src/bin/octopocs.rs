@@ -25,6 +25,7 @@
 //! octopocs watch --id N [--socket PATH | --tcp ADDR]
 //! octopocs results [--wait] [--verdicts-json] [--socket PATH | --tcp ADDR]
 //! octopocs drain [--shutdown] [--socket PATH | --tcp ADDR]
+//! octopocs top --http ADDR [--windows N] [--json]
 //! ```
 //!
 //! `S.mir`/`T.mir` are MicroIR assembly files (the dialect of
@@ -144,7 +145,8 @@ fn usage() -> String {
      octopocs status [--id N] [--metrics-json PATH] [--socket PATH | --tcp ADDR]\n       \
      octopocs watch --id N [--socket PATH | --tcp ADDR]\n       \
      octopocs results [--wait] [--verdicts-json] [--socket PATH | --tcp ADDR]\n       \
-     octopocs drain [--shutdown] [--socket PATH | --tcp ADDR]"
+     octopocs drain [--shutdown] [--socket PATH | --tcp ADDR]\n       \
+     octopocs top --http ADDR [--windows N] [--json]"
         .to_string()
 }
 
@@ -1375,6 +1377,187 @@ fn drain_main(argv: &[String]) -> ExitCode {
     }
 }
 
+/// Windowed rates computed client-side from `/metrics/rates`.
+struct TopReport {
+    windows: usize,
+    span_seconds: f64,
+    jobs_per_sec: f64,
+    solves_per_sec: f64,
+    cache_hits: u64,
+    cache_lookups: u64,
+    queued_interactive: u64,
+    queued_bulk: u64,
+    uptime_seconds: u64,
+}
+
+/// Sums counter deltas and reads end-of-span gauges from the last
+/// `want` windows of a `/metrics/rates` body.
+fn top_report(body: &str, want: usize) -> Result<TopReport, String> {
+    let doc = octo_serve::json::parse_json(body).map_err(|e| format!("bad rates body: {e}"))?;
+    let all = doc
+        .get("windows")
+        .and_then(|w| w.as_array())
+        .ok_or("rates body has no windows array")?;
+    if all.is_empty() {
+        return Err("no rate windows yet (the daemon samples once a second)".to_string());
+    }
+    let windows = &all[all.len().saturating_sub(want.max(1))..];
+    let first = windows.first().expect("non-empty span");
+    let last = windows.last().expect("non-empty span");
+    let span_us = last
+        .get("end_us")
+        .and_then(|v| v.as_u64())
+        .zip(first.get("start_us").and_then(|v| v.as_u64()))
+        .map(|(end, start)| end.saturating_sub(start))
+        .ok_or("windows missing start_us/end_us")?;
+    let span_seconds = span_us as f64 / 1_000_000.0;
+    let delta = |name: &str| -> u64 {
+        windows
+            .iter()
+            .filter_map(|w| {
+                w.get("counters")
+                    .and_then(|c| c.get(name))
+                    .and_then(|v| v.as_u64())
+            })
+            .sum()
+    };
+    let gauge = |name: &str| -> u64 {
+        last.get("gauges")
+            .and_then(|g| g.get(name))
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0)
+    };
+    let per_sec = |total: u64| {
+        if span_seconds > 0.0 {
+            total as f64 / span_seconds
+        } else {
+            0.0
+        }
+    };
+    let cache_hits = delta("cache_hits_total");
+    let cache_lookups = cache_hits + delta("cache_misses_total");
+    Ok(TopReport {
+        windows: windows.len(),
+        span_seconds,
+        jobs_per_sec: per_sec(delta("batch_jobs_total")),
+        solves_per_sec: per_sec(delta("solver_calls_total")),
+        cache_hits,
+        cache_lookups,
+        queued_interactive: gauge("serve_queue_depth_interactive"),
+        queued_bulk: gauge("serve_queue_depth_bulk"),
+        uptime_seconds: gauge("serve_uptime_seconds"),
+    })
+}
+
+/// The `octopocs top` subcommand: one-shot windowed throughput from a
+/// daemon's octo-scope HTTP plane (`octopocsd --http`). Exit 0 = rates
+/// printed, 1 = the plane answered but has no windows yet, 3 = usage or
+/// connection error.
+fn top_main(argv: &[String]) -> ExitCode {
+    let mut http: Option<String> = None;
+    let mut windows: usize = 10;
+    let mut json = false;
+    let mut it = argv.iter();
+    let parse_error = |msg: String| {
+        if msg.is_empty() {
+            eprintln!("{}", usage());
+        } else {
+            eprintln!("{msg}\n{}", usage());
+        }
+        ExitCode::from(3)
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        let result: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--http" => http = Some(value("--http")?),
+                "--windows" => {
+                    windows = value("--windows")?
+                        .parse()
+                        .map_err(|e| format!("bad --windows: {e}"))?;
+                    if windows == 0 {
+                        return Err("--windows must be at least 1".to_string());
+                    }
+                }
+                "--json" => json = true,
+                "--help" | "-h" => return Err(String::new()),
+                other => return Err(format!("unknown top flag `{other}`")),
+            }
+            Ok(())
+        })();
+        if let Err(msg) = result {
+            return parse_error(msg);
+        }
+    }
+    let Some(addr) = http else {
+        return parse_error("top needs --http ADDR (the daemon's --http address)".to_string());
+    };
+    let (status, body) =
+        match octo_serve::http_get(&addr, "/metrics/rates", std::time::Duration::from_secs(5)) {
+            Ok(reply) => reply,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(3);
+            }
+        };
+    if status != 200 {
+        eprintln!("error: /metrics/rates answered {status}: {}", body.trim());
+        return ExitCode::from(3);
+    }
+    let report = match top_report(&body, windows) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let hit_rate = if report.cache_lookups > 0 {
+        report.cache_hits as f64 / report.cache_lookups as f64
+    } else {
+        0.0
+    };
+    if json {
+        println!(
+            "{{\"windows\":{},\"span_seconds\":{:.3},\"jobs_per_sec\":{:.4},\
+             \"solves_per_sec\":{:.4},\"cache_hit_rate\":{:.4},\"cache_hits\":{},\
+             \"cache_lookups\":{},\"queued_interactive\":{},\"queued_bulk\":{},\
+             \"uptime_seconds\":{}}}",
+            report.windows,
+            report.span_seconds,
+            report.jobs_per_sec,
+            report.solves_per_sec,
+            hit_rate,
+            report.cache_hits,
+            report.cache_lookups,
+            report.queued_interactive,
+            report.queued_bulk,
+            report.uptime_seconds,
+        );
+    } else {
+        println!(
+            "octopocs top — last {} window(s), {:.1}s span",
+            report.windows, report.span_seconds
+        );
+        println!("  jobs/s:         {:.2}", report.jobs_per_sec);
+        println!("  solves/s:       {:.2}", report.solves_per_sec);
+        println!(
+            "  cache hit-rate: {:.1}% ({} hit(s) / {} lookup(s))",
+            hit_rate * 100.0,
+            report.cache_hits,
+            report.cache_lookups
+        );
+        println!(
+            "  queue:          {} interactive + {} bulk; uptime {}s",
+            report.queued_interactive, report.queued_bulk, report.uptime_seconds
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("lint") {
@@ -1403,6 +1586,9 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("drain") {
         return drain_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("top") {
+        return top_main(&argv[1..]);
     }
     let args = match parse_args(&argv) {
         Ok(a) => a,

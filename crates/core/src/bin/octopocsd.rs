@@ -1,7 +1,7 @@
 //! `octopocsd` — the long-running OctoPoCs verification daemon.
 //!
 //! ```text
-//! octopocsd [--socket PATH] [--tcp ADDR] [--journal PATH]
+//! octopocsd [--socket PATH] [--tcp ADDR] [--http ADDR] [--journal PATH]
 //!           [--workers N] [--capacity N] [--deadline-secs S]
 //!           [--retry N] [--retry-backoff-ms MS] [--watchdog-quiet-secs S]
 //!           [--fault-plan FILE] [--theta N] [--accelerate-loops]
@@ -26,6 +26,12 @@
 //! full queue. Interactive-priority jobs are always dequeued ahead of
 //! bulk jobs.
 //!
+//! With `--http ADDR` the daemon additionally serves octo-scope, the
+//! read-only HTTP observability plane (`/healthz`, `/metrics`,
+//! `/metrics/rates`, `/jobs`, `/jobs/<id>` — see
+//! `docs/observability.md`), and a sampler thread snapshots the metrics
+//! registry once a second into a 64-window rate ring.
+//!
 //! Lifecycle: a `drain` request stops admissions, finishes the queue,
 //! and exits; a `shutdown` request (or SIGINT/SIGTERM) also cancels
 //! in-flight jobs cooperatively — they come back as incomplete, not as
@@ -44,7 +50,7 @@ use octopocs::batch::BatchOptions;
 use octopocs::{PipelineConfig, ServeExecutor};
 
 fn usage() -> String {
-    "usage: octopocsd [--socket PATH] [--tcp ADDR] [--journal PATH] [--workers N] \
+    "usage: octopocsd [--socket PATH] [--tcp ADDR] [--http ADDR] [--journal PATH] [--workers N] \
      [--capacity N] [--deadline-secs S] [--retry N] [--retry-backoff-ms MS] \
      [--watchdog-quiet-secs S] [--fault-plan FILE] [--theta N] [--accelerate-loops] \
      [--static-cfg] [--context-free] [--prescreen] [--metrics-json PATH]"
@@ -55,6 +61,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut socket = std::path::PathBuf::from("octopocsd.sock");
     let mut tcp: Option<String> = None;
+    let mut http: Option<String> = None;
     let mut journal_path = std::path::PathBuf::from("octopocsd.journal");
     let mut capacity: usize = 64;
     let mut options = BatchOptions::default();
@@ -79,6 +86,7 @@ fn main() -> ExitCode {
             match flag.as_str() {
                 "--socket" => socket = value("--socket")?.into(),
                 "--tcp" => tcp = Some(value("--tcp")?),
+                "--http" => http = Some(value("--http")?),
                 "--journal" => journal_path = value("--journal")?.into(),
                 "--capacity" => {
                     capacity = value("--capacity")?
@@ -200,6 +208,51 @@ fn main() -> ExitCode {
             .unwrap_or_default(),
         options.workers
     );
+
+    // octo-scope: the HTTP observability plane plus its rate sampler.
+    // Both threads stop on drain or daemon completion and are detached —
+    // they hold only Arcs and never touch the JSON-protocol listeners.
+    if let Some(addr) = &http {
+        let listener = match octo_serve::bind_http(addr) {
+            Ok(listener) => listener,
+            Err(e) => {
+                eprintln!("octopocsd: {e}");
+                return ExitCode::from(3);
+            }
+        };
+        let bound = listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| addr.clone());
+        eprintln!("octopocsd: observability plane on http://{bound}");
+        let rates = Arc::new(octo_obs::RateRecorder::new(64));
+        {
+            let rates = Arc::clone(&rates);
+            let executor = Arc::clone(&executor);
+            let stop = drain.clone();
+            let daemon = daemon.clone();
+            std::thread::spawn(move || {
+                let started = std::time::Instant::now();
+                while !stop.is_cancelled() && !daemon.finished() {
+                    executor.sample_rates(&rates, started.elapsed().as_micros() as u64);
+                    // Sub-second sleeps so shutdown is prompt.
+                    for _ in 0..10 {
+                        if stop.is_cancelled() || daemon.finished() {
+                            break;
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(100));
+                    }
+                }
+            });
+        }
+        {
+            let stop = drain.clone();
+            let daemon = daemon.clone();
+            std::thread::spawn(move || {
+                octo_serve::serve_http(&daemon, Some(rates), listener, &stop);
+            });
+        }
+    }
 
     let server_config = ServerConfig {
         socket: socket.clone(),

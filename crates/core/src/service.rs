@@ -84,6 +84,15 @@ impl ServeExecutor {
         &self.cancel
     }
 
+    /// Refreshes the derived gauges (cache, uptime, watchdog) and
+    /// snapshots the registry into `recorder` — the octo-scope rate
+    /// sampler calls this on its interval so `/metrics/rates` windows
+    /// reflect live figures.
+    pub fn sample_rates(&self, recorder: &octo_obs::RateRecorder, elapsed_micros: u64) {
+        self.runtime.refresh_metrics();
+        recorder.record(self.runtime.metrics(), elapsed_micros);
+    }
+
     /// Conversion errors encountered by workers (empty in healthy
     /// operation; populated only from hand-corrupted journals).
     pub fn conversion_errors(&self) -> Vec<String> {
@@ -148,6 +157,11 @@ impl JobExecutor for ServeExecutor {
     fn metrics_json(&self) -> String {
         self.runtime.refresh_metrics();
         self.runtime.metrics().render_json()
+    }
+
+    fn metrics_prometheus(&self) -> String {
+        self.runtime.refresh_metrics();
+        self.runtime.metrics().render_prometheus()
     }
 
     fn cancel_all(&self) {

@@ -20,11 +20,20 @@
 //! the Prometheus text format ([`MetricsRegistry::render_prometheus`]).
 //! Empty histograms render zeroed statistics — no NaN can reach the
 //! output.
+//!
+//! On top of the registry sits a thin time-series layer: a
+//! [`RateRecorder`] ring of [`MetricsRegistry::snapshot`]s taken on a
+//! sampling interval, from which windowed throughput and ratios (jobs
+//! per second, cache hit-rate over the last N windows) are derived on
+//! read — the basis of the daemon's `/metrics/rates` endpoint and
+//! `octopocs top`.
 
 #![warn(missing_docs)]
 
+mod rate;
 mod registry;
 mod span;
 
-pub use registry::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use rate::{RateRecorder, RateSample, RateWindow};
+pub use registry::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
 pub use span::{NullObserver, Span, SpanObserver};

@@ -210,6 +210,23 @@ impl Histogram {
     }
 }
 
+/// A point-in-time value capture of every registered metric, taken
+/// under a single registry lock so the name set is consistent (the
+/// values themselves are relaxed loads, like any other read).
+///
+/// Histograms collapse to their `(count, sum)` pair — enough for rate
+/// and mean-latency deltas without copying bucket vectors on every
+/// sampling tick.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram `(count, sum)` by name.
+    pub histograms: BTreeMap<String, (u64, u64)>,
+}
+
 #[derive(Debug, Clone)]
 enum Metric {
     Counter(Arc<Counter>),
@@ -236,6 +253,10 @@ impl Metric {
 #[derive(Default)]
 pub struct MetricsRegistry {
     metrics: Mutex<BTreeMap<String, Metric>>,
+    /// Info-style labels attached to gauges (e.g. a build-info metric's
+    /// `version`). Kept out of [`Metric`] so the hot path stays a plain
+    /// atomic; renderers consult this map when printing.
+    info_labels: Mutex<BTreeMap<String, Vec<(String, String)>>>,
 }
 
 impl MetricsRegistry {
@@ -300,6 +321,51 @@ impl MetricsRegistry {
         }
     }
 
+    /// Registers an info-style metric: a gauge pinned at `1` whose
+    /// payload is its labels (Prometheus `foo_info{version="…"} 1`
+    /// convention). Re-registration overwrites the labels.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a non-gauge kind.
+    pub fn info(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let gauge = self.gauge(name);
+        gauge.set(1);
+        self.info_labels.lock().unwrap().insert(
+            name.to_string(),
+            labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        );
+        gauge
+    }
+
+    /// The info labels registered for `name`, if any.
+    pub fn info_labels(&self, name: &str) -> Option<Vec<(String, String)>> {
+        self.info_labels.lock().unwrap().get(name).cloned()
+    }
+
+    /// Captures every metric's current value under one lock (see
+    /// [`MetricsSnapshot`]).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.metrics.lock().unwrap();
+        let mut snap = MetricsSnapshot::default();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snap.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snap.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    snap.histograms.insert(name.clone(), (h.count(), h.sum()));
+                }
+            }
+        }
+        snap
+    }
+
     /// Looks up a counter without creating it.
     pub fn get_counter(&self, name: &str) -> Option<Arc<Counter>> {
         match self.metrics.lock().unwrap().get(name) {
@@ -345,6 +411,11 @@ impl MetricsRegistry {
                 Metric::Histogram(h) => self.histogram(&name, h.bounds()).merge_from(&h),
             }
         }
+        let their_labels = other.info_labels.lock().unwrap().clone();
+        let mut mine = self.info_labels.lock().unwrap();
+        for (name, labels) in their_labels {
+            mine.entry(name).or_insert(labels);
+        }
     }
 
     /// Renders every metric as JSON: `{"metrics":[...]}` with one object
@@ -352,6 +423,7 @@ impl MetricsRegistry {
     /// statistics — never NaN and never a division by zero.
     pub fn render_json(&self) -> String {
         let map = self.metrics.lock().unwrap();
+        let labels = self.info_labels.lock().unwrap();
         let mut out = String::from("{\"metrics\":[\n");
         let mut first = true;
         for (name, metric) in map.iter() {
@@ -368,9 +440,24 @@ impl MetricsRegistry {
                 }
                 Metric::Gauge(g) => {
                     out.push_str(&format!(
-                        "{{\"name\":\"{name}\",\"type\":\"gauge\",\"value\":{}}}",
+                        "{{\"name\":\"{name}\",\"type\":\"gauge\",\"value\":{}",
                         g.get()
                     ));
+                    if let Some(pairs) = labels.get(name) {
+                        out.push_str(",\"labels\":{");
+                        for (i, (k, v)) in pairs.iter().enumerate() {
+                            if i > 0 {
+                                out.push(',');
+                            }
+                            out.push_str(&format!(
+                                "\"{}\":\"{}\"",
+                                label_escape(k),
+                                label_escape(v)
+                            ));
+                        }
+                        out.push('}');
+                    }
+                    out.push('}');
                 }
                 Metric::Histogram(h) => {
                     out.push_str(&format!(
@@ -407,15 +494,29 @@ impl MetricsRegistry {
     /// `_sum`, `_count` series).
     pub fn render_prometheus(&self) -> String {
         let map = self.metrics.lock().unwrap();
+        let labels = self.info_labels.lock().unwrap();
         let mut out = String::new();
         for (name, metric) in map.iter() {
             match metric {
                 Metric::Counter(c) => {
                     out.push_str(&format!("# TYPE {name} counter\n{name} {}\n", c.get()));
                 }
-                Metric::Gauge(g) => {
-                    out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
-                }
+                Metric::Gauge(g) => match labels.get(name) {
+                    Some(pairs) => {
+                        let rendered: Vec<String> = pairs
+                            .iter()
+                            .map(|(k, v)| format!("{}=\"{}\"", label_escape(k), label_escape(v)))
+                            .collect();
+                        out.push_str(&format!(
+                            "# TYPE {name} gauge\n{name}{{{}}} {}\n",
+                            rendered.join(","),
+                            g.get()
+                        ));
+                    }
+                    None => {
+                        out.push_str(&format!("# TYPE {name} gauge\n{name} {}\n", g.get()));
+                    }
+                },
                 Metric::Histogram(h) => {
                     out.push_str(&format!("# TYPE {name} histogram\n"));
                     let mut cumulative = 0u64;
@@ -437,6 +538,22 @@ impl MetricsRegistry {
         }
         out
     }
+}
+
+/// Escapes a label key/value for both JSON and the Prometheus text
+/// format (quotes, backslashes, newlines — the characters the two
+/// grammars share as specials).
+fn label_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 impl fmt::Debug for MetricsRegistry {
@@ -581,5 +698,57 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.gauge("x");
         reg.counter("x");
+    }
+
+    #[test]
+    fn info_metric_renders_labels_in_both_formats() {
+        let reg = MetricsRegistry::new();
+        reg.info("octopocs_build_info", &[("version", "1.2.3")]);
+        assert_eq!(reg.gauge("octopocs_build_info").get(), 1);
+        assert_eq!(
+            reg.info_labels("octopocs_build_info").unwrap(),
+            vec![("version".to_string(), "1.2.3".to_string())]
+        );
+
+        let prom = reg.render_prometheus();
+        assert!(
+            prom.contains("octopocs_build_info{version=\"1.2.3\"} 1"),
+            "{prom}"
+        );
+        let json = reg.render_json();
+        assert!(json.contains("\"name\":\"octopocs_build_info\""), "{json}");
+        assert!(
+            json.contains("\"labels\":{\"version\":\"1.2.3\"}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn info_labels_survive_merge_and_escape_specials() {
+        let a = MetricsRegistry::new();
+        let b = MetricsRegistry::new();
+        b.info("build_info", &[("version", "a\"b\\c")]);
+        a.merge_from(&b);
+        assert_eq!(a.gauge("build_info").get(), 1);
+        let prom = a.render_prometheus();
+        assert!(
+            prom.contains("build_info{version=\"a\\\"b\\\\c\"} 1"),
+            "{prom}"
+        );
+    }
+
+    #[test]
+    fn snapshot_captures_all_three_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c_total").add(3);
+        reg.gauge("g_depth").set(7);
+        let h = reg.histogram("h_micros", &[10]);
+        h.observe(4);
+        h.observe(40);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters.get("c_total"), Some(&3));
+        assert_eq!(snap.gauges.get("g_depth"), Some(&7));
+        assert_eq!(snap.histograms.get("h_micros"), Some(&(2, 44)));
     }
 }

@@ -55,6 +55,20 @@ pub enum EventKind {
         /// Total wall-clock seconds for the job.
         seconds: f64,
     },
+    /// An attempt failed transiently and a retry was scheduled. The
+    /// event closes attempt `attempt` (1-based): `beats` is the number
+    /// of watchdog heartbeats the cancelled attempt token recorded, so
+    /// a timeline can show liveness per attempt, not just per job.
+    RetryScheduled {
+        /// Submission index.
+        job: usize,
+        /// The attempt that just failed (the retry will be `attempt + 1`).
+        attempt: u32,
+        /// Backoff before the retry, microseconds.
+        backoff_micros: u64,
+        /// Watchdog heartbeats observed during the failed attempt.
+        beats: u64,
+    },
 }
 
 /// One progress event in a batch run: a kind, the worker lane that
@@ -104,7 +118,8 @@ impl Event {
             EventKind::JobStarted { job, .. }
             | EventKind::PhaseFinished { job, .. }
             | EventKind::CacheHit { job, .. }
-            | EventKind::JobFinished { job, .. } => *job,
+            | EventKind::JobFinished { job, .. }
+            | EventKind::RetryScheduled { job, .. } => *job,
         }
     }
 
@@ -123,6 +138,15 @@ impl Event {
                 outcome,
                 seconds,
             } => format!("[{job:>3}] done     {outcome} ({seconds:.3}s)"),
+            EventKind::RetryScheduled {
+                job,
+                attempt,
+                backoff_micros,
+                beats,
+            } => format!(
+                "[{job:>3}] retry    attempt {attempt} failed ({beats} beats), \
+                 backoff {backoff_micros}us"
+            ),
         }
     }
 
@@ -155,6 +179,15 @@ impl Event {
                 "{{\"event\":\"job_finished\",{head},\"job\":{job},\"outcome\":\"{}\",\
                  \"seconds\":{seconds:.6}}}",
                 json_escape(outcome)
+            ),
+            EventKind::RetryScheduled {
+                job,
+                attempt,
+                backoff_micros,
+                beats,
+            } => format!(
+                "{{\"event\":\"retry_scheduled\",{head},\"job\":{job},\"attempt\":{attempt},\
+                 \"backoff_us\":{backoff_micros},\"beats\":{beats}}}"
             ),
         }
     }
@@ -385,6 +418,29 @@ mod tests {
             "{\"event\":\"job_started\",\"ts_us\":41,\"worker\":2,\"job\":3,\
              \"name\":\"a\\\"b\\\\c\\nd\"}"
         );
+    }
+
+    #[test]
+    fn retry_scheduled_renders_and_reports_its_job() {
+        let e = Event::new(
+            9,
+            1,
+            EventKind::RetryScheduled {
+                job: 4,
+                attempt: 2,
+                backoff_micros: 1500,
+                beats: 11,
+            },
+        );
+        assert_eq!(e.job(), 4);
+        assert_eq!(
+            e.render_json(),
+            "{\"event\":\"retry_scheduled\",\"ts_us\":9,\"worker\":1,\"job\":4,\
+             \"attempt\":2,\"backoff_us\":1500,\"beats\":11}"
+        );
+        let human = e.render_human();
+        assert!(human.contains("attempt 2"), "{human}");
+        assert!(human.contains("1500us"), "{human}");
     }
 
     #[test]

@@ -27,6 +27,7 @@ use crate::proto::{
     JobPhase, JobSpec, JobStatus, Priority, QueueStatus, Response, ResultRow, VerdictSummary,
     WireEvent,
 };
+use crate::timeline::TimelineStore;
 
 /// Queue-wait histogram bounds, microseconds. Shared with the batch
 /// metrics registration in the core crate — the registry asserts that
@@ -71,6 +72,13 @@ pub trait JobExecutor: Send + Sync {
         self.registry().render_json()
     }
 
+    /// Renders the registry in the Prometheus text format (the HTTP
+    /// plane's `/metrics`). Embedders that refresh derived gauges
+    /// before rendering override this too.
+    fn metrics_prometheus(&self) -> String {
+        self.registry().render_prometheus()
+    }
+
     /// Fires the engine's run-level cancel token: every in-flight job
     /// should wind down as cancelled. Called once at shutdown.
     fn cancel_all(&self) {}
@@ -81,7 +89,10 @@ struct ServeMetrics {
     admissions: Arc<Counter>,
     rejections: Arc<Counter>,
     replays: Arc<Counter>,
-    queue_depth: Arc<Gauge>,
+    /// Per-priority queue depths: one gauge per class, so a scrape can
+    /// see bulk starvation even while interactive churns.
+    queue_depth_interactive: Arc<Gauge>,
+    queue_depth_bulk: Arc<Gauge>,
     queue_wait: Arc<Histogram>,
 }
 
@@ -91,9 +102,16 @@ impl ServeMetrics {
             admissions: reg.counter("serve_admissions_total"),
             rejections: reg.counter("serve_rejections_total"),
             replays: reg.counter("serve_replays_total"),
-            queue_depth: reg.gauge("serve_queue_depth"),
+            queue_depth_interactive: reg.gauge("serve_queue_depth_interactive"),
+            queue_depth_bulk: reg.gauge("serve_queue_depth_bulk"),
             queue_wait: reg.histogram("serve_queue_wait_micros", &QUEUE_WAIT_BUCKETS),
         }
+    }
+
+    fn set_queue_depth(&self, state: &State) {
+        self.queue_depth_interactive
+            .set(state.interactive.len() as u64);
+        self.queue_depth_bulk.set(state.bulk.len() as u64);
     }
 }
 
@@ -152,6 +170,7 @@ pub struct Daemon {
     idle: Condvar,
     fanout: Arc<FanoutSink>,
     metrics: ServeMetrics,
+    timelines: Arc<TimelineStore>,
 }
 
 impl Daemon {
@@ -164,6 +183,12 @@ impl Daemon {
         capacity: usize,
     ) -> Arc<Daemon> {
         let metrics = ServeMetrics::register(executor.registry());
+        let fanout = Arc::new(FanoutSink::new());
+        let timelines = Arc::new(TimelineStore::new());
+        // The timeline store mirrors the scheduler's event stream for
+        // the life of the daemon (watch subscribers come and go beside
+        // it on the same fan-out).
+        fanout.subscribe(timelines.clone());
         Arc::new(Daemon {
             executor,
             journal,
@@ -174,8 +199,9 @@ impl Daemon {
             }),
             work: Condvar::new(),
             idle: Condvar::new(),
-            fanout: Arc::new(FanoutSink::new()),
+            fanout,
             metrics,
+            timelines,
         })
     }
 
@@ -185,7 +211,13 @@ impl Daemon {
         let mut state = self.state.lock().expect("daemon state poisoned");
         for (id, spec) in replay.jobs {
             let verdict = replay.verdicts.get(&id).cloned();
-            let phase = if verdict.is_some() {
+            self.timelines
+                .record_submitted(id, &spec.name, spec.priority);
+            let phase = if let Some(done) = &verdict {
+                // A restored verdict has no live history; its timeline
+                // is just the restored outcome.
+                self.timelines
+                    .record_finished(id, JobPhase::Done, &done.verdict);
                 JobPhase::Done
             } else {
                 match spec.priority {
@@ -207,7 +239,7 @@ impl Daemon {
             );
             state.next_id = state.next_id.max(id + 1);
         }
-        self.metrics.queue_depth.set(state.queued());
+        self.metrics.set_queue_depth(&state);
         drop(state);
         self.work.notify_all();
     }
@@ -242,7 +274,8 @@ impl Daemon {
                         let record = state.jobs.get_mut(&id).expect("queued job exists");
                         record.phase = JobPhase::Running;
                         state.running += 1;
-                        self.metrics.queue_depth.set(state.queued());
+                        self.metrics.set_queue_depth(&state);
+                        self.timelines.record_picked_up(id);
                         let record = state.jobs.get(&id).expect("queued job exists");
                         let wait = record.queued_at.elapsed().as_micros() as u64;
                         self.metrics.queue_wait.observe(wait);
@@ -268,10 +301,14 @@ impl Daemon {
             let record = state.jobs.get_mut(&job.id).expect("running job exists");
             if outcome.cancelled {
                 record.phase = JobPhase::Interrupted;
+                self.timelines
+                    .record_finished(job.id, JobPhase::Interrupted, "interrupted");
             } else {
                 record.phase = JobPhase::Done;
                 record.verdict = Some(outcome.verdict.clone());
                 record.post_mortem = outcome.post_mortem;
+                self.timelines
+                    .record_finished(job.id, JobPhase::Done, &outcome.verdict.verdict);
                 if let Some(journal) = &self.journal {
                     if let Err(e) = journal.record_verdict(job.id, &outcome.verdict) {
                         eprintln!("octopocsd: {e}");
@@ -311,6 +348,8 @@ impl Daemon {
             Priority::Interactive => state.interactive.push_back(id),
             Priority::Bulk => state.bulk.push_back(id),
         }
+        self.timelines
+            .record_submitted(id, &spec.name, spec.priority);
         state.jobs.insert(
             id,
             JobRecord {
@@ -322,7 +361,7 @@ impl Daemon {
             },
         );
         self.metrics.admissions.inc();
-        self.metrics.queue_depth.set(state.queued());
+        self.metrics.set_queue_depth(&state);
         drop(state);
         self.work.notify_one();
         Ok(id)
@@ -370,9 +409,38 @@ impl Daemon {
             .collect()
     }
 
+    /// Every known job's status, in id (= submission) order — the
+    /// queue + in-flight + completed listing behind `GET /jobs`.
+    pub fn jobs(&self) -> Vec<JobStatus> {
+        let state = self.state.lock().expect("daemon state poisoned");
+        state
+            .jobs
+            .iter()
+            .map(|(id, j)| JobStatus {
+                id: *id,
+                name: j.spec.name.clone(),
+                priority: j.spec.priority,
+                phase: j.phase,
+                verdict: j.verdict.clone(),
+                post_mortem: j.post_mortem.clone(),
+            })
+            .collect()
+    }
+
     /// The executor's metrics rendering.
     pub fn metrics_json(&self) -> String {
         self.executor.metrics_json()
+    }
+
+    /// The executor's Prometheus text rendering (the HTTP plane's
+    /// `/metrics` body).
+    pub fn metrics_prometheus(&self) -> String {
+        self.executor.metrics_prometheus()
+    }
+
+    /// The live per-job timeline table.
+    pub fn timelines(&self) -> &Arc<TimelineStore> {
+        &self.timelines
     }
 
     /// Streams `id`'s live events into `deliver` until the job
@@ -743,6 +811,68 @@ mod tests {
             next,
             Err(SubmitError::Rejected("daemon is draining".to_string()))
         );
+    }
+
+    #[test]
+    fn queue_depth_gauges_split_by_priority() {
+        let executor = Arc::new(StubExecutor::gated());
+        let daemon = Daemon::new(executor.clone(), None, 16);
+        daemon.submit(spec("first", Priority::Bulk)).unwrap();
+        let workers = daemon.start_workers(1);
+        while executor.executed.lock().unwrap().is_empty() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        daemon.submit(spec("bulk-q", Priority::Bulk)).unwrap();
+        daemon.submit(spec("rush", Priority::Interactive)).unwrap();
+        let reg = executor.registry();
+        assert_eq!(
+            reg.get_gauge("serve_queue_depth_interactive")
+                .unwrap()
+                .get(),
+            1
+        );
+        assert_eq!(reg.get_gauge("serve_queue_depth_bulk").unwrap().get(), 1);
+        assert!(
+            reg.get_gauge("serve_queue_depth").is_none(),
+            "the aggregate gauge is replaced by the per-priority split"
+        );
+        executor.release();
+        daemon.wait_idle();
+        daemon.drain();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(
+            reg.get_gauge("serve_queue_depth_interactive")
+                .unwrap()
+                .get(),
+            0
+        );
+        assert_eq!(reg.get_gauge("serve_queue_depth_bulk").unwrap().get(), 0);
+    }
+
+    #[test]
+    fn daemon_assembles_timelines_for_submitted_jobs() {
+        let daemon = Daemon::new(Arc::new(StubExecutor::immediate()), None, 8);
+        daemon.submit(spec("traced", Priority::Bulk)).unwrap();
+        let workers = daemon.start_workers(1);
+        daemon.wait_idle();
+        daemon.drain();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let t = daemon.timelines().timeline(1).expect("timeline exists");
+        assert_eq!(t.name, "traced");
+        assert_eq!(t.phase, JobPhase::Done);
+        assert_eq!(t.outcome.as_deref(), Some("Type-I"));
+        let picked = t.picked_up_us.expect("picked up");
+        let finished = t.finished_us.expect("finished");
+        assert!(t.submitted_us < picked && picked < finished);
+        assert_eq!(t.queue_wait_us(), Some(picked - t.submitted_us));
+        // The daemon's /jobs listing mirrors the job table.
+        let jobs = daemon.jobs();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].phase, JobPhase::Done);
     }
 
     #[test]

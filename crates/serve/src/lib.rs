@@ -13,24 +13,32 @@
 //!   core crate plugs its pipeline into.
 //! - [`server`]: the socket accept loop and capped line reader.
 //! - [`client`]: the connection type the CLI subcommands drive.
+//! - [`timeline`]: per-job timelines (submit → queue wait → attempts →
+//!   phase spans) assembled from the daemon's own event stream.
+//! - [`http`]: octo-scope, the read-only HTTP/1.1 observability plane
+//!   (`/healthz`, `/metrics`, `/metrics/rates`, `/jobs`, `/jobs/<id>`).
 //!
 //! The daemon's lifecycle and wire reference are documented in
-//! `docs/service.md`.
+//! `docs/service.md`; the HTTP plane in `docs/observability.md`.
 
 #![warn(missing_docs)]
 
 pub mod client;
 pub mod daemon;
+pub mod http;
 pub mod journal;
 pub mod json;
 pub mod proto;
 pub mod server;
+pub mod timeline;
 
 pub use client::{Client, Endpoint};
 pub use daemon::{Daemon, ExecJob, ExecOutcome, JobExecutor, SubmitError, QUEUE_WAIT_BUCKETS};
+pub use http::{bind_http, http_get, serve_http, HttpResponse, Scope};
 pub use journal::{Journal, Replay};
 pub use proto::{
     JobPhase, JobSpec, JobStatus, Priority, QueueStatus, Request, Response, ResultRow,
     VerdictSummary, WireEvent, WireEventKind, MAX_LINE_BYTES,
 };
 pub use server::{handle_connection, serve, ServerConfig};
+pub use timeline::{AttemptSpan, JobTimeline, TimelineStep, TimelineStore};

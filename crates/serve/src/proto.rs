@@ -201,6 +201,15 @@ pub enum WireEventKind {
         /// Job wall time, microseconds.
         micros: u64,
     },
+    /// An attempt failed transiently; a retry is scheduled.
+    Retry {
+        /// The 1-based attempt that failed.
+        attempt: u64,
+        /// Backoff before the next attempt, microseconds.
+        backoff_us: u64,
+        /// Watchdog heartbeats observed during the failed attempt.
+        beats: u64,
+    },
 }
 
 impl WireEvent {
@@ -220,6 +229,16 @@ impl WireEvent {
             } => WireEventKind::Finished {
                 outcome: outcome.clone(),
                 micros: (seconds * 1e6) as u64,
+            },
+            EventKind::RetryScheduled {
+                attempt,
+                backoff_micros,
+                beats,
+                ..
+            } => WireEventKind::Retry {
+                attempt: u64::from(*attempt),
+                backoff_us: *backoff_micros,
+                beats: *beats,
             },
         };
         WireEvent {
@@ -250,6 +269,14 @@ impl WireEvent {
             WireEventKind::Finished { outcome, micros } => format!(
                 "\"kind\":\"finished\",{head},\"outcome\":\"{}\",\"micros\":{micros}",
                 json_escape(outcome)
+            ),
+            WireEventKind::Retry {
+                attempt,
+                backoff_us,
+                beats,
+            } => format!(
+                "\"kind\":\"retry\",{head},\"attempt\":{attempt},\"backoff_us\":{backoff_us},\
+                 \"beats\":{beats}"
             ),
         }
     }
@@ -283,6 +310,14 @@ impl WireEvent {
                 WireEventKind::Finished {
                     outcome: str_field(v, "outcome")?,
                     micros: u64_field(v, "micros")?,
+                }
+            }
+            "retry" => {
+                check_keys_plus(v, &base, &["attempt", "backoff_us", "beats"])?;
+                WireEventKind::Retry {
+                    attempt: u64_field(v, "attempt")?,
+                    backoff_us: u64_field(v, "backoff_us")?,
+                    beats: u64_field(v, "beats")?,
                 }
             }
             other => return Err(format!("unknown event kind `{other}`")),

@@ -118,6 +118,13 @@ fn arb_event() -> impl Strategy<Value = WireEvent> {
         any::<u64>().prop_map(|key| WireEventKind::CacheHit { key }),
         (wire_text(), wire_u64())
             .prop_map(|(outcome, micros)| WireEventKind::Finished { outcome, micros }),
+        (wire_u64(), wire_u64(), wire_u64()).prop_map(|(attempt, backoff_us, beats)| {
+            WireEventKind::Retry {
+                attempt,
+                backoff_us,
+                beats,
+            }
+        }),
     ];
     (wire_u64(), wire_u64(), wire_u64(), kind).prop_map(|(job, worker, ts_us, kind)| WireEvent {
         job,

@@ -15,6 +15,10 @@ use octo_serve::{Client, Endpoint, Request, Response};
 /// The golden corpus verdicts (also pinned by `batch_golden.rs`).
 const GOLDEN: &str = include_str!("golden/batch_verdicts.json");
 
+/// The pinned metric catalogue (also pinned by `metrics_golden.rs`);
+/// every `/metrics` scrape must expose exactly this key set.
+const METRICS_SCHEMA: &str = include_str!("golden/metrics_schema.txt");
+
 /// A fault plan that wedges every job's directed engine (cancellable,
 /// never progressing) — the deterministic way to keep a worker busy.
 const HANG_PLAN: &str = "{\"seed\":1,\"rules\":[{\"site\":\"directed-hang\",\"nth\":1}]}";
@@ -266,7 +270,9 @@ fn watch_streams_events_until_the_verdict() {
     let metrics = std::fs::read_to_string(&metrics_path).expect("metrics file");
     for key in [
         "serve_admissions_total",
-        "serve_queue_depth",
+        "serve_queue_depth_bulk",
+        "serve_queue_depth_interactive",
+        "serve_uptime_seconds",
         "serve_queue_wait_micros",
         "serve_rejections_total",
         "serve_replays_total",
@@ -274,6 +280,290 @@ fn watch_streams_events_until_the_verdict() {
     ] {
         assert!(metrics.contains(key), "metrics missing {key}");
     }
+
+    let (code, _, stderr) = client(&socket, &["drain"]);
+    assert_eq!(code, 0, "drain failed: {stderr}");
+    assert_eq!(child.wait().expect("daemon exit").code(), Some(0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Starts `octopocsd` with the octo-scope HTTP plane on an ephemeral
+/// port and returns the bound address (scraped from the daemon's
+/// startup banner).
+#[allow(clippy::zombie_processes)]
+fn start_daemon_http(dir: &Path, extra: &[&str]) -> (Child, PathBuf, String) {
+    let socket = dir.join("d.sock");
+    let banner = dir.join("stderr.log");
+    let errlog = std::fs::File::create(&banner).expect("stderr log");
+    let mut child = Command::new(bin_path("octopocsd"))
+        .current_dir(dir)
+        .args([
+            "--socket",
+            "d.sock",
+            "--journal",
+            "d.journal",
+            "--http",
+            "127.0.0.1:0",
+        ])
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::from(errlog))
+        .spawn()
+        .expect("spawn octopocsd");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let log = std::fs::read_to_string(&banner).unwrap_or_default();
+        let addr = log
+            .lines()
+            .find_map(|l| l.split("observability plane on http://").nth(1))
+            .map(str::trim);
+        if let Some(addr) = addr {
+            if Client::connect(&Endpoint::Unix(socket.clone())).is_ok() {
+                return (child, socket, addr.to_string());
+            }
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            panic!("daemon (with --http) never came up; banner: {log:?}");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The metric family names advertised by a Prometheus exposition body
+/// (its `# TYPE` lines), in order — and, as a side effect, a validity
+/// check: every sample line must belong to the family announced above
+/// it.
+fn prometheus_families(body: &str) -> Vec<String> {
+    let mut families = Vec::new();
+    let mut current = String::new();
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            current = rest
+                .split_whitespace()
+                .next()
+                .unwrap_or_default()
+                .to_string();
+            assert!(!current.is_empty(), "empty TYPE line: {line:?}");
+            families.push(current.clone());
+        } else if !line.is_empty() && !line.starts_with('#') {
+            let name = line
+                .split(['{', ' '])
+                .next()
+                .expect("sample line has a name");
+            assert!(
+                name.starts_with(current.as_str()),
+                "sample {name} outside its family {current}"
+            );
+            assert!(
+                line.rsplit(' ').next().is_some_and(|v| !v.is_empty()),
+                "sample line has no value: {line:?}"
+            );
+        }
+    }
+    families
+}
+
+fn schema_keys() -> Vec<&'static str> {
+    METRICS_SCHEMA.lines().filter(|l| !l.is_empty()).collect()
+}
+
+/// Tentpole: a live daemon with `--http` serves the whole octo-scope
+/// surface — health, the pinned-schema metrics, the job table, a
+/// complete per-job timeline with monotonic timestamps, rate windows —
+/// and answers malformed requests with structured 4xx while the JSON
+/// protocol keeps working.
+#[test]
+fn http_plane_serves_metrics_jobs_and_timelines() {
+    let dir = workdir("http");
+    let (mut child, socket, addr) = start_daemon_http(&dir, &["--workers", "2"]);
+    let get = |path: &str| {
+        octo_serve::http_get(&addr, path, Duration::from_secs(10)).expect("http reachable")
+    };
+
+    let (status, body) = get("/healthz");
+    assert_eq!((status, body.as_str()), (200, "{\"status\":\"ok\"}\n"));
+
+    let (code, _, stderr) = client(&socket, &["submit", "--corpus"]);
+    assert_eq!(code, 0, "submit failed: {stderr}");
+    let (code, verdicts, stderr) = client(&socket, &["results", "--wait", "--verdicts-json"]);
+    assert_eq!(code, 0, "results failed: {stderr}");
+    assert_eq!(verdicts, GOLDEN, "verdicts drifted under --http");
+
+    // /metrics: exactly the pinned schema, valid exposition format.
+    let (status, body) = get("/metrics");
+    assert_eq!(status, 200);
+    assert_eq!(
+        prometheus_families(&body),
+        schema_keys(),
+        "scraped key set drifted from tests/golden/metrics_schema.txt"
+    );
+    assert!(
+        body.contains("octopocs_build_info{version=\""),
+        "build info label missing: {body}"
+    );
+
+    // /jobs: queue summary plus all fifteen corpus jobs.
+    let (status, body) = get("/jobs");
+    assert_eq!(status, 200);
+    let jobs = octo_serve::json::parse_json(&body).expect("jobs body parses");
+    assert_eq!(
+        jobs.get("queue")
+            .and_then(|q| q.get("done"))
+            .and_then(|v| v.as_u64()),
+        Some(15),
+        "{body}"
+    );
+    assert_eq!(
+        jobs.get("jobs").and_then(|j| j.as_array()).map(<[_]>::len),
+        Some(15),
+        "{body}"
+    );
+
+    // /jobs/1: the full timeline — queue wait, at least one attempt,
+    // the prepare phase span, strictly monotonic step timestamps.
+    let (status, body) = get("/jobs/1");
+    assert_eq!(status, 200);
+    let timeline = octo_serve::json::parse_json(&body).expect("timeline parses");
+    assert!(
+        timeline
+            .get("queue_wait_us")
+            .and_then(|v| v.as_u64())
+            .is_some(),
+        "{body}"
+    );
+    assert!(
+        timeline
+            .get("finished_us")
+            .and_then(|v| v.as_u64())
+            .is_some(),
+        "{body}"
+    );
+    let attempts = timeline
+        .get("attempts")
+        .and_then(|a| a.as_array())
+        .expect("attempts array");
+    assert_eq!(attempts.len(), 1, "healthy corpus job runs once: {body}");
+    let steps = timeline
+        .get("steps")
+        .and_then(|s| s.as_array())
+        .expect("steps array");
+    assert!(!steps.is_empty(), "{body}");
+    let mut last = 0u64;
+    let mut phases = Vec::new();
+    for step in steps {
+        let at = step.get("at_us").and_then(|v| v.as_u64()).expect("at_us");
+        assert!(
+            at > last,
+            "timeline steps must be strictly monotonic: {body}"
+        );
+        last = at;
+        if step.get("step").and_then(|v| v.as_str()) == Some("phase") {
+            phases.push(
+                step.get("phase")
+                    .and_then(|v| v.as_str())
+                    .unwrap()
+                    .to_string(),
+            );
+        }
+    }
+    assert!(
+        phases.contains(&"prepare".to_string()),
+        "prepare span missing from {phases:?}"
+    );
+    assert_eq!(
+        steps
+            .last()
+            .and_then(|s| s.get("step"))
+            .and_then(|v| v.as_str()),
+        Some("finished"),
+        "{body}"
+    );
+
+    // /metrics/rates: the sampler has been running since startup.
+    let (status, body) = get("/metrics/rates");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"windows\":["), "{body}");
+
+    // `octopocs top` consumes the same windows end to end. The corpus
+    // run above took well over a sampling interval, so windows exist.
+    let top = Command::new(bin_path("octopocs"))
+        .args(["top", "--http", &addr, "--json"])
+        .output()
+        .expect("spawn octopocs top");
+    assert_eq!(
+        top.status.code(),
+        Some(0),
+        "top failed: {}",
+        String::from_utf8_lossy(&top.stderr)
+    );
+    let top_out = String::from_utf8_lossy(&top.stdout);
+    assert!(top_out.contains("\"jobs_per_sec\":"), "{top_out}");
+    assert!(top_out.contains("\"cache_hit_rate\":"), "{top_out}");
+
+    // Structured 4xx, and the JSON protocol is unharmed afterwards.
+    assert_eq!(get("/nope").0, 404);
+    assert_eq!(get("/jobs/zzz").0, 400);
+    assert!(
+        get("/jobs/999").1.contains("\"error\""),
+        "error body is JSON"
+    );
+    let status = queue_status(&socket);
+    assert_eq!(status.done, 15, "JSON protocol must survive HTTP noise");
+
+    let (code, _, stderr) = client(&socket, &["drain"]);
+    assert_eq!(code, 0, "drain failed: {stderr}");
+    assert_eq!(child.wait().expect("daemon exit").code(), Some(0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: concurrent `/metrics` scrapes while a corpus batch runs.
+/// Every response must be complete, valid Prometheus exposition whose
+/// key set matches the pinned schema — no torn writes, no partial
+/// registries, no panics under scrape pressure.
+#[test]
+fn concurrent_scrapes_stay_complete_during_a_batch() {
+    let dir = workdir("scrape");
+    let (mut child, socket, addr) = start_daemon_http(&dir, &["--workers", "4"]);
+
+    let (code, _, stderr) = client(&socket, &["submit", "--corpus"]);
+    assert_eq!(code, 0, "submit failed: {stderr}");
+
+    let done = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let scrapers: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut scrapes = 0usize;
+                while !done.load(std::sync::atomic::Ordering::Relaxed) || scrapes == 0 {
+                    let (status, body) =
+                        octo_serve::http_get(&addr, "/metrics", Duration::from_secs(10))
+                            .expect("scrape reachable");
+                    assert_eq!(status, 200);
+                    assert_eq!(
+                        prometheus_families(&body),
+                        schema_keys(),
+                        "mid-batch scrape lost or gained keys"
+                    );
+                    assert!(body.ends_with('\n'), "scrape truncated");
+                    scrapes += 1;
+                }
+                scrapes
+            })
+        })
+        .collect();
+
+    let (code, verdicts, stderr) = client(&socket, &["results", "--wait", "--verdicts-json"]);
+    done.store(true, std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(code, 0, "results failed: {stderr}");
+    assert_eq!(verdicts, GOLDEN, "verdicts drifted under scrape pressure");
+    let total: usize = scrapers
+        .into_iter()
+        .map(|t| t.join().expect("scraper thread"))
+        .sum();
+    assert!(total >= 4, "every scraper completed at least one scrape");
 
     let (code, _, stderr) = client(&socket, &["drain"]);
     assert_eq!(code, 0, "drain failed: {stderr}");
