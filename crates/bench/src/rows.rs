@@ -257,6 +257,34 @@ impl JsonRow for CloneBenchRow {
     }
 }
 
+/// One `cache_warm` row: corpus batch wall time against a cold (empty)
+/// versus warm (pre-seeded) disk artifact cache (see `docs/caching.md`).
+#[derive(Debug, Clone)]
+pub struct CacheWarmRow {
+    /// `"cold"` or `"warm"`.
+    pub mode: String,
+    /// Best-of-N batch wall seconds in this mode.
+    pub seconds: f64,
+    /// Disk-cache hits during the best run (0 cold).
+    pub disk_hits: u64,
+    /// Blobs published during the best run (0 warm).
+    pub disk_writes: u64,
+    /// Wall-time saving versus the `cold` baseline, percent (0 cold).
+    pub saving_pct: f64,
+}
+
+impl JsonRow for CacheWarmRow {
+    fn json_fields(&self) -> Vec<(&'static str, JsonValue)> {
+        vec![
+            ("mode", s(&self.mode)),
+            ("seconds", num(self.seconds)),
+            ("disk_hits", num(self.disk_hits as f64)),
+            ("disk_writes", num(self.disk_writes as f64)),
+            ("saving_pct", num(self.saving_pct)),
+        ]
+    }
+}
+
 /// Helper: `O`/`X` cells like the paper's tables.
 pub fn ox(b: bool) -> String {
     if b {

@@ -23,6 +23,7 @@
 //! batch output is deterministic and diffable (the CI golden file relies
 //! on this).
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -35,8 +36,10 @@ use octo_sched::{
     run_jobs, ArtifactCache, CacheStats, CancelToken, Event, EventClock, EventKind, EventSink,
     KeyHasher, SchedStats, Watchdog, WatchdogConfig,
 };
+use octo_store::{BlobStore, StoreStats};
 use octo_trace::{FlightRecorder, TraceKind};
 
+use crate::blob;
 use crate::config::PipelineConfig;
 use crate::pipeline::{
     prepare, verify_prepared_observed, PrepareFailure, PreparedSource, SoftwarePairInput,
@@ -99,6 +102,12 @@ pub struct BatchOptions {
     /// outright. `None` (the default) keeps batches un-drainable, the
     /// pre-existing behavior.
     pub cancel: Option<CancelToken>,
+    /// Root directory of the disk artifact cache ([`octo_store`]). When
+    /// set, prepared prefixes are written through to a crash-safe blob
+    /// store so later runs (and daemon restarts) warm-start; corruption
+    /// quarantines and recomputes, I/O failure degrades to memory-only.
+    /// `None` (the default) keeps caching purely in-memory.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for BatchOptions {
@@ -113,6 +122,7 @@ impl Default for BatchOptions {
             faults: None,
             watchdog: None,
             cancel: None,
+            cache_dir: None,
         }
     }
 }
@@ -172,6 +182,8 @@ pub struct BatchReport {
     pub quarantined: Vec<usize>,
     /// Artifact-cache statistics.
     pub cache: CacheStats,
+    /// Disk blob-store statistics, when `--cache-dir` configured one.
+    pub disk: Option<StoreStats>,
     /// Scheduler statistics.
     pub sched: SchedStats,
     /// Every metric the run recorded (see `docs/observability.md`);
@@ -247,6 +259,24 @@ impl BatchReport {
             "cache: {} hits / {} misses ({} artifacts, {} bytes)\n",
             self.cache.hits, self.cache.misses, self.cache.entries, self.cache.bytes
         ));
+        if let Some(disk) = &self.disk {
+            out.push_str(&format!(
+                "disk cache: {} hits / {} misses, {} writes, {} corrupt, {} quarantined, \
+                 {} entries (generation {}){}\n",
+                disk.hits,
+                disk.misses,
+                disk.writes,
+                disk.corrupt,
+                disk.quarantined,
+                disk.entries,
+                disk.generation,
+                if disk.degraded {
+                    " — DEGRADED to memory-only"
+                } else {
+                    ""
+                }
+            ));
+        }
         out.push_str(&format!(
             "sched: {} workers, {} steals ({} jobs moved), {:.3}s wall\n",
             self.sched.workers, self.sched.steals, self.sched.jobs_stolen, self.wall_seconds
@@ -374,8 +404,17 @@ pub(crate) fn prep_artifact_bytes(artifact: &Result<PreparedSource, PrepareFailu
 /// `obs` receives the phase spans: `"prepare"` fires only when this call
 /// actually computed the prefix (a cache miss); `"symex"` and `"p4"`
 /// fire from inside the pipeline suffix.
+///
+/// `disk` is the durable write-through tier: on a memory miss the blob
+/// store is consulted first (a frame-valid, decodable blob skips
+/// `prepare` entirely — that is the warm start), and a freshly computed
+/// `Ok` prefix is written back. A blob whose frame validated but whose
+/// payload fails [`blob::from_blob`] is quarantined exactly like frame
+/// corruption; the job recomputes and the hit flag reflects whether
+/// *this job* ran `prepare`, so metric billing stays single-count.
 pub(crate) fn verify_with_cache(
     cache: &ArtifactCache<Result<PreparedSource, PrepareFailure>>,
+    disk: Option<&BlobStore>,
     input: &SoftwarePairInput<'_>,
     config: &PipelineConfig,
     cancel: Option<&CancelToken>,
@@ -383,13 +422,36 @@ pub(crate) fn verify_with_cache(
 ) -> (VerificationReport, bool, u64) {
     let start = Instant::now();
     let key = prefix_cache_key(input.s, input.poc, input.shared, config);
-    let (prep, hit) = cache.get_or_compute(key, || {
+    let disk_hit = std::cell::Cell::new(false);
+    let (prep, mem_hit) = cache.get_or_compute(key, || {
+        if let Some(store) = disk {
+            if let Some(payload) = store.get(key) {
+                match blob::from_blob(&payload) {
+                    Ok(prep) => {
+                        disk_hit.set(true);
+                        let artifact = Ok(prep);
+                        let bytes = prep_artifact_bytes(&artifact);
+                        return (artifact, bytes);
+                    }
+                    // Checksum-valid frame around an undecodable payload
+                    // (e.g. payload-version skew): quarantine it like any
+                    // other corruption and fall through to recompute.
+                    Err(_) => store.quarantine(key),
+                }
+            }
+        }
         let span = Span::start("prepare").with_observer(obs);
         let artifact = prepare(input.s, input.poc, input.shared, config);
         span.finish();
+        if let (Some(store), Ok(prep)) = (disk, &artifact) {
+            // Only successful prefixes persist: failures are cheap to
+            // recompute and their shape is not part of the blob schema.
+            store.put(key, &blob::to_blob(prep));
+        }
         let bytes = prep_artifact_bytes(&artifact);
         (artifact, bytes)
     });
+    let hit = mem_hit || disk_hit.get();
     let prepare_seconds = start.elapsed().as_secs_f64();
     let mut report = match prep.as_ref() {
         Ok(p) => verify_prepared_observed(p, input, config, cancel, obs),
@@ -463,6 +525,14 @@ struct BatchMetrics {
     cache_misses: Arc<Counter>,
     cache_entries: Arc<Gauge>,
     cache_bytes: Arc<Gauge>,
+    cache_disk_hits: Arc<Counter>,
+    cache_disk_misses: Arc<Counter>,
+    cache_disk_writes: Arc<Counter>,
+    cache_disk_corrupt: Arc<Counter>,
+    cache_disk_quarantined: Arc<Counter>,
+    cache_disk_degraded: Arc<Gauge>,
+    cache_disk_read_micros: Arc<Histogram>,
+    cache_disk_write_micros: Arc<Histogram>,
     sched_workers: Arc<Gauge>,
     sched_steals: Arc<Counter>,
     sched_jobs_stolen: Arc<Counter>,
@@ -532,6 +602,14 @@ impl BatchMetrics {
             cache_misses: reg.counter("cache_misses_total"),
             cache_entries: reg.gauge("cache_entries"),
             cache_bytes: reg.gauge("cache_bytes"),
+            cache_disk_hits: reg.counter("cache_disk_hits_total"),
+            cache_disk_misses: reg.counter("cache_disk_misses_total"),
+            cache_disk_writes: reg.counter("cache_disk_writes_total"),
+            cache_disk_corrupt: reg.counter("cache_disk_corrupt_total"),
+            cache_disk_quarantined: reg.counter("cache_disk_quarantined_total"),
+            cache_disk_degraded: reg.gauge("cache_disk_degraded"),
+            cache_disk_read_micros: reg.histogram("cache_disk_read_micros", &MICROS_BUCKETS),
+            cache_disk_write_micros: reg.histogram("cache_disk_write_micros", &MICROS_BUCKETS),
             sched_workers: reg.gauge("sched_workers"),
             sched_steals: reg.counter("sched_steals_total"),
             sched_jobs_stolen: reg.counter("sched_jobs_stolen_total"),
@@ -648,6 +726,7 @@ fn sync_counter(counter: &Counter, synced: &std::sync::atomic::AtomicU64, curren
 /// `octopocsd` service calls it one job at a time.
 pub struct BatchRuntime {
     cache: ArtifactCache<Result<PreparedSource, PrepareFailure>>,
+    store: Option<Arc<BlobStore>>,
     metrics: MetricsRegistry,
     recorder: BatchMetrics,
     clock: EventClock,
@@ -657,6 +736,11 @@ pub struct BatchRuntime {
     synced_cache_hits: std::sync::atomic::AtomicU64,
     synced_cache_misses: std::sync::atomic::AtomicU64,
     synced_watchdog_fired: std::sync::atomic::AtomicU64,
+    synced_disk_hits: std::sync::atomic::AtomicU64,
+    synced_disk_misses: std::sync::atomic::AtomicU64,
+    synced_disk_writes: std::sync::atomic::AtomicU64,
+    synced_disk_corrupt: std::sync::atomic::AtomicU64,
+    synced_disk_quarantined: std::sync::atomic::AtomicU64,
     started_at: Instant,
 }
 
@@ -675,8 +759,17 @@ impl BatchRuntime {
     pub fn new(config: &PipelineConfig, options: &BatchOptions) -> BatchRuntime {
         let metrics = MetricsRegistry::new();
         let recorder = BatchMetrics::register(&metrics);
+        let store = options.cache_dir.as_ref().map(|dir| {
+            let store = BlobStore::open(dir);
+            store.attach_histograms(
+                Arc::clone(&recorder.cache_disk_read_micros),
+                Arc::clone(&recorder.cache_disk_write_micros),
+            );
+            Arc::new(store)
+        });
         BatchRuntime {
             cache: ArtifactCache::new(),
+            store,
             recorder,
             metrics,
             clock: EventClock::new(options.workers),
@@ -686,8 +779,23 @@ impl BatchRuntime {
             synced_cache_hits: std::sync::atomic::AtomicU64::new(0),
             synced_cache_misses: std::sync::atomic::AtomicU64::new(0),
             synced_watchdog_fired: std::sync::atomic::AtomicU64::new(0),
+            synced_disk_hits: std::sync::atomic::AtomicU64::new(0),
+            synced_disk_misses: std::sync::atomic::AtomicU64::new(0),
+            synced_disk_writes: std::sync::atomic::AtomicU64::new(0),
+            synced_disk_corrupt: std::sync::atomic::AtomicU64::new(0),
+            synced_disk_quarantined: std::sync::atomic::AtomicU64::new(0),
             started_at: Instant::now(),
         }
+    }
+
+    /// The disk blob store, when `--cache-dir` configured one.
+    pub fn store(&self) -> Option<&Arc<BlobStore>> {
+        self.store.as_ref()
+    }
+
+    /// Current disk-store statistics, when a store is configured.
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        self.store.as_deref().map(BlobStore::stats)
     }
 
     /// The runtime's metrics registry (call
@@ -736,6 +844,37 @@ impl BatchRuntime {
         );
         self.recorder.cache_entries.set(stats.entries);
         self.recorder.cache_bytes.set(stats.bytes);
+        if let Some(store) = self.store.as_deref() {
+            let disk = store.stats();
+            sync_counter(
+                &self.recorder.cache_disk_hits,
+                &self.synced_disk_hits,
+                disk.hits,
+            );
+            sync_counter(
+                &self.recorder.cache_disk_misses,
+                &self.synced_disk_misses,
+                disk.misses,
+            );
+            sync_counter(
+                &self.recorder.cache_disk_writes,
+                &self.synced_disk_writes,
+                disk.writes,
+            );
+            sync_counter(
+                &self.recorder.cache_disk_corrupt,
+                &self.synced_disk_corrupt,
+                disk.corrupt,
+            );
+            sync_counter(
+                &self.recorder.cache_disk_quarantined,
+                &self.synced_disk_quarantined,
+                disk.quarantined,
+            );
+            self.recorder
+                .cache_disk_degraded
+                .set(u64::from(disk.degraded));
+        }
         if let Some(dog) = &self.watchdog {
             sync_counter(
                 &self.recorder.watchdog_fired,
@@ -846,7 +985,14 @@ impl BatchRuntime {
                 // leading up to the panic — and lets the retry loop treat a
                 // panic like any other transient failure.
                 let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    verify_with_cache(&self.cache, &input, &self.config, token.as_ref(), &spans)
+                    verify_with_cache(
+                        &self.cache,
+                        self.store.as_deref(),
+                        &input,
+                        &self.config,
+                        token.as_ref(),
+                        &spans,
+                    )
                 }));
                 let (mut report, cache_hit, key) = match caught {
                     Ok(r) => r,
@@ -1001,16 +1147,22 @@ pub fn run_batch(
     runtime.refresh_metrics();
     runtime.recorder.record_sched(&sched);
     let cache = runtime.cache.stats();
+    let disk = runtime.store_stats();
     // Destructure to join the watchdog thread before handing the
-    // registry to the report.
+    // registry to the report (dropping `store` flushes its index).
     let BatchRuntime {
-        metrics, watchdog, ..
+        metrics,
+        watchdog,
+        store,
+        ..
     } = runtime;
     drop(watchdog);
+    drop(store);
     BatchReport {
         entries,
         quarantined,
         cache,
+        disk,
         sched,
         metrics,
         wall_seconds: start.elapsed().as_secs_f64(),

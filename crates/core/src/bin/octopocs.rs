@@ -130,15 +130,17 @@ fn usage() -> String {
      [--min-insts N] [--json]\n       \
      octopocs scan (--corpus | --s S.mir --poc poc.bin --target T.mir...) \
      [--threshold X] [--top-k N] [--workers N] [--deadline-secs S] \
-     [--json | --verdicts-json] [--candidates-json PATH] [--events] \
-     [--metrics-json PATH] [--metrics-prom PATH]\n       \
+     [--cache-dir DIR] [--json | --verdicts-json] [--candidates-json PATH] \
+     [--events] [--metrics-json PATH] [--metrics-prom PATH]\n       \
      octopocs batch (--corpus | --jobs FILE) [--workers N] \
-     [--deadline-secs S] [--json | --verdicts-json] [--events] \
-     [--metrics-json PATH] [--metrics-prom PATH] [--trace-chrome PATH] \
-     [--trace-jsonl PATH] [--post-mortem] [--theta N] \
+     [--deadline-secs S] [--cache-dir DIR] [--json | --verdicts-json] \
+     [--events] [--metrics-json PATH] [--metrics-prom PATH] \
+     [--trace-chrome PATH] [--trace-jsonl PATH] [--post-mortem] [--theta N] \
      [--accelerate-loops] [--static-cfg] [--context-free] [--prescreen] \
      [--fault-plan FILE] [--retry N] [--retry-backoff-ms MS] \
      [--watchdog-quiet-secs S]\n       \
+     octopocs cache (stats | verify | gc) --cache-dir DIR [--json] \
+     [--keep-generations N] [--max-age-secs S]\n       \
      octopocs submit (--corpus | --s S.mir --t T.mir --poc poc.bin --shared f1,f2 | \
      --scan --s S.mir --poc poc.bin --target T.mir...) \
      [--priority interactive|bulk] [--socket PATH | --tcp ADDR]\n       \
@@ -460,6 +462,9 @@ fn scan_main(argv: &[String]) -> ExitCode {
                     }
                     options.deadline = Some(std::time::Duration::from_secs_f64(secs));
                 }
+                "--cache-dir" => {
+                    options.cache_dir = Some(std::path::PathBuf::from(value("--cache-dir")?))
+                }
                 "--json" => json = true,
                 "--verdicts-json" => verdicts_json = true,
                 "--candidates-json" => candidates_json = Some(value("--candidates-json")?),
@@ -680,6 +685,9 @@ fn batch_main(argv: &[String]) -> ExitCode {
                 "--static-cfg" => config.cfg_mode = octo_cfg::CfgMode::Static,
                 "--context-free" => config.taint_context = octo_taint::ContextMode::ContextFree,
                 "--prescreen" => config.static_prescreen = true,
+                "--cache-dir" => {
+                    options.cache_dir = Some(std::path::PathBuf::from(value("--cache-dir")?))
+                }
                 "--json" => json = true,
                 "--verdicts-json" => verdicts_json = true,
                 "--events" => events = true,
@@ -844,6 +852,139 @@ fn batch_main(argv: &[String]) -> ExitCode {
         return ExitCode::from(130);
     }
     ExitCode::SUCCESS
+}
+
+/// The `octopocs cache` subcommand: offline maintenance of a disk
+/// artifact cache (`--cache-dir`) — `stats`, `verify` (re-check every
+/// blob's frame and checksum), `gc` (prune by generation/age, sweep
+/// orphan temp files). See docs/caching.md.
+fn cache_main(argv: &[String]) -> ExitCode {
+    let parse_error = |msg: String| {
+        if msg.is_empty() {
+            eprintln!("{}", usage());
+        } else {
+            eprintln!("{msg}\n{}", usage());
+        }
+        ExitCode::from(3)
+    };
+    let Some(action) = argv.first().map(String::as_str) else {
+        return parse_error("cache needs an action: stats, verify or gc".to_string());
+    };
+    if !matches!(action, "stats" | "verify" | "gc") {
+        return parse_error(format!("unknown cache action `{action}`"));
+    }
+    let mut cache_dir: Option<String> = None;
+    let mut json = false;
+    let mut keep_generations: Option<u64> = None;
+    let mut max_age_secs: Option<u64> = None;
+    let mut it = argv[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        let result: Result<(), String> = (|| {
+            match flag.as_str() {
+                "--cache-dir" => cache_dir = Some(value("--cache-dir")?),
+                "--json" => json = true,
+                "--keep-generations" => {
+                    keep_generations = Some(
+                        value("--keep-generations")?
+                            .parse()
+                            .map_err(|e| format!("bad --keep-generations: {e}"))?,
+                    )
+                }
+                "--max-age-secs" => {
+                    max_age_secs = Some(
+                        value("--max-age-secs")?
+                            .parse()
+                            .map_err(|e| format!("bad --max-age-secs: {e}"))?,
+                    )
+                }
+                "--help" | "-h" => return Err(String::new()),
+                other => return Err(format!("unknown cache flag `{other}`")),
+            }
+            Ok(())
+        })();
+        if let Err(msg) = result {
+            return parse_error(msg);
+        }
+    }
+    let Some(dir) = cache_dir else {
+        return parse_error("cache needs --cache-dir DIR".to_string());
+    };
+    if (keep_generations.is_some() || max_age_secs.is_some()) && action != "gc" {
+        return parse_error("--keep-generations/--max-age-secs only apply to gc".to_string());
+    }
+    let store = octopocs::BlobStore::open(std::path::Path::new(&dir));
+    if store.is_degraded() {
+        eprintln!("error: {dir} is not usable as a cache directory");
+        return ExitCode::from(2);
+    }
+    match action {
+        "stats" => {
+            let stats = store.stats();
+            if json {
+                println!(
+                    "{{\"entries\":{},\"generation\":{},\"degraded\":{}}}",
+                    stats.entries, stats.generation, stats.degraded
+                );
+            } else {
+                println!(
+                    "cache {dir}: {} entries, generation {}",
+                    stats.entries, stats.generation
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "verify" => {
+            let report = store.verify();
+            if json {
+                let keys: Vec<String> = report
+                    .corrupt
+                    .iter()
+                    .map(|k| format!("\"{k:016x}\""))
+                    .collect();
+                println!(
+                    "{{\"valid\":{},\"corrupt\":[{}],\"orphan_temps\":{}}}",
+                    report.valid,
+                    keys.join(","),
+                    report.orphan_temps
+                );
+            } else {
+                for key in &report.corrupt {
+                    println!("corrupt: {key:016x}");
+                }
+                println!(
+                    "verified {dir}: {} valid, {} corrupt, {} orphan temp file(s)",
+                    report.valid,
+                    report.corrupt.len(),
+                    report.orphan_temps
+                );
+            }
+            if report.corrupt.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            let report = store.gc(keep_generations, max_age_secs);
+            if json {
+                println!(
+                    "{{\"removed\":{},\"kept\":{},\"temps_swept\":{}}}",
+                    report.removed, report.kept, report.temps_swept
+                );
+            } else {
+                println!(
+                    "gc {dir}: removed {}, kept {}, swept {} temp file(s)",
+                    report.removed, report.kept, report.temps_swept
+                );
+            }
+            ExitCode::SUCCESS
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1571,6 +1712,9 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("scan") {
         return scan_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("cache") {
+        return cache_main(&argv[1..]);
     }
     if argv.first().map(String::as_str) == Some("submit") {
         return submit_main(&argv[1..]);

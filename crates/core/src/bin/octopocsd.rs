@@ -50,7 +50,8 @@ use octopocs::batch::BatchOptions;
 use octopocs::{PipelineConfig, ServeExecutor};
 
 fn usage() -> String {
-    "usage: octopocsd [--socket PATH] [--tcp ADDR] [--http ADDR] [--journal PATH] [--workers N] \
+    "usage: octopocsd [--socket PATH] [--tcp ADDR] [--http ADDR] [--journal PATH] \
+     [--cache-dir DIR] [--workers N] \
      [--capacity N] [--deadline-secs S] [--retry N] [--retry-backoff-ms MS] \
      [--watchdog-quiet-secs S] [--fault-plan FILE] [--theta N] [--accelerate-loops] \
      [--static-cfg] [--context-free] [--prescreen] [--metrics-json PATH]"
@@ -88,6 +89,9 @@ fn main() -> ExitCode {
                 "--tcp" => tcp = Some(value("--tcp")?),
                 "--http" => http = Some(value("--http")?),
                 "--journal" => journal_path = value("--journal")?.into(),
+                "--cache-dir" => {
+                    options.cache_dir = Some(std::path::PathBuf::from(value("--cache-dir")?))
+                }
                 "--capacity" => {
                     capacity = value("--capacity")?
                         .parse()
@@ -264,6 +268,17 @@ fn main() -> ExitCode {
     }
     for handle in workers {
         let _ = handle.join();
+    }
+    // Journal hygiene: an orderly exit rewrites the journal down to
+    // the jobs a restart would resubmit, so a long-lived daemon's
+    // journal does not grow without bound across restarts.
+    match daemon.compact_journal() {
+        Some(Ok(kept)) => eprintln!(
+            "octopocsd: journal {} compacted ({kept} incomplete job(s) kept)",
+            journal_path.display()
+        ),
+        Some(Err(e)) => eprintln!("octopocsd: {e}"),
+        None => {}
     }
     for error in executor.conversion_errors() {
         eprintln!("octopocsd: {error}");

@@ -1,0 +1,424 @@
+//! Versioned binary serialization for [`PreparedSource`] — the payload
+//! the disk blob store (`octo-store`) persists.
+//!
+//! The format is hand-rolled little-endian with length-prefixed
+//! collections, mirroring the workspace's no-external-deps rule for
+//! JSON. Two properties matter more than compactness:
+//!
+//! * **Exact round-trip** — `from_blob(to_blob(p)) == p` for every
+//!   `PreparedSource` the pipeline can produce, so a disk cache hit is
+//!   indistinguishable from recomputation and can never perturb a
+//!   verdict.
+//! * **Total decoding** — `from_blob` returns `Err` on truncated,
+//!   bit-flipped, version-skewed, or trailing-garbage input. It never
+//!   panics and never over-allocates on a hostile length prefix, because
+//!   corrupted blobs are an *expected* input (the store quarantines on
+//!   `Err` and recomputes).
+//!
+//! The leading [`BLOB_VERSION`] is the schema of *this payload*; the
+//! store's outer frame (magic, checksum) has its own version and guards
+//! against torn writes before this decoder ever runs.
+
+use octo_ir::{FuncId, RegionKind, Width};
+use octo_poc::{Bunch, CrashPrimitives};
+use octo_taint::TaintStats;
+use octo_vm::{Backtrace, CrashKind, CrashReport};
+
+use crate::pipeline::PreparedSource;
+
+/// Payload schema version. Bump on any layout change; decoders reject
+/// other versions (the store treats that as a clean miss, not an error).
+pub const BLOB_VERSION: u16 = 1;
+
+/// Serializes a [`PreparedSource`] to its versioned binary form.
+pub fn to_blob(prep: &PreparedSource) -> Vec<u8> {
+    let mut out = Vec::with_capacity(prep.approx_bytes() as usize + 64);
+    put_u16(&mut out, BLOB_VERSION);
+    put_u32(&mut out, prep.ep.0);
+    put_str(&mut out, &prep.ep_name);
+    put_crash(&mut out, &prep.s_crash);
+    put_primitives(&mut out, &prep.primitives);
+    put_u32(&mut out, prep.ep_entries);
+    put_u64(&mut out, prep.p1_insts);
+    put_u64(&mut out, prep.taint.bytes_uploaded);
+    put_u64(&mut out, prep.taint.peak_tainted_addrs);
+    put_u64(&mut out, prep.taint.taint_records);
+    out
+}
+
+/// Deserializes a blob produced by [`to_blob`].
+///
+/// Any defect — truncation, version skew, an invalid tag, a length
+/// prefix that overruns the buffer, trailing bytes — yields `Err` with a
+/// diagnostic; the function never panics.
+pub fn from_blob(bytes: &[u8]) -> Result<PreparedSource, String> {
+    let mut r = Reader::new(bytes);
+    let version = r.u16()?;
+    if version != BLOB_VERSION {
+        return Err(format!(
+            "blob version {version} (decoder speaks {BLOB_VERSION})"
+        ));
+    }
+    let ep = FuncId(r.u32()?);
+    let ep_name = r.str()?;
+    let s_crash = read_crash(&mut r)?;
+    let primitives = read_primitives(&mut r)?;
+    let ep_entries = r.u32()?;
+    let p1_insts = r.u64()?;
+    let taint = TaintStats {
+        bytes_uploaded: r.u64()?,
+        peak_tainted_addrs: r.u64()?,
+        taint_records: r.u64()?,
+    };
+    r.finish()?;
+    Ok(PreparedSource {
+        ep,
+        ep_name,
+        s_crash,
+        primitives,
+        ep_entries,
+        p1_insts,
+        taint,
+    })
+}
+
+// ---------------------------------------------------------------- encode
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_crash(out: &mut Vec<u8>, crash: &CrashReport) {
+    match crash.kind {
+        CrashKind::OutOfBounds { addr, region } => {
+            put_u8(out, 0);
+            put_u64(out, addr);
+            put_u8(
+                out,
+                match region {
+                    None => 0,
+                    Some(RegionKind::Heap) => 1,
+                    Some(RegionKind::Stack) => 2,
+                },
+            );
+        }
+        CrashKind::NullDeref { addr } => {
+            put_u8(out, 1);
+            put_u64(out, addr);
+        }
+        CrashKind::DivByZero => put_u8(out, 2),
+        CrashKind::IntegerOverflow { width } => {
+            put_u8(out, 3);
+            put_u8(
+                out,
+                match width {
+                    Width::W1 => 1,
+                    Width::W2 => 2,
+                    Width::W4 => 4,
+                    Width::W8 => 8,
+                },
+            );
+        }
+        CrashKind::Trap { code } => {
+            put_u8(out, 4);
+            put_u64(out, code);
+        }
+        CrashKind::InfiniteLoop => put_u8(out, 5),
+        CrashKind::StackOverflow => put_u8(out, 6),
+        CrashKind::BadIndirect { value } => {
+            put_u8(out, 7);
+            put_u64(out, value);
+        }
+        CrashKind::BadFileDescriptor { fd } => {
+            put_u8(out, 8);
+            put_u64(out, fd);
+        }
+    }
+    put_u32(out, crash.func.0);
+    put_u32(out, crash.block.0);
+    put_u64(out, crash.inst_idx as u64);
+    put_u32(out, crash.backtrace.frames().len() as u32);
+    for (id, name) in crash.backtrace.frames() {
+        put_u32(out, id.0);
+        put_str(out, name);
+    }
+    put_u64(out, crash.insts_executed);
+}
+
+fn put_primitives(out: &mut Vec<u8>, prims: &CrashPrimitives) {
+    put_u32(out, prims.entry_count() as u32);
+    for k in 0..prims.entry_count() {
+        let bunch = prims.bunch(k).expect("entry index in range");
+        let args = prims.args(k).expect("entry index in range");
+        put_u32(out, bunch.seq);
+        put_u32(out, bunch.len() as u32);
+        for (offset, value) in bunch.iter() {
+            put_u32(out, offset);
+            put_u8(out, value);
+        }
+        put_u32(out, args.len() as u32);
+        for arg in args {
+            put_u64(out, *arg);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- decode
+
+/// Bounds-checked little-endian cursor. Every accessor returns `Err`
+/// instead of reading past the end.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.bytes.len())
+            .ok_or_else(|| {
+                format!(
+                    "truncated: need {n} bytes at offset {}, have {}",
+                    self.pos,
+                    self.bytes.len() - self.pos
+                )
+            })?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A length prefix for `count` elements of at least `elem_bytes`
+    /// each. Rejecting prefixes the remaining buffer cannot possibly
+    /// satisfy keeps a bit-flipped length from forcing a huge allocation.
+    fn count(&mut self, elem_bytes: usize) -> Result<usize, String> {
+        let count = self.u32()? as usize;
+        let remaining = self.bytes.len() - self.pos;
+        if count.saturating_mul(elem_bytes) > remaining {
+            return Err(format!(
+                "length prefix {count} x {elem_bytes}B exceeds remaining {remaining}B"
+            ));
+        }
+        Ok(count)
+    }
+
+    fn str(&mut self) -> Result<String, String> {
+        let len = self.count(1)?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "string not UTF-8".to_string())
+    }
+
+    fn finish(&self) -> Result<(), String> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing bytes after payload",
+                self.bytes.len() - self.pos
+            ))
+        }
+    }
+}
+
+fn read_crash(r: &mut Reader<'_>) -> Result<CrashReport, String> {
+    let kind = match r.u8()? {
+        0 => {
+            let addr = r.u64()?;
+            let region = match r.u8()? {
+                0 => None,
+                1 => Some(RegionKind::Heap),
+                2 => Some(RegionKind::Stack),
+                tag => return Err(format!("bad region tag {tag}")),
+            };
+            CrashKind::OutOfBounds { addr, region }
+        }
+        1 => CrashKind::NullDeref { addr: r.u64()? },
+        2 => CrashKind::DivByZero,
+        3 => CrashKind::IntegerOverflow {
+            width: match r.u8()? {
+                1 => Width::W1,
+                2 => Width::W2,
+                4 => Width::W4,
+                8 => Width::W8,
+                tag => return Err(format!("bad width tag {tag}")),
+            },
+        },
+        4 => CrashKind::Trap { code: r.u64()? },
+        5 => CrashKind::InfiniteLoop,
+        6 => CrashKind::StackOverflow,
+        7 => CrashKind::BadIndirect { value: r.u64()? },
+        8 => CrashKind::BadFileDescriptor { fd: r.u64()? },
+        tag => return Err(format!("bad crash-kind tag {tag}")),
+    };
+    let func = FuncId(r.u32()?);
+    let block = octo_ir::BlockId(r.u32()?);
+    let inst_idx = usize::try_from(r.u64()?).map_err(|_| "inst_idx exceeds usize".to_string())?;
+    let frame_count = r.count(8)?;
+    let mut frames = Vec::with_capacity(frame_count);
+    for _ in 0..frame_count {
+        let id = FuncId(r.u32()?);
+        let name = r.str()?;
+        frames.push((id, name));
+    }
+    Ok(CrashReport {
+        kind,
+        func,
+        block,
+        inst_idx,
+        backtrace: Backtrace::new(frames),
+        insts_executed: r.u64()?,
+    })
+}
+
+fn read_primitives(r: &mut Reader<'_>) -> Result<CrashPrimitives, String> {
+    let entries = r.count(12)?;
+    let mut prims = CrashPrimitives::new();
+    for _ in 0..entries {
+        let seq = r.u32()?;
+        let mut bunch = Bunch::new(seq);
+        let pairs = r.count(5)?;
+        for _ in 0..pairs {
+            let offset = r.u32()?;
+            let value = r.u8()?;
+            bunch.add(offset, value);
+        }
+        let arg_count = r.count(8)?;
+        let mut args = Vec::with_capacity(arg_count);
+        for _ in 0..arg_count {
+            args.push(r.u64()?);
+        }
+        prims.push(bunch, args);
+    }
+    Ok(prims)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use octo_ir::BlockId;
+
+    fn sample() -> PreparedSource {
+        let mut prims = CrashPrimitives::new();
+        let mut b1 = Bunch::new(1);
+        b1.add(0, 0x41);
+        b1.add(3, 0xff);
+        let mut b2 = Bunch::new(2);
+        b2.add(7, 0x00);
+        prims.push(b1, vec![0, u64::MAX]);
+        prims.push(b2, vec![]);
+        PreparedSource {
+            ep: FuncId(3),
+            ep_name: "vuln_parse".to_string(),
+            s_crash: CrashReport {
+                kind: CrashKind::OutOfBounds {
+                    addr: 0xdead_beef,
+                    region: Some(RegionKind::Heap),
+                },
+                func: FuncId(5),
+                block: BlockId(2),
+                inst_idx: usize::MAX,
+                backtrace: Backtrace::new(vec![
+                    (FuncId(0), "main".to_string()),
+                    (FuncId(5), "memcpy_ish".to_string()),
+                ]),
+                insts_executed: 1_234_567,
+            },
+            ep_entries: 2,
+            p1_insts: 42,
+            primitives: prims,
+            taint: TaintStats {
+                bytes_uploaded: 9,
+                peak_tainted_addrs: 4,
+                taint_records: 3,
+            },
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let prep = sample();
+        let blob = to_blob(&prep);
+        let back = from_blob(&blob).expect("decode");
+        assert_eq!(back, prep);
+        assert_eq!(to_blob(&back), blob, "re-encode is byte-identical");
+    }
+
+    #[test]
+    fn every_truncation_errors_cleanly() {
+        let blob = to_blob(&sample());
+        for cut in 0..blob.len() {
+            assert!(
+                from_blob(&blob[..cut]).is_err(),
+                "truncation at {cut}/{} decoded",
+                blob.len()
+            );
+        }
+    }
+
+    #[test]
+    fn version_skew_is_rejected() {
+        let mut blob = to_blob(&sample());
+        blob[0] = blob[0].wrapping_add(1);
+        let err = from_blob(&blob).unwrap_err();
+        assert!(err.contains("version"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut blob = to_blob(&sample());
+        blob.push(0);
+        assert!(from_blob(&blob).unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn hostile_length_prefix_does_not_allocate() {
+        // A u32::MAX frame count right where the backtrace length lives
+        // must be caught by the remaining-bytes guard, not attempted.
+        let mut blob = to_blob(&sample());
+        let name_len = "vuln_parse".len();
+        // version(2) + ep(4) + name len(4) + name + kind tag(1) + addr(8)
+        // + region(1) + func(4) + block(4) + inst_idx(8) = frame count.
+        let at = 2 + 4 + 4 + name_len + 1 + 8 + 1 + 4 + 4 + 8;
+        blob[at..at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(from_blob(&blob).unwrap_err().contains("length prefix"));
+    }
+}

@@ -92,6 +92,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod blob;
 pub mod config;
 pub mod minimize;
 pub mod pipeline;
@@ -108,6 +109,7 @@ pub use config::PipelineConfig;
 pub use minimize::{minimize_poc, MinimizeStats};
 pub use octo_faults::{FaultPlan, FaultRule, FaultSite, RetryPolicy, Trigger};
 pub use octo_sched::WatchdogConfig;
+pub use octo_store::{BlobStore, GcReport, StoreStats, VerifyReport};
 pub use octo_trace::{FlightRecorder, PostMortem};
 pub use pipeline::{
     prepare, verify, verify_prepared, verify_prepared_observed, PrepareFailure, PreparedSource,

@@ -158,7 +158,7 @@ impl VerificationReport {
 /// A `PreparedSource` is independent of `T`, so one value serves every
 /// target cloned from the same source; [`crate::batch::run_batch`] keys
 /// it by content hash in an artifact cache.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PreparedSource {
     /// `ep` in `S`'s function namespace.
     pub ep: FuncId,

@@ -116,8 +116,14 @@ pub fn verify_portfolio_with_faults(
         let faults_ctx =
             faults.map(|plan| std::sync::Arc::new(octo_faults::JobFaults::new(plan, i as u32)));
         let _guard = faults_ctx.as_ref().map(octo_faults::install);
-        let (report, _cache_hit, _key) =
-            verify_with_cache(&cache, &job.input, config, None, &octo_obs::NullObserver);
+        let (report, _cache_hit, _key) = verify_with_cache(
+            &cache,
+            None,
+            &job.input,
+            config,
+            None,
+            &octo_obs::NullObserver,
+        );
         PortfolioEntry {
             name: job.name.to_string(),
             urgency: Urgency::of(&report.verdict),

@@ -1,0 +1,172 @@
+//! Property tests for the `PreparedSource` blob codec: encode/decode
+//! is the exact identity for every value the pipeline can produce, and
+//! decoding is *total* — truncated prefixes always error, bit-flipped
+//! and arbitrary bytes never panic (the store's outer checksum frame is
+//! what detects flips; the payload decoder only has to survive them).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use octo_ir::{BlockId, FuncId, RegionKind, Width};
+use octo_poc::{Bunch, CrashPrimitives};
+use octo_taint::TaintStats;
+use octo_vm::{Backtrace, CrashKind, CrashReport};
+use octopocs::blob::{from_blob, to_blob};
+use octopocs::pipeline::PreparedSource;
+
+/// Function-name alphabet chosen to stress UTF-8 handling: multi-byte
+/// characters beside plain identifiers.
+const NAME_ALPHABET: &[char] = &['a', 'Z', '_', '0', ' ', '\u{e9}', '\u{4e16}', '\u{1f600}'];
+
+fn arb_name() -> impl Strategy<Value = String> {
+    vec(0..NAME_ALPHABET.len(), 0..12)
+        .prop_map(|picks| picks.into_iter().map(|i| NAME_ALPHABET[i]).collect())
+}
+
+fn arb_region() -> impl Strategy<Value = Option<RegionKind>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(RegionKind::Heap)),
+        Just(Some(RegionKind::Stack)),
+    ]
+}
+
+fn arb_width() -> impl Strategy<Value = Width> {
+    prop_oneof![
+        Just(Width::W1),
+        Just(Width::W2),
+        Just(Width::W4),
+        Just(Width::W8),
+    ]
+}
+
+fn arb_crash_kind() -> impl Strategy<Value = CrashKind> {
+    prop_oneof![
+        (any::<u64>(), arb_region())
+            .prop_map(|(addr, region)| CrashKind::OutOfBounds { addr, region }),
+        any::<u64>().prop_map(|addr| CrashKind::NullDeref { addr }),
+        Just(CrashKind::DivByZero),
+        arb_width().prop_map(|width| CrashKind::IntegerOverflow { width }),
+        any::<u64>().prop_map(|code| CrashKind::Trap { code }),
+        Just(CrashKind::InfiniteLoop),
+        Just(CrashKind::StackOverflow),
+        any::<u64>().prop_map(|value| CrashKind::BadIndirect { value }),
+        any::<u64>().prop_map(|fd| CrashKind::BadFileDescriptor { fd }),
+    ]
+}
+
+fn arb_crash() -> impl Strategy<Value = CrashReport> {
+    (
+        arb_crash_kind(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<usize>(),
+        vec((any::<u32>(), arb_name()), 0..5),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(kind, func, block, inst_idx, frames, insts_executed)| CrashReport {
+                kind,
+                func: FuncId(func),
+                block: BlockId(block),
+                inst_idx,
+                backtrace: Backtrace::new(
+                    frames
+                        .into_iter()
+                        .map(|(id, name)| (FuncId(id), name))
+                        .collect(),
+                ),
+                insts_executed,
+            },
+        )
+}
+
+fn arb_primitives() -> impl Strategy<Value = CrashPrimitives> {
+    vec(
+        (
+            any::<u32>(),
+            vec((any::<u32>(), any::<u8>()), 0..6),
+            vec(any::<u64>(), 0..4),
+        ),
+        0..4,
+    )
+    .prop_map(|entries| {
+        let mut prims = CrashPrimitives::new();
+        for (seq, pairs, args) in entries {
+            let mut bunch = Bunch::new(seq);
+            for (offset, value) in pairs {
+                bunch.add(offset, value);
+            }
+            prims.push(bunch, args);
+        }
+        prims
+    })
+}
+
+fn arb_prepared() -> impl Strategy<Value = PreparedSource> {
+    (
+        (any::<u32>(), arb_name(), arb_crash(), arb_primitives()),
+        any::<u32>(),
+        any::<u64>(),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |((ep, ep_name, s_crash, primitives), ep_entries, p1_insts, taint)| PreparedSource {
+                ep: FuncId(ep),
+                ep_name,
+                s_crash,
+                primitives,
+                ep_entries,
+                p1_insts,
+                taint: TaintStats {
+                    bytes_uploaded: taint.0,
+                    peak_tainted_addrs: taint.1,
+                    taint_records: taint.2,
+                },
+            },
+        )
+}
+
+proptest! {
+    /// `from_blob ∘ to_blob` is the identity, and re-encoding the
+    /// decoded value is byte-identical (the encoding is canonical).
+    #[test]
+    fn round_trips_exactly(prep in arb_prepared()) {
+        let blob = to_blob(&prep);
+        let back = from_blob(&blob);
+        prop_assert!(back.is_ok(), "decode failed: {:?}", back);
+        let back = back.unwrap();
+        prop_assert_eq!(&back, &prep);
+        prop_assert_eq!(to_blob(&back), blob);
+    }
+
+    /// Every strict prefix of a valid blob is detected as truncated —
+    /// decoding errors, it never panics and never misreads.
+    #[test]
+    fn truncation_always_errors(prep in arb_prepared(), frac in 0u32..100) {
+        let blob = to_blob(&prep);
+        let cut = (blob.len() as u64 * u64::from(frac) / 100) as usize;
+        if cut < blob.len() {
+            prop_assert!(from_blob(&blob[..cut]).is_err());
+        }
+    }
+
+    /// A single flipped bit never panics the decoder. It may still
+    /// decode (a flipped payload integer is a valid different value —
+    /// the store's FNV frame checksum is what catches that); the
+    /// payload decoder's only obligation is to stay total.
+    #[test]
+    fn bit_flips_never_panic(prep in arb_prepared(), byte in any::<u64>(), bit in 0u8..8) {
+        let mut blob = to_blob(&prep);
+        let at = (byte % blob.len() as u64) as usize;
+        blob[at] ^= 1 << bit;
+        let _ = from_blob(&blob);
+    }
+
+    /// Arbitrary bytes — not a blob at all — error instead of panicking
+    /// or over-allocating on hostile length prefixes.
+    #[test]
+    fn garbage_never_panics(bytes in vec(any::<u8>(), 0..256)) {
+        let _ = from_blob(&bytes);
+    }
+}

@@ -42,7 +42,7 @@ use std::time::Duration;
 use octo_trace::TraceKind;
 
 /// Number of distinct injection sites (length of [`FaultSite::ALL`]).
-pub const SITE_COUNT: usize = 6;
+pub const SITE_COUNT: usize = 7;
 
 /// A program point where a fault can be injected.
 ///
@@ -72,6 +72,10 @@ pub enum FaultSite {
     CacheMiss,
     /// P4 concrete replay: the replay spuriously reports "no crash".
     P4Replay,
+    /// Disk blob store publish: the process "dies" between writing the
+    /// temp file and the atomic rename, leaving an orphan temp file and
+    /// no published blob (the crash-consistency window).
+    StoreRename,
 }
 
 impl FaultSite {
@@ -83,6 +87,7 @@ impl FaultSite {
         FaultSite::DirectedHang,
         FaultSite::CacheMiss,
         FaultSite::P4Replay,
+        FaultSite::StoreRename,
     ];
 
     /// Stable kebab-case label, used in fault-plan JSON, trace events, and
@@ -95,6 +100,7 @@ impl FaultSite {
             FaultSite::DirectedHang => "directed-hang",
             FaultSite::CacheMiss => "cache-miss",
             FaultSite::P4Replay => "p4-replay",
+            FaultSite::StoreRename => "store-rename",
         }
     }
 

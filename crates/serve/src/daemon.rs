@@ -552,6 +552,26 @@ impl Daemon {
     pub fn fanout(&self) -> &Arc<FanoutSink> {
         &self.fanout
     }
+
+    /// Compacts the journal (if one is attached) down to the jobs a
+    /// restart would actually resubmit: everything finished is
+    /// dropped, everything queued/running/interrupted is rewritten as
+    /// a bare job record. Call on an orderly exit, after the workers
+    /// have stopped. Returns the number of records kept, or `None`
+    /// when the daemon is journal-less.
+    pub fn compact_journal(&self) -> Option<Result<u64, String>> {
+        let journal = self.journal.as_ref()?;
+        let state = self.state.lock().expect("daemon state poisoned");
+        let incomplete: Vec<(u64, JobSpec)> = state
+            .jobs
+            .iter()
+            .filter(|(_, j)| j.phase != JobPhase::Done)
+            .map(|(id, j)| (*id, j.spec.clone()))
+            .collect();
+        let kept = incomplete.len() as u64;
+        drop(state);
+        Some(journal.compact(&incomplete).map(|()| kept))
+    }
 }
 
 /// Parses and validates both program texts and the PoC hex so a bad

@@ -20,7 +20,7 @@
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use crate::json::parse_json;
@@ -51,6 +51,7 @@ impl Replay {
 /// on its way to disk before the daemon acts on it.
 #[derive(Debug)]
 pub struct Journal {
+    path: PathBuf,
     file: Mutex<File>,
 }
 
@@ -70,6 +71,7 @@ impl Journal {
         let replay = Journal::replay(&text)?;
         Ok((
             Journal {
+                path: path.to_path_buf(),
                 file: Mutex::new(file),
             },
             replay,
@@ -144,6 +146,48 @@ impl Journal {
         ))
     }
 
+    /// Rewrites the journal to hold only the given still-incomplete
+    /// jobs, dropping every finished job/verdict pair. The replacement
+    /// is written to a sibling temp file and atomically renamed over
+    /// the journal, so a crash mid-compaction leaves either the old
+    /// file or the new one — never a mix. The open handle switches to
+    /// the new file, and the append lock is held throughout so no
+    /// record can slip between the snapshot and the swap.
+    pub fn compact(&self, incomplete: &[(u64, JobSpec)]) -> Result<(), String> {
+        let mut text = String::new();
+        for (id, job) in incomplete {
+            text.push_str(&format!(
+                "{{\"journal\":\"job\",\"id\":{id},\"job\":{{{}}}}}\n",
+                render_jobspec_fields(job)
+            ));
+        }
+        let mut file = self.file.lock().expect("journal lock poisoned");
+        let mut tmp_name = self.path.as_os_str().to_os_string();
+        tmp_name.push(".compact");
+        let tmp = PathBuf::from(tmp_name);
+        let write = || -> std::io::Result<File> {
+            let mut out = File::create(&tmp)?;
+            out.write_all(text.as_bytes())?;
+            out.flush()?;
+            out.sync_all()?;
+            std::fs::rename(&tmp, &self.path)?;
+            OpenOptions::new().append(true).open(&self.path)
+        };
+        match write() {
+            Ok(reopened) => {
+                *file = reopened;
+                Ok(())
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(format!(
+                    "journal compaction failed ({}): {e}",
+                    self.path.display()
+                ))
+            }
+        }
+    }
+
     fn append(&self, line: &str) -> Result<(), String> {
         let mut file = self.file.lock().expect("journal lock poisoned");
         file.write_all(line.as_bytes())
@@ -207,6 +251,45 @@ mod tests {
         assert_eq!(replay.verdicts.len(), 1);
         assert_eq!(replay.verdicts[&1], verdict());
         assert_eq!(replay.incomplete(), vec![2]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compaction_drops_finished_jobs_and_keeps_incomplete() {
+        let path = temp_path("compact");
+        let _ = std::fs::remove_file(&path);
+        let (journal, _) = Journal::open(&path).unwrap();
+        journal.record_job(1, &spec("a")).unwrap();
+        journal.record_verdict(1, &verdict()).unwrap();
+        journal.record_job(2, &spec("b")).unwrap();
+        let before = std::fs::metadata(&path).unwrap().len();
+        journal.compact(&[(2, spec("b"))]).unwrap();
+        let after = std::fs::metadata(&path).unwrap().len();
+        assert!(after < before, "journal shrank ({before} -> {after})");
+        // Appends after compaction land in the renamed-in file.
+        journal.record_verdict(2, &verdict()).unwrap();
+        drop(journal);
+        let (_j, replay) = Journal::open(&path).unwrap();
+        assert_eq!(replay.jobs.len(), 1);
+        assert_eq!(replay.jobs[0].0, 2);
+        assert_eq!(replay.verdicts.len(), 1);
+        assert!(replay.incomplete().is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compaction_to_empty_journal_replays_nothing() {
+        let path = temp_path("compact-empty");
+        let _ = std::fs::remove_file(&path);
+        let (journal, _) = Journal::open(&path).unwrap();
+        journal.record_job(1, &spec("a")).unwrap();
+        journal.record_verdict(1, &verdict()).unwrap();
+        journal.compact(&[]).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        drop(journal);
+        let (_j, replay) = Journal::open(&path).unwrap();
+        assert!(replay.jobs.is_empty());
+        assert!(replay.verdicts.is_empty());
         let _ = std::fs::remove_file(&path);
     }
 

@@ -38,6 +38,7 @@ pub const KNOWN_EVENT_NAMES: &[&str] = &[
     "watchdog_fired",
     "candidate_scored",
     "scan_expanded",
+    "cache_quarantined",
 ];
 
 /// Renders `events` (any order; re-sorted by sequence number) as a

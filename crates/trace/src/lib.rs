@@ -195,6 +195,12 @@ pub enum TraceKind {
         /// Batch jobs emitted.
         jobs: u32,
     },
+    /// The disk blob store detected a corrupt entry and moved it to
+    /// `quarantine/` before recomputing the artifact.
+    CacheQuarantined {
+        /// The 64-bit cache key of the quarantined blob.
+        key: u64,
+    },
 }
 
 impl TraceKind {
@@ -221,6 +227,7 @@ impl TraceKind {
             TraceKind::WatchdogFired { .. } => "watchdog_fired",
             TraceKind::CandidateScored { .. } => "candidate_scored",
             TraceKind::ScanExpanded { .. } => "scan_expanded",
+            TraceKind::CacheQuarantined { .. } => "cache_quarantined",
         }
     }
 
@@ -288,6 +295,7 @@ impl TraceKind {
             TraceKind::ScanExpanded { candidates, jobs } => {
                 format!("\"candidates\":{candidates},\"jobs\":{jobs}")
             }
+            TraceKind::CacheQuarantined { key } => format!("\"key\":{key}"),
         }
     }
 }

@@ -184,6 +184,149 @@ fn committed_fault_plan_matches_the_chaos_golden() {
     assert_eq!(report.quarantined, vec![PANIC_JOB, FAULTED_JOB]);
 }
 
+/// Satellite: the `store-rename` fault site dies between the temp-file
+/// write and the atomic rename — the blob is never published. The batch
+/// must not notice (verdicts golden), the orphan temp must be left on
+/// disk for `gc` to sweep, and a second run over the same cache
+/// directory must heal the hole.
+#[test]
+fn store_rename_fault_leaves_orphan_temp_and_golden_verdicts() {
+    let dir = std::env::temp_dir().join(format!("octopocs-chaos-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Job 0's first disk publish dies between temp write and rename.
+    let plan = Arc::new(FaultPlan::new(9).nth(FaultSite::StoreRename, Some(0), 1));
+    let options = BatchOptions {
+        workers: 2,
+        faults: Some(plan),
+        cache_dir: Some(dir.clone()),
+        ..BatchOptions::default()
+    };
+    let report = run_batch(
+        &corpus_jobs(),
+        &PipelineConfig::default(),
+        &options,
+        &NullSink,
+    );
+    assert_eq!(
+        report.render_verdicts_json(),
+        GOLDEN,
+        "a dropped blob publish must never change a verdict"
+    );
+    let disk = report.disk.as_ref().expect("disk stats present");
+    assert!(!disk.degraded, "a skipped rename is not an I/O failure");
+
+    // The orphan temp file survives under shards/.
+    let orphans = count_files(&dir.join("shards"), |name| name.contains(".tmp-"));
+    assert_eq!(orphans, 1, "exactly one orphan temp expected");
+
+    // A clean second run heals: the unpublished key misses, recomputes,
+    // republishes; every published blob hits. Verdicts stay golden.
+    let options = BatchOptions {
+        workers: 2,
+        cache_dir: Some(dir.clone()),
+        ..BatchOptions::default()
+    };
+    let report = run_batch(
+        &corpus_jobs(),
+        &PipelineConfig::default(),
+        &options,
+        &NullSink,
+    );
+    assert_eq!(report.render_verdicts_json(), GOLDEN);
+    let disk = report.disk.as_ref().expect("disk stats present");
+    assert_eq!(disk.corrupt, 0, "an orphan temp is not corruption");
+    assert_eq!(disk.misses, 1, "only the unpublished key misses");
+    assert_eq!(disk.writes, 1, "the hole is re-written");
+    assert_eq!(disk.entries, 10, "all 10 distinct prefixes published");
+
+    // gc sweeps the orphan.
+    let store = octopocs::BlobStore::open(&dir);
+    let swept = store.gc(None, None).temps_swept;
+    assert_eq!(swept, 1, "gc sweeps the orphan temp");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Recursively counts files under `root` whose name matches `pred`.
+fn count_files(root: &std::path::Path, pred: fn(&str) -> bool) -> usize {
+    let mut n = 0;
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return 0;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            n += count_files(&path, pred);
+        } else if path.file_name().and_then(|s| s.to_str()).is_some_and(pred) {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Satellite: SIGKILL a batch mid-run with a live `--cache-dir` — no
+/// chance to flush the index or finish in-flight temp writes — then
+/// restart on the same directory. The restart must not panic, must
+/// treat whatever the kill left behind as a quarantine or a clean miss
+/// (never an error), and must produce the golden verdict bytes.
+#[test]
+fn sigkilled_batch_restarts_clean_on_the_same_cache_dir() {
+    use std::process::{Command, Stdio};
+
+    let dir = std::env::temp_dir().join(format!("octopocs-chaos-kill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("workdir");
+    let cache = dir.join("cache");
+
+    let mut child = Command::new(bin_path("octopocs"))
+        .args(["batch", "--corpus", "--workers", "2", "--verdicts-json"])
+        .args(["--cache-dir", cache.to_str().expect("utf8 path")])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn batch");
+    // Let it get partway into the corpus (and into disk writes), then
+    // kill it where it stands. If the batch outran the sleep, the kill
+    // is a no-op and the restart is simply a warm run.
+    std::thread::sleep(Duration::from_millis(300));
+    let _ = child.kill();
+    let _ = child.wait();
+
+    let output = Command::new(bin_path("octopocs"))
+        .args(["batch", "--corpus", "--workers", "2", "--verdicts-json"])
+        .args(["--cache-dir", cache.to_str().expect("utf8 path")])
+        .output()
+        .expect("restart batch");
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "restart on a torn cache dir must exit cleanly; stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&output.stdout),
+        GOLDEN,
+        "restart verdicts drifted from the golden"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The binaries live in the same target directory as this test.
+fn bin_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::current_exe().expect("test exe path");
+    p.pop(); // deps/
+    p.pop(); // debug/ or release/
+    p.push(name);
+    if !p.exists() {
+        let status = std::process::Command::new(env!("CARGO"))
+            .args(["build", "-p", "octopocs", "--bin", name])
+            .status()
+            .expect("cargo build");
+        assert!(status.success());
+    }
+    p
+}
+
 #[test]
 fn retry_rescues_the_one_shot_fault_but_not_the_persistent_one() {
     // Under the committed plan, the panic is Nth(1) — consumed by the

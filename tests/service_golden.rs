@@ -173,6 +173,49 @@ fn killed_daemon_replays_journal_and_converges() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Satellite: an orderly drain compacts the journal. After a full
+/// corpus run every job has a verdict, so the compacted journal is
+/// empty, and a restart on it replays nothing.
+#[test]
+fn drained_daemon_compacts_its_journal() {
+    let dir = workdir("compact");
+    let (mut child, socket) = start_daemon(&dir, &["--workers", "2"]);
+
+    let (code, _, stderr) = client(&socket, &["submit", "--corpus"]);
+    assert_eq!(code, 0, "submit failed: {stderr}");
+    let (code, verdicts, stderr) = client(&socket, &["results", "--wait", "--verdicts-json"]);
+    assert_eq!(code, 0, "results failed: {stderr}");
+    assert_eq!(verdicts, GOLDEN);
+
+    let journal = dir.join("d.journal");
+    let before = std::fs::metadata(&journal).expect("journal exists").len();
+    assert!(before > 0, "15 jobs + 15 verdicts were journaled");
+
+    let (code, _, stderr) = client(&socket, &["drain"]);
+    assert_eq!(code, 0, "drain failed: {stderr}");
+    assert_eq!(child.wait().expect("daemon exit").code(), Some(0));
+    let after = std::fs::metadata(&journal).expect("journal exists").len();
+    assert_eq!(
+        after, 0,
+        "everything finished, so the compacted journal is empty (was {before} bytes)"
+    );
+
+    // Restart on the compacted journal: nothing is restored, nothing
+    // is resubmitted.
+    let (mut child, socket) = start_daemon(&dir, &["--workers", "1"]);
+    let status = queue_status(&socket);
+    assert_eq!(status.done, 0, "no finished jobs restored");
+    assert_eq!(
+        status.queued_interactive + status.queued_bulk + status.running,
+        0,
+        "no incomplete jobs resubmitted"
+    );
+    let (code, _, stderr) = client(&socket, &["drain"]);
+    assert_eq!(code, 0, "drain failed: {stderr}");
+    assert_eq!(child.wait().expect("daemon exit").code(), Some(0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Backpressure is explicit: with one worker wedged on a hanging job
 /// and a capacity-1 queue, the third submission is answered with a
 /// `rejected` line (exit 1) — the client is never left hanging.
